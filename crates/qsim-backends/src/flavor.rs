@@ -1,0 +1,193 @@
+//! Backend flavors: which device is modeled and how kernels are launched
+//! on it — the policy differences between qsim's CPU, CUDA, cuStateVec and
+//! HIP backends.
+
+use gpu_model::specs::DeviceSpec;
+use qsim_core::kernels::KernelClass;
+
+/// Which qsim backend is being modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flavor {
+    /// qsim's AVX512 + OpenMP CPU backend on the EPYC "Trento" socket.
+    CpuAvx,
+    /// qsim's CUDA backend on the Nvidia A100.
+    Cuda,
+    /// qsim's cuQuantum (`cuStateVec`) backend on the Nvidia A100: the
+    /// same algorithms behind Nvidia's tuned library interface; the paper
+    /// measures it < 10 % faster than plain CUDA.
+    CuStateVec,
+    /// The hipified backend of the paper on one MI250X GCD.
+    Hip,
+}
+
+impl Flavor {
+    /// Short identifier used in reports and CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Flavor::CpuAvx => "cpu",
+            Flavor::Cuda => "cuda",
+            Flavor::CuStateVec => "custatevec",
+            Flavor::Hip => "hip",
+        }
+    }
+
+    /// All four flavors, in the paper's presentation order.
+    pub fn all() -> [Flavor; 4] {
+        [Flavor::CpuAvx, Flavor::Cuda, Flavor::CuStateVec, Flavor::Hip]
+    }
+
+    /// The device this flavor runs on by default.
+    pub fn default_spec(&self) -> DeviceSpec {
+        match self {
+            Flavor::CpuAvx => DeviceSpec::epyc_trento(),
+            Flavor::Cuda => DeviceSpec::a100(),
+            Flavor::CuStateVec => {
+                // Same silicon as the CUDA flavor; the library's tuned
+                // kernels achieve a little more of peak bandwidth and
+                // launch with less overhead — calibrated to the paper's
+                // "< 10 %, favoring cuQuantum by a slight margin".
+                let mut spec = DeviceSpec::a100();
+                spec.name = "NVIDIA A100 (cuStateVec)".into();
+                spec.mem_efficiency = 0.855;
+                spec.launch_latency_us = 3.0;
+                spec
+            }
+            Flavor::Hip => DeviceSpec::mi250x_gcd(),
+        }
+    }
+
+    /// Threads per block for a gate kernel of the given class.
+    ///
+    /// The paper (§4): *"we assign 32 threads per block for
+    /// ApplyGateL_Kernel and 64 threads per block for ApplyGateH_Kernel.
+    /// These parameters are fixed as they correspond to the size of the
+    /// shared memory arrays"* — and keeping the 32-thread `L` blocks is
+    /// exactly what underutilizes the AMD 64-lane wavefront. The CPU
+    /// flavor "block" is the OpenMP team (128 threads, two per core).
+    pub fn threads_per_block(&self, class: KernelClass) -> u32 {
+        match self {
+            Flavor::CpuAvx => 128,
+            _ => match class {
+                KernelClass::High => 64,
+                KernelClass::Low => 32,
+            },
+        }
+    }
+
+    /// Kernel symbol for traces, matching what rocprof/nsys shows for each
+    /// backend.
+    pub fn kernel_name(&self, class: KernelClass) -> &'static str {
+        match self {
+            Flavor::CpuAvx => "ApplyGate_AVX_OMP",
+            Flavor::CuStateVec => match class {
+                KernelClass::High => "custatevec::applyMatrix_H",
+                KernelClass::Low => "custatevec::applyMatrix_L",
+            },
+            Flavor::Cuda | Flavor::Hip => class.kernel_name(),
+        }
+    }
+
+    /// Extra arithmetic charged per amplitude per *low* target qubit in
+    /// `ApplyGateL_Kernel`-class launches: index arithmetic for the data
+    /// rearrangement the paper's §2.2(3) describes. Small on every flavor
+    /// (shuffles are register/LDS operations, not FMAs).
+    pub fn shuffle_flops_per_low_qubit(&self) -> f64 {
+        match self {
+            Flavor::CpuAvx => 6.0, // in-register shuffles of the AVX path
+            _ => 4.0,
+        }
+    }
+
+    /// Fractional *extra memory traffic* charged per low target qubit in
+    /// `ApplyGateL_Kernel`-class launches.
+    ///
+    /// Rearranging strided low-qubit data costs memory-system efficiency:
+    /// partially-used cache lines and shared-memory staging that spills
+    /// round trips. On Nvidia, qsim's CUDA kernels hide nearly all of
+    /// this with register-level warp shuffles (`__shfl_sync`) inside one
+    /// 32-thread warp. The hipified port executes the same collectives on
+    /// a 64-lane wavefront holding only 32 active threads, so the
+    /// rearrangement goes through LDS with half-empty wavefronts and the
+    /// effective traffic per low qubit grows substantially — the
+    /// fine-tuning the paper's §7 says the HIP backend still lacks.
+    /// Values are calibration constants fitted to Figure 9's 5 %→44 %
+    /// A100↔MI250X gap progression (see EXPERIMENTS.md).
+    pub fn low_qubit_byte_overhead(&self) -> f64 {
+        match self {
+            Flavor::CpuAvx => 0.06,     // AVX permutes; caches absorb most of it
+            Flavor::Cuda => 0.05,       // warp-shuffle path
+            Flavor::CuStateVec => 0.03, // library-tuned kernels
+            Flavor::Hip => 2.0,         // LDS round trips on half-filled wavefronts
+        }
+    }
+
+    /// Whether gate matrices travel over the host↔device link before each
+    /// kernel (the `hipMemcpyAsync` activity of Figures 1 and 6). The CPU
+    /// backend reads them from host memory directly.
+    pub fn uploads_matrices(&self) -> bool {
+        !matches!(self, Flavor::CpuAvx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_specs() {
+        assert_eq!(Flavor::CpuAvx.label(), "cpu");
+        assert_eq!(Flavor::Hip.label(), "hip");
+        assert_eq!(Flavor::Cuda.default_spec().name, "NVIDIA A100");
+        assert!(Flavor::CuStateVec.default_spec().name.contains("cuStateVec"));
+        assert_eq!(Flavor::Hip.default_spec().wavefront_width, 64);
+        assert_eq!(Flavor::all().len(), 4);
+    }
+
+    #[test]
+    fn custatevec_is_slightly_better_a100() {
+        let cuda = Flavor::Cuda.default_spec();
+        let cusv = Flavor::CuStateVec.default_spec();
+        assert!(cusv.mem_efficiency > cuda.mem_efficiency);
+        assert!(cusv.mem_efficiency < cuda.mem_efficiency * 1.10, "< 10 % advantage");
+        assert_eq!(cusv.mem_bw_gib_s, cuda.mem_bw_gib_s);
+    }
+
+    #[test]
+    fn block_sizes_match_the_paper() {
+        for f in [Flavor::Cuda, Flavor::CuStateVec, Flavor::Hip] {
+            assert_eq!(f.threads_per_block(KernelClass::High), 64);
+            assert_eq!(f.threads_per_block(KernelClass::Low), 32);
+        }
+        assert_eq!(Flavor::CpuAvx.threads_per_block(KernelClass::High), 128);
+    }
+
+    #[test]
+    fn hip_low_kernel_underfills_wavefront() {
+        let spec = Flavor::Hip.default_spec();
+        let tpb = Flavor::Hip.threads_per_block(KernelClass::Low);
+        assert_eq!(
+            gpu_model::perf::wave_utilization(tpb, spec.wavefront_width),
+            0.5,
+            "the paper's core architectural effect"
+        );
+        // ...while the CUDA flavor's L kernel fills its warp.
+        let spec = Flavor::Cuda.default_spec();
+        assert_eq!(gpu_model::perf::wave_utilization(32, spec.wavefront_width), 1.0);
+    }
+
+    #[test]
+    fn kernel_names() {
+        use KernelClass::*;
+        assert_eq!(Flavor::Hip.kernel_name(High), "ApplyGateH_Kernel");
+        assert_eq!(Flavor::Hip.kernel_name(Low), "ApplyGateL_Kernel");
+        assert!(Flavor::CuStateVec.kernel_name(Low).contains("custatevec"));
+        assert_eq!(Flavor::CpuAvx.kernel_name(High), "ApplyGate_AVX_OMP");
+    }
+
+    #[test]
+    fn matrix_upload_policy() {
+        assert!(!Flavor::CpuAvx.uploads_matrices());
+        assert!(Flavor::Hip.uploads_matrices());
+        assert!(Flavor::Cuda.uploads_matrices());
+    }
+}

@@ -1,0 +1,31 @@
+//! # qsim-backends
+//!
+//! Simulator backends over the fused-circuit IR, mirroring the paper's
+//! four execution configurations:
+//!
+//! | Flavor | Models | Paper role |
+//! |---|---|---|
+//! | [`Flavor::CpuAvx`] | AMD EPYC 7A53 "Trento", 128 OpenMP threads | the CPU baseline of Figure 7 |
+//! | [`Flavor::Cuda`] | qsim's CUDA backend on an Nvidia A100 | Figure 9 |
+//! | [`Flavor::CuStateVec`] | the cuQuantum `cuStateVec` backend on the A100 | Figure 9 |
+//! | [`Flavor::Hip`] | the hipified backend on one MI250X GCD | Figures 1, 6, 7, 8, 9 |
+//!
+//! Every backend computes **bit-identical amplitudes** (the same
+//! functional kernels run on host threads — the Rust analogue of the
+//! hipified code being a line-for-line port of the CUDA code), while the
+//! simulated device timeline yields per-backend *modeled* execution times.
+//! The architectural difference the paper identifies survives the port:
+//! the HIP flavor launches `ApplyGateL_Kernel` with 32-thread blocks on a
+//! 64-lane wavefront device.
+
+pub mod flavor;
+pub mod plan;
+pub mod report;
+pub mod sim_backend;
+pub mod trajectories;
+pub mod variational;
+
+pub use flavor::Flavor;
+pub use report::{KernelStat, RunOptions, RunReport};
+pub use sim_backend::{Backend, BackendError, SimBackend};
+pub use trajectories::{NoiseSpec, TrajectoryRunner};

@@ -1,0 +1,192 @@
+//! Variational tooling: exact expectation evaluation of parameterized
+//! circuits and **parameter-shift** gradients — the training loop
+//! machinery of VQE and PQC-based quantum machine learning (paper §1).
+//!
+//! For a gate generated as `U(θ) = e^{-iθG}` whose generator `G` has two
+//! eigenvalues a distance 1 apart (all of `Rx`, `Ry`, `Rz`, `CPhase`),
+//! the derivative of any expectation is exact at two shifted points:
+//!
+//! ```text
+//! ∂E/∂θ = [E(θ + π/2) − E(θ − π/2)] / 2
+//! ```
+//!
+//! — no finite-difference error, and evaluable on hardware, which is why
+//! variational algorithms use it.
+
+use qsim_core::kernels::apply_gate_par;
+use qsim_core::observables::PauliSum;
+use qsim_core::types::Float;
+use qsim_core::StateVector;
+use qsim_circuit::params::ParamCircuit;
+use qsim_circuit::Circuit;
+
+/// Simulate a (bound) circuit from `|0…0⟩` and return the final state.
+pub fn simulate_ideal<F: Float>(circuit: &Circuit) -> StateVector<F> {
+    let mut state = StateVector::new(circuit.num_qubits);
+    for op in &circuit.ops {
+        assert!(!op.is_measurement(), "variational circuits must be measurement-free");
+        let (qs, m) = op.sorted_matrix::<F>().expect("unitary");
+        apply_gate_par(&mut state, &qs, &m);
+    }
+    state
+}
+
+/// `⟨H⟩` of the parameterized circuit at the given parameter values.
+pub fn expectation<F: Float>(pc: &ParamCircuit, values: &[f64], observable: &PauliSum) -> f64 {
+    observable.expectation(&simulate_ideal::<F>(&pc.bind(values)))
+}
+
+/// Expectation and its full gradient via the parameter-shift rule:
+/// two circuit evaluations per *parameter* (shared symbols are handled by
+/// the product rule — one pair of evaluations per dependent gate).
+pub fn expectation_and_gradient<F: Float>(
+    pc: &ParamCircuit,
+    values: &[f64],
+    observable: &PauliSum,
+) -> (f64, Vec<f64>) {
+    let value = expectation::<F>(pc, values, observable);
+    let mut grad = vec![0.0; values.len()];
+    let mut shifted = values.to_vec();
+    for (i, g) in grad.iter_mut().enumerate() {
+        // Product rule over every gate that uses symbol i: shift that
+        // single occurrence. Shifting the shared symbol wholesale is
+        // only correct when it appears once, so materialize per-op
+        // shifts by giving each occurrence a temporary private value.
+        let occurrences = pc.ops_for_symbol(i);
+        if occurrences.is_empty() {
+            continue;
+        }
+        if occurrences.len() == 1 {
+            shifted[i] = values[i] + std::f64::consts::FRAC_PI_2;
+            let plus = expectation::<F>(pc, &shifted, observable);
+            shifted[i] = values[i] - std::f64::consts::FRAC_PI_2;
+            let minus = expectation::<F>(pc, &shifted, observable);
+            shifted[i] = values[i];
+            *g = (plus - minus) / 2.0;
+        } else {
+            // Shared symbol: shift one occurrence at a time by rebuilding
+            // a circuit with that op's angle replaced.
+            let mut total = 0.0;
+            for &op_idx in &occurrences {
+                for (sign, acc) in [(1.0f64, true), (-1.0, false)] {
+                    let mut bound = pc.bind(values);
+                    let op = &mut bound.ops[op_idx];
+                    op.kind = shift_kind(op.kind, sign * std::f64::consts::FRAC_PI_2);
+                    let e = observable.expectation(&simulate_ideal::<F>(&bound));
+                    total += if acc { e } else { -e };
+                }
+            }
+            *g = total / 2.0;
+        }
+    }
+    (value, grad)
+}
+
+/// Shift the angle of a rotation-family gate kind.
+fn shift_kind(kind: qsim_circuit::GateKind, delta: f64) -> qsim_circuit::GateKind {
+    use qsim_circuit::GateKind::*;
+    match kind {
+        Rx(t) => Rx(t + delta),
+        Ry(t) => Ry(t + delta),
+        Rz(t) => Rz(t + delta),
+        CPhase(t) => CPhase(t + delta),
+        other => panic!("parameter-shift unsupported for {}", other.name()),
+    }
+}
+
+/// Plain gradient-descent step helper for examples/tests.
+pub fn gradient_descent_step(values: &mut [f64], grad: &[f64], learning_rate: f64) {
+    for (v, g) in values.iter_mut().zip(grad) {
+        *v -= learning_rate * g;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_core::observables::{Pauli, PauliString};
+    use qsim_circuit::params::{PGate, Param};
+    use qsim_circuit::GateKind;
+
+    fn z0() -> PauliSum {
+        let mut s = PauliSum::new();
+        s.add(1.0, PauliString::single(0, Pauli::Z));
+        s
+    }
+
+    #[test]
+    fn single_rotation_has_analytic_gradient() {
+        // ⟨Z⟩ of Ry(θ)|0⟩ = cos θ; gradient = -sin θ.
+        let mut pc = ParamCircuit::new(1);
+        let theta = pc.new_param();
+        pc.push(PGate::Ry(theta), &[0]);
+        for t in [-2.0f64, -0.7, 0.0, 0.4, 1.3] {
+            let (e, g) = expectation_and_gradient::<f64>(&pc, &[t], &z0());
+            assert!((e - t.cos()).abs() < 1e-12, "E({t})");
+            assert!((g[0] + t.sin()).abs() < 1e-12, "dE({t})");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut pc = ParamCircuit::new(3);
+        let a = pc.new_param();
+        let b = pc.new_param();
+        let c = pc.new_param();
+        pc.push(PGate::Ry(a), &[0]);
+        pc.push(PGate::Fixed(GateKind::Cnot), &[0, 1]);
+        pc.push(PGate::Rx(b), &[1]);
+        pc.push(PGate::Fixed(GateKind::Cz), &[1, 2]);
+        pc.push(PGate::Rz(c), &[2]);
+        pc.push(PGate::CPhase(Param::Symbol(0)), &[0, 2]); // reuse symbol a
+
+        let mut obs = PauliSum::new();
+        obs.add(0.8, PauliString::single(0, Pauli::Z));
+        obs.add(-0.5, PauliString::two(1, Pauli::X, 2, Pauli::Y));
+
+        let values = [0.37, -0.9, 1.7];
+        let (_, grad) = expectation_and_gradient::<f64>(&pc, &values, &obs);
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut up = values;
+            up[i] += eps;
+            let mut down = values;
+            down[i] -= eps;
+            let fd = (expectation::<f64>(&pc, &up, &obs)
+                - expectation::<f64>(&pc, &down, &obs))
+                / (2.0 * eps);
+            assert!(
+                (grad[i] - fd).abs() < 1e-6,
+                "param {i}: shift {} vs fd {fd}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_descent_minimizes_energy() {
+        // Minimize ⟨Z⟩ of Ry(θ)|0⟩: optimum θ = π, E = -1.
+        let mut pc = ParamCircuit::new(1);
+        let theta = pc.new_param();
+        pc.push(PGate::Ry(theta), &[0]);
+        let obs = z0();
+        let mut values = vec![0.5f64];
+        for _ in 0..200 {
+            let (_, grad) = expectation_and_gradient::<f64>(&pc, &values, &obs);
+            gradient_descent_step(&mut values, &grad, 0.2);
+        }
+        let (e, _) = expectation_and_gradient::<f64>(&pc, &values, &obs);
+        assert!(e < -0.999, "converged energy {e}");
+    }
+
+    #[test]
+    fn unused_symbol_has_zero_gradient() {
+        let mut pc = ParamCircuit::new(1);
+        let _unused = pc.new_param();
+        let used = pc.new_param();
+        pc.push(PGate::Ry(used), &[0]);
+        let (_, grad) = expectation_and_gradient::<f64>(&pc, &[9.9, 0.3], &z0());
+        assert_eq!(grad[0], 0.0);
+        assert!(grad[1].abs() > 0.01);
+    }
+}

@@ -1,0 +1,34 @@
+//! Benchmarks of the gate-fusion transpiler on the paper's 30-qubit RQC —
+//! the cost the paper reports at < 2 % of total execution time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qsim_circuit::{generate_rqc, RqcOptions};
+use qsim_fusion::fuse;
+
+fn bench_fusion(c: &mut Criterion) {
+    let circuit = generate_rqc(&RqcOptions::paper_q30());
+    let mut group = c.benchmark_group("fuse_rqc30");
+    group.sample_size(30);
+    for f in [1usize, 2, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, &f| {
+            b.iter(|| fuse(&circuit, f));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fusion_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuse_scaling");
+    group.sample_size(30);
+    for qubits in [12usize, 20, 30] {
+        let circuit = generate_rqc(&RqcOptions::for_qubits(qubits, 14, 1));
+        group.bench_with_input(BenchmarkId::from_parameter(qubits), &circuit, |b, c| {
+            b.iter(|| fuse(c, 4));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion, bench_fusion_scaling);
+criterion_main!(benches);

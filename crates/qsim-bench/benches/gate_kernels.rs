@@ -1,0 +1,70 @@
+//! Microbenchmarks of the gate-application kernels: the host-side
+//! performance of this library itself (sequential vs rayon-parallel,
+//! high vs low qubits, fused gate sizes) — the functional substrate under
+//! every modeled backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use qsim_core::kernels::{apply_gate_par, apply_gate_seq};
+use qsim_core::matrix::GateMatrix;
+use qsim_core::StateVector;
+use qsim_circuit::gates::GateKind;
+
+const N: usize = 20; // 1M amplitudes, 8 MB in f32
+
+fn fused_matrix(k: usize) -> GateMatrix<f32> {
+    // Compose a k-qubit unitary by tensoring Hadamards.
+    let h: GateMatrix<f64> = GateKind::H.matrix().expect("unitary");
+    let mut m = h.clone();
+    for _ in 1..k {
+        m = m.tensor_high(&h);
+    }
+    m.cast()
+}
+
+fn bench_gate_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apply_gate");
+    group.sample_size(20);
+    let bytes = (1u64 << N) * 8 * 2; // read + write each amplitude
+    group.throughput(Throughput::Bytes(bytes));
+
+    for (label, qubits) in [
+        ("1q_high", vec![12usize]),
+        ("1q_low", vec![0usize]),
+        ("2q", vec![3usize, 11]),
+        ("4q_fused", vec![2usize, 7, 12, 17]),
+        ("6q_fused", vec![1usize, 4, 8, 11, 14, 18]),
+    ] {
+        let m = fused_matrix(qubits.len());
+        group.bench_with_input(BenchmarkId::new("seq", label), &qubits, |b, qs| {
+            let mut sv = StateVector::<f32>::new(N);
+            b.iter(|| apply_gate_seq(&mut sv, qs, &m));
+        });
+        group.bench_with_input(BenchmarkId::new("par", label), &qubits, |b, qs| {
+            let mut sv = StateVector::<f32>::new(N);
+            b.iter(|| apply_gate_par(&mut sv, qs, &m));
+        });
+    }
+    group.finish();
+}
+
+fn bench_precision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("precision");
+    group.sample_size(20);
+    let qs = [2usize, 7, 12, 17];
+
+    let m32: GateMatrix<f32> = fused_matrix(4);
+    group.bench_function("4q_f32", |b| {
+        let mut sv = StateVector::<f32>::new(N);
+        b.iter(|| apply_gate_par(&mut sv, &qs, &m32));
+    });
+    let m64: GateMatrix<f64> = m32.cast();
+    group.bench_function("4q_f64", |b| {
+        let mut sv = StateVector::<f64>::new(N);
+        b.iter(|| apply_gate_par(&mut sv, &qs, &m64));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gate_kernels, bench_precision);
+criterion_main!(benches);

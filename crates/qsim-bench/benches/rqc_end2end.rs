@@ -1,0 +1,46 @@
+//! End-to-end RQC benchmarks: functional simulation at a laptop-scale
+//! qubit count on every backend flavor (same amplitudes, different
+//! modeled devices), and the device-model dry-run at the paper's 30-qubit
+//! scale (pure model evaluation speed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qsim_backends::{Flavor, RunOptions, SimBackend};
+use qsim_circuit::{generate_rqc, RqcOptions};
+use qsim_core::types::Precision;
+use qsim_fusion::fuse;
+
+fn bench_functional(c: &mut Criterion) {
+    let circuit = generate_rqc(&RqcOptions::for_qubits(14, 14, 1));
+    let fused = fuse(&circuit, 4);
+    let mut group = c.benchmark_group("rqc14_functional");
+    group.sample_size(15);
+    for flavor in Flavor::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(flavor.label()),
+            &flavor,
+            |b, &flavor| {
+                let backend = SimBackend::new(flavor);
+                b.iter(|| backend.run::<f32>(&fused, &RunOptions::default()).expect("run"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let circuit = generate_rqc(&RqcOptions::paper_q30());
+    let mut group = c.benchmark_group("rqc30_model_dry_run");
+    group.sample_size(30);
+    for f in [2usize, 4] {
+        let fused = fuse(&circuit, f);
+        group.bench_with_input(BenchmarkId::new("hip", f), &fused, |b, fc| {
+            let backend = SimBackend::new(Flavor::Hip);
+            b.iter(|| backend.estimate(fc, Precision::Single).expect("estimate"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_functional, bench_estimate);
+criterion_main!(benches);

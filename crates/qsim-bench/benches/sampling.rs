@@ -1,0 +1,53 @@
+//! Benchmarks of the state-space operations (qsim's `StateSpace` port):
+//! norm reductions, inner products, and RQC bitstring sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qsim_core::statespace::{inner_product, norm_sqr, sample};
+use qsim_core::StateVector;
+use qsim_circuit::{generate_rqc, RqcOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 18;
+
+fn rqc_state() -> StateVector<f32> {
+    let circuit = generate_rqc(&RqcOptions::for_qubits(N, 10, 3));
+    qsim_rs_build_state(&circuit)
+}
+
+fn qsim_rs_build_state(circuit: &qsim_circuit::Circuit) -> StateVector<f32> {
+    use qsim_core::kernels::apply_gate_par;
+    let mut state = StateVector::new(circuit.num_qubits);
+    for op in &circuit.ops {
+        let (qs, m) = op.sorted_matrix::<f32>().expect("unitary");
+        apply_gate_par(&mut state, &qs, &m);
+    }
+    state
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let state = rqc_state();
+    let mut group = c.benchmark_group("statespace");
+    group.sample_size(30);
+    group.bench_function("norm_sqr", |b| b.iter(|| norm_sqr(&state)));
+    let other = state.clone();
+    group.bench_function("inner_product", |b| b.iter(|| inner_product(&state, &other)));
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let state = rqc_state();
+    let mut group = c.benchmark_group("sample");
+    group.sample_size(20);
+    for m in [1_000usize, 100_000, 1_000_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| sample(&state, m, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reductions, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Benchmarks of the alternative simulators built around the state-vector
+//! core: the hybrid (qsimh-style) path-sum simulator, the density-matrix
+//! simulator, the quantum-trajectory runner, and the multi-GCD
+//! distributed backend — quantifying each technique's cost trade.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qsim_backends::{Flavor, NoiseSpec, RunOptions, TrajectoryRunner};
+use qsim_circuit::{generate_rqc, library, RqcOptions};
+use qsim_core::density::DensityMatrix;
+use qsim_core::noise::depolarizing;
+use qsim_distributed::MultiGcdBackend;
+use qsim_fusion::fuse;
+use qsim_hybrid::HybridSimulator;
+
+fn bench_hybrid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hybrid_paths");
+    group.sample_size(10);
+    // Path count grows with depth (more crossing gates).
+    for cycles in [2usize, 3, 4] {
+        let circuit = generate_rqc(&RqcOptions::for_qubits(12, cycles, 3));
+        let hybrid = HybridSimulator::new(6);
+        let paths = hybrid.num_paths(&circuit).expect("cut ok");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("cycles{cycles}_paths{paths}")),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| hybrid.amplitudes(circuit, &[0, 1, 2, 3]).expect("hybrid"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_matrix");
+    group.sample_size(10);
+    for n in [6usize, 8, 10] {
+        let circuit = library::random_dense(n, 20, 1);
+        group.bench_with_input(BenchmarkId::new("unitary_circuit", n), &circuit, |b, c| {
+            b.iter(|| {
+                let mut rho = DensityMatrix::<f32>::new(c.num_qubits);
+                for op in &c.ops {
+                    let (qs, m) = op.sorted_matrix::<f32>().expect("unitary");
+                    rho.apply_unitary(&qs, &m);
+                }
+                rho.trace()
+            });
+        });
+    }
+    let channel = depolarizing::<f32>(3, 0.1);
+    group.bench_function("kraus_channel_n10", |b| {
+        let mut rho = DensityMatrix::<f32>::new(10);
+        b.iter(|| rho.apply_channel(&channel));
+    });
+    group.finish();
+}
+
+fn bench_trajectories(c: &mut Criterion) {
+    let circuit = generate_rqc(&RqcOptions::for_qubits(10, 6, 2));
+    let mut group = c.benchmark_group("trajectories");
+    group.sample_size(10);
+    for noise in [0.0f64, 0.01] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p{noise}")),
+            &noise,
+            |b, &p| {
+                let runner = TrajectoryRunner::new(NoiseSpec::depolarizing(p));
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    runner.run_state::<f32>(&circuit, seed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let circuit = generate_rqc(&RqcOptions::for_qubits(14, 8, 4));
+    let fused = fuse(&circuit, 4);
+    let mut group = c.benchmark_group("multi_gcd_functional");
+    group.sample_size(10);
+    for devices in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(devices), &devices, |b, &d| {
+            let backend = MultiGcdBackend::new(Flavor::Hip, d);
+            b.iter(|| backend.run::<f32>(&fused, &RunOptions::default()).expect("run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hybrid, bench_density, bench_trajectories, bench_distributed);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Model ablations beyond the paper's figures — the design-choice
+//! sensitivity studies DESIGN.md calls out:
+//!
+//! 1. **ApplyGateL redesign** — the paper notes that using 64-thread
+//!    blocks in `ApplyGateL_Kernel` "necessitates a significant
+//!    algorithmic overhaul" (§4). This ablation asks: if that overhaul
+//!    eliminated the low-qubit rearrangement overhead (bringing it to the
+//!    CUDA warp-shuffle level), where would the MI250X land?
+//! 2. **Launch latency** — how sensitive the fusion sweep is to per-launch
+//!    overhead (fusion exists partly to amortize it).
+//! 3. **Wavefront-underfill sensitivity** — the residual bandwidth cost of
+//!    half-filled wavefronts.
+//! 4. **Qubit scaling & memory walls** — modeled time vs qubit count at
+//!    f=4, including where each device runs out of memory (the paper's
+//!    §1 point that state-vector simulation is memory-limited).
+
+use qsim_backends::{BackendError, Flavor, SimBackend};
+use qsim_bench::*;
+use qsim_circuit::{generate_rqc, RqcOptions};
+use qsim_core::types::Precision;
+use qsim_fusion::fuse;
+
+fn main() {
+    let circuit = paper_circuit();
+    let sweep = fused_sweep(&circuit);
+
+    // ---------------- ablation 1: L-kernel redesign ----------------
+    println!("ablation 1: redesigned ApplyGateL_Kernel on the MI250X");
+    println!("(low-qubit overhead reduced to the CUDA warp-shuffle level)\n");
+    let cuda: Vec<f64> =
+        sweep.iter().map(|fc| modeled_seconds(Flavor::Cuda, fc, Precision::Single)).collect();
+    let hip: Vec<f64> =
+        sweep.iter().map(|fc| modeled_seconds(Flavor::Hip, fc, Precision::Single)).collect();
+    let hip_fixed: Vec<f64> = sweep
+        .iter()
+        .map(|fc| {
+            let mut b = SimBackend::new(Flavor::Hip);
+            b.set_low_qubit_byte_overhead(Some(Flavor::Cuda.low_qubit_byte_overhead()));
+            b.estimate(fc, Precision::Single).expect("estimate").simulated_seconds
+        })
+        .collect();
+    let series = vec![
+        Series::new("A100, CUDA", cuda.clone()),
+        Series::new("MI250X, HIP (as ported)", hip.clone()),
+        Series::new("MI250X, HIP (L redesigned)", hip_fixed.clone()),
+    ];
+    print!("{}", render_table("execution time", "s", &series));
+    println!(
+        "\nat f=4 the redesign recovers {:.0} % of the gap; with its higher peak bandwidth\n\
+         the MI250X would then {} the A100 ({:.3} s vs {:.3} s).\n",
+        100.0 * (hip[3] - hip_fixed[3]) / (hip[3] - cuda[3]),
+        if hip_fixed[3] < cuda[3] { "overtake" } else { "still trail" },
+        hip_fixed[3],
+        cuda[3]
+    );
+    let _ = write_csv("ablation_l_redesign.csv", &series);
+
+    // ---------------- ablation 2: launch latency ----------------
+    println!("ablation 2: HIP launch-latency sensitivity (f sweep per latency)\n");
+    let mut lat_series = Vec::new();
+    for lat in [0.0, 7.0, 20.0, 50.0] {
+        let vals: Vec<f64> = sweep
+            .iter()
+            .map(|fc| {
+                let mut spec = Flavor::Hip.default_spec();
+                spec.launch_latency_us = lat;
+                SimBackend::with_spec(Flavor::Hip, spec)
+                    .estimate(fc, Precision::Single)
+                    .expect("estimate")
+                    .simulated_seconds
+            })
+            .collect();
+        lat_series.push(Series::new(format!("launch latency {lat:>4.0} us"), vals));
+    }
+    print!("{}", render_table("execution time", "s", &lat_series));
+    println!(
+        "\nlaunch overhead is negligible at n=30 (ms-scale kernels); fusion's win is\n\
+         bandwidth, not launch amortization, at this size.\n"
+    );
+    let _ = write_csv("ablation_launch_latency.csv", &lat_series);
+
+    // ---------------- ablation 3: wavefront sensitivity ----------------
+    println!("ablation 3: wavefront-underfill bandwidth sensitivity (HIP)\n");
+    let mut sens_series = Vec::new();
+    for s in [0.0, 0.1, 0.3, 0.6, 1.0] {
+        let vals: Vec<f64> = sweep
+            .iter()
+            .map(|fc| {
+                let mut spec = Flavor::Hip.default_spec();
+                spec.wave_mem_sensitivity = s;
+                SimBackend::with_spec(Flavor::Hip, spec)
+                    .estimate(fc, Precision::Single)
+                    .expect("estimate")
+                    .simulated_seconds
+            })
+            .collect();
+        sens_series.push(Series::new(format!("wave_mem_sensitivity {s:.1}"), vals));
+    }
+    print!("{}", render_table("execution time", "s", &sens_series));
+    let _ = write_csv("ablation_wave_sensitivity.csv", &sens_series);
+
+    // ---------------- ablation 4: qubit scaling / memory wall ----------------
+    println!("\nablation 4: modeled time vs qubit count (f=4, single precision)\n");
+    println!(
+        "{:<8} {:>14} {:>15} {:>15} {:>12}",
+        "qubits", "cpu (s)", "a100 cuda (s)", "mi250x hip (s)", "state"
+    );
+    for n in [26usize, 28, 30, 31, 32, 33, 34, 35, 36] {
+        let c = generate_rqc(&RqcOptions::for_qubits(n, 14, 2023));
+        let fc = fuse(&c, 4);
+        let fmt = |flavor: Flavor| match SimBackend::new(flavor).estimate(&fc, Precision::Single) {
+            Ok(r) => format!("{:.3}", r.simulated_seconds),
+            Err(BackendError::Gpu(gpu_model::GpuError::OutOfMemory { .. })) => "OOM".to_string(),
+            Err(e) => format!("error: {e}"),
+        };
+        let gib = ((1u64 << n) * 8) >> 30;
+        println!(
+            "{n:<8} {:>14} {:>15} {:>15} {:>9} GiB",
+            fmt(Flavor::CpuAvx),
+            fmt(Flavor::Cuda),
+            fmt(Flavor::Hip),
+            gib
+        );
+    }
+    println!(
+        "\nthe 40 GB A100 hits its memory wall at 33 qubits single precision; the 128 GB\n\
+         MI250X GCD at 35; the 512 GB CPU fits 36 exactly — the paper's \"35-36 qubits\n\
+         on Terabyte-size systems\" limit (§1), reproduced by the capacity model."
+    );
+}

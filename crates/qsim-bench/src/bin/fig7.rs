@@ -1,0 +1,122 @@
+//! Regenerate **Figure 7**: execution time of the qsim state-vector
+//! simulator on the AMD Trento CPU and the AMD MI250X GPU (HIP backend),
+//! varying the maximum number of fused gates, for the 30-qubit RQC.
+//!
+//! Paper findings this harness checks:
+//! * fusion of 4 gates is optimal on both CPU and GPU;
+//! * the GPU outperforms the CPU by 7–9×;
+//! * the gate-fusion step costs < 2 % of the total execution time.
+//!
+//! Optionally cross-validates the device model against a *functional*
+//! run at a reduced qubit count (`--validate N`): the functional backend
+//! executes the same launch sequence and computes real amplitudes.
+
+use qsim_backends::{Flavor, RunOptions, SimBackend};
+use qsim_bench::*;
+use qsim_circuit::{generate_rqc, RqcOptions};
+use qsim_core::types::Precision;
+use qsim_fusion::fuse;
+
+fn main() {
+    let validate: Option<usize> = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match args.as_slice() {
+            [] => None,
+            [flag, n] if flag == "--validate" => Some(n.parse().expect("--validate N")),
+            _ => {
+                eprintln!("usage: fig7 [--validate N]");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let circuit = paper_circuit();
+    let (one, two, _) = circuit.gate_counts();
+    println!(
+        "Figure 7: RQC n=30 ({} single-qubit + {} two-qubit gates), single precision\n",
+        one, two
+    );
+
+    let sweep = fused_sweep(&circuit);
+    let cpu: Vec<f64> =
+        sweep.iter().map(|fc| modeled_seconds(Flavor::CpuAvx, fc, Precision::Single)).collect();
+    let hip: Vec<f64> =
+        sweep.iter().map(|fc| modeled_seconds(Flavor::Hip, fc, Precision::Single)).collect();
+    let speedup: Vec<f64> = cpu.iter().zip(&hip).map(|(c, h)| c / h).collect();
+
+    let series = vec![
+        Series::new("AMD Trento CPU (128 threads)", cpu),
+        Series::new("AMD MI250X GPU (HIP)", hip),
+        Series::new("speedup CPU/GPU", speedup.clone()),
+    ];
+    print!("{}", render_table("execution time vs max fused gates", "s", &series[..2]));
+    print!("{}", render_table("\nderived", "x", &series[2..]));
+
+    let fusion_frac = {
+        let r = modeled_report(Flavor::Hip, &sweep[3], Precision::Single);
+        r.fusion_fraction()
+    };
+    let cpu_opt = series[0].optimal_fusion();
+    let hip_opt = series[1].optimal_fusion();
+    let min_speedup = speedup.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max_speedup = speedup.iter().cloned().fold(0.0, f64::max);
+
+    let claims = vec![
+        Claim {
+            description: "fusion of 4 gates optimal on the CPU".into(),
+            paper: "f=4".into(),
+            model: format!("f={cpu_opt}"),
+            holds: cpu_opt == 4,
+        },
+        Claim {
+            description: "fusion of 4 gates optimal on the MI250X (HIP)".into(),
+            paper: "f=4".into(),
+            model: format!("f={hip_opt}"),
+            holds: hip_opt == 4,
+        },
+        Claim {
+            description: "GPU is 7-9x faster than the CPU".into(),
+            paper: "7-9x".into(),
+            model: format!("{min_speedup:.1}-{max_speedup:.1}x"),
+            holds: min_speedup >= 6.0 && max_speedup <= 10.5,
+        },
+        Claim {
+            description: "gate fusion costs < 2 % of the total (f=4, HIP)".into(),
+            paper: "< 2 %".into(),
+            model: format!("{:.2} %", 100.0 * fusion_frac),
+            holds: fusion_frac < 0.02,
+        },
+    ];
+    print!("{}", render_claims(&claims));
+
+    match write_csv("fig7.csv", &series) {
+        Ok(path) => println!("\nCSV written to {path}"),
+        Err(e) => eprintln!("warning: could not write CSV: {e}"),
+    }
+
+    if let Some(n) = validate {
+        println!("\nfunctional cross-validation at n={n} (states computed for real):");
+        let small = generate_rqc(&RqcOptions::for_qubits(n, 14, 2023));
+        let fused = fuse(&small, 4);
+        let (ref_state, _) = SimBackend::new(Flavor::CpuAvx)
+            .run::<f64>(&fused, &RunOptions::default())
+            .expect("cpu run");
+        let (hip_state, hip_report) = SimBackend::new(Flavor::Hip)
+            .run::<f64>(&fused, &RunOptions::default())
+            .expect("hip run");
+        let diff = ref_state.max_abs_diff(&hip_state);
+        println!("  max |amp(cpu) - amp(hip)| = {diff:.3e} (expected ~1e-13)");
+        println!(
+            "  hip functional wall {:.3} s; modeled-at-n={n} {:.3} s",
+            hip_report.wall_seconds, hip_report.simulated_seconds
+        );
+        assert!(diff < 1e-10, "backends diverged");
+    }
+
+    if claims.iter().all(|c| c.holds) {
+        println!("\nall Figure 7 claims reproduced.");
+    } else {
+        println!("\nsome claims missed — see EXPERIMENTS.md for discussion.");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,96 @@
+//! Multi-GCD scaling study — the paper's future work (§7: multi-GPU
+//! porting of the HIP backend to reach larger qubit counts), modeled.
+//!
+//! Two questions:
+//! 1. **Strong scaling**: does sharding the paper's 30-qubit RQC over
+//!    2/4/8 GCDs pay off despite the interconnect traffic of
+//!    global-qubit swaps?
+//! 2. **Capacity scaling**: which qubit counts become *feasible* as GCDs
+//!    are added (each GCD contributes 128 GB)?
+
+use qsim_backends::{BackendError, Flavor};
+use qsim_bench::{paper_circuit, write_csv, Series, FUSION_SWEEP};
+use qsim_circuit::{generate_rqc, RqcOptions};
+use qsim_core::types::Precision;
+use qsim_distributed::interconnect::Topology;
+use qsim_distributed::MultiGcdBackend;
+use qsim_fusion::fuse;
+
+fn main() {
+    // ---- strong scaling on the paper workload --------------------------
+    println!("multi-GCD strong scaling: RQC n=30, HIP flavor, single precision\n");
+    let circuit = paper_circuit();
+    let mut series = Vec::new();
+    for devices in [1usize, 2, 4, 8] {
+        let vals: Vec<f64> = FUSION_SWEEP
+            .iter()
+            .map(|&f| {
+                let fused = fuse(&circuit, f);
+                MultiGcdBackend::new(Flavor::Hip, devices)
+                    .estimate(&fused, Precision::Single)
+                    .expect("estimate")
+                    .simulated_seconds
+            })
+            .collect();
+        series.push(Series::new(format!("{devices} GCD(s)"), vals));
+    }
+    // A Frontier-node topology row: bit-0 pairs share a package, higher
+    // bits cross the node fabric.
+    let vals: Vec<f64> = FUSION_SWEEP
+        .iter()
+        .map(|&f| {
+            let fused = fuse(&circuit, f);
+            MultiGcdBackend::with_topology(Flavor::Hip, 4, Topology::frontier_node())
+                .estimate(&fused, Precision::Single)
+                .expect("estimate")
+                .simulated_seconds
+        })
+        .collect();
+    series.push(Series::new("4 GCDs (Frontier 2-level fabric)", vals));
+    print!("{}", qsim_bench::render_table("execution time", "s", &series));
+    let f4 = 3;
+    println!("\nstrong-scaling efficiency at f=4:");
+    let t1 = series[0].values[f4];
+    for s in &series {
+        let d: f64 = s.label.split_whitespace().next().unwrap().parse().unwrap();
+        let eff = t1 / (s.values[f4] * d);
+        println!("  {:<10} {:>8.3} s   parallel efficiency {:>5.1} %", s.label, s.values[f4], 100.0 * eff);
+    }
+    let swaps = {
+        let fused = fuse(&circuit, 4);
+        MultiGcdBackend::new(Flavor::Hip, 4)
+            .estimate(&fused, Precision::Single)
+            .expect("estimate")
+    };
+    println!(
+        "  at 4 GCDs: {} global-qubit swaps, {:.2} GiB exchanged per device",
+        swaps.swaps,
+        swaps.exchanged_bytes_per_device as f64 / (1u64 << 30) as f64
+    );
+    let _ = write_csv("multi_gcd_strong.csv", &series);
+
+    // ---- capacity scaling ----------------------------------------------
+    println!("\nmulti-GCD capacity: largest RQC feasible per device count (f=4, single)\n");
+    println!("{:<10} {:>8} {:>14} {:>14}", "GCDs", "qubits", "state (GiB)", "time (s)");
+    for devices in [1usize, 2, 4, 8, 16] {
+        // Scan upward until OOM.
+        let mut best: Option<(usize, f64)> = None;
+        for n in 30..=qsim_core::statevec::MAX_QUBITS {
+            let c = generate_rqc(&RqcOptions::for_qubits(n, 14, 2023));
+            let fused = fuse(&c, 4);
+            match MultiGcdBackend::new(Flavor::Hip, devices).estimate(&fused, Precision::Single)
+            {
+                Ok(r) => best = Some((n, r.simulated_seconds)),
+                Err(BackendError::Gpu(_)) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        let (n, t) = best.expect("at least n=30 fits");
+        let gib = ((1u64 << n) * 8) as f64 / (1u64 << 30) as f64;
+        println!("{devices:<10} {n:>8} {gib:>14.0} {t:>14.3}");
+    }
+    println!(
+        "\neach added GCD doubles the reachable state size; the swap network keeps the\n\
+         time growth near the ideal 2x-per-qubit slope (plus interconnect overhead)."
+    );
+}

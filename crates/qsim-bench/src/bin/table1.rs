@@ -1,0 +1,66 @@
+//! Regenerate **Table 1** (hardware and software setup): the paper's
+//! reported numbers next to this reproduction's modeled device specs.
+
+use gpu_model::specs::{DeviceSpec, SoftwareSetup};
+
+fn row(setup: &str, paper: &str, model: &str) {
+    println!("{setup:<40} {paper:<22} {model}");
+}
+
+fn main() {
+    let cpu = DeviceSpec::epyc_trento();
+    let mi = DeviceSpec::mi250x_gcd();
+    let a100 = DeviceSpec::a100();
+    let sw = SoftwareSetup::default();
+    let gib = |b: u64| format!("{} GB", b >> 30);
+
+    println!("Table 1: Hardware and software setup (paper vs model)\n");
+    row("Setup", "Paper", "Model");
+    row("-----", "-----", "-----");
+    row("CPU", "AMD 7A53 Trento", &cpu.name);
+    row("Cores", "64", &cpu.compute_units.to_string());
+    row("Clock frequency", "2.75 GHz (base)", "2.75 GHz (base)");
+    row("Memory", "512 GB DDR4", &gib(cpu.memory_bytes));
+    row("AMD GPU (# GCD)", "AMD MI250X (2)", "AMD MI250X (1 GCD modeled)");
+    row("Memory per GCD", "128 GB HBM2", &gib(mi.memory_bytes));
+    row(
+        "Theoretical peak memory BW per GCD",
+        "1638.4 GiB/s",
+        &format!("{} GiB/s", mi.mem_bw_gib_s),
+    );
+    row(
+        "Theoretical peak SP FLOPs per GCD",
+        "23.95 TFLOP/s",
+        &format!("{} TFLOP/s", mi.sp_tflops),
+    );
+    row("Nvidia GPU", "Nvidia A100", &a100.name);
+    row("Memory per GPU", "40 GB HBM2", &gib(a100.memory_bytes));
+    row(
+        "Theoretical peak memory BW per GPU",
+        "1448 GiB/s",
+        &format!("{} GiB/s", a100.mem_bw_gib_s),
+    );
+    row(
+        "Theoretical peak SP FLOPs per GPU",
+        "10.5 TFLOP/s",
+        &format!("{} TFLOP/s (datasheet FP32; see specs.rs)", a100.sp_tflops),
+    );
+    row("qsim", "0.16.3", sw.qsim_version);
+    row("Compiler", "GCC 8.5.0", sw.compiler);
+    row("ROCm", "5.3.3", sw.rocm);
+    row("CUDA Toolkit", "CUDA 11.5", sw.cuda_toolkit);
+    row("cuQuantum", "23.03.0", sw.cuquantum);
+
+    println!("\nmodel calibration constants (see gpu-model/src/specs.rs for rationale):");
+    for spec in [&cpu, &a100, &mi] {
+        println!(
+            "  {:<28} mem_eff {:.2}  flop_eff {:.2}  wave_sens {:.2}  launch {:>4.1} us  SIMT {:>2}",
+            spec.name,
+            spec.mem_efficiency,
+            spec.flop_efficiency,
+            spec.wave_mem_sensitivity,
+            spec.launch_latency_us,
+            spec.wavefront_width
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Regenerate **Figures 1 and 6**: a rocprof-style trace of the HIP
+//! backend running the RQC benchmark, exported as Perfetto/Chrome
+//! trace-event JSON (load at <https://ui.perfetto.dev>), plus the
+//! per-kernel statistics behind Figure 6's observation that
+//! `ApplyGateL_Kernel` takes more time than the simpler
+//! `ApplyGateH_Kernel`, with `hipMemcpyAsync` activity overlapping
+//! compute on a second stream.
+//!
+//! ```text
+//! trace_rqc [--functional N] [-o trace_fig1.json]
+//! ```
+//!
+//! By default the paper's n=30 circuit is traced through the device model
+//! (dry run — identical launch sequence, no 8 GiB amplitude array); with
+//! `--functional N` a real run at N qubits is traced instead.
+
+use std::sync::Arc;
+
+use qsim_backends::{Flavor, RunOptions, SimBackend};
+use qsim_bench::paper_circuit;
+use qsim_circuit::{generate_rqc, RqcOptions};
+use qsim_core::types::Precision;
+use qsim_fusion::fuse;
+use qsim_trace::{Profiler, TraceStats};
+
+fn main() {
+    let mut functional: Option<usize> = None;
+    let mut out = String::from("trace_fig1.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--functional" => {
+                functional =
+                    Some(it.next().expect("--functional N").parse().expect("--functional N"))
+            }
+            "-o" => out = it.next().expect("-o FILE").clone(),
+            other => {
+                eprintln!("unknown option {other}; usage: trace_rqc [--functional N] [-o FILE]");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let circuit = match functional {
+        Some(n) => generate_rqc(&RqcOptions::for_qubits(n, 14, 2023)),
+        None => paper_circuit(),
+    };
+    let fused = fuse(&circuit, 4);
+    println!(
+        "tracing HIP backend: RQC n={}, f=4, {} fused passes{}",
+        circuit.num_qubits,
+        fused.num_unitaries(),
+        if functional.is_some() { " (functional run)" } else { " (device-model dry run)" }
+    );
+
+    let profiler = Arc::new(Profiler::new());
+    let backend = SimBackend::with_trace(Flavor::Hip, profiler.clone());
+    let report = match functional {
+        Some(_) => {
+            backend.run::<f32>(&fused, &RunOptions::default()).expect("functional run").1
+        }
+        None => backend.estimate(&fused, Precision::Single).expect("estimate"),
+    };
+
+    let spans = profiler.spans();
+    let stats = TraceStats::from_spans(&spans);
+    println!("\nper-kernel statistics (Figure 6 view):");
+    print!("{}", stats.table());
+
+    let l = stats.get("ApplyGateL_Kernel");
+    let h = stats.get("ApplyGateH_Kernel");
+    if let (Some(l), Some(h)) = (l, h) {
+        println!(
+            "ApplyGateL mean {:.1} us vs ApplyGateH mean {:.1} us -> L/H = {:.2}x {}",
+            l.mean_us,
+            h.mean_us,
+            l.mean_us / h.mean_us,
+            if l.mean_us > h.mean_us {
+                "(matches Figure 6: the L kernel takes more time)"
+            } else {
+                "(MISMATCH with Figure 6)"
+            }
+        );
+    }
+    let copies = spans
+        .iter()
+        .filter(|s| s.kind != gpu_model::SpanKind::Kernel)
+        .count();
+    println!(
+        "async copies in trace: {copies} (hipMemcpyAsync overlap on the copy stream, Figure 1)"
+    );
+    println!("total simulated time: {:.4} s", report.simulated_seconds);
+
+    let json = qsim_trace::perfetto::to_json(&spans);
+    std::fs::write(&out, json).expect("write trace");
+    println!("\nPerfetto trace written to {out} — open https://ui.perfetto.dev and load it.");
+}

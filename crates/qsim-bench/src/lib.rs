@@ -1,0 +1,169 @@
+//! # qsim-bench
+//!
+//! Shared plumbing for the paper-reproduction harnesses. Each binary in
+//! `src/bin/` regenerates one table or figure of the paper:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — hardware and software setup |
+//! | `fig7` | Figure 7 — CPU vs MI250X GPU time vs max fused gates |
+//! | `fig8` | Figure 8 — single vs double precision on the HIP backend |
+//! | `fig9` | Figure 9 — CUDA / cuQuantum / HIP across A100 and MI250X |
+//! | `trace_rqc` | Figures 1 & 6 — rocprof/Perfetto trace of the HIP run |
+//! | `ablations` | model ablations beyond the paper (L-kernel redesign, launch latency, …) |
+//!
+//! Reported "execution times" for paper hardware are **modeled** times
+//! from the `gpu-model` device model (this reproduction has no physical
+//! A100/MI250X); each harness also prints the paper's reported
+//! value/band next to the model's and appends a CSV under `results/`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use qsim_backends::{Flavor, RunReport, SimBackend};
+use qsim_circuit::{generate_rqc, Circuit, RqcOptions};
+use qsim_core::types::Precision;
+use qsim_fusion::{fuse, FusedCircuit};
+
+/// The fusion sweep every figure uses.
+pub const FUSION_SWEEP: [usize; 6] = [1, 2, 3, 4, 5, 6];
+
+/// The paper's benchmark circuit: 30-qubit RQC, 14 cycles.
+pub fn paper_circuit() -> Circuit {
+    generate_rqc(&RqcOptions::paper_q30())
+}
+
+/// Fuse the paper circuit over the standard sweep.
+pub fn fused_sweep(circuit: &Circuit) -> Vec<FusedCircuit> {
+    FUSION_SWEEP.iter().map(|&f| fuse(circuit, f)).collect()
+}
+
+/// Modeled execution time (seconds) of one fused circuit on a flavor's
+/// default device.
+pub fn modeled_seconds(flavor: Flavor, fused: &FusedCircuit, precision: Precision) -> f64 {
+    SimBackend::new(flavor)
+        .estimate(fused, precision)
+        .expect("estimate cannot fail for the paper workload")
+        .simulated_seconds
+}
+
+/// Full modeled report for one configuration.
+pub fn modeled_report(flavor: Flavor, fused: &FusedCircuit, precision: Precision) -> RunReport {
+    SimBackend::new(flavor).estimate(fused, precision).expect("estimate cannot fail")
+}
+
+/// One row of a result table: label plus a value per fusion setting.
+pub struct Series {
+    pub label: String,
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Series { label: label.into(), values }
+    }
+
+    /// Index of the minimum (the optimal fusion setting, as 1-based `f`).
+    pub fn optimal_fusion(&self) -> usize {
+        let (idx, _) = self
+            .values
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+            .expect("non-empty series");
+        FUSION_SWEEP[idx]
+    }
+}
+
+/// Render series as an aligned text table with a fusion-sweep header.
+pub fn render_table(title: &str, unit: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = write!(out, "{:<34}", format!("series ({unit})"));
+    for f in FUSION_SWEEP {
+        let _ = write!(out, "{:>10}", format!("f={f}"));
+    }
+    let _ = writeln!(out);
+    for s in series {
+        let _ = write!(out, "{:<34}", s.label);
+        for v in &s.values {
+            let _ = write!(out, "{v:>10.3}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Append series to a CSV file under `results/` (created if needed).
+pub fn write_csv(name: &str, series: &[Series]) -> std::io::Result<String> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let mut csv = String::from("series");
+    for f in FUSION_SWEEP {
+        let _ = write!(csv, ",f={f}");
+    }
+    csv.push('\n');
+    for s in series {
+        let _ = write!(csv, "{}", s.label);
+        for v in &s.values {
+            let _ = write!(csv, ",{v}");
+        }
+        csv.push('\n');
+    }
+    std::fs::write(&path, csv)?;
+    Ok(path.display().to_string())
+}
+
+/// A paper claim checked against the model; collected into the harness
+/// summary.
+pub struct Claim {
+    pub description: String,
+    pub paper: String,
+    pub model: String,
+    pub holds: bool,
+}
+
+/// Render claims as a check-list.
+pub fn render_claims(claims: &[Claim]) -> String {
+    let mut out = String::from("\npaper-vs-model checks:\n");
+    for c in claims {
+        let mark = if c.holds { "PASS" } else { "MISS" };
+        let _ = writeln!(
+            out,
+            "  [{mark}] {:<52} paper: {:<18} model: {}",
+            c.description, c.paper, c.model
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_optimal_fusion() {
+        let s = Series::new("x", vec![5.0, 3.0, 2.0, 1.5, 1.8, 2.2]);
+        assert_eq!(s.optimal_fusion(), 4);
+    }
+
+    #[test]
+    fn table_renders() {
+        let s = vec![Series::new("cpu", vec![1.0; 6])];
+        let t = render_table("T", "s", &s);
+        assert!(t.contains("f=4"));
+        assert!(t.contains("cpu"));
+    }
+
+    #[test]
+    fn claims_render() {
+        let c = vec![Claim {
+            description: "d".into(),
+            paper: "p".into(),
+            model: "m".into(),
+            holds: true,
+        }];
+        assert!(render_claims(&c).contains("[PASS]"));
+    }
+}

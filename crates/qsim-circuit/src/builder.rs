@@ -1,0 +1,204 @@
+//! Ergonomic circuit construction with automatic *moment packing* (the
+//! Cirq behaviour): each gate is placed in the earliest time slice where
+//! all its qubits are free, so independent gates parallelize into the
+//! same slice — which matters downstream, because the fuser and the
+//! simulators see realistic time structure.
+
+use crate::circuit::{Circuit, GateOp};
+use crate::gates::GateKind;
+
+/// Builder with per-qubit frontiers.
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    circuit: Circuit,
+    /// Earliest free time slice per qubit.
+    frontier: Vec<usize>,
+}
+
+impl CircuitBuilder {
+    /// Builder over `n` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        CircuitBuilder { circuit: Circuit::new(num_qubits), frontier: vec![0; num_qubits] }
+    }
+
+    /// Place a gate in the earliest slice where all its qubits are free.
+    pub fn gate(&mut self, kind: GateKind, qubits: &[usize]) -> &mut Self {
+        assert!(
+            qubits.iter().all(|&q| q < self.circuit.num_qubits),
+            "qubit out of range in {qubits:?}"
+        );
+        let time = qubits.iter().map(|&q| self.frontier[q]).max().expect("at least one qubit");
+        // Circuit ops must stay sorted by time: since frontiers only grow
+        // and we append, an out-of-order insert can happen (a later gate
+        // on idle qubits lands at an earlier slice). Insert in order.
+        let pos = self.circuit.ops.partition_point(|op| op.time <= time);
+        self.circuit.ops.insert(pos, GateOp::new(time, kind, qubits.to_vec()));
+        for &q in qubits {
+            self.frontier[q] = time + 1;
+        }
+        self
+    }
+
+    /// Hadamard.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.gate(GateKind::H, &[q])
+    }
+
+    /// Pauli-X.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.gate(GateKind::X, &[q])
+    }
+
+    /// Pauli-Y.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.gate(GateKind::Y, &[q])
+    }
+
+    /// Pauli-Z.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.gate(GateKind::Z, &[q])
+    }
+
+    /// Phase gate S.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.gate(GateKind::S, &[q])
+    }
+
+    /// T gate.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.gate(GateKind::T, &[q])
+    }
+
+    /// X rotation.
+    pub fn rx(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.gate(GateKind::Rx(theta), &[q])
+    }
+
+    /// Y rotation.
+    pub fn ry(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.gate(GateKind::Ry(theta), &[q])
+    }
+
+    /// Z rotation.
+    pub fn rz(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.gate(GateKind::Rz(theta), &[q])
+    }
+
+    /// Controlled-Z.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.gate(GateKind::Cz, &[a, b])
+    }
+
+    /// CNOT with explicit control and target.
+    pub fn cnot(&mut self, control: usize, target: usize) -> &mut Self {
+        self.gate(GateKind::Cnot, &[control, target])
+    }
+
+    /// Swap.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.gate(GateKind::Swap, &[a, b])
+    }
+
+    /// iSwap.
+    pub fn iswap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.gate(GateKind::ISwap, &[a, b])
+    }
+
+    /// fSim(θ, φ).
+    pub fn fsim(&mut self, a: usize, b: usize, theta: f64, phi: f64) -> &mut Self {
+        self.gate(GateKind::FSim(theta, phi), &[a, b])
+    }
+
+    /// Controlled phase.
+    pub fn cphase(&mut self, a: usize, b: usize, phi: f64) -> &mut Self {
+        self.gate(GateKind::CPhase(phi), &[a, b])
+    }
+
+    /// Measure the given qubits (placed after everything touching them).
+    pub fn measure(&mut self, qubits: &[usize]) -> &mut Self {
+        self.gate(GateKind::Measurement, qubits)
+    }
+
+    /// Current depth (slices used so far).
+    pub fn depth(&self) -> usize {
+        self.frontier.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Finish, returning a validated circuit.
+    pub fn build(self) -> Circuit {
+        debug_assert!(self.circuit.validate().is_ok(), "builder produced an invalid circuit");
+        self.circuit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_gates_share_a_moment() {
+        let mut b = CircuitBuilder::new(4);
+        b.h(0).h(1).h(2).h(3);
+        let c = b.build();
+        assert!(c.ops.iter().all(|op| op.time == 0), "all H in slice 0");
+        assert_eq!(c.depth(), 1);
+    }
+
+    #[test]
+    fn dependent_gates_advance() {
+        let mut b = CircuitBuilder::new(2);
+        b.h(0).cnot(0, 1).h(1);
+        let c = b.build();
+        assert_eq!(c.ops[0].time, 0); // H(0)
+        assert_eq!(c.ops[1].time, 1); // CNOT waits for H(0)
+        assert_eq!(c.ops[2].time, 2); // H(1) waits for CNOT
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn late_gate_on_idle_qubit_packs_early() {
+        let mut b = CircuitBuilder::new(3);
+        b.h(0).cnot(0, 1); // slices 0, 1 on qubits 0-1
+        b.x(2); // qubit 2 idle: must land in slice 0
+        let c = b.build();
+        let x_op = c.ops.iter().find(|op| op.kind == GateKind::X).unwrap();
+        assert_eq!(x_op.time, 0);
+        // Ops remain time-sorted.
+        assert!(c.ops.windows(2).all(|w| w[0].time <= w[1].time));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn bell_equivalence_with_library() {
+        let mut b = CircuitBuilder::new(2);
+        b.h(0).cnot(0, 1);
+        assert_eq!(b.build(), crate::library::bell());
+    }
+
+    #[test]
+    fn builder_matches_depth() {
+        let mut b = CircuitBuilder::new(3);
+        b.h(0).h(1).cz(0, 1).cz(1, 2).measure(&[0, 1, 2]);
+        assert_eq!(b.depth(), 4);
+        let c = b.build();
+        assert_eq!(c.depth(), 4);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn all_convenience_methods() {
+        let mut b = CircuitBuilder::new(4);
+        b.x(0).y(1).z(2).s(3).t(0).rx(1, 0.1).ry(2, 0.2).rz(3, 0.3);
+        b.swap(0, 1).iswap(2, 3).fsim(0, 2, 0.4, 0.5).cphase(1, 3, 0.6);
+        let c = b.build();
+        assert_eq!(c.num_gates(), 12);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let mut b = CircuitBuilder::new(2);
+        b.h(5);
+    }
+}

@@ -1,0 +1,269 @@
+//! Time-sliced quantum circuits.
+//!
+//! A [`Circuit`] is an ordered list of [`GateOp`]s over `num_qubits`
+//! qubits. Each op carries a *time slice* (qsim's first column): gates in
+//! the same slice act on disjoint qubits and commute; the fuser and the
+//! simulators rely on ops being sorted by time.
+
+use qsim_core::matrix::GateMatrix;
+use qsim_core::types::Float;
+
+use crate::gates::{permute_matrix_bits, GateKind};
+
+/// One gate application in a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOp {
+    /// Time slice (qsim's leading column; monotone non-decreasing in a
+    /// valid circuit).
+    pub time: usize,
+    /// Which gate.
+    pub kind: GateKind,
+    /// Target qubits in the gate's listed order (e.g. `[control, target]`
+    /// for `cnot`).
+    pub qubits: Vec<usize>,
+    /// Optional extra control qubits (C++-API-level controls; qsim's text
+    /// format has none, so the parser always leaves this empty).
+    pub controls: Vec<usize>,
+}
+
+impl GateOp {
+    /// Uncontrolled gate op.
+    pub fn new(time: usize, kind: GateKind, qubits: Vec<usize>) -> Self {
+        GateOp { time, kind, qubits, controls: Vec::new() }
+    }
+
+    /// Gate op with extra control qubits (all required to be `|1⟩`).
+    pub fn with_controls(time: usize, kind: GateKind, qubits: Vec<usize>, controls: Vec<usize>) -> Self {
+        GateOp { time, kind, qubits, controls }
+    }
+
+    /// Whether this is a measurement pseudo-gate.
+    pub fn is_measurement(&self) -> bool {
+        self.kind == GateKind::Measurement
+    }
+
+    /// The gate's unitary re-expressed over **sorted** target qubits:
+    /// returns `(sorted_qubits, matrix)` in the convention the kernels
+    /// require (bit `j` ↔ `sorted_qubits[j]`). `None` for measurement.
+    pub fn sorted_matrix<F: Float>(&self) -> Option<(Vec<usize>, GateMatrix<F>)> {
+        let m = self.kind.matrix::<F>()?;
+        let mut sorted = self.qubits.clone();
+        sorted.sort_unstable();
+        if sorted == self.qubits {
+            return Some((sorted, m));
+        }
+        // perm[j] = position of qubits[j] in the sorted list.
+        let perm: Vec<usize> = self
+            .qubits
+            .iter()
+            .map(|q| sorted.iter().position(|s| s == q).expect("qubit present"))
+            .collect();
+        Some((sorted, permute_matrix_bits(&m, &perm)))
+    }
+}
+
+/// An `n`-qubit circuit: an ordered gate list plus metadata.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    /// Number of qubits.
+    pub num_qubits: usize,
+    /// Gate operations in execution order.
+    pub ops: Vec<GateOp>,
+}
+
+impl Circuit {
+    /// Empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit { num_qubits, ops: Vec::new() }
+    }
+
+    /// Append a gate at an explicit time slice.
+    pub fn add(&mut self, time: usize, kind: GateKind, qubits: &[usize]) -> &mut Self {
+        self.ops.push(GateOp::new(time, kind, qubits.to_vec()));
+        self
+    }
+
+    /// Append a gate one time slice after the current last op.
+    pub fn push(&mut self, kind: GateKind, qubits: &[usize]) -> &mut Self {
+        let t = self.ops.last().map_or(0, |op| op.time + 1);
+        self.add(t, kind, qubits)
+    }
+
+    /// Total gate count (including measurements).
+    pub fn num_gates(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of distinct time slices used.
+    pub fn depth(&self) -> usize {
+        let mut times: Vec<usize> = self.ops.iter().map(|op| op.time).collect();
+        times.sort_unstable();
+        times.dedup();
+        times.len()
+    }
+
+    /// `(single_qubit, two_qubit, measurement)` gate counts — the workload
+    /// statistics the benchmark harnesses report.
+    pub fn gate_counts(&self) -> (usize, usize, usize) {
+        let mut one = 0;
+        let mut two = 0;
+        let mut meas = 0;
+        for op in &self.ops {
+            if op.is_measurement() {
+                meas += 1;
+            } else if op.qubits.len() == 1 {
+                one += 1;
+            } else {
+                two += 1;
+            }
+        }
+        (one, two, meas)
+    }
+
+    /// Validate structural invariants. Returns a description of the first
+    /// violation, if any: qubits in range and distinct per op, gate arity
+    /// matching, times monotone non-decreasing, and no two gates sharing a
+    /// qubit within one time slice.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut last_time = 0usize;
+        let mut slice_qubits: Vec<usize> = Vec::new();
+        let mut slice_time = usize::MAX;
+        for (i, op) in self.ops.iter().enumerate() {
+            if !op.is_measurement() && op.qubits.len() != op.kind.num_qubits() {
+                return Err(format!(
+                    "op {i}: gate '{}' expects {} qubits, got {}",
+                    op.kind.name(),
+                    op.kind.num_qubits(),
+                    op.qubits.len()
+                ));
+            }
+            for &q in op.qubits.iter().chain(op.controls.iter()) {
+                if q >= self.num_qubits {
+                    return Err(format!("op {i}: qubit {q} out of range (n={})", self.num_qubits));
+                }
+            }
+            let mut qs = op.qubits.clone();
+            qs.extend_from_slice(&op.controls);
+            qs.sort_unstable();
+            if qs.windows(2).any(|w| w[0] == w[1]) {
+                return Err(format!("op {i}: repeated qubit in {:?}", op.qubits));
+            }
+            if op.time < last_time {
+                return Err(format!("op {i}: time {} decreases (previous {})", op.time, last_time));
+            }
+            if op.time != slice_time {
+                slice_time = op.time;
+                slice_qubits.clear();
+            }
+            for &q in &qs {
+                if slice_qubits.contains(&q) {
+                    return Err(format!(
+                        "op {i}: qubit {q} used twice in time slice {}",
+                        op.time
+                    ));
+                }
+                slice_qubits.push(q);
+            }
+            last_time = op.time;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_advances_time() {
+        let mut c = Circuit::new(2);
+        c.push(GateKind::H, &[0]).push(GateKind::Cz, &[0, 1]);
+        assert_eq!(c.ops[0].time, 0);
+        assert_eq!(c.ops[1].time, 1);
+        assert_eq!(c.num_gates(), 2);
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn gate_counts_split() {
+        let mut c = Circuit::new(3);
+        c.add(0, GateKind::H, &[0]);
+        c.add(0, GateKind::H, &[1]);
+        c.add(1, GateKind::Cz, &[0, 1]);
+        c.add(2, GateKind::Measurement, &[2]);
+        assert_eq!(c.gate_counts(), (2, 1, 1));
+    }
+
+    #[test]
+    fn validate_accepts_good_circuit() {
+        let mut c = Circuit::new(3);
+        c.add(0, GateKind::H, &[0]);
+        c.add(0, GateKind::X, &[1]);
+        c.add(1, GateKind::Cz, &[0, 2]);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let mut c = Circuit::new(2);
+        c.add(0, GateKind::H, &[2]);
+        assert!(c.validate().unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_arity() {
+        let mut c = Circuit::new(2);
+        c.ops.push(GateOp::new(0, GateKind::Cz, vec![0]));
+        assert!(c.validate().unwrap_err().contains("expects 2 qubits"));
+    }
+
+    #[test]
+    fn validate_rejects_time_regression() {
+        let mut c = Circuit::new(2);
+        c.add(1, GateKind::H, &[0]);
+        c.add(0, GateKind::H, &[1]);
+        assert!(c.validate().unwrap_err().contains("decreases"));
+    }
+
+    #[test]
+    fn validate_rejects_slice_conflict() {
+        let mut c = Circuit::new(3);
+        c.add(0, GateKind::H, &[0]);
+        c.add(0, GateKind::Cz, &[0, 1]);
+        assert!(c.validate().unwrap_err().contains("used twice"));
+    }
+
+    #[test]
+    fn validate_rejects_repeated_qubit() {
+        let mut c = Circuit::new(3);
+        c.ops.push(GateOp::new(0, GateKind::Cz, vec![1, 1]));
+        assert!(c.validate().unwrap_err().contains("repeated"));
+    }
+
+    #[test]
+    fn sorted_matrix_on_sorted_qubits_is_kind_matrix() {
+        let op = GateOp::new(0, GateKind::Cz, vec![1, 4]);
+        let (qs, m) = op.sorted_matrix::<f64>().unwrap();
+        assert_eq!(qs, vec![1, 4]);
+        assert!(m.max_abs_diff(&GateKind::Cz.matrix().unwrap()) < 1e-15);
+    }
+
+    #[test]
+    fn sorted_matrix_permutes_cnot() {
+        // cnot with control 3, target 1: sorted qubits [1, 3]; bit 0 ↔
+        // target 1, bit 1 ↔ control 3 ⇒ swap indices 2 and 3.
+        let op = GateOp::new(0, GateKind::Cnot, vec![3, 1]);
+        let (qs, m) = op.sorted_matrix::<f64>().unwrap();
+        assert_eq!(qs, vec![1, 3]);
+        assert_eq!(m.get(2, 3), qsim_core::types::Cplx::one());
+        assert_eq!(m.get(3, 2), qsim_core::types::Cplx::one());
+        assert_eq!(m.get(0, 0), qsim_core::types::Cplx::one());
+    }
+
+    #[test]
+    fn measurement_has_no_sorted_matrix() {
+        let op = GateOp::new(0, GateKind::Measurement, vec![0, 1]);
+        assert!(op.sorted_matrix::<f64>().is_none());
+        assert!(op.is_measurement());
+    }
+}

@@ -1,0 +1,433 @@
+//! The gate set of qsim's text circuit format, with unitary matrices.
+//!
+//! Names follow qsim's input files (e.g. `x_1_2` for √X, `hz_1_2` for √W,
+//! `fs` for fSim, `is` for iSwap) so circuits written for qsim — such as
+//! the `circuit_q30` RQC file the paper benchmarks — parse unchanged.
+//!
+//! ## Matrix convention
+//!
+//! For a multi-qubit gate, bit `j` of the matrix row/column index
+//! corresponds to `qubits[j]` *in the order the gate lists them* (e.g. for
+//! `cnot c t`, bit 0 is the control `c`). [`permute_matrix_bits`] reorders
+//! a matrix into the sorted-qubit convention the kernels require.
+
+use qsim_core::matrix::GateMatrix;
+use qsim_core::types::Float;
+
+use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_4};
+
+/// A quantum gate kind, with its parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GateKind {
+    /// Identity (`id`).
+    Id,
+    /// Pauli-X (`x`).
+    X,
+    /// Pauli-Y (`y`).
+    Y,
+    /// Pauli-Z (`z`).
+    Z,
+    /// Hadamard (`h`).
+    H,
+    /// Phase gate S = √Z (`s`).
+    S,
+    /// T = √S (`t`).
+    T,
+    /// √X (`x_1_2`), an RQC single-qubit gate.
+    X12,
+    /// √Y (`y_1_2`), an RQC single-qubit gate.
+    Y12,
+    /// √W with W = (X+Y)/√2 (`hz_1_2`), an RQC single-qubit gate.
+    Hz12,
+    /// Rotation about X by the given angle (`rx θ`).
+    Rx(f64),
+    /// Rotation about Y by the given angle (`ry θ`).
+    Ry(f64),
+    /// Rotation about Z by the given angle (`rz θ`).
+    Rz(f64),
+    /// Rotation by `theta` about the axis `cos(phi)·X + sin(phi)·Y`
+    /// (`rxy phi theta`).
+    Rxy(f64, f64),
+    /// Controlled-Z (`cz`).
+    Cz,
+    /// Controlled-NOT; first listed qubit is the control (`cnot c t`).
+    Cnot,
+    /// Swap (`sw`).
+    Swap,
+    /// iSwap (`is`).
+    ISwap,
+    /// fSim(θ, φ) — the supremacy-experiment two-qubit gate (`fs θ φ`).
+    FSim(f64, f64),
+    /// Controlled phase: diag(1,1,1,e^{iφ}) (`cp φ`).
+    CPhase(f64),
+    /// Destructive measurement in the computational basis (`m`). Not a
+    /// unitary; [`GateKind::matrix`] returns `None`.
+    Measurement,
+}
+
+impl GateKind {
+    /// qsim text-format mnemonic.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GateKind::Id => "id",
+            GateKind::X => "x",
+            GateKind::Y => "y",
+            GateKind::Z => "z",
+            GateKind::H => "h",
+            GateKind::S => "s",
+            GateKind::T => "t",
+            GateKind::X12 => "x_1_2",
+            GateKind::Y12 => "y_1_2",
+            GateKind::Hz12 => "hz_1_2",
+            GateKind::Rx(_) => "rx",
+            GateKind::Ry(_) => "ry",
+            GateKind::Rz(_) => "rz",
+            GateKind::Rxy(_, _) => "rxy",
+            GateKind::Cz => "cz",
+            GateKind::Cnot => "cnot",
+            GateKind::Swap => "sw",
+            GateKind::ISwap => "is",
+            GateKind::FSim(_, _) => "fs",
+            GateKind::CPhase(_) => "cp",
+            GateKind::Measurement => "m",
+        }
+    }
+
+    /// Number of qubits the gate acts on (measurement can take any number;
+    /// returns 1 as the minimum).
+    pub fn num_qubits(&self) -> usize {
+        match self {
+            GateKind::Cz
+            | GateKind::Cnot
+            | GateKind::Swap
+            | GateKind::ISwap
+            | GateKind::FSim(_, _)
+            | GateKind::CPhase(_) => 2,
+            _ => 1,
+        }
+    }
+
+    /// Angle parameters in qsim file order.
+    pub fn params(&self) -> Vec<f64> {
+        match *self {
+            GateKind::Rx(t) | GateKind::Ry(t) | GateKind::Rz(t) | GateKind::CPhase(t) => vec![t],
+            GateKind::Rxy(p, t) => vec![p, t],
+            GateKind::FSim(t, p) => vec![t, p],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether the two-qubit matrix is invariant under exchanging its
+    /// qubits (true for all the symmetric entanglers; false for CNOT).
+    pub fn is_symmetric(&self) -> bool {
+        !matches!(self, GateKind::Cnot)
+    }
+
+    /// The gate's unitary matrix in the listed-qubit-order convention, or
+    /// `None` for measurement.
+    pub fn matrix<F: Float>(&self) -> Option<GateMatrix<F>> {
+        let h = FRAC_1_SQRT_2;
+        let m = match *self {
+            GateKind::Id => GateMatrix::from_f64_pairs(2, &[(1., 0.), (0., 0.), (0., 0.), (1., 0.)]),
+            GateKind::X => GateMatrix::from_f64_pairs(2, &[(0., 0.), (1., 0.), (1., 0.), (0., 0.)]),
+            GateKind::Y => GateMatrix::from_f64_pairs(2, &[(0., 0.), (0., -1.), (0., 1.), (0., 0.)]),
+            GateKind::Z => GateMatrix::from_f64_pairs(2, &[(1., 0.), (0., 0.), (0., 0.), (-1., 0.)]),
+            GateKind::H => GateMatrix::from_f64_pairs(2, &[(h, 0.), (h, 0.), (h, 0.), (-h, 0.)]),
+            GateKind::S => GateMatrix::from_f64_pairs(2, &[(1., 0.), (0., 0.), (0., 0.), (0., 1.)]),
+            GateKind::T => {
+                let c = FRAC_PI_4.cos();
+                let s = FRAC_PI_4.sin();
+                GateMatrix::from_f64_pairs(2, &[(1., 0.), (0., 0.), (0., 0.), (c, s)])
+            }
+            GateKind::X12 => GateMatrix::from_f64_pairs(
+                2,
+                &[(0.5, 0.5), (0.5, -0.5), (0.5, -0.5), (0.5, 0.5)],
+            ),
+            GateKind::Y12 => GateMatrix::from_f64_pairs(
+                2,
+                &[(0.5, 0.5), (-0.5, -0.5), (0.5, 0.5), (0.5, 0.5)],
+            ),
+            GateKind::Hz12 => GateMatrix::from_f64_pairs(
+                2,
+                &[(0.5, 0.5), (0., -h), (h, 0.), (0.5, 0.5)],
+            ),
+            GateKind::Rx(t) => {
+                let c = (t / 2.0).cos();
+                let s = (t / 2.0).sin();
+                GateMatrix::from_f64_pairs(2, &[(c, 0.), (0., -s), (0., -s), (c, 0.)])
+            }
+            GateKind::Ry(t) => {
+                let c = (t / 2.0).cos();
+                let s = (t / 2.0).sin();
+                GateMatrix::from_f64_pairs(2, &[(c, 0.), (-s, 0.), (s, 0.), (c, 0.)])
+            }
+            GateKind::Rz(t) => {
+                let c = (t / 2.0).cos();
+                let s = (t / 2.0).sin();
+                GateMatrix::from_f64_pairs(2, &[(c, -s), (0., 0.), (0., 0.), (c, s)])
+            }
+            GateKind::Rxy(p, t) => {
+                let c = (t / 2.0).cos();
+                let s = (t / 2.0).sin();
+                // -i e^{∓iφ} sin(θ/2) off-diagonals.
+                GateMatrix::from_f64_pairs(
+                    2,
+                    &[
+                        (c, 0.),
+                        (-s * p.sin(), -s * p.cos()),
+                        (s * p.sin(), -s * p.cos()),
+                        (c, 0.),
+                    ],
+                )
+            }
+            GateKind::Cz => {
+                let mut m = GateMatrix::identity(4);
+                m.set(3, 3, qsim_core::types::Cplx::from_f64(-1.0, 0.0));
+                m
+            }
+            GateKind::Cnot => {
+                // Control = bit 0 (first listed qubit), target = bit 1:
+                // |c=1, t⟩ pairs (indices 1 and 3) swap.
+                let mut m = GateMatrix::zeros(4);
+                let one = qsim_core::types::Cplx::one();
+                m.set(0, 0, one);
+                m.set(2, 2, one);
+                m.set(1, 3, one);
+                m.set(3, 1, one);
+                m
+            }
+            GateKind::Swap => {
+                let mut m = GateMatrix::zeros(4);
+                let one = qsim_core::types::Cplx::one();
+                m.set(0, 0, one);
+                m.set(1, 2, one);
+                m.set(2, 1, one);
+                m.set(3, 3, one);
+                m
+            }
+            GateKind::ISwap => {
+                let mut m = GateMatrix::zeros(4);
+                let one = qsim_core::types::Cplx::one();
+                let i = qsim_core::types::Cplx::i();
+                m.set(0, 0, one);
+                m.set(1, 2, i);
+                m.set(2, 1, i);
+                m.set(3, 3, one);
+                m
+            }
+            GateKind::FSim(t, p) => {
+                let c = t.cos();
+                let s = t.sin();
+                GateMatrix::from_f64_pairs(
+                    4,
+                    &[
+                        (1., 0.), (0., 0.), (0., 0.), (0., 0.),
+                        (0., 0.), (c, 0.), (0., -s), (0., 0.),
+                        (0., 0.), (0., -s), (c, 0.), (0., 0.),
+                        (0., 0.), (0., 0.), (0., 0.), (p.cos(), -p.sin()),
+                    ],
+                )
+            }
+            GateKind::CPhase(p) => {
+                let mut m = GateMatrix::identity(4);
+                m.set(3, 3, qsim_core::types::Cplx::from_f64(p.cos(), p.sin()));
+                m
+            }
+            GateKind::Measurement => return None,
+        };
+        Some(m)
+    }
+}
+
+/// Reorder the bit positions of a gate matrix: bit `j` of the old index
+/// becomes bit `perm[j]` of the new index (a permutation of `0..k`).
+///
+/// Used to convert a gate's listed-qubit-order matrix into the
+/// sorted-qubit-order matrix the kernels consume.
+pub fn permute_matrix_bits<F: Float>(m: &GateMatrix<F>, perm: &[usize]) -> GateMatrix<F> {
+    let k = m.num_qubits();
+    assert_eq!(perm.len(), k, "permutation length must match qubit count");
+    {
+        let mut seen = vec![false; k];
+        for &p in perm {
+            assert!(p < k && !seen[p], "perm must be a permutation of 0..{k}");
+            seen[p] = true;
+        }
+    }
+    let dim = m.dim();
+    let remap = |idx: usize| -> usize {
+        let mut out = 0usize;
+        for (j, &p) in perm.iter().enumerate() {
+            out |= ((idx >> j) & 1) << p;
+        }
+        out
+    };
+    let mut out = GateMatrix::zeros(dim);
+    for r in 0..dim {
+        let rr = remap(r);
+        for c in 0..dim {
+            out.set(rr, remap(c), m.get(r, c));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_unitary(k: GateKind) {
+        let m = k.matrix::<f64>().expect("unitary gate");
+        assert!(m.is_unitary(1e-12), "{} is not unitary", k.name());
+        assert_eq!(m.num_qubits(), k.num_qubits(), "{}", k.name());
+    }
+
+    #[test]
+    fn all_gates_are_unitary() {
+        for k in [
+            GateKind::Id,
+            GateKind::X,
+            GateKind::Y,
+            GateKind::Z,
+            GateKind::H,
+            GateKind::S,
+            GateKind::T,
+            GateKind::X12,
+            GateKind::Y12,
+            GateKind::Hz12,
+            GateKind::Rx(0.7),
+            GateKind::Ry(-1.3),
+            GateKind::Rz(2.1),
+            GateKind::Rxy(0.4, 1.9),
+            GateKind::Cz,
+            GateKind::Cnot,
+            GateKind::Swap,
+            GateKind::ISwap,
+            GateKind::FSim(0.5, 1.2),
+            GateKind::CPhase(0.8),
+        ] {
+            check_unitary(k);
+        }
+    }
+
+    #[test]
+    fn measurement_has_no_matrix() {
+        assert!(GateKind::Measurement.matrix::<f64>().is_none());
+    }
+
+    #[test]
+    fn sqrt_gates_square_to_paulis() {
+        // X12² = X up to global phase; in fact qsim's x_1_2 squares to X
+        // exactly with this matrix.
+        let x12 = GateKind::X12.matrix::<f64>().unwrap();
+        let x = GateKind::X.matrix::<f64>().unwrap();
+        assert!(x12.matmul(&x12).max_abs_diff(&x) < 1e-15);
+
+        let y12 = GateKind::Y12.matrix::<f64>().unwrap();
+        let y = GateKind::Y.matrix::<f64>().unwrap();
+        assert!(y12.matmul(&y12).max_abs_diff(&y) < 1e-15);
+
+        // hz_1_2² = W = (X+Y)/√2.
+        let w12 = GateKind::Hz12.matrix::<f64>().unwrap();
+        let h = FRAC_1_SQRT_2;
+        let w = GateMatrix::from_f64_pairs(2, &[(0., 0.), (h, -h), (h, h), (0., 0.)]);
+        assert!(w12.matmul(&w12).max_abs_diff(&w) < 1e-15);
+    }
+
+    #[test]
+    fn s_and_t_relations() {
+        let s = GateKind::S.matrix::<f64>().unwrap();
+        let t = GateKind::T.matrix::<f64>().unwrap();
+        let z = GateKind::Z.matrix::<f64>().unwrap();
+        assert!(s.matmul(&s).max_abs_diff(&z) < 1e-15, "S² = Z");
+        assert!(t.matmul(&t).max_abs_diff(&s) < 1e-15, "T² = S");
+    }
+
+    #[test]
+    fn rotation_special_angles() {
+        use std::f64::consts::PI;
+        // Rz(π) = -iZ (global phase -i).
+        let rz = GateKind::Rz(PI).matrix::<f64>().unwrap();
+        assert!((rz.get(0, 0).im + 1.0).abs() < 1e-15);
+        assert!((rz.get(1, 1).im - 1.0).abs() < 1e-15);
+        // Rx(2π) = -I.
+        let rx = GateKind::Rx(2.0 * PI).matrix::<f64>().unwrap();
+        assert!((rx.get(0, 0).re + 1.0).abs() < 1e-15);
+        // Rxy(0, θ) = Rx(θ).
+        let a = GateKind::Rxy(0.0, 0.9).matrix::<f64>().unwrap();
+        let b = GateKind::Rx(0.9).matrix::<f64>().unwrap();
+        assert!(a.max_abs_diff(&b) < 1e-15);
+        // Rxy(π/2, θ) = Ry(θ).
+        let a = GateKind::Rxy(PI / 2.0, 0.9).matrix::<f64>().unwrap();
+        let b = GateKind::Ry(0.9).matrix::<f64>().unwrap();
+        assert!(a.max_abs_diff(&b) < 1e-15);
+    }
+
+    #[test]
+    fn fsim_special_cases() {
+        // fSim(0, 0) = I.
+        let m = GateKind::FSim(0.0, 0.0).matrix::<f64>().unwrap();
+        assert!(m.max_abs_diff(&GateMatrix::identity(4)) < 1e-15);
+        // fSim(π/2, 0) = -i·iSwap on the swap block: entries (1,2),(2,1) = -i.
+        let m = GateKind::FSim(std::f64::consts::FRAC_PI_2, 0.0).matrix::<f64>().unwrap();
+        assert!((m.get(1, 2).im + 1.0).abs() < 1e-15);
+        assert!((m.get(1, 1).abs()) < 1e-15);
+        // fSim(0, φ) = CPhase(-φ).
+        let m = GateKind::FSim(0.0, 0.8).matrix::<f64>().unwrap();
+        let cp = GateKind::CPhase(-0.8).matrix::<f64>().unwrap();
+        assert!(m.max_abs_diff(&cp) < 1e-15);
+    }
+
+    #[test]
+    fn symmetric_flags() {
+        assert!(GateKind::Cz.is_symmetric());
+        assert!(GateKind::FSim(0.1, 0.2).is_symmetric());
+        assert!(GateKind::ISwap.is_symmetric());
+        assert!(!GateKind::Cnot.is_symmetric());
+    }
+
+    #[test]
+    fn permute_identity_perm_is_noop() {
+        let m = GateKind::Cnot.matrix::<f64>().unwrap();
+        let p = permute_matrix_bits(&m, &[0, 1]);
+        assert!(p.max_abs_diff(&m) < 1e-15);
+    }
+
+    #[test]
+    fn permute_swaps_cnot_direction() {
+        // Swapping the bit roles of CNOT gives CNOT with control on bit 1.
+        let m = GateKind::Cnot.matrix::<f64>().unwrap();
+        let p = permute_matrix_bits(&m, &[1, 0]);
+        // Now control = bit 1, target = bit 0: indices 2 and 3 swap.
+        assert_eq!(p.get(2, 3), qsim_core::types::Cplx::one());
+        assert_eq!(p.get(3, 2), qsim_core::types::Cplx::one());
+        assert_eq!(p.get(0, 0), qsim_core::types::Cplx::one());
+        assert_eq!(p.get(1, 1), qsim_core::types::Cplx::one());
+    }
+
+    #[test]
+    fn permute_symmetric_gate_is_invariant() {
+        for k in [GateKind::Cz, GateKind::ISwap, GateKind::FSim(0.3, 0.9), GateKind::Swap] {
+            let m = k.matrix::<f64>().unwrap();
+            let p = permute_matrix_bits(&m, &[1, 0]);
+            assert!(p.max_abs_diff(&m) < 1e-15, "{}", k.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_permutation_rejected() {
+        let m = GateKind::Cz.matrix::<f64>().unwrap();
+        let _ = permute_matrix_bits(&m, &[0, 0]);
+    }
+
+    #[test]
+    fn names_roundtrip_with_num_qubits() {
+        assert_eq!(GateKind::X12.name(), "x_1_2");
+        assert_eq!(GateKind::FSim(0.1, 0.2).name(), "fs");
+        assert_eq!(GateKind::FSim(0.1, 0.2).num_qubits(), 2);
+        assert_eq!(GateKind::H.num_qubits(), 1);
+        assert_eq!(GateKind::FSim(0.1, 0.2).params(), vec![0.1, 0.2]);
+        assert_eq!(GateKind::Rxy(0.3, 0.4).params(), vec![0.3, 0.4]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # qsim-circuit
+//!
+//! Quantum-circuit intermediate representation for the qsim-rs workspace:
+//!
+//! * [`gates`] — the gate set of qsim's text circuit format (`x`, `y`, `z`,
+//!   `h`, `t`, `x_1_2`, `rz`, `cz`, `fs`, …) with their unitary matrices;
+//! * [`circuit`] — time-sliced circuits of gate operations;
+//! * [`parser`] — reader/writer for qsim's whitespace-separated circuit
+//!   file format (the format of the `circuit_q30` RQC input used by the
+//!   paper's benchmark);
+//! * [`rqc`] — a Random Quantum Circuit generator following the
+//!   supremacy-experiment structure (random single-qubit √-gates
+//!   interleaved with two-qubit fSim/CZ layers on alternating couplings);
+//! * [`library`] — standard circuits (GHZ, QFT, …) for tests and examples.
+
+pub mod gates;
+pub mod circuit;
+pub mod builder;
+pub mod parser;
+pub mod params;
+pub mod optimize;
+pub mod rqc;
+pub mod library;
+
+pub use builder::CircuitBuilder;
+pub use circuit::{Circuit, GateOp};
+pub use gates::GateKind;
+pub use rqc::{generate_rqc, RqcOptions};

@@ -1,0 +1,136 @@
+//! Standard circuits used by tests, examples and documentation: Bell/GHZ
+//! state preparation, the quantum Fourier transform, and a uniformly random
+//! dense circuit generator for property tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::circuit::Circuit;
+use crate::gates::GateKind;
+
+/// Bell-pair preparation on qubits 0 and 1: `H(0); CNOT(0→1)`.
+pub fn bell() -> Circuit {
+    let mut c = Circuit::new(2);
+    c.add(0, GateKind::H, &[0]);
+    c.add(1, GateKind::Cnot, &[0, 1]);
+    c
+}
+
+/// GHZ state over `n` qubits: `H(0)` then a CNOT chain.
+pub fn ghz(n: usize) -> Circuit {
+    assert!(n >= 2, "GHZ needs at least 2 qubits");
+    let mut c = Circuit::new(n);
+    c.add(0, GateKind::H, &[0]);
+    for q in 1..n {
+        c.add(q, GateKind::Cnot, &[q - 1, q]);
+    }
+    c
+}
+
+/// Quantum Fourier transform on `n` qubits (standard textbook circuit:
+/// H + controlled-phase ladder, then qubit-order reversal via swaps).
+pub fn qft(n: usize) -> Circuit {
+    assert!(n >= 1, "QFT needs at least 1 qubit");
+    let mut c = Circuit::new(n);
+    let mut time = 0;
+    for j in (0..n).rev() {
+        c.add(time, GateKind::H, &[j]);
+        time += 1;
+        for (dist, k) in (0..j).rev().enumerate() {
+            let angle = std::f64::consts::PI / (1u64 << (dist + 1)) as f64;
+            c.add(time, GateKind::CPhase(angle), &[k, j]);
+            time += 1;
+        }
+    }
+    for q in 0..n / 2 {
+        c.add(time, GateKind::Swap, &[q, n - 1 - q]);
+        time += 1;
+    }
+    c
+}
+
+/// A dense random circuit drawing uniformly from the full gate set
+/// (including parameterized gates with random angles) — a stress workload
+/// for property tests, *not* the structured RQC benchmark (see
+/// [`crate::rqc`]).
+pub fn random_dense(n: usize, num_gates: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "random circuit needs at least 2 qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for t in 0..num_gates {
+        let a: f64 = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+        let b: f64 = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+        let choice = rng.gen_range(0..18);
+        let kind = match choice {
+            0 => GateKind::X,
+            1 => GateKind::Y,
+            2 => GateKind::Z,
+            3 => GateKind::H,
+            4 => GateKind::S,
+            5 => GateKind::T,
+            6 => GateKind::X12,
+            7 => GateKind::Y12,
+            8 => GateKind::Hz12,
+            9 => GateKind::Rx(a),
+            10 => GateKind::Ry(a),
+            11 => GateKind::Rz(a),
+            12 => GateKind::Rxy(a, b),
+            13 => GateKind::Cz,
+            14 => GateKind::Cnot,
+            15 => GateKind::ISwap,
+            16 => GateKind::FSim(a, b),
+            _ => GateKind::CPhase(a),
+        };
+        if kind.num_qubits() == 1 {
+            let q = rng.gen_range(0..n);
+            c.add(t, kind, &[q]);
+        } else {
+            let q0 = rng.gen_range(0..n);
+            let mut q1 = rng.gen_range(0..n);
+            while q1 == q0 {
+                q1 = rng.gen_range(0..n);
+            }
+            c.add(t, kind, &[q0, q1]);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_shape() {
+        let c = bell();
+        assert_eq!(c.num_qubits, 2);
+        assert_eq!(c.num_gates(), 2);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn ghz_shape() {
+        let c = ghz(5);
+        assert_eq!(c.num_gates(), 5);
+        assert_eq!(c.gate_counts(), (1, 4, 0));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn qft_gate_count() {
+        // n H gates + n(n-1)/2 controlled phases + floor(n/2) swaps.
+        for n in 1..7 {
+            let c = qft(n);
+            assert_eq!(c.num_gates(), n + n * (n - 1) / 2 + n / 2, "n={n}");
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn random_dense_is_valid_and_deterministic() {
+        let c = random_dense(6, 50, 1234);
+        c.validate().unwrap();
+        assert_eq!(c.num_gates(), 50);
+        assert_eq!(c, random_dense(6, 50, 1234));
+    }
+}

@@ -1,0 +1,315 @@
+//! Circuit simplification passes that run *before* gate fusion (the
+//! transpiler layer Cirq provides above qsim — paper §2.1: Cirq "includes
+//! a suite of tools for optimizing … quantum circuits"):
+//!
+//! 1. drop identity gates;
+//! 2. cancel adjacent self-inverse pairs (`H·H`, `X·X`, `CZ·CZ`,
+//!    same-orientation `CNOT·CNOT`, …);
+//! 3. merge adjacent rotations on the same qubit(s)
+//!    (`Rz(a)·Rz(b) → Rz(a+b)`, likewise `Rx`, `Ry`, `CPhase`), dropping
+//!    the result when the merged angle is a multiple of 4π (2π for
+//!    `CPhase`, which has no half-angle);
+//!
+//! repeated to a fixed point. Semantics are preserved exactly (checked by
+//! the equivalence tests below); times are re-packed afterwards.
+
+use crate::circuit::{Circuit, GateOp};
+use crate::gates::GateKind;
+
+/// Statistics of one optimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OptimizeStats {
+    /// Gates in the input circuit.
+    pub gates_before: usize,
+    /// Gates after optimization.
+    pub gates_after: usize,
+    /// Fixed-point iterations performed.
+    pub passes: usize,
+}
+
+fn is_self_inverse(kind: GateKind) -> bool {
+    matches!(
+        kind,
+        GateKind::X | GateKind::Y | GateKind::Z | GateKind::H | GateKind::Cz | GateKind::Cnot | GateKind::Swap
+    )
+}
+
+/// Try to merge two adjacent gates on identical qubit lists. Returns
+/// `Some(None)` when they cancel, `Some(Some(g))` when they merge into
+/// one gate, `None` when no rule applies.
+fn merge(first: GateKind, second: GateKind) -> Option<Option<GateKind>> {
+    use GateKind::*;
+    const TAU2: f64 = 4.0 * std::f64::consts::PI; // Rθ period
+    let wrap = |t: f64, period: f64| {
+        let r = t % period;
+        if r.abs() < 1e-12 || (r.abs() - period).abs() < 1e-12 {
+            None
+        } else {
+            Some(r)
+        }
+    };
+    match (first, second) {
+        (a, b) if a == b && is_self_inverse(a) => Some(None),
+        (S, S) => Some(Some(Z)),
+        (T, T) => Some(Some(S)),
+        (Rx(a), Rx(b)) => Some(wrap(a + b, TAU2).map(Rx)),
+        (Ry(a), Ry(b)) => Some(wrap(a + b, TAU2).map(Ry)),
+        (Rz(a), Rz(b)) => Some(wrap(a + b, TAU2).map(Rz)),
+        (CPhase(a), CPhase(b)) => Some(wrap(a + b, 2.0 * std::f64::consts::PI).map(CPhase)),
+        _ => None,
+    }
+}
+
+/// One sweep: returns the simplified op list and whether anything changed.
+fn sweep(num_qubits: usize, ops: &[GateOp]) -> (Vec<GateOp>, bool) {
+    // frontier[q] = index in `out` of the last op touching qubit q.
+    let mut frontier: Vec<Option<usize>> = vec![None; num_qubits];
+    let mut out: Vec<Option<GateOp>> = Vec::with_capacity(ops.len());
+    let mut changed = false;
+
+    for op in ops {
+        if op.kind == GateKind::Id {
+            changed = true;
+            continue;
+        }
+        if !op.is_measurement() && op.controls.is_empty() {
+            // The candidate predecessor must be the frontier of *all* of
+            // this op's qubits and act on exactly the same qubit list.
+            let preds: Vec<Option<usize>> =
+                op.qubits.iter().map(|&q| frontier[q]).collect();
+            if let Some(Some(p)) = preds.first().copied() {
+                let all_same = preds.iter().all(|&x| x == Some(p));
+                if all_same {
+                    if let Some(prev) = out[p].clone() {
+                        if prev.qubits == op.qubits && prev.controls.is_empty() {
+                            if let Some(result) = merge(prev.kind, op.kind) {
+                                changed = true;
+                                match result {
+                                    None => {
+                                        // Cancel: remove predecessor, clear
+                                        // frontiers that pointed at it.
+                                        out[p] = None;
+                                        for &q in &op.qubits {
+                                            frontier[q] = None;
+                                        }
+                                    }
+                                    Some(kind) => {
+                                        out[p] = Some(GateOp::new(prev.time, kind, prev.qubits));
+                                    }
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let idx = out.len();
+        out.push(Some(op.clone()));
+        for &q in op.qubits.iter().chain(op.controls.iter()) {
+            frontier[q] = Some(idx);
+        }
+    }
+    (out.into_iter().flatten().collect(), changed)
+}
+
+/// Optimize a circuit to a fixed point; times are re-packed into minimal
+/// moments afterwards.
+pub fn optimize(circuit: &Circuit) -> (Circuit, OptimizeStats) {
+    let mut ops = circuit.ops.clone();
+    let mut passes = 0;
+    loop {
+        passes += 1;
+        let (next, changed) = sweep(circuit.num_qubits, &ops);
+        ops = next;
+        if !changed || passes > 32 {
+            break;
+        }
+    }
+    // Re-pack times with the moment rule.
+    let mut packed = Circuit::new(circuit.num_qubits);
+    let mut frontier = vec![0usize; circuit.num_qubits];
+    for op in &ops {
+        let time = op
+            .qubits
+            .iter()
+            .chain(op.controls.iter())
+            .map(|&q| frontier[q])
+            .max()
+            .unwrap_or(0);
+        packed.ops.push(GateOp {
+            time,
+            kind: op.kind,
+            qubits: op.qubits.clone(),
+            controls: op.controls.clone(),
+        });
+        for &q in op.qubits.iter().chain(op.controls.iter()) {
+            frontier[q] = time + 1;
+        }
+    }
+    packed.ops.sort_by_key(|op| op.time);
+    let stats = OptimizeStats {
+        gates_before: circuit.num_gates(),
+        gates_after: packed.num_gates(),
+        passes,
+    };
+    (packed, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_core::kernels::apply_gate_seq;
+    use qsim_core::StateVector;
+
+    fn state_of(circuit: &Circuit) -> StateVector<f64> {
+        let mut sv = StateVector::new(circuit.num_qubits);
+        for op in &circuit.ops {
+            if op.is_measurement() {
+                continue;
+            }
+            let (qs, m) = op.sorted_matrix::<f64>().expect("unitary");
+            apply_gate_seq(&mut sv, &qs, &m);
+        }
+        sv
+    }
+
+    fn assert_equivalent(original: &Circuit, optimized: &Circuit) {
+        let diff = state_of(original).max_abs_diff(&state_of(optimized));
+        assert!(diff < 1e-12, "optimization changed semantics by {diff}");
+        optimized.validate().expect("optimized circuit valid");
+    }
+
+    #[test]
+    fn double_h_cancels() {
+        let mut c = Circuit::new(1);
+        c.push(GateKind::H, &[0]).push(GateKind::H, &[0]);
+        let (o, stats) = optimize(&c);
+        assert_eq!(o.num_gates(), 0);
+        assert_eq!(stats.gates_before, 2);
+        assert_eq!(stats.gates_after, 0);
+    }
+
+    #[test]
+    fn intervening_gate_blocks_cancellation() {
+        let mut c = Circuit::new(1);
+        c.push(GateKind::H, &[0]).push(GateKind::T, &[0]).push(GateKind::H, &[0]);
+        let (o, _) = optimize(&c);
+        assert_eq!(o.num_gates(), 3);
+        assert_equivalent(&c, &o);
+    }
+
+    #[test]
+    fn cz_pairs_cancel_and_cnot_orientation_matters() {
+        let mut c = Circuit::new(2);
+        c.push(GateKind::Cz, &[0, 1]).push(GateKind::Cz, &[1, 0]);
+        // CZ is symmetric but the qubit lists differ textually; normalize
+        // by building with the same order.
+        let (o, _) = optimize(&c);
+        // Lists [0,1] vs [1,0] differ → no cancel (conservative).
+        assert_eq!(o.num_gates(), 2);
+
+        let mut c = Circuit::new(2);
+        c.push(GateKind::Cz, &[0, 1]).push(GateKind::Cz, &[0, 1]);
+        let (o, _) = optimize(&c);
+        assert_eq!(o.num_gates(), 0);
+
+        let mut c = Circuit::new(2);
+        c.push(GateKind::Cnot, &[0, 1]).push(GateKind::Cnot, &[1, 0]);
+        let (o, _) = optimize(&c);
+        assert_eq!(o.num_gates(), 2, "reversed CNOTs must not cancel");
+        assert_equivalent(&c, &o);
+    }
+
+    #[test]
+    fn rotations_merge_and_vanish() {
+        let mut c = Circuit::new(1);
+        c.push(GateKind::Rz(0.3), &[0]).push(GateKind::Rz(0.5), &[0]);
+        let (o, _) = optimize(&c);
+        assert_eq!(o.num_gates(), 1);
+        assert_eq!(o.ops[0].kind, GateKind::Rz(0.8));
+        assert_equivalent(&c, &o);
+
+        let mut c = Circuit::new(1);
+        c.push(GateKind::Rx(1.1), &[0]).push(GateKind::Rx(-1.1), &[0]);
+        let (o, _) = optimize(&c);
+        assert_eq!(o.num_gates(), 0);
+    }
+
+    #[test]
+    fn s_and_t_ladders_collapse() {
+        // T·T·T·T = S·S = Z.
+        let mut c = Circuit::new(1);
+        for _ in 0..4 {
+            c.push(GateKind::T, &[0]);
+        }
+        let (o, stats) = optimize(&c);
+        assert_eq!(o.num_gates(), 1);
+        assert_eq!(o.ops[0].kind, GateKind::Z);
+        assert!(stats.passes >= 2, "needs a fixed-point iteration");
+        assert_equivalent(&c, &o);
+    }
+
+    #[test]
+    fn identity_gates_dropped() {
+        let mut c = Circuit::new(2);
+        c.push(GateKind::Id, &[0]).push(GateKind::H, &[1]).push(GateKind::Id, &[1]);
+        let (o, _) = optimize(&c);
+        assert_eq!(o.num_gates(), 1);
+        assert_eq!(o.ops[0].kind, GateKind::H);
+    }
+
+    #[test]
+    fn cascading_cancellation_across_passes() {
+        // X H H X → X X → nothing, requires two sweeps.
+        let mut c = Circuit::new(1);
+        c.push(GateKind::X, &[0])
+            .push(GateKind::H, &[0])
+            .push(GateKind::H, &[0])
+            .push(GateKind::X, &[0]);
+        let (o, _) = optimize(&c);
+        assert_eq!(o.num_gates(), 0);
+    }
+
+    #[test]
+    fn measurement_is_a_barrier_for_optimization() {
+        let mut c = Circuit::new(1);
+        c.push(GateKind::H, &[0])
+            .push(GateKind::Measurement, &[0])
+            .push(GateKind::H, &[0]);
+        let (o, _) = optimize(&c);
+        assert_eq!(o.num_gates(), 3, "H|M|H must survive");
+    }
+
+    #[test]
+    fn random_circuits_with_planted_inverses_stay_equivalent() {
+        use crate::library::random_dense;
+        for seed in 0..8 {
+            let base = random_dense(6, 40, seed);
+            // Plant H·H and X·X pairs between every few gates.
+            let mut planted = Circuit::new(6);
+            for (i, op) in base.ops.iter().enumerate() {
+                planted.push(op.kind, &op.qubits);
+                if i % 5 == 0 {
+                    let q = i % 6;
+                    planted.push(GateKind::H, &[q]);
+                    planted.push(GateKind::H, &[q]);
+                }
+            }
+            let (o, stats) = optimize(&planted);
+            assert!(stats.gates_after < stats.gates_before, "seed {seed}");
+            assert_equivalent(&planted, &o);
+        }
+    }
+
+    #[test]
+    fn rqc_is_mostly_irreducible() {
+        // The supremacy circuit avoids adjacent repeats by construction;
+        // only incidental rotations merge (there are none), so the
+        // optimizer must keep it intact.
+        let c = crate::generate_rqc(&crate::RqcOptions::for_qubits(12, 8, 3));
+        let (o, stats) = optimize(&c);
+        assert_eq!(stats.gates_before, stats.gates_after);
+        assert_equivalent(&c, &o);
+    }
+}

@@ -1,0 +1,192 @@
+//! Parameterized quantum circuits (PQC) — the building block of
+//! variational algorithms and quantum machine learning, two of the
+//! application classes motivating the paper's introduction (§1: VQE,
+//! "quantum machine learning with Parametrized Quantum Circuits").
+//!
+//! A [`ParamCircuit`] is a circuit whose rotation angles may be *symbols*
+//! (indices into a parameter vector); [`ParamCircuit::bind`] substitutes
+//! concrete values to produce an ordinary [`Circuit`]. Gradient support
+//! (the parameter-shift rule) lives in `qsim-backends::variational`,
+//! which needs a simulator.
+
+use crate::circuit::{Circuit, GateOp};
+use crate::gates::GateKind;
+
+/// An angle that is either fixed or a trainable symbol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Param {
+    /// A literal angle.
+    Fixed(f64),
+    /// Index into the parameter vector passed to [`ParamCircuit::bind`].
+    Symbol(usize),
+}
+
+impl Param {
+    fn resolve(&self, values: &[f64]) -> f64 {
+        match *self {
+            Param::Fixed(v) => v,
+            Param::Symbol(i) => values[i],
+        }
+    }
+
+    fn symbol(&self) -> Option<usize> {
+        match *self {
+            Param::Symbol(i) => Some(i),
+            Param::Fixed(_) => None,
+        }
+    }
+}
+
+/// A gate whose parameters may be symbolic. Non-parameterized gates are
+/// carried as [`PGate::Fixed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PGate {
+    Rx(Param),
+    Ry(Param),
+    Rz(Param),
+    CPhase(Param),
+    /// Any concrete gate (including fixed-angle rotations).
+    Fixed(GateKind),
+}
+
+impl PGate {
+    fn bind(&self, values: &[f64]) -> GateKind {
+        match self {
+            PGate::Rx(p) => GateKind::Rx(p.resolve(values)),
+            PGate::Ry(p) => GateKind::Ry(p.resolve(values)),
+            PGate::Rz(p) => GateKind::Rz(p.resolve(values)),
+            PGate::CPhase(p) => GateKind::CPhase(p.resolve(values)),
+            PGate::Fixed(k) => *k,
+        }
+    }
+
+    /// The symbol this gate depends on, if any.
+    pub fn symbol(&self) -> Option<usize> {
+        match self {
+            PGate::Rx(p) | PGate::Ry(p) | PGate::Rz(p) | PGate::CPhase(p) => p.symbol(),
+            PGate::Fixed(_) => None,
+        }
+    }
+}
+
+/// One parameterized gate application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PGateOp {
+    pub time: usize,
+    pub gate: PGate,
+    pub qubits: Vec<usize>,
+}
+
+/// A circuit with symbolic parameters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParamCircuit {
+    pub num_qubits: usize,
+    pub ops: Vec<PGateOp>,
+    num_params: usize,
+}
+
+impl ParamCircuit {
+    /// Empty parameterized circuit.
+    pub fn new(num_qubits: usize) -> Self {
+        ParamCircuit { num_qubits, ops: Vec::new(), num_params: 0 }
+    }
+
+    /// Allocate a fresh trainable symbol.
+    pub fn new_param(&mut self) -> Param {
+        let p = Param::Symbol(self.num_params);
+        self.num_params += 1;
+        p
+    }
+
+    /// Number of trainable symbols allocated so far.
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// Append a gate one time slice after the last op.
+    pub fn push(&mut self, gate: PGate, qubits: &[usize]) -> &mut Self {
+        let time = self.ops.last().map_or(0, |op| op.time + 1);
+        self.ops.push(PGateOp { time, gate, qubits: qubits.to_vec() });
+        self
+    }
+
+    /// Substitute parameter values, producing a runnable circuit.
+    pub fn bind(&self, values: &[f64]) -> Circuit {
+        assert_eq!(
+            values.len(),
+            self.num_params,
+            "expected {} parameter values, got {}",
+            self.num_params,
+            values.len()
+        );
+        let mut circuit = Circuit::new(self.num_qubits);
+        for op in &self.ops {
+            circuit.ops.push(GateOp::new(op.time, op.gate.bind(values), op.qubits.clone()));
+        }
+        circuit
+    }
+
+    /// Ops that depend on symbol `i` (the shift-rule insertion points).
+    pub fn ops_for_symbol(&self, i: usize) -> Vec<usize> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.gate.symbol() == Some(i))
+            .map(|(idx, _)| idx)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_substitutes_symbols() {
+        let mut pc = ParamCircuit::new(2);
+        let a = pc.new_param();
+        let b = pc.new_param();
+        pc.push(PGate::Ry(a), &[0]);
+        pc.push(PGate::Fixed(GateKind::Cnot), &[0, 1]);
+        pc.push(PGate::Rz(b), &[1]);
+        pc.push(PGate::Rx(Param::Fixed(0.5)), &[0]);
+
+        let c = pc.bind(&[1.0, -2.0]);
+        assert_eq!(c.ops[0].kind, GateKind::Ry(1.0));
+        assert_eq!(c.ops[1].kind, GateKind::Cnot);
+        assert_eq!(c.ops[2].kind, GateKind::Rz(-2.0));
+        assert_eq!(c.ops[3].kind, GateKind::Rx(0.5));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn symbols_can_be_shared() {
+        let mut pc = ParamCircuit::new(2);
+        let theta = pc.new_param();
+        pc.push(PGate::Ry(theta), &[0]);
+        pc.push(PGate::Ry(theta), &[1]);
+        assert_eq!(pc.num_params(), 1);
+        let c = pc.bind(&[0.7]);
+        assert_eq!(c.ops[0].kind, GateKind::Ry(0.7));
+        assert_eq!(c.ops[1].kind, GateKind::Ry(0.7));
+        assert_eq!(pc.ops_for_symbol(0), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 parameter values")]
+    fn wrong_arity_rejected() {
+        let mut pc = ParamCircuit::new(1);
+        let a = pc.new_param();
+        let b = pc.new_param();
+        pc.push(PGate::Rx(a), &[0]);
+        pc.push(PGate::Rz(b), &[0]);
+        let _ = pc.bind(&[1.0]);
+    }
+
+    #[test]
+    fn fixed_gates_have_no_symbol() {
+        assert_eq!(PGate::Fixed(GateKind::H).symbol(), None);
+        assert_eq!(PGate::Rx(Param::Fixed(1.0)).symbol(), None);
+        assert_eq!(PGate::Ry(Param::Symbol(3)).symbol(), Some(3));
+    }
+}

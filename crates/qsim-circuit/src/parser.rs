@@ -1,0 +1,285 @@
+//! Reader/writer for qsim's text circuit format.
+//!
+//! The format (used by the `circuit_q30` RQC file the paper benchmarks):
+//! the first non-empty line is the number of qubits; every following line
+//! is `time gate qubit… [param…]`, whitespace-separated. `#` starts a
+//! comment. Examples:
+//!
+//! ```text
+//! 30
+//! 0 h 0
+//! 0 x_1_2 1
+//! 1 fs 0 1 0.5235987755982988 0.16
+//! 2 rz 3 0.25
+//! 3 m 0 1 2
+//! ```
+
+use std::fmt;
+
+use crate::circuit::{Circuit, GateOp};
+use crate::gates::GateKind;
+
+/// A parse failure with its (1-based) line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+/// Parse a circuit from qsim's text format.
+pub fn parse_circuit(text: &str) -> Result<Circuit, ParseError> {
+    let mut circuit: Option<Circuit> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        match circuit {
+            None => {
+                let n: usize = line
+                    .parse()
+                    .map_err(|_| ParseError {
+                        line: lineno,
+                        message: format!("expected qubit count, got '{line}'"),
+                    })?;
+                if n == 0 || n > qsim_core::statevec::MAX_QUBITS {
+                    return err(lineno, format!("qubit count {n} out of supported range"));
+                }
+                circuit = Some(Circuit::new(n));
+            }
+            Some(ref mut c) => {
+                let time: usize = match tok.next() {
+                    Some(t) => t.parse().map_err(|_| ParseError {
+                        line: lineno,
+                        message: format!("bad time '{t}'"),
+                    })?,
+                    None => return err(lineno, "missing time"),
+                };
+                let name = match tok.next() {
+                    Some(g) => g,
+                    None => return err(lineno, "missing gate name"),
+                };
+                let rest: Vec<&str> = tok.collect();
+                let op = parse_gate(lineno, time, name, &rest)?;
+                c.ops.push(op);
+            }
+        }
+    }
+    match circuit {
+        Some(c) => {
+            c.validate().map_err(|m| ParseError { line: 0, message: m })?;
+            Ok(c)
+        }
+        None => err(0, "empty circuit file"),
+    }
+}
+
+fn parse_usize(line: usize, tok: &str, what: &str) -> Result<usize, ParseError> {
+    tok.parse().map_err(|_| ParseError { line, message: format!("bad {what} '{tok}'") })
+}
+
+fn parse_f64(line: usize, tok: &str, what: &str) -> Result<f64, ParseError> {
+    tok.parse().map_err(|_| ParseError { line, message: format!("bad {what} '{tok}'") })
+}
+
+/// `(qubit_count, param_count)` required after a gate mnemonic; `None` for
+/// unknown gates.
+fn arity(name: &str) -> Option<(usize, usize)> {
+    Some(match name {
+        "id" | "x" | "y" | "z" | "h" | "s" | "t" | "x_1_2" | "y_1_2" | "hz_1_2" => (1, 0),
+        "rx" | "ry" | "rz" => (1, 1),
+        "rxy" => (1, 2),
+        "cz" | "cnot" | "sw" | "is" => (2, 0),
+        "cp" => (2, 1),
+        "fs" => (2, 2),
+        "m" => return None, // variadic, handled separately
+        _ => return None,
+    })
+}
+
+fn parse_gate(line: usize, time: usize, name: &str, rest: &[&str]) -> Result<GateOp, ParseError> {
+    if name == "m" {
+        if rest.is_empty() {
+            return err(line, "measurement needs at least one qubit");
+        }
+        let qubits = rest
+            .iter()
+            .map(|t| parse_usize(line, t, "qubit"))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(GateOp::new(time, GateKind::Measurement, qubits));
+    }
+
+    let (nq, np) = match arity(name) {
+        Some(a) => a,
+        None => return err(line, format!("unknown gate '{name}'")),
+    };
+    if rest.len() != nq + np {
+        return err(
+            line,
+            format!("gate '{name}' expects {nq} qubit(s) and {np} param(s), got {} token(s)", rest.len()),
+        );
+    }
+    let qubits = rest[..nq]
+        .iter()
+        .map(|t| parse_usize(line, t, "qubit"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let params = rest[nq..]
+        .iter()
+        .map(|t| parse_f64(line, t, "parameter"))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let kind = match name {
+        "id" => GateKind::Id,
+        "x" => GateKind::X,
+        "y" => GateKind::Y,
+        "z" => GateKind::Z,
+        "h" => GateKind::H,
+        "s" => GateKind::S,
+        "t" => GateKind::T,
+        "x_1_2" => GateKind::X12,
+        "y_1_2" => GateKind::Y12,
+        "hz_1_2" => GateKind::Hz12,
+        "rx" => GateKind::Rx(params[0]),
+        "ry" => GateKind::Ry(params[0]),
+        "rz" => GateKind::Rz(params[0]),
+        "rxy" => GateKind::Rxy(params[0], params[1]),
+        "cz" => GateKind::Cz,
+        "cnot" => GateKind::Cnot,
+        "sw" => GateKind::Swap,
+        "is" => GateKind::ISwap,
+        "cp" => GateKind::CPhase(params[0]),
+        "fs" => GateKind::FSim(params[0], params[1]),
+        _ => unreachable!("arity() vetted the name"),
+    };
+    Ok(GateOp::new(time, kind, qubits))
+}
+
+/// Serialize a circuit to qsim's text format (inverse of
+/// [`parse_circuit`]; floats are written with enough digits to round-trip).
+pub fn write_circuit(circuit: &Circuit) -> String {
+    let mut out = String::with_capacity(16 * circuit.ops.len() + 8);
+    out.push_str(&circuit.num_qubits.to_string());
+    out.push('\n');
+    for op in &circuit.ops {
+        out.push_str(&op.time.to_string());
+        out.push(' ');
+        out.push_str(op.kind.name());
+        for q in &op.qubits {
+            out.push(' ');
+            out.push_str(&q.to_string());
+        }
+        for p in op.kind.params() {
+            out.push(' ');
+            // {:?} prints f64 with round-trip precision.
+            out.push_str(&format!("{p:?}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal() {
+        let c = parse_circuit("2\n0 h 0\n1 cz 0 1\n").unwrap();
+        assert_eq!(c.num_qubits, 2);
+        assert_eq!(c.num_gates(), 2);
+        assert_eq!(c.ops[0].kind, GateKind::H);
+        assert_eq!(c.ops[1].kind, GateKind::Cz);
+        assert_eq!(c.ops[1].qubits, vec![0, 1]);
+    }
+
+    #[test]
+    fn parse_params_and_comments() {
+        let text = "# RQC fragment\n3\n0 rz 1 0.25 # quarter turn\n\n1 fs 0 2 0.5 0.125\n2 rxy 1 0.3 0.7\n";
+        let c = parse_circuit(text).unwrap();
+        assert_eq!(c.ops[0].kind, GateKind::Rz(0.25));
+        assert_eq!(c.ops[1].kind, GateKind::FSim(0.5, 0.125));
+        assert_eq!(c.ops[2].kind, GateKind::Rxy(0.3, 0.7));
+    }
+
+    #[test]
+    fn parse_measurement_variadic() {
+        let c = parse_circuit("3\n0 h 0\n1 m 0 1 2\n").unwrap();
+        assert_eq!(c.ops[1].kind, GateKind::Measurement);
+        assert_eq!(c.ops[1].qubits, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unknown_gate_rejected() {
+        let e = parse_circuit("2\n0 foo 0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown gate"));
+    }
+
+    #[test]
+    fn wrong_token_count_rejected() {
+        let e = parse_circuit("2\n0 cz 0\n").unwrap_err();
+        assert!(e.message.contains("expects 2 qubit"));
+        let e = parse_circuit("2\n0 rz 0\n").unwrap_err();
+        assert!(e.message.contains("expects 1 qubit(s) and 1 param"));
+    }
+
+    #[test]
+    fn bad_tokens_rejected() {
+        assert!(parse_circuit("two\n").is_err());
+        assert!(parse_circuit("2\nzero h 0\n").is_err());
+        assert!(parse_circuit("2\n0 h q0\n").is_err());
+        assert!(parse_circuit("2\n0 rz 0 angle\n").is_err());
+        assert!(parse_circuit("").is_err());
+        assert!(parse_circuit("2\n0\n").is_err());
+        assert!(parse_circuit("2\n0 m\n").is_err());
+    }
+
+    #[test]
+    fn out_of_range_qubit_rejected_via_validate() {
+        assert!(parse_circuit("2\n0 h 5\n").is_err());
+    }
+
+    #[test]
+    fn qubit_count_bounds() {
+        assert!(parse_circuit("0\n").is_err());
+        assert!(parse_circuit("99\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = "4\n0 h 0\n0 x_1_2 1\n1 fs 0 1 0.5235987755982988 0.16\n2 rz 3 -0.25\n3 cnot 2 3\n4 m 0 1\n";
+        let c = parse_circuit(text).unwrap();
+        let written = write_circuit(&c);
+        let c2 = parse_circuit(&written).unwrap();
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_float_precision() {
+        let theta = std::f64::consts::PI / 6.0;
+        let mut c = Circuit::new(2);
+        c.add(0, GateKind::FSim(theta, 1.0 / 3.0), &[0, 1]);
+        let c2 = parse_circuit(&write_circuit(&c)).unwrap();
+        match c2.ops[0].kind {
+            GateKind::FSim(t, p) => {
+                assert_eq!(t, theta);
+                assert_eq!(p, 1.0 / 3.0);
+            }
+            ref k => panic!("wrong kind {k:?}"),
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Random Quantum Circuit (RQC) generator.
+//!
+//! RQC sampling is the paper's benchmark workload (§4): the circuit family
+//! from the quantum-supremacy experiment (Arute et al. 2019), which qsim
+//! ships as input files such as `circuit_q30`. Structure, per *cycle*:
+//!
+//! 1. a single-qubit gate on every qubit, drawn uniformly from
+//!    {√X, √Y, √W} with the supremacy rule that a qubit never receives the
+//!    same gate in two consecutive cycles;
+//! 2. a two-qubit entangler (fSim(π/2, π/6) by default, CZ optionally) on
+//!    one of four grid coupler patterns, following the supremacy pattern
+//!    sequence A B C D C D A B, repeating.
+//!
+//! A final single-qubit layer closes the circuit. The paper's 30-qubit
+//! circuit corresponds to a 5×6 grid.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::circuit::Circuit;
+use crate::gates::GateKind;
+
+/// Two-qubit entangler family for the RQC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Entangler {
+    /// fSim(θ, φ) — the supremacy gate; defaults θ=π/2, φ=π/6.
+    FSim { theta: f64, phi: f64 },
+    /// Plain CZ (earlier RQC papers).
+    Cz,
+}
+
+impl Default for Entangler {
+    fn default() -> Self {
+        Entangler::FSim { theta: std::f64::consts::FRAC_PI_2, phi: std::f64::consts::FRAC_PI_6 }
+    }
+}
+
+/// RQC generation options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RqcOptions {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns (`rows × cols` qubits).
+    pub cols: usize,
+    /// Number of cycles (each cycle = one single-qubit layer + one
+    /// two-qubit layer).
+    pub cycles: usize,
+    /// PRNG seed — same seed, same circuit.
+    pub seed: u64,
+    /// Two-qubit gate family.
+    pub entangler: Entangler,
+    /// Append a terminal measurement of all qubits.
+    pub measure: bool,
+}
+
+impl RqcOptions {
+    /// The paper's configuration: 30 qubits (5×6 grid), supremacy-depth
+    /// 14 cycles, fSim entanglers.
+    pub fn paper_q30() -> Self {
+        RqcOptions { rows: 5, cols: 6, cycles: 14, seed: 2023, entangler: Entangler::default(), measure: false }
+    }
+
+    /// A near-square grid for `n` qubits (rows ≤ cols, rows·cols = n).
+    pub fn for_qubits(n: usize, cycles: usize, seed: u64) -> Self {
+        assert!(n >= 2, "RQC needs at least 2 qubits");
+        let mut rows = (n as f64).sqrt() as usize;
+        while rows > 1 && !n.is_multiple_of(rows) {
+            rows -= 1;
+        }
+        RqcOptions {
+            rows,
+            cols: n / rows,
+            cycles,
+            seed,
+            entangler: Entangler::default(),
+            measure: false,
+        }
+    }
+
+    /// Total qubit count.
+    pub fn num_qubits(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// The four supremacy coupler patterns on a grid, in the repeating
+/// activation order A B C D C D A B.
+const PATTERN_SEQUENCE: [usize; 8] = [0, 1, 2, 3, 2, 3, 0, 1];
+
+/// Enumerate the qubit pairs of coupler pattern `p` (0..4) on an
+/// `rows × cols` grid. Patterns 0/1 are vertical couplings on alternating
+/// diagonals, 2/3 horizontal — every qubit appears in at most one pair per
+/// pattern.
+fn pattern_pairs(rows: usize, cols: usize, p: usize) -> Vec<(usize, usize)> {
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut pairs = Vec::new();
+    match p {
+        0 | 1 => {
+            // vertical: (r, c)-(r+1, c) where (r + c) % 2 selects the set
+            for r in 0..rows.saturating_sub(1) {
+                for c in 0..cols {
+                    if (r + c) % 2 == p {
+                        pairs.push((idx(r, c), idx(r + 1, c)));
+                    }
+                }
+            }
+        }
+        2 | 3 => {
+            // horizontal: (r, c)-(r, c+1) where (r + c) % 2 selects the set
+            for r in 0..rows {
+                for c in 0..cols.saturating_sub(1) {
+                    if (r + c) % 2 == p - 2 {
+                        pairs.push((idx(r, c), idx(r, c + 1)));
+                    }
+                }
+            }
+        }
+        _ => panic!("pattern index must be 0..4, got {p}"),
+    }
+    pairs
+}
+
+/// Generate an RQC circuit.
+pub fn generate_rqc(opts: &RqcOptions) -> Circuit {
+    let n = opts.num_qubits();
+    assert!((2..=qsim_core::statevec::MAX_QUBITS).contains(&n), "unsupported qubit count {n}");
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut circuit = Circuit::new(n);
+
+    const SQRT_GATES: [GateKind; 3] = [GateKind::X12, GateKind::Y12, GateKind::Hz12];
+    // Last single-qubit gate index per qubit (3 = none yet).
+    let mut last = vec![3usize; n];
+    let mut time = 0usize;
+
+    let single_layer = |circuit: &mut Circuit, time: usize, last: &mut [usize], rng: &mut StdRng| {
+        for (q, last_g) in last.iter_mut().enumerate() {
+            // Draw from the two gates ≠ last[q] (or all three initially).
+            let g = loop {
+                let g = rng.gen_range(0..3);
+                if g != *last_g {
+                    break g;
+                }
+            };
+            *last_g = g;
+            circuit.add(time, SQRT_GATES[g], &[q]);
+        }
+    };
+
+    for cycle in 0..opts.cycles {
+        single_layer(&mut circuit, time, &mut last, &mut rng);
+        time += 1;
+        let pattern = PATTERN_SEQUENCE[cycle % PATTERN_SEQUENCE.len()];
+        let kind = match opts.entangler {
+            Entangler::FSim { theta, phi } => GateKind::FSim(theta, phi),
+            Entangler::Cz => GateKind::Cz,
+        };
+        for (a, b) in pattern_pairs(opts.rows, opts.cols, pattern) {
+            circuit.add(time, kind, &[a, b]);
+        }
+        time += 1;
+    }
+    // Closing single-qubit layer.
+    single_layer(&mut circuit, time, &mut last, &mut rng);
+    if opts.measure {
+        time += 1;
+        let all: Vec<usize> = (0..n).collect();
+        circuit.add(time, GateKind::Measurement, &all);
+    }
+    debug_assert!(circuit.validate().is_ok());
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_shape() {
+        let opts = RqcOptions::paper_q30();
+        assert_eq!(opts.num_qubits(), 30);
+        let c = generate_rqc(&opts);
+        assert_eq!(c.num_qubits, 30);
+        c.validate().unwrap();
+        let (one, two, meas) = c.gate_counts();
+        // 15 single-qubit layers of 30 gates.
+        assert_eq!(one, 15 * 30);
+        assert!(two > 0);
+        assert_eq!(meas, 0);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let opts = RqcOptions::for_qubits(12, 6, 99);
+        assert_eq!(generate_rqc(&opts), generate_rqc(&opts));
+        let mut opts2 = opts.clone();
+        opts2.seed = 100;
+        assert_ne!(generate_rqc(&opts), generate_rqc(&opts2));
+    }
+
+    #[test]
+    fn no_consecutive_repeat_single_qubit_gates() {
+        let c = generate_rqc(&RqcOptions::for_qubits(16, 10, 5));
+        let n = c.num_qubits;
+        let mut last: Vec<Option<GateKind>> = vec![None; n];
+        for op in &c.ops {
+            if op.qubits.len() == 1 && !op.is_measurement() {
+                let q = op.qubits[0];
+                assert_ne!(last[q], Some(op.kind), "qubit {q} repeats {:?}", op.kind);
+                last[q] = Some(op.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_pairs_are_disjoint_within_pattern() {
+        for p in 0..4 {
+            let pairs = pattern_pairs(5, 6, p);
+            let mut used = vec![false; 30];
+            for (a, b) in pairs {
+                assert!(!used[a] && !used[b], "pattern {p} reuses a qubit");
+                used[a] = true;
+                used[b] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn patterns_cover_all_grid_edges() {
+        let rows = 4;
+        let cols = 5;
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for p in 0..4 {
+            edges.extend(pattern_pairs(rows, cols, p));
+        }
+        // Grid has rows*(cols-1) horizontal + (rows-1)*cols vertical edges.
+        assert_eq!(edges.len(), rows * (cols - 1) + (rows - 1) * cols);
+        edges.sort_unstable();
+        edges.dedup();
+        assert_eq!(edges.len(), rows * (cols - 1) + (rows - 1) * cols);
+    }
+
+    #[test]
+    fn for_qubits_factorizations() {
+        let o = RqcOptions::for_qubits(30, 14, 0);
+        assert_eq!((o.rows, o.cols), (5, 6));
+        let o = RqcOptions::for_qubits(16, 14, 0);
+        assert_eq!((o.rows, o.cols), (4, 4));
+        let o = RqcOptions::for_qubits(13, 14, 0); // prime: 1×13 strip
+        assert_eq!((o.rows, o.cols), (1, 13));
+        assert_eq!(o.num_qubits(), 13);
+    }
+
+    #[test]
+    fn measure_flag_appends_measurement() {
+        let mut opts = RqcOptions::for_qubits(6, 3, 1);
+        opts.measure = true;
+        let c = generate_rqc(&opts);
+        let last = c.ops.last().unwrap();
+        assert!(last.is_measurement());
+        assert_eq!(last.qubits.len(), 6);
+    }
+
+    #[test]
+    fn cz_entangler_option() {
+        let mut opts = RqcOptions::for_qubits(9, 4, 7);
+        opts.entangler = Entangler::Cz;
+        let c = generate_rqc(&opts);
+        assert!(c.ops.iter().any(|op| op.kind == GateKind::Cz));
+        assert!(!c.ops.iter().any(|op| matches!(op.kind, GateKind::FSim(_, _))));
+    }
+
+    #[test]
+    fn depth_grows_with_cycles() {
+        let c1 = generate_rqc(&RqcOptions::for_qubits(6, 2, 3));
+        let c2 = generate_rqc(&RqcOptions::for_qubits(6, 8, 3));
+        assert!(c2.num_gates() > c1.num_gates());
+        assert!(c2.depth() > c1.depth());
+    }
+}

@@ -1,0 +1,86 @@
+//! `rqc_gen` — generate Random Quantum Circuit files in qsim's text
+//! format, the stand-in for the `circuit_q30` input file the paper pulls
+//! from the qsim repository.
+//!
+//! ```text
+//! rqc_gen -q 30 -d 14 -s 2023 -o circuits/circuit_q30
+//! ```
+
+use std::process::ExitCode;
+
+use qsim_circuit::parser::write_circuit;
+use qsim_circuit::{generate_rqc, RqcOptions};
+
+const USAGE: &str = "\
+rqc_gen — write a supremacy-style Random Quantum Circuit in qsim's format
+
+USAGE:
+    rqc_gen [-q QUBITS] [-d CYCLES] [-s SEED] [-o FILE]
+
+OPTIONS:
+    -q N     number of qubits, arranged on a near-square grid (default 30)
+    -d N     number of cycles (default 14, the paper's depth)
+    -s SEED  PRNG seed (default 2023)
+    -o FILE  output path (default: stdout)
+    -h       this help
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut qubits = 30usize;
+    let mut cycles = 14usize;
+    let mut seed = 2023u64;
+    let mut out: Option<String> = None;
+
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let value = match flag.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ => match it.next() {
+                Some(v) => v,
+                None => {
+                    eprintln!("error: missing value for {flag}\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        let ok = match flag.as_str() {
+            "-q" => value.parse().map(|v| qubits = v).is_ok(),
+            "-d" => value.parse().map(|v| cycles = v).is_ok(),
+            "-s" => value.parse().map(|v| seed = v).is_ok(),
+            "-o" => {
+                out = Some(value.clone());
+                true
+            }
+            _ => {
+                eprintln!("error: unknown option '{flag}'\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !ok {
+            eprintln!("error: bad value '{value}' for {flag}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let circuit = generate_rqc(&RqcOptions::for_qubits(qubits, cycles, seed));
+    let text = write_circuit(&circuit);
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let (one, two, _) = circuit.gate_counts();
+            eprintln!(
+                "wrote {path}: {} qubits, {} single-qubit + {} two-qubit gates",
+                circuit.num_qubits, one, two
+            );
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}

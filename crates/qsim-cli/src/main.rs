@@ -1,0 +1,242 @@
+//! `qsim_base` — the command-line simulator app, mirroring qsim's
+//! `qsim_base_cuda.cu → qsim_base_hip.cpp` program from the paper's §3:
+//! reads a circuit file in qsim's text format, runs it on a chosen
+//! backend with a chosen maximum fused-gate size and precision, and
+//! prints amplitudes plus timing.
+//!
+//! ```text
+//! qsim_base -c circuits/circuit_q24 -b hip -f 4 -p single -t trace.json
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use qsim_backends::{Backend, Flavor, RunOptions, RunReport, SimBackend};
+use qsim_circuit::parser::parse_circuit;
+use qsim_core::types::Precision;
+use qsim_fusion::fuse;
+use qsim_trace::{Profiler, TraceStats};
+
+struct Args {
+    circuit_file: String,
+    max_fused: usize,
+    backend: Flavor,
+    precision: Precision,
+    seed: u64,
+    trace_file: Option<String>,
+    num_amplitudes: usize,
+    sample_count: usize,
+    estimate_only: bool,
+    verbose: bool,
+}
+
+const USAGE: &str = "\
+qsim_base — state-vector circuit simulator on modeled CPU/GPU backends
+
+USAGE:
+    qsim_base -c <circuit-file> [options]
+
+OPTIONS:
+    -c FILE    circuit file in qsim text format (required)
+    -f N       maximum number of fused gate qubits, 1..=6 (default 2)
+    -b NAME    backend: cpu | cuda | custatevec | hip (default cpu)
+    -p PREC    precision: single | double (default single)
+    -s SEED    seed for measurement gates (default 0)
+    -t FILE    write a Perfetto/Chrome trace JSON to FILE
+    -n N       print the first N amplitudes (default 8)
+    -S N       sample N bitstrings from the final state (SampleKernel)
+    -e         estimate only: model the timing without computing
+               amplitudes (permits the paper's 30-qubit runs anywhere)
+    -v         print per-kernel statistics
+    -h         this help
+";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        circuit_file: String::new(),
+        max_fused: 2,
+        backend: Flavor::CpuAvx,
+        precision: Precision::Single,
+        seed: 0,
+        trace_file: None,
+        num_amplitudes: 8,
+        sample_count: 0,
+        estimate_only: false,
+        verbose: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "-c" => args.circuit_file = value("-c")?,
+            "-f" => {
+                args.max_fused = value("-f")?
+                    .parse()
+                    .map_err(|_| "-f expects an integer".to_string())?
+            }
+            "-b" => {
+                args.backend = match value("-b")?.as_str() {
+                    "cpu" => Flavor::CpuAvx,
+                    "cuda" => Flavor::Cuda,
+                    "custatevec" => Flavor::CuStateVec,
+                    "hip" => Flavor::Hip,
+                    other => return Err(format!("unknown backend '{other}'")),
+                }
+            }
+            "-p" => {
+                args.precision = match value("-p")?.as_str() {
+                    "single" => Precision::Single,
+                    "double" => Precision::Double,
+                    other => return Err(format!("unknown precision '{other}'")),
+                }
+            }
+            "-s" => {
+                args.seed =
+                    value("-s")?.parse().map_err(|_| "-s expects an integer".to_string())?
+            }
+            "-t" => args.trace_file = Some(value("-t")?),
+            "-n" => {
+                args.num_amplitudes =
+                    value("-n")?.parse().map_err(|_| "-n expects an integer".to_string())?
+            }
+            "-S" => {
+                args.sample_count =
+                    value("-S")?.parse().map_err(|_| "-S expects an integer".to_string())?
+            }
+            "-e" => args.estimate_only = true,
+            "-v" => args.verbose = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    if args.circuit_file.is_empty() {
+        return Err("a circuit file is required (-c FILE)".into());
+    }
+    Ok(args)
+}
+
+fn print_report(report: &RunReport, verbose: bool, profiler: Option<&Profiler>) {
+    println!("backend:            {} ({})", report.backend, report.device);
+    println!("precision:          {}", report.precision);
+    println!("qubits:             {}", report.num_qubits);
+    println!("max fused qubits:   {}", report.max_fused_qubits);
+    println!("fused gate passes:  {}", report.fused_gates);
+    println!("state memory:       {:.3} GiB", report.state_bytes as f64 / (1u64 << 30) as f64);
+    println!("simulated time:     {:.6} s (device model)", report.simulated_seconds);
+    println!(
+        "  of which fusion:  {:.6} s ({:.2} %)",
+        report.fusion_seconds,
+        100.0 * report.fusion_fraction()
+    );
+    println!("host wall time:     {:.6} s", report.wall_seconds);
+    for (qubits, outcome) in &report.measurements {
+        println!("measured {qubits:?} -> {outcome:#b}");
+    }
+    if !report.samples.is_empty() {
+        println!("\nsampled bitstrings (first 20 of {}):", report.samples.len());
+        for s in report.samples.iter().take(20) {
+            println!("  {s:0width$b}", width = report.num_qubits);
+        }
+    }
+    if verbose {
+        if let Some(p) = profiler {
+            println!("\nper-kernel statistics (simulated):");
+            print!("{}", TraceStats::from_spans(&p.spans()).table());
+        } else {
+            println!("\nper-kernel launch totals:");
+            for k in &report.kernels {
+                println!("  {:<28} {:>6} calls {:>14.1} us", k.name, k.count, k.time_us);
+            }
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let text = std::fs::read_to_string(&args.circuit_file)
+        .map_err(|e| format!("cannot read {}: {e}", args.circuit_file))?;
+    let circuit = parse_circuit(&text).map_err(|e| format!("parse error: {e}"))?;
+    let (one, two, meas) = circuit.gate_counts();
+    println!(
+        "circuit: {} qubits, {} gates ({} single-qubit, {} two-qubit, {} measurement)",
+        circuit.num_qubits,
+        circuit.num_gates(),
+        one,
+        two,
+        meas
+    );
+
+    let fuse_start = std::time::Instant::now();
+    let fused = fuse(&circuit, args.max_fused);
+    let stats = fused.stats();
+    println!(
+        "fusion:  {} passes from {} gates (compression {:.2}x, host wall {:.3} ms)",
+        stats.fused_gates,
+        stats.source_gates,
+        stats.compression(),
+        fuse_start.elapsed().as_secs_f64() * 1e3
+    );
+
+    let profiler = args.trace_file.as_ref().map(|_| Arc::new(Profiler::new()));
+    let backend = match &profiler {
+        Some(p) => SimBackend::with_trace(args.backend, p.clone() as Arc<dyn gpu_model::TraceSink>),
+        None => SimBackend::new(args.backend),
+    };
+    let opts = RunOptions { seed: args.seed, sample_count: args.sample_count };
+
+    if args.estimate_only {
+        let report = backend.estimate(&fused, args.precision).map_err(|e| e.to_string())?;
+        print_report(&report, args.verbose, profiler.as_deref());
+    } else {
+        match args.precision {
+            Precision::Single => {
+                let (state, report) = backend.run_f32(&fused, &opts).map_err(|e| e.to_string())?;
+                print_report(&report, args.verbose, profiler.as_deref());
+                println!("\nfirst {} amplitudes:", args.num_amplitudes.min(state.len()));
+                for i in 0..args.num_amplitudes.min(state.len()) {
+                    let a = state.amplitude(i);
+                    println!("{i:>6}  {:+.8}  {:+.8}", a.re, a.im);
+                }
+            }
+            Precision::Double => {
+                let (state, report) = backend.run_f64(&fused, &opts).map_err(|e| e.to_string())?;
+                print_report(&report, args.verbose, profiler.as_deref());
+                println!("\nfirst {} amplitudes:", args.num_amplitudes.min(state.len()));
+                for i in 0..args.num_amplitudes.min(state.len()) {
+                    let a = state.amplitude(i);
+                    println!("{i:>6}  {:+.16}  {:+.16}", a.re, a.im);
+                }
+            }
+        }
+    }
+
+    if let (Some(path), Some(p)) = (&args.trace_file, &profiler) {
+        let json = qsim_trace::perfetto::to_json(&p.spans());
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("\ntrace written to {path} (load at https://ui.perfetto.dev)");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv) {
+        Ok(args) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("error: {msg}\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! End-to-end tests of the command-line tools, driving the real binaries
+//! the way a user would.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn qsim_base() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_qsim_base"))
+}
+
+fn rqc_gen() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rqc_gen"))
+}
+
+fn qsim_amplitudes() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_qsim_amplitudes"))
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("qsim_cli_test_{}_{name}", std::process::id()));
+    p
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn write_bell() -> PathBuf {
+    let path = tmpfile("bell");
+    std::fs::write(&path, "2\n0 h 0\n1 cnot 0 1\n").expect("write circuit");
+    path
+}
+
+#[test]
+fn qsim_base_runs_bell_circuit() {
+    let circuit = write_bell();
+    let out = qsim_base()
+        .args(["-c", circuit.to_str().unwrap(), "-b", "hip", "-f", "2"])
+        .output()
+        .expect("run qsim_base");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("backend:            hip"));
+    assert!(text.contains("+0.70710677"), "amplitudes missing:\n{text}");
+    assert!(text.contains("simulated time"));
+}
+
+#[test]
+fn qsim_base_estimate_mode_handles_30_qubits() {
+    // Generate the paper's circuit, then estimate without allocating 8 GiB.
+    let circuit = tmpfile("q30");
+    let gen = rqc_gen()
+        .args(["-q", "30", "-d", "14", "-s", "2023", "-o", circuit.to_str().unwrap()])
+        .output()
+        .expect("run rqc_gen");
+    assert!(gen.status.success(), "stderr: {}", stderr(&gen));
+
+    let out = qsim_base()
+        .args(["-c", circuit.to_str().unwrap(), "-b", "hip", "-f", "4", "-e", "-v"])
+        .output()
+        .expect("run qsim_base");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("qubits:             30"));
+    assert!(text.contains("ApplyGateL_Kernel"), "kernel stats expected:\n{text}");
+    assert!(text.contains("state memory:       8.000 GiB"));
+}
+
+#[test]
+fn qsim_base_writes_perfetto_trace() {
+    let circuit = write_bell();
+    let trace = tmpfile("trace.json");
+    let out = qsim_base()
+        .args([
+            "-c",
+            circuit.to_str().unwrap(),
+            "-b",
+            "cuda",
+            "-t",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run qsim_base");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let json = std::fs::read_to_string(&trace).expect("trace written");
+    let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    assert!(!v["traceEvents"].as_array().unwrap().is_empty());
+}
+
+#[test]
+fn qsim_base_rejects_bad_input() {
+    let out = qsim_base().args(["-c", "/nonexistent/file"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot read"));
+
+    let bad = tmpfile("bad");
+    std::fs::write(&bad, "2\n0 frobnicate 0\n").expect("write");
+    let out = qsim_base().args(["-c", bad.to_str().unwrap()]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown gate"));
+
+    let out = qsim_base().args(["-x"]).output().expect("run");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn qsim_base_samples_bitstrings() {
+    let circuit = write_bell();
+    let out = qsim_base()
+        .args(["-c", circuit.to_str().unwrap(), "-b", "hip", "-S", "50", "-s", "3"])
+        .output()
+        .expect("run qsim_base");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("sampled bitstrings (first 20 of 50)"), "{text}");
+    // Bell state: every sampled line is 00 or 11.
+    let lines: Vec<&str> = text
+        .lines()
+        .skip_while(|l| !l.contains("sampled bitstrings"))
+        .skip(1)
+        .take_while(|l| l.starts_with("  "))
+        .collect();
+    assert!(!lines.is_empty());
+    for l in &lines {
+        let bits = l.trim();
+        assert!(bits == "00" || bits == "11", "unexpected sample {bits}");
+    }
+}
+
+#[test]
+fn qsim_base_help() {
+    let out = qsim_base().arg("-h").output().expect("run");
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+}
+
+#[test]
+fn rqc_gen_roundtrips_through_qsim_base() {
+    let circuit = tmpfile("q8");
+    let gen = rqc_gen()
+        .args(["-q", "8", "-d", "6", "-s", "1", "-o", circuit.to_str().unwrap()])
+        .output()
+        .expect("run rqc_gen");
+    assert!(gen.status.success());
+    let out = qsim_base()
+        .args(["-c", circuit.to_str().unwrap(), "-b", "cpu", "-f", "4", "-n", "2"])
+        .output()
+        .expect("run qsim_base");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("8 qubits"));
+}
+
+#[test]
+fn qsim_amplitudes_queries_bitstrings() {
+    let circuit = write_bell();
+    let queries = tmpfile("queries");
+    std::fs::write(&queries, "# bell outputs\n00\n11\n01\n").expect("write queries");
+    let out = qsim_amplitudes()
+        .args([
+            "-c",
+            circuit.to_str().unwrap(),
+            "-i",
+            queries.to_str().unwrap(),
+            "-b",
+            "custatevec",
+        ])
+        .output()
+        .expect("run qsim_amplitudes");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("00  +0.70710677"), "{text}");
+    assert!(text.contains("11  +0.70710677"), "{text}");
+    assert!(text.contains("01  +0.00000000"), "{text}");
+}
+
+#[test]
+fn qsim_amplitudes_validates_bit_width() {
+    let circuit = write_bell();
+    let queries = tmpfile("badbits");
+    std::fs::write(&queries, "000\n").expect("write");
+    let out = qsim_amplitudes()
+        .args(["-c", circuit.to_str().unwrap(), "-i", queries.to_str().unwrap()])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("has 3 bits"));
+}

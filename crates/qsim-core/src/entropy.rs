@@ -1,0 +1,243 @@
+//! Entanglement measures: partial trace, Hermitian eigenvalues (cyclic
+//! Jacobi), and von Neumann entropy.
+//!
+//! These close the loop on the RQC workload's *physics*: a deep random
+//! circuit drives any half-register cut to near-maximal entanglement (the
+//! Page value `k − 1/(2·ln 2)` bits for a `k`-qubit subsystem of a much
+//! larger pure state), which the integration tests verify.
+
+use crate::density::DensityMatrix;
+use crate::statevec::StateVector;
+use crate::types::{Cplx, Float};
+
+/// Reduced density matrix of `keep` (sorted ascending) qubits of a pure
+/// state: `ρ_A = Tr_B |ψ⟩⟨ψ|`.
+pub fn partial_trace<F: Float>(state: &StateVector<F>, keep: &[usize]) -> DensityMatrix<f64> {
+    let n = state.num_qubits();
+    assert!(!keep.is_empty(), "keep at least one qubit");
+    assert!(keep.windows(2).all(|w| w[0] < w[1]), "keep must be sorted ascending and distinct");
+    assert!(keep.iter().all(|&q| q < n), "kept qubit out of range");
+    let k = keep.len();
+    assert!(
+        k <= crate::density::MAX_DENSITY_QUBITS,
+        "reduced system too large ({k} qubits)"
+    );
+
+    let traced: Vec<usize> = (0..n).filter(|q| !keep.contains(q)).collect();
+    let dim = 1usize << k;
+    let mut rho = vec![Cplx::<f64>::zero(); dim * dim];
+
+    // ρ_A[r, c] = Σ_b ψ[r ⊗ b] · conj(ψ[c ⊗ b])
+    for b in 0..1usize << traced.len() {
+        let env: usize = traced
+            .iter()
+            .enumerate()
+            .map(|(j, &q)| ((b >> j) & 1) << q)
+            .sum();
+        for r in 0..dim {
+            let ri = env | crate::matrix::deposit_bits(r, keep);
+            let ar = state.amplitude(ri).to_f64();
+            for c in 0..dim {
+                let ci = env | crate::matrix::deposit_bits(c, keep);
+                rho[r | (c << k)] += ar * state.amplitude(ci).to_f64().conj();
+            }
+        }
+    }
+    DensityMatrix::from_vectorized(k, rho)
+}
+
+/// Eigenvalues of a Hermitian matrix given in vectorized density-matrix
+/// layout, by the cyclic Jacobi method (adequate for the ≤ `2^13`
+/// dimensions this crate handles; intended for small reduced systems).
+pub fn hermitian_eigenvalues(rho: &DensityMatrix<f64>) -> Vec<f64> {
+    let n = rho.num_qubits();
+    let dim = 1usize << n;
+    // Work on a dense row-major copy.
+    let mut a: Vec<Cplx<f64>> = (0..dim * dim)
+        .map(|idx| rho.get(idx / dim, idx % dim))
+        .collect();
+    let at = |a: &[Cplx<f64>], r: usize, c: usize| a[r * dim + c];
+
+    for _sweep in 0..60 {
+        let mut off = 0.0f64;
+        for r in 0..dim {
+            for c in r + 1..dim {
+                off += at(&a, r, c).norm_sqr();
+            }
+        }
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..dim {
+            for q in p + 1..dim {
+                let apq = at(&a, p, q);
+                if apq.norm_sqr() < 1e-30 {
+                    continue;
+                }
+                // Complex Jacobi rotation zeroing a[p][q]:
+                // phase-align, then the real 2×2 rotation.
+                let app = at(&a, p, p).re;
+                let aqq = at(&a, q, q).re;
+                let abs = apq.abs();
+                let phase = apq.scale(1.0 / abs); // e^{iφ}
+                let theta = 0.5 * (2.0 * abs).atan2(app - aqq);
+                let (c_r, s_r) = (theta.cos(), theta.sin());
+                // Column rotation: col_p' = c·col_p + s·e^{-iφ}·col_q,
+                //                  col_q' = -s·e^{iφ}·col_p + c·col_q.
+                for r in 0..dim {
+                    let xp = a[r * dim + p];
+                    let xq = a[r * dim + q];
+                    a[r * dim + p] = xp.scale(c_r) + (phase.conj() * xq).scale(s_r);
+                    a[r * dim + q] = (phase * xp).scale(-s_r) + xq.scale(c_r);
+                }
+                // Row rotation (conjugate transpose of the column op).
+                for r in 0..dim {
+                    let xp = a[p * dim + r];
+                    let xq = a[q * dim + r];
+                    a[p * dim + r] = xp.scale(c_r) + (phase * xq).scale(s_r);
+                    a[q * dim + r] = (phase.conj() * xp).scale(-s_r) + xq.scale(c_r);
+                }
+            }
+        }
+    }
+    let mut eigs: Vec<f64> = (0..dim).map(|i| a[i * dim + i].re).collect();
+    eigs.sort_by(|x, y| y.partial_cmp(x).expect("finite eigenvalues"));
+    eigs
+}
+
+/// Von Neumann entropy `S(ρ) = −Σ λ log₂ λ` in **bits**.
+pub fn von_neumann_entropy(rho: &DensityMatrix<f64>) -> f64 {
+    hermitian_eigenvalues(rho)
+        .into_iter()
+        .filter(|&l| l > 1e-14)
+        .map(|l| -l * l.log2())
+        .sum()
+}
+
+/// Entanglement entropy of `keep` within a pure state, in bits.
+pub fn entanglement_entropy<F: Float>(state: &StateVector<F>, keep: &[usize]) -> f64 {
+    von_neumann_entropy(&partial_trace(state, keep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::apply_gate_seq;
+    use crate::matrix::GateMatrix;
+
+    fn h_matrix() -> GateMatrix<f64> {
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        GateMatrix::from_f64_pairs(2, &[(h, 0.), (h, 0.), (h, 0.), (-h, 0.)])
+    }
+
+    fn bell_state() -> StateVector<f64> {
+        let mut sv = StateVector::new(2);
+        apply_gate_seq(&mut sv, &[0], &h_matrix());
+        let mut cx = GateMatrix::zeros(4);
+        cx.set(0, 0, Cplx::one());
+        cx.set(2, 2, Cplx::one());
+        cx.set(1, 3, Cplx::one());
+        cx.set(3, 1, Cplx::one());
+        apply_gate_seq(&mut sv, &[0, 1], &cx);
+        sv
+    }
+
+    #[test]
+    fn product_state_has_zero_entropy() {
+        let mut sv = StateVector::<f64>::new(3);
+        apply_gate_seq(&mut sv, &[0], &h_matrix());
+        apply_gate_seq(&mut sv, &[2], &h_matrix());
+        for keep in [vec![0], vec![1], vec![0, 2]] {
+            let s = entanglement_entropy(&sv, &keep);
+            assert!(s.abs() < 1e-10, "keep {keep:?}: entropy {s}");
+        }
+    }
+
+    #[test]
+    fn bell_state_has_one_bit() {
+        let sv = bell_state();
+        let s = entanglement_entropy(&sv, &[0]);
+        assert!((s - 1.0).abs() < 1e-10, "entropy {s}");
+        // Reduced state is maximally mixed.
+        let rho = partial_trace(&sv, &[0]);
+        assert!((rho.get(0, 0).re - 0.5).abs() < 1e-12);
+        assert!((rho.get(1, 1).re - 0.5).abs() < 1e-12);
+        assert!(rho.get(0, 1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_is_symmetric_under_complement() {
+        // For pure states S(A) = S(B).
+        let mut sv = StateVector::<f64>::new(4);
+        for q in 0..4 {
+            apply_gate_seq(&mut sv, &[q], &h_matrix());
+        }
+        let fsim = crate::matrix::GateMatrix::from_f64_pairs(
+            4,
+            &[
+                (1., 0.), (0., 0.), (0., 0.), (0., 0.),
+                (0., 0.), (0.2, 0.), (0., -0.9798), (0., 0.),
+                (0., 0.), (0., -0.9798), (0.2, 0.), (0., 0.),
+                (0., 0.), (0., 0.), (0., 0.), (0.36, -0.933),
+            ],
+        );
+        apply_gate_seq(&mut sv, &[0, 2], &fsim);
+        apply_gate_seq(&mut sv, &[1, 3], &fsim);
+        let sa = entanglement_entropy(&sv, &[0, 1]);
+        let sb = entanglement_entropy(&sv, &[2, 3]);
+        assert!((sa - sb).abs() < 1e-8, "S(A)={sa} S(B)={sb}");
+    }
+
+    #[test]
+    fn partial_trace_has_unit_trace() {
+        let sv = bell_state();
+        let rho = partial_trace(&sv, &[1]);
+        assert!((rho.trace() - 1.0).abs() < 1e-12);
+        assert!(rho.hermiticity_error() < 1e-12);
+    }
+
+    #[test]
+    fn jacobi_recovers_known_eigenvalues() {
+        // diag(0.7, 0.3) conjugated by a known unitary has eigs {0.7, 0.3}.
+        // Build as mixture: 0.7|+⟩⟨+| + 0.3|−⟩⟨−| = H diag(0.7,0.3) H.
+        let mut rho = DensityMatrix::from_vectorized(
+            1,
+            vec![
+                Cplx::new(0.7, 0.0),
+                Cplx::zero(),
+                Cplx::zero(),
+                Cplx::new(0.3, 0.0),
+            ],
+        );
+        rho.apply_unitary(&[0], &h_matrix());
+        let eigs = hermitian_eigenvalues(&rho);
+        assert!((eigs[0] - 0.7).abs() < 1e-10);
+        assert!((eigs[1] - 0.3).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvalues_of_complex_hermitian() {
+        // ρ = 1/2 (I + 0.8·Y): eigenvalues 0.9 and 0.1 with complex
+        // off-diagonals.
+        let rho = DensityMatrix::from_vectorized(
+            1,
+            vec![
+                Cplx::new(0.5, 0.0),
+                Cplx::new(0.0, 0.4),  // ρ_{10} = i·0.4
+                Cplx::new(0.0, -0.4), // ρ_{01} = -i·0.4
+                Cplx::new(0.5, 0.0),
+            ],
+        );
+        assert!(rho.hermiticity_error() < 1e-15);
+        let eigs = hermitian_eigenvalues(&rho);
+        assert!((eigs[0] - 0.9).abs() < 1e-10, "{eigs:?}");
+        assert!((eigs[1] - 0.1).abs() < 1e-10, "{eigs:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted ascending")]
+    fn unsorted_keep_rejected() {
+        let sv = bell_state();
+        let _ = partial_trace(&sv, &[1, 0]);
+    }
+}

@@ -1,0 +1,756 @@
+//! Matrix-free gate-application kernels.
+//!
+//! A `k`-qubit gate on qubits `qs` (sorted ascending) partitions the `2^n`
+//! amplitudes into `2^{n-k}` independent groups of `2^k` amplitudes whose
+//! indices differ only in the bits at positions `qs`. The kernel gathers
+//! each group, multiplies by the `2^k × 2^k` gate matrix, and scatters the
+//! result back — never materialising the sparse `2^n × 2^n` operator
+//! (paper §2.2, Figure 4).
+//!
+//! Because groups are disjoint, the loop over groups is embarrassingly
+//! parallel: [`apply_gate_par`] fans it across cores with rayon, mirroring
+//! how qsim's CUDA/HIP kernels assign groups to GPU threads.
+//!
+//! The module also exposes the **high/low kernel split** used by the GPU
+//! backends: gates whose targets are all `≥ 5` map to qsim's
+//! `ApplyGateH_Kernel` (regular strided access), gates touching a qubit
+//! `< 5` map to `ApplyGateL_Kernel` (intra-warp shuffles, extra work) —
+//! see [`classify_gate`].
+
+use rayon::prelude::*;
+
+use crate::matrix::GateMatrix;
+use crate::statevec::StateVector;
+use crate::types::{Cplx, Float};
+use crate::LOW_QUBIT_THRESHOLD;
+
+/// Maximum number of target qubits a single (fused) gate may act on.
+/// qsim's fuser produces fused gates of up to 6 qubits; scratch buffers in
+/// the kernels are sized accordingly (`2^6 = 64` amplitudes).
+pub const MAX_GATE_QUBITS: usize = 6;
+
+/// Below this state size the parallel kernels fall back to the sequential
+/// path: rayon task overhead would dominate the handful of groups.
+const PAR_THRESHOLD_AMPS: usize = 1 << 12;
+
+/// GPU kernel class a gate routes to, after qsim's shared-memory design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// All target qubits `≥ log2(32) = 5`: plain strided gather/scatter
+    /// (`ApplyGateH_Kernel`).
+    High,
+    /// At least one target qubit `< 5`: amplitudes for one group live in
+    /// the same 32-amplitude shared-memory tile, requiring data
+    /// rearrangement (`ApplyGateL_Kernel`).
+    Low,
+}
+
+impl KernelClass {
+    /// The kernel symbol name as it appears in rocprof/nsys traces.
+    pub const fn kernel_name(self) -> &'static str {
+        match self {
+            KernelClass::High => "ApplyGateH_Kernel",
+            KernelClass::Low => "ApplyGateL_Kernel",
+        }
+    }
+
+    /// Controlled-gate variant symbol name.
+    pub const fn controlled_kernel_name(self) -> &'static str {
+        match self {
+            KernelClass::High => "ApplyControlledGateH_Kernel",
+            KernelClass::Low => "ApplyControlledGateL_Kernel",
+        }
+    }
+}
+
+/// Classify which GPU kernel a gate on `qubits` routes to.
+pub fn classify_gate(qubits: &[usize]) -> KernelClass {
+    if qubits.iter().any(|&q| q < LOW_QUBIT_THRESHOLD) {
+        KernelClass::Low
+    } else {
+        KernelClass::High
+    }
+}
+
+/// Number of target qubits of a gate that are "low" (< 5). The GPU device
+/// model charges extra shuffle work per low qubit.
+pub fn num_low_qubits(qubits: &[usize]) -> usize {
+    qubits.iter().filter(|&&q| q < LOW_QUBIT_THRESHOLD).count()
+}
+
+/// Cost accounting for one gate pass over an `n`-qubit state — the numbers
+/// the analytic device model consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateWork {
+    /// Bytes read + written from/to main memory (each amplitude once each
+    /// way; control-restricted passes touch only the selected half/quarter…).
+    pub bytes: f64,
+    /// Floating-point operations (8 flops per complex multiply-add).
+    pub flops: f64,
+    /// Amplitude groups processed (available parallelism).
+    pub groups: u64,
+}
+
+/// Compute the work of applying a `k`-qubit gate (with `c` control qubits)
+/// to an `n`-qubit state at `amp_bytes` bytes per amplitude.
+pub fn gate_work(n: usize, k: usize, c: usize, amp_bytes: usize) -> GateWork {
+    let total = (1u64 << n) as f64;
+    // Controls restrict the pass to the subspace where all controls are set.
+    let touched = total / (1u64 << c) as f64;
+    let dim = (1u64 << k) as f64;
+    GateWork {
+        bytes: 2.0 * touched * amp_bytes as f64,
+        // Each touched group of `dim` amplitudes does a dim×dim complex
+        // matrix-vector product: dim^2 complex mul-adds of 8 flops.
+        flops: (touched / dim) * dim * dim * 8.0,
+        groups: (touched / dim) as u64,
+    }
+}
+
+/// Insert zero bits into `g` at the (sorted ascending) `positions`,
+/// producing the base index of group `g`.
+#[inline]
+pub fn insert_zero_bits(g: usize, positions: &[usize]) -> usize {
+    let mut base = g;
+    for &p in positions {
+        let low = base & ((1usize << p) - 1);
+        base = ((base >> p) << (p + 1)) | low;
+    }
+    base
+}
+
+/// Precompute, for each `m in 0..2^k`, the index offset obtained by
+/// depositing the bits of `m` at the target-qubit positions.
+fn group_offsets(qubits: &[usize]) -> Vec<usize> {
+    let k = qubits.len();
+    (0..1usize << k)
+        .map(|m| {
+            let mut off = 0usize;
+            for (j, &q) in qubits.iter().enumerate() {
+                off |= ((m >> j) & 1) << q;
+            }
+            off
+        })
+        .collect()
+}
+
+/// Validated gate-application parameters shared by all kernel variants.
+struct GatePlan {
+    /// Sorted union of targets and controls (positions to strip from the
+    /// group index).
+    strip: Vec<usize>,
+    /// Per-group amplitude offsets for the target qubits.
+    offsets: Vec<usize>,
+    /// OR-mask of control bits that must be set in every touched index.
+    control_mask: usize,
+    /// Number of groups.
+    num_groups: usize,
+}
+
+fn plan<F: Float>(
+    n: usize,
+    qubits: &[usize],
+    controls: &[usize],
+    control_values: usize,
+    matrix: &GateMatrix<F>,
+) -> GatePlan {
+    let k = qubits.len();
+    assert!((1..=MAX_GATE_QUBITS).contains(&k), "gate must act on 1..={MAX_GATE_QUBITS} qubits, got {k}");
+    assert_eq!(matrix.dim(), 1usize << k, "matrix dimension does not match qubit count");
+    assert!(
+        qubits.windows(2).all(|w| w[0] < w[1]),
+        "target qubits must be sorted ascending and distinct: {qubits:?}"
+    );
+    assert!(qubits.iter().all(|&q| q < n), "target qubit out of range for {n}-qubit state");
+    assert!(controls.iter().all(|&q| q < n), "control qubit out of range for {n}-qubit state");
+    assert!(
+        controls.iter().all(|c| !qubits.contains(c)),
+        "control qubits must not overlap target qubits"
+    );
+    assert!(
+        control_values < (1usize << controls.len().max(1)) || controls.is_empty(),
+        "control_values has bits beyond the control count"
+    );
+
+    let mut strip: Vec<usize> = qubits.iter().chain(controls.iter()).copied().collect();
+    strip.sort_unstable();
+    debug_assert!(strip.windows(2).all(|w| w[0] < w[1]));
+
+    let mut control_mask = 0usize;
+    for (j, &c) in controls.iter().enumerate() {
+        if (control_values >> j) & 1 == 1 {
+            control_mask |= 1usize << c;
+        }
+    }
+
+    let num_groups = 1usize << (n - strip.len());
+    GatePlan { strip, offsets: group_offsets(qubits), control_mask, num_groups }
+}
+
+/// Process one amplitude group in place (dynamic gate size).
+#[inline(always)]
+fn apply_group<F: Float>(
+    amps: &mut [Cplx<F>],
+    base: usize,
+    offsets: &[usize],
+    matrix: &GateMatrix<F>,
+    scratch: &mut [Cplx<F>; 1 << MAX_GATE_QUBITS],
+) {
+    let dim = offsets.len();
+    for (m, &off) in offsets.iter().enumerate() {
+        scratch[m] = amps[base | off];
+    }
+    let mat = matrix.as_slice();
+    for (r, &off) in offsets.iter().enumerate() {
+        let row = &mat[r * dim..(r + 1) * dim];
+        let mut acc = Cplx::zero();
+        for (m, &s) in scratch[..dim].iter().enumerate() {
+            acc.mul_add_assign(row[m], s);
+        }
+        amps[base | off] = acc;
+    }
+}
+
+/// Process one amplitude group with a **compile-time** gate dimension —
+/// the Rust analogue of qsim's size-templated kernels: with `DIM` known,
+/// the gather, the `DIM×DIM` multiply-add and the scatter fully unroll.
+#[inline(always)]
+fn apply_group_fixed<F: Float, const DIM: usize>(
+    amps: &mut [Cplx<F>],
+    base: usize,
+    offsets: &[usize],
+    mat: &[Cplx<F>],
+) {
+    debug_assert_eq!(offsets.len(), DIM);
+    debug_assert_eq!(mat.len(), DIM * DIM);
+    let mut scratch = [Cplx::<F>::zero(); DIM];
+    for m in 0..DIM {
+        scratch[m] = amps[base | offsets[m]];
+    }
+    for r in 0..DIM {
+        let row = &mat[r * DIM..(r + 1) * DIM];
+        let mut acc = Cplx::zero();
+        for m in 0..DIM {
+            acc.mul_add_assign(row[m], scratch[m]);
+        }
+        amps[base | offsets[r]] = acc;
+    }
+}
+
+/// Whether a gate matrix is diagonal (within exact zero off-diagonals —
+/// fused CZ/CPhase/Rz chains produce exactly-zero entries).
+fn is_diagonal<F: Float>(matrix: &GateMatrix<F>) -> bool {
+    let dim = matrix.dim();
+    for r in 0..dim {
+        for c in 0..dim {
+            if r != c {
+                let v = matrix.get(r, c);
+                if v.re != F::ZERO || v.im != F::ZERO {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Diagonal-gate fast path: one linear sweep, no gather/scatter, no
+/// group decomposition — each amplitude is scaled by the diagonal entry
+/// selected by its target-qubit bits (qsim's specialized diagonal
+/// kernels).
+fn apply_diagonal_seq<F: Float>(amps: &mut [Cplx<F>], qubits: &[usize], matrix: &GateMatrix<F>) {
+    let dim = matrix.dim();
+    let mut diag = [Cplx::<F>::zero(); 1 << MAX_GATE_QUBITS];
+    for (m, d) in diag.iter_mut().take(dim).enumerate() {
+        *d = matrix.get(m, m);
+    }
+    for (i, a) in amps.iter_mut().enumerate() {
+        *a *= diag[crate::matrix::extract_bits(i, qubits)];
+    }
+}
+
+/// Parallel diagonal fast path.
+fn apply_diagonal_par<F: Float>(amps: &mut [Cplx<F>], qubits: &[usize], matrix: &GateMatrix<F>) {
+    let dim = matrix.dim();
+    let mut diag = [Cplx::<F>::zero(); 1 << MAX_GATE_QUBITS];
+    for (m, d) in diag.iter_mut().take(dim).enumerate() {
+        *d = matrix.get(m, m);
+    }
+    amps.par_iter_mut().enumerate().with_min_len(4096).for_each(|(i, a)| {
+        *a *= diag[crate::matrix::extract_bits(i, qubits)];
+    });
+}
+
+/// Number of qubits represented by an amplitude slice (its log2 length).
+fn slice_qubits<F>(amps: &[Cplx<F>]) -> usize {
+    assert!(
+        amps.len().is_power_of_two() && amps.len() >= 2,
+        "amplitude slice length must be 2^n, got {}",
+        amps.len()
+    );
+    amps.len().trailing_zeros() as usize
+}
+
+/// Apply a `k`-qubit gate sequentially (the reference implementation every
+/// backend is validated against).
+pub fn apply_gate_seq<F: Float>(state: &mut StateVector<F>, qubits: &[usize], matrix: &GateMatrix<F>) {
+    apply_controlled_gate_slice_seq(state.amplitudes_mut(), qubits, &[], 0, matrix)
+}
+
+/// Apply a controlled `k`-qubit gate sequentially. `control_values` bit `j`
+/// gives the required value of `controls[j]` (qsim convention; all-ones for
+/// ordinary controlled gates).
+pub fn apply_controlled_gate_seq<F: Float>(
+    state: &mut StateVector<F>,
+    qubits: &[usize],
+    controls: &[usize],
+    control_values: usize,
+    matrix: &GateMatrix<F>,
+) {
+    apply_controlled_gate_slice_seq(state.amplitudes_mut(), qubits, controls, control_values, matrix)
+}
+
+/// Slice-based variant of [`apply_gate_seq`] for callers that keep
+/// amplitudes in their own storage (e.g. a simulated device buffer).
+pub fn apply_gate_slice_seq<F: Float>(amps: &mut [Cplx<F>], qubits: &[usize], matrix: &GateMatrix<F>) {
+    apply_controlled_gate_slice_seq(amps, qubits, &[], 0, matrix)
+}
+
+/// Slice-based variant of [`apply_controlled_gate_seq`].
+pub fn apply_controlled_gate_slice_seq<F: Float>(
+    amps: &mut [Cplx<F>],
+    qubits: &[usize],
+    controls: &[usize],
+    control_values: usize,
+    matrix: &GateMatrix<F>,
+) {
+    let n = slice_qubits(amps);
+    let p = plan(n, qubits, controls, control_values, matrix);
+    if controls.is_empty() && is_diagonal(matrix) {
+        return apply_diagonal_seq(amps, qubits, matrix);
+    }
+    fn run<F: Float, const DIM: usize>(amps: &mut [Cplx<F>], p: &GatePlan, mat: &[Cplx<F>]) {
+        for g in 0..p.num_groups {
+            let base = insert_zero_bits(g, &p.strip) | p.control_mask;
+            apply_group_fixed::<F, DIM>(amps, base, &p.offsets, mat);
+        }
+    }
+    let mat = matrix.as_slice();
+    match qubits.len() {
+        1 => run::<F, 2>(amps, &p, mat),
+        2 => run::<F, 4>(amps, &p, mat),
+        3 => run::<F, 8>(amps, &p, mat),
+        4 => run::<F, 16>(amps, &p, mat),
+        5 => run::<F, 32>(amps, &p, mat),
+        6 => run::<F, 64>(amps, &p, mat),
+        _ => {
+            let mut scratch = [Cplx::zero(); 1 << MAX_GATE_QUBITS];
+            for g in 0..p.num_groups {
+                let base = insert_zero_bits(g, &p.strip) | p.control_mask;
+                apply_group(amps, base, &p.offsets, matrix, &mut scratch);
+            }
+        }
+    }
+}
+
+/// Sendable raw pointer to the amplitude array. Groups index disjoint
+/// amplitude sets, so concurrent group processing is race-free; this
+/// wrapper is the narrow unsafe bridge that lets rayon see that.
+struct AmpsPtr<F>(*mut Cplx<F>);
+unsafe impl<F> Send for AmpsPtr<F> {}
+unsafe impl<F> Sync for AmpsPtr<F> {}
+
+impl<F> AmpsPtr<F> {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// whole `Sync` wrapper, not the bare `*mut` field.
+    #[inline(always)]
+    fn get(&self) -> *mut Cplx<F> {
+        self.0
+    }
+}
+
+/// Apply a `k`-qubit gate using all cores (rayon). Falls back to the
+/// sequential kernel for small states.
+pub fn apply_gate_par<F: Float>(state: &mut StateVector<F>, qubits: &[usize], matrix: &GateMatrix<F>) {
+    apply_controlled_gate_slice_par(state.amplitudes_mut(), qubits, &[], 0, matrix)
+}
+
+/// Parallel controlled-gate application; see [`apply_controlled_gate_seq`]
+/// for the semantics.
+pub fn apply_controlled_gate_par<F: Float>(
+    state: &mut StateVector<F>,
+    qubits: &[usize],
+    controls: &[usize],
+    control_values: usize,
+    matrix: &GateMatrix<F>,
+) {
+    apply_controlled_gate_slice_par(state.amplitudes_mut(), qubits, controls, control_values, matrix)
+}
+
+/// Slice-based variant of [`apply_gate_par`].
+pub fn apply_gate_slice_par<F: Float>(amps: &mut [Cplx<F>], qubits: &[usize], matrix: &GateMatrix<F>) {
+    apply_controlled_gate_slice_par(amps, qubits, &[], 0, matrix)
+}
+
+/// Slice-based variant of [`apply_controlled_gate_par`].
+pub fn apply_controlled_gate_slice_par<F: Float>(
+    amps: &mut [Cplx<F>],
+    qubits: &[usize],
+    controls: &[usize],
+    control_values: usize,
+    matrix: &GateMatrix<F>,
+) {
+    if amps.len() < PAR_THRESHOLD_AMPS {
+        return apply_controlled_gate_slice_seq(amps, qubits, controls, control_values, matrix);
+    }
+    let n = slice_qubits(amps);
+    let p = plan(n, qubits, controls, control_values, matrix);
+    if controls.is_empty() && is_diagonal(matrix) {
+        return apply_diagonal_par(amps, qubits, matrix);
+    }
+
+    fn run<F: Float, const DIM: usize>(amps: &mut [Cplx<F>], p: &GatePlan, mat: &[Cplx<F>]) {
+        let len = amps.len();
+        let ptr = AmpsPtr(amps.as_mut_ptr());
+        (0..p.num_groups).into_par_iter().with_min_len(256).for_each(|g| {
+            let base = insert_zero_bits(g, &p.strip) | p.control_mask;
+            // SAFETY: distinct `g` produce disjoint index sets
+            // `{base | off}` (the stripped bits uniquely identify the
+            // group), and every index is `< len`.
+            let amps = unsafe { std::slice::from_raw_parts_mut(ptr.get(), len) };
+            apply_group_fixed::<F, DIM>(amps, base, &p.offsets, mat);
+        });
+    }
+
+    let mat = matrix.as_slice();
+    match qubits.len() {
+        1 => run::<F, 2>(amps, &p, mat),
+        2 => run::<F, 4>(amps, &p, mat),
+        3 => run::<F, 8>(amps, &p, mat),
+        4 => run::<F, 16>(amps, &p, mat),
+        5 => run::<F, 32>(amps, &p, mat),
+        6 => run::<F, 64>(amps, &p, mat),
+        _ => {
+            let len = amps.len();
+            let ptr = AmpsPtr(amps.as_mut_ptr());
+            (0..p.num_groups).into_par_iter().with_min_len(256).for_each_init(
+                || [Cplx::zero(); 1 << MAX_GATE_QUBITS],
+                |scratch, g| {
+                    let base = insert_zero_bits(g, &p.strip) | p.control_mask;
+                    // SAFETY: as above.
+                    let amps = unsafe { std::slice::from_raw_parts_mut(ptr.get(), len) };
+                    apply_group(amps, base, &p.offsets, matrix, scratch);
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statespace;
+
+    type SV = StateVector<f64>;
+
+    fn h_matrix() -> GateMatrix<f64> {
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        GateMatrix::from_f64_pairs(2, &[(h, 0.), (h, 0.), (h, 0.), (-h, 0.)])
+    }
+
+    fn x_matrix() -> GateMatrix<f64> {
+        GateMatrix::from_f64_pairs(2, &[(0., 0.), (1., 0.), (1., 0.), (0., 0.)])
+    }
+
+    fn cnot_full() -> GateMatrix<f64> {
+        // Control = qubit 0 (low bit), target = qubit 1, matching the
+        // expand convention bit j ↔ qubits[j].
+        GateMatrix::from_f64_pairs(
+            4,
+            &[
+                (1., 0.), (0., 0.), (0., 0.), (0., 0.),
+                (0., 0.), (0., 0.), (0., 0.), (1., 0.),
+                (0., 0.), (0., 0.), (1., 0.), (0., 0.),
+                (0., 0.), (1., 0.), (0., 0.), (0., 0.),
+            ],
+        )
+    }
+
+    #[test]
+    fn x_flips_each_qubit() {
+        for q in 0..4 {
+            let mut sv = SV::new(4);
+            apply_gate_seq(&mut sv, &[q], &x_matrix());
+            assert_eq!(sv.amplitude(1 << q), Cplx::one(), "qubit {q}");
+        }
+    }
+
+    #[test]
+    fn hadamard_creates_superposition() {
+        let mut sv = SV::new(1);
+        apply_gate_seq(&mut sv, &[0], &h_matrix());
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((sv.amplitude(0).re - h).abs() < 1e-15);
+        assert!((sv.amplitude(1).re - h).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bell_state_via_two_qubit_matrix() {
+        // H on qubit 0 then CNOT(0 -> 1) as a full 2-qubit matrix.
+        let mut sv = SV::new(2);
+        apply_gate_seq(&mut sv, &[0], &h_matrix());
+        apply_gate_seq(&mut sv, &[0, 1], &cnot_full());
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((sv.amplitude(0).re - h).abs() < 1e-15);
+        assert!((sv.amplitude(3).re - h).abs() < 1e-15);
+        assert!(sv.amplitude(1).abs() < 1e-15);
+        assert!(sv.amplitude(2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn controlled_x_is_cnot() {
+        // |10⟩ (qubit 0 = 0, qubit 1 = 1): control on qubit 1 fires, X on 0.
+        let mut sv = SV::new(2);
+        sv.set_basis_state(0b10);
+        apply_controlled_gate_seq(&mut sv, &[0], &[1], 1, &x_matrix());
+        assert_eq!(sv.amplitude(0b11), Cplx::one());
+
+        // control not satisfied: state unchanged.
+        let mut sv = SV::new(2);
+        sv.set_basis_state(0b00);
+        apply_controlled_gate_seq(&mut sv, &[0], &[1], 1, &x_matrix());
+        assert_eq!(sv.amplitude(0b00), Cplx::one());
+    }
+
+    #[test]
+    fn zero_control_values() {
+        // Anti-controlled X: fires when control qubit is 0.
+        let mut sv = SV::new(2);
+        apply_controlled_gate_seq(&mut sv, &[0], &[1], 0, &x_matrix());
+        assert_eq!(sv.amplitude(0b01), Cplx::one());
+    }
+
+    #[test]
+    fn controlled_matches_expanded_matrix() {
+        // A controlled gate must equal the equivalent full matrix applied
+        // to the union of qubits.
+        let mut rng_state = 0x9E3779B97F4A7C15u64;
+        let mut rnd = || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((rng_state >> 33) as f64) / (1u64 << 31) as f64 - 1.0
+        };
+        let n = 5;
+        let mut sv1 = SV::new(n);
+        // random-ish normalized state
+        {
+            let amps = sv1.amplitudes_mut();
+            for a in amps.iter_mut() {
+                *a = Cplx::new(rnd(), rnd());
+            }
+        }
+        statespace::normalize(&mut sv1);
+        let mut sv2 = sv1.clone();
+
+        // CX with control 3, target 1 via the controlled kernel...
+        apply_controlled_gate_seq(&mut sv1, &[1], &[3], 1, &x_matrix());
+        // ...and via a full 2-qubit matrix on {1,3}: |c t⟩ with bit0=q1
+        // (target), bit1=q3 (control) ⇒ swap rows/cols 2,3 of identity.
+        let cx = GateMatrix::from_f64_pairs(
+            4,
+            &[
+                (1., 0.), (0., 0.), (0., 0.), (0., 0.),
+                (0., 0.), (1., 0.), (0., 0.), (0., 0.),
+                (0., 0.), (0., 0.), (0., 0.), (1., 0.),
+                (0., 0.), (0., 0.), (1., 0.), (0., 0.),
+            ],
+        );
+        apply_gate_seq(&mut sv2, &[1, 3], &cx);
+        assert!(sv1.max_abs_diff(&sv2) < 1e-14);
+    }
+
+    #[test]
+    fn par_matches_seq() {
+        let n = 13; // above PAR_THRESHOLD_AMPS
+        let mut seq = SV::new(n);
+        // Build a non-trivial state with a few gates.
+        for q in 0..n {
+            apply_gate_seq(&mut seq, &[q], &h_matrix());
+        }
+        apply_gate_seq(&mut seq, &[0, 7], &cnot_full());
+        let mut par = seq.clone();
+
+        let big = h_matrix().expand_to(&[2], &[2, 6, 9]);
+        apply_gate_seq(&mut seq, &[2, 6, 9], &big);
+        apply_gate_par(&mut par, &[2, 6, 9], &big);
+        assert!(seq.max_abs_diff(&par) < 1e-13);
+
+        apply_controlled_gate_seq(&mut seq, &[3], &[10, 11], 0b11, &x_matrix());
+        apply_controlled_gate_par(&mut par, &[3], &[10, 11], 0b11, &x_matrix());
+        assert!(seq.max_abs_diff(&par) < 1e-13);
+    }
+
+    #[test]
+    fn insert_zero_bits_basics() {
+        // Insert a zero at bit 1: g=0b11 -> 0b101.
+        assert_eq!(insert_zero_bits(0b11, &[1]), 0b101);
+        // Insert at 0 and 2: g=0b11 -> 0b1010 (bits land at 1 and 3).
+        assert_eq!(insert_zero_bits(0b11, &[0, 2]), 0b1010);
+        // No positions: unchanged.
+        assert_eq!(insert_zero_bits(42, &[]), 42);
+    }
+
+    #[test]
+    fn group_enumeration_covers_all_indices_once() {
+        let n = 6;
+        let qubits = [1usize, 4];
+        let offsets = group_offsets(&qubits);
+        let mut seen = vec![false; 1 << n];
+        for g in 0..(1usize << (n - 2)) {
+            let base = insert_zero_bits(g, &qubits);
+            for &off in &offsets {
+                let idx = base | off;
+                assert!(!seen[idx], "index {idx} visited twice");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn classify_and_count_low() {
+        assert_eq!(classify_gate(&[5, 9]), KernelClass::High);
+        assert_eq!(classify_gate(&[4, 9]), KernelClass::Low);
+        assert_eq!(classify_gate(&[0]), KernelClass::Low);
+        assert_eq!(num_low_qubits(&[0, 3, 5, 8]), 2);
+        assert_eq!(KernelClass::High.kernel_name(), "ApplyGateH_Kernel");
+        assert_eq!(KernelClass::Low.kernel_name(), "ApplyGateL_Kernel");
+    }
+
+    #[test]
+    fn gate_work_accounting() {
+        // 1-qubit gate on 20-qubit single-precision state: touch all 2^20
+        // amplitudes, read+write 8 bytes each.
+        let w = gate_work(20, 1, 0, 8);
+        assert_eq!(w.bytes, 2.0 * 1048576.0 * 8.0);
+        assert_eq!(w.groups, 524288);
+        // flops: per group (2 amps) a 2x2 complex matvec = 4 muladds = 32 flops
+        assert_eq!(w.flops, 524288.0 * 32.0);
+
+        // One control halves the touched subspace.
+        let wc = gate_work(20, 1, 1, 8);
+        assert_eq!(wc.bytes, w.bytes / 2.0);
+    }
+
+    #[test]
+    fn norm_preserved_by_random_unitaries() {
+        let mut sv = SV::new(8);
+        for q in 0..8 {
+            apply_gate_par(&mut sv, &[q], &h_matrix());
+        }
+        let norm: f64 = sv.amplitudes().iter().map(|a| a.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_fast_path_matches_general() {
+        // CZ ⊗ phase structure: a fused diagonal over 3 qubits.
+        let mut d = GateMatrix::<f64>::identity(8);
+        for (i, theta) in [(1usize, 0.3), (3, -0.9), (5, 1.4), (7, 2.2)] {
+            d.set(i, i, Cplx::cis(theta));
+        }
+        assert!(d.is_unitary(1e-12));
+
+        let n = 9;
+        let mut state = SV::new(n);
+        for q in 0..n {
+            apply_gate_seq(&mut state, &[q], &h_matrix());
+        }
+        let reference = state.clone();
+        let qs = [1usize, 4, 7];
+        apply_gate_seq(&mut state, &qs, &d); // diagonal fast path
+
+        // Reference: expand D to the full register and matvec.
+        let full = d.expand_to(&qs, &(0..n).collect::<Vec<_>>());
+        let expected = StateVector::from_amplitudes(full.matvec(reference.amplitudes()));
+        let diff = state.max_abs_diff(&expected);
+        assert!(diff < 1e-13, "diagonal path diverges by {diff}");
+    }
+
+    #[test]
+    fn diagonal_par_matches_seq() {
+        let mut d = GateMatrix::<f64>::identity(4);
+        d.set(3, 3, Cplx::cis(0.7));
+        let mut a = SV::new(13);
+        for q in 0..13 {
+            apply_gate_seq(&mut a, &[q], &h_matrix());
+        }
+        let mut b = a.clone();
+        apply_gate_seq(&mut a, &[2, 9], &d);
+        apply_gate_par(&mut b, &[2, 9], &d);
+        assert!(a.max_abs_diff(&b) < 1e-14);
+    }
+
+    #[test]
+    fn is_diagonal_detection() {
+        assert!(super::is_diagonal(&GateMatrix::<f64>::identity(8)));
+        assert!(!super::is_diagonal(&h_matrix()));
+        let mut cz = GateMatrix::<f64>::identity(4);
+        cz.set(3, 3, -Cplx::one());
+        assert!(super::is_diagonal(&cz));
+    }
+
+    #[test]
+    fn fixed_dim_kernels_cover_all_sizes() {
+        // Exercise every monomorphized size 1..=6 against the full-matrix
+        // reference (matvec on the whole state).
+        let n = 8;
+        for k in 1..=6usize {
+            let qs: Vec<usize> = (0..k).map(|j| j + 1).collect(); // 1..=k
+            // A non-trivial unitary: tensor power of H with a phase twist.
+            let mut m = h_matrix();
+            for _ in 1..k {
+                m = m.tensor_high(&h_matrix());
+            }
+            m.set(0, 0, m.get(0, 0) * Cplx::cis(0.0)); // no-op, keeps m unitary
+            let mut sv = SV::new(n);
+            sv.set_basis_state(0b1010_1010 & ((1 << n) - 1));
+            let mut reference = sv.clone();
+            apply_gate_seq(&mut sv, &qs, &m);
+            // reference: expand to full n-qubit matrix and matvec.
+            let full = m.expand_to(&qs, &(0..n).collect::<Vec<_>>());
+            let out = full.matvec(reference.amplitudes());
+            reference = StateVector::from_amplitudes(out);
+            let diff = sv.max_abs_diff(&reference);
+            assert!(diff < 1e-12, "k={k}: diff {diff}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted ascending")]
+    fn unsorted_qubits_rejected() {
+        let mut sv = SV::new(3);
+        let m = GateMatrix::identity(4);
+        apply_gate_seq(&mut sv, &[2, 1], &m);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not overlap")]
+    fn overlapping_control_rejected() {
+        let mut sv = SV::new(3);
+        apply_controlled_gate_seq(&mut sv, &[1], &[1], 1, &x_matrix());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_rejected() {
+        let mut sv = SV::new(3);
+        apply_gate_seq(&mut sv, &[3], &x_matrix());
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix dimension")]
+    fn matrix_size_mismatch_rejected() {
+        let mut sv = SV::new(3);
+        apply_gate_seq(&mut sv, &[0, 1], &x_matrix());
+    }
+}

@@ -1,0 +1,49 @@
+//! # qsim-core
+//!
+//! State-vector quantum computer simulator core, a Rust reimplementation of
+//! the computational heart of Google's [qsim](https://github.com/quantumlib/qsim).
+//!
+//! A system of `n` qubits is represented by a *state vector* of `2^n` complex
+//! amplitudes. Quantum gates are unitary matrices applied to the state vector
+//! in place with a matrix-free algorithm: a `k`-qubit gate is a
+//! `2^k × 2^k` matrix applied to every group of `2^k` amplitudes whose
+//! indices differ only in the `k` target-qubit bit positions.
+//!
+//! The crate provides:
+//!
+//! * [`Cplx`] and the [`Float`] abstraction so every algorithm is generic
+//!   over `f32` (single precision) and `f64` (double precision) — the
+//!   precision axis of the paper's Figure 8;
+//! * [`GateMatrix`], dense small complex matrices with the tensor/matrix
+//!   product algebra used by gate fusion;
+//! * [`StateVector`], the `2^n` amplitude array;
+//! * [`kernels`], sequential and rayon-parallel gate-application kernels,
+//!   including the *high/low qubit split* that mirrors qsim's
+//!   `ApplyGateH_Kernel` / `ApplyGateL_Kernel` division;
+//! * [`statespace`], state-space operations (norm, inner product, sampling,
+//!   measurement, expectation values) mirroring qsim's `StateSpace` class;
+//! * [`noise`], quantum-trajectory noise channels (a qsim feature the paper
+//!   mentions as part of the simulator but does not benchmark).
+
+pub mod types;
+pub mod matrix;
+pub mod statevec;
+pub mod kernels;
+pub mod statespace;
+pub mod noise;
+pub mod observables;
+pub mod density;
+pub mod entropy;
+
+pub use matrix::GateMatrix;
+pub use statevec::StateVector;
+pub use types::{Cplx, Float, Precision};
+
+/// Threshold separating "high" from "low" qubit indices in the GPU kernel
+/// split: qubits with index `< LOW_QUBIT_THRESHOLD` require intra-warp data
+/// shuffling (`ApplyGateL_Kernel`), those `>= LOW_QUBIT_THRESHOLD` map to a
+/// straightforward strided access pattern (`ApplyGateH_Kernel`).
+///
+/// qsim derives this from the 32 amplitudes held per warp in shared memory:
+/// `log2(32) = 5`.
+pub const LOW_QUBIT_THRESHOLD: usize = 5;

@@ -1,0 +1,397 @@
+//! Dense small complex matrices (`2^k × 2^k`, `k ≤ ~6`) representing
+//! (possibly fused) quantum gates, plus the algebra the gate-fusion
+//! transpiler relies on: matrix product, tensor (Kronecker) product,
+//! adjoint, unitarity checks, and *expansion* of a gate matrix onto a
+//! larger qubit set.
+//!
+//! ## Index convention
+//!
+//! A matrix over qubits `[q_0, q_1, …, q_{k-1}]` (always kept sorted
+//! ascending) indexes its rows/columns so that **bit `j` of the index
+//! corresponds to qubit `q_j`** — i.e. the lowest-numbered qubit is the
+//! least-significant bit of the matrix index. This matches qsim's fused
+//! gate representation.
+
+use crate::types::{Cplx, Float};
+
+/// A dense, row-major `dim × dim` complex matrix with `dim = 2^k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateMatrix<F> {
+    dim: usize,
+    data: Vec<Cplx<F>>,
+}
+
+impl<F: Float> GateMatrix<F> {
+    /// Zero matrix of dimension `dim` (must be a power of two).
+    pub fn zeros(dim: usize) -> Self {
+        assert!(dim.is_power_of_two(), "gate matrix dimension must be 2^k, got {dim}");
+        GateMatrix { dim, data: vec![Cplx::zero(); dim * dim] }
+    }
+
+    /// Identity matrix of dimension `dim`.
+    pub fn identity(dim: usize) -> Self {
+        let mut m = Self::zeros(dim);
+        for i in 0..dim {
+            m.data[i * dim + i] = Cplx::one();
+        }
+        m
+    }
+
+    /// Build from a row-major slice of complex entries.
+    pub fn from_slice(dim: usize, entries: &[Cplx<F>]) -> Self {
+        assert!(dim.is_power_of_two(), "gate matrix dimension must be 2^k, got {dim}");
+        assert_eq!(entries.len(), dim * dim, "entry count must be dim^2");
+        GateMatrix { dim, data: entries.to_vec() }
+    }
+
+    /// Build from row-major `(re, im)` pairs given as `f64` (gate tables).
+    pub fn from_f64_pairs(dim: usize, entries: &[(f64, f64)]) -> Self {
+        assert_eq!(entries.len(), dim * dim, "entry count must be dim^2");
+        GateMatrix {
+            dim,
+            data: entries.iter().map(|&(re, im)| Cplx::from_f64(re, im)).collect(),
+        }
+    }
+
+    /// Matrix dimension (`2^k`).
+    #[inline(always)]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of qubits this matrix acts on (`log2(dim)`).
+    #[inline(always)]
+    pub fn num_qubits(&self) -> usize {
+        self.dim.trailing_zeros() as usize
+    }
+
+    /// Row-major entries.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[Cplx<F>] {
+        &self.data
+    }
+
+    /// Entry at `(row, col)`.
+    #[inline(always)]
+    pub fn get(&self, row: usize, col: usize) -> Cplx<F> {
+        self.data[row * self.dim + col]
+    }
+
+    /// Set entry at `(row, col)`.
+    #[inline(always)]
+    pub fn set(&mut self, row: usize, col: usize, v: Cplx<F>) {
+        self.data[row * self.dim + col] = v;
+    }
+
+    /// Matrix product `self · rhs` (apply `rhs` first, then `self`, when the
+    /// matrices act on states as column vectors).
+    pub fn matmul(&self, rhs: &GateMatrix<F>) -> GateMatrix<F> {
+        assert_eq!(self.dim, rhs.dim, "matmul dimension mismatch");
+        let d = self.dim;
+        let mut out = GateMatrix::zeros(d);
+        for i in 0..d {
+            for l in 0..d {
+                let a = self.get(i, l);
+                if a.re == F::ZERO && a.im == F::ZERO {
+                    continue;
+                }
+                for j in 0..d {
+                    let mut o = out.get(i, j);
+                    o.mul_add_assign(a, rhs.get(l, j));
+                    out.set(i, j, o);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product (used by tests and by the reference
+    /// full-matrix simulator; kernels use the matrix-free path instead).
+    pub fn matvec(&self, v: &[Cplx<F>]) -> Vec<Cplx<F>> {
+        assert_eq!(v.len(), self.dim, "matvec dimension mismatch");
+        let d = self.dim;
+        let mut out = vec![Cplx::zero(); d];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let mut acc = Cplx::zero();
+            for (j, &vj) in v.iter().enumerate() {
+                acc.mul_add_assign(self.get(i, j), vj);
+            }
+            *slot = acc;
+        }
+        out
+    }
+
+    /// Tensor (Kronecker) product where **`self` occupies the low bits** of
+    /// the result index and `high` the high bits: `result = high ⊗ self`.
+    ///
+    /// With the index convention of this crate (bit `j` ↔ `qubits[j]`),
+    /// `a.tensor_high(b)` is the matrix of "`a` on the lower-numbered
+    /// qubits, `b` on the higher-numbered qubits".
+    pub fn tensor_high(&self, high: &GateMatrix<F>) -> GateMatrix<F> {
+        let dl = self.dim;
+        let dh = high.dim;
+        let d = dl * dh;
+        let mut out = GateMatrix::zeros(d);
+        for rh in 0..dh {
+            for ch in 0..dh {
+                let hv = high.get(rh, ch);
+                if hv.re == F::ZERO && hv.im == F::ZERO {
+                    continue;
+                }
+                for rl in 0..dl {
+                    for cl in 0..dl {
+                        let v = hv * self.get(rl, cl);
+                        out.set(rh * dl + rl, ch * dl + cl, v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose (adjoint / dagger).
+    pub fn adjoint(&self) -> GateMatrix<F> {
+        let d = self.dim;
+        let mut out = GateMatrix::zeros(d);
+        for i in 0..d {
+            for j in 0..d {
+                out.set(j, i, self.get(i, j).conj());
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute entry-wise difference to another matrix.
+    pub fn max_abs_diff(&self, other: &GateMatrix<F>) -> f64 {
+        assert_eq!(self.dim, other.dim);
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a.dist(*b).to_f64())
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether `self · self† = I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        let prod = self.matmul(&self.adjoint());
+        prod.max_abs_diff(&GateMatrix::identity(self.dim)) <= tol
+    }
+
+    /// Expand a gate matrix acting on `own_qubits` to an equivalent matrix
+    /// acting on `target_qubits` (a sorted superset): tensors with identity
+    /// on the extra qubits and permutes bits into the target ordering.
+    ///
+    /// Both qubit lists must be sorted ascending; `own_qubits ⊆
+    /// target_qubits`. This is the workhorse of *space fusion* (combining
+    /// gates on different qubits into one fused matrix).
+    pub fn expand_to(&self, own_qubits: &[usize], target_qubits: &[usize]) -> GateMatrix<F> {
+        assert_eq!(self.num_qubits(), own_qubits.len(), "qubit list does not match matrix size");
+        debug_assert!(own_qubits.windows(2).all(|w| w[0] < w[1]), "own_qubits must be sorted");
+        debug_assert!(target_qubits.windows(2).all(|w| w[0] < w[1]), "target_qubits must be sorted");
+
+        // Position of each own qubit within the target list.
+        let pos: Vec<usize> = own_qubits
+            .iter()
+            .map(|q| {
+                target_qubits
+                    .iter()
+                    .position(|t| t == q)
+                    .expect("own_qubits must be a subset of target_qubits")
+            })
+            .collect();
+
+        let kt = target_qubits.len();
+        let dt = 1usize << kt;
+        // Mask over target-index bits that belong to this gate.
+        let own_mask: usize = pos.iter().map(|&p| 1usize << p).sum();
+
+        let mut out = GateMatrix::zeros(dt);
+        for row in 0..dt {
+            // Bits of `row` outside the gate must match the column's.
+            let ctx = row & !own_mask;
+            let r_own = extract_bits(row, &pos);
+            for (c_own, col_base) in (0..self.dim).map(|c| (c, deposit_bits(c, &pos))) {
+                let col = ctx | col_base;
+                out.set(row, col, self.get(r_own, c_own));
+            }
+        }
+        out
+    }
+
+    /// Convert entries to another float precision.
+    pub fn cast<G: Float>(&self) -> GateMatrix<G> {
+        GateMatrix {
+            dim: self.dim,
+            data: self
+                .data
+                .iter()
+                .map(|z| Cplx::from_f64(z.re.to_f64(), z.im.to_f64()))
+                .collect(),
+        }
+    }
+}
+
+/// Gather the bits of `x` located at `positions` into a compact integer
+/// (bit `j` of the result = bit `positions[j]` of `x`).
+#[inline]
+pub fn extract_bits(x: usize, positions: &[usize]) -> usize {
+    let mut out = 0usize;
+    for (j, &p) in positions.iter().enumerate() {
+        out |= ((x >> p) & 1) << j;
+    }
+    out
+}
+
+/// Scatter the low bits of `x` to `positions` (inverse of [`extract_bits`]
+/// on the covered bits).
+#[inline]
+pub fn deposit_bits(x: usize, positions: &[usize]) -> usize {
+    let mut out = 0usize;
+    for (j, &p) in positions.iter().enumerate() {
+        out |= ((x >> j) & 1) << p;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type M = GateMatrix<f64>;
+
+    fn pauli_x() -> M {
+        M::from_f64_pairs(2, &[(0., 0.), (1., 0.), (1., 0.), (0., 0.)])
+    }
+
+    fn pauli_z() -> M {
+        M::from_f64_pairs(2, &[(1., 0.), (0., 0.), (0., 0.), (-1., 0.)])
+    }
+
+    fn hadamard() -> M {
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        M::from_f64_pairs(2, &[(h, 0.), (h, 0.), (h, 0.), (-h, 0.)])
+    }
+
+    #[test]
+    fn identity_is_unitary() {
+        assert!(M::identity(4).is_unitary(1e-12));
+    }
+
+    #[test]
+    fn x_squared_is_identity() {
+        let x = pauli_x();
+        assert_eq!(x.matmul(&x), M::identity(2));
+    }
+
+    #[test]
+    fn hzh_equals_x() {
+        let h = hadamard();
+        let hzh = h.matmul(&pauli_z()).matmul(&h);
+        assert!(hzh.max_abs_diff(&pauli_x()) < 1e-15);
+    }
+
+    #[test]
+    fn matvec_identity() {
+        let v = vec![Cplx::new(0.6, 0.0), Cplx::new(0.0, 0.8)];
+        assert_eq!(M::identity(2).matvec(&v), v);
+    }
+
+    #[test]
+    fn matvec_x_swaps() {
+        let v = vec![Cplx::new(1.0, 0.0), Cplx::new(0.0, 0.0)];
+        let w = pauli_x().matvec(&v);
+        assert_eq!(w, vec![Cplx::new(0.0, 0.0), Cplx::new(1.0, 0.0)]);
+    }
+
+    #[test]
+    fn tensor_identity_low() {
+        // I (low) ⊗-combined with Z (high): result applies Z to bit 1.
+        let m = M::identity(2).tensor_high(&pauli_z());
+        assert_eq!(m.dim(), 4);
+        // Basis |00>,|01> unaffected; |10>,|11> negated (bit1 = 1).
+        for idx in 0..4 {
+            let sign = if idx & 2 != 0 { -1.0 } else { 1.0 };
+            assert_eq!(m.get(idx, idx), Cplx::new(sign, 0.0));
+        }
+    }
+
+    #[test]
+    fn tensor_is_unitary() {
+        let m = hadamard().tensor_high(&pauli_x());
+        assert!(m.is_unitary(1e-12));
+        assert_eq!(m.num_qubits(), 2);
+    }
+
+    #[test]
+    fn adjoint_of_unitary_is_inverse() {
+        let h = hadamard();
+        assert!(h.matmul(&h.adjoint()).max_abs_diff(&M::identity(2)) < 1e-15);
+    }
+
+    #[test]
+    fn extract_deposit_roundtrip() {
+        let positions = [0usize, 2, 5];
+        for x in 0..8usize {
+            let dep = deposit_bits(x, &positions);
+            assert_eq!(extract_bits(dep, &positions), x);
+        }
+        assert_eq!(deposit_bits(0b111, &positions), 0b100101);
+    }
+
+    #[test]
+    fn expand_to_same_qubits_is_identity_transform() {
+        let h = hadamard();
+        let e = h.expand_to(&[3], &[3]);
+        assert_eq!(e, h);
+    }
+
+    #[test]
+    fn expand_matches_tensor_product() {
+        // X on qubit 0 expanded to {0,1} should be I(high) ⊗ X(low).
+        let x = pauli_x();
+        let direct = x.tensor_high(&M::identity(2));
+        let expanded = x.expand_to(&[0], &[0, 1]);
+        assert!(direct.max_abs_diff(&expanded) < 1e-15);
+
+        // Z on qubit 1 expanded to {0,1} should be Z(high) ⊗ I(low).
+        let z = pauli_z();
+        let direct = M::identity(2).tensor_high(&z);
+        let expanded = z.expand_to(&[1], &[0, 1]);
+        assert!(direct.max_abs_diff(&expanded) < 1e-15);
+    }
+
+    #[test]
+    fn expand_preserves_unitarity() {
+        let h = hadamard();
+        let e = h.expand_to(&[1], &[0, 1, 4]);
+        assert_eq!(e.dim(), 8);
+        assert!(e.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn expanded_gates_on_disjoint_qubits_commute() {
+        let a = hadamard().expand_to(&[0], &[0, 1]);
+        let b = pauli_z().expand_to(&[1], &[0, 1]);
+        assert!(a.matmul(&b).max_abs_diff(&b.matmul(&a)) < 1e-15);
+    }
+
+    #[test]
+    fn cast_roundtrip() {
+        let h = hadamard();
+        let h32: GateMatrix<f32> = h.cast();
+        let back: GateMatrix<f64> = h32.cast();
+        assert!(h.max_abs_diff(&back) < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be 2^k")]
+    fn non_power_of_two_rejected() {
+        let _ = M::zeros(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_dim_mismatch_rejected() {
+        let _ = M::identity(2).matmul(&M::identity(4));
+    }
+}

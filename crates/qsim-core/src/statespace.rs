@@ -1,0 +1,425 @@
+//! State-space operations — the Rust analogue of qsim's `StateSpace`
+//! class: norms, inner products, probabilities, sampling, measurement with
+//! collapse, and element-wise vector arithmetic. These are the operations
+//! the paper's `state_space_cuda_kernels.h → state_space_hip_kernels.h`
+//! port contains (reductions, element setting, add/multiply, sampling).
+
+use rayon::prelude::*;
+
+use rand::Rng;
+
+use crate::matrix::extract_bits;
+use crate::statevec::StateVector;
+use crate::types::{Cplx, Float};
+
+/// Squared 2-norm `Σ|c_i|²` (1.0 for a valid quantum state). Parallel
+/// reduction, accumulated in `f64` regardless of state precision.
+pub fn norm_sqr<F: Float>(state: &StateVector<F>) -> f64 {
+    norm_sqr_slice(state.amplitudes())
+}
+
+/// Slice-based variant of [`norm_sqr`].
+pub fn norm_sqr_slice<F: Float>(amps: &[Cplx<F>]) -> f64 {
+    amps.par_iter().with_min_len(4096).map(|a| a.norm_sqr().to_f64()).sum()
+}
+
+/// Rescale the state to unit norm. Panics on the zero vector.
+pub fn normalize<F: Float>(state: &mut StateVector<F>) {
+    normalize_slice(state.amplitudes_mut())
+}
+
+/// Slice-based variant of [`normalize`].
+pub fn normalize_slice<F: Float>(amps: &mut [Cplx<F>]) {
+    let n = norm_sqr_slice(amps);
+    assert!(n > 0.0, "cannot normalize the zero vector");
+    let inv = F::from_f64(1.0 / n.sqrt());
+    amps.par_iter_mut().with_min_len(4096).for_each(|a| *a = a.scale(inv));
+}
+
+/// Inner product `⟨a|b⟩ = Σ conj(a_i)·b_i`, accumulated in `f64`.
+pub fn inner_product<F: Float>(a: &StateVector<F>, b: &StateVector<F>) -> Cplx<f64> {
+    assert_eq!(a.len(), b.len(), "inner product requires equal-size states");
+    let (re, im) = a
+        .amplitudes()
+        .par_iter()
+        .zip(b.amplitudes().par_iter())
+        .with_min_len(4096)
+        .map(|(x, y)| {
+            let p = x.to_f64().conj() * y.to_f64();
+            (p.re, p.im)
+        })
+        .reduce(|| (0.0, 0.0), |u, v| (u.0 + v.0, u.1 + v.1));
+    Cplx::new(re, im)
+}
+
+/// Fidelity `|⟨a|b⟩|²` between two (normalized) states.
+pub fn fidelity<F: Float>(a: &StateVector<F>, b: &StateVector<F>) -> f64 {
+    inner_product(a, b).norm_sqr()
+}
+
+/// Element-wise `dst += src` (qsim's `Add`).
+pub fn add_assign<F: Float>(dst: &mut StateVector<F>, src: &StateVector<F>) {
+    assert_eq!(dst.len(), src.len(), "add requires equal-size states");
+    dst.amplitudes_mut()
+        .par_iter_mut()
+        .zip(src.amplitudes().par_iter())
+        .with_min_len(4096)
+        .for_each(|(d, s)| *d += *s);
+}
+
+/// Scale every amplitude by a real factor (qsim's `Multiply`).
+pub fn scale<F: Float>(state: &mut StateVector<F>, factor: f64) {
+    let f = F::from_f64(factor);
+    state
+        .amplitudes_mut()
+        .par_iter_mut()
+        .with_min_len(4096)
+        .for_each(|a| *a = a.scale(f));
+}
+
+/// Probability that measuring `qubit` yields `|1⟩`.
+pub fn prob_one<F: Float>(state: &StateVector<F>, qubit: usize) -> f64 {
+    assert!(qubit < state.num_qubits(), "qubit out of range");
+    let mask = 1usize << qubit;
+    state
+        .amplitudes()
+        .par_iter()
+        .enumerate()
+        .with_min_len(4096)
+        .filter(|(i, _)| i & mask != 0)
+        .map(|(_, a)| a.norm_sqr().to_f64())
+        .sum()
+}
+
+/// Expectation value of Pauli-Z on `qubit`: `P(0) - P(1)`.
+pub fn expectation_z<F: Float>(state: &StateVector<F>, qubit: usize) -> f64 {
+    1.0 - 2.0 * prob_one(state, qubit)
+}
+
+/// Full probability distribution over basis states (use only for small `n`).
+pub fn probabilities<F: Float>(state: &StateVector<F>) -> Vec<f64> {
+    state.amplitudes().iter().map(|a| a.norm_sqr().to_f64()).collect()
+}
+
+/// Draw `num_samples` basis-state indices distributed as `|c_i|²` — the
+/// RQC *sampling* step of the paper's benchmark. Sorting the uniforms
+/// first makes this a single cumulative pass over the state (qsim's
+/// `SampleKernel` strategy), O(N + m·log m).
+pub fn sample<F: Float, R: Rng + ?Sized>(
+    state: &StateVector<F>,
+    num_samples: usize,
+    rng: &mut R,
+) -> Vec<u64> {
+    sample_slice(state.amplitudes(), num_samples, rng)
+}
+
+/// Slice-based variant of [`sample`].
+pub fn sample_slice<F: Float, R: Rng + ?Sized>(
+    amps: &[Cplx<F>],
+    num_samples: usize,
+    rng: &mut R,
+) -> Vec<u64> {
+    if num_samples == 0 {
+        return Vec::new();
+    }
+    // (uniform, original position) sorted by uniform.
+    let mut targets: Vec<(f64, usize)> =
+        (0..num_samples).map(|s| (rng.gen::<f64>(), s)).collect();
+    targets.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("uniforms are finite"));
+
+    let mut out = vec![0u64; num_samples];
+    let mut cum = 0.0f64;
+    let mut t = 0usize;
+    let total = norm_sqr_slice(amps); // tolerate slightly unnormalized states
+    for (i, a) in amps.iter().enumerate() {
+        cum += a.norm_sqr().to_f64() / total;
+        while t < num_samples && targets[t].0 < cum {
+            out[targets[t].1] = i as u64;
+            t += 1;
+        }
+        if t == num_samples {
+            break;
+        }
+    }
+    // Float round-off can leave a few targets ≥ cum; they belong to the
+    // last basis state.
+    let last = (amps.len() - 1) as u64;
+    while t < num_samples {
+        out[targets[t].1] = last;
+        t += 1;
+    }
+    out
+}
+
+/// Measure `qubits` (ascending order), collapse the state accordingly, and
+/// return the measured bits (bit `j` of the result = outcome of
+/// `qubits[j]`). This is qsim's destructive `Measure`.
+pub fn measure<F: Float, R: Rng + ?Sized>(
+    state: &mut StateVector<F>,
+    qubits: &[usize],
+    rng: &mut R,
+) -> usize {
+    measure_slice(state.amplitudes_mut(), qubits, rng)
+}
+
+/// Slice-based variant of [`measure`].
+pub fn measure_slice<F: Float, R: Rng + ?Sized>(
+    amps: &mut [Cplx<F>],
+    qubits: &[usize],
+    rng: &mut R,
+) -> usize {
+    let n = amps.len().trailing_zeros() as usize;
+    assert!(!qubits.is_empty(), "measure requires at least one qubit");
+    assert!(
+        qubits.windows(2).all(|w| w[0] < w[1]),
+        "measured qubits must be sorted ascending and distinct"
+    );
+    assert!(qubits.iter().all(|&q| q < n), "qubit out of range");
+
+    // Pick a basis state by inverse-CDF sampling, read off measured bits.
+    let r: f64 = rng.gen::<f64>() * norm_sqr_slice(amps);
+    let mut cum = 0.0;
+    let mut picked = amps.len() - 1;
+    for (i, a) in amps.iter().enumerate() {
+        cum += a.norm_sqr().to_f64();
+        if r < cum {
+            picked = i;
+            break;
+        }
+    }
+    let outcome = extract_bits(picked, qubits);
+
+    // Collapse: zero every amplitude whose measured bits differ.
+    let mask: usize = qubits.iter().map(|&q| 1usize << q).sum();
+    let want: usize = qubits
+        .iter()
+        .enumerate()
+        .map(|(j, &q)| ((outcome >> j) & 1) << q)
+        .sum();
+    amps.par_iter_mut()
+        .enumerate()
+        .with_min_len(4096)
+        .for_each(|(i, a)| {
+            if i & mask != want {
+                *a = Cplx::zero();
+            }
+        });
+    normalize_slice(amps);
+    outcome
+}
+
+/// Linear cross-entropy benchmarking fidelity estimator used for RQC
+/// sampling experiments: `F_XEB = 2^n · ⟨P(s)⟩ - 1` over measured
+/// bitstrings `s`, where `P` is the ideal output distribution. Equal to
+/// ~1 for samples drawn from the ideal simulation of a deep random
+/// circuit, ~0 for uniform noise.
+pub fn linear_xeb<F: Float>(state: &StateVector<F>, samples: &[u64]) -> f64 {
+    assert!(!samples.is_empty(), "XEB requires samples");
+    let n = state.num_qubits() as f64;
+    let mean_p: f64 = samples
+        .iter()
+        .map(|&s| state.amplitude(s as usize).norm_sqr().to_f64())
+        .sum::<f64>()
+        / samples.len() as f64;
+    2f64.powf(n) * mean_p - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::apply_gate_seq;
+    use crate::matrix::GateMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    type SV = StateVector<f64>;
+
+    fn h_matrix() -> GateMatrix<f64> {
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        GateMatrix::from_f64_pairs(2, &[(h, 0.), (h, 0.), (h, 0.), (-h, 0.)])
+    }
+
+    #[test]
+    fn fresh_state_has_unit_norm() {
+        assert!((norm_sqr(&SV::new(5)) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_scales_correctly() {
+        let mut sv = SV::new(3);
+        scale(&mut sv, 3.0);
+        assert!((norm_sqr(&sv) - 9.0).abs() < 1e-12);
+        normalize(&mut sv);
+        assert!((norm_sqr(&sv) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_of_orthogonal_states() {
+        let mut a = SV::new(2);
+        let mut b = SV::new(2);
+        a.set_basis_state(1);
+        b.set_basis_state(2);
+        assert_eq!(inner_product(&a, &b), Cplx::new(0.0, 0.0));
+        assert_eq!(inner_product(&a, &a), Cplx::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn fidelity_of_identical_states_is_one() {
+        let mut sv = SV::new(4);
+        for q in 0..4 {
+            apply_gate_seq(&mut sv, &[q], &h_matrix());
+        }
+        assert!((fidelity(&sv, &sv) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let mut a = SV::new(2);
+        let b = SV::new(2);
+        add_assign(&mut a, &b);
+        assert_eq!(a.amplitude(0), Cplx::new(2.0, 0.0));
+        scale(&mut a, 0.5);
+        assert_eq!(a.amplitude(0), Cplx::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn prob_one_on_basis_states() {
+        let mut sv = SV::new(3);
+        sv.set_basis_state(0b101);
+        assert_eq!(prob_one(&sv, 0), 1.0);
+        assert_eq!(prob_one(&sv, 1), 0.0);
+        assert_eq!(prob_one(&sv, 2), 1.0);
+        assert_eq!(expectation_z(&sv, 1), 1.0);
+        assert_eq!(expectation_z(&sv, 0), -1.0);
+    }
+
+    #[test]
+    fn prob_one_after_hadamard_is_half() {
+        let mut sv = SV::new(2);
+        apply_gate_seq(&mut sv, &[1], &h_matrix());
+        assert!((prob_one(&sv, 1) - 0.5).abs() < 1e-15);
+        assert!((prob_one(&sv, 0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut sv = SV::new(5);
+        for q in 0..5 {
+            apply_gate_seq(&mut sv, &[q], &h_matrix());
+        }
+        let p = probabilities(&sv);
+        assert_eq!(p.len(), 32);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_deterministic_state() {
+        let mut sv = SV::new(3);
+        sv.set_basis_state(5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = sample(&sv, 100, &mut rng);
+        assert!(s.iter().all(|&x| x == 5));
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        // H on qubit 0 of 1-qubit state: P(0)=P(1)=1/2.
+        let mut sv = SV::new(1);
+        apply_gate_seq(&mut sv, &[0], &h_matrix());
+        let mut rng = StdRng::seed_from_u64(42);
+        let s = sample(&sv, 20_000, &mut rng);
+        let ones = s.iter().filter(|&&x| x == 1).count() as f64;
+        let frac = ones / 20_000.0;
+        assert!((frac - 0.5).abs() < 0.02, "fraction of ones {frac}");
+    }
+
+    #[test]
+    fn sample_zero_requests() {
+        let sv = SV::new(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sample(&sv, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn measure_collapses_state() {
+        let mut sv = SV::new(2);
+        apply_gate_seq(&mut sv, &[0], &h_matrix());
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = measure(&mut sv, &[0], &mut rng);
+        // After collapse, state must be the pure basis state |outcome⟩.
+        assert!((norm_sqr(&sv) - 1.0).abs() < 1e-12);
+        assert!((sv.amplitude(outcome).abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measure_statistics() {
+        // Measuring qubit 0 of H|0⟩ must give ~50/50 over many seeds.
+        let mut ones = 0;
+        for seed in 0..400 {
+            let mut sv = SV::new(1);
+            apply_gate_seq(&mut sv, &[0], &h_matrix());
+            let mut rng = StdRng::seed_from_u64(seed);
+            ones += measure(&mut sv, &[0], &mut rng);
+        }
+        let frac = ones as f64 / 400.0;
+        assert!((frac - 0.5).abs() < 0.1, "fraction {frac}");
+    }
+
+    #[test]
+    fn measure_multiple_qubits_of_bell_state() {
+        // Bell state: measured bits of qubits {0,1} must be equal.
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        let amps = vec![
+            Cplx::new(h, 0.0),
+            Cplx::new(0.0, 0.0),
+            Cplx::new(0.0, 0.0),
+            Cplx::new(h, 0.0),
+        ];
+        for seed in 0..50 {
+            let mut sv = SV::from_amplitudes(amps.clone());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = measure(&mut sv, &[0, 1], &mut rng);
+            assert!(m == 0b00 || m == 0b11, "Bell measurement gave {m:02b}");
+        }
+    }
+
+    #[test]
+    fn xeb_of_ideal_samples_is_near_one_for_random_state() {
+        // A Porter-Thomas-like state: every amplitude random normal.
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 10;
+        let mut sv = SV::new(n);
+        for a in sv.amplitudes_mut() {
+            // Box-Muller normals
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen();
+            let r = (-2.0 * u1.ln()).sqrt();
+            *a = Cplx::new(r * (2.0 * std::f64::consts::PI * u2).cos(),
+                           r * (2.0 * std::f64::consts::PI * u2).sin());
+        }
+        normalize(&mut sv);
+        let samples = sample(&sv, 5000, &mut rng);
+        let xeb = linear_xeb(&sv, &samples);
+        assert!(xeb > 0.7 && xeb < 1.4, "ideal-sample XEB should be ~1, got {xeb}");
+
+        // Uniform (wrong) samples score ~0.
+        let uniform: Vec<u64> = (0..5000).map(|_| rng.gen_range(0..(1u64 << n))).collect();
+        let xeb0 = linear_xeb(&sv, &uniform);
+        assert!(xeb0.abs() < 0.3, "uniform-sample XEB should be ~0, got {xeb0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-size")]
+    fn inner_product_size_mismatch() {
+        let _ = inner_product(&SV::new(2), &SV::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn normalize_zero_vector_panics() {
+        let mut sv = SV::new(2);
+        scale(&mut sv, 0.0);
+        normalize(&mut sv);
+    }
+}

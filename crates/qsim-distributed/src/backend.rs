@@ -1,0 +1,577 @@
+//! The multi-GCD execution engine.
+//!
+//! Bulk-synchronous over `D = 2^d` modeled devices: every fused gate runs
+//! on all shards concurrently; gates touching a *global* qubit slot are
+//! preceded by a slot swap (pairwise half-shard exchange over the
+//! interconnect). The functional amplitudes are exact — the shard
+//! exchange really moves the data — while each device's virtual timeline
+//! accumulates the modeled kernel and link costs.
+
+use qsim_backends::plan::{gate_kernel_desc, init_kernel_desc};
+use qsim_backends::{BackendError, Flavor, RunOptions};
+use qsim_circuit::gates::permute_matrix_bits;
+use qsim_core::kernels::apply_gate_slice_par;
+use qsim_core::matrix::GateMatrix;
+use qsim_core::statespace::measure_slice;
+use qsim_core::types::{Cplx, Float, Precision};
+use qsim_core::StateVector;
+use qsim_fusion::{FusedCircuit, FusedOp};
+
+use gpu_model::memory::DeviceBuffer;
+use gpu_model::runtime::{Gpu, StreamId};
+use gpu_model::trace::SpanKind;
+use gpu_model::GpuError;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::interconnect::{LinkSpec, Topology};
+use crate::layout::QubitLayout;
+
+/// Report of one distributed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistReport {
+    /// Backend flavor label.
+    pub backend: String,
+    /// Number of devices (`2^d`).
+    pub devices: usize,
+    /// Local qubits per device.
+    pub local_qubits: usize,
+    /// Circuit width.
+    pub num_qubits: usize,
+    /// Working precision.
+    pub precision: Precision,
+    /// Fused unitary passes executed (per device).
+    pub fused_gates: usize,
+    /// Global-qubit slot swaps performed.
+    pub swaps: usize,
+    /// Bytes each device pushed over the interconnect.
+    pub exchanged_bytes_per_device: u64,
+    /// Modeled end-to-end time, seconds (max over device timelines).
+    pub simulated_seconds: f64,
+    /// Total state memory across devices, bytes.
+    pub state_bytes_total: u64,
+    /// Outcomes of in-circuit measurements, in order.
+    pub measurements: Vec<(Vec<usize>, usize)>,
+}
+
+/// A state vector sharded across several modeled devices of one flavor.
+pub struct MultiGcdBackend {
+    flavor: Flavor,
+    topology: Topology,
+    devices: Vec<Gpu>,
+}
+
+impl MultiGcdBackend {
+    /// `num_devices` (a power of two) devices of the flavor's default
+    /// spec, joined by in-package Infinity Fabric (or NVLink for the
+    /// Nvidia flavors).
+    pub fn new(flavor: Flavor, num_devices: usize) -> Self {
+        let link = match flavor {
+            Flavor::Cuda | Flavor::CuStateVec => LinkSpec::nvlink3(),
+            _ => LinkSpec::infinity_fabric_in_package(),
+        };
+        Self::with_link(flavor, num_devices, link)
+    }
+
+    /// Devices joined by a uniform link model.
+    pub fn with_link(flavor: Flavor, num_devices: usize, link: LinkSpec) -> Self {
+        Self::with_topology(flavor, num_devices, Topology::Uniform(link))
+    }
+
+    /// Devices joined by an explicit topology (e.g.
+    /// [`Topology::frontier_node`] for the in-package/cross-package
+    /// hierarchy of the paper's testbed).
+    pub fn with_topology(flavor: Flavor, num_devices: usize, topology: Topology) -> Self {
+        assert!(
+            num_devices.is_power_of_two() && num_devices >= 1,
+            "device count must be a power of two, got {num_devices}"
+        );
+        let devices = (0..num_devices).map(|_| Gpu::new(flavor.default_spec())).collect();
+        MultiGcdBackend { flavor, topology, devices }
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    fn validate(&self, fused: &FusedCircuit) -> Result<(usize, usize), BackendError> {
+        let n = fused.num_qubits;
+        let d = self.devices.len().trailing_zeros() as usize;
+        if n == 0 || n > qsim_core::statevec::MAX_QUBITS {
+            return Err(BackendError::InvalidCircuit(format!("unsupported qubit count {n}")));
+        }
+        if d >= n {
+            return Err(BackendError::InvalidCircuit(format!(
+                "{} devices need more than {n} qubits",
+                self.devices.len()
+            )));
+        }
+        let m = n - d;
+        for g in fused.unitaries() {
+            if g.qubits.len() > m {
+                return Err(BackendError::InvalidCircuit(format!(
+                    "a {}-qubit fused gate cannot be made local with only {m} local qubits \
+                     per device (re-fuse with a smaller max_fused_qubits)",
+                    g.qubits.len()
+                )));
+            }
+            if g.qubits.iter().any(|&q| q >= n) {
+                return Err(BackendError::InvalidCircuit("gate qubit out of range".into()));
+            }
+        }
+        Ok((d, m))
+    }
+
+    /// Charge one global↔local slot swap (of global id bit `t`) to every
+    /// device's timeline and return the per-device bytes pushed.
+    fn charge_swap(&self, shard_len: usize, amp_bytes: usize, t: usize) -> Result<u64, BackendError> {
+        let bytes_each_way = (shard_len / 2 * amp_bytes) as u64;
+        let dur_us = self.topology.link_for_bit(t).exchange_seconds(bytes_each_way) * 1e6;
+        for gpu in &self.devices {
+            gpu.charge_custom("GlobalSwapExchange", SpanKind::MemcpyD2D, StreamId::DEFAULT, dur_us)
+                .map_err(BackendError::Gpu)?;
+        }
+        Ok(bytes_each_way)
+    }
+
+    /// Move physical slot `global_slot` (≥ m) into local slot
+    /// `local_slot` in the *data*, for all device pairs.
+    fn exchange_data<F: Float>(
+        buffers: &mut [DeviceBuffer<Cplx<F>>],
+        m: usize,
+        local_slot: usize,
+        global_slot: usize,
+    ) {
+        let t = global_slot - m;
+        let pair_bit = 1usize << t;
+        let a_bit = 1usize << local_slot;
+        let shard_len = buffers[0].len();
+        for r0 in 0..buffers.len() {
+            if r0 & pair_bit != 0 {
+                continue;
+            }
+            let r1 = r0 | pair_bit;
+            let (lo, hi) = buffers.split_at_mut(r1);
+            let b0 = lo[r0].as_mut_slice();
+            let b1 = hi[0].as_mut_slice();
+            for i in 0..shard_len {
+                if i & a_bit == 0 {
+                    std::mem::swap(&mut b0[i | a_bit], &mut b1[i]);
+                }
+            }
+        }
+    }
+
+    /// Make every target of `qubits` local, updating `layout`, moving
+    /// data when `buffers` is provided, and charging the interconnect.
+    /// Returns `(swaps, bytes_per_device)`.
+    fn localize<F: Float>(
+        &self,
+        layout: &mut QubitLayout,
+        qubits: &[usize],
+        m: usize,
+        amp_bytes: usize,
+        mut buffers: Option<&mut [DeviceBuffer<Cplx<F>>]>,
+    ) -> Result<(usize, u64), BackendError> {
+        let mut swaps = 0;
+        let mut bytes = 0u64;
+        let shard_len = 1usize << m;
+        for &q in qubits {
+            if layout.is_local(q) {
+                continue;
+            }
+            let global_slot = layout.slot_of(q);
+            let local_slot = layout.pick_victim(qubits);
+            if let Some(bufs) = buffers.as_deref_mut() {
+                Self::exchange_data(bufs, m, local_slot, global_slot);
+            }
+            layout.swap_slots(local_slot, global_slot);
+            bytes += self.charge_swap(shard_len, amp_bytes, global_slot - m)?;
+            swaps += 1;
+        }
+        Ok((swaps, bytes))
+    }
+
+    /// The gate's matrix re-expressed over its (sorted) physical slots.
+    fn physical_matrix<F: Float>(
+        layout: &QubitLayout,
+        qubits: &[usize],
+        matrix: &GateMatrix<f64>,
+    ) -> (Vec<usize>, GateMatrix<F>) {
+        let slots: Vec<usize> = qubits.iter().map(|&q| layout.slot_of(q)).collect();
+        let mut sorted = slots.clone();
+        sorted.sort_unstable();
+        let m64 = if sorted == slots {
+            matrix.clone()
+        } else {
+            let perm: Vec<usize> = slots
+                .iter()
+                .map(|s| sorted.iter().position(|x| x == s).expect("slot present"))
+                .collect();
+            permute_matrix_bits(matrix, &perm)
+        };
+        (sorted, m64.cast())
+    }
+
+    fn t0(&self) -> f64 {
+        self.devices.iter().map(|g| g.synchronize()).fold(0.0, f64::max)
+    }
+
+    fn makespan(&self) -> f64 {
+        self.devices.iter().map(|g| g.synchronize()).fold(0.0, f64::max)
+    }
+
+    /// Functional + modeled execution from `|0…0⟩`.
+    pub fn run<F: Float>(
+        &self,
+        fused: &FusedCircuit,
+        opts: &RunOptions,
+    ) -> Result<(StateVector<F>, DistReport), BackendError> {
+        let (d, m) = self.validate(fused)?;
+        let shard_len = 1usize << m;
+        let amp_bytes = F::PRECISION.amplitude_bytes();
+        let dp = F::PRECISION == Precision::Double;
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let mut layout = QubitLayout::new(fused.num_qubits, m);
+        let mut measurements = Vec::new();
+
+        let t0 = self.t0();
+        let mut buffers: Vec<DeviceBuffer<Cplx<F>>> = self
+            .devices
+            .iter()
+            .map(|g| g.malloc::<Cplx<F>>(shard_len))
+            .collect::<Result<_, GpuError>>()?;
+        let init = init_kernel_desc(self.flavor, shard_len, amp_bytes, dp);
+        for (r, gpu) in self.devices.iter().enumerate() {
+            let buf = &mut buffers[r];
+            gpu.launch(&init, StreamId::DEFAULT, || {
+                if r == 0 {
+                    buf.as_mut_slice()[0] = Cplx::one();
+                }
+            })?;
+        }
+
+        let mut swaps = 0usize;
+        let mut exchanged = 0u64;
+        for op in &fused.ops {
+            match op {
+                FusedOp::Unitary(g) => {
+                    let (s, b) =
+                        self.localize(&mut layout, &g.qubits, m, amp_bytes, Some(&mut buffers))?;
+                    swaps += s;
+                    exchanged += b;
+                    let (slots, matrix) = Self::physical_matrix::<F>(&layout, &g.qubits, &g.matrix);
+                    let desc = gate_kernel_desc(self.flavor, m, &slots, amp_bytes, dp, None);
+                    for (r, gpu) in self.devices.iter().enumerate() {
+                        let buf = &mut buffers[r];
+                        gpu.launch(&desc, StreamId::DEFAULT, || {
+                            apply_gate_slice_par(buf.as_mut_slice(), &slots, &matrix);
+                        })?;
+                    }
+                }
+                FusedOp::Measurement { qubits, .. } => {
+                    // Gather to host in logical order, measure, scatter
+                    // back; charged as one full D2H + H2D round trip.
+                    let mut logical = self.gather_logical(&buffers, &layout, m);
+                    for gpu in &self.devices {
+                        gpu.charge_memcpy(
+                            SpanKind::MemcpyD2H,
+                            (shard_len * amp_bytes) as u64,
+                            StreamId::DEFAULT,
+                        )?;
+                    }
+                    let outcome = measure_slice(&mut logical, qubits, &mut rng);
+                    measurements.push((qubits.clone(), outcome));
+                    self.scatter_logical(&mut buffers, &layout, m, &logical);
+                    for gpu in &self.devices {
+                        gpu.charge_memcpy(
+                            SpanKind::MemcpyH2D,
+                            (shard_len * amp_bytes) as u64,
+                            StreamId::DEFAULT,
+                        )?;
+                    }
+                }
+            }
+        }
+        let simulated = (self.makespan() - t0) * 1e-6;
+
+        let state = StateVector::from_amplitudes(self.gather_logical(&buffers, &layout, m));
+        let report = DistReport {
+            backend: self.flavor.label().into(),
+            devices: self.devices.len(),
+            local_qubits: m,
+            num_qubits: fused.num_qubits,
+            precision: F::PRECISION,
+            fused_gates: fused.num_unitaries(),
+            swaps,
+            exchanged_bytes_per_device: exchanged,
+            simulated_seconds: simulated,
+            state_bytes_total: (shard_len * amp_bytes * self.devices.len()) as u64,
+            measurements,
+        };
+        let _ = d;
+        Ok((state, report))
+    }
+
+    /// Collect shards into a logically-ordered amplitude vector.
+    fn gather_logical<F: Float>(
+        &self,
+        buffers: &[DeviceBuffer<Cplx<F>>],
+        layout: &QubitLayout,
+        m: usize,
+    ) -> Vec<Cplx<F>> {
+        let n = layout.num_qubits();
+        let mask = (1usize << m) - 1;
+        (0..1usize << n)
+            .map(|l| {
+                let p = layout.physical_index(l);
+                buffers[p >> m].as_slice()[p & mask]
+            })
+            .collect()
+    }
+
+    /// Write a logically-ordered amplitude vector back into the shards.
+    fn scatter_logical<F: Float>(
+        &self,
+        buffers: &mut [DeviceBuffer<Cplx<F>>],
+        layout: &QubitLayout,
+        m: usize,
+        logical: &[Cplx<F>],
+    ) {
+        let mask = (1usize << m) - 1;
+        for (l, &amp) in logical.iter().enumerate() {
+            let p = layout.physical_index(l);
+            buffers[p >> m].as_mut_slice()[p & mask] = amp;
+        }
+    }
+
+    /// Dry run: modeled timing without allocating or computing.
+    pub fn estimate(
+        &self,
+        fused: &FusedCircuit,
+        precision: Precision,
+    ) -> Result<DistReport, BackendError> {
+        let (_, m) = self.validate(fused)?;
+        let shard_len = 1usize << m;
+        let amp_bytes = precision.amplitude_bytes();
+        let dp = precision == Precision::Double;
+        let shard_bytes = (shard_len * amp_bytes) as u64;
+        let spec_mem = self.devices[0].spec().memory_bytes;
+        if shard_bytes > spec_mem {
+            return Err(BackendError::Gpu(GpuError::OutOfMemory {
+                requested_bytes: shard_bytes,
+                free_bytes: spec_mem,
+            }));
+        }
+        let mut layout = QubitLayout::new(fused.num_qubits, m);
+
+        let t0 = self.t0();
+        let init = init_kernel_desc(self.flavor, shard_len, amp_bytes, dp);
+        for gpu in &self.devices {
+            gpu.charge_launch(&init, StreamId::DEFAULT)?;
+        }
+        let mut swaps = 0usize;
+        let mut exchanged = 0u64;
+        for op in &fused.ops {
+            match op {
+                FusedOp::Unitary(g) => {
+                    let (s, b) = self.localize::<f32>(&mut layout, &g.qubits, m, amp_bytes, None)?;
+                    swaps += s;
+                    exchanged += b;
+                    let mut slots: Vec<usize> =
+                        g.qubits.iter().map(|&q| layout.slot_of(q)).collect();
+                    slots.sort_unstable();
+                    let desc = gate_kernel_desc(self.flavor, m, &slots, amp_bytes, dp, None);
+                    for gpu in &self.devices {
+                        gpu.charge_launch(&desc, StreamId::DEFAULT)?;
+                    }
+                }
+                FusedOp::Measurement { .. } => {
+                    for gpu in &self.devices {
+                        gpu.charge_memcpy(SpanKind::MemcpyD2H, shard_bytes, StreamId::DEFAULT)?;
+                        gpu.charge_memcpy(SpanKind::MemcpyH2D, shard_bytes, StreamId::DEFAULT)?;
+                    }
+                }
+            }
+        }
+        let simulated = (self.makespan() - t0) * 1e-6;
+        Ok(DistReport {
+            backend: self.flavor.label().into(),
+            devices: self.devices.len(),
+            local_qubits: m,
+            num_qubits: fused.num_qubits,
+            precision,
+            fused_gates: fused.num_unitaries(),
+            swaps,
+            exchanged_bytes_per_device: exchanged,
+            simulated_seconds: simulated,
+            state_bytes_total: shard_bytes * self.devices.len() as u64,
+            measurements: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_backends::SimBackend;
+    use qsim_circuit::{generate_rqc, library, RqcOptions};
+    use qsim_fusion::fuse;
+
+    fn single_device_state(fused: &FusedCircuit) -> StateVector<f64> {
+        SimBackend::new(Flavor::Hip)
+            .run::<f64>(fused, &RunOptions::default())
+            .expect("single run")
+            .0
+    }
+
+    #[test]
+    fn one_device_matches_single_backend() {
+        let fused = fuse(&library::ghz(8), 3);
+        let dist = MultiGcdBackend::new(Flavor::Hip, 1);
+        let (state, report) = dist.run::<f64>(&fused, &RunOptions::default()).expect("run");
+        assert_eq!(report.swaps, 0);
+        assert!(single_device_state(&fused).max_abs_diff(&state) < 1e-14);
+    }
+
+    #[test]
+    fn sharded_rqc_matches_single_device() {
+        let circuit = generate_rqc(&RqcOptions::for_qubits(10, 8, 21));
+        for f in [2usize, 3, 4] {
+            let fused = fuse(&circuit, f);
+            let reference = single_device_state(&fused);
+            for devices in [2usize, 4, 8] {
+                let dist = MultiGcdBackend::new(Flavor::Hip, devices);
+                let (state, report) =
+                    dist.run::<f64>(&fused, &RunOptions::default()).expect("run");
+                let diff = reference.max_abs_diff(&state);
+                assert!(diff < 1e-12, "D={devices} f={f}: diff {diff}");
+                // Global gates exist in an RQC this wide, so swaps happen.
+                if devices > 1 {
+                    assert!(report.swaps > 0, "D={devices} f={f}");
+                    assert!(report.exchanged_bytes_per_device > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qft_sharded_matches() {
+        let fused = fuse(&library::qft(9), 3);
+        let reference = single_device_state(&fused);
+        let dist = MultiGcdBackend::new(Flavor::Cuda, 4);
+        let (state, _) = dist.run::<f64>(&fused, &RunOptions::default()).expect("run");
+        assert!(reference.max_abs_diff(&state) < 1e-12);
+    }
+
+    #[test]
+    fn estimate_matches_run_timing() {
+        let circuit = generate_rqc(&RqcOptions::for_qubits(10, 6, 3));
+        let fused = fuse(&circuit, 3);
+        for devices in [1usize, 2, 4] {
+            let a = MultiGcdBackend::new(Flavor::Hip, devices);
+            let run_report = a.run::<f32>(&fused, &RunOptions::default()).expect("run").1;
+            let b = MultiGcdBackend::new(Flavor::Hip, devices);
+            let est = b.estimate(&fused, Precision::Single).expect("estimate");
+            assert_eq!(run_report.swaps, est.swaps, "D={devices}");
+            assert!(
+                (run_report.simulated_seconds - est.simulated_seconds).abs() < 1e-9,
+                "D={devices}"
+            );
+        }
+    }
+
+    #[test]
+    fn measurement_in_sharded_state() {
+        let mut c = qsim_circuit::Circuit::new(6);
+        use qsim_circuit::gates::GateKind;
+        c.push(GateKind::H, &[0]);
+        for q in 1..6 {
+            c.push(GateKind::Cnot, &[q - 1, q]);
+        }
+        c.push(GateKind::Measurement, &[0, 1, 2, 3, 4, 5]);
+        let fused = fuse(&c, 2);
+        for seed in 0..10 {
+            let dist = MultiGcdBackend::new(Flavor::Hip, 4);
+            let (state, report) = dist.run::<f64>(&fused, &RunOptions { seed, sample_count: 0 }).expect("run");
+            let (_, outcome) = &report.measurements[0];
+            assert!(*outcome == 0 || *outcome == 0b111111, "GHZ gave {outcome:06b}");
+            assert!((state.amplitude(*outcome).abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_level_topology_is_slower_than_uniform_fast_links() {
+        use crate::interconnect::Topology;
+        let circuit = generate_rqc(&RqcOptions::paper_q30());
+        let fused = fuse(&circuit, 4);
+        let uniform = MultiGcdBackend::new(Flavor::Hip, 4)
+            .estimate(&fused, Precision::Single)
+            .expect("estimate");
+        let hierarchical =
+            MultiGcdBackend::with_topology(Flavor::Hip, 4, Topology::frontier_node())
+                .estimate(&fused, Precision::Single)
+                .expect("estimate");
+        // Same swaps and functional behaviour, slower cross-package links.
+        assert_eq!(uniform.swaps, hierarchical.swaps);
+        assert!(hierarchical.simulated_seconds > uniform.simulated_seconds);
+        // ...and functional equivalence is unaffected by topology.
+        let small = fuse(&generate_rqc(&RqcOptions::for_qubits(8, 4, 2)), 2);
+        let (a, _) = MultiGcdBackend::new(Flavor::Hip, 4)
+            .run::<f64>(&small, &RunOptions::default())
+            .expect("run");
+        let (b, _) = MultiGcdBackend::with_topology(Flavor::Hip, 4, Topology::frontier_node())
+            .run::<f64>(&small, &RunOptions::default())
+            .expect("run");
+        assert!(a.max_abs_diff(&b) < 1e-15);
+    }
+
+    #[test]
+    fn capacity_grows_with_devices() {
+        // 34 qubits single precision = 128 GiB: too big for one GCD once
+        // you go to 35, but 2 devices halve the shard.
+        let c = qsim_circuit::Circuit::new(35);
+        let fused = fuse(&c, 2);
+        assert!(MultiGcdBackend::new(Flavor::Hip, 1)
+            .estimate(&fused, Precision::Single)
+            .is_err());
+        assert!(MultiGcdBackend::new(Flavor::Hip, 2)
+            .estimate(&fused, Precision::Single)
+            .is_ok());
+    }
+
+    #[test]
+    fn too_wide_gate_for_shard_is_rejected() {
+        let circuit = generate_rqc(&RqcOptions::for_qubits(6, 4, 1));
+        let fused = fuse(&circuit, 4);
+        // 16 devices leave only 2 local qubits; a 4-qubit fused gate
+        // cannot be localized.
+        let dist = MultiGcdBackend::new(Flavor::Hip, 16);
+        assert!(matches!(
+            dist.estimate(&fused, Precision::Single),
+            Err(BackendError::InvalidCircuit(_))
+        ));
+    }
+
+    #[test]
+    fn more_devices_fewer_seconds_at_scale() {
+        // Strong scaling on the paper's 30-qubit RQC: 2 GCDs beat 1
+        // despite the interconnect traffic.
+        let circuit = generate_rqc(&RqcOptions::paper_q30());
+        let fused = fuse(&circuit, 4);
+        let t1 = MultiGcdBackend::new(Flavor::Hip, 1)
+            .estimate(&fused, Precision::Single)
+            .expect("estimate")
+            .simulated_seconds;
+        let t2 = MultiGcdBackend::new(Flavor::Hip, 2)
+            .estimate(&fused, Precision::Single)
+            .expect("estimate")
+            .simulated_seconds;
+        assert!(t2 < t1, "2 GCDs {t2} should beat 1 GCD {t1}");
+        // ...but far from perfectly (swap traffic): parallel efficiency
+        // below 100 %.
+        assert!(t2 > t1 / 2.0, "scaling cannot be super-linear: {t2} vs {t1}");
+    }
+}

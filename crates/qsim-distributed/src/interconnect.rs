@@ -1,0 +1,111 @@
+//! Device-to-device interconnect model.
+//!
+//! The MI250X's two GCDs talk over in-package Infinity Fabric; GCDs on
+//! different packages of a Frontier/LUMI-style node use external Infinity
+//! Fabric links. A global-qubit swap is a *pairwise* exchange — every
+//! device sends and receives half its shard concurrently with all other
+//! pairs — so the modeled cost per device is one half-shard transfer at
+//! the per-pair link bandwidth, plus latency.
+
+/// A point-to-point link between device pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Per-direction bandwidth of one pairwise link, GiB/s.
+    pub bw_gib_s: f64,
+    /// Per-transfer latency, microseconds.
+    pub latency_us: f64,
+}
+
+impl LinkSpec {
+    /// In-package Infinity Fabric between the two GCDs of one MI250X:
+    /// 4 links × 50 GB/s ≈ 200 GB/s per direction (AMD CDNA2 whitepaper);
+    /// we model the effective achievable rate.
+    pub fn infinity_fabric_in_package() -> Self {
+        LinkSpec { bw_gib_s: 150.0, latency_us: 10.0 }
+    }
+
+    /// External Infinity Fabric between packages on a Frontier-class
+    /// node: a single 50 GB/s link per GCD pair.
+    pub fn infinity_fabric_node() -> Self {
+        LinkSpec { bw_gib_s: 40.0, latency_us: 15.0 }
+    }
+
+    /// NVLink 3 between A100s (for CUDA-flavor multi-GPU modeling).
+    pub fn nvlink3() -> Self {
+        LinkSpec { bw_gib_s: 100.0, latency_us: 8.0 }
+    }
+
+    /// Time in **seconds** for one pairwise exchange in which each device
+    /// sends and receives `bytes_each_way` (full duplex).
+    pub fn exchange_seconds(&self, bytes_each_way: u64) -> f64 {
+        self.latency_us * 1e-6 + bytes_each_way as f64 / (self.bw_gib_s * 1024.0 * 1024.0 * 1024.0)
+    }
+}
+
+/// How device pairs are wired — which link a given global-qubit swap
+/// crosses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Topology {
+    /// Every pair uses the same link.
+    Uniform(LinkSpec),
+    /// Frontier/LUMI-style hierarchy: devices whose ids differ only in
+    /// bit 0 are the two GCDs of one MI250X package (fast in-package
+    /// Infinity Fabric); swaps on higher global bits cross packages on
+    /// the slower node-level links.
+    TwoLevel {
+        in_package: LinkSpec,
+        cross_package: LinkSpec,
+    },
+}
+
+impl Topology {
+    /// The Frontier-node default: in-package + node-level Infinity Fabric.
+    pub fn frontier_node() -> Self {
+        Topology::TwoLevel {
+            in_package: LinkSpec::infinity_fabric_in_package(),
+            cross_package: LinkSpec::infinity_fabric_node(),
+        }
+    }
+
+    /// Link crossed when swapping global bit `t` (device pairs differ in
+    /// exactly that id bit).
+    pub fn link_for_bit(&self, t: usize) -> LinkSpec {
+        match *self {
+            Topology::Uniform(link) => link,
+            Topology::TwoLevel { in_package, cross_package } => {
+                if t == 0 {
+                    in_package
+                } else {
+                    cross_package
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_ordering() {
+        let inp = LinkSpec::infinity_fabric_in_package();
+        let node = LinkSpec::infinity_fabric_node();
+        assert!(inp.bw_gib_s > node.bw_gib_s, "in-package link is faster");
+    }
+
+    #[test]
+    fn exchange_time_scales_linearly() {
+        let link = LinkSpec { bw_gib_s: 100.0, latency_us: 0.0 };
+        let one = link.exchange_seconds(1 << 30);
+        let two = link.exchange_seconds(2 << 30);
+        assert!((one - 0.01).abs() < 1e-6, "1 GiB over 100 GiB/s = 10 ms, got {one}");
+        assert!((two / one - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_floors_small_transfers() {
+        let link = LinkSpec { bw_gib_s: 100.0, latency_us: 12.0 };
+        assert!((link.exchange_seconds(0) - 12e-6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Logical→physical qubit placement for the sharded state vector.
+//!
+//! Physical slot `s < m` (with `m` local qubits per device) is bit `s` of
+//! a device-local amplitude index; slot `s ≥ m` is bit `s - m` of the
+//! device id. The layout tracks where each *logical* circuit qubit
+//! currently lives, so global-qubit gates can be made local with swaps
+//! and the final state can be unscrambled in one pass.
+
+/// A permutation between logical qubits and physical slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QubitLayout {
+    /// `slot_of[q]` = physical slot currently holding logical qubit `q`.
+    slot_of: Vec<usize>,
+    /// `logical_at[s]` = logical qubit currently in physical slot `s`.
+    logical_at: Vec<usize>,
+    /// Local qubits per device (`m`); slots `>= m` are global.
+    local_qubits: usize,
+}
+
+impl QubitLayout {
+    /// Identity layout for `n` qubits with `m = n - d` local slots.
+    pub fn new(n: usize, local_qubits: usize) -> Self {
+        assert!(local_qubits <= n, "more devices than amplitudes");
+        QubitLayout {
+            slot_of: (0..n).collect(),
+            logical_at: (0..n).collect(),
+            local_qubits,
+        }
+    }
+
+    /// Total qubit count.
+    pub fn num_qubits(&self) -> usize {
+        self.slot_of.len()
+    }
+
+    /// Local qubits per device.
+    pub fn local_qubits(&self) -> usize {
+        self.local_qubits
+    }
+
+    /// Physical slot of logical qubit `q`.
+    pub fn slot_of(&self, q: usize) -> usize {
+        self.slot_of[q]
+    }
+
+    /// Logical qubit living in physical slot `s`.
+    pub fn logical_at(&self, s: usize) -> usize {
+        self.logical_at[s]
+    }
+
+    /// Whether logical qubit `q` currently lives in a local slot.
+    pub fn is_local(&self, q: usize) -> bool {
+        self.slot_of[q] < self.local_qubits
+    }
+
+    /// Swap the contents of two physical slots (records the permutation
+    /// only; the backend moves the data).
+    pub fn swap_slots(&mut self, a: usize, b: usize) {
+        let qa = self.logical_at[a];
+        let qb = self.logical_at[b];
+        self.logical_at.swap(a, b);
+        self.slot_of[qa] = b;
+        self.slot_of[qb] = a;
+    }
+
+    /// Choose a local slot to evict for an incoming global qubit: the
+    /// highest local slot whose logical qubit is not in `protect`.
+    /// Preferring high slots keeps the device's low slots (the
+    /// `ApplyGateL_Kernel`-triggering ones) stable.
+    pub fn pick_victim(&self, protect: &[usize]) -> usize {
+        (0..self.local_qubits)
+            .rev()
+            .find(|&s| !protect.contains(&self.logical_at[s]))
+            .expect("at least one local slot must be free (gate width < local qubits)")
+    }
+
+    /// Map a logical amplitude index to its physical index under the
+    /// current layout: bit `q` of `logical` moves to bit `slot_of[q]`.
+    pub fn physical_index(&self, logical: usize) -> usize {
+        let mut p = 0usize;
+        for (q, &s) in self.slot_of.iter().enumerate() {
+            p |= ((logical >> q) & 1) << s;
+        }
+        p
+    }
+
+    /// Whether the layout is the identity permutation.
+    pub fn is_identity(&self) -> bool {
+        self.slot_of.iter().enumerate().all(|(q, &s)| q == s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_layout() {
+        let l = QubitLayout::new(6, 4);
+        assert!(l.is_identity());
+        assert!(l.is_local(3));
+        assert!(!l.is_local(4));
+        assert_eq!(l.physical_index(0b101101), 0b101101);
+    }
+
+    #[test]
+    fn swap_updates_both_maps() {
+        let mut l = QubitLayout::new(6, 4);
+        l.swap_slots(2, 5); // logical 5 becomes local, logical 2 global
+        assert_eq!(l.slot_of(5), 2);
+        assert_eq!(l.slot_of(2), 5);
+        assert_eq!(l.logical_at(2), 5);
+        assert_eq!(l.logical_at(5), 2);
+        assert!(l.is_local(5));
+        assert!(!l.is_local(2));
+        assert!(!l.is_identity());
+        // Swap back restores identity.
+        l.swap_slots(2, 5);
+        assert!(l.is_identity());
+    }
+
+    #[test]
+    fn physical_index_follows_swaps() {
+        let mut l = QubitLayout::new(4, 2);
+        l.swap_slots(0, 3);
+        // logical bit 0 now at slot 3, logical bit 3 at slot 0.
+        assert_eq!(l.physical_index(0b0001), 0b1000);
+        assert_eq!(l.physical_index(0b1000), 0b0001);
+        assert_eq!(l.physical_index(0b0110), 0b0110);
+    }
+
+    #[test]
+    fn physical_index_is_a_bijection() {
+        let mut l = QubitLayout::new(5, 3);
+        l.swap_slots(1, 4);
+        l.swap_slots(0, 3);
+        let mut seen = vec![false; 32];
+        for i in 0..32 {
+            let p = l.physical_index(i);
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn victim_prefers_high_slots_and_respects_protection() {
+        let l = QubitLayout::new(8, 5);
+        assert_eq!(l.pick_victim(&[]), 4);
+        assert_eq!(l.pick_victim(&[4]), 3);
+        assert_eq!(l.pick_victim(&[4, 3, 2]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "more devices than amplitudes")]
+    fn too_many_devices_rejected() {
+        let _ = QubitLayout::new(3, 4);
+    }
+}

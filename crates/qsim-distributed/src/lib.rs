@@ -1,0 +1,25 @@
+//! # qsim-distributed
+//!
+//! Multi-GCD distributed state-vector backend — the paper's stated future
+//! work (§7: *"the multi-GPU porting for the HIP backend is an important
+//! goal … offering the prospect of simulating … larger qubit counts"*),
+//! built in the style of qsim/Qiskit *cache blocking* (Doi & Horii 2020,
+//! cited by the paper) and cuQuantum's multi-GPU state-vector layout.
+//!
+//! The `2^n` amplitudes are sharded over `D = 2^d` modeled devices: the
+//! top `d` physical qubit slots select the device ("global" qubits), the
+//! rest index into each device's local buffer. Gates whose targets are
+//! all local run concurrently on every device with no communication;
+//! a gate touching a global slot first *swaps* that slot with a free
+//! local slot — a pairwise half-buffer exchange between device pairs over
+//! the modeled Infinity Fabric links — after which it, too, is local.
+//! A logical→physical [`layout::QubitLayout`] permutation tracks the swap
+//! history so amplitudes are unscrambled only once, at readback.
+
+pub mod interconnect;
+pub mod layout;
+pub mod backend;
+
+pub use backend::{DistReport, MultiGcdBackend};
+pub use interconnect::LinkSpec;
+pub use layout::QubitLayout;

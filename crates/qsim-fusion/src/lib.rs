@@ -1,0 +1,534 @@
+//! # qsim-fusion
+//!
+//! Gate-fusion transpiler: combines circuit gates into larger *fused
+//! gates* of up to `max_fused_qubits` qubits, the optimization the paper
+//! sweeps in every figure ("maximum number of fused gates", qsim's `-f`
+//! flag).
+//!
+//! Fusion trades memory passes for arithmetic (paper §2.2, Figure 5): two
+//! gates acting on the same qubit fuse by matrix product (*time fusion*),
+//! gates on different qubits fuse by tensor product (*space fusion*). A
+//! fused `k`-qubit gate applies one `2^k × 2^k` matrix in a single pass
+//! over the state vector instead of several small passes — each pass reads
+//! and writes the entire state, so on bandwidth-bound hardware fewer,
+//! denser passes win until the `2^k`-sized matrix work and the shrinking
+//! parallelism (`2^{n-k}` groups) take over; qsim (and this
+//! reproduction) find the optimum at 4 fused qubits.
+//!
+//! The fuser is a greedy, order-preserving scan (the
+//! `MultiQubitGateFuser` strategy): each gate merges into the most recent
+//! fused gate that already owns its qubit frontier whenever the merged
+//! qubit set still fits in `max_fused_qubits`; measurements are fusion
+//! barriers.
+
+use qsim_core::matrix::GateMatrix;
+use qsim_core::types::Float;
+use qsim_circuit::circuit::Circuit;
+
+/// A fused unitary acting on a sorted set of qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedGate {
+    /// Sorted target qubits (bit `j` of the matrix index ↔ `qubits[j]`).
+    pub qubits: Vec<usize>,
+    /// The fused unitary, always composed in `f64`; backends cast to
+    /// their working precision at application time.
+    pub matrix: GateMatrix<f64>,
+    /// How many source-circuit gates were folded into this one.
+    pub source_gates: usize,
+    /// `(first, last)` source time slices folded in.
+    pub time_range: (usize, usize),
+}
+
+impl FusedGate {
+    /// The fused matrix cast to the backend's working precision.
+    pub fn matrix_as<F: Float>(&self) -> GateMatrix<F> {
+        self.matrix.cast()
+    }
+}
+
+/// One operation of a fused circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FusedOp {
+    /// A fused unitary gate.
+    Unitary(FusedGate),
+    /// A measurement barrier (kept in place; never fused across).
+    Measurement { qubits: Vec<usize>, time: usize },
+}
+
+/// The fuser's output: an op list equivalent to the source circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedCircuit {
+    pub num_qubits: usize,
+    pub ops: Vec<FusedOp>,
+    /// The `max_fused_qubits` this circuit was fused with.
+    pub max_fused_qubits: usize,
+}
+
+impl FusedCircuit {
+    /// Number of fused unitary passes (the quantity that determines
+    /// memory traffic).
+    pub fn num_unitaries(&self) -> usize {
+        self.ops.iter().filter(|op| matches!(op, FusedOp::Unitary(_))).count()
+    }
+
+    /// Iterator over the fused unitaries.
+    pub fn unitaries(&self) -> impl Iterator<Item = &FusedGate> {
+        self.ops.iter().filter_map(|op| match op {
+            FusedOp::Unitary(g) => Some(g),
+            FusedOp::Measurement { .. } => None,
+        })
+    }
+
+    /// Fusion statistics for reporting.
+    pub fn stats(&self) -> FusionStats {
+        let mut by_qubits = [0usize; qsim_core::kernels::MAX_GATE_QUBITS + 1];
+        let mut source = 0usize;
+        let mut fused = 0usize;
+        for g in self.unitaries() {
+            by_qubits[g.qubits.len()] += 1;
+            source += g.source_gates;
+            fused += 1;
+        }
+        FusionStats { source_gates: source, fused_gates: fused, fused_by_qubit_count: by_qubits }
+    }
+}
+
+/// Summary statistics of a fusion pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusionStats {
+    /// Unitary gates in the source circuit.
+    pub source_gates: usize,
+    /// Fused unitaries produced.
+    pub fused_gates: usize,
+    /// Histogram: `fused_by_qubit_count[k]` = fused gates acting on `k`
+    /// qubits.
+    pub fused_by_qubit_count: [usize; qsim_core::kernels::MAX_GATE_QUBITS + 1],
+}
+
+impl FusionStats {
+    /// Average source gates folded per fused gate — the compression ratio
+    /// that drives the bandwidth saving.
+    pub fn compression(&self) -> f64 {
+        if self.fused_gates == 0 {
+            0.0
+        } else {
+            self.source_gates as f64 / self.fused_gates as f64
+        }
+    }
+}
+
+/// Internal builder state for one in-progress fused gate.
+struct Builder {
+    qubits: Vec<usize>,
+    matrix: GateMatrix<f64>,
+    source_gates: usize,
+    time_range: (usize, usize),
+}
+
+/// Frontier marker per qubit: which output op last touched it.
+#[derive(Clone, Copy, PartialEq)]
+enum Frontier {
+    /// Untouched so far.
+    Free,
+    /// Output op index (a fusable `Builder` lives there).
+    Op(usize),
+    /// A measurement barrier at this output index: nothing merges into it.
+    Barrier(usize),
+}
+
+/// Fuse `circuit` with the given `max_fused_qubits` (1..=6; qsim default 2,
+/// paper optimum 4).
+///
+/// Semantics are preserved exactly: the emitted op sequence applies the
+/// same unitary (and the same measurements, in order) as the source
+/// circuit. Gates wider than `max_fused_qubits` pass through unfused.
+pub fn fuse(circuit: &Circuit, max_fused_qubits: usize) -> FusedCircuit {
+    assert!(
+        (1..=qsim_core::kernels::MAX_GATE_QUBITS).contains(&max_fused_qubits),
+        "max_fused_qubits must be in 1..={}, got {max_fused_qubits}",
+        qsim_core::kernels::MAX_GATE_QUBITS
+    );
+    circuit.validate().expect("fuse() requires a valid circuit");
+
+    // Output slots: either a live Builder or a flushed op.
+    enum Slot {
+        Building(Builder),
+        Done(FusedOp),
+    }
+    let mut slots: Vec<Slot> = Vec::with_capacity(circuit.ops.len());
+    let mut frontier = vec![Frontier::Free; circuit.num_qubits];
+
+    for op in &circuit.ops {
+        if op.is_measurement() {
+            let idx = slots.len();
+            let mut qs = op.qubits.clone();
+            qs.sort_unstable();
+            for &q in &qs {
+                frontier[q] = Frontier::Barrier(idx);
+            }
+            slots.push(Slot::Done(FusedOp::Measurement { qubits: qs, time: op.time }));
+            continue;
+        }
+
+        let (sorted_qubits, matrix) = op
+            .sorted_matrix::<f64>()
+            .expect("non-measurement gates have matrices");
+        // Extra controls make a gate opaque to this fuser: emit it as its
+        // own fused gate over targets+controls with the expanded matrix.
+        let (sorted_qubits, matrix) = if op.controls.is_empty() {
+            (sorted_qubits, matrix)
+        } else {
+            expand_controlled(&sorted_qubits, &op.controls, &matrix)
+        };
+
+        // A gate may merge into the *latest* output op among its qubits'
+        // frontiers: every other frontier is strictly earlier, and no op
+        // after the target touches any of this gate's qubits (otherwise
+        // that op would itself be the latest frontier). A barrier that is
+        // the latest frontier blocks merging entirely.
+        let mut merge_target: Option<usize> = None;
+        let mut latest_barrier: Option<usize> = None;
+        for &q in &sorted_qubits {
+            match frontier[q] {
+                Frontier::Free => {}
+                Frontier::Op(i) => {
+                    if merge_target.is_none_or(|m| i > m) {
+                        merge_target = Some(i);
+                    }
+                }
+                Frontier::Barrier(i) => {
+                    if latest_barrier.is_none_or(|m| i > m) {
+                        latest_barrier = Some(i);
+                    }
+                }
+            }
+        }
+        if let (Some(t), Some(b)) = (merge_target, latest_barrier) {
+            if b > t {
+                merge_target = None;
+            }
+        }
+
+        let mut placed = None;
+        if let Some(t) = merge_target {
+            if let Slot::Building(b) = &mut slots[t] {
+                let union = union_sorted(&b.qubits, &sorted_qubits);
+                if union.len() <= max_fused_qubits {
+                    // matrix_new = expand(gate) · expand(existing)
+                    let eg = matrix.expand_to(&sorted_qubits, &union);
+                    let eb = b.matrix.expand_to(&b.qubits, &union);
+                    b.matrix = eg.matmul(&eb);
+                    b.qubits = union;
+                    b.source_gates += 1;
+                    b.time_range.1 = op.time;
+                    placed = Some(t);
+                }
+            }
+        }
+
+        let idx = match placed {
+            Some(t) => t,
+            None => {
+                let idx = slots.len();
+                slots.push(Slot::Building(Builder {
+                    qubits: sorted_qubits.clone(),
+                    matrix,
+                    source_gates: 1,
+                    time_range: (op.time, op.time),
+                }));
+                idx
+            }
+        };
+        for &q in &sorted_qubits {
+            frontier[q] = Frontier::Op(idx);
+        }
+    }
+
+    let ops = slots
+        .into_iter()
+        .map(|s| match s {
+            Slot::Done(op) => op,
+            Slot::Building(b) => FusedOp::Unitary(FusedGate {
+                qubits: b.qubits,
+                matrix: b.matrix,
+                source_gates: b.source_gates,
+                time_range: b.time_range,
+            }),
+        })
+        .collect();
+
+    FusedCircuit { num_qubits: circuit.num_qubits, ops, max_fused_qubits }
+}
+
+/// Expand a gate with extra always-one controls into a plain unitary over
+/// `targets ∪ controls`.
+fn expand_controlled(
+    targets: &[usize],
+    controls: &[usize],
+    matrix: &GateMatrix<f64>,
+) -> (Vec<usize>, GateMatrix<f64>) {
+    let union = {
+        let mut u: Vec<usize> = targets.iter().chain(controls.iter()).copied().collect();
+        u.sort_unstable();
+        u
+    };
+    let dim = 1usize << union.len();
+    let mut out = GateMatrix::<f64>::identity(dim);
+    let control_mask: usize = controls
+        .iter()
+        .map(|c| 1usize << union.iter().position(|u| u == c).expect("control in union"))
+        .sum();
+    let target_pos: Vec<usize> = targets
+        .iter()
+        .map(|t| union.iter().position(|u| u == t).expect("target in union"))
+        .collect();
+    let tmask = targets_mask(&target_pos);
+    for r in 0..dim {
+        if r & control_mask != control_mask {
+            continue; // identity row (already set)
+        }
+        let rt = qsim_core::matrix::extract_bits(r, &target_pos);
+        // Clear the identity diagonal for this controlled row.
+        out.set(r, r, qsim_core::types::Cplx::zero());
+        for ct in 0..matrix.dim() {
+            let c = (r & !tmask) | qsim_core::matrix::deposit_bits(ct, &target_pos);
+            out.set(r, c, matrix.get(rt, ct));
+        }
+    }
+    (union, out)
+}
+
+fn targets_mask(positions: &[usize]) -> usize {
+    positions.iter().map(|&p| 1usize << p).sum()
+}
+
+/// Merge two sorted, distinct qubit lists.
+fn union_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_circuit::gates::GateKind;
+    use qsim_circuit::library;
+
+    /// Apply a circuit (unfused reference) and a fused circuit to fresh
+    /// states and compare.
+    fn check_equivalence(circuit: &Circuit, max_f: usize) {
+        use qsim_core::kernels::apply_gate_seq;
+        use qsim_core::StateVector;
+
+        let mut reference = StateVector::<f64>::new(circuit.num_qubits);
+        for op in &circuit.ops {
+            if op.is_measurement() {
+                continue; // equivalence checked on unitary part only
+            }
+            let (qs, m) = op.sorted_matrix::<f64>().unwrap();
+            apply_gate_seq(&mut reference, &qs, &m);
+        }
+
+        let fused = fuse(circuit, max_f);
+        let mut state = StateVector::<f64>::new(circuit.num_qubits);
+        for op in &fused.ops {
+            if let FusedOp::Unitary(g) = op {
+                apply_gate_seq(&mut state, &g.qubits, &g.matrix);
+            }
+        }
+        let diff = reference.max_abs_diff(&state);
+        assert!(diff < 1e-12, "fused(f={max_f}) diverges from reference by {diff}");
+    }
+
+    #[test]
+    fn single_qubit_chain_fuses_to_one_gate() {
+        let mut c = Circuit::new(1);
+        c.push(GateKind::H, &[0]).push(GateKind::T, &[0]).push(GateKind::X, &[0]);
+        let f = fuse(&c, 2);
+        assert_eq!(f.num_unitaries(), 1);
+        let g = f.unitaries().next().unwrap();
+        assert_eq!(g.source_gates, 3);
+        assert!(g.matrix.is_unitary(1e-12));
+        check_equivalence(&c, 2);
+    }
+
+    #[test]
+    fn two_qubit_gate_absorbs_neighbors() {
+        let mut c = Circuit::new(2);
+        c.add(0, GateKind::H, &[0]);
+        c.add(1, GateKind::Cz, &[0, 1]);
+        c.add(2, GateKind::T, &[1]);
+        let f = fuse(&c, 2);
+        assert_eq!(f.num_unitaries(), 1);
+        assert_eq!(f.unitaries().next().unwrap().source_gates, 3);
+        check_equivalence(&c, 2);
+    }
+
+    #[test]
+    fn max_one_qubit_leaves_two_qubit_gates_alone() {
+        let mut c = Circuit::new(2);
+        c.add(0, GateKind::H, &[0]);
+        c.add(1, GateKind::Cz, &[0, 1]);
+        c.add(2, GateKind::T, &[1]);
+        let f = fuse(&c, 1);
+        // CZ cannot fuse with anything; H and T stay single.
+        assert_eq!(f.num_unitaries(), 3);
+        check_equivalence(&c, 1);
+    }
+
+    #[test]
+    fn fusion_preserves_order_dependencies() {
+        let mut c = Circuit::new(3);
+        c.add(0, GateKind::X, &[0]);
+        c.add(1, GateKind::Cz, &[0, 1]);
+        c.add(2, GateKind::Cnot, &[1, 2]);
+        c.add(3, GateKind::H, &[0]);
+        c.add(4, GateKind::Cz, &[0, 2]);
+        for f in 1..=4 {
+            check_equivalence(&c, f);
+        }
+    }
+
+    #[test]
+    fn rqc_equivalence_across_fusion_sizes() {
+        let c = qsim_circuit::generate_rqc(&qsim_circuit::RqcOptions::for_qubits(12, 8, 42));
+        for f in 1..=6 {
+            check_equivalence(&c, f);
+        }
+    }
+
+    #[test]
+    fn random_dense_equivalence() {
+        for seed in 0..5 {
+            let c = library::random_dense(8, 60, seed);
+            for f in [2, 4, 6] {
+                check_equivalence(&c, f);
+            }
+        }
+    }
+
+    #[test]
+    fn qft_equivalence() {
+        let c = library::qft(7);
+        for f in 1..=5 {
+            check_equivalence(&c, f);
+        }
+    }
+
+    #[test]
+    fn fused_matrices_are_unitary() {
+        let c = qsim_circuit::generate_rqc(&qsim_circuit::RqcOptions::for_qubits(10, 6, 3));
+        let f = fuse(&c, 4);
+        for g in f.unitaries() {
+            assert!(g.matrix.is_unitary(1e-10));
+            assert!(g.qubits.len() <= 4);
+            assert!(g.qubits.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn higher_fusion_yields_fewer_passes() {
+        let c = qsim_circuit::generate_rqc(&qsim_circuit::RqcOptions::for_qubits(16, 10, 1));
+        let passes: Vec<usize> = (1..=6).map(|f| fuse(&c, f).num_unitaries()).collect();
+        for w in passes.windows(2) {
+            assert!(w[1] <= w[0], "fusion must not increase pass count: {passes:?}");
+        }
+        assert!(passes[3] < passes[0] / 2, "f=4 should compress well: {passes:?}");
+    }
+
+    #[test]
+    fn stats_account_for_every_gate() {
+        let c = qsim_circuit::generate_rqc(&qsim_circuit::RqcOptions::for_qubits(12, 8, 9));
+        let (one, two, _) = c.gate_counts();
+        for f in 1..=6 {
+            let s = fuse(&c, f).stats();
+            assert_eq!(s.source_gates, one + two, "f={f}");
+            assert!(s.compression() >= 1.0);
+            assert_eq!(s.fused_by_qubit_count.iter().sum::<usize>(), s.fused_gates);
+            // Gates wider than f pass through unfused, so the histogram may
+            // extend to the circuit's native max arity (2) even for f = 1.
+            let cap = f.max(2);
+            assert!(s.fused_by_qubit_count[cap + 1..].iter().all(|&x| x == 0));
+        }
+    }
+
+    #[test]
+    fn measurement_is_a_barrier() {
+        let mut c = Circuit::new(1);
+        c.add(0, GateKind::H, &[0]);
+        c.add(1, GateKind::Measurement, &[0]);
+        c.add(2, GateKind::X, &[0]);
+        let f = fuse(&c, 4);
+        // H | M | X: three ops; H and X must not fuse across M.
+        assert_eq!(f.ops.len(), 3);
+        assert!(matches!(f.ops[1], FusedOp::Measurement { .. }));
+        assert_eq!(f.num_unitaries(), 2);
+    }
+
+    #[test]
+    fn controlled_op_expansion() {
+        use qsim_circuit::circuit::GateOp;
+        use qsim_core::kernels::{apply_controlled_gate_seq, apply_gate_seq};
+        use qsim_core::StateVector;
+
+        // A controlled-H (control 2, target 0) via the fuser's expansion
+        // must match the controlled kernel.
+        let mut c = Circuit::new(3);
+        c.ops.push(GateOp::with_controls(0, GateKind::H, vec![0], vec![2]));
+        let f = fuse(&c, 3);
+        let g = f.unitaries().next().unwrap();
+        assert_eq!(g.qubits, vec![0, 2]);
+        assert!(g.matrix.is_unitary(1e-12));
+
+        let mut a = StateVector::<f64>::new(3);
+        a.set_basis_state(0b100);
+        let mut b = a.clone();
+        apply_gate_seq(&mut a, &g.qubits, &g.matrix);
+        let h = GateKind::H.matrix::<f64>().unwrap();
+        apply_controlled_gate_seq(&mut b, &[0], &[2], 1, &h);
+        assert!(a.max_abs_diff(&b) < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_fused_qubits")]
+    fn zero_fusion_rejected() {
+        let c = library::bell();
+        let _ = fuse(&c, 0);
+    }
+
+    #[test]
+    fn union_sorted_merges() {
+        assert_eq!(union_sorted(&[1, 3], &[2, 3, 5]), vec![1, 2, 3, 5]);
+        assert_eq!(union_sorted(&[], &[0]), vec![0]);
+        assert_eq!(union_sorted(&[4], &[]), vec![4]);
+    }
+
+    #[test]
+    fn matrix_precision_cast() {
+        let c = library::bell();
+        let f = fuse(&c, 2);
+        let g = f.unitaries().next().unwrap();
+        let m32 = g.matrix_as::<f32>();
+        assert!(m32.is_unitary(1e-5));
+    }
+}

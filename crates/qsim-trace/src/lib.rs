@@ -1,0 +1,20 @@
+//! # qsim-trace
+//!
+//! The rocprof-equivalent of this reproduction: a [`Profiler`] subscribes
+//! to the simulated runtime's span hooks (kernel launches, async memcpys)
+//! and exports
+//!
+//! * **Perfetto / Chrome trace-event JSON** ([`perfetto`]) — load the file
+//!   at <https://ui.perfetto.dev> to see the `ApplyGateH_Kernel` /
+//!   `ApplyGateL_Kernel` / `hipMemcpyAsync` timeline of the paper's
+//!   Figures 1 and 6;
+//! * **per-kernel statistics** ([`stats`]) — the numbers behind Figure 6's
+//!   observation that `ApplyGateL_Kernel` takes more time than the simpler
+//!   `ApplyGateH_Kernel`.
+
+pub mod profiler;
+pub mod perfetto;
+pub mod stats;
+
+pub use profiler::Profiler;
+pub use stats::{KernelSummary, TraceStats};

@@ -1,0 +1,168 @@
+//! Perfetto / Chrome trace-event JSON export.
+//!
+//! The output follows the [Trace Event Format] that `rocprof` emits and
+//! the Perfetto UI consumes: an object with a `traceEvents` array of
+//! complete (`"ph": "X"`) events plus metadata (`"ph": "M"`) events naming
+//! each device (process) and stream (thread). Load the file at
+//! <https://ui.perfetto.dev> to reproduce the paper's Figures 1 and 6.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::collections::BTreeMap;
+
+use gpu_model::trace::{SpanKind, TraceSpan};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TraceFile {
+    #[serde(rename = "traceEvents")]
+    trace_events: Vec<Event>,
+    #[serde(rename = "displayTimeUnit")]
+    display_time_unit: &'static str,
+}
+
+#[derive(Serialize)]
+struct Event {
+    name: String,
+    cat: &'static str,
+    ph: &'static str,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    ts: Option<f64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    dur: Option<f64>,
+    pid: u64,
+    tid: u64,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    args: Option<serde_json::Value>,
+}
+
+fn category(kind: SpanKind) -> &'static str {
+    match kind {
+        SpanKind::Kernel => "kernel",
+        SpanKind::MemcpyH2D | SpanKind::MemcpyD2H | SpanKind::MemcpyD2D => "memcpy",
+    }
+}
+
+/// Serialize spans to a Perfetto-loadable JSON string.
+pub fn to_json(spans: &[TraceSpan]) -> String {
+    // Stable device → pid mapping in first-seen order.
+    let mut pids: BTreeMap<&str, u64> = BTreeMap::new();
+    for s in spans {
+        let next = pids.len() as u64 + 1;
+        pids.entry(s.device.as_str()).or_insert(next);
+    }
+
+    let mut events = Vec::with_capacity(spans.len() + 2 * pids.len());
+    for (device, pid) in &pids {
+        events.push(Event {
+            name: "process_name".into(),
+            cat: "__metadata",
+            ph: "M",
+            ts: None,
+            dur: None,
+            pid: *pid,
+            tid: 0,
+            args: Some(serde_json::json!({ "name": device })),
+        });
+    }
+    // Name each (device, stream) pair once.
+    let mut seen_tids: Vec<(u64, u64)> = Vec::new();
+    for s in spans {
+        let pid = pids[s.device.as_str()];
+        let tid = s.stream as u64;
+        if !seen_tids.contains(&(pid, tid)) {
+            seen_tids.push((pid, tid));
+            let label = if tid == 0 { "stream 0 (compute)".to_string() } else { format!("stream {tid} (copy)") };
+            events.push(Event {
+                name: "thread_name".into(),
+                cat: "__metadata",
+                ph: "M",
+                ts: None,
+                dur: None,
+                pid,
+                tid,
+                args: Some(serde_json::json!({ "name": label })),
+            });
+        }
+    }
+    for s in spans {
+        events.push(Event {
+            name: s.name.clone(),
+            cat: category(s.kind),
+            ph: "X",
+            ts: Some(s.start_us),
+            dur: Some(s.dur_us),
+            pid: pids[s.device.as_str()],
+            tid: s.stream as u64,
+            args: None,
+        });
+    }
+    serde_json::to_string_pretty(&TraceFile { trace_events: events, display_time_unit: "ns" })
+        .expect("trace serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, kind: SpanKind, stream: usize, start: f64, dur: f64) -> TraceSpan {
+        TraceSpan {
+            name: name.into(),
+            kind,
+            stream,
+            start_us: start,
+            dur_us: dur,
+            device: "AMD MI250X (1 GCD)".into(),
+        }
+    }
+
+    #[test]
+    fn json_is_valid_and_complete() {
+        let spans = vec![
+            span("hipMemcpyAsync (H2D)", SpanKind::MemcpyH2D, 1, 0.0, 3.0),
+            span("ApplyGateH_Kernel", SpanKind::Kernel, 0, 3.0, 100.0),
+            span("ApplyGateL_Kernel", SpanKind::Kernel, 0, 103.0, 180.0),
+        ];
+        let json = to_json(&spans);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        // 1 process_name + 2 thread_name + 3 spans
+        assert_eq!(events.len(), 6);
+        let xs: Vec<&serde_json::Value> =
+            events.iter().filter(|e| e["ph"] == "X").collect();
+        assert_eq!(xs.len(), 3);
+        assert_eq!(xs[1]["name"], "ApplyGateH_Kernel");
+        assert_eq!(xs[1]["cat"], "kernel");
+        assert_eq!(xs[1]["ts"], 3.0);
+        assert_eq!(xs[1]["dur"], 100.0);
+        assert_eq!(xs[0]["cat"], "memcpy");
+        let metas: Vec<&serde_json::Value> =
+            events.iter().filter(|e| e["ph"] == "M").collect();
+        assert!(metas.iter().any(|m| m["args"]["name"] == "AMD MI250X (1 GCD)"));
+    }
+
+    #[test]
+    fn multiple_devices_get_distinct_pids() {
+        let mut spans = vec![span("K", SpanKind::Kernel, 0, 0.0, 1.0)];
+        let mut other = span("K2", SpanKind::Kernel, 0, 0.0, 1.0);
+        other.device = "NVIDIA A100".into();
+        spans.push(other);
+        let json = to_json(&spans);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let pids: std::collections::HashSet<u64> = v["traceEvents"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["ph"] == "X")
+            .map(|e| e["pid"].as_u64().unwrap())
+            .collect();
+        assert_eq!(pids.len(), 2);
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let json = to_json(&[]);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["traceEvents"].as_array().unwrap().len(), 0);
+    }
+}

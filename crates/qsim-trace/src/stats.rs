@@ -1,0 +1,153 @@
+//! Per-kernel statistics over a recorded trace — the aggregate view of
+//! the paper's Figure 6 (zoomed trace showing `ApplyGateL_Kernel` taking
+//! more time than the simpler `ApplyGateH_Kernel`).
+
+use std::collections::BTreeMap;
+
+use gpu_model::trace::{SpanKind, TraceSpan};
+
+/// Aggregate statistics for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSummary {
+    /// Span name (kernel symbol or memcpy label).
+    pub name: String,
+    /// Activity kind.
+    pub kind: SpanKind,
+    /// Number of invocations.
+    pub count: u64,
+    /// Total busy time, µs.
+    pub total_us: f64,
+    /// Mean duration, µs.
+    pub mean_us: f64,
+    /// Shortest invocation, µs.
+    pub min_us: f64,
+    /// Longest invocation, µs.
+    pub max_us: f64,
+}
+
+/// Statistics over a full trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Summaries keyed by span name, sorted by descending total time.
+    pub kernels: Vec<KernelSummary>,
+    /// End of the last span, µs (the trace's makespan).
+    pub span_end_us: f64,
+}
+
+impl TraceStats {
+    /// Aggregate a span list.
+    pub fn from_spans(spans: &[TraceSpan]) -> Self {
+        struct Acc {
+            kind: SpanKind,
+            count: u64,
+            total: f64,
+            min: f64,
+            max: f64,
+        }
+        let mut by_name: BTreeMap<&str, Acc> = BTreeMap::new();
+        let mut end = 0.0f64;
+        for s in spans {
+            end = end.max(s.start_us + s.dur_us);
+            let acc = by_name.entry(&s.name).or_insert(Acc {
+                kind: s.kind,
+                count: 0,
+                total: 0.0,
+                min: f64::INFINITY,
+                max: 0.0,
+            });
+            acc.count += 1;
+            acc.total += s.dur_us;
+            acc.min = acc.min.min(s.dur_us);
+            acc.max = acc.max.max(s.dur_us);
+        }
+        let mut kernels: Vec<KernelSummary> = by_name
+            .into_iter()
+            .map(|(name, a)| KernelSummary {
+                name: name.to_string(),
+                kind: a.kind,
+                count: a.count,
+                total_us: a.total,
+                mean_us: a.total / a.count as f64,
+                min_us: a.min,
+                max_us: a.max,
+            })
+            .collect();
+        kernels.sort_by(|a, b| b.total_us.partial_cmp(&a.total_us).expect("finite totals"));
+        TraceStats { kernels, span_end_us: end }
+    }
+
+    /// Look up a summary by exact name.
+    pub fn get(&self, name: &str) -> Option<&KernelSummary> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+
+    /// Render an aligned text table (the harnesses print this under the
+    /// Figure 6 heading).
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>12} {:>10} {:>10} {:>10}\n",
+            "name", "calls", "total_us", "mean_us", "min_us", "max_us"
+        ));
+        for k in &self.kernels {
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>12.1} {:>10.2} {:>10.2} {:>10.2}\n",
+                k.name, k.count, k.total_us, k.mean_us, k.min_us, k.max_us
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, start: f64, dur: f64) -> TraceSpan {
+        TraceSpan {
+            name: name.into(),
+            kind: SpanKind::Kernel,
+            stream: 0,
+            start_us: start,
+            dur_us: dur,
+            device: "dev".into(),
+        }
+    }
+
+    #[test]
+    fn aggregates_correctly() {
+        let spans = vec![
+            span("ApplyGateH_Kernel", 0.0, 10.0),
+            span("ApplyGateH_Kernel", 10.0, 14.0),
+            span("ApplyGateL_Kernel", 24.0, 40.0),
+        ];
+        let stats = TraceStats::from_spans(&spans);
+        assert_eq!(stats.kernels.len(), 2);
+        // Sorted by total: L (40) before H (24).
+        assert_eq!(stats.kernels[0].name, "ApplyGateL_Kernel");
+        let h = stats.get("ApplyGateH_Kernel").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.total_us, 24.0);
+        assert_eq!(h.mean_us, 12.0);
+        assert_eq!(h.min_us, 10.0);
+        assert_eq!(h.max_us, 14.0);
+        assert_eq!(stats.span_end_us, 64.0);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let spans = vec![span("A", 0.0, 1.0), span("B", 1.0, 2.0)];
+        let t = TraceStats::from_spans(&spans).table();
+        assert!(t.contains("A"));
+        assert!(t.contains("B"));
+        assert!(t.lines().count() == 3);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let stats = TraceStats::from_spans(&[]);
+        assert!(stats.kernels.is_empty());
+        assert_eq!(stats.span_end_us, 0.0);
+        assert!(stats.get("anything").is_none());
+    }
+}

@@ -1,0 +1,96 @@
+//! Grover search — the textbook quadratic-speedup algorithm, built from
+//! this library's multi-controlled-gate support: the oracle and the
+//! diffusion operator both use a triply-controlled Z, which the fusion
+//! transpiler lowers to a 4-qubit fused unitary.
+//!
+//! Searching 1 marked item among N = 2^4 = 16 needs
+//! ⌊π/4·√N⌋ = 3 Grover iterations and succeeds with probability ≈ 96 %.
+//!
+//! ```text
+//! cargo run --release --example grover
+//! ```
+
+use qsim_rs::circuit::circuit::GateOp;
+use qsim_rs::prelude::*;
+
+const N_QUBITS: usize = 4;
+const MARKED: usize = 0b1011;
+
+/// Append a phase flip of `|MARKED⟩`: X-conjugated multi-controlled Z.
+fn oracle(c: &mut Circuit) {
+    // Map |MARKED⟩ to |1111⟩, flip its phase, map back.
+    for q in 0..N_QUBITS {
+        if (MARKED >> q) & 1 == 0 {
+            c.push(GateKind::X, &[q]);
+        }
+    }
+    // Z on qubit 3 controlled by qubits 0,1,2.
+    let t = c.ops.last().map_or(0, |op| op.time + 1);
+    c.ops.push(GateOp::with_controls(t, GateKind::Z, vec![3], vec![0, 1, 2]));
+    for q in 0..N_QUBITS {
+        if (MARKED >> q) & 1 == 0 {
+            c.push(GateKind::X, &[q]);
+        }
+    }
+}
+
+/// Append the diffusion operator 2|s⟩⟨s| − I (inversion about the mean).
+fn diffusion(c: &mut Circuit) {
+    for q in 0..N_QUBITS {
+        c.push(GateKind::H, &[q]);
+    }
+    for q in 0..N_QUBITS {
+        c.push(GateKind::X, &[q]);
+    }
+    let t = c.ops.last().map_or(0, |op| op.time + 1);
+    c.ops.push(GateOp::with_controls(t, GateKind::Z, vec![3], vec![0, 1, 2]));
+    for q in 0..N_QUBITS {
+        c.push(GateKind::X, &[q]);
+    }
+    for q in 0..N_QUBITS {
+        c.push(GateKind::H, &[q]);
+    }
+}
+
+fn main() {
+    let mut circuit = Circuit::new(N_QUBITS);
+    for q in 0..N_QUBITS {
+        circuit.push(GateKind::H, &[q]);
+    }
+    let iterations = 3; // ⌊π/4·√16⌋
+    for _ in 0..iterations {
+        oracle(&mut circuit);
+        diffusion(&mut circuit);
+    }
+
+    println!(
+        "Grover search for |{MARKED:04b}⟩ among {} states, {iterations} iterations, {} gates\n",
+        1 << N_QUBITS,
+        circuit.num_gates()
+    );
+
+    let (state, report) = qsim_rs::simulate::<f64>(&circuit, Flavor::Hip, 4).expect("run");
+    println!("{:>8} {:>12}", "state", "probability");
+    let mut best = (0usize, 0.0f64);
+    for i in 0..state.len() {
+        let p = state.amplitude(i).norm_sqr();
+        if p > best.1 {
+            best = (i, p);
+        }
+        if p > 0.01 {
+            println!("{i:>8b} {p:>12.4}{}", if i == MARKED { "   <- marked" } else { "" });
+        }
+    }
+    println!(
+        "\nfused into {} passes; modeled MI250X time {:.1} µs",
+        report.fused_gates,
+        report.simulated_seconds * 1e6
+    );
+    assert_eq!(best.0, MARKED, "Grover must amplify the marked state");
+    assert!(best.1 > 0.9, "success probability {:.3} should be ≈ 0.96", best.1);
+    println!(
+        "amplified P(|{MARKED:04b}⟩) = {:.4} — {}x over uniform 1/16.",
+        best.1,
+        (best.1 * 16.0).round()
+    );
+}

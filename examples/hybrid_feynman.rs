@@ -1,0 +1,59 @@
+//! Hybrid (Feynman path) simulation — qsim's `qsimh` approach: cut the
+//! qubit register in two, simulate each half with a small state vector,
+//! and sum over Schmidt-decomposition paths of the gates crossing the
+//! cut. Memory drops from `2^n` to `2^{n/2}` amplitudes at the price of a
+//! path count exponential in the number of crossing gates.
+//!
+//! ```text
+//! cargo run --release --example hybrid_feynman
+//! ```
+
+use qsim_rs::prelude::*;
+use qsim_rs::sim::kernels::apply_gate_par;
+
+fn main() {
+    // A 16-qubit RQC, shallow enough that few gates cross the middle cut.
+    let n = 16;
+    let circuit = qsim_rs::circuit::generate_rqc(&RqcOptions::for_qubits(n, 4, 7));
+    let (one, two, _) = circuit.gate_counts();
+    println!("RQC n={n}, {one} single-qubit + {two} two-qubit gates");
+
+    let hybrid = HybridSimulator::new(n / 2);
+    let paths = hybrid.num_paths(&circuit).expect("cut ok");
+    println!(
+        "cut at qubit {}: {} Feynman paths; per-part state {} amplitudes instead of {}",
+        n / 2,
+        paths,
+        1 << (n / 2),
+        1u64 << n
+    );
+
+    // Query a handful of output amplitudes through the path sum...
+    let queries: Vec<u64> = vec![0, 1, 0x5555, 0xABCD, (1 << n) - 1];
+    let amps = hybrid.amplitudes(&circuit, &queries).expect("hybrid");
+
+    // ...and validate against the direct state-vector simulation.
+    let mut direct = StateVector::<f64>::new(n);
+    for op in &circuit.ops {
+        let (qs, m) = op.sorted_matrix::<f64>().expect("unitary");
+        apply_gate_par(&mut direct, &qs, &m);
+    }
+
+    println!("\n{:>8} {:>24} {:>24} {:>10}", "bits", "hybrid", "direct", "|diff|");
+    let mut max_diff = 0.0f64;
+    for (&q, a) in queries.iter().zip(&amps) {
+        let d = direct.amplitude(q as usize);
+        let diff = a.dist(d.to_f64());
+        max_diff = max_diff.max(diff);
+        println!(
+            "{q:>8x} {:>+11.6}{:+.6}i {:>+11.6}{:+.6}i {diff:>10.2e}",
+            a.re, a.im, d.re, d.im
+        );
+    }
+    assert!(max_diff < 1e-10, "hybrid diverged from direct simulation");
+    println!("\nhybrid path sum matches the full state vector to {max_diff:.1e}.");
+    println!(
+        "at n = 40+, the direct approach needs terabytes while the hybrid cut\n\
+         needs two 2^20-amplitude vectors — paid for in path count (qsimh's trade)."
+    );
+}

@@ -1,0 +1,115 @@
+//! Circuit text-format integration: parser/writer round trips (including
+//! property-based), qsim-format fixtures, and running a parsed file
+//! end-to-end.
+
+use proptest::prelude::*;
+
+use qsim_rs::circuit::library::random_dense;
+use qsim_rs::circuit::parser::{parse_circuit, write_circuit};
+use qsim_rs::prelude::*;
+
+#[test]
+fn fixture_parses_and_runs() {
+    // A hand-written fixture in exactly the style of qsim's circuit files.
+    let text = "\
+# 4-qubit sample in qsim's format
+4
+0 h 0
+0 h 1
+0 h 2
+0 h 3
+1 cz 0 1
+1 cz 2 3
+2 t 0
+2 x_1_2 1
+2 y_1_2 2
+2 hz_1_2 3
+3 fs 1 2 0.5235987755982988 0.16
+4 rz 0 0.25
+4 rx 3 -0.75
+5 is 0 3
+";
+    let circuit = parse_circuit(text).expect("fixture parses");
+    assert_eq!(circuit.num_qubits, 4);
+    assert_eq!(circuit.num_gates(), 14);
+    circuit.validate().expect("valid");
+
+    let (state, _) = qsim_rs::simulate::<f64>(&circuit, Flavor::Hip, 4).expect("run");
+    assert!((statespace::norm_sqr(&state) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn generated_rqc_file_round_trips_and_matches() {
+    let circuit = qsim_rs::circuit::generate_rqc(&RqcOptions::for_qubits(12, 10, 77));
+    let text = write_circuit(&circuit);
+    let parsed = parse_circuit(&text).expect("round trip");
+    assert_eq!(circuit, parsed);
+
+    // Same amplitudes from the original and the round-tripped circuit.
+    let (a, _) = qsim_rs::simulate::<f64>(&circuit, Flavor::CpuAvx, 3).expect("run");
+    let (b, _) = qsim_rs::simulate::<f64>(&parsed, Flavor::CpuAvx, 3).expect("run");
+    assert!(a.max_abs_diff(&b) < 1e-15);
+}
+
+#[test]
+fn parse_errors_carry_line_numbers() {
+    let e = parse_circuit("3\n0 h 0\n1 bogus 1\n").unwrap_err();
+    assert_eq!(e.line, 3);
+    let e = parse_circuit("3\n0 h 9\n").unwrap_err();
+    assert!(e.message.contains("out of range"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_circuits_round_trip(
+        n in 2usize..9,
+        gates in 1usize..80,
+        seed in 0u64..100_000,
+    ) {
+        let circuit = random_dense(n, gates, seed);
+        let text = write_circuit(&circuit);
+        let parsed = parse_circuit(&text).expect("round trip parses");
+        prop_assert_eq!(&circuit, &parsed);
+        // And writing again is a fixed point.
+        prop_assert_eq!(text, write_circuit(&parsed));
+    }
+
+    #[test]
+    fn rqc_files_round_trip(
+        qubits in 4usize..20,
+        cycles in 1usize..12,
+        seed in 0u64..100_000,
+    ) {
+        let circuit = qsim_rs::circuit::generate_rqc(
+            &RqcOptions::for_qubits(qubits, cycles, seed));
+        let parsed = parse_circuit(&write_circuit(&circuit)).expect("parses");
+        prop_assert_eq!(circuit, parsed);
+    }
+
+    /// The parser must never panic — arbitrary input is either a circuit
+    /// or a structured error.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(text in ".{0,400}") {
+        let _ = parse_circuit(&text);
+    }
+
+    /// Same for inputs that look *almost* like circuit files.
+    #[test]
+    fn parser_never_panics_on_circuit_like_input(
+        n in 0usize..40,
+        lines in prop::collection::vec(
+            (0usize..30, prop::sample::select(vec![
+                "h", "x", "cz", "fs", "rz", "m", "bogus", "", "x_1_2",
+            ]), 0usize..35, -10i64..40, "[ .0-9e-]{0,12}"),
+            0..25,
+        ),
+    ) {
+        let mut text = format!("{n}\n");
+        for (t, gate, q, q2, junk) in lines {
+            text.push_str(&format!("{t} {gate} {q} {q2} {junk}\n"));
+        }
+        let _ = parse_circuit(&text);
+    }
+}

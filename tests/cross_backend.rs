@@ -1,0 +1,130 @@
+//! Cross-backend equivalence: the Rust analogue of validating the
+//! hipified port against the CUDA original — every backend must produce
+//! the same amplitudes for the same fused circuit, at every precision and
+//! fusion setting.
+
+use qsim_rs::prelude::*;
+use qsim_rs::circuit::library;
+
+fn run_all_flavors_f64(fused: &FusedCircuit) -> Vec<(Flavor, StateVector<f64>)> {
+    Flavor::all()
+        .into_iter()
+        .map(|flavor| {
+            let (state, _) = SimBackend::new(flavor)
+                .run::<f64>(fused, &RunOptions::default())
+                .expect("run");
+            (flavor, state)
+        })
+        .collect()
+}
+
+#[test]
+fn all_backends_agree_on_rqc_for_every_fusion_size() {
+    let circuit = qsim_rs::circuit::generate_rqc(&RqcOptions::for_qubits(10, 8, 11));
+    for f in 1..=6 {
+        let fused = fuse(&circuit, f);
+        let states = run_all_flavors_f64(&fused);
+        let (_, reference) = &states[0];
+        for (flavor, state) in &states[1..] {
+            let diff = reference.max_abs_diff(state);
+            assert!(diff < 1e-12, "{flavor:?} diverges by {diff} at f={f}");
+        }
+    }
+}
+
+#[test]
+fn all_backends_agree_on_qft() {
+    let fused = fuse(&library::qft(9), 3);
+    let states = run_all_flavors_f64(&fused);
+    for w in states.windows(2) {
+        assert!(w[0].1.max_abs_diff(&w[1].1) < 1e-12);
+    }
+}
+
+#[test]
+fn all_backends_agree_on_random_dense_circuits() {
+    for seed in 0..4 {
+        let circuit = library::random_dense(8, 80, seed);
+        let fused = fuse(&circuit, 4);
+        let states = run_all_flavors_f64(&fused);
+        let (_, reference) = &states[0];
+        for (flavor, state) in &states[1..] {
+            assert!(reference.max_abs_diff(state) < 1e-12, "{flavor:?} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn single_precision_tracks_double_on_all_backends() {
+    let circuit = qsim_rs::circuit::generate_rqc(&RqcOptions::for_qubits(9, 6, 5));
+    let fused = fuse(&circuit, 4);
+    for flavor in Flavor::all() {
+        let backend = SimBackend::new(flavor);
+        let (s32, _) = backend.run::<f32>(&fused, &RunOptions::default()).expect("f32");
+        let (s64, _) = backend.run::<f64>(&fused, &RunOptions::default()).expect("f64");
+        let diff = s64.max_abs_diff(&s32);
+        assert!(diff < 5e-5, "{flavor:?}: f32 drifts from f64 by {diff}");
+    }
+}
+
+#[test]
+fn measurement_outcomes_reproducible_per_seed_across_backends() {
+    let mut circuit = Circuit::new(4);
+    circuit
+        .push(GateKind::H, &[0])
+        .push(GateKind::Cnot, &[0, 1])
+        .push(GateKind::H, &[2])
+        .push(GateKind::Cnot, &[2, 3])
+        .push(GateKind::Measurement, &[0, 1, 2, 3]);
+    let fused = fuse(&circuit, 2);
+    for seed in [0u64, 1, 17, 99] {
+        let outcomes: Vec<usize> = Flavor::all()
+            .into_iter()
+            .map(|flavor| {
+                let (_, report) = SimBackend::new(flavor)
+                    .run::<f64>(&fused, &RunOptions { seed, sample_count: 0 })
+                    .expect("run");
+                report.measurements[0].1
+            })
+            .collect();
+        // Same seed, same sampling path -> identical outcomes everywhere.
+        assert!(
+            outcomes.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: outcomes diverge {outcomes:?}"
+        );
+        // Bell pairs: bits 0,1 equal and bits 2,3 equal.
+        let m = outcomes[0];
+        assert_eq!(m & 1, (m >> 1) & 1);
+        assert_eq!((m >> 2) & 1, (m >> 3) & 1);
+    }
+}
+
+#[test]
+fn backend_reports_are_consistent_with_circuit() {
+    let circuit = qsim_rs::circuit::generate_rqc(&RqcOptions::for_qubits(8, 4, 3));
+    let fused = fuse(&circuit, 3);
+    for flavor in Flavor::all() {
+        let (_, report) =
+            SimBackend::new(flavor).run::<f32>(&fused, &RunOptions::default()).expect("run");
+        assert_eq!(report.num_qubits, 8);
+        assert_eq!(report.max_fused_qubits, 3);
+        assert_eq!(report.fused_gates, fused.num_unitaries());
+        assert_eq!(report.state_bytes, (1u64 << 8) * 8);
+        assert_eq!(report.precision, Precision::Single);
+        let gate_launches = report.launches_matching("ApplyGate")
+            + report.launches_matching("applyMatrix");
+        assert_eq!(gate_launches as usize, fused.num_unitaries(), "{flavor:?}");
+    }
+}
+
+#[test]
+fn final_state_is_normalized_everywhere() {
+    let circuit = library::random_dense(10, 120, 7);
+    let fused = fuse(&circuit, 5);
+    for flavor in Flavor::all() {
+        let (state, _) =
+            SimBackend::new(flavor).run::<f64>(&fused, &RunOptions::default()).expect("run");
+        let norm = statespace::norm_sqr(&state);
+        assert!((norm - 1.0).abs() < 1e-10, "{flavor:?} norm {norm}");
+    }
+}

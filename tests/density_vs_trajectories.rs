@@ -1,0 +1,124 @@
+//! Cross-validation of the two noisy-simulation methods: the exact
+//! density-matrix evolution and the stochastic quantum-trajectory
+//! ensemble must agree — trajectories converge to `ρ` as `1/√T`.
+
+use qsim_rs::prelude::*;
+use qsim_rs::sim::density::DensityMatrix;
+use qsim_rs::sim::kernels::apply_gate_seq;
+use qsim_rs::sim::noise::depolarizing;
+
+/// Evolve a density matrix through a circuit with per-qubit depolarizing
+/// noise after every gate (mirroring `TrajectoryRunner`'s insertion
+/// points exactly).
+fn density_evolution(circuit: &Circuit, p: f64) -> DensityMatrix<f64> {
+    let mut rho = DensityMatrix::new(circuit.num_qubits);
+    for op in &circuit.ops {
+        assert!(!op.is_measurement());
+        let (qs, m) = op.sorted_matrix::<f64>().expect("unitary");
+        rho.apply_unitary(&qs, &m);
+        if p > 0.0 {
+            for &q in &qs {
+                rho.apply_channel(&depolarizing(q, p));
+            }
+        }
+    }
+    rho
+}
+
+#[test]
+fn noiseless_density_matches_state_vector() {
+    let circuit = qsim_rs::circuit::library::random_dense(5, 25, 3);
+    let rho = density_evolution(&circuit, 0.0);
+    let mut psi = StateVector::<f64>::new(5);
+    for op in &circuit.ops {
+        let (qs, m) = op.sorted_matrix::<f64>().expect("unitary");
+        apply_gate_seq(&mut psi, &qs, &m);
+    }
+    assert!((rho.purity() - 1.0).abs() < 1e-10);
+    assert!((rho.fidelity_pure(&psi) - 1.0).abs() < 1e-10);
+}
+
+#[test]
+fn trajectory_observables_converge_to_density_matrix() {
+    let circuit = qsim_rs::circuit::library::ghz(4);
+    let p = 0.08;
+    let rho = density_evolution(&circuit, p);
+
+    let mut observable = PauliSum::new();
+    observable.add(1.0, PauliString::new(vec![
+        (0, Pauli::Z), (1, Pauli::Z), (2, Pauli::Z), (3, Pauli::Z),
+    ]));
+    observable.add(0.5, PauliString::single(0, Pauli::X));
+    let exact = rho.expectation(&observable);
+
+    let runner = TrajectoryRunner::new(NoiseSpec::depolarizing(p));
+    let (mean, sem) = runner.average_observable::<f64>(&circuit, &observable, 3000, 17);
+    assert!(
+        (mean - exact).abs() < 5.0 * sem.max(0.01),
+        "trajectories {mean} ± {sem} vs density matrix {exact}"
+    );
+}
+
+#[test]
+fn trajectory_probabilities_converge_to_diagonal() {
+    let circuit = qsim_rs::circuit::library::bell();
+    let p = 0.15;
+    let rho = density_evolution(&circuit, p);
+    let exact = rho.probabilities();
+
+    let runner = TrajectoryRunner::new(NoiseSpec::depolarizing(p));
+    let trials = 3000usize;
+    let mut avg = [0.0f64; 4];
+    for t in 0..trials {
+        let state = runner.run_state::<f64>(&circuit, t as u64);
+        for (slot, prob) in avg.iter_mut().zip(statespace::probabilities(&state)) {
+            *slot += prob;
+        }
+    }
+    for a in avg.iter_mut() {
+        *a /= trials as f64;
+    }
+    for (i, (got, want)) in avg.iter().zip(&exact).enumerate() {
+        assert!(
+            (got - want).abs() < 0.02,
+            "outcome {i}: trajectories {got} vs density matrix {want}"
+        );
+    }
+}
+
+#[test]
+fn purity_decays_while_trace_is_preserved() {
+    let circuit = qsim_rs::circuit::library::ghz(3);
+    let mut last_purity = 1.0;
+    for &p in &[0.0, 0.05, 0.15, 0.4] {
+        let rho = density_evolution(&circuit, p);
+        assert!((rho.trace() - 1.0).abs() < 1e-10, "p={p}");
+        assert!(rho.hermiticity_error() < 1e-10, "p={p}");
+        assert!(rho.purity() <= last_purity + 1e-12, "p={p}");
+        last_purity = rho.purity();
+    }
+    // Strong noise drives purity toward the maximally mixed floor 1/2^n.
+    assert!(last_purity < 0.4);
+    assert!(last_purity > 1.0 / 8.0 - 1e-12);
+}
+
+#[test]
+fn trajectory_fidelity_matches_density_fidelity() {
+    // ⟨ψ_ideal|ρ|ψ_ideal⟩ computed two ways.
+    let circuit = qsim_rs::circuit::library::ghz(4);
+    let p = 0.05;
+    let rho = density_evolution(&circuit, p);
+
+    let mut ideal = StateVector::<f64>::new(4);
+    for op in &circuit.ops {
+        let (qs, m) = op.sorted_matrix::<f64>().expect("unitary");
+        apply_gate_seq(&mut ideal, &qs, &m);
+    }
+    let exact = rho.fidelity_pure(&ideal);
+    let sampled = TrajectoryRunner::new(NoiseSpec::depolarizing(p))
+        .average_fidelity::<f64>(&circuit, 2500, 5);
+    assert!(
+        (sampled - exact).abs() < 0.02,
+        "trajectory fidelity {sampled} vs density {exact}"
+    );
+}

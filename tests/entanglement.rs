@@ -1,0 +1,73 @@
+//! Entanglement structure of the RQC workload — the physics that makes
+//! random-circuit sampling hard to simulate classically (and why the
+//! paper's state-vector approach, which stores everything, is the honest
+//! baseline): deep random circuits drive subsystems to near-maximal
+//! (Page) entanglement.
+
+use qsim_rs::prelude::*;
+use qsim_rs::sim::entropy::{entanglement_entropy, partial_trace, von_neumann_entropy};
+
+fn rqc_state(n: usize, cycles: usize, seed: u64) -> StateVector<f64> {
+    let circuit = qsim_rs::circuit::generate_rqc(&RqcOptions::for_qubits(n, cycles, seed));
+    qsim_rs::simulate::<f64>(&circuit, Flavor::Cuda, 4).expect("run").0
+}
+
+#[test]
+fn deep_rqc_reaches_page_entanglement() {
+    // Page value for k qubits of an n-qubit random pure state (k ≤ n/2):
+    // S ≈ k − 2^(2k−n−1)/ln 2 bits.
+    let n = 12;
+    let state = rqc_state(n, 14, 3);
+    for k in [2usize, 4, 6] {
+        let keep: Vec<usize> = (0..k).collect();
+        let s = entanglement_entropy(&state, &keep);
+        let page = k as f64
+            - 2f64.powi(2 * k as i32 - n as i32 - 1) / std::f64::consts::LN_2;
+        assert!(
+            (s - page).abs() < 0.25,
+            "k={k}: entropy {s:.3} bits vs Page {page:.3}"
+        );
+    }
+}
+
+#[test]
+fn entanglement_grows_with_depth_then_saturates() {
+    let n = 10;
+    let keep: Vec<usize> = (0..5).collect();
+    let mut entropies = Vec::new();
+    for cycles in [1usize, 2, 4, 8, 14] {
+        let s = entanglement_entropy(&rqc_state(n, cycles, 7), &keep);
+        entropies.push(s);
+    }
+    // Growth to saturation at the Page value for k=5 of n=10:
+    // 5 − 1/(2 ln 2) ≈ 4.28 bits. (The 2×5 grid's row cut crosses five
+    // couplers, so even one cycle entangles substantially.)
+    let page = 5.0 - 0.5 / std::f64::consts::LN_2;
+    assert!(entropies[0] < page - 1.0, "shallow circuit below Page: {entropies:?}");
+    assert!(
+        (entropies.last().unwrap() - page).abs() < 0.25,
+        "deep circuit saturates at Page ≈ {page:.2}: {entropies:?}"
+    );
+    assert!(entropies.windows(2).all(|w| w[1] > w[0] - 0.2), "{entropies:?}");
+}
+
+#[test]
+fn ghz_entropy_is_one_bit_for_any_cut() {
+    let circuit = qsim_rs::circuit::library::ghz(8);
+    let (state, _) = qsim_rs::simulate::<f64>(&circuit, Flavor::Hip, 3).expect("run");
+    for keep in [vec![0], vec![0, 1, 2], vec![2, 5, 6, 7]] {
+        let s = entanglement_entropy(&state, &keep);
+        assert!((s - 1.0).abs() < 1e-8, "keep {keep:?}: {s}");
+    }
+}
+
+#[test]
+fn reduced_state_of_rqc_is_near_maximally_mixed() {
+    // Small subsystem of a deep RQC: eigenvalues of ρ_A approach 1/2^k.
+    let state = rqc_state(12, 14, 11);
+    let rho = partial_trace(&state, &[0, 1]);
+    assert!((rho.trace() - 1.0).abs() < 1e-10);
+    let s = von_neumann_entropy(&rho);
+    assert!(s > 1.9, "2-qubit subsystem entropy {s} should be ≈ 2 bits");
+    assert!((rho.purity() - 0.25).abs() < 0.05, "purity {}", rho.purity());
+}

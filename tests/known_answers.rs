@@ -1,0 +1,148 @@
+//! Known-answer tests: circuits whose output states have closed forms.
+
+use qsim_rs::circuit::library;
+use qsim_rs::prelude::*;
+
+fn simulate_f64(circuit: &Circuit, flavor: Flavor, f: usize) -> StateVector<f64> {
+    qsim_rs::simulate::<f64>(circuit, flavor, f).expect("run").0
+}
+
+#[test]
+fn bell_state_amplitudes() {
+    let state = simulate_f64(&library::bell(), Flavor::Hip, 2);
+    let h = std::f64::consts::FRAC_1_SQRT_2;
+    assert!((state.amplitude(0b00).re - h).abs() < 1e-14);
+    assert!((state.amplitude(0b11).re - h).abs() < 1e-14);
+    assert!(state.amplitude(0b01).abs() < 1e-14);
+    assert!(state.amplitude(0b10).abs() < 1e-14);
+}
+
+#[test]
+fn ghz_state_amplitudes() {
+    for n in [3usize, 5, 8, 12] {
+        let state = simulate_f64(&library::ghz(n), Flavor::Cuda, 3);
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((state.amplitude(0).re - h).abs() < 1e-12, "n={n}");
+        assert!((state.amplitude((1 << n) - 1).re - h).abs() < 1e-12, "n={n}");
+        let middle: f64 =
+            state.amplitudes()[1..(1 << n) - 1].iter().map(|a| a.norm_sqr()).sum();
+        assert!(middle < 1e-12, "n={n}");
+    }
+}
+
+#[test]
+fn qft_of_zero_state_is_uniform() {
+    // QFT|0…0⟩ = uniform superposition with all-positive real amplitudes.
+    let n = 6;
+    let state = simulate_f64(&library::qft(n), Flavor::CpuAvx, 4);
+    let expected = 1.0 / ((1u64 << n) as f64).sqrt();
+    for i in 0..state.len() {
+        let a = state.amplitude(i);
+        assert!((a.re - expected).abs() < 1e-12, "index {i}");
+        assert!(a.im.abs() < 1e-12, "index {i}");
+    }
+}
+
+#[test]
+fn qft_of_basis_state_matches_dft_column() {
+    // QFT|x⟩ has amplitudes exp(2πi·x·k / 2^n)/√(2^n).
+    let n = 5;
+    let len = 1usize << n;
+    let x = 11usize;
+
+    // Prepare |x⟩ with X gates, then QFT.
+    let mut circuit = Circuit::new(n);
+    let mut t = 0;
+    for q in 0..n {
+        if (x >> q) & 1 == 1 {
+            circuit.add(t, GateKind::X, &[q]);
+            t += 1;
+        }
+    }
+    for op in library::qft(n).ops {
+        circuit.add(t, op.kind, &op.qubits);
+        t += 1;
+    }
+
+    let state = simulate_f64(&circuit, Flavor::Hip, 4);
+    let norm = 1.0 / (len as f64).sqrt();
+    for k in 0..len {
+        let phase = 2.0 * std::f64::consts::PI * (x as f64) * (k as f64) / len as f64;
+        let expected = Cplx::new(norm * phase.cos(), norm * phase.sin());
+        let got = state.amplitude(k).to_f64();
+        assert!(got.dist(expected) < 1e-10, "k={k}: got {got:?}, want {expected:?}");
+    }
+}
+
+#[test]
+fn x_chain_reaches_all_ones() {
+    let n = 10;
+    let mut circuit = Circuit::new(n);
+    for q in 0..n {
+        circuit.add(q, GateKind::X, &[q]);
+    }
+    let state = simulate_f64(&circuit, Flavor::CuStateVec, 2);
+    assert!((state.amplitude((1 << n) - 1).re - 1.0).abs() < 1e-14);
+}
+
+#[test]
+fn hadamard_twice_is_identity() {
+    let n = 6;
+    let mut circuit = Circuit::new(n);
+    let mut t = 0;
+    for _ in 0..2 {
+        for q in 0..n {
+            circuit.add(t, GateKind::H, &[q]);
+            t += 1;
+        }
+    }
+    let state = simulate_f64(&circuit, Flavor::Hip, 3);
+    assert!((state.amplitude(0).re - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn iswap_direction_and_phase() {
+    // |01⟩ (qubit 0 = 1) --iswap--> i|10⟩.
+    let mut circuit = Circuit::new(2);
+    circuit.add(0, GateKind::X, &[0]);
+    circuit.add(1, GateKind::ISwap, &[0, 1]);
+    let state = simulate_f64(&circuit, Flavor::Cuda, 2);
+    let a = state.amplitude(0b10);
+    assert!(a.re.abs() < 1e-14 && (a.im - 1.0).abs() < 1e-14, "got {a:?}");
+}
+
+#[test]
+fn fsim_pi_over_2_swaps_with_minus_i() {
+    // fSim(π/2, 0)|01⟩ = -i|10⟩.
+    let mut circuit = Circuit::new(2);
+    circuit.add(0, GateKind::X, &[0]);
+    circuit.add(1, GateKind::FSim(std::f64::consts::FRAC_PI_2, 0.0), &[0, 1]);
+    let state = simulate_f64(&circuit, Flavor::Hip, 2);
+    let a = state.amplitude(0b10);
+    assert!(a.re.abs() < 1e-14 && (a.im + 1.0).abs() < 1e-14, "got {a:?}");
+}
+
+#[test]
+fn cphase_applies_phase_only_on_11() {
+    let phi = 0.73;
+    let mut circuit = Circuit::new(2);
+    circuit.add(0, GateKind::X, &[0]);
+    circuit.add(1, GateKind::X, &[1]);
+    circuit.add(2, GateKind::CPhase(phi), &[0, 1]);
+    let state = simulate_f64(&circuit, Flavor::CpuAvx, 2);
+    let a = state.amplitude(0b11).to_f64();
+    let expected = Cplx::new(phi.cos(), phi.sin());
+    assert!(a.dist(expected) < 1e-14);
+}
+
+#[test]
+fn rz_global_phase_convention() {
+    // Rz(θ)|0⟩ = e^{-iθ/2}|0⟩.
+    let theta = 1.1;
+    let mut circuit = Circuit::new(1);
+    circuit.add(0, GateKind::Rz(theta), &[0]);
+    let state = simulate_f64(&circuit, Flavor::Cuda, 1);
+    let a = state.amplitude(0).to_f64();
+    let expected = Cplx::new((theta / 2.0).cos(), -(theta / 2.0).sin());
+    assert!(a.dist(expected) < 1e-14);
+}

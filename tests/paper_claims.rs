@@ -1,0 +1,147 @@
+//! Integration-level checks of every quantitative claim in the paper's
+//! evaluation, evaluated through the device model on the real fused
+//! 30-qubit RQC workload (the same computations the fig7/fig8/fig9
+//! harnesses print).
+
+use std::sync::Arc;
+
+use qsim_rs::prelude::*;
+use qsim_rs::trace::TraceStats;
+
+fn sweep() -> Vec<FusedCircuit> {
+    let circuit = qsim_rs::circuit::generate_rqc(&RqcOptions::paper_q30());
+    (1..=6).map(|f| fuse(&circuit, f)).collect()
+}
+
+fn times(flavor: Flavor, sweep: &[FusedCircuit], precision: Precision) -> Vec<f64> {
+    sweep
+        .iter()
+        .map(|fc| {
+            SimBackend::new(flavor).estimate(fc, precision).expect("estimate").simulated_seconds
+        })
+        .collect()
+}
+
+fn argmin(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("non-empty")
+        .0
+}
+
+#[test]
+fn figure7_gpu_speedup_and_fusion_optimum() {
+    let sweep = sweep();
+    let cpu = times(Flavor::CpuAvx, &sweep, Precision::Single);
+    let hip = times(Flavor::Hip, &sweep, Precision::Single);
+    // Fusion of four gates is optimal on both platforms (index 3 = f=4).
+    assert_eq!(argmin(&cpu), 3, "CPU optimum: {cpu:?}");
+    assert_eq!(argmin(&hip), 3, "HIP optimum: {hip:?}");
+    // GPU beats CPU by 7-9x across the sweep.
+    for (c, h) in cpu.iter().zip(&hip) {
+        let speedup = c / h;
+        assert!((6.0..=10.5).contains(&speedup), "speedup {speedup} out of band");
+    }
+}
+
+#[test]
+fn figure8_double_precision_costs_1_8_to_2x() {
+    let sweep = sweep();
+    let single = times(Flavor::Hip, &sweep, Precision::Single);
+    let double = times(Flavor::Hip, &sweep, Precision::Double);
+    for (d, s) in double.iter().zip(&single) {
+        let ratio = d / s;
+        assert!((1.7..=2.1).contains(&ratio), "DP/SP ratio {ratio} out of the 1.8-2x band");
+    }
+}
+
+#[test]
+fn figure9_gap_progression() {
+    let sweep = sweep();
+    let cuda = times(Flavor::Cuda, &sweep, Precision::Single);
+    let cusv = times(Flavor::CuStateVec, &sweep, Precision::Single);
+    let hip = times(Flavor::Hip, &sweep, Precision::Single);
+
+    // Four-gate fusion optimal on all three GPU backends.
+    assert_eq!(argmin(&cuda), 3, "CUDA: {cuda:?}");
+    assert_eq!(argmin(&cusv), 3, "cuStateVec: {cusv:?}");
+    assert_eq!(argmin(&hip), 3, "HIP: {hip:?}");
+
+    // cuStateVec beats CUDA by a slight (< 10 %) margin everywhere.
+    for (v, c) in cusv.iter().zip(&cuda) {
+        assert!(v < c, "cuStateVec must win");
+        assert!(v / c > 0.90, "advantage must stay below 10 %: {}", v / c);
+    }
+
+    // Gap: ~5 % at f=2, ~44 % at f=4, and wider after.
+    let gap = |i: usize| 100.0 * (hip[i] / cuda[i] - 1.0);
+    assert!((2.0..=9.0).contains(&gap(1)), "f=2 gap {} %", gap(1));
+    assert!((38.0..=50.0).contains(&gap(3)), "f=4 gap {} %", gap(3));
+    assert!(gap(4) > gap(3), "gap must keep widening at f=5");
+    // HIP deteriorates past its optimum more than the CUDA backend.
+    assert!(hip[5] / hip[3] > cuda[5] / cuda[3]);
+}
+
+#[test]
+fn fusion_cost_below_two_percent_at_paper_scale() {
+    let sweep = sweep();
+    for flavor in Flavor::all() {
+        let r = SimBackend::new(flavor).estimate(&sweep[3], Precision::Single).expect("estimate");
+        assert!(
+            r.fusion_fraction() < 0.02,
+            "{flavor:?}: fusion {}",
+            r.fusion_fraction()
+        );
+    }
+}
+
+#[test]
+fn figure6_l_kernel_slower_than_h_kernel() {
+    let sweep = sweep();
+    let profiler = Arc::new(Profiler::new());
+    let backend = SimBackend::with_trace(Flavor::Hip, profiler.clone());
+    backend.estimate(&sweep[3], Precision::Single).expect("estimate");
+    let stats = TraceStats::from_spans(&profiler.spans());
+    let l = stats.get("ApplyGateL_Kernel").expect("L kernel in trace");
+    let h = stats.get("ApplyGateH_Kernel").expect("H kernel in trace");
+    assert!(
+        l.mean_us > h.mean_us,
+        "Figure 6: ApplyGateL ({}) must out-cost ApplyGateH ({})",
+        l.mean_us,
+        h.mean_us
+    );
+    // Figure 1: async matrix uploads are present and overlapped on a
+    // second stream.
+    let copies: Vec<_> = profiler
+        .spans()
+        .into_iter()
+        .filter(|s| s.kind == qsim_rs::gpu::SpanKind::MemcpyH2D)
+        .collect();
+    assert_eq!(copies.len(), sweep[3].num_unitaries());
+    assert!(copies.iter().all(|c| c.stream != 0), "uploads ride the copy stream");
+}
+
+#[test]
+fn memory_walls_match_table1_capacities() {
+    // 2^32 single-precision amplitudes = 32 GiB: fits neither precision
+    // budget of the A100 at double, fits MI250X, etc.
+    let c33 = Circuit::new(33);
+    let fused = fuse(&c33, 2);
+    assert!(SimBackend::new(Flavor::Cuda).estimate(&fused, Precision::Single).is_err());
+    assert!(SimBackend::new(Flavor::Hip).estimate(&fused, Precision::Single).is_ok());
+    let c35 = Circuit::new(35);
+    let fused = fuse(&c35, 2);
+    assert!(SimBackend::new(Flavor::Hip).estimate(&fused, Precision::Single).is_err());
+    assert!(SimBackend::new(Flavor::CpuAvx).estimate(&fused, Precision::Single).is_ok());
+}
+
+#[test]
+fn standard_deviation_of_model_is_zero() {
+    // The paper reports < 1 % run-to-run deviation; the analytic model is
+    // deterministic by construction — same circuit, same time.
+    let sweep = sweep();
+    let a = times(Flavor::Hip, &sweep, Precision::Single);
+    let b = times(Flavor::Hip, &sweep, Precision::Single);
+    assert_eq!(a, b);
+}

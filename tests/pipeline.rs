@@ -1,0 +1,122 @@
+//! Whole-pipeline integration: optimizer → fuser → backends → hybrid,
+//! chained the way a real user composes the crates.
+
+use qsim_rs::circuit::optimize::optimize;
+use qsim_rs::prelude::*;
+
+/// A circuit with planted redundancy (inverse pairs and mergeable
+/// rotations) around a meaningful core.
+fn redundant_circuit(seed: u64) -> Circuit {
+    let base = qsim_rs::circuit::library::random_dense(8, 30, seed);
+    let mut c = Circuit::new(8);
+    for (i, op) in base.ops.iter().enumerate() {
+        c.push(op.kind, &op.qubits);
+        match i % 4 {
+            0 => {
+                let q = i % 8;
+                c.push(GateKind::H, &[q]);
+                c.push(GateKind::H, &[q]);
+            }
+            2 => {
+                let q = (i + 3) % 8;
+                c.push(GateKind::Rz(0.4), &[q]);
+                c.push(GateKind::Rz(-0.4), &[q]);
+            }
+            _ => {}
+        }
+    }
+    c
+}
+
+#[test]
+fn optimize_then_fuse_then_run_preserves_state() {
+    for seed in 0..4 {
+        let original = redundant_circuit(seed);
+        let (optimized, stats) = optimize(&original);
+        assert!(stats.gates_after < stats.gates_before, "seed {seed}");
+
+        let (ref_state, _) =
+            qsim_rs::simulate::<f64>(&original, Flavor::CpuAvx, 4).expect("run");
+        for flavor in [Flavor::Cuda, Flavor::Hip] {
+            let (opt_state, _) =
+                qsim_rs::simulate::<f64>(&optimized, flavor, 4).expect("run");
+            let diff = ref_state.max_abs_diff(&opt_state);
+            assert!(diff < 1e-12, "seed {seed} {flavor:?}: diff {diff}");
+        }
+    }
+}
+
+#[test]
+fn optimization_reduces_fused_passes_and_modeled_time() {
+    let original = redundant_circuit(7);
+    let (optimized, _) = optimize(&original);
+    let fused_orig = fuse(&original, 4);
+    let fused_opt = fuse(&optimized, 4);
+    assert!(fused_opt.num_unitaries() <= fused_orig.num_unitaries());
+
+    // Fewer (or equal) passes means no more modeled time.
+    let t_orig = SimBackend::new(Flavor::Hip)
+        .estimate(&fused_orig, Precision::Single)
+        .expect("estimate")
+        .simulated_seconds;
+    let t_opt = SimBackend::new(Flavor::Hip)
+        .estimate(&fused_opt, Precision::Single)
+        .expect("estimate")
+        .simulated_seconds;
+    assert!(t_opt <= t_orig + 1e-12, "{t_opt} vs {t_orig}");
+}
+
+#[test]
+fn hybrid_agrees_with_backends_after_optimization() {
+    let original = redundant_circuit(3);
+    let (optimized, _) = optimize(&original);
+    let (backend_state, _) =
+        qsim_rs::simulate::<f64>(&optimized, Flavor::CuStateVec, 3).expect("run");
+    let (hybrid, paths) = HybridSimulator::best_cut(&optimized).expect("cut");
+    assert!(paths >= 1);
+    let hybrid_state = hybrid.full_state(&optimized).expect("hybrid");
+    let diff = backend_state.max_abs_diff(&hybrid_state);
+    assert!(diff < 1e-10, "hybrid diverges by {diff} ({paths} paths)");
+}
+
+#[test]
+fn distributed_agrees_with_hybrid_and_single_device() {
+    let circuit = qsim_rs::circuit::generate_rqc(&RqcOptions::for_qubits(9, 4, 12));
+    let fused = fuse(&circuit, 3);
+    let (single, _) = SimBackend::new(Flavor::Hip)
+        .run::<f64>(&fused, &RunOptions::default())
+        .expect("run");
+    let (sharded, _) = MultiGcdBackend::new(Flavor::Hip, 4)
+        .run::<f64>(&fused, &RunOptions::default())
+        .expect("run");
+    let hybrid = HybridSimulator::new(4).full_state(&circuit).expect("hybrid");
+    assert!(single.max_abs_diff(&sharded) < 1e-12);
+    assert!(single.max_abs_diff(&hybrid) < 1e-10);
+}
+
+#[test]
+fn parameterized_circuit_through_the_full_stack() {
+    use qsim_rs::backends::variational::expectation_and_gradient;
+    use qsim_rs::circuit::params::{PGate, ParamCircuit};
+
+    // Bind a PQC, optimize the bound circuit, run it on a modeled
+    // backend, and check the observable agrees with the variational
+    // evaluator.
+    let mut pc = ParamCircuit::new(3);
+    let a = pc.new_param();
+    let b = pc.new_param();
+    pc.push(PGate::Ry(a), &[0]);
+    pc.push(PGate::Fixed(GateKind::Cnot), &[0, 1]);
+    pc.push(PGate::Rx(b), &[2]);
+    pc.push(PGate::Fixed(GateKind::Cz), &[1, 2]);
+
+    let values = [0.8, -0.3];
+    let mut obs = PauliSum::new();
+    obs.add(1.0, PauliString::two(0, Pauli::Z, 1, Pauli::Z));
+    let (expected, _) = expectation_and_gradient::<f64>(&pc, &values, &obs);
+
+    let bound = pc.bind(&values);
+    let (state, _) = qsim_rs::simulate::<f64>(&bound, Flavor::Hip, 3).expect("run");
+    let measured = obs.expectation(&state);
+    assert!((measured - expected).abs() < 1e-12);
+}

@@ -1,0 +1,120 @@
+//! Statistical integration tests: sampling, measurement, XEB and the
+//! Porter-Thomas distribution of random-circuit output probabilities.
+
+use qsim_rs::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rqc_state(n: usize, seed: u64) -> StateVector<f64> {
+    let circuit = qsim_rs::circuit::generate_rqc(&RqcOptions::for_qubits(n, 14, seed));
+    qsim_rs::simulate::<f64>(&circuit, Flavor::Cuda, 4).expect("run").0
+}
+
+#[test]
+fn samples_follow_the_output_distribution() {
+    // Chi-square-style check on a 4-qubit state: empirical frequencies
+    // within 5 sigma of |amp|^2.
+    let circuit = qsim_rs::circuit::library::random_dense(4, 30, 3);
+    let (state, _) = qsim_rs::simulate::<f64>(&circuit, Flavor::Hip, 3).expect("run");
+    let probs = statespace::probabilities(&state);
+    let m = 200_000usize;
+    let mut rng = StdRng::seed_from_u64(17);
+    let samples = statespace::sample(&state, m, &mut rng);
+    let mut counts = [0usize; 16];
+    for s in samples {
+        counts[s as usize] += 1;
+    }
+    for (i, (&c, &p)) in counts.iter().zip(&probs).enumerate() {
+        let expect = p * m as f64;
+        let sigma = (m as f64 * p * (1.0 - p)).sqrt().max(1.0);
+        assert!(
+            (c as f64 - expect).abs() < 5.0 * sigma,
+            "state {i}: count {c}, expected {expect:.1} ± {sigma:.1}"
+        );
+    }
+}
+
+#[test]
+fn xeb_separates_ideal_from_uniform_samples() {
+    let state = rqc_state(16, 5);
+    let mut rng = StdRng::seed_from_u64(23);
+    let ideal = statespace::sample(&state, 50_000, &mut rng);
+    let xeb = statespace::linear_xeb(&state, &ideal);
+    assert!((0.85..=1.15).contains(&xeb), "ideal XEB {xeb}");
+
+    let uniform: Vec<u64> =
+        (0..50_000).map(|_| rng.gen_range(0..state.len() as u64)).collect();
+    let xeb0 = statespace::linear_xeb(&state, &uniform);
+    assert!(xeb0.abs() < 0.1, "uniform XEB {xeb0}");
+}
+
+#[test]
+fn rqc_outputs_are_porter_thomas() {
+    // For a deep random circuit, N·p is exponentially distributed:
+    // P(N·p > x) = e^-x. Check at x = 1 and x = 2, and check the mean of
+    // (N·p)^2 = 2 (the XEB=1 condition).
+    let state = rqc_state(16, 9);
+    let n_amp = state.len() as f64;
+    let scaled: Vec<f64> =
+        state.amplitudes().iter().map(|a| n_amp * a.norm_sqr()).collect();
+    let frac_above = |x: f64| scaled.iter().filter(|&&v| v > x).count() as f64 / n_amp;
+    assert!((frac_above(1.0) - (-1.0f64).exp()).abs() < 0.01, "{}", frac_above(1.0));
+    assert!((frac_above(2.0) - (-2.0f64).exp()).abs() < 0.01, "{}", frac_above(2.0));
+    let second_moment: f64 = scaled.iter().map(|v| v * v).sum::<f64>() / n_amp;
+    assert!((second_moment - 2.0).abs() < 0.1, "⟨(Np)²⟩ = {second_moment}");
+}
+
+#[test]
+fn shallow_circuits_are_not_porter_thomas() {
+    // Sanity check of the check: a depth-1 circuit concentrates weight.
+    let circuit = qsim_rs::circuit::generate_rqc(&RqcOptions::for_qubits(16, 1, 9));
+    let (state, _) = qsim_rs::simulate::<f64>(&circuit, Flavor::Cuda, 4).expect("run");
+    let n_amp = state.len() as f64;
+    let second_moment: f64 =
+        state.amplitudes().iter().map(|a| (n_amp * a.norm_sqr()).powi(2)).sum::<f64>() / n_amp;
+    assert!(second_moment > 3.0, "shallow circuit unexpectedly chaotic: {second_moment}");
+}
+
+#[test]
+fn measurement_statistics_match_probabilities() {
+    // Measure qubit 0 of a biased state many times.
+    let theta = 1.2f64; // P(1) = sin^2(θ/2)
+    let p1 = (theta / 2.0).sin().powi(2);
+    let mut ones = 0;
+    let trials = 3000;
+    for seed in 0..trials {
+        let mut circuit = Circuit::new(2);
+        circuit.add(0, GateKind::Ry(theta), &[0]);
+        let fused = fuse(&circuit, 2);
+        let (_, report) = SimBackend::new(Flavor::CpuAvx)
+            .run::<f64>(
+                &{
+                    let mut c = Circuit::new(2);
+                    c.add(0, GateKind::Ry(theta), &[0]);
+                    c.add(1, GateKind::Measurement, &[0]);
+                    fuse(&c, 2)
+                },
+                &RunOptions { seed, sample_count: 0 },
+            )
+            .expect("run");
+        let _ = fused;
+        ones += report.measurements[0].1;
+    }
+    let frac = ones as f64 / trials as f64;
+    let sigma = (p1 * (1.0 - p1) / trials as f64).sqrt();
+    assert!(
+        (frac - p1).abs() < 5.0 * sigma,
+        "measured P(1) = {frac}, expected {p1} ± {sigma}"
+    );
+}
+
+#[test]
+fn sampling_is_deterministic_per_seed() {
+    let state = rqc_state(10, 1);
+    let mut rng1 = StdRng::seed_from_u64(5);
+    let mut rng2 = StdRng::seed_from_u64(5);
+    assert_eq!(
+        statespace::sample(&state, 1000, &mut rng1),
+        statespace::sample(&state, 1000, &mut rng2)
+    );
+}

@@ -1,0 +1,99 @@
+//! Trace integrity: what the rocprof-equivalent records must be a
+//! consistent timeline — the property that makes the Figure 1/6
+//! artifacts trustworthy.
+
+use std::sync::Arc;
+
+use qsim_rs::gpu::SpanKind;
+use qsim_rs::prelude::*;
+use qsim_rs::trace::TraceStats;
+
+fn traced_run(max_f: usize) -> (Vec<qsim_rs::gpu::TraceSpan>, RunReport) {
+    let circuit = qsim_rs::circuit::generate_rqc(&RqcOptions::for_qubits(10, 6, 4));
+    let fused = fuse(&circuit, max_f);
+    let profiler = Arc::new(Profiler::new());
+    let backend = SimBackend::with_trace(Flavor::Hip, profiler.clone());
+    let (_, report) = backend.run::<f32>(&fused, &RunOptions::default()).expect("run");
+    (profiler.spans(), report)
+}
+
+#[test]
+fn per_stream_spans_never_overlap() {
+    let (spans, _) = traced_run(3);
+    let mut streams: std::collections::BTreeMap<usize, Vec<(f64, f64)>> = Default::default();
+    for s in &spans {
+        streams.entry(s.stream).or_default().push((s.start_us, s.start_us + s.dur_us));
+    }
+    for (stream, mut intervals) in streams {
+        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        for w in intervals.windows(2) {
+            assert!(
+                w[1].0 >= w[0].1 - 1e-9,
+                "stream {stream}: span starting {} overlaps previous ending {}",
+                w[1].0,
+                w[0].1
+            );
+        }
+    }
+}
+
+#[test]
+fn copy_stream_overlaps_compute_stream() {
+    let (spans, _) = traced_run(4);
+    // Matrix uploads live on stream 1; kernels on stream 0. At least one
+    // upload must overlap some kernel execution (the Figure 1 pattern).
+    let kernels: Vec<(f64, f64)> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Kernel)
+        .map(|s| (s.start_us, s.start_us + s.dur_us))
+        .collect();
+    let copies: Vec<(f64, f64)> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::MemcpyH2D)
+        .map(|s| (s.start_us, s.start_us + s.dur_us))
+        .collect();
+    assert!(!copies.is_empty());
+    let overlapping = copies
+        .iter()
+        .filter(|c| kernels.iter().any(|k| c.0 < k.1 && k.0 < c.1))
+        .count();
+    assert!(overlapping > 0, "async copies should overlap compute");
+}
+
+#[test]
+fn trace_totals_match_report_totals() {
+    let (spans, report) = traced_run(4);
+    let stats = TraceStats::from_spans(&spans);
+    for k in &report.kernels {
+        if k.time_us == 0.0 {
+            continue; // pseudo-entries (measurement bookkeeping)
+        }
+        let traced = stats.get(&k.name).unwrap_or_else(|| panic!("{} missing", k.name));
+        assert_eq!(traced.count, k.count, "{}", k.name);
+        assert!(
+            (traced.total_us - k.time_us).abs() < 1e-6,
+            "{}: trace {} vs report {}",
+            k.name,
+            traced.total_us,
+            k.time_us
+        );
+    }
+    // The makespan bounds every span and matches the simulated time up to
+    // the host-side fusion lead-in.
+    let sim_us = report.simulated_seconds * 1e6;
+    assert!(stats.span_end_us <= sim_us + 1e-6);
+}
+
+#[test]
+fn perfetto_roundtrip_preserves_span_count() {
+    let (spans, _) = traced_run(2);
+    let json = qsim_rs::trace::perfetto::to_json(&spans);
+    let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    let xs = v["traceEvents"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter(|e| e["ph"] == "X")
+        .count();
+    assert_eq!(xs, spans.len());
+}
