@@ -8,10 +8,7 @@ use std::fmt;
 pub enum GpuError {
     /// Allocation exceeds remaining device memory
     /// (`hipErrorOutOfMemory`).
-    OutOfMemory {
-        requested_bytes: u64,
-        free_bytes: u64,
-    },
+    OutOfMemory { requested_bytes: u64, free_bytes: u64 },
     /// Kernel launch geometry is invalid for the device
     /// (`hipErrorInvalidConfiguration`): zero-sized grid/block, block
     /// larger than the device maximum, or static shared memory exceeding

@@ -27,14 +27,14 @@
 //!   `qsim-trace` crate) subscribes to.
 
 pub mod error;
-pub mod specs;
-pub mod perf;
-pub mod timeline;
 pub mod memory;
-pub mod trace;
+pub mod perf;
 pub mod runtime;
+pub mod specs;
+pub mod timeline;
+pub mod trace;
 
 pub use error::GpuError;
 pub use runtime::{Gpu, KernelDesc, KernelWork, StreamId};
-pub use specs::{DeviceSpec, DeviceKind};
+pub use specs::{DeviceKind, DeviceSpec};
 pub use trace::{SpanKind, TraceSink, TraceSpan};

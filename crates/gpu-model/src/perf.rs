@@ -147,8 +147,8 @@ mod tests {
             double_precision: false,
         };
         let t = kernel_time(&spec, &p);
-        let expected = spec.launch_latency_us * 1e-6
-            + 1e12 / (spec.flops_per_s(false) * spec.flop_efficiency);
+        let expected =
+            spec.launch_latency_us * 1e-6 + 1e12 / (spec.flops_per_s(false) * spec.flop_efficiency);
         assert!((t - expected).abs() / expected < 1e-9);
     }
 

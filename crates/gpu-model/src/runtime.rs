@@ -27,6 +27,11 @@ pub struct KernelWork {
     pub bytes: f64,
     /// Floating-point operations.
     pub flops: f64,
+    /// Full passes over the state vector this launch begins (informational
+    /// accounting for cache-blocked sweeps; does not affect modeled time).
+    /// 1.0 for an ordinary gate kernel; 0.0 for a launch folded into an
+    /// already-open sweep pass.
+    pub passes: f64,
 }
 
 /// Declaration of a kernel launch: symbol, geometry, and work.
@@ -56,6 +61,7 @@ pub struct Gpu {
     timeline: Mutex<Timeline>,
     pool: Arc<Mutex<MemoryPool>>,
     sink: Option<Arc<dyn TraceSink>>,
+    state_passes: Mutex<f64>,
 }
 
 impl std::fmt::Debug for Gpu {
@@ -73,6 +79,7 @@ impl Gpu {
             timeline: Mutex::new(Timeline::new()),
             pool: Arc::new(Mutex::new(MemoryPool::new(capacity))),
             sink: None,
+            state_passes: Mutex::new(0.0),
         }
     }
 
@@ -147,7 +154,11 @@ impl Gpu {
     /// Charge a kernel launch to the timeline without running a body —
     /// the dry-run counterpart of [`Gpu::launch`]. Geometry validation is
     /// identical.
-    pub fn charge_launch(&self, desc: &KernelDesc, stream: StreamId) -> Result<(f64, f64), GpuError> {
+    pub fn charge_launch(
+        &self,
+        desc: &KernelDesc,
+        stream: StreamId,
+    ) -> Result<(f64, f64), GpuError> {
         let (s, e, _) = self.launch_inner(desc, stream, None::<fn()>)?;
         Ok((s, e))
     }
@@ -240,9 +251,18 @@ impl Gpu {
         };
         let dur_us = kernel_time(&self.spec, &profile) * 1e6;
         let (start, end) = self.timeline.lock().schedule(stream, dur_us)?;
+        *self.state_passes.lock() += desc.work.passes;
         let result = body.map(|b| b());
         self.emit(&desc.name, SpanKind::Kernel, stream, start, end);
         Ok((start, end, result))
+    }
+
+    /// Accumulated full passes over the state vector, summed from the
+    /// `passes` field of every launched kernel's [`KernelWork`]. With
+    /// per-gate execution this equals the number of gate kernels; a
+    /// cache-blocked sweep reports fewer.
+    pub fn state_passes(&self) -> f64 {
+        *self.state_passes.lock()
     }
 
     /// Record an event on `stream` (`hipEventRecord`).
@@ -299,7 +319,7 @@ mod tests {
             blocks,
             threads_per_block: tpb,
             shared_mem_bytes: 0,
-            work: KernelWork { bytes: 1e6, flops: 1e6 },
+            work: KernelWork { bytes: 1e6, flops: 1e6, passes: 1.0 },
             double_precision: false,
         }
     }
@@ -401,6 +421,18 @@ mod tests {
         assert_eq!(names.len(), 2);
         assert!(names[0].contains("H2D"));
         assert_eq!(names[1], "ApplyGateH_Kernel");
+    }
+
+    #[test]
+    fn state_passes_accumulate_from_launches() {
+        let gpu = small_gpu();
+        assert_eq!(gpu.state_passes(), 0.0);
+        gpu.launch(&desc("A", 64, 64), StreamId::DEFAULT, || ()).unwrap();
+        gpu.charge_launch(&desc("B", 64, 64), StreamId::DEFAULT).unwrap();
+        let mut folded = desc("C", 64, 64);
+        folded.work.passes = 0.0; // joins an open sweep pass
+        gpu.launch(&folded, StreamId::DEFAULT, || ()).unwrap();
+        assert_eq!(gpu.state_passes(), 2.0);
     }
 
     #[test]

@@ -8,12 +8,10 @@
 //! values and rationale are documented on each preset and the resulting
 //! paper-vs-model deltas are recorded in EXPERIMENTS.md.
 
-use serde::{Deserialize, Serialize};
-
 const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
 
 /// Broad device class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeviceKind {
     /// A discrete GPU (or one GCD of a multi-die GPU).
     Gpu,
@@ -21,8 +19,10 @@ pub enum DeviceKind {
     Cpu,
 }
 
+serde::impl_serde_unit_enum!(DeviceKind { Gpu, Cpu });
+
 /// A modeled execution device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     /// Marketing name, e.g. `"NVIDIA A100"`.
     pub name: String,
@@ -65,6 +65,25 @@ pub struct DeviceSpec {
     /// scale throughput down linearly.
     pub occupancy_blocks_per_cu: u32,
 }
+
+serde::impl_serde_struct!(DeviceSpec {
+    name,
+    kind,
+    wavefront_width,
+    compute_units,
+    max_threads_per_block,
+    shared_mem_per_block,
+    memory_bytes,
+    mem_bw_gib_s,
+    sp_tflops,
+    dp_tflops,
+    h2d_bw_gib_s,
+    launch_latency_us,
+    mem_efficiency,
+    flop_efficiency,
+    wave_mem_sensitivity,
+    occupancy_blocks_per_cu,
+});
 
 impl DeviceSpec {
     /// Nvidia A100 40 GB (Table 1): 1448 GiB/s memory bandwidth, warp 32.
@@ -175,7 +194,11 @@ impl DeviceSpec {
 
     /// Peak flops per second at the given precision.
     pub fn flops_per_s(&self, double_precision: bool) -> f64 {
-        if double_precision { self.dp_tflops * 1e12 } else { self.sp_tflops * 1e12 }
+        if double_precision {
+            self.dp_tflops * 1e12
+        } else {
+            self.sp_tflops * 1e12
+        }
     }
 
     /// Host↔device bandwidth in bytes/second.
@@ -191,13 +214,27 @@ impl DeviceSpec {
 }
 
 /// The software environment rows of Table 1, for the `table1` harness.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Serialize-only: the `&'static str` fields cannot be deserialized into,
+/// and nothing reads this type back.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SoftwareSetup {
     pub qsim_version: &'static str,
     pub compiler: &'static str,
     pub rocm: &'static str,
     pub cuda_toolkit: &'static str,
     pub cuquantum: &'static str,
+}
+
+impl serde::Serialize for SoftwareSetup {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("qsim_version".to_string(), serde::Serialize::to_value(self.qsim_version)),
+            ("compiler".to_string(), serde::Serialize::to_value(self.compiler)),
+            ("rocm".to_string(), serde::Serialize::to_value(self.rocm)),
+            ("cuda_toolkit".to_string(), serde::Serialize::to_value(self.cuda_toolkit)),
+            ("cuquantum".to_string(), serde::Serialize::to_value(self.cuquantum)),
+        ])
+    }
 }
 
 impl Default for SoftwareSetup {

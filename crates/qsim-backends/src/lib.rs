@@ -26,6 +26,7 @@ pub mod trajectories;
 pub mod variational;
 
 pub use flavor::Flavor;
+pub use qsim_core::sweep::{SweepConfig, SweepStats};
 pub use report::{KernelStat, RunOptions, RunReport};
 pub use sim_backend::{Backend, BackendError, SimBackend};
 pub use trajectories::{NoiseSpec, TrajectoryRunner};

@@ -22,7 +22,7 @@ pub fn init_kernel_desc(
         blocks: ((len as u64) / 2 / tpb as u64).max(1),
         threads_per_block: tpb,
         shared_mem_bytes: 0,
-        work: KernelWork { bytes: (len * amp_bytes) as f64, flops: 0.0 },
+        work: KernelWork { bytes: (len * amp_bytes) as f64, flops: 0.0, passes: 1.0 },
         double_precision,
     }
 }
@@ -68,7 +68,7 @@ pub fn gate_kernel_desc(
         // Per-thread double-buffered tile through shared memory plus a
         // small fixed region for the matrix and index tables.
         shared_mem_bytes: (tpb as usize * 4 * amp_bytes + 1024) as u32,
-        work: KernelWork { bytes: work.bytes, flops: work.flops },
+        work: KernelWork { bytes: work.bytes, flops: work.flops, passes: 1.0 },
         double_precision,
     }
 }

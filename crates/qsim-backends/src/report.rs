@@ -14,7 +14,6 @@ pub struct RunOptions {
     pub sample_count: usize,
 }
 
-
 /// Aggregate statistics for one kernel symbol.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelStat {
@@ -61,6 +60,11 @@ pub struct RunReport {
     pub samples: Vec<u64>,
     /// Device memory held by the state vector, bytes.
     pub state_bytes: u64,
+    /// Full passes over the state made by gate kernels. Without the
+    /// cache-blocked sweep this equals [`RunReport::fused_gates`]; with it
+    /// (CPU flavor) each run of consecutive block-local gates counts as
+    /// one pass, so this is the memory-traffic multiplier of the run.
+    pub state_passes: u64,
 }
 
 impl RunReport {
@@ -81,6 +85,12 @@ impl RunReport {
     /// Total simulated µs in kernels whose name contains `needle`.
     pub fn time_us_matching(&self, needle: &str) -> f64 {
         self.kernels.iter().filter(|k| k.name.contains(needle)).map(|k| k.time_us).sum()
+    }
+
+    /// Gate passes the cache-blocked sweep avoided versus per-gate
+    /// execution (0 when the sweep is off or not applicable).
+    pub fn passes_saved(&self) -> u64 {
+        (self.fused_gates as u64).saturating_sub(self.state_passes)
     }
 }
 
@@ -106,6 +116,7 @@ mod tests {
             measurements: vec![],
             samples: vec![],
             state_bytes: 8 << 30,
+            state_passes: 150,
         }
     }
 

@@ -25,8 +25,9 @@ use gpu_model::trace::TraceSink;
 use gpu_model::GpuError;
 use qsim_core::kernels::apply_gate_slice_par;
 use qsim_core::statespace::measure_slice;
+use qsim_core::sweep::{PassTracker, SweepConfig, SweepExecutor};
 use qsim_core::types::{Cplx, Float};
-use qsim_core::StateVector;
+use qsim_core::{GateMatrix, StateVector};
 use qsim_fusion::{FusedCircuit, FusedOp};
 
 use crate::flavor::Flavor;
@@ -93,6 +94,11 @@ pub struct SimBackend {
     /// "significant algorithmic overhaul" that 64-thread L blocks would
     /// need).
     low_overhead_override: Option<f64>,
+    /// Cache-blocked sweep executor for the CPU flavor: runs of
+    /// consecutive low-qubit fused gates apply to cache-sized blocks in a
+    /// single pass over the state (see [`qsim_core::sweep`]). GPU flavors
+    /// model per-gate kernels and ignore it.
+    sweep: SweepExecutor,
 }
 
 impl SimBackend {
@@ -103,7 +109,12 @@ impl SimBackend {
 
     /// Backend on a custom device spec (for ablations).
     pub fn with_spec(flavor: Flavor, spec: DeviceSpec) -> Self {
-        SimBackend { flavor, gpu: Gpu::new(spec), low_overhead_override: None }
+        SimBackend {
+            flavor,
+            gpu: Gpu::new(spec),
+            low_overhead_override: None,
+            sweep: SweepExecutor::new(SweepConfig::default()),
+        }
     }
 
     /// Backend with rocprof-style tracing attached.
@@ -117,13 +128,40 @@ impl SimBackend {
         spec: DeviceSpec,
         sink: std::sync::Arc<dyn TraceSink>,
     ) -> Self {
-        SimBackend { flavor, gpu: Gpu::with_trace(spec, sink), low_overhead_override: None }
+        SimBackend {
+            flavor,
+            gpu: Gpu::with_trace(spec, sink),
+            low_overhead_override: None,
+            sweep: SweepExecutor::new(SweepConfig::default()),
+        }
     }
 
     /// Override the per-low-qubit extra-traffic factor of L-class kernels
     /// (ablation knob; see [`Flavor::low_qubit_byte_overhead`]).
     pub fn set_low_qubit_byte_overhead(&mut self, overhead: Option<f64>) {
         self.low_overhead_override = overhead;
+    }
+
+    /// Configure the cache-blocked sweep (CPU flavor only; GPU flavors
+    /// model per-gate kernels regardless). Replacing the configuration
+    /// drops the cached gate plans.
+    pub fn set_sweep_config(&mut self, config: SweepConfig) {
+        self.sweep = SweepExecutor::new(config);
+    }
+
+    /// The active sweep configuration.
+    pub fn sweep_config(&self) -> SweepConfig {
+        *self.sweep.config()
+    }
+
+    /// The sweep configuration that actually governs execution on this
+    /// flavor: only the CPU flavor executes blocked sweeps.
+    fn effective_sweep(&self) -> SweepConfig {
+        if self.flavor == Flavor::CpuAvx {
+            *self.sweep.config()
+        } else {
+            SweepConfig::disabled()
+        }
     }
 
     /// The underlying modeled device.
@@ -210,6 +248,7 @@ impl SimBackend {
 
         let copy_stream =
             if self.flavor.uploads_matrices() { Some(self.gpu.create_stream()) } else { None };
+        let mut tracker = PassTracker::new(&self.effective_sweep(), n);
 
         for op in &fused.ops {
             match op {
@@ -224,11 +263,14 @@ impl SimBackend {
                         let ev = self.gpu.record_event(cs)?;
                         self.gpu.stream_wait_event(StreamId::DEFAULT, ev)?;
                     }
-                    let desc = self.gate_desc(n, &g.qubits, amp_bytes, double_precision);
+                    let new_pass = tracker.on_gate(&g.qubits);
+                    let mut desc = self.gate_desc(n, &g.qubits, amp_bytes, double_precision);
+                    desc.work.passes = if new_pass { 1.0 } else { 0.0 };
                     let (s, e) = self.gpu.charge_launch(&desc, StreamId::DEFAULT)?;
                     bump(&mut kernel_stats, &desc.name, e - s);
                 }
                 FusedOp::Measurement { .. } => {
+                    tracker.on_barrier();
                     self.gpu.charge_memcpy(
                         gpu_model::trace::SpanKind::MemcpyD2H,
                         state_bytes,
@@ -263,6 +305,7 @@ impl SimBackend {
             measurements: Vec::new(),
             samples: Vec::new(),
             state_bytes,
+            state_passes: tracker.stats().full_passes,
         })
     }
 
@@ -318,6 +361,15 @@ impl SimBackend {
         let copy_stream =
             if self.flavor.uploads_matrices() { Some(self.gpu.create_stream()) } else { None };
 
+        // Cache-blocked sweep state: block-local gates are charged to the
+        // modeled timeline as usual but their functional application is
+        // deferred so a whole run applies to each cache block in one pass
+        // (no sweeping on GPU flavors — `effective_sweep` disables it, the
+        // tracker then marks every gate a barrier and `pending` stays
+        // empty).
+        let mut tracker = PassTracker::new(&self.effective_sweep(), n);
+        let mut pending: Vec<(Vec<usize>, GateMatrix<F>)> = Vec::new();
+
         for op in &fused.ops {
             match op {
                 FusedOp::Unitary(g) => {
@@ -331,13 +383,28 @@ impl SimBackend {
                         self.gpu.stream_wait_event(StreamId::DEFAULT, ev)?;
                     }
 
-                    let desc = self.gate_desc(n, &g.qubits, amp_bytes, double_precision);
-                    let (s, e, ()) = self.gpu.launch(&desc, StreamId::DEFAULT, || {
-                        apply_gate_slice_par(state_buf.as_mut_slice(), &g.qubits, &matrix);
-                    })?;
-                    bump(&mut kernel_stats, &desc.name, e - s);
+                    let new_pass = tracker.on_gate(&g.qubits);
+                    let mut desc = self.gate_desc(n, &g.qubits, amp_bytes, double_precision);
+                    desc.work.passes = if new_pass { 1.0 } else { 0.0 };
+                    if tracker.in_run() {
+                        // Block-local: charge the launch now, apply with
+                        // the rest of the run when it flushes.
+                        let (s, e) = self.gpu.charge_launch(&desc, StreamId::DEFAULT)?;
+                        bump(&mut kernel_stats, &desc.name, e - s);
+                        pending.push((g.qubits.clone(), matrix));
+                    } else {
+                        // Barrier gate: flush the open run, then go
+                        // through the ordinary strided kernel.
+                        flush_run(&self.sweep, state_buf.as_mut_slice(), &mut pending);
+                        let (s, e, ()) = self.gpu.launch(&desc, StreamId::DEFAULT, || {
+                            apply_gate_slice_par(state_buf.as_mut_slice(), &g.qubits, &matrix);
+                        })?;
+                        bump(&mut kernel_stats, &desc.name, e - s);
+                    }
                 }
                 FusedOp::Measurement { qubits, .. } => {
+                    tracker.on_barrier();
+                    flush_run(&self.sweep, state_buf.as_mut_slice(), &mut pending);
                     // qsim measures on-device; we model the equivalent
                     // traffic with an explicit round trip: D2H, host
                     // measurement + collapse, H2D.
@@ -351,6 +418,8 @@ impl SimBackend {
                 }
             }
         }
+        tracker.on_barrier();
+        flush_run(&self.sweep, state_buf.as_mut_slice(), &mut pending);
 
         // Final sampling on-device (qsim's `SampleKernel`: one cumulative
         // pass over the probabilities).
@@ -365,6 +434,7 @@ impl SimBackend {
                 work: gpu_model::runtime::KernelWork {
                     bytes: (len * amp_bytes) as f64,
                     flops: len as f64 * 4.0,
+                    passes: 1.0,
                 },
                 double_precision,
             };
@@ -404,6 +474,7 @@ impl SimBackend {
             measurements,
             samples,
             state_bytes,
+            state_passes: tracker.stats().full_passes,
         };
         Ok((state, report))
     }
@@ -413,6 +484,19 @@ fn bump(stats: &mut BTreeMap<String, (u64, f64)>, name: &str, dur_us: f64) {
     let entry = stats.entry(name.to_string()).or_insert((0, 0.0));
     entry.0 += 1;
     entry.1 += dur_us;
+}
+
+/// Apply and clear the pending run of block-local gates (no-op when the
+/// run is empty).
+fn flush_run<F: Float>(
+    sweep: &SweepExecutor,
+    amps: &mut [Cplx<F>],
+    pending: &mut Vec<(Vec<usize>, GateMatrix<F>)>,
+) {
+    if !pending.is_empty() {
+        sweep.apply_run(amps, pending.iter().map(|(q, m)| (q.as_slice(), m)));
+        pending.clear();
+    }
 }
 
 impl Backend for SimBackend {
@@ -493,10 +577,9 @@ mod tests {
     fn kernel_split_matches_gate_classes() {
         let circuit = generate_rqc(&RqcOptions::for_qubits(12, 6, 1));
         let fused = fuse(&circuit, 2);
-        let expected_low = fused
-            .unitaries()
-            .filter(|g| classify_gate(&g.qubits) == KernelClass::Low)
-            .count() as u64;
+        let expected_low =
+            fused.unitaries().filter(|g| classify_gate(&g.qubits) == KernelClass::Low).count()
+                as u64;
         let expected_high = fused.num_unitaries() as u64 - expected_low;
         let (_, report) = run_flavor::<f32>(Flavor::Hip, &fused);
         assert_eq!(report.launches_matching("ApplyGateL_Kernel"), expected_low);
@@ -515,8 +598,7 @@ mod tests {
         c.add(2, GateKind::Measurement, &[0, 1]);
         let fused = fuse(&c, 2);
         for seed in 0..20 {
-            let (state, report) =
-                SimBackend::new(Flavor::Cuda)
+            let (state, report) = SimBackend::new(Flavor::Cuda)
                 .run::<f64>(&fused, &RunOptions { seed, sample_count: 0 })
                 .unwrap();
             assert_eq!(report.measurements.len(), 1);
@@ -552,8 +634,7 @@ mod tests {
     #[test]
     fn fusion_cost_is_small_fraction_at_paper_scale() {
         let fused = paper_fused(4);
-        let report =
-            SimBackend::new(Flavor::Hip).estimate(&fused, Precision::Single).unwrap();
+        let report = SimBackend::new(Flavor::Hip).estimate(&fused, Precision::Single).unwrap();
         assert!(report.fusion_seconds > 0.0);
         assert!(
             report.fusion_fraction() < 0.02,
@@ -660,6 +741,96 @@ mod tests {
         let (_, quiet) = backend.run::<f32>(&fused, &RunOptions::default()).unwrap();
         assert!(quiet.samples.is_empty());
         assert_eq!(quiet.launches_matching("SampleKernel"), 0);
+    }
+
+    #[test]
+    fn sweep_on_and_off_agree_bitwise_tightly() {
+        // The cache-blocked sweep must be numerically indistinguishable
+        // from per-gate execution on the CPU flavor.
+        let circuit = generate_rqc(&RqcOptions::for_qubits(12, 8, 11));
+        for max_f in [2, 3, 4] {
+            let fused = fuse(&circuit, max_f);
+            let mut off = SimBackend::new(Flavor::CpuAvx);
+            off.set_sweep_config(qsim_core::sweep::SweepConfig::disabled());
+            let (ref_state, ref_report) = off.run::<f64>(&fused, &RunOptions::default()).unwrap();
+
+            // Small blocks exercise real multi-block runs at 12 qubits.
+            let mut on = SimBackend::new(Flavor::CpuAvx);
+            on.set_sweep_config(qsim_core::sweep::SweepConfig::with_block_amps(1 << 8));
+            let (state, report) = on.run::<f64>(&fused, &RunOptions::default()).unwrap();
+
+            let diff = ref_state.max_abs_diff(&state);
+            assert!(diff < 1e-12, "f={max_f}: sweep diverges by {diff}");
+            // Same modeled launch sequence either way…
+            assert_eq!(report.kernels, ref_report.kernels, "f={max_f}");
+            assert_eq!(report.simulated_seconds, ref_report.simulated_seconds);
+            // …but fewer full passes over the state.
+            assert_eq!(ref_report.state_passes, ref_report.fused_gates as u64);
+            assert!(
+                report.state_passes < report.fused_gates as u64,
+                "f={max_f}: sweep formed no runs ({} passes for {} gates)",
+                report.state_passes,
+                report.fused_gates
+            );
+            assert_eq!(report.passes_saved(), ref_report.state_passes - report.state_passes);
+        }
+    }
+
+    #[test]
+    fn estimate_and_run_agree_on_state_passes() {
+        let circuit = generate_rqc(&RqcOptions::for_qubits(12, 6, 4));
+        let fused = fuse(&circuit, 3);
+        for flavor in Flavor::all() {
+            let backend = SimBackend::new(flavor);
+            let (_, run) = backend.run::<f32>(&fused, &RunOptions::default()).unwrap();
+            let est = backend.estimate(&fused, Precision::Single).unwrap();
+            assert_eq!(run.state_passes, est.state_passes, "{flavor:?}");
+            if flavor == Flavor::CpuAvx {
+                // Default config (2^16-amplitude blocks) makes every gate
+                // of a 12-qubit circuit block-local: barriers only come
+                // from measurements, so passes < gates.
+                assert!(run.state_passes < run.fused_gates as u64);
+            } else {
+                assert_eq!(run.state_passes, run.fused_gates as u64, "{flavor:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_pass_counter_matches_report() {
+        let circuit = generate_rqc(&RqcOptions::for_qubits(11, 6, 2));
+        let fused = fuse(&circuit, 3);
+        let backend = SimBackend::new(Flavor::CpuAvx);
+        let opts = RunOptions { seed: 3, sample_count: 100 };
+        let (_, report) = backend.run::<f32>(&fused, &opts).unwrap();
+        // Device-level accumulation = gate passes + SetStateKernel +
+        // SampleKernel (one pass each).
+        assert_eq!(backend.gpu().state_passes(), report.state_passes as f64 + 2.0);
+    }
+
+    #[test]
+    fn sweep_respects_measurement_barriers() {
+        use qsim_circuit::gates::GateKind;
+        use qsim_circuit::Circuit;
+
+        let mut c = Circuit::new(2);
+        c.add(0, GateKind::H, &[0]);
+        c.add(1, GateKind::Cnot, &[0, 1]);
+        c.add(2, GateKind::Measurement, &[0, 1]);
+        c.add(3, GateKind::H, &[0]);
+        c.add(4, GateKind::H, &[1]);
+        let fused = fuse(&c, 1);
+        let backend = SimBackend::new(Flavor::CpuAvx);
+        let (state, report) =
+            backend.run::<f64>(&fused, &RunOptions { seed: 7, sample_count: 0 }).unwrap();
+        // Post-measurement gates must see the collapsed state: |b0 b1⟩
+        // through H⊗H has all amplitudes at magnitude 1/2.
+        for i in 0..4 {
+            assert!((state.amplitude(i).abs() - 0.5).abs() < 1e-12);
+        }
+        // Two runs (before and after the measurement barrier).
+        assert_eq!(report.state_passes, 2);
+        assert_eq!(report.measurements.len(), 1);
     }
 
     #[test]

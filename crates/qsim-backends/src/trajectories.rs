@@ -11,13 +11,13 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use qsim_circuit::Circuit;
 use qsim_core::kernels::apply_gate_par;
 use qsim_core::noise::{amplitude_damping, depolarizing, phase_damping, KrausChannel};
 use qsim_core::observables::PauliSum;
 use qsim_core::statespace;
 use qsim_core::types::Float;
 use qsim_core::StateVector;
-use qsim_circuit::Circuit;
 
 /// Per-qubit noise applied after every gate that touches the qubit.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -144,9 +144,9 @@ impl TrajectoryRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qsim_core::observables::{Pauli, PauliString};
     use qsim_circuit::gates::GateKind;
     use qsim_circuit::library;
+    use qsim_core::observables::{Pauli, PauliString};
 
     #[test]
     fn ideal_trajectories_match_plain_simulation() {

@@ -13,12 +13,12 @@
 //! — no finite-difference error, and evaluable on hardware, which is why
 //! variational algorithms use it.
 
+use qsim_circuit::params::ParamCircuit;
+use qsim_circuit::Circuit;
 use qsim_core::kernels::apply_gate_par;
 use qsim_core::observables::PauliSum;
 use qsim_core::types::Float;
 use qsim_core::StateVector;
-use qsim_circuit::params::ParamCircuit;
-use qsim_circuit::Circuit;
 
 /// Simulate a (bound) circuit from `|0…0⟩` and return the final state.
 pub fn simulate_ideal<F: Float>(circuit: &Circuit) -> StateVector<F> {
@@ -104,9 +104,9 @@ pub fn gradient_descent_step(values: &mut [f64], grad: &[f64], learning_rate: f6
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qsim_core::observables::{Pauli, PauliString};
     use qsim_circuit::params::{PGate, Param};
     use qsim_circuit::GateKind;
+    use qsim_core::observables::{Pauli, PauliString};
 
     fn z0() -> PauliSum {
         let mut s = PauliSum::new();
@@ -152,14 +152,9 @@ mod tests {
             up[i] += eps;
             let mut down = values;
             down[i] -= eps;
-            let fd = (expectation::<f64>(&pc, &up, &obs)
-                - expectation::<f64>(&pc, &down, &obs))
+            let fd = (expectation::<f64>(&pc, &up, &obs) - expectation::<f64>(&pc, &down, &obs))
                 / (2.0 * eps);
-            assert!(
-                (grad[i] - fd).abs() < 1e-6,
-                "param {i}: shift {} vs fd {fd}",
-                grad[i]
-            );
+            assert!((grad[i] - fd).abs() < 1e-6, "param {i}: shift {} vs fd {fd}", grad[i]);
         }
     }
 

@@ -5,10 +5,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
+use qsim_circuit::gates::GateKind;
 use qsim_core::kernels::{apply_gate_par, apply_gate_seq};
 use qsim_core::matrix::GateMatrix;
 use qsim_core::StateVector;
-use qsim_circuit::gates::GateKind;
 
 const N: usize = 20; // 1M amplitudes, 8 MB in f32
 

@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use qsim_circuit::{generate_rqc, RqcOptions};
 use qsim_core::statespace::{inner_product, norm_sqr, sample};
 use qsim_core::StateVector;
-use qsim_circuit::{generate_rqc, RqcOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -20,16 +20,13 @@ fn main() {
     let sweep = fused_sweep(&circuit);
     let cuda: Vec<f64> =
         sweep.iter().map(|fc| modeled_seconds(Flavor::Cuda, fc, Precision::Single)).collect();
-    let cusv: Vec<f64> = sweep
-        .iter()
-        .map(|fc| modeled_seconds(Flavor::CuStateVec, fc, Precision::Single))
-        .collect();
+    let cusv: Vec<f64> =
+        sweep.iter().map(|fc| modeled_seconds(Flavor::CuStateVec, fc, Precision::Single)).collect();
     let hip: Vec<f64> =
         sweep.iter().map(|fc| modeled_seconds(Flavor::Hip, fc, Precision::Single)).collect();
 
     let gap: Vec<f64> = hip.iter().zip(&cuda).map(|(h, c)| 100.0 * (h / c - 1.0)).collect();
-    let cusv_adv: Vec<f64> =
-        cuda.iter().zip(&cusv).map(|(c, v)| 100.0 * (1.0 - v / c)).collect();
+    let cusv_adv: Vec<f64> = cuda.iter().zip(&cusv).map(|(c, v)| 100.0 * (1.0 - v / c)).collect();
 
     let series = vec![
         Series::new("A100, CUDA backend", cuda.clone()),

@@ -54,13 +54,16 @@ fn main() {
     for s in &series {
         let d: f64 = s.label.split_whitespace().next().unwrap().parse().unwrap();
         let eff = t1 / (s.values[f4] * d);
-        println!("  {:<10} {:>8.3} s   parallel efficiency {:>5.1} %", s.label, s.values[f4], 100.0 * eff);
+        println!(
+            "  {:<10} {:>8.3} s   parallel efficiency {:>5.1} %",
+            s.label,
+            s.values[f4],
+            100.0 * eff
+        );
     }
     let swaps = {
         let fused = fuse(&circuit, 4);
-        MultiGcdBackend::new(Flavor::Hip, 4)
-            .estimate(&fused, Precision::Single)
-            .expect("estimate")
+        MultiGcdBackend::new(Flavor::Hip, 4).estimate(&fused, Precision::Single).expect("estimate")
     };
     println!(
         "  at 4 GCDs: {} global-qubit swaps, {:.2} GiB exchanged per device",
@@ -78,8 +81,7 @@ fn main() {
         for n in 30..=qsim_core::statevec::MAX_QUBITS {
             let c = generate_rqc(&RqcOptions::for_qubits(n, 14, 2023));
             let fused = fuse(&c, 4);
-            match MultiGcdBackend::new(Flavor::Hip, devices).estimate(&fused, Precision::Single)
-            {
+            match MultiGcdBackend::new(Flavor::Hip, devices).estimate(&fused, Precision::Single) {
                 Ok(r) => best = Some((n, r.simulated_seconds)),
                 Err(BackendError::Gpu(_)) => break,
                 Err(e) => panic!("unexpected error: {e}"),

@@ -28,11 +28,7 @@ fn main() {
         "1638.4 GiB/s",
         &format!("{} GiB/s", mi.mem_bw_gib_s),
     );
-    row(
-        "Theoretical peak SP FLOPs per GCD",
-        "23.95 TFLOP/s",
-        &format!("{} TFLOP/s", mi.sp_tflops),
-    );
+    row("Theoretical peak SP FLOPs per GCD", "23.95 TFLOP/s", &format!("{} TFLOP/s", mi.sp_tflops));
     row("Nvidia GPU", "Nvidia A100", &a100.name);
     row("Memory per GPU", "40 GB HBM2", &gib(a100.memory_bytes));
     row(

@@ -57,9 +57,7 @@ fn main() {
     let profiler = Arc::new(Profiler::new());
     let backend = SimBackend::with_trace(Flavor::Hip, profiler.clone());
     let report = match functional {
-        Some(_) => {
-            backend.run::<f32>(&fused, &RunOptions::default()).expect("functional run").1
-        }
+        Some(_) => backend.run::<f32>(&fused, &RunOptions::default()).expect("functional run").1,
         None => backend.estimate(&fused, Precision::Single).expect("estimate"),
     };
 
@@ -83,10 +81,7 @@ fn main() {
             }
         );
     }
-    let copies = spans
-        .iter()
-        .filter(|s| s.kind != gpu_model::SpanKind::Kernel)
-        .count();
+    let copies = spans.iter().filter(|s| s.kind != gpu_model::SpanKind::Kernel).count();
     println!(
         "async copies in trace: {copies} (hipMemcpyAsync overlap on the copy stream, Figure 1)"
     );

@@ -33,7 +33,12 @@ impl GateOp {
     }
 
     /// Gate op with extra control qubits (all required to be `|1⟩`).
-    pub fn with_controls(time: usize, kind: GateKind, qubits: Vec<usize>, controls: Vec<usize>) -> Self {
+    pub fn with_controls(
+        time: usize,
+        kind: GateKind,
+        qubits: Vec<usize>,
+        controls: Vec<usize>,
+    ) -> Self {
         GateOp { time, kind, qubits, controls }
     }
 
@@ -157,10 +162,7 @@ impl Circuit {
             }
             for &q in &qs {
                 if slice_qubits.contains(&q) {
-                    return Err(format!(
-                        "op {i}: qubit {q} used twice in time slice {}",
-                        op.time
-                    ));
+                    return Err(format!("op {i}: qubit {q} used twice in time slice {}", op.time));
                 }
                 slice_qubits.push(q);
             }

@@ -128,10 +128,16 @@ impl GateKind {
     pub fn matrix<F: Float>(&self) -> Option<GateMatrix<F>> {
         let h = FRAC_1_SQRT_2;
         let m = match *self {
-            GateKind::Id => GateMatrix::from_f64_pairs(2, &[(1., 0.), (0., 0.), (0., 0.), (1., 0.)]),
+            GateKind::Id => {
+                GateMatrix::from_f64_pairs(2, &[(1., 0.), (0., 0.), (0., 0.), (1., 0.)])
+            }
             GateKind::X => GateMatrix::from_f64_pairs(2, &[(0., 0.), (1., 0.), (1., 0.), (0., 0.)]),
-            GateKind::Y => GateMatrix::from_f64_pairs(2, &[(0., 0.), (0., -1.), (0., 1.), (0., 0.)]),
-            GateKind::Z => GateMatrix::from_f64_pairs(2, &[(1., 0.), (0., 0.), (0., 0.), (-1., 0.)]),
+            GateKind::Y => {
+                GateMatrix::from_f64_pairs(2, &[(0., 0.), (0., -1.), (0., 1.), (0., 0.)])
+            }
+            GateKind::Z => {
+                GateMatrix::from_f64_pairs(2, &[(1., 0.), (0., 0.), (0., 0.), (-1., 0.)])
+            }
             GateKind::H => GateMatrix::from_f64_pairs(2, &[(h, 0.), (h, 0.), (h, 0.), (-h, 0.)]),
             GateKind::S => GateMatrix::from_f64_pairs(2, &[(1., 0.), (0., 0.), (0., 0.), (0., 1.)]),
             GateKind::T => {
@@ -139,18 +145,15 @@ impl GateKind {
                 let s = FRAC_PI_4.sin();
                 GateMatrix::from_f64_pairs(2, &[(1., 0.), (0., 0.), (0., 0.), (c, s)])
             }
-            GateKind::X12 => GateMatrix::from_f64_pairs(
-                2,
-                &[(0.5, 0.5), (0.5, -0.5), (0.5, -0.5), (0.5, 0.5)],
-            ),
-            GateKind::Y12 => GateMatrix::from_f64_pairs(
-                2,
-                &[(0.5, 0.5), (-0.5, -0.5), (0.5, 0.5), (0.5, 0.5)],
-            ),
-            GateKind::Hz12 => GateMatrix::from_f64_pairs(
-                2,
-                &[(0.5, 0.5), (0., -h), (h, 0.), (0.5, 0.5)],
-            ),
+            GateKind::X12 => {
+                GateMatrix::from_f64_pairs(2, &[(0.5, 0.5), (0.5, -0.5), (0.5, -0.5), (0.5, 0.5)])
+            }
+            GateKind::Y12 => {
+                GateMatrix::from_f64_pairs(2, &[(0.5, 0.5), (-0.5, -0.5), (0.5, 0.5), (0.5, 0.5)])
+            }
+            GateKind::Hz12 => {
+                GateMatrix::from_f64_pairs(2, &[(0.5, 0.5), (0., -h), (h, 0.), (0.5, 0.5)])
+            }
             GateKind::Rx(t) => {
                 let c = (t / 2.0).cos();
                 let s = (t / 2.0).sin();
@@ -172,12 +175,7 @@ impl GateKind {
                 // -i e^{∓iφ} sin(θ/2) off-diagonals.
                 GateMatrix::from_f64_pairs(
                     2,
-                    &[
-                        (c, 0.),
-                        (-s * p.sin(), -s * p.cos()),
-                        (s * p.sin(), -s * p.cos()),
-                        (c, 0.),
-                    ],
+                    &[(c, 0.), (-s * p.sin(), -s * p.cos()), (s * p.sin(), -s * p.cos()), (c, 0.)],
                 )
             }
             GateKind::Cz => {
@@ -221,10 +219,22 @@ impl GateKind {
                 GateMatrix::from_f64_pairs(
                     4,
                     &[
-                        (1., 0.), (0., 0.), (0., 0.), (0., 0.),
-                        (0., 0.), (c, 0.), (0., -s), (0., 0.),
-                        (0., 0.), (0., -s), (c, 0.), (0., 0.),
-                        (0., 0.), (0., 0.), (0., 0.), (p.cos(), -p.sin()),
+                        (1., 0.),
+                        (0., 0.),
+                        (0., 0.),
+                        (0., 0.),
+                        (0., 0.),
+                        (c, 0.),
+                        (0., -s),
+                        (0., 0.),
+                        (0., 0.),
+                        (0., -s),
+                        (c, 0.),
+                        (0., 0.),
+                        (0., 0.),
+                        (0., 0.),
+                        (0., 0.),
+                        (p.cos(), -p.sin()),
                     ],
                 )
             }

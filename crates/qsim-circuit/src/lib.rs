@@ -13,14 +13,14 @@
 //!   interleaved with two-qubit fSim/CZ layers on alternating couplings);
 //! * [`library`] — standard circuits (GHZ, QFT, …) for tests and examples.
 
-pub mod gates;
-pub mod circuit;
 pub mod builder;
-pub mod parser;
-pub mod params;
-pub mod optimize;
-pub mod rqc;
+pub mod circuit;
+pub mod gates;
 pub mod library;
+pub mod optimize;
+pub mod params;
+pub mod parser;
+pub mod rqc;
 
 pub use builder::CircuitBuilder;
 pub use circuit::{Circuit, GateOp};

@@ -30,7 +30,13 @@ pub struct OptimizeStats {
 fn is_self_inverse(kind: GateKind) -> bool {
     matches!(
         kind,
-        GateKind::X | GateKind::Y | GateKind::Z | GateKind::H | GateKind::Cz | GateKind::Cnot | GateKind::Swap
+        GateKind::X
+            | GateKind::Y
+            | GateKind::Z
+            | GateKind::H
+            | GateKind::Cz
+            | GateKind::Cnot
+            | GateKind::Swap
     )
 }
 
@@ -75,8 +81,7 @@ fn sweep(num_qubits: usize, ops: &[GateOp]) -> (Vec<GateOp>, bool) {
         if !op.is_measurement() && op.controls.is_empty() {
             // The candidate predecessor must be the frontier of *all* of
             // this op's qubits and act on exactly the same qubit list.
-            let preds: Vec<Option<usize>> =
-                op.qubits.iter().map(|&q| frontier[q]).collect();
+            let preds: Vec<Option<usize>> = op.qubits.iter().map(|&q| frontier[q]).collect();
             if let Some(Some(p)) = preds.first().copied() {
                 let all_same = preds.iter().all(|&x| x == Some(p));
                 if all_same {
@@ -130,13 +135,8 @@ pub fn optimize(circuit: &Circuit) -> (Circuit, OptimizeStats) {
     let mut packed = Circuit::new(circuit.num_qubits);
     let mut frontier = vec![0usize; circuit.num_qubits];
     for op in &ops {
-        let time = op
-            .qubits
-            .iter()
-            .chain(op.controls.iter())
-            .map(|&q| frontier[q])
-            .max()
-            .unwrap_or(0);
+        let time =
+            op.qubits.iter().chain(op.controls.iter()).map(|&q| frontier[q]).max().unwrap_or(0);
         packed.ops.push(GateOp {
             time,
             kind: op.kind,
@@ -274,9 +274,7 @@ mod tests {
     #[test]
     fn measurement_is_a_barrier_for_optimization() {
         let mut c = Circuit::new(1);
-        c.push(GateKind::H, &[0])
-            .push(GateKind::Measurement, &[0])
-            .push(GateKind::H, &[0]);
+        c.push(GateKind::H, &[0]).push(GateKind::Measurement, &[0]).push(GateKind::H, &[0]);
         let (o, _) = optimize(&c);
         assert_eq!(o.num_gates(), 3, "H|M|H must survive");
     }

@@ -50,12 +50,10 @@ pub fn parse_circuit(text: &str) -> Result<Circuit, ParseError> {
         let mut tok = line.split_whitespace();
         match circuit {
             None => {
-                let n: usize = line
-                    .parse()
-                    .map_err(|_| ParseError {
-                        line: lineno,
-                        message: format!("expected qubit count, got '{line}'"),
-                    })?;
+                let n: usize = line.parse().map_err(|_| ParseError {
+                    line: lineno,
+                    message: format!("expected qubit count, got '{line}'"),
+                })?;
                 if n == 0 || n > qsim_core::statevec::MAX_QUBITS {
                     return err(lineno, format!("qubit count {n} out of supported range"));
                 }
@@ -116,10 +114,8 @@ fn parse_gate(line: usize, time: usize, name: &str, rest: &[&str]) -> Result<Gat
         if rest.is_empty() {
             return err(line, "measurement needs at least one qubit");
         }
-        let qubits = rest
-            .iter()
-            .map(|t| parse_usize(line, t, "qubit"))
-            .collect::<Result<Vec<_>, _>>()?;
+        let qubits =
+            rest.iter().map(|t| parse_usize(line, t, "qubit")).collect::<Result<Vec<_>, _>>()?;
         return Ok(GateOp::new(time, GateKind::Measurement, qubits));
     }
 
@@ -130,13 +126,14 @@ fn parse_gate(line: usize, time: usize, name: &str, rest: &[&str]) -> Result<Gat
     if rest.len() != nq + np {
         return err(
             line,
-            format!("gate '{name}' expects {nq} qubit(s) and {np} param(s), got {} token(s)", rest.len()),
+            format!(
+                "gate '{name}' expects {nq} qubit(s) and {np} param(s), got {} token(s)",
+                rest.len()
+            ),
         );
     }
-    let qubits = rest[..nq]
-        .iter()
-        .map(|t| parse_usize(line, t, "qubit"))
-        .collect::<Result<Vec<_>, _>>()?;
+    let qubits =
+        rest[..nq].iter().map(|t| parse_usize(line, t, "qubit")).collect::<Result<Vec<_>, _>>()?;
     let params = rest[nq..]
         .iter()
         .map(|t| parse_f64(line, t, "parameter"))

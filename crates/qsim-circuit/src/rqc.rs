@@ -57,7 +57,14 @@ impl RqcOptions {
     /// The paper's configuration: 30 qubits (5×6 grid), supremacy-depth
     /// 14 cycles, fSim entanglers.
     pub fn paper_q30() -> Self {
-        RqcOptions { rows: 5, cols: 6, cycles: 14, seed: 2023, entangler: Entangler::default(), measure: false }
+        RqcOptions {
+            rows: 5,
+            cols: 6,
+            cycles: 14,
+            seed: 2023,
+            entangler: Entangler::default(),
+            measure: false,
+        }
     }
 
     /// A near-square grid for `n` qubits (rows ≤ cols, rows·cols = n).
@@ -132,19 +139,20 @@ pub fn generate_rqc(opts: &RqcOptions) -> Circuit {
     let mut last = vec![3usize; n];
     let mut time = 0usize;
 
-    let single_layer = |circuit: &mut Circuit, time: usize, last: &mut [usize], rng: &mut StdRng| {
-        for (q, last_g) in last.iter_mut().enumerate() {
-            // Draw from the two gates ≠ last[q] (or all three initially).
-            let g = loop {
-                let g = rng.gen_range(0..3);
-                if g != *last_g {
-                    break g;
-                }
-            };
-            *last_g = g;
-            circuit.add(time, SQRT_GATES[g], &[q]);
-        }
-    };
+    let single_layer =
+        |circuit: &mut Circuit, time: usize, last: &mut [usize], rng: &mut StdRng| {
+            for (q, last_g) in last.iter_mut().enumerate() {
+                // Draw from the two gates ≠ last[q] (or all three initially).
+                let g = loop {
+                    let g = rng.gen_range(0..3);
+                    if g != *last_g {
+                        break g;
+                    }
+                };
+                *last_g = g;
+                circuit.add(time, SQRT_GATES[g], &[q]);
+            }
+        };
 
     for cycle in 0..opts.cycles {
         single_layer(&mut circuit, time, &mut last, &mut rng);
@@ -215,7 +223,7 @@ mod tests {
     fn pattern_pairs_are_disjoint_within_pattern() {
         for p in 0..4 {
             let pairs = pattern_pairs(5, 6, p);
-            let mut used = vec![false; 30];
+            let mut used = [false; 30];
             for (a, b) in pairs {
                 assert!(!used[a] && !used[b], "pattern {p} reuses a qubit");
                 used[a] = true;

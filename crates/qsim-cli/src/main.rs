@@ -11,7 +11,7 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use qsim_backends::{Backend, Flavor, RunOptions, RunReport, SimBackend};
+use qsim_backends::{Backend, Flavor, RunOptions, RunReport, SimBackend, SweepConfig};
 use qsim_circuit::parser::parse_circuit;
 use qsim_core::types::Precision;
 use qsim_fusion::fuse;
@@ -28,6 +28,8 @@ struct Args {
     sample_count: usize,
     estimate_only: bool,
     verbose: bool,
+    sweep_block: Option<usize>,
+    no_sweep: bool,
 }
 
 const USAGE: &str = "\
@@ -47,6 +49,9 @@ OPTIONS:
     -S N       sample N bitstrings from the final state (SampleKernel)
     -e         estimate only: model the timing without computing
                amplitudes (permits the paper's 30-qubit runs anywhere)
+    -B N       cache-blocked sweep block size in amplitudes, a power of
+               two (cpu backend; default 65536)
+    --no-sweep disable the cache-blocked sweep: one pass per fused gate
     -v         print per-kernel statistics
     -h         this help
 ";
@@ -63,18 +68,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         sample_count: 0,
         estimate_only: false,
         verbose: false,
+        sweep_block: None,
+        no_sweep: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().cloned().ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "-c" => args.circuit_file = value("-c")?,
             "-f" => {
-                args.max_fused = value("-f")?
-                    .parse()
-                    .map_err(|_| "-f expects an integer".to_string())?
+                args.max_fused =
+                    value("-f")?.parse().map_err(|_| "-f expects an integer".to_string())?
             }
             "-b" => {
                 args.backend = match value("-b")?.as_str() {
@@ -93,8 +98,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
             }
             "-s" => {
-                args.seed =
-                    value("-s")?.parse().map_err(|_| "-s expects an integer".to_string())?
+                args.seed = value("-s")?.parse().map_err(|_| "-s expects an integer".to_string())?
             }
             "-t" => args.trace_file = Some(value("-t")?),
             "-n" => {
@@ -106,6 +110,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     value("-S")?.parse().map_err(|_| "-S expects an integer".to_string())?
             }
             "-e" => args.estimate_only = true,
+            "-B" => {
+                let block: usize =
+                    value("-B")?.parse().map_err(|_| "-B expects an integer".to_string())?;
+                if !block.is_power_of_two() || block < 2 {
+                    return Err(format!("-B expects a power of two >= 2, got {block}"));
+                }
+                args.sweep_block = Some(block);
+            }
+            "--no-sweep" => args.no_sweep = true,
             "-v" => args.verbose = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown option '{other}'")),
@@ -123,6 +136,11 @@ fn print_report(report: &RunReport, verbose: bool, profiler: Option<&Profiler>) 
     println!("qubits:             {}", report.num_qubits);
     println!("max fused qubits:   {}", report.max_fused_qubits);
     println!("fused gate passes:  {}", report.fused_gates);
+    println!(
+        "state passes:       {} ({} saved by cache-blocked sweep)",
+        report.state_passes,
+        report.passes_saved()
+    );
     println!("state memory:       {:.3} GiB", report.state_bytes as f64 / (1u64 << 30) as f64);
     println!("simulated time:     {:.6} s (device model)", report.simulated_seconds);
     println!(
@@ -179,10 +197,15 @@ fn run(args: &Args) -> Result<(), String> {
     );
 
     let profiler = args.trace_file.as_ref().map(|_| Arc::new(Profiler::new()));
-    let backend = match &profiler {
+    let mut backend = match &profiler {
         Some(p) => SimBackend::with_trace(args.backend, p.clone() as Arc<dyn gpu_model::TraceSink>),
         None => SimBackend::new(args.backend),
     };
+    if args.no_sweep {
+        backend.set_sweep_config(SweepConfig::disabled());
+    } else if let Some(block) = args.sweep_block {
+        backend.set_sweep_config(SweepConfig::with_block_amps(block));
+    }
     let opts = RunOptions { seed: args.seed, sample_count: args.sample_count };
 
     if args.estimate_only {

@@ -76,14 +76,7 @@ fn qsim_base_writes_perfetto_trace() {
     let circuit = write_bell();
     let trace = tmpfile("trace.json");
     let out = qsim_base()
-        .args([
-            "-c",
-            circuit.to_str().unwrap(),
-            "-b",
-            "cuda",
-            "-t",
-            trace.to_str().unwrap(),
-        ])
+        .args(["-c", circuit.to_str().unwrap(), "-b", "cuda", "-t", trace.to_str().unwrap()])
         .output()
         .expect("run qsim_base");
     assert!(out.status.success(), "stderr: {}", stderr(&out));

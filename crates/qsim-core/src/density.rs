@@ -136,10 +136,7 @@ impl<F: Float> DensityMatrix<F> {
         assert!(qubit < self.num_qubits, "qubit out of range");
         let len = 1usize << self.num_qubits;
         let mask = 1usize << qubit;
-        (0..len)
-            .filter(|i| i & mask != 0)
-            .map(|i| self.get(i, i).re.to_f64())
-            .sum()
+        (0..len).filter(|i| i & mask != 0).map(|i| self.get(i, i).re.to_f64()).sum()
     }
 
     /// The diagonal (outcome probabilities), in `f64`.

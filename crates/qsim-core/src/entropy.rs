@@ -18,10 +18,7 @@ pub fn partial_trace<F: Float>(state: &StateVector<F>, keep: &[usize]) -> Densit
     assert!(keep.windows(2).all(|w| w[0] < w[1]), "keep must be sorted ascending and distinct");
     assert!(keep.iter().all(|&q| q < n), "kept qubit out of range");
     let k = keep.len();
-    assert!(
-        k <= crate::density::MAX_DENSITY_QUBITS,
-        "reduced system too large ({k} qubits)"
-    );
+    assert!(k <= crate::density::MAX_DENSITY_QUBITS, "reduced system too large ({k} qubits)");
 
     let traced: Vec<usize> = (0..n).filter(|q| !keep.contains(q)).collect();
     let dim = 1usize << k;
@@ -29,11 +26,7 @@ pub fn partial_trace<F: Float>(state: &StateVector<F>, keep: &[usize]) -> Densit
 
     // ρ_A[r, c] = Σ_b ψ[r ⊗ b] · conj(ψ[c ⊗ b])
     for b in 0..1usize << traced.len() {
-        let env: usize = traced
-            .iter()
-            .enumerate()
-            .map(|(j, &q)| ((b >> j) & 1) << q)
-            .sum();
+        let env: usize = traced.iter().enumerate().map(|(j, &q)| ((b >> j) & 1) << q).sum();
         for r in 0..dim {
             let ri = env | crate::matrix::deposit_bits(r, keep);
             let ar = state.amplitude(ri).to_f64();
@@ -53,9 +46,7 @@ pub fn hermitian_eigenvalues(rho: &DensityMatrix<f64>) -> Vec<f64> {
     let n = rho.num_qubits();
     let dim = 1usize << n;
     // Work on a dense row-major copy.
-    let mut a: Vec<Cplx<f64>> = (0..dim * dim)
-        .map(|idx| rho.get(idx / dim, idx % dim))
-        .collect();
+    let mut a: Vec<Cplx<f64>> = (0..dim * dim).map(|idx| rho.get(idx / dim, idx % dim)).collect();
     let at = |a: &[Cplx<f64>], r: usize, c: usize| a[r * dim + c];
 
     for _sweep in 0..60 {
@@ -107,11 +98,7 @@ pub fn hermitian_eigenvalues(rho: &DensityMatrix<f64>) -> Vec<f64> {
 
 /// Von Neumann entropy `S(ρ) = −Σ λ log₂ λ` in **bits**.
 pub fn von_neumann_entropy(rho: &DensityMatrix<f64>) -> f64 {
-    hermitian_eigenvalues(rho)
-        .into_iter()
-        .filter(|&l| l > 1e-14)
-        .map(|l| -l * l.log2())
-        .sum()
+    hermitian_eigenvalues(rho).into_iter().filter(|&l| l > 1e-14).map(|l| -l * l.log2()).sum()
 }
 
 /// Entanglement entropy of `keep` within a pure state, in bits.
@@ -175,10 +162,22 @@ mod tests {
         let fsim = crate::matrix::GateMatrix::from_f64_pairs(
             4,
             &[
-                (1., 0.), (0., 0.), (0., 0.), (0., 0.),
-                (0., 0.), (0.2, 0.), (0., -0.9798), (0., 0.),
-                (0., 0.), (0., -0.9798), (0.2, 0.), (0., 0.),
-                (0., 0.), (0., 0.), (0., 0.), (0.36, -0.933),
+                (1., 0.),
+                (0., 0.),
+                (0., 0.),
+                (0., 0.),
+                (0., 0.),
+                (0.2, 0.),
+                (0., -0.9798),
+                (0., 0.),
+                (0., 0.),
+                (0., -0.9798),
+                (0.2, 0.),
+                (0., 0.),
+                (0., 0.),
+                (0., 0.),
+                (0., 0.),
+                (0.36, -0.933),
             ],
         );
         apply_gate_seq(&mut sv, &[0, 2], &fsim);
@@ -202,12 +201,7 @@ mod tests {
         // Build as mixture: 0.7|+⟩⟨+| + 0.3|−⟩⟨−| = H diag(0.7,0.3) H.
         let mut rho = DensityMatrix::from_vectorized(
             1,
-            vec![
-                Cplx::new(0.7, 0.0),
-                Cplx::zero(),
-                Cplx::zero(),
-                Cplx::new(0.3, 0.0),
-            ],
+            vec![Cplx::new(0.7, 0.0), Cplx::zero(), Cplx::zero(), Cplx::new(0.3, 0.0)],
         );
         rho.apply_unitary(&[0], &h_matrix());
         let eigs = hermitian_eigenvalues(&rho);

@@ -135,7 +135,16 @@ fn group_offsets(qubits: &[usize]) -> Vec<usize> {
 }
 
 /// Validated gate-application parameters shared by all kernel variants.
-struct GatePlan {
+///
+/// A plan depends only on the register size and the qubit indices — not on
+/// the matrix entries or the scalar precision — so it can be built once and
+/// reused across trajectories, repeated circuit layers, and precisions
+/// (see [`crate::sweep::SweepExecutor`], which caches plans this way).
+pub struct GatePlan {
+    /// Register size the plan was built for (amplitude slice = `2^n`).
+    n: usize,
+    /// Gate dimension (`2^k` for a `k`-qubit gate).
+    dim: usize,
     /// Sorted union of targets and controls (positions to strip from the
     /// group index).
     strip: Vec<usize>,
@@ -147,6 +156,74 @@ struct GatePlan {
     num_groups: usize,
 }
 
+impl GatePlan {
+    /// Validate and precompute the group decomposition of a gate on
+    /// `qubits` (with optional `controls`) over an `n`-qubit register.
+    /// `matrix_dim` is the dimension of the matrix that will be applied
+    /// (`2^k`); passing it here keeps the validation in one place without
+    /// tying the plan to a concrete matrix.
+    pub fn new(
+        n: usize,
+        qubits: &[usize],
+        controls: &[usize],
+        control_values: usize,
+        matrix_dim: usize,
+    ) -> GatePlan {
+        let k = qubits.len();
+        assert!(
+            (1..=MAX_GATE_QUBITS).contains(&k),
+            "gate must act on 1..={MAX_GATE_QUBITS} qubits, got {k}"
+        );
+        assert_eq!(matrix_dim, 1usize << k, "matrix dimension does not match qubit count");
+        assert!(
+            qubits.windows(2).all(|w| w[0] < w[1]),
+            "target qubits must be sorted ascending and distinct: {qubits:?}"
+        );
+        assert!(qubits.iter().all(|&q| q < n), "target qubit out of range for {n}-qubit state");
+        assert!(controls.iter().all(|&q| q < n), "control qubit out of range for {n}-qubit state");
+        assert!(
+            controls.iter().all(|c| !qubits.contains(c)),
+            "control qubits must not overlap target qubits"
+        );
+        assert!(
+            control_values < (1usize << controls.len().max(1)) || controls.is_empty(),
+            "control_values has bits beyond the control count"
+        );
+
+        let mut strip: Vec<usize> = qubits.iter().chain(controls.iter()).copied().collect();
+        strip.sort_unstable();
+        debug_assert!(strip.windows(2).all(|w| w[0] < w[1]));
+
+        let mut control_mask = 0usize;
+        for (j, &c) in controls.iter().enumerate() {
+            if (control_values >> j) & 1 == 1 {
+                control_mask |= 1usize << c;
+            }
+        }
+
+        let num_groups = 1usize << (n - strip.len());
+        GatePlan {
+            n,
+            dim: 1usize << k,
+            strip,
+            offsets: group_offsets(qubits),
+            control_mask,
+            num_groups,
+        }
+    }
+
+    /// Register size (`log2` of the amplitude-slice length) this plan
+    /// decomposes.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of disjoint amplitude groups.
+    pub fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+}
+
 fn plan<F: Float>(
     n: usize,
     qubits: &[usize],
@@ -154,37 +231,7 @@ fn plan<F: Float>(
     control_values: usize,
     matrix: &GateMatrix<F>,
 ) -> GatePlan {
-    let k = qubits.len();
-    assert!((1..=MAX_GATE_QUBITS).contains(&k), "gate must act on 1..={MAX_GATE_QUBITS} qubits, got {k}");
-    assert_eq!(matrix.dim(), 1usize << k, "matrix dimension does not match qubit count");
-    assert!(
-        qubits.windows(2).all(|w| w[0] < w[1]),
-        "target qubits must be sorted ascending and distinct: {qubits:?}"
-    );
-    assert!(qubits.iter().all(|&q| q < n), "target qubit out of range for {n}-qubit state");
-    assert!(controls.iter().all(|&q| q < n), "control qubit out of range for {n}-qubit state");
-    assert!(
-        controls.iter().all(|c| !qubits.contains(c)),
-        "control qubits must not overlap target qubits"
-    );
-    assert!(
-        control_values < (1usize << controls.len().max(1)) || controls.is_empty(),
-        "control_values has bits beyond the control count"
-    );
-
-    let mut strip: Vec<usize> = qubits.iter().chain(controls.iter()).copied().collect();
-    strip.sort_unstable();
-    debug_assert!(strip.windows(2).all(|w| w[0] < w[1]));
-
-    let mut control_mask = 0usize;
-    for (j, &c) in controls.iter().enumerate() {
-        if (control_values >> j) & 1 == 1 {
-            control_mask |= 1usize << c;
-        }
-    }
-
-    let num_groups = 1usize << (n - strip.len());
-    GatePlan { strip, offsets: group_offsets(qubits), control_mask, num_groups }
+    GatePlan::new(n, qubits, controls, control_values, matrix.dim())
 }
 
 /// Process one amplitude group in place (dynamic gate size).
@@ -239,7 +286,7 @@ fn apply_group_fixed<F: Float, const DIM: usize>(
 
 /// Whether a gate matrix is diagonal (within exact zero off-diagonals —
 /// fused CZ/CPhase/Rz chains produce exactly-zero entries).
-fn is_diagonal<F: Float>(matrix: &GateMatrix<F>) -> bool {
+pub fn is_diagonal<F: Float>(matrix: &GateMatrix<F>) -> bool {
     let dim = matrix.dim();
     for r in 0..dim {
         for c in 0..dim {
@@ -257,8 +304,15 @@ fn is_diagonal<F: Float>(matrix: &GateMatrix<F>) -> bool {
 /// Diagonal-gate fast path: one linear sweep, no gather/scatter, no
 /// group decomposition — each amplitude is scaled by the diagonal entry
 /// selected by its target-qubit bits (qsim's specialized diagonal
-/// kernels).
-fn apply_diagonal_seq<F: Float>(amps: &mut [Cplx<F>], qubits: &[usize], matrix: &GateMatrix<F>) {
+/// kernels). Also correct on any *aligned* `2^m`-amplitude sub-block of a
+/// larger state as long as all target qubits are `< m` (the low `m` index
+/// bits are preserved within such a block), which is how the cache-blocked
+/// sweep applies diagonal gates block-locally.
+pub fn apply_diagonal_seq<F: Float>(
+    amps: &mut [Cplx<F>],
+    qubits: &[usize],
+    matrix: &GateMatrix<F>,
+) {
     let dim = matrix.dim();
     let mut diag = [Cplx::<F>::zero(); 1 << MAX_GATE_QUBITS];
     for (m, d) in diag.iter_mut().take(dim).enumerate() {
@@ -293,7 +347,11 @@ fn slice_qubits<F>(amps: &[Cplx<F>]) -> usize {
 
 /// Apply a `k`-qubit gate sequentially (the reference implementation every
 /// backend is validated against).
-pub fn apply_gate_seq<F: Float>(state: &mut StateVector<F>, qubits: &[usize], matrix: &GateMatrix<F>) {
+pub fn apply_gate_seq<F: Float>(
+    state: &mut StateVector<F>,
+    qubits: &[usize],
+    matrix: &GateMatrix<F>,
+) {
     apply_controlled_gate_slice_seq(state.amplitudes_mut(), qubits, &[], 0, matrix)
 }
 
@@ -307,12 +365,22 @@ pub fn apply_controlled_gate_seq<F: Float>(
     control_values: usize,
     matrix: &GateMatrix<F>,
 ) {
-    apply_controlled_gate_slice_seq(state.amplitudes_mut(), qubits, controls, control_values, matrix)
+    apply_controlled_gate_slice_seq(
+        state.amplitudes_mut(),
+        qubits,
+        controls,
+        control_values,
+        matrix,
+    )
 }
 
 /// Slice-based variant of [`apply_gate_seq`] for callers that keep
 /// amplitudes in their own storage (e.g. a simulated device buffer).
-pub fn apply_gate_slice_seq<F: Float>(amps: &mut [Cplx<F>], qubits: &[usize], matrix: &GateMatrix<F>) {
+pub fn apply_gate_slice_seq<F: Float>(
+    amps: &mut [Cplx<F>],
+    qubits: &[usize],
+    matrix: &GateMatrix<F>,
+) {
     apply_controlled_gate_slice_seq(amps, qubits, &[], 0, matrix)
 }
 
@@ -329,6 +397,20 @@ pub fn apply_controlled_gate_slice_seq<F: Float>(
     if controls.is_empty() && is_diagonal(matrix) {
         return apply_diagonal_seq(amps, qubits, matrix);
     }
+    apply_plan_seq(amps, &p, matrix);
+}
+
+/// Apply a pre-planned gate to `amps` sequentially: every group of the
+/// plan's decomposition gets the `dim × dim` matrix-vector product, with
+/// the gate dimension monomorphized exactly as in the one-shot kernels.
+///
+/// `amps` must be `2^n` long for the `n` the plan was built with — either
+/// the full register, or one aligned cache block when the plan was built
+/// for the block size (the cache-blocked sweep's hot path, where this runs
+/// once per block while the block is cache-resident).
+pub fn apply_plan_seq<F: Float>(amps: &mut [Cplx<F>], p: &GatePlan, matrix: &GateMatrix<F>) {
+    debug_assert_eq!(amps.len(), 1usize << p.n, "amplitude slice does not match the plan");
+    assert_eq!(matrix.dim(), p.dim, "matrix dimension does not match the plan");
     fn run<F: Float, const DIM: usize>(amps: &mut [Cplx<F>], p: &GatePlan, mat: &[Cplx<F>]) {
         for g in 0..p.num_groups {
             let base = insert_zero_bits(g, &p.strip) | p.control_mask;
@@ -336,13 +418,13 @@ pub fn apply_controlled_gate_slice_seq<F: Float>(
         }
     }
     let mat = matrix.as_slice();
-    match qubits.len() {
-        1 => run::<F, 2>(amps, &p, mat),
-        2 => run::<F, 4>(amps, &p, mat),
-        3 => run::<F, 8>(amps, &p, mat),
-        4 => run::<F, 16>(amps, &p, mat),
-        5 => run::<F, 32>(amps, &p, mat),
-        6 => run::<F, 64>(amps, &p, mat),
+    match p.dim {
+        2 => run::<F, 2>(amps, p, mat),
+        4 => run::<F, 4>(amps, p, mat),
+        8 => run::<F, 8>(amps, p, mat),
+        16 => run::<F, 16>(amps, p, mat),
+        32 => run::<F, 32>(amps, p, mat),
+        64 => run::<F, 64>(amps, p, mat),
         _ => {
             let mut scratch = [Cplx::zero(); 1 << MAX_GATE_QUBITS];
             for g in 0..p.num_groups {
@@ -371,7 +453,11 @@ impl<F> AmpsPtr<F> {
 
 /// Apply a `k`-qubit gate using all cores (rayon). Falls back to the
 /// sequential kernel for small states.
-pub fn apply_gate_par<F: Float>(state: &mut StateVector<F>, qubits: &[usize], matrix: &GateMatrix<F>) {
+pub fn apply_gate_par<F: Float>(
+    state: &mut StateVector<F>,
+    qubits: &[usize],
+    matrix: &GateMatrix<F>,
+) {
     apply_controlled_gate_slice_par(state.amplitudes_mut(), qubits, &[], 0, matrix)
 }
 
@@ -384,11 +470,21 @@ pub fn apply_controlled_gate_par<F: Float>(
     control_values: usize,
     matrix: &GateMatrix<F>,
 ) {
-    apply_controlled_gate_slice_par(state.amplitudes_mut(), qubits, controls, control_values, matrix)
+    apply_controlled_gate_slice_par(
+        state.amplitudes_mut(),
+        qubits,
+        controls,
+        control_values,
+        matrix,
+    )
 }
 
 /// Slice-based variant of [`apply_gate_par`].
-pub fn apply_gate_slice_par<F: Float>(amps: &mut [Cplx<F>], qubits: &[usize], matrix: &GateMatrix<F>) {
+pub fn apply_gate_slice_par<F: Float>(
+    amps: &mut [Cplx<F>],
+    qubits: &[usize],
+    matrix: &GateMatrix<F>,
+) {
     apply_controlled_gate_slice_par(amps, qubits, &[], 0, matrix)
 }
 
@@ -468,10 +564,22 @@ mod tests {
         GateMatrix::from_f64_pairs(
             4,
             &[
-                (1., 0.), (0., 0.), (0., 0.), (0., 0.),
-                (0., 0.), (0., 0.), (0., 0.), (1., 0.),
-                (0., 0.), (0., 0.), (1., 0.), (0., 0.),
-                (0., 0.), (1., 0.), (0., 0.), (0., 0.),
+                (1., 0.),
+                (0., 0.),
+                (0., 0.),
+                (0., 0.),
+                (0., 0.),
+                (0., 0.),
+                (0., 0.),
+                (1., 0.),
+                (0., 0.),
+                (0., 0.),
+                (1., 0.),
+                (0., 0.),
+                (0., 0.),
+                (1., 0.),
+                (0., 0.),
+                (0., 0.),
             ],
         )
     }
@@ -536,7 +644,8 @@ mod tests {
         // to the union of qubits.
         let mut rng_state = 0x9E3779B97F4A7C15u64;
         let mut rnd = || {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state =
+                rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             ((rng_state >> 33) as f64) / (1u64 << 31) as f64 - 1.0
         };
         let n = 5;
@@ -558,10 +667,22 @@ mod tests {
         let cx = GateMatrix::from_f64_pairs(
             4,
             &[
-                (1., 0.), (0., 0.), (0., 0.), (0., 0.),
-                (0., 0.), (1., 0.), (0., 0.), (0., 0.),
-                (0., 0.), (0., 0.), (0., 0.), (1., 0.),
-                (0., 0.), (0., 0.), (1., 0.), (0., 0.),
+                (1., 0.),
+                (0., 0.),
+                (0., 0.),
+                (0., 0.),
+                (0., 0.),
+                (1., 0.),
+                (0., 0.),
+                (0., 0.),
+                (0., 0.),
+                (0., 0.),
+                (0., 0.),
+                (1., 0.),
+                (0., 0.),
+                (0., 0.),
+                (1., 0.),
+                (0., 0.),
             ],
         );
         apply_gate_seq(&mut sv2, &[1, 3], &cx);
@@ -706,7 +827,7 @@ mod tests {
         let n = 8;
         for k in 1..=6usize {
             let qs: Vec<usize> = (0..k).map(|j| j + 1).collect(); // 1..=k
-            // A non-trivial unitary: tensor power of H with a phase twist.
+                                                                  // A non-trivial unitary: tensor power of H with a phase twist.
             let mut m = h_matrix();
             for _ in 1..k {
                 m = m.tensor_high(&h_matrix());

@@ -22,18 +22,23 @@
 //!   `ApplyGateH_Kernel` / `ApplyGateL_Kernel` division;
 //! * [`statespace`], state-space operations (norm, inner product, sampling,
 //!   measurement, expectation values) mirroring qsim's `StateSpace` class;
+//! * [`sweep`], a cache-blocked multi-gate sweep executor that applies runs
+//!   of consecutive low-qubit fused gates to cache-sized blocks in a single
+//!   pass over the state — the CPU analogue of the shared-memory
+//!   `ApplyGateL_Kernel` design;
 //! * [`noise`], quantum-trajectory noise channels (a qsim feature the paper
 //!   mentions as part of the simulator but does not benchmark).
 
-pub mod types;
-pub mod matrix;
-pub mod statevec;
-pub mod kernels;
-pub mod statespace;
-pub mod noise;
-pub mod observables;
 pub mod density;
 pub mod entropy;
+pub mod kernels;
+pub mod matrix;
+pub mod noise;
+pub mod observables;
+pub mod statespace;
+pub mod statevec;
+pub mod sweep;
+pub mod types;
 
 pub use matrix::GateMatrix;
 pub use statevec::StateVector;

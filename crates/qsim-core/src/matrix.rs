@@ -47,10 +47,7 @@ impl<F: Float> GateMatrix<F> {
     /// Build from row-major `(re, im)` pairs given as `f64` (gate tables).
     pub fn from_f64_pairs(dim: usize, entries: &[(f64, f64)]) -> Self {
         assert_eq!(entries.len(), dim * dim, "entry count must be dim^2");
-        GateMatrix {
-            dim,
-            data: entries.iter().map(|&(re, im)| Cplx::from_f64(re, im)).collect(),
-        }
+        GateMatrix { dim, data: entries.iter().map(|&(re, im)| Cplx::from_f64(re, im)).collect() }
     }
 
     /// Matrix dimension (`2^k`).
@@ -187,7 +184,10 @@ impl<F: Float> GateMatrix<F> {
     pub fn expand_to(&self, own_qubits: &[usize], target_qubits: &[usize]) -> GateMatrix<F> {
         assert_eq!(self.num_qubits(), own_qubits.len(), "qubit list does not match matrix size");
         debug_assert!(own_qubits.windows(2).all(|w| w[0] < w[1]), "own_qubits must be sorted");
-        debug_assert!(target_qubits.windows(2).all(|w| w[0] < w[1]), "target_qubits must be sorted");
+        debug_assert!(
+            target_qubits.windows(2).all(|w| w[0] < w[1]),
+            "target_qubits must be sorted"
+        );
 
         // Position of each own qubit within the target list.
         let pos: Vec<usize> = own_qubits
@@ -222,11 +222,7 @@ impl<F: Float> GateMatrix<F> {
     pub fn cast<G: Float>(&self) -> GateMatrix<G> {
         GateMatrix {
             dim: self.dim,
-            data: self
-                .data
-                .iter()
-                .map(|z| Cplx::from_f64(z.re.to_f64(), z.im.to_f64()))
-                .collect(),
+            data: self.data.iter().map(|z| Cplx::from_f64(z.re.to_f64(), z.im.to_f64())).collect(),
         }
     }
 }

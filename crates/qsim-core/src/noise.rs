@@ -106,28 +106,18 @@ pub fn depolarizing<F: Float>(qubit: usize, p: f64) -> KrausChannel<F> {
 /// Single-qubit amplitude-damping channel with decay probability `gamma`.
 pub fn amplitude_damping<F: Float>(qubit: usize, gamma: f64) -> KrausChannel<F> {
     assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0,1]");
-    let k0 = GateMatrix::from_f64_pairs(
-        2,
-        &[(1., 0.), (0., 0.), (0., 0.), ((1.0 - gamma).sqrt(), 0.)],
-    );
-    let k1 = GateMatrix::from_f64_pairs(
-        2,
-        &[(0., 0.), (gamma.sqrt(), 0.), (0., 0.), (0., 0.)],
-    );
+    let k0 =
+        GateMatrix::from_f64_pairs(2, &[(1., 0.), (0., 0.), (0., 0.), ((1.0 - gamma).sqrt(), 0.)]);
+    let k1 = GateMatrix::from_f64_pairs(2, &[(0., 0.), (gamma.sqrt(), 0.), (0., 0.), (0., 0.)]);
     KrausChannel::new(vec![qubit], vec![k0, k1], 1e-10)
 }
 
 /// Single-qubit phase-damping (dephasing) channel.
 pub fn phase_damping<F: Float>(qubit: usize, lambda: f64) -> KrausChannel<F> {
     assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0,1]");
-    let k0 = GateMatrix::from_f64_pairs(
-        2,
-        &[(1., 0.), (0., 0.), (0., 0.), ((1.0 - lambda).sqrt(), 0.)],
-    );
-    let k1 = GateMatrix::from_f64_pairs(
-        2,
-        &[(0., 0.), (0., 0.), (0., 0.), (lambda.sqrt(), 0.)],
-    );
+    let k0 =
+        GateMatrix::from_f64_pairs(2, &[(1., 0.), (0., 0.), (0., 0.), ((1.0 - lambda).sqrt(), 0.)]);
+    let k1 = GateMatrix::from_f64_pairs(2, &[(0., 0.), (0., 0.), (0., 0.), (lambda.sqrt(), 0.)]);
     KrausChannel::new(vec![qubit], vec![k0, k1], 1e-10)
 }
 
@@ -221,10 +211,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "completeness")]
     fn invalid_kraus_set_rejected() {
-        let k = GateMatrix::<f64>::from_f64_pairs(
-            2,
-            &[(0.5, 0.), (0., 0.), (0., 0.), (0.5, 0.)],
-        );
+        let k = GateMatrix::<f64>::from_f64_pairs(2, &[(0.5, 0.), (0., 0.), (0., 0.), (0.5, 0.)]);
         let _ = KrausChannel::new(vec![0], vec![k], 1e-10);
     }
 }

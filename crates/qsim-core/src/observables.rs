@@ -51,10 +51,7 @@ impl PauliString {
     /// distinct).
     pub fn new(mut factors: Vec<(usize, Pauli)>) -> Self {
         factors.sort_by_key(|&(q, _)| q);
-        assert!(
-            factors.windows(2).all(|w| w[0].0 < w[1].0),
-            "duplicate qubit in Pauli string"
-        );
+        assert!(factors.windows(2).all(|w| w[0].0 < w[1].0), "duplicate qubit in Pauli string");
         PauliString { factors }
     }
 
@@ -230,8 +227,7 @@ impl PauliSum {
         for _ in 0..iterations {
             // w = (c·I - H) v
             let hv = h.matvec(&v);
-            let w: Vec<Cplx<f64>> =
-                v.iter().zip(&hv).map(|(x, y)| x.scale(c) - *y).collect();
+            let w: Vec<Cplx<f64>> = v.iter().zip(&hv).map(|(x, y)| x.scale(c) - *y).collect();
             let norm = w.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
             v = w.into_iter().map(|z| z.scale(1.0 / norm)).collect();
             // Rayleigh quotient of H.
@@ -259,10 +255,7 @@ mod tests {
         assert_eq!(PauliString::single(0, Pauli::Z).expectation(&sv), -1.0);
         assert_eq!(PauliString::single(1, Pauli::Z).expectation(&sv), 1.0);
         assert_eq!(PauliString::single(2, Pauli::Z).expectation(&sv), -1.0);
-        assert_eq!(
-            PauliString::two(0, Pauli::Z, 2, Pauli::Z).expectation(&sv),
-            1.0
-        );
+        assert_eq!(PauliString::two(0, Pauli::Z, 2, Pauli::Z).expectation(&sv), 1.0);
     }
 
     #[test]
@@ -315,12 +308,7 @@ mod tests {
             // Dense: ⟨ψ|P|ψ⟩ via matvec.
             let dense = string.dense_matrix::<f64>(n);
             let pv = dense.matvec(sv.amplitudes());
-            let slow: f64 = sv
-                .amplitudes()
-                .iter()
-                .zip(&pv)
-                .map(|(a, b)| (a.conj() * *b).re)
-                .sum();
+            let slow: f64 = sv.amplitudes().iter().zip(&pv).map(|(a, b)| (a.conj() * *b).re).sum();
             assert!((fast - slow).abs() < 1e-12, "{string:?}: {fast} vs {slow}");
         }
     }

@@ -12,6 +12,25 @@ use crate::matrix::extract_bits;
 use crate::statevec::StateVector;
 use crate::types::{Cplx, Float};
 
+/// Below this state size the cumulative-scan operations (sampling,
+/// measurement pick) and `probabilities` run sequentially: the whole
+/// state fits in cache and thread fan-out would dominate.
+const PAR_THRESHOLD_AMPS: usize = 1 << 12;
+
+/// Chunk length for parallel two-level cumulative scans.
+const SCAN_CHUNK_AMPS: usize = 1 << 14;
+
+/// Per-chunk `Σ|c_i|²` partial sums (in `f64`), computed in parallel.
+fn chunk_norm_sums<F: Float>(amps: &[Cplx<F>], chunk: usize) -> Vec<f64> {
+    let mut sums = vec![0.0f64; amps.len().div_ceil(chunk)];
+    sums.par_iter_mut().enumerate().with_min_len(1).for_each(|(ci, s)| {
+        let lo = ci * chunk;
+        let hi = (lo + chunk).min(amps.len());
+        *s = amps[lo..hi].iter().map(|a| a.norm_sqr().to_f64()).sum();
+    });
+    sums
+}
+
 /// Squared 2-norm `Σ|c_i|²` (1.0 for a valid quantum state). Parallel
 /// reduction, accumulated in `f64` regardless of state precision.
 pub fn norm_sqr<F: Float>(state: &StateVector<F>) -> f64 {
@@ -70,11 +89,7 @@ pub fn add_assign<F: Float>(dst: &mut StateVector<F>, src: &StateVector<F>) {
 /// Scale every amplitude by a real factor (qsim's `Multiply`).
 pub fn scale<F: Float>(state: &mut StateVector<F>, factor: f64) {
     let f = F::from_f64(factor);
-    state
-        .amplitudes_mut()
-        .par_iter_mut()
-        .with_min_len(4096)
-        .for_each(|a| *a = a.scale(f));
+    state.amplitudes_mut().par_iter_mut().with_min_len(4096).for_each(|a| *a = a.scale(f));
 }
 
 /// Probability that measuring `qubit` yields `|1⟩`.
@@ -96,9 +111,20 @@ pub fn expectation_z<F: Float>(state: &StateVector<F>, qubit: usize) -> f64 {
     1.0 - 2.0 * prob_one(state, qubit)
 }
 
-/// Full probability distribution over basis states (use only for small `n`).
+/// Full probability distribution over basis states (allocates `2^n`
+/// doubles — mind the memory at large `n`). Parallel above
+/// a small-state threshold.
 pub fn probabilities<F: Float>(state: &StateVector<F>) -> Vec<f64> {
-    state.amplitudes().iter().map(|a| a.norm_sqr().to_f64()).collect()
+    let amps = state.amplitudes();
+    if amps.len() < PAR_THRESHOLD_AMPS {
+        return amps.iter().map(|a| a.norm_sqr().to_f64()).collect();
+    }
+    let mut out = vec![0.0f64; amps.len()];
+    out.par_iter_mut()
+        .zip(amps.par_iter())
+        .with_min_len(4096)
+        .for_each(|(p, a)| *p = a.norm_sqr().to_f64());
+    out
 }
 
 /// Draw `num_samples` basis-state indices distributed as `|c_i|²` — the
@@ -114,6 +140,11 @@ pub fn sample<F: Float, R: Rng + ?Sized>(
 }
 
 /// Slice-based variant of [`sample`].
+///
+/// Above a small-state threshold the cumulative pass is chunk-parallel:
+/// per-chunk probability masses are reduced in parallel, a sequential
+/// prefix over the (few) chunk sums assigns each sorted target to its
+/// chunk, and the chunks then resolve their own targets concurrently.
 pub fn sample_slice<F: Float, R: Rng + ?Sized>(
     amps: &[Cplx<F>],
     num_samples: usize,
@@ -123,30 +154,84 @@ pub fn sample_slice<F: Float, R: Rng + ?Sized>(
         return Vec::new();
     }
     // (uniform, original position) sorted by uniform.
-    let mut targets: Vec<(f64, usize)> =
-        (0..num_samples).map(|s| (rng.gen::<f64>(), s)).collect();
+    let mut targets: Vec<(f64, usize)> = (0..num_samples).map(|s| (rng.gen::<f64>(), s)).collect();
     targets.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("uniforms are finite"));
 
     let mut out = vec![0u64; num_samples];
-    let mut cum = 0.0f64;
-    let mut t = 0usize;
     let total = norm_sqr_slice(amps); // tolerate slightly unnormalized states
-    for (i, a) in amps.iter().enumerate() {
-        cum += a.norm_sqr().to_f64() / total;
-        while t < num_samples && targets[t].0 < cum {
-            out[targets[t].1] = i as u64;
+
+    if amps.len() < PAR_THRESHOLD_AMPS {
+        let mut cum = 0.0f64;
+        let mut t = 0usize;
+        for (i, a) in amps.iter().enumerate() {
+            cum += a.norm_sqr().to_f64() / total;
+            while t < num_samples && targets[t].0 < cum {
+                out[targets[t].1] = i as u64;
+                t += 1;
+            }
+            if t == num_samples {
+                break;
+            }
+        }
+        // Float round-off can leave a few targets ≥ cum; they belong to
+        // the last basis state.
+        let last = (amps.len() - 1) as u64;
+        while t < num_samples {
+            out[targets[t].1] = last;
             t += 1;
         }
-        if t == num_samples {
-            break;
-        }
+        return out;
     }
-    // Float round-off can leave a few targets ≥ cum; they belong to the
-    // last basis state.
-    let last = (amps.len() - 1) as u64;
-    while t < num_samples {
-        out[targets[t].1] = last;
-        t += 1;
+
+    let chunk = SCAN_CHUNK_AMPS;
+    let sums = chunk_norm_sums(amps, chunk);
+    // Exclusive prefix of the normalized chunk masses: chunk `ci` owns
+    // cumulative range [starts[ci], starts[ci + 1]).
+    let mut starts = Vec::with_capacity(sums.len() + 1);
+    let mut acc = 0.0f64;
+    for s in &sums {
+        starts.push(acc);
+        acc += s / total;
+    }
+    starts.push(acc);
+
+    // Each chunk resolves its own target range (disjoint by construction)
+    // into (original sample position, basis index) pairs.
+    let mut per_chunk: Vec<Vec<(usize, u64)>> = vec![Vec::new(); sums.len()];
+    per_chunk.par_iter_mut().enumerate().with_min_len(1).for_each(|(ci, resolved)| {
+        let t0 = targets.partition_point(|t| t.0 < starts[ci]);
+        // The last chunk also absorbs round-off targets ≥ the total mass.
+        let t1 = if ci + 1 == sums.len() {
+            num_samples
+        } else {
+            targets.partition_point(|t| t.0 < starts[ci + 1])
+        };
+        if t0 == t1 {
+            return;
+        }
+        resolved.reserve(t1 - t0);
+        let lo = ci * chunk;
+        let hi = (lo + chunk).min(amps.len());
+        let mut cum = starts[ci];
+        let mut t = t0;
+        for (i, a) in amps[lo..hi].iter().enumerate() {
+            cum += a.norm_sqr().to_f64() / total;
+            while t < t1 && targets[t].0 < cum {
+                resolved.push((targets[t].1, (lo + i) as u64));
+                t += 1;
+            }
+            if t == t1 {
+                break;
+            }
+        }
+        // In-chunk round-off tail → the chunk's last amplitude.
+        while t < t1 {
+            resolved.push((targets[t].1, (hi - 1) as u64));
+            t += 1;
+        }
+    });
+    for (pos, idx) in per_chunk.into_iter().flatten() {
+        out[pos] = idx;
     }
     out
 }
@@ -177,33 +262,52 @@ pub fn measure_slice<F: Float, R: Rng + ?Sized>(
     assert!(qubits.iter().all(|&q| q < n), "qubit out of range");
 
     // Pick a basis state by inverse-CDF sampling, read off measured bits.
+    // For large states the scan is two-level: parallel per-chunk masses,
+    // sequential chunk locate, sequential scan inside the one hit chunk.
     let r: f64 = rng.gen::<f64>() * norm_sqr_slice(amps);
-    let mut cum = 0.0;
     let mut picked = amps.len() - 1;
-    for (i, a) in amps.iter().enumerate() {
-        cum += a.norm_sqr().to_f64();
-        if r < cum {
-            picked = i;
-            break;
+    if amps.len() < PAR_THRESHOLD_AMPS {
+        let mut cum = 0.0;
+        for (i, a) in amps.iter().enumerate() {
+            cum += a.norm_sqr().to_f64();
+            if r < cum {
+                picked = i;
+                break;
+            }
+        }
+    } else {
+        let chunk = SCAN_CHUNK_AMPS;
+        let sums = chunk_norm_sums(amps, chunk);
+        let mut cum = 0.0;
+        'locate: for (ci, s) in sums.iter().enumerate() {
+            if r < cum + s {
+                let lo = ci * chunk;
+                let hi = (lo + chunk).min(amps.len());
+                for (i, a) in amps[lo..hi].iter().enumerate() {
+                    cum += a.norm_sqr().to_f64();
+                    if r < cum {
+                        picked = lo + i;
+                        break 'locate;
+                    }
+                }
+                // Round-off between the chunk sum and its rescan: the
+                // pick belongs to this chunk's last amplitude.
+                picked = hi - 1;
+                break 'locate;
+            }
+            cum += s;
         }
     }
     let outcome = extract_bits(picked, qubits);
 
     // Collapse: zero every amplitude whose measured bits differ.
     let mask: usize = qubits.iter().map(|&q| 1usize << q).sum();
-    let want: usize = qubits
-        .iter()
-        .enumerate()
-        .map(|(j, &q)| ((outcome >> j) & 1) << q)
-        .sum();
-    amps.par_iter_mut()
-        .enumerate()
-        .with_min_len(4096)
-        .for_each(|(i, a)| {
-            if i & mask != want {
-                *a = Cplx::zero();
-            }
-        });
+    let want: usize = qubits.iter().enumerate().map(|(j, &q)| ((outcome >> j) & 1) << q).sum();
+    amps.par_iter_mut().enumerate().with_min_len(4096).for_each(|(i, a)| {
+        if i & mask != want {
+            *a = Cplx::zero();
+        }
+    });
     normalize_slice(amps);
     outcome
 }
@@ -216,11 +320,9 @@ pub fn measure_slice<F: Float, R: Rng + ?Sized>(
 pub fn linear_xeb<F: Float>(state: &StateVector<F>, samples: &[u64]) -> f64 {
     assert!(!samples.is_empty(), "XEB requires samples");
     let n = state.num_qubits() as f64;
-    let mean_p: f64 = samples
-        .iter()
-        .map(|&s| state.amplitude(s as usize).norm_sqr().to_f64())
-        .sum::<f64>()
-        / samples.len() as f64;
+    let mean_p: f64 =
+        samples.iter().map(|&s| state.amplitude(s as usize).norm_sqr().to_f64()).sum::<f64>()
+            / samples.len() as f64;
     2f64.powf(n) * mean_p - 1.0
 }
 
@@ -369,12 +471,8 @@ mod tests {
     fn measure_multiple_qubits_of_bell_state() {
         // Bell state: measured bits of qubits {0,1} must be equal.
         let h = std::f64::consts::FRAC_1_SQRT_2;
-        let amps = vec![
-            Cplx::new(h, 0.0),
-            Cplx::new(0.0, 0.0),
-            Cplx::new(0.0, 0.0),
-            Cplx::new(h, 0.0),
-        ];
+        let amps =
+            vec![Cplx::new(h, 0.0), Cplx::new(0.0, 0.0), Cplx::new(0.0, 0.0), Cplx::new(h, 0.0)];
         for seed in 0..50 {
             let mut sv = SV::from_amplitudes(amps.clone());
             let mut rng = StdRng::seed_from_u64(seed);
@@ -395,8 +493,10 @@ mod tests {
             let u1: f64 = rng.gen::<f64>().max(1e-12);
             let u2: f64 = rng.gen();
             let r = (-2.0 * u1.ln()).sqrt();
-            *a = Cplx::new(r * (2.0 * std::f64::consts::PI * u2).cos(),
-                           r * (2.0 * std::f64::consts::PI * u2).sin());
+            *a = Cplx::new(
+                r * (2.0 * std::f64::consts::PI * u2).cos(),
+                r * (2.0 * std::f64::consts::PI * u2).sin(),
+            );
         }
         normalize(&mut sv);
         let samples = sample(&sv, 5000, &mut rng);
@@ -407,6 +507,75 @@ mod tests {
         let uniform: Vec<u64> = (0..5000).map(|_| rng.gen_range(0..(1u64 << n))).collect();
         let xeb0 = linear_xeb(&sv, &uniform);
         assert!(xeb0.abs() < 0.3, "uniform-sample XEB should be ~0, got {xeb0}");
+    }
+
+    #[test]
+    fn parallel_sampling_matches_distribution_on_large_state() {
+        // 16 qubits = 4 chunks of the two-level scan. A basis state with
+        // known nonuniform probabilities: H on the top two qubits after
+        // an X-like rotation is overkill — just craft amplitudes.
+        let n = 16;
+        let len = 1usize << n;
+        let mut sv = SV::new(n);
+        // Mass 1/2 on index 0, 1/2 spread uniformly over the upper half.
+        let h = (0.5f64).sqrt();
+        let u = (0.5f64 / (len / 2) as f64).sqrt();
+        {
+            let amps = sv.amplitudes_mut();
+            amps[0] = Cplx::new(h, 0.0);
+            for a in amps[len / 2..].iter_mut() {
+                *a = Cplx::new(u, 0.0);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = sample(&sv, 40_000, &mut rng);
+        let zeros = s.iter().filter(|&&x| x == 0).count() as f64 / 40_000.0;
+        let upper = s.iter().filter(|&&x| x >= (len / 2) as u64).count() as f64 / 40_000.0;
+        assert!((zeros - 0.5).abs() < 0.02, "P(0) sampled at {zeros}");
+        assert!((upper - 0.5).abs() < 0.02, "P(upper half) sampled at {upper}");
+        assert_eq!(zeros + upper, 1.0, "no sample outside the support");
+    }
+
+    #[test]
+    fn parallel_sampling_deterministic_large_state() {
+        // Every target lands in one chunk; all others resolve nothing.
+        let n = 15;
+        let mut sv = SV::new(n);
+        sv.set_basis_state(29_999);
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = sample(&sv, 1000, &mut rng);
+        assert!(s.iter().all(|&x| x == 29_999));
+    }
+
+    #[test]
+    fn parallel_measure_matches_statistics_on_large_state() {
+        // Measure the top qubit of H|0⟩ ⊗ |0…0⟩ on a 13-qubit state (big
+        // enough for the two-level pick path).
+        let n = 13;
+        let mut ones = 0;
+        for seed in 0..200 {
+            let mut sv = SV::new(n);
+            apply_gate_seq(&mut sv, &[n - 1], &h_matrix());
+            let mut rng = StdRng::seed_from_u64(seed);
+            ones += measure(&mut sv, &[n - 1], &mut rng);
+            assert!((norm_sqr(&sv) - 1.0).abs() < 1e-12);
+        }
+        let frac = ones as f64 / 200.0;
+        assert!((frac - 0.5).abs() < 0.12, "fraction {frac}");
+    }
+
+    #[test]
+    fn probabilities_parallel_path_matches_sequential() {
+        let n = 13; // above the parallel threshold
+        let mut sv = SV::new(n);
+        for q in 0..n {
+            apply_gate_seq(&mut sv, &[q], &h_matrix());
+        }
+        let p = probabilities(&sv);
+        assert_eq!(p.len(), 1 << n);
+        let expect = 1.0 / (1 << n) as f64;
+        assert!(p.iter().all(|&x| (x - expect).abs() < 1e-15));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }
 
     #[test]

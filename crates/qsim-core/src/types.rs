@@ -6,13 +6,15 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// Numeric precision of a simulation, the axis swept in the paper's Figure 8.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Precision {
     /// 32-bit floats (qsim's default; 8 bytes per amplitude).
     Single,
     /// 64-bit floats (16 bytes per amplitude).
     Double,
 }
+
+serde::impl_serde_unit_enum!(Precision { Single, Double });
 
 impl Precision {
     /// Size in bytes of one complex amplitude at this precision.
@@ -245,10 +247,7 @@ impl<F: Float> Mul for Cplx<F> {
     type Output = Self;
     #[inline(always)]
     fn mul(self, rhs: Self) -> Self {
-        Cplx {
-            re: self.re * rhs.re - self.im * rhs.im,
-            im: self.re * rhs.im + self.im * rhs.re,
-        }
+        Cplx { re: self.re * rhs.re - self.im * rhs.im, im: self.re * rhs.im + self.im * rhs.re }
     }
 }
 

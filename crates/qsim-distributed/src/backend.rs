@@ -126,7 +126,12 @@ impl MultiGcdBackend {
 
     /// Charge one global↔local slot swap (of global id bit `t`) to every
     /// device's timeline and return the per-device bytes pushed.
-    fn charge_swap(&self, shard_len: usize, amp_bytes: usize, t: usize) -> Result<u64, BackendError> {
+    fn charge_swap(
+        &self,
+        shard_len: usize,
+        amp_bytes: usize,
+        t: usize,
+    ) -> Result<u64, BackendError> {
         let bytes_each_way = (shard_len / 2 * amp_bytes) as u64;
         let dur_us = self.topology.link_for_bit(t).exchange_seconds(bytes_each_way) * 1e6;
         for gpu in &self.devices {
@@ -377,7 +382,8 @@ impl MultiGcdBackend {
         for op in &fused.ops {
             match op {
                 FusedOp::Unitary(g) => {
-                    let (s, b) = self.localize::<f32>(&mut layout, &g.qubits, m, amp_bytes, None)?;
+                    let (s, b) =
+                        self.localize::<f32>(&mut layout, &g.qubits, m, amp_bytes, None)?;
                     swaps += s;
                     exchanged += b;
                     let mut slots: Vec<usize> =
@@ -444,8 +450,7 @@ mod tests {
             let reference = single_device_state(&fused);
             for devices in [2usize, 4, 8] {
                 let dist = MultiGcdBackend::new(Flavor::Hip, devices);
-                let (state, report) =
-                    dist.run::<f64>(&fused, &RunOptions::default()).expect("run");
+                let (state, report) = dist.run::<f64>(&fused, &RunOptions::default()).expect("run");
                 let diff = reference.max_abs_diff(&state);
                 assert!(diff < 1e-12, "D={devices} f={f}: diff {diff}");
                 // Global gates exist in an RQC this wide, so swaps happen.
@@ -495,7 +500,8 @@ mod tests {
         let fused = fuse(&c, 2);
         for seed in 0..10 {
             let dist = MultiGcdBackend::new(Flavor::Hip, 4);
-            let (state, report) = dist.run::<f64>(&fused, &RunOptions { seed, sample_count: 0 }).expect("run");
+            let (state, report) =
+                dist.run::<f64>(&fused, &RunOptions { seed, sample_count: 0 }).expect("run");
             let (_, outcome) = &report.measurements[0];
             assert!(*outcome == 0 || *outcome == 0b111111, "GHZ gave {outcome:06b}");
             assert!((state.amplitude(*outcome).abs() - 1.0).abs() < 1e-12);
@@ -534,12 +540,8 @@ mod tests {
         // you go to 35, but 2 devices halve the shard.
         let c = qsim_circuit::Circuit::new(35);
         let fused = fuse(&c, 2);
-        assert!(MultiGcdBackend::new(Flavor::Hip, 1)
-            .estimate(&fused, Precision::Single)
-            .is_err());
-        assert!(MultiGcdBackend::new(Flavor::Hip, 2)
-            .estimate(&fused, Precision::Single)
-            .is_ok());
+        assert!(MultiGcdBackend::new(Flavor::Hip, 1).estimate(&fused, Precision::Single).is_err());
+        assert!(MultiGcdBackend::new(Flavor::Hip, 2).estimate(&fused, Precision::Single).is_ok());
     }
 
     #[test]

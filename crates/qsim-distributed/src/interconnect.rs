@@ -52,10 +52,7 @@ pub enum Topology {
     /// bit 0 are the two GCDs of one MI250X package (fast in-package
     /// Infinity Fabric); swaps on higher global bits cross packages on
     /// the slower node-level links.
-    TwoLevel {
-        in_package: LinkSpec,
-        cross_package: LinkSpec,
-    },
+    TwoLevel { in_package: LinkSpec, cross_package: LinkSpec },
 }
 
 impl Topology {

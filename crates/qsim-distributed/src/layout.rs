@@ -21,11 +21,7 @@ impl QubitLayout {
     /// Identity layout for `n` qubits with `m = n - d` local slots.
     pub fn new(n: usize, local_qubits: usize) -> Self {
         assert!(local_qubits <= n, "more devices than amplitudes");
-        QubitLayout {
-            slot_of: (0..n).collect(),
-            logical_at: (0..n).collect(),
-            local_qubits,
-        }
+        QubitLayout { slot_of: (0..n).collect(), logical_at: (0..n).collect(), local_qubits }
     }
 
     /// Total qubit count.
@@ -134,7 +130,7 @@ mod tests {
         let mut l = QubitLayout::new(5, 3);
         l.swap_slots(1, 4);
         l.swap_slots(0, 3);
-        let mut seen = vec![false; 32];
+        let mut seen = [false; 32];
         for i in 0..32 {
             let p = l.physical_index(i);
             assert!(!seen[p]);

@@ -16,9 +16,9 @@
 //! A logical→physical [`layout::QubitLayout`] permutation tracks the swap
 //! history so amplitudes are unscrambled only once, at readback.
 
+pub mod backend;
 pub mod interconnect;
 pub mod layout;
-pub mod backend;
 
 pub use backend::{DistReport, MultiGcdBackend};
 pub use interconnect::LinkSpec;

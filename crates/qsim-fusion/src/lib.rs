@@ -21,9 +21,9 @@
 //! qubit set still fits in `max_fused_qubits`; measurements are fusion
 //! barriers.
 
+use qsim_circuit::circuit::Circuit;
 use qsim_core::matrix::GateMatrix;
 use qsim_core::types::Float;
-use qsim_circuit::circuit::Circuit;
 
 /// A fused unitary acting on a sorted set of qubits.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +43,18 @@ impl FusedGate {
     /// The fused matrix cast to the backend's working precision.
     pub fn matrix_as<F: Float>(&self) -> GateMatrix<F> {
         self.matrix.cast()
+    }
+
+    /// Highest target qubit — what decides whether the gate fits inside a
+    /// cache block of the sweep executor.
+    pub fn max_qubit(&self) -> usize {
+        *self.qubits.last().expect("fused gate acts on at least one qubit")
+    }
+
+    /// Whether this gate applies block-locally for blocks of
+    /// `2^block_qubits` amplitudes (see [`qsim_core::sweep`]).
+    pub fn is_block_local(&self, block_qubits: usize) -> bool {
+        qsim_core::sweep::is_block_local(&self.qubits, block_qubits)
     }
 }
 
@@ -90,6 +102,23 @@ impl FusedCircuit {
             fused += 1;
         }
         FusionStats { source_gates: source, fused_gates: fused, fused_by_qubit_count: by_qubits }
+    }
+
+    /// Pass accounting of this circuit under the cache-blocked sweep:
+    /// how many full passes over the state the sweep executor would make
+    /// (measurements are sweep barriers, like fusion barriers).
+    pub fn sweep_stats(
+        &self,
+        config: &qsim_core::sweep::SweepConfig,
+    ) -> qsim_core::sweep::SweepStats {
+        qsim_core::sweep::sweep_stats(
+            self.ops.iter().map(|op| match op {
+                FusedOp::Unitary(g) => Some(g.qubits.as_slice()),
+                FusedOp::Measurement { .. } => None,
+            }),
+            config,
+            self.num_qubits,
+        )
     }
 }
 
@@ -170,9 +199,8 @@ pub fn fuse(circuit: &Circuit, max_fused_qubits: usize) -> FusedCircuit {
             continue;
         }
 
-        let (sorted_qubits, matrix) = op
-            .sorted_matrix::<f64>()
-            .expect("non-measurement gates have matrices");
+        let (sorted_qubits, matrix) =
+            op.sorted_matrix::<f64>().expect("non-measurement gates have matrices");
         // Extra controls make a gate opaque to this fuser: emit it as its
         // own fused gate over targets+controls with the expanded matrix.
         let (sorted_qubits, matrix) = if op.controls.is_empty() {
@@ -530,5 +558,36 @@ mod tests {
         let g = f.unitaries().next().unwrap();
         let m32 = g.matrix_as::<f32>();
         assert!(m32.is_unitary(1e-5));
+    }
+
+    #[test]
+    fn block_locality_of_fused_gates() {
+        let c = library::bell();
+        let f = fuse(&c, 2);
+        let g = f.unitaries().next().unwrap();
+        assert_eq!(g.max_qubit(), 1);
+        assert!(g.is_block_local(2));
+        assert!(!g.is_block_local(1));
+    }
+
+    #[test]
+    fn sweep_stats_counts_measurement_barriers() {
+        use qsim_circuit::circuit::GateOp;
+        use qsim_core::sweep::SweepConfig;
+        // Bell circuit + measurement, then more gates: the measurement
+        // must split the runs even though all gates are block-local.
+        let mut c = library::bell();
+        c.ops.push(GateOp::new(2, GateKind::Measurement, vec![0, 1]));
+        c.ops.push(GateOp::new(3, GateKind::H, vec![0]));
+        c.ops.push(GateOp::new(3, GateKind::H, vec![1]));
+        let f = fuse(&c, 2);
+        let s = f.sweep_stats(&SweepConfig::default());
+        assert_eq!(s.gates as usize, f.num_unitaries());
+        assert_eq!(s.barrier_gates, 0, "all targets below default block");
+        assert_eq!(s.runs, 2, "measurement closes the first run");
+        assert_eq!(s.full_passes, 2);
+        // With the sweep disabled every fused gate is its own pass.
+        let off = f.sweep_stats(&SweepConfig::disabled());
+        assert_eq!(off.full_passes, off.gates);
     }
 }

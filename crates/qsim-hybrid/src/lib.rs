@@ -18,11 +18,11 @@
 //! Paths are enumerated recursively so shared *prefixes* of the path tree
 //! are simulated once (qsimh's prefix optimization).
 
+use qsim_circuit::Circuit;
 use qsim_core::kernels::apply_gate_slice_seq;
 use qsim_core::matrix::GateMatrix;
 use qsim_core::types::Cplx;
 use qsim_core::StateVector;
-use qsim_circuit::Circuit;
 
 /// Why a circuit cannot be hybrid-simulated with the given cut.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,10 +38,9 @@ pub enum HybridError {
 impl std::fmt::Display for HybridError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            HybridError::BadCut { num_qubits, part_a } => write!(
-                f,
-                "cut at {part_a} invalid for {num_qubits} qubits (need 1..{num_qubits})"
-            ),
+            HybridError::BadCut { num_qubits, part_a } => {
+                write!(f, "cut at {part_a} invalid for {num_qubits} qubits (need 1..{num_qubits})")
+            }
             HybridError::MeasurementUnsupported => {
                 write!(f, "hybrid simulation does not support mid-circuit measurement")
             }
@@ -166,8 +165,7 @@ impl HybridSimulator {
             let sim = HybridSimulator::new(k);
             match sim.num_paths(circuit) {
                 Ok(paths) => {
-                    let cost = paths as f64
-                        * ((1u64 << k) as f64 + (1u64 << (n - k)) as f64);
+                    let cost = paths as f64 * ((1u64 << k) as f64 + (1u64 << (n - k)) as f64);
                     if best.as_ref().is_none_or(|&(_, _, c)| cost < c) {
                         best = Some((sim, paths, cost));
                     }
@@ -252,9 +250,9 @@ impl HybridSimulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qsim_core::kernels::apply_gate_seq;
     use qsim_circuit::gates::GateKind;
     use qsim_circuit::library;
+    use qsim_core::kernels::apply_gate_seq;
 
     fn direct_state(circuit: &Circuit) -> StateVector<f64> {
         let mut state = StateVector::new(circuit.num_qubits);
@@ -281,10 +279,7 @@ mod tests {
         for cut in 1..6 {
             let hybrid = HybridSimulator::new(cut);
             let state = hybrid.full_state(&circuit).expect("hybrid");
-            assert!(
-                direct_state(&circuit).max_abs_diff(&state) < 1e-13,
-                "cut at {cut}"
-            );
+            assert!(direct_state(&circuit).max_abs_diff(&state) < 1e-13, "cut at {cut}");
         }
     }
 
@@ -328,8 +323,7 @@ mod tests {
 
     #[test]
     fn rqc_matches_direct_simulation() {
-        let circuit =
-            qsim_circuit::generate_rqc(&qsim_circuit::RqcOptions::for_qubits(8, 3, 5));
+        let circuit = qsim_circuit::generate_rqc(&qsim_circuit::RqcOptions::for_qubits(8, 3, 5));
         let hybrid = HybridSimulator::new(4);
         let state = hybrid.full_state(&circuit).expect("hybrid");
         assert!(direct_state(&circuit).max_abs_diff(&state) < 1e-11);

@@ -12,8 +12,8 @@
 //!   observation that `ApplyGateL_Kernel` takes more time than the simpler
 //!   `ApplyGateH_Kernel`.
 
-pub mod profiler;
 pub mod perfetto;
+pub mod profiler;
 pub mod stats;
 
 pub use profiler::Profiler;

@@ -11,29 +11,42 @@
 use std::collections::BTreeMap;
 
 use gpu_model::trace::{SpanKind, TraceSpan};
-use serde::Serialize;
+use serde_json::{json, Value};
 
-#[derive(Serialize)]
-struct TraceFile {
-    #[serde(rename = "traceEvents")]
-    trace_events: Vec<Event>,
-    #[serde(rename = "displayTimeUnit")]
-    display_time_unit: &'static str,
-}
-
-#[derive(Serialize)]
+/// One trace event, written straight into the `Value` tree (`None`
+/// optionals are omitted, matching the previous
+/// `skip_serializing_if = "Option::is_none"` encoding).
 struct Event {
     name: String,
     cat: &'static str,
     ph: &'static str,
-    #[serde(skip_serializing_if = "Option::is_none")]
     ts: Option<f64>,
-    #[serde(skip_serializing_if = "Option::is_none")]
     dur: Option<f64>,
     pid: u64,
     tid: u64,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    args: Option<serde_json::Value>,
+    args: Option<Value>,
+}
+
+impl Event {
+    fn into_value(self) -> Value {
+        let mut fields = vec![
+            ("name".to_string(), json!(self.name)),
+            ("cat".to_string(), json!(self.cat)),
+            ("ph".to_string(), json!(self.ph)),
+        ];
+        if let Some(ts) = self.ts {
+            fields.push(("ts".to_string(), json!(ts)));
+        }
+        if let Some(dur) = self.dur {
+            fields.push(("dur".to_string(), json!(dur)));
+        }
+        fields.push(("pid".to_string(), json!(self.pid)));
+        fields.push(("tid".to_string(), json!(self.tid)));
+        if let Some(args) = self.args {
+            fields.push(("args".to_string(), args));
+        }
+        Value::Object(fields)
+    }
 }
 
 fn category(kind: SpanKind) -> &'static str {
@@ -72,7 +85,11 @@ pub fn to_json(spans: &[TraceSpan]) -> String {
         let tid = s.stream as u64;
         if !seen_tids.contains(&(pid, tid)) {
             seen_tids.push((pid, tid));
-            let label = if tid == 0 { "stream 0 (compute)".to_string() } else { format!("stream {tid} (copy)") };
+            let label = if tid == 0 {
+                "stream 0 (compute)".to_string()
+            } else {
+                format!("stream {tid} (copy)")
+            };
             events.push(Event {
                 name: "thread_name".into(),
                 cat: "__metadata",
@@ -97,8 +114,14 @@ pub fn to_json(spans: &[TraceSpan]) -> String {
             args: None,
         });
     }
-    serde_json::to_string_pretty(&TraceFile { trace_events: events, display_time_unit: "ns" })
-        .expect("trace serialization cannot fail")
+    let file = Value::Object(vec![
+        (
+            "traceEvents".to_string(),
+            Value::Array(events.into_iter().map(Event::into_value).collect()),
+        ),
+        ("displayTimeUnit".to_string(), json!("ns")),
+    ]);
+    serde_json::to_string_pretty(&file).expect("trace serialization cannot fail")
 }
 
 #[cfg(test)]
@@ -128,16 +151,14 @@ mod tests {
         let events = v["traceEvents"].as_array().unwrap();
         // 1 process_name + 2 thread_name + 3 spans
         assert_eq!(events.len(), 6);
-        let xs: Vec<&serde_json::Value> =
-            events.iter().filter(|e| e["ph"] == "X").collect();
+        let xs: Vec<&serde_json::Value> = events.iter().filter(|e| e["ph"] == "X").collect();
         assert_eq!(xs.len(), 3);
         assert_eq!(xs[1]["name"], "ApplyGateH_Kernel");
         assert_eq!(xs[1]["cat"], "kernel");
         assert_eq!(xs[1]["ts"], 3.0);
         assert_eq!(xs[1]["dur"], 100.0);
         assert_eq!(xs[0]["cat"], "memcpy");
-        let metas: Vec<&serde_json::Value> =
-            events.iter().filter(|e| e["ph"] == "M").collect();
+        let metas: Vec<&serde_json::Value> = events.iter().filter(|e| e["ph"] == "M").collect();
         assert!(metas.iter().any(|m| m["args"]["name"] == "AMD MI250X (1 GCD)"));
     }
 

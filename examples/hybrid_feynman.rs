@@ -45,10 +45,7 @@ fn main() {
         let d = direct.amplitude(q as usize);
         let diff = a.dist(d.to_f64());
         max_diff = max_diff.max(diff);
-        println!(
-            "{q:>8x} {:>+11.6}{:+.6}i {:>+11.6}{:+.6}i {diff:>10.2e}",
-            a.re, a.im, d.re, d.im
-        );
+        println!("{q:>8x} {:>+11.6}{:+.6}i {:>+11.6}{:+.6}i {diff:>10.2e}", a.re, a.im, d.re, d.im);
     }
     assert!(max_diff < 1e-10, "hybrid diverged from direct simulation");
     println!("\nhybrid path sum matches the full state vector to {max_diff:.1e}.");

@@ -42,8 +42,5 @@ fn main() {
 
     let json = qsim_rs::trace::perfetto::to_json(&spans);
     std::fs::write("qft_trace.json", json).expect("write trace");
-    println!(
-        "\nwrote qft_trace.json ({} spans) — load it at https://ui.perfetto.dev",
-        spans.len()
-    );
+    println!("\nwrote qft_trace.json ({} spans) — load it at https://ui.perfetto.dev", spans.len());
 }

@@ -41,12 +41,8 @@ fn dataset() -> Vec<([f64; 2], f64)> {
     // not linearly separable in the encoding angles, so the classifier
     // must exploit entanglement.
     let mut data = Vec::new();
-    let corners = [
-        ([0.7f64, 0.7f64], 1.0),
-        ([2.4, 2.4], 1.0),
-        ([0.7, 2.4], -1.0),
-        ([2.4, 0.7], -1.0),
-    ];
+    let corners =
+        [([0.7f64, 0.7f64], 1.0), ([2.4, 2.4], 1.0), ([0.7, 2.4], -1.0), ([2.4, 0.7], -1.0)];
     for i in 0..6 {
         let t = i as f64;
         for (c, label) in corners {
@@ -97,10 +93,7 @@ fn main() {
         correct as f64 / data.len() as f64
     };
 
-    println!(
-        "training a 2-qubit PQC classifier ({} samples, {NUM_WEIGHTS} weights)\n",
-        data.len()
-    );
+    println!("training a 2-qubit PQC classifier ({} samples, {NUM_WEIGHTS} weights)\n", data.len());
     println!("{:>6} {:>12} {:>10}", "epoch", "MSE loss", "accuracy");
     for epoch in 0..=30 {
         let (loss, grad) = loss_and_grad(&weights);

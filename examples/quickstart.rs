@@ -49,7 +49,8 @@ fn main() {
         .push(GateKind::Measurement, &[0, 1]);
     let fused = fuse(&teleport_like, 2);
     let backend = SimBackend::new(Flavor::CpuAvx);
-    let (state, report) = backend.run::<f64>(&fused, &RunOptions { seed: 42, sample_count: 0 }).expect("run");
+    let (state, report) =
+        backend.run::<f64>(&fused, &RunOptions { seed: 42, sample_count: 0 }).expect("run");
     let (qubits, outcome) = &report.measurements[0];
     println!("measured qubits {qubits:?} -> {outcome:#04b}; state collapsed and renormalized:");
     println!("  norm after collapse = {:.12}", statespace::norm_sqr(&state));

@@ -42,11 +42,8 @@ fn main() {
     // Porter-Thomas shape check: for a chaotic circuit the output
     // probabilities p follow exp(-N·p); the fraction with N·p > 1 is 1/e.
     let n_amp = state.len() as f64;
-    let above: usize = state
-        .amplitudes()
-        .iter()
-        .filter(|a| n_amp * a.norm_sqr() as f64 > 1.0)
-        .count();
+    let above: usize =
+        state.amplitudes().iter().filter(|a| n_amp * a.norm_sqr() as f64 > 1.0).count();
     println!(
         "  Porter-Thomas: fraction of amplitudes with N·p > 1 = {:.4} (1/e = {:.4})\n",
         above as f64 / n_amp,
@@ -58,9 +55,7 @@ fn main() {
     let paper = qsim_rs::circuit::generate_rqc(&RqcOptions::paper_q30());
     let fused = fuse(&paper, 4);
     for flavor in Flavor::all() {
-        let r = SimBackend::new(flavor)
-            .estimate(&fused, Precision::Single)
-            .expect("estimate");
+        let r = SimBackend::new(flavor).estimate(&fused, Precision::Single).expect("estimate");
         println!(
             "  {:<12} {:<28} {:>8.3} s  ({} passes, {:.1} GiB state)",
             r.backend,

@@ -56,9 +56,7 @@ fn main() {
     // Initialise near the strong-field ground state |+…+⟩ (first layer
     // Ry(π/2)), with small symmetry-breaking angles elsewhere.
     let mut params: Vec<f64> = (0..N * (LAYERS + 1))
-        .map(|i| {
-            if i < N { std::f64::consts::FRAC_PI_2 } else { 0.05 * (1.0 + (i as f64).sin()) }
-        })
+        .map(|i| if i < N { std::f64::consts::FRAC_PI_2 } else { 0.05 * (1.0 + (i as f64).sin()) })
         .collect();
     let mut e = energy(&hamiltonian, &params);
     println!("{:>6} {:>14} {:>16}", "sweep", "energy", "error vs exact");
@@ -69,15 +67,13 @@ fn main() {
             // Rotosolve: E(θ) = a + b cos(θ - c). Three evaluations at
             // θ=0, ±π/2 determine the sinusoid; jump to its minimum.
             let saved = params[i];
-            params[i] = saved;
             let e0 = energy(&hamiltonian, &params);
             params[i] = saved + std::f64::consts::FRAC_PI_2;
             let ep = energy(&hamiltonian, &params);
             params[i] = saved - std::f64::consts::FRAC_PI_2;
             let em = energy(&hamiltonian, &params);
-            let theta_star = saved
-                - std::f64::consts::FRAC_PI_2
-                - (2.0 * e0 - ep - em).atan2(ep - em);
+            let theta_star =
+                saved - std::f64::consts::FRAC_PI_2 - (2.0 * e0 - ep - em).atan2(ep - em);
             params[i] = theta_star;
         }
         e = energy(&hamiltonian, &params);
@@ -86,9 +82,6 @@ fn main() {
 
     let err = (e - exact).abs();
     println!("\nfinal VQE energy {e:.6}, exact {exact:.6}, error {err:.2e}");
-    assert!(
-        err < 0.05,
-        "VQE should land within 0.05 of the ground energy (got {err})"
-    );
+    assert!(err < 0.05, "VQE should land within 0.05 of the ground energy (got {err})");
     println!("VQE converged to the ground state within chemical-accuracy-scale error.");
 }

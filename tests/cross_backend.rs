@@ -3,16 +3,15 @@
 //! the same amplitudes for the same fused circuit, at every precision and
 //! fusion setting.
 
-use qsim_rs::prelude::*;
 use qsim_rs::circuit::library;
+use qsim_rs::prelude::*;
 
 fn run_all_flavors_f64(fused: &FusedCircuit) -> Vec<(Flavor, StateVector<f64>)> {
     Flavor::all()
         .into_iter()
         .map(|flavor| {
-            let (state, _) = SimBackend::new(flavor)
-                .run::<f64>(fused, &RunOptions::default())
-                .expect("run");
+            let (state, _) =
+                SimBackend::new(flavor).run::<f64>(fused, &RunOptions::default()).expect("run");
             (flavor, state)
         })
         .collect()
@@ -111,8 +110,8 @@ fn backend_reports_are_consistent_with_circuit() {
         assert_eq!(report.fused_gates, fused.num_unitaries());
         assert_eq!(report.state_bytes, (1u64 << 8) * 8);
         assert_eq!(report.precision, Precision::Single);
-        let gate_launches = report.launches_matching("ApplyGate")
-            + report.launches_matching("applyMatrix");
+        let gate_launches =
+            report.launches_matching("ApplyGate") + report.launches_matching("applyMatrix");
         assert_eq!(gate_launches as usize, fused.num_unitaries(), "{flavor:?}");
     }
 }

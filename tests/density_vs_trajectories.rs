@@ -45,9 +45,10 @@ fn trajectory_observables_converge_to_density_matrix() {
     let rho = density_evolution(&circuit, p);
 
     let mut observable = PauliSum::new();
-    observable.add(1.0, PauliString::new(vec![
-        (0, Pauli::Z), (1, Pauli::Z), (2, Pauli::Z), (3, Pauli::Z),
-    ]));
+    observable.add(
+        1.0,
+        PauliString::new(vec![(0, Pauli::Z), (1, Pauli::Z), (2, Pauli::Z), (3, Pauli::Z)]),
+    );
     observable.add(0.5, PauliString::single(0, Pauli::X));
     let exact = rho.expectation(&observable);
 
@@ -117,8 +118,5 @@ fn trajectory_fidelity_matches_density_fidelity() {
     let exact = rho.fidelity_pure(&ideal);
     let sampled = TrajectoryRunner::new(NoiseSpec::depolarizing(p))
         .average_fidelity::<f64>(&circuit, 2500, 5);
-    assert!(
-        (sampled - exact).abs() < 0.02,
-        "trajectory fidelity {sampled} vs density {exact}"
-    );
+    assert!((sampled - exact).abs() < 0.02, "trajectory fidelity {sampled} vs density {exact}");
 }

@@ -21,12 +21,8 @@ fn deep_rqc_reaches_page_entanglement() {
     for k in [2usize, 4, 6] {
         let keep: Vec<usize> = (0..k).collect();
         let s = entanglement_entropy(&state, &keep);
-        let page = k as f64
-            - 2f64.powi(2 * k as i32 - n as i32 - 1) / std::f64::consts::LN_2;
-        assert!(
-            (s - page).abs() < 0.25,
-            "k={k}: entropy {s:.3} bits vs Page {page:.3}"
-        );
+        let page = k as f64 - 2f64.powi(2 * k as i32 - n as i32 - 1) / std::f64::consts::LN_2;
+        assert!((s - page).abs() < 0.25, "k={k}: entropy {s:.3} bits vs Page {page:.3}");
     }
 }
 

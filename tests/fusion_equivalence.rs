@@ -127,4 +127,46 @@ proptest! {
         let norm = statespace::norm_sqr(&state);
         prop_assert!((norm - 1.0).abs() < 1e-10, "norm {norm}");
     }
+
+    #[test]
+    fn sweep_executor_equals_per_gate_across_block_sizes(
+        n in 2usize..9,
+        gates in 1usize..60,
+        seed in 0u64..10_000,
+        max_f in 1usize..=6,
+        // Blocks from 2 amplitudes (every gate on qubits ≥ 1 is a sweep
+        // barrier) up to 2^10 (≥ the full state for every n here, so the
+        // whole circuit is one block-local run).
+        block_pow in 1usize..=10,
+    ) {
+        use qsim_rs::sim::sweep::{SweepConfig, SweepExecutor};
+
+        let circuit = random_dense(n, gates, seed);
+        let fused = fuse(&circuit, max_f);
+        let reference = fused_state(&circuit, max_f);
+
+        let plain: Vec<(Vec<usize>, qsim_rs::sim::GateMatrix<f64>)> =
+            fused.unitaries().map(|g| (g.qubits.clone(), g.matrix.clone())).collect();
+        let exec = SweepExecutor::new(SweepConfig::with_block_amps(1 << block_pow));
+        let mut state = StateVector::<f64>::new(n);
+        let stats = exec.execute(state.amplitudes_mut(), &plain);
+
+        let diff = reference.max_abs_diff(&state);
+        prop_assert!(
+            diff < 1e-12,
+            "diff {diff} (n={n}, gates={gates}, f={max_f}, block=2^{block_pow})"
+        );
+        // The accounting invariants hold for every configuration…
+        prop_assert_eq!(stats.gates as usize, fused.num_unitaries());
+        prop_assert_eq!(stats.full_passes, stats.runs + stats.barrier_gates);
+        prop_assert_eq!(stats.block_local_gates + stats.barrier_gates, stats.gates);
+        // …and the two accounting paths agree gate for gate.
+        prop_assert_eq!(stats, fused.sweep_stats(&SweepConfig::with_block_amps(1 << block_pow)));
+        // A block at least as large as the state makes the whole circuit
+        // one run (no measurements in random_dense circuits).
+        if (1 << block_pow) >= (1 << n) && stats.gates > 0 {
+            prop_assert_eq!(stats.full_passes, 1);
+            prop_assert_eq!(stats.barrier_gates, 0);
+        }
+    }
 }

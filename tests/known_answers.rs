@@ -24,8 +24,7 @@ fn ghz_state_amplitudes() {
         let h = std::f64::consts::FRAC_1_SQRT_2;
         assert!((state.amplitude(0).re - h).abs() < 1e-12, "n={n}");
         assert!((state.amplitude((1 << n) - 1).re - h).abs() < 1e-12, "n={n}");
-        let middle: f64 =
-            state.amplitudes()[1..(1 << n) - 1].iter().map(|a| a.norm_sqr()).sum();
+        let middle: f64 = state.amplitudes()[1..(1 << n) - 1].iter().map(|a| a.norm_sqr()).sum();
         assert!(middle < 1e-12, "n={n}");
     }
 }

@@ -23,11 +23,7 @@ fn times(flavor: Flavor, sweep: &[FusedCircuit], precision: Precision) -> Vec<f6
 }
 
 fn argmin(xs: &[f64]) -> usize {
-    xs.iter()
-        .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-        .expect("non-empty")
-        .0
+    xs.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).expect("finite")).expect("non-empty").0
 }
 
 #[test]
@@ -88,11 +84,7 @@ fn fusion_cost_below_two_percent_at_paper_scale() {
     let sweep = sweep();
     for flavor in Flavor::all() {
         let r = SimBackend::new(flavor).estimate(&sweep[3], Precision::Single).expect("estimate");
-        assert!(
-            r.fusion_fraction() < 0.02,
-            "{flavor:?}: fusion {}",
-            r.fusion_fraction()
-        );
+        assert!(r.fusion_fraction() < 0.02, "{flavor:?}: fusion {}", r.fusion_fraction());
     }
 }
 

@@ -35,11 +35,9 @@ fn optimize_then_fuse_then_run_preserves_state() {
         let (optimized, stats) = optimize(&original);
         assert!(stats.gates_after < stats.gates_before, "seed {seed}");
 
-        let (ref_state, _) =
-            qsim_rs::simulate::<f64>(&original, Flavor::CpuAvx, 4).expect("run");
+        let (ref_state, _) = qsim_rs::simulate::<f64>(&original, Flavor::CpuAvx, 4).expect("run");
         for flavor in [Flavor::Cuda, Flavor::Hip] {
-            let (opt_state, _) =
-                qsim_rs::simulate::<f64>(&optimized, flavor, 4).expect("run");
+            let (opt_state, _) = qsim_rs::simulate::<f64>(&optimized, flavor, 4).expect("run");
             let diff = ref_state.max_abs_diff(&opt_state);
             assert!(diff < 1e-12, "seed {seed} {flavor:?}: diff {diff}");
         }
@@ -83,9 +81,8 @@ fn hybrid_agrees_with_backends_after_optimization() {
 fn distributed_agrees_with_hybrid_and_single_device() {
     let circuit = qsim_rs::circuit::generate_rqc(&RqcOptions::for_qubits(9, 4, 12));
     let fused = fuse(&circuit, 3);
-    let (single, _) = SimBackend::new(Flavor::Hip)
-        .run::<f64>(&fused, &RunOptions::default())
-        .expect("run");
+    let (single, _) =
+        SimBackend::new(Flavor::Hip).run::<f64>(&fused, &RunOptions::default()).expect("run");
     let (sharded, _) = MultiGcdBackend::new(Flavor::Hip, 4)
         .run::<f64>(&fused, &RunOptions::default())
         .expect("run");

@@ -42,8 +42,7 @@ fn xeb_separates_ideal_from_uniform_samples() {
     let xeb = statespace::linear_xeb(&state, &ideal);
     assert!((0.85..=1.15).contains(&xeb), "ideal XEB {xeb}");
 
-    let uniform: Vec<u64> =
-        (0..50_000).map(|_| rng.gen_range(0..state.len() as u64)).collect();
+    let uniform: Vec<u64> = (0..50_000).map(|_| rng.gen_range(0..state.len() as u64)).collect();
     let xeb0 = statespace::linear_xeb(&state, &uniform);
     assert!(xeb0.abs() < 0.1, "uniform XEB {xeb0}");
 }
@@ -55,8 +54,7 @@ fn rqc_outputs_are_porter_thomas() {
     // (N·p)^2 = 2 (the XEB=1 condition).
     let state = rqc_state(16, 9);
     let n_amp = state.len() as f64;
-    let scaled: Vec<f64> =
-        state.amplitudes().iter().map(|a| n_amp * a.norm_sqr()).collect();
+    let scaled: Vec<f64> = state.amplitudes().iter().map(|a| n_amp * a.norm_sqr()).collect();
     let frac_above = |x: f64| scaled.iter().filter(|&&v| v > x).count() as f64 / n_amp;
     assert!((frac_above(1.0) - (-1.0f64).exp()).abs() < 0.01, "{}", frac_above(1.0));
     assert!((frac_above(2.0) - (-2.0f64).exp()).abs() < 0.01, "{}", frac_above(2.0));
@@ -102,10 +100,7 @@ fn measurement_statistics_match_probabilities() {
     }
     let frac = ones as f64 / trials as f64;
     let sigma = (p1 * (1.0 - p1) / trials as f64).sqrt();
-    assert!(
-        (frac - p1).abs() < 5.0 * sigma,
-        "measured P(1) = {frac}, expected {p1} ± {sigma}"
-    );
+    assert!((frac - p1).abs() < 5.0 * sigma, "measured P(1) = {frac}, expected {p1} ± {sigma}");
 }
 
 #[test]

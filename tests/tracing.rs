@@ -53,10 +53,8 @@ fn copy_stream_overlaps_compute_stream() {
         .map(|s| (s.start_us, s.start_us + s.dur_us))
         .collect();
     assert!(!copies.is_empty());
-    let overlapping = copies
-        .iter()
-        .filter(|c| kernels.iter().any(|k| c.0 < k.1 && k.0 < c.1))
-        .count();
+    let overlapping =
+        copies.iter().filter(|c| kernels.iter().any(|k| c.0 < k.1 && k.0 < c.1)).count();
     assert!(overlapping > 0, "async copies should overlap compute");
 }
 
@@ -89,11 +87,6 @@ fn perfetto_roundtrip_preserves_span_count() {
     let (spans, _) = traced_run(2);
     let json = qsim_rs::trace::perfetto::to_json(&spans);
     let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
-    let xs = v["traceEvents"]
-        .as_array()
-        .unwrap()
-        .iter()
-        .filter(|e| e["ph"] == "X")
-        .count();
+    let xs = v["traceEvents"].as_array().unwrap().iter().filter(|e| e["ph"] == "X").count();
     assert_eq!(xs, spans.len());
 }

@@ -1,0 +1,255 @@
+//! Offline stand-in for [criterion]: the `Criterion` / `BenchmarkGroup` /
+//! `Bencher` API surface this workspace's benches use, measuring with
+//! plain wall-clock sampling.
+//!
+//! Two modes, keyed off the `--bench` argument cargo passes to
+//! `harness = false` bench targets:
+//!
+//! * **bench mode** (`cargo bench`): each benchmark runs for up to
+//!   `sample_size` samples or ~2 s, then prints min/median/mean and
+//!   optional throughput.
+//! * **smoke mode** (anything else, e.g. `cargo test` building/running the
+//!   target): each benchmark executes exactly one iteration, so the
+//!   closure is exercised for correctness without burning CI time.
+//!
+//! No plotting, no statistics beyond the order stats above, no baseline
+//! files — deliberate; this exists so benches compile and run offline.
+//!
+//! [criterion]: https://crates.io/crates/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const MAX_SAMPLE_TIME: Duration = Duration::from_secs(2);
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { bench_mode: std::env::args().any(|a| a == "--bench") }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20, throughput: None }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let bench_mode = self.bench_mode;
+        run_one(&id.into().id, bench_mode, 20, None, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.criterion.bench_mode, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.criterion.bench_mode, self.sample_size, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    bench_mode: bool,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.bench_mode {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            return;
+        }
+        black_box(routine()); // warm-up
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if budget.elapsed() > MAX_SAMPLE_TIME {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(
+    label: &str,
+    bench_mode: bool,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { bench_mode, sample_size, samples: Vec::new() };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let n = b.samples.len();
+    let median = b.samples[n / 2];
+    let min = b.samples[0];
+    let mean = b.samples.iter().sum::<Duration>() / n as u32;
+    let mut line = format!(
+        "{label:<50} min {:>12}  median {:>12}  mean {:>12}  ({n} samples)",
+        fmt_dur(min),
+        fmt_dur(median),
+        fmt_dur(mean),
+    );
+    if let Some(t) = throughput {
+        let per_sec = |units: u64| units as f64 / median.as_secs_f64();
+        match t {
+            Throughput::Bytes(bytes) => {
+                line.push_str(&format!(
+                    "  thrpt {:.3} GiB/s",
+                    per_sec(bytes) / (1024.0 * 1024.0 * 1024.0)
+                ));
+            }
+            Throughput::Elements(elems) => {
+                line.push_str(&format!("  thrpt {:.3e} elem/s", per_sec(elems)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { bench_mode: false };
+        let mut group = c.benchmark_group("g");
+        let mut count = 0;
+        group.bench_function("one", |b| b.iter(|| count += 1));
+        group.finish();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn bench_mode_collects_samples() {
+        let mut c = Criterion { bench_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5).throughput(Throughput::Bytes(1024));
+        let mut count = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &x| b.iter(|| count += x));
+        group.finish();
+        assert_eq!(count, 3 * 6); // 1 warm-up + 5 samples
+    }
+}

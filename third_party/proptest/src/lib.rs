@@ -1,0 +1,437 @@
+//! Offline stand-in for [proptest]: the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` macros and the strategy combinators this workspace
+//! uses (numeric ranges, `prop::collection::vec`, `prop::sample::select`,
+//! tuples, and simple `CLASS{m,n}` string regexes).
+//!
+//! Semantics differ from upstream in two deliberate ways: cases are
+//! generated from a deterministic per-test seed (reproducible runs with
+//! no persistence files), and there is no shrinking — a failing case
+//! reports its case number and values instead. For the equivalence
+//! properties in this workspace (exact or 1e-12-tolerance comparisons over
+//! random circuits) that trade keeps failures debuggable while making the
+//! harness dependency-free.
+//!
+//! [proptest]: https://crates.io/crates/proptest
+
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property (produced by the `prop_assert*` macros).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// xoshiro256++ with SplitMix64 seeding, embedded so this crate stays
+/// dependency-free.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let zone = n.wrapping_mul(u64::MAX / n);
+        loop {
+            let v = self.next_u64();
+            if zone == 0 || v < zone {
+                return v % n;
+            }
+        }
+    }
+}
+
+/// Deterministic per-(test, case) RNG used by the `proptest!` expansion.
+pub fn rng_for(test_name: &str, case: u32) -> TestRng {
+    let mut h = DefaultHasher::new();
+    test_name.hash(&mut h);
+    case.hash(&mut h);
+    TestRng::from_seed(h.finish())
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_strategy_float_range!(f32, f64);
+
+/// String strategies: a single `.` or `[class]` atom with a `{min,max}`
+/// repetition, e.g. `".{0,400}"` or `"[ .0-9e-]{0,12}"`. Anything else is
+/// rejected loudly so unsupported patterns cannot silently weaken a test.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (chars, min, max) = parse_simple_regex(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
+    }
+}
+
+fn parse_simple_regex(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let (atom, rep) = match pat.strip_prefix('.') {
+        Some(rest) => (None, rest),
+        None => {
+            let rest = pat.strip_prefix('[')?;
+            let close = rest.find(']')?;
+            (Some(&rest[..close]), &rest[close + 1..])
+        }
+    };
+    let rep = rep.strip_prefix('{')?.strip_suffix('}')?;
+    let (min_s, max_s) = rep.split_once(',')?;
+    let (min, max) = (min_s.trim().parse().ok()?, max_s.trim().parse().ok()?);
+    let chars = match atom {
+        // `.`: printable ASCII (upstream generates arbitrary chars; printable
+        // is the interesting subset for parser-robustness properties).
+        None => (0x20u8..=0x7e).map(char::from).collect(),
+        Some(class) => {
+            let cs: Vec<char> = class.chars().collect();
+            let mut out = Vec::new();
+            let mut i = 0;
+            while i < cs.len() {
+                if i + 2 < cs.len() && cs[i + 1] == '-' {
+                    let (a, b) = (cs[i] as u32, cs[i + 2] as u32);
+                    for cp in a..=b {
+                        out.push(char::from_u32(cp)?);
+                    }
+                    i += 3;
+                } else {
+                    out.push(cs[i]);
+                    i += 1;
+                }
+            }
+            out
+        }
+    };
+    if chars.is_empty() || max < min {
+        return None;
+    }
+    Some((chars, min, max))
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A) (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) (A, B, C, D, E, F)
+}
+
+/// The `prop::` namespace from proptest's prelude.
+pub mod prop {
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// `prop::collection::vec(element, size_range)`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty vec size range");
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let span = (self.size.end - self.size.start) as u64;
+                let len = self.size.start + rng.below(span) as usize;
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        /// `prop::sample::select(options)` — uniform choice.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select() needs at least one option");
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut TestRng) -> T {
+                self.options[rng.below(self.options.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::rng_for(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}",
+                        stringify!($name), __case, __config.cases, e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l != *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            n in 2usize..8,
+            s in 0u64..10_000,
+            x in -4i64..9,
+            f in 0.0f64..1e3,
+            m in 1usize..=6,
+        ) {
+            prop_assert!((2..8).contains(&n));
+            prop_assert!(s < 10_000);
+            prop_assert!((-4..9).contains(&x));
+            prop_assert!((0.0..1e3).contains(&f));
+            prop_assert!((1..=6).contains(&m));
+        }
+
+        /// Doc comments and extra attributes pass through.
+        #[test]
+        fn composite_strategies(
+            v in prop::collection::vec(0.0f64..10.0, 1..50),
+            pick in prop::sample::select(vec![32u32, 64, 128]),
+            text in "[ a-c]{0,12}",
+            any in ".{0,40}",
+            tup in (0usize..30, prop::sample::select(vec!["h", "x"]), -10i64..40),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 50);
+            prop_assert!(matches!(pick, 32 | 64 | 128));
+            prop_assert!(text.len() <= 12);
+            prop_assert!(text.chars().all(|c| c == ' ' || ('a'..='c').contains(&c)));
+            prop_assert!(any.len() <= 40);
+            prop_assert_eq!(tup.0, tup.0);
+            prop_assert!(tup.1 == "h" || tup.1 == "x");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_stream() {
+        let a: Vec<u64> = (0..4).map(|c| crate::rng_for("t", c).next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|c| crate::rng_for("t", c).next_u64()).collect();
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn failing_property_panics_with_case_info() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(3))]
+            #[allow(dead_code)]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        let err = std::panic::catch_unwind(always_fails).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("always_fails"), "{msg}");
+    }
+}

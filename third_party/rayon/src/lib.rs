@@ -1,0 +1,645 @@
+//! Offline stand-in for [rayon], exposing the subset of its API this
+//! workspace uses: `par_iter` / `par_iter_mut` / `into_par_iter` /
+//! `par_chunks` / `par_chunks_mut` sources, the `map` / `filter` /
+//! `enumerate` / `zip` / `with_min_len` adapters, and the `for_each` /
+//! `for_each_init` / `sum` / `reduce` drivers.
+//!
+//! Parallelism is real: each consuming driver splits the iterator into
+//! contiguous pieces (at most one per available core, respecting
+//! `with_min_len`) and runs them on scoped OS threads. There is no
+//! work-stealing pool — pieces are equal-sized and threads are joined at
+//! the end of every call — which is a good fit for the flat, regular
+//! loops of a state-vector simulator, and keeps this crate dependency-free
+//! so the workspace builds without network access.
+//!
+//! [rayon]: https://crates.io/crates/rayon
+
+use std::iter::Sum;
+use std::ops::Range;
+use std::sync::Arc;
+use std::thread;
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads a driver may use (one piece per thread).
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn plan_pieces(len: usize, min_len: usize) -> usize {
+    if len == 0 {
+        return 1;
+    }
+    let cap = if min_len <= 1 { len } else { len.div_ceil(min_len) };
+    current_num_threads().min(cap).max(1)
+}
+
+fn split_into<P: ParallelIterator>(mut it: P, pieces: usize) -> Vec<P> {
+    let mut out = Vec::with_capacity(pieces);
+    let mut remaining = pieces;
+    while remaining > 1 {
+        let take = it.len() / remaining;
+        let (head, tail) = it.split_at(take);
+        out.push(head);
+        it = tail;
+        remaining -= 1;
+    }
+    out.push(it);
+    out
+}
+
+/// Fold every piece on its own thread and collect the per-piece
+/// accumulators. All drivers funnel through here.
+fn fold_pieces<P, A>(
+    it: P,
+    init: &(impl Fn() -> A + Sync),
+    fold: &(impl Fn(&mut A, P::Item) + Sync),
+) -> Vec<A>
+where
+    P: ParallelIterator,
+    A: Send,
+{
+    let pieces = plan_pieces(it.len(), it.min_len());
+    if pieces <= 1 {
+        let mut acc = init();
+        it.drive_seq(&mut |x| fold(&mut acc, x));
+        return vec![acc];
+    }
+    let parts = split_into(it, pieces);
+    thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|p| {
+                s.spawn(move || {
+                    let mut acc = init();
+                    p.drive_seq(&mut |x| fold(&mut acc, x));
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+/// A splittable, exactly-sized parallel iterator.
+///
+/// Unlike rayon's producer/consumer machinery this is deliberately small:
+/// sources know their length and how to split at an index, and adapters
+/// preserve both.
+pub trait ParallelIterator: Sized + Send {
+    type Item: Send;
+
+    /// Remaining number of items (an upper bound for `filter`).
+    fn len(&self) -> usize;
+    /// Split into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+    /// Run the piece sequentially, pushing each item into `f`.
+    fn drive_seq(self, f: &mut dyn FnMut(Self::Item));
+    /// Smallest piece worth moving to another thread.
+    fn min_len(&self) -> usize {
+        1
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    // ---- adapters ----
+
+    fn with_min_len(self, min: usize) -> WithMinLen<Self> {
+        WithMinLen { inner: self, min }
+    }
+
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { inner: self, f: Arc::new(f) }
+    }
+
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter { inner: self, f: Arc::new(f) }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self, base: 0 }
+    }
+
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        let n = self.len().min(other.len());
+        let (a, _) = self.split_at(n);
+        let (b, _) = other.split_at(n);
+        Zip { a, b }
+    }
+
+    // ---- drivers ----
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        fold_pieces(self, &|| (), &|_acc, x| f(x));
+    }
+
+    fn for_each_init<T, INIT, F>(self, init: INIT, f: F)
+    where
+        T: Send,
+        INIT: Fn() -> T + Sync + Send,
+        F: Fn(&mut T, Self::Item) + Sync + Send,
+    {
+        fold_pieces(self, &init, &|t, x| f(t, x));
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: Sum<Self::Item> + Sum<S> + Send,
+    {
+        fold_pieces(self, &|| None::<S>, &|acc, x| {
+            let v: S = std::iter::once(x).sum();
+            *acc = Some(match acc.take() {
+                None => v,
+                Some(prev) => [prev, v].into_iter().sum(),
+            });
+        })
+        .into_iter()
+        .flatten()
+        .sum()
+    }
+
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        fold_pieces(self, &|| None::<Self::Item>, &|acc, x| {
+            *acc = Some(match acc.take() {
+                None => x,
+                Some(prev) => op(prev, x),
+            });
+        })
+        .into_iter()
+        .flatten()
+        .fold(identity(), &op)
+    }
+
+    fn count(self) -> usize {
+        fold_pieces(self, &|| 0usize, &|acc, _| *acc += 1).into_iter().sum()
+    }
+}
+
+// ---- adapter types ----
+
+pub struct WithMinLen<I> {
+    inner: I,
+    min: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for WithMinLen<I> {
+    type Item = I::Item;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.inner.split_at(index);
+        (WithMinLen { inner: l, min: self.min }, WithMinLen { inner: r, min: self.min })
+    }
+    fn drive_seq(self, f: &mut dyn FnMut(Self::Item)) {
+        self.inner.drive_seq(f)
+    }
+    fn min_len(&self) -> usize {
+        self.inner.min_len().max(self.min)
+    }
+}
+
+pub struct Map<I, F> {
+    inner: I,
+    f: Arc<F>,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.inner.split_at(index);
+        (Map { inner: l, f: self.f.clone() }, Map { inner: r, f: self.f })
+    }
+    fn drive_seq(self, f: &mut dyn FnMut(Self::Item)) {
+        let g = self.f;
+        self.inner.drive_seq(&mut |x| f(g(x)));
+    }
+    fn min_len(&self) -> usize {
+        self.inner.min_len()
+    }
+}
+
+pub struct Filter<I, F> {
+    inner: I,
+    f: Arc<F>,
+}
+
+impl<I, F> ParallelIterator for Filter<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(&I::Item) -> bool + Sync + Send,
+{
+    type Item = I::Item;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.inner.split_at(index);
+        (Filter { inner: l, f: self.f.clone() }, Filter { inner: r, f: self.f })
+    }
+    fn drive_seq(self, f: &mut dyn FnMut(Self::Item)) {
+        let keep = self.f;
+        self.inner.drive_seq(&mut |x| {
+            if keep(&x) {
+                f(x)
+            }
+        });
+    }
+    fn min_len(&self) -> usize {
+        self.inner.min_len()
+    }
+}
+
+pub struct Enumerate<I> {
+    inner: I,
+    base: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.inner.split_at(index);
+        (Enumerate { inner: l, base: self.base }, Enumerate { inner: r, base: self.base + index })
+    }
+    fn drive_seq(self, f: &mut dyn FnMut(Self::Item)) {
+        let mut i = self.base;
+        self.inner.drive_seq(&mut |x| {
+            f((i, x));
+            i += 1;
+        });
+    }
+    fn min_len(&self) -> usize {
+        self.inner.min_len()
+    }
+}
+
+/// Invariant: `a.len() == b.len()` (enforced by the `zip` constructor and
+/// preserved by `split_at`), so lock-step pairing in `drive_seq` is exact.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn len(&self) -> usize {
+        self.a.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(index);
+        let (b1, b2) = self.b.split_at(index);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+    fn drive_seq(self, f: &mut dyn FnMut(Self::Item)) {
+        // Push-based iteration cannot interleave two drivers, so buffer the
+        // right side of this piece (pieces are at most len/threads items).
+        let mut bs = Vec::with_capacity(self.b.len());
+        self.b.drive_seq(&mut |y| bs.push(y));
+        let mut it = bs.into_iter();
+        self.a.drive_seq(&mut |x| {
+            if let Some(y) = it.next() {
+                f((x, y));
+            }
+        });
+    }
+    fn min_len(&self) -> usize {
+        self.a.min_len().max(self.b.min_len())
+    }
+}
+
+// ---- sources ----
+
+pub struct ParIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (ParIter { slice: l }, ParIter { slice: r })
+    }
+    fn drive_seq(self, f: &mut dyn FnMut(Self::Item)) {
+        for x in self.slice {
+            f(x);
+        }
+    }
+}
+
+pub struct ParIterMut<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (ParIterMut { slice: l }, ParIterMut { slice: r })
+    }
+    fn drive_seq(self, f: &mut dyn FnMut(Self::Item)) {
+        for x in self.slice {
+            f(x);
+        }
+    }
+}
+
+pub struct Chunks<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for Chunks<'a, T> {
+    type Item = &'a [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let at = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(at);
+        (Chunks { slice: l, size: self.size }, Chunks { slice: r, size: self.size })
+    }
+    fn drive_seq(self, f: &mut dyn FnMut(Self::Item)) {
+        for c in self.slice.chunks(self.size) {
+            f(c);
+        }
+    }
+}
+
+pub struct ChunksMut<'a, T: Send> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let at = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(at);
+        (ChunksMut { slice: l, size: self.size }, ChunksMut { slice: r, size: self.size })
+    }
+    fn drive_seq(self, f: &mut dyn FnMut(Self::Item)) {
+        for c in self.slice.chunks_mut(self.size) {
+            f(c);
+        }
+    }
+}
+
+pub struct RangeIter {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.range.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = self.range.start + index.min(self.range.len());
+        (RangeIter { range: self.range.start..mid }, RangeIter { range: mid..self.range.end })
+    }
+    fn drive_seq(self, f: &mut dyn FnMut(Self::Item)) {
+        for i in self.range {
+            f(i);
+        }
+    }
+}
+
+// ---- entry-point traits ----
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+pub struct VecIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.items.split_off(index);
+        (self, VecIter { items: tail })
+    }
+    fn drive_seq(self, f: &mut dyn FnMut(Self::Item)) {
+        for x in self.items {
+            f(x);
+        }
+    }
+}
+
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: Send + 'a;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = ParIterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = ParIterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, size: usize) -> Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> Chunks<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        Chunks { slice: self, size }
+    }
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ChunksMut { slice: self, size }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sum_matches_sequential() {
+        let v: Vec<u64> = (0..100_000).collect();
+        let par: u64 = v.par_iter().with_min_len(64).map(|&x| x).sum();
+        assert_eq!(par, v.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn for_each_mutates_every_element() {
+        let mut v = vec![1i64; 10_000];
+        v.par_iter_mut().with_min_len(16).for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn enumerate_indices_are_global() {
+        let v = vec![0usize; 5000];
+        let total: usize = v.par_iter().enumerate().with_min_len(7).map(|(i, _)| i).sum();
+        assert_eq!(total, 5000 * 4999 / 2);
+    }
+
+    #[test]
+    fn zip_pairs_lockstep() {
+        let a: Vec<usize> = (0..4096).collect();
+        let b: Vec<usize> = (0..4096).rev().collect();
+        let s: usize = a.par_iter().zip(b.par_iter()).with_min_len(13).map(|(x, y)| x + y).sum();
+        assert_eq!(s, 4096 * 4095);
+    }
+
+    #[test]
+    fn filter_reduce_and_ranges() {
+        let total = (0..10_000usize)
+            .into_par_iter()
+            .with_min_len(11)
+            .filter(|i| i % 3 == 0)
+            .map(|i| (i, 1usize))
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        let expect: usize = (0..10_000).filter(|i| i % 3 == 0).sum();
+        assert_eq!(total, (expect, 3334));
+    }
+
+    #[test]
+    fn chunks_mut_cover_disjoint_blocks() {
+        let mut v = vec![0u32; 1000];
+        v.par_chunks_mut(64).enumerate().for_each(|(b, c)| {
+            for x in c {
+                *x = b as u32;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[63], 0);
+        assert_eq!(v[64], 1);
+        assert_eq!(v[999], (999 / 64) as u32);
+    }
+
+    #[test]
+    fn for_each_init_reuses_scratch() {
+        let v: Vec<usize> = (0..2048).collect();
+        let out: Vec<std::sync::Mutex<usize>> =
+            (0..2048).map(|_| std::sync::Mutex::new(0)).collect();
+        v.par_iter().with_min_len(32).for_each_init(
+            || vec![0u8; 16],
+            |scratch, &i| {
+                scratch[0] = 1;
+                *out[i].lock().unwrap() = i + 1;
+            },
+        );
+        assert!((0..2048).all(|i| *out[i].lock().unwrap() == i + 1));
+    }
+}

@@ -1,0 +1,401 @@
+//! Offline stand-in for [serde], reshaped around a concrete JSON-like
+//! [`Value`] tree instead of upstream's visitor machinery: `Serialize`
+//! lowers to a `Value`, `Deserialize` lifts from one, and `serde_json`
+//! (the companion shim) handles text. There is no proc-macro `derive` —
+//! impls are written by hand or generated with the
+//! [`impl_serde_struct!`] / [`impl_serde_unit_enum!`] macros, which
+//! reproduce derive's field-name/variant-name encoding.
+//!
+//! [serde]: https://crates.io/crates/serde
+
+use std::fmt;
+
+/// A JSON-shaped value tree. Numbers are stored as `f64` (exact for all
+/// integers up to 2^53, far beyond anything this workspace serializes);
+/// objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9.007_199_254_740_992e15 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && n.abs() <= 9.007_199_254_740_992e15 => {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup; `None` on missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Deserialization failure: what was expected, where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Look up and deserialize one object field (used by `impl_serde_struct!`).
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    let f = v.get(name).ok_or_else(|| Error(format!("missing field `{name}`")))?;
+    T::from_value(f).map_err(|e| Error(format!("field `{name}`: {e}")))
+}
+
+// ---- primitive impls ----
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error(format!("expected bool, got {v:?}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string).ok_or_else(|| Error(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error(format!("expected number, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_f64().ok_or_else(|| Error(format!("expected integer, got {v:?}")))?;
+                if n.fract() != 0.0 {
+                    return Err(Error(format!("expected integer, got {n}")));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+/// Generate `Serialize` + `Deserialize` for a struct with named fields,
+/// matching derive's `{"field": value, ...}` encoding.
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((stringify!($field).to_string(), $crate::Serialize::to_value(&self.$field)),)+
+                ])
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> ::std::result::Result<Self, $crate::Error> {
+                ::std::result::Result::Ok(Self {
+                    $($field: $crate::field(v, stringify!($field))?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Generate `Serialize` + `Deserialize` for a field-less enum, matching
+/// derive's `"Variant"` string encoding.
+#[macro_export]
+macro_rules! impl_serde_unit_enum {
+    ($ty:ty { $($variant:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::String(
+                    match self {
+                        $(<$ty>::$variant => stringify!($variant),)+
+                    }
+                    .to_string(),
+                )
+            }
+        }
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> ::std::result::Result<Self, $crate::Error> {
+                match v.as_str() {
+                    $(::std::option::Option::Some(stringify!($variant)) =>
+                        ::std::result::Result::Ok(<$ty>::$variant),)+
+                    _ => ::std::result::Result::Err($crate::Error(format!(
+                        concat!("invalid ", stringify!($ty), " variant: {:?}"),
+                        v
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        a: u32,
+        b: String,
+        c: Option<f64>,
+    }
+    impl_serde_struct!(Demo { a, b, c });
+
+    #[derive(Debug, PartialEq)]
+    enum Kind {
+        Alpha,
+        Beta,
+    }
+    impl_serde_unit_enum!(Kind { Alpha, Beta });
+
+    #[test]
+    fn struct_roundtrip() {
+        let d = Demo { a: 7, b: "x".into(), c: None };
+        let v = d.to_value();
+        assert_eq!(v["a"], 7u64);
+        assert_eq!(Demo::from_value(&v).unwrap(), d);
+    }
+
+    #[test]
+    fn enum_roundtrip() {
+        let v = Kind::Beta.to_value();
+        assert_eq!(v, "Beta");
+        assert_eq!(Kind::from_value(&v).unwrap(), Kind::Beta);
+        assert!(Kind::from_value(&Value::String("Gamma".into())).is_err());
+    }
+
+    #[test]
+    fn index_missing_is_null() {
+        let v = Value::Object(vec![]);
+        assert!(v["nope"].is_null());
+        assert!(v["nope"]["deeper"].is_null());
+    }
+}
