@@ -1,0 +1,811 @@
+//! The built-in lint rules.
+//!
+//! Circuit rules ([`Structure`], [`Unitarity`], [`IdentityGate`],
+//! [`GateAfterMeasurement`], [`EmptyCircuit`]) walk the raw gate list;
+//! plan rules ([`PlanShape`], [`PlanUnitarity`], [`PlanMeasurementOrder`],
+//! [`PlanSourceAccounting`], [`PlanSweep`], [`PlanEquivalence`]) walk the
+//! fuser's output. Every rule is independent: it appends findings and never
+//! stops the pass. Rules are defensive — a malformed input produces
+//! diagnostics, not panics, so one rule's subject matter never crashes
+//! another rule.
+
+use qsim_circuit::gates::GateKind;
+use qsim_core::diag::{Diagnostic, Span};
+use qsim_core::kernels::{self, MAX_GATE_QUBITS};
+use qsim_core::matrix::GateMatrix;
+use qsim_core::StateVector;
+use qsim_fusion::{FusedGate, FusedOp};
+
+use crate::{
+    codes, CircuitCtx, CircuitRule, PlanCtx, PlanRule, EQUIVALENCE_MAX_QUBITS, EQUIVALENCE_TOL,
+    PLAN_UNITARY_TOL_F64, UNITARY_TOL_F32, UNITARY_TOL_F64,
+};
+
+// ---------------------------------------------------------------- circuit
+
+/// Structural invariants: arity, qubit ranges, duplicate operands,
+/// control/target overlap, time monotonicity — delegated to
+/// [`Circuit::validate`], which owns the `QC00xx` codes.
+pub struct Structure;
+
+impl CircuitRule for Structure {
+    fn name(&self) -> &'static str {
+        "circuit-structure"
+    }
+
+    fn check(&self, ctx: &CircuitCtx<'_>, out: &mut Vec<Diagnostic>) {
+        if let Err(diags) = ctx.circuit.validate() {
+            out.extend(diags);
+        }
+    }
+}
+
+/// Every gate matrix must be unitary: exactly the property that makes a
+/// state-vector simulation norm-preserving. Checked at `f64` (error) and
+/// after casting to `f32` (warning — the precision axis of the paper's
+/// Figure 8).
+pub struct Unitarity;
+
+impl CircuitRule for Unitarity {
+    fn name(&self) -> &'static str {
+        "gate-unitarity"
+    }
+
+    fn check(&self, ctx: &CircuitCtx<'_>, out: &mut Vec<Diagnostic>) {
+        for (i, op) in ctx.circuit.ops.iter().enumerate() {
+            let Some(m) = op.kind.matrix::<f64>() else {
+                continue; // measurements have no matrix
+            };
+            let span = Span::op(i, op.time);
+            if !m.is_unitary(UNITARY_TOL_F64) {
+                out.push(
+                    Diagnostic::error(
+                        codes::NON_UNITARY_GATE,
+                        span,
+                        format!("gate '{}' is not unitary within {UNITARY_TOL_F64:.0e}", op.kind.name()),
+                    )
+                    .with_help("a non-unitary gate does not preserve the state norm; check the matrix entries"),
+                );
+            } else if !m.cast::<f32>().is_unitary(UNITARY_TOL_F32) {
+                out.push(
+                    Diagnostic::warning(
+                        codes::UNITARITY_F32_LOSS,
+                        span,
+                        format!(
+                            "gate '{}' loses unitarity beyond {UNITARY_TOL_F32:.0e} in single precision",
+                            op.kind.name()
+                        ),
+                    )
+                    .with_help("run this circuit in double precision (f64)"),
+                );
+            }
+        }
+    }
+}
+
+/// Dead gates: an explicit `id` (warning) or a parametrized gate whose
+/// matrix collapses to the identity, e.g. `rz 0` (note). Either way the
+/// gate costs a pass (or widens a fused product) without doing anything.
+pub struct IdentityGate;
+
+impl CircuitRule for IdentityGate {
+    fn name(&self) -> &'static str {
+        "identity-gate"
+    }
+
+    fn check(&self, ctx: &CircuitCtx<'_>, out: &mut Vec<Diagnostic>) {
+        for (i, op) in ctx.circuit.ops.iter().enumerate() {
+            let span = Span::op(i, op.time);
+            if op.kind == GateKind::Id {
+                out.push(
+                    Diagnostic::warning(codes::IDENTITY_GATE, span, "explicit identity gate")
+                        .with_help("remove it; it costs a pass over the state without effect"),
+                );
+                continue;
+            }
+            let Some(m) = op.kind.matrix::<f64>() else {
+                continue;
+            };
+            if m.max_abs_diff(&GateMatrix::<f64>::identity(m.dim())) < 1e-12 {
+                out.push(Diagnostic::note(
+                    codes::IDENTITY_GATE,
+                    span,
+                    format!(
+                        "gate '{}' acts as the identity (zero-angle rotation?)",
+                        op.kind.name()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// A unitary gate touching a qubit *after* that qubit was measured: legal
+/// for the simulator (measurement collapses, the gate then acts on the
+/// collapsed state) but almost always a circuit-authoring mistake in the
+/// amplitude-query workloads this simulator targets.
+pub struct GateAfterMeasurement;
+
+impl CircuitRule for GateAfterMeasurement {
+    fn name(&self) -> &'static str {
+        "gate-after-measurement"
+    }
+
+    fn check(&self, ctx: &CircuitCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let n = ctx.circuit.num_qubits;
+        let mut measured_at: Vec<Option<usize>> = vec![None; n];
+        for (i, op) in ctx.circuit.ops.iter().enumerate() {
+            if op.is_measurement() {
+                for &q in &op.qubits {
+                    if q < n {
+                        measured_at[q] = Some(i);
+                    }
+                }
+                continue;
+            }
+            let shadowed = op
+                .qubits
+                .iter()
+                .chain(op.controls.iter())
+                .find(|&&q| q < n && measured_at[q].is_some());
+            if let Some(&q) = shadowed {
+                let m_idx = measured_at[q].unwrap_or_default();
+                out.push(
+                    Diagnostic::warning(
+                        codes::GATE_AFTER_MEASUREMENT,
+                        Span::op(i, op.time),
+                        format!(
+                            "gate '{}' acts on qubit {q}, which was measured at op {m_idx}",
+                            op.kind.name()
+                        ),
+                    )
+                    .with_help(
+                        "gates after measurement act on the collapsed state; move the \
+                         measurement to the end if amplitudes are queried",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// An empty circuit is executable but almost certainly a loading mistake.
+pub struct EmptyCircuit;
+
+impl CircuitRule for EmptyCircuit {
+    fn name(&self) -> &'static str {
+        "empty-circuit"
+    }
+
+    fn check(&self, ctx: &CircuitCtx<'_>, out: &mut Vec<Diagnostic>) {
+        if ctx.circuit.ops.is_empty() {
+            out.push(Diagnostic::warning(
+                codes::EMPTY_CIRCUIT,
+                Span::whole_circuit(),
+                format!(
+                    "circuit declares {} qubits but contains no operations",
+                    ctx.circuit.num_qubits
+                ),
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------------------ plan
+
+/// Well-formedness of each fused gate: sorted distinct in-range qubits,
+/// matrix dimension `2^width`, width within kernel support, fusion-budget
+/// legality, and a non-inverted source-time range.
+pub struct PlanShape;
+
+impl PlanRule for PlanShape {
+    fn name(&self) -> &'static str {
+        "plan-shape"
+    }
+
+    fn check(&self, ctx: &PlanCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let plan = ctx.plan;
+        if !(1..=MAX_GATE_QUBITS).contains(&plan.max_fused_qubits) {
+            out.push(Diagnostic::error(
+                codes::PLAN_FUSION_BUDGET_EXCEEDED,
+                Span::whole_circuit(),
+                format!(
+                    "plan declares max_fused_qubits = {}, outside the supported 1..={MAX_GATE_QUBITS}",
+                    plan.max_fused_qubits
+                ),
+            ));
+        }
+        for (i, op) in plan.ops.iter().enumerate() {
+            let FusedOp::Unitary(g) = op else { continue };
+            let span = Span::op(i, g.time_range.0);
+            let w = g.width();
+            if g.qubits.is_empty()
+                || !g.qubits.windows(2).all(|p| p[0] < p[1])
+                || g.qubits.iter().any(|&q| q >= plan.num_qubits)
+            {
+                out.push(
+                    Diagnostic::error(
+                        codes::PLAN_MALFORMED_QUBITS,
+                        span,
+                        format!(
+                            "fused gate has malformed qubit set {:?} for a {}-qubit register",
+                            g.qubits, plan.num_qubits
+                        ),
+                    )
+                    .with_help("qubits must be sorted, distinct, and < num_qubits"),
+                );
+                continue; // width/dim checks would only repeat the confusion
+            }
+            if g.matrix.dim() != 1 << w {
+                out.push(Diagnostic::error(
+                    codes::PLAN_MATRIX_DIM_MISMATCH,
+                    span,
+                    format!(
+                        "fused gate on {w} qubit(s) carries a {0}×{0} matrix (expected {1}×{1})",
+                        g.matrix.dim(),
+                        1usize << w
+                    ),
+                ));
+            }
+            if w > MAX_GATE_QUBITS {
+                out.push(Diagnostic::error(
+                    codes::PLAN_WIDTH_EXCEEDS_KERNEL,
+                    span,
+                    format!(
+                        "fused gate spans {w} qubits; kernels support at most {MAX_GATE_QUBITS}"
+                    ),
+                ));
+            } else if g.source_gates > 1 && w > plan.max_fused_qubits {
+                // A single wide gate legitimately passes through unfused;
+                // a *merged* product must respect the budget.
+                out.push(Diagnostic::error(
+                    codes::PLAN_FUSION_BUDGET_EXCEEDED,
+                    span,
+                    format!(
+                        "{} source gates were merged into a {w}-qubit product, beyond the \
+                         max_fused_qubits = {} budget",
+                        g.source_gates, plan.max_fused_qubits
+                    ),
+                ));
+            }
+            if g.time_range.0 > g.time_range.1 {
+                out.push(Diagnostic::error(
+                    codes::PLAN_TIME_RANGE_INVERTED,
+                    Span::op_only(i),
+                    format!(
+                        "fused gate time range ({}, {}) is inverted",
+                        g.time_range.0, g.time_range.1
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Norm preservation of the fused products: fusing unitaries by matrix
+/// product and qubit-set expansion must yield unitaries. Checked at `f64`
+/// (error) and after the backend's `f32` cast (warning).
+pub struct PlanUnitarity;
+
+impl PlanRule for PlanUnitarity {
+    fn name(&self) -> &'static str {
+        "plan-unitarity"
+    }
+
+    fn check(&self, ctx: &PlanCtx<'_>, out: &mut Vec<Diagnostic>) {
+        for (i, op) in ctx.plan.ops.iter().enumerate() {
+            let FusedOp::Unitary(g) = op else { continue };
+            if g.matrix.dim() != 1 << g.width() {
+                continue; // PlanShape reports the dimension mismatch
+            }
+            let span = Span::op(i, g.time_range.0);
+            if !g.matrix.is_unitary(PLAN_UNITARY_TOL_F64) {
+                out.push(
+                    Diagnostic::error(
+                        codes::PLAN_NON_UNITARY,
+                        span,
+                        format!(
+                            "fused product of {} gate(s) on qubits {:?} is not unitary within {PLAN_UNITARY_TOL_F64:.0e}",
+                            g.source_gates, g.qubits
+                        ),
+                    )
+                    .with_help("the plan would not preserve the state norm; refuse to execute it"),
+                );
+            } else if !g.matrix_as::<f32>().is_unitary(UNITARY_TOL_F32) {
+                out.push(
+                    Diagnostic::warning(
+                        codes::PLAN_UNITARITY_F32_LOSS,
+                        span,
+                        format!(
+                            "fused product on qubits {:?} loses unitarity beyond {UNITARY_TOL_F32:.0e} in single precision",
+                            g.qubits
+                        ),
+                    )
+                    .with_help("run in double precision or lower max_fused_qubits"),
+                );
+            } else if g.matrix.max_abs_diff(&GateMatrix::<f64>::identity(g.matrix.dim())) < 1e-12 {
+                // Unitary, but trivially so: the folded gates cancelled.
+                out.push(
+                    Diagnostic::warning(
+                        codes::PLAN_IDENTITY_PASS,
+                        span,
+                        format!(
+                            "fused product of {} gate(s) on qubits {:?} is the identity",
+                            g.source_gates, g.qubits
+                        ),
+                    )
+                    .with_help("the gates cancel; this pass streams the whole state for no effect"),
+                );
+            }
+        }
+    }
+}
+
+/// Measurement barriers must appear in non-decreasing time order: the
+/// fuser keeps them in place, so a regression means the plan was edited
+/// or mis-built.
+pub struct PlanMeasurementOrder;
+
+impl PlanRule for PlanMeasurementOrder {
+    fn name(&self) -> &'static str {
+        "plan-measurement-order"
+    }
+
+    fn check(&self, ctx: &PlanCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let mut last: Option<usize> = None;
+        for (i, op) in ctx.plan.ops.iter().enumerate() {
+            let FusedOp::Measurement { time, .. } = op else { continue };
+            if let Some(prev) = last {
+                if *time < prev {
+                    out.push(Diagnostic::error(
+                        codes::PLAN_MEASUREMENT_ORDER,
+                        Span::op(i, *time),
+                        format!(
+                            "measurement at time {time} appears after a measurement at time {prev}"
+                        ),
+                    ));
+                }
+            }
+            last = Some((*time).max(last.unwrap_or(0)));
+        }
+    }
+}
+
+/// Cross-check the plan against its source circuit: same register width,
+/// every non-measurement source gate folded exactly once, every
+/// measurement barrier preserved. No-op when the source is unavailable.
+pub struct PlanSourceAccounting;
+
+impl PlanRule for PlanSourceAccounting {
+    fn name(&self) -> &'static str {
+        "plan-source-accounting"
+    }
+
+    fn check(&self, ctx: &PlanCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(src) = ctx.source else { return };
+        let plan = ctx.plan;
+        if src.num_qubits != plan.num_qubits {
+            out.push(Diagnostic::error(
+                codes::PLAN_SOURCE_MISMATCH,
+                Span::whole_circuit(),
+                format!(
+                    "plan is for {} qubits but its source circuit declares {}",
+                    plan.num_qubits, src.num_qubits
+                ),
+            ));
+        }
+        let src_gates = src.ops.iter().filter(|o| !o.is_measurement()).count();
+        let folded = plan.source_gate_count();
+        if folded != src_gates {
+            out.push(
+                Diagnostic::error(
+                    codes::PLAN_SOURCE_MISMATCH,
+                    Span::whole_circuit(),
+                    format!(
+                        "plan accounts for {folded} source gate(s) but the circuit has {src_gates}"
+                    ),
+                )
+                .with_help("every non-measurement gate must fold into exactly one fused gate"),
+            );
+        }
+        let src_measurements = src.ops.iter().filter(|o| o.is_measurement()).count();
+        let plan_measurements = plan.measurements().count();
+        if src_measurements != plan_measurements {
+            out.push(Diagnostic::error(
+                codes::PLAN_SOURCE_MISMATCH,
+                Span::whole_circuit(),
+                format!(
+                    "plan keeps {plan_measurements} measurement barrier(s) but the circuit has {src_measurements}"
+                ),
+            ));
+        }
+    }
+}
+
+/// Sweep-barrier sanity: re-derive the block-local / barrier split from
+/// [`qsim_core::sweep::is_block_local`] and check it against the pass
+/// accounting of [`FusedCircuit::sweep_stats`] — the executor and the
+/// analyzer must agree on what a barrier is. Also emits a performance
+/// note when barriers dominate.
+pub struct PlanSweep;
+
+impl PlanRule for PlanSweep {
+    fn name(&self) -> &'static str {
+        "plan-sweep-accounting"
+    }
+
+    fn check(&self, ctx: &PlanCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let plan = ctx.plan;
+        let stats = plan.sweep_stats(&ctx.sweep);
+        let gates = plan.num_unitaries() as u64;
+        if stats.gates != gates {
+            out.push(Diagnostic::error(
+                codes::PLAN_SWEEP_ACCOUNTING,
+                Span::whole_circuit(),
+                format!("sweep stats saw {} gate(s) but the plan has {gates}", stats.gates),
+            ));
+            return;
+        }
+        if !ctx.sweep.enabled {
+            if stats.full_passes != stats.gates {
+                out.push(Diagnostic::error(
+                    codes::PLAN_SWEEP_ACCOUNTING,
+                    Span::whole_circuit(),
+                    format!(
+                        "sweep disabled but pass count {} differs from gate count {}",
+                        stats.full_passes, stats.gates
+                    ),
+                ));
+            }
+            return;
+        }
+        let bq = ctx.sweep.block_qubits(plan.num_qubits);
+        let local =
+            plan.unitaries().filter(|g| qsim_core::sweep::is_block_local(&g.qubits, bq)).count()
+                as u64;
+        if stats.block_local_gates != local || stats.barrier_gates != gates - local {
+            out.push(
+                Diagnostic::error(
+                    codes::PLAN_SWEEP_ACCOUNTING,
+                    Span::whole_circuit(),
+                    format!(
+                        "sweep classified {}/{} gate(s) block-local, but is_block_local(block_qubits = {bq}) \
+                         marks {local}",
+                        stats.block_local_gates, stats.gates
+                    ),
+                )
+                .with_help("the sweep executor and the locality predicate disagree — executor bug"),
+            );
+        }
+        if stats.full_passes != stats.runs + stats.barrier_gates {
+            out.push(Diagnostic::error(
+                codes::PLAN_SWEEP_ACCOUNTING,
+                Span::whole_circuit(),
+                format!(
+                    "pass identity violated: {} full passes ≠ {} runs + {} barrier gates",
+                    stats.full_passes, stats.runs, stats.barrier_gates
+                ),
+            ));
+        }
+        if gates > 0 && stats.barrier_gates * 2 > gates {
+            out.push(
+                Diagnostic::note(
+                    codes::PLAN_SWEEP_BARRIER_HEAVY,
+                    Span::whole_circuit(),
+                    format!(
+                        "{} of {gates} fused gate(s) are sweep barriers (targets ≥ qubit {bq})",
+                        stats.barrier_gates
+                    ),
+                )
+                .with_help(
+                    "the cache-blocked sweep cannot batch these passes; this is expected for \
+                     wide registers and does not affect correctness",
+                ),
+            );
+        }
+    }
+}
+
+/// Probe-state equivalence: evolve two basis states through the source
+/// circuit (reference kernels) and through the plan's fused unitaries;
+/// amplitudes must agree. The strongest plan check, but `O(gates · 2^n)`,
+/// so it only runs for registers up to [`EQUIVALENCE_MAX_QUBITS`] and is
+/// excluded from the backend pre-run registry.
+pub struct PlanEquivalence;
+
+impl PlanRule for PlanEquivalence {
+    fn name(&self) -> &'static str {
+        "plan-equivalence"
+    }
+
+    fn check(&self, ctx: &PlanCtx<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(src) = ctx.source else { return };
+        let plan = ctx.plan;
+        let n = plan.num_qubits;
+        // Only probe structurally sound inputs: shape errors are already
+        // reported, and applying a malformed plan would panic in kernels.
+        if src.num_qubits != n || src.validate().is_err() || !plan.unitaries().all(well_formed(n)) {
+            return;
+        }
+        if n > EQUIVALENCE_MAX_QUBITS {
+            out.push(Diagnostic::note(
+                codes::PLAN_EQUIVALENCE_SKIPPED,
+                Span::whole_circuit(),
+                format!(
+                    "probe-state equivalence skipped: {n} qubits exceeds the \
+                     {EQUIVALENCE_MAX_QUBITS}-qubit probe budget"
+                ),
+            ));
+            return;
+        }
+        for basis in [0usize, (1usize << n) - 1] {
+            let mut reference = StateVector::<f64>::new(n);
+            reference.set_basis_state(basis);
+            for op in &src.ops {
+                if op.is_measurement() {
+                    continue; // both sides compare the unitary part only
+                }
+                let Some((qs, m)) = op.sorted_matrix::<f64>() else { continue };
+                if op.controls.is_empty() {
+                    kernels::apply_gate_seq(&mut reference, &qs, &m);
+                } else {
+                    let all_ones = (1usize << op.controls.len()) - 1;
+                    kernels::apply_controlled_gate_seq(
+                        &mut reference,
+                        &qs,
+                        &op.controls,
+                        all_ones,
+                        &m,
+                    );
+                }
+            }
+            let mut fused = StateVector::<f64>::new(n);
+            fused.set_basis_state(basis);
+            for g in plan.unitaries() {
+                kernels::apply_gate_seq(&mut fused, &g.qubits, &g.matrix);
+            }
+            let diff = reference.max_abs_diff(&fused);
+            if diff > EQUIVALENCE_TOL {
+                out.push(
+                    Diagnostic::error(
+                        codes::PLAN_EQUIVALENCE_DIVERGED,
+                        Span::whole_circuit(),
+                        format!(
+                            "plan diverges from its source circuit by {diff:.2e} on probe state \
+                             |{basis:0>width$b}⟩",
+                            width = n
+                        ),
+                    )
+                    .with_help("the fused plan does not implement the circuit it was built from"),
+                );
+                return; // one probe failure is conclusive
+            }
+        }
+    }
+}
+
+/// Predicate used to guard the equivalence probe against malformed gates.
+fn well_formed(n: usize) -> impl Fn(&FusedGate) -> bool {
+    move |g: &FusedGate| {
+        !g.qubits.is_empty()
+            && g.qubits.windows(2).all(|p| p[0] < p[1])
+            && g.qubits.iter().all(|&q| q < n)
+            && g.width() <= MAX_GATE_QUBITS
+            && g.matrix.dim() == 1 << g.width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim_circuit::circuit::Circuit;
+    use qsim_core::sweep::SweepConfig;
+    use qsim_core::types::Cplx;
+    use qsim_fusion::FusedCircuit;
+
+    use crate::Analyzer;
+
+    fn plan_codes(plan: &FusedCircuit, source: Option<&Circuit>) -> Vec<&'static str> {
+        Analyzer::new()
+            .analyze_plan(plan, source, SweepConfig::default())
+            .diagnostics
+            .iter()
+            .map(|d| d.code)
+            .collect()
+    }
+
+    fn one_gate_plan(gate: FusedGate, num_qubits: usize) -> FusedCircuit {
+        FusedCircuit { num_qubits, ops: vec![FusedOp::Unitary(gate)], max_fused_qubits: 2 }
+    }
+
+    fn h_gate(qubits: Vec<usize>) -> FusedGate {
+        FusedGate {
+            qubits,
+            matrix: GateKind::H.matrix::<f64>().unwrap(),
+            source_gates: 1,
+            time_range: (0, 0),
+        }
+    }
+
+    #[test]
+    fn malformed_qubits_detected() {
+        for qubits in [vec![], vec![1, 0], vec![0, 0], vec![9]] {
+            let mut g = h_gate(qubits.clone());
+            // Give multi-qubit lists a matching matrix so only the qubit
+            // set is at fault.
+            if qubits.len() == 2 {
+                g.matrix = GateMatrix::identity(4);
+            }
+            let plan = one_gate_plan(g, 2);
+            assert!(
+                plan_codes(&plan, None).contains(&codes::PLAN_MALFORMED_QUBITS),
+                "{qubits:?} should be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_dim_mismatch_detected() {
+        let mut g = h_gate(vec![0, 1]);
+        g.matrix = GateKind::H.matrix::<f64>().unwrap(); // 2×2 for 2 qubits
+        let plan = one_gate_plan(g, 2);
+        assert!(plan_codes(&plan, None).contains(&codes::PLAN_MATRIX_DIM_MISMATCH));
+    }
+
+    #[test]
+    fn overwide_gate_detected() {
+        let w = MAX_GATE_QUBITS + 1;
+        let g = FusedGate {
+            qubits: (0..w).collect(),
+            matrix: GateMatrix::identity(1 << w),
+            source_gates: 1,
+            time_range: (0, 0),
+        };
+        let plan = one_gate_plan(g, w);
+        assert!(plan_codes(&plan, None).contains(&codes::PLAN_WIDTH_EXCEEDS_KERNEL));
+    }
+
+    #[test]
+    fn merged_beyond_budget_detected_but_passthrough_allowed() {
+        // A 3-qubit gate from a single source gate passes through a
+        // max_fused_qubits = 2 plan legally…
+        let single = FusedGate {
+            qubits: vec![0, 1, 2],
+            matrix: GateMatrix::identity(8),
+            source_gates: 1,
+            time_range: (0, 0),
+        };
+        let plan = one_gate_plan(single, 3);
+        assert!(!plan_codes(&plan, None).contains(&codes::PLAN_FUSION_BUDGET_EXCEEDED));
+        // …but the same width from a *merge* of two gates violates it.
+        let merged = FusedGate {
+            qubits: vec![0, 1, 2],
+            matrix: GateMatrix::identity(8),
+            source_gates: 2,
+            time_range: (0, 1),
+        };
+        let plan = one_gate_plan(merged, 3);
+        assert!(plan_codes(&plan, None).contains(&codes::PLAN_FUSION_BUDGET_EXCEEDED));
+    }
+
+    #[test]
+    fn non_unitary_plan_detected() {
+        let mut g = h_gate(vec![0]);
+        g.matrix.set(0, 0, Cplx::new(3.0, 0.0)); // break the norm
+        let plan = one_gate_plan(g, 1);
+        let codes_found = plan_codes(&plan, None);
+        assert!(codes_found.contains(&codes::PLAN_NON_UNITARY));
+    }
+
+    #[test]
+    fn cancelled_product_flagged_as_identity_pass() {
+        let mut src = Circuit::new(1);
+        src.add(0, GateKind::H, &[0]);
+        src.add(1, GateKind::H, &[0]);
+        let fused = qsim_fusion::fuse(&src, 2);
+        let found = plan_codes(&fused, Some(&src));
+        assert!(found.contains(&codes::PLAN_IDENTITY_PASS));
+        // It's a warning, not an error.
+        let r = Analyzer::new().analyze_plan(&fused, Some(&src), SweepConfig::default());
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn inverted_time_range_detected() {
+        let mut g = h_gate(vec![0]);
+        g.time_range = (5, 2);
+        let plan = one_gate_plan(g, 1);
+        assert!(plan_codes(&plan, None).contains(&codes::PLAN_TIME_RANGE_INVERTED));
+    }
+
+    #[test]
+    fn measurement_regression_detected() {
+        let plan = FusedCircuit {
+            num_qubits: 1,
+            ops: vec![
+                FusedOp::Measurement { qubits: vec![0], time: 4 },
+                FusedOp::Measurement { qubits: vec![0], time: 1 },
+            ],
+            max_fused_qubits: 2,
+        };
+        assert!(plan_codes(&plan, None).contains(&codes::PLAN_MEASUREMENT_ORDER));
+    }
+
+    #[test]
+    fn source_accounting_mismatch_detected() {
+        let mut src = Circuit::new(1);
+        src.add(0, GateKind::H, &[0]);
+        src.add(1, GateKind::X, &[0]);
+        // A plan claiming only one folded gate under-accounts.
+        let plan = one_gate_plan(h_gate(vec![0]), 1);
+        assert!(plan_codes(&plan, Some(&src)).contains(&codes::PLAN_SOURCE_MISMATCH));
+        // The real fuser's plan accounts exactly.
+        let fused = qsim_fusion::fuse(&src, 2);
+        assert!(!plan_codes(&fused, Some(&src)).contains(&codes::PLAN_SOURCE_MISMATCH));
+    }
+
+    #[test]
+    fn equivalence_probe_catches_wrong_plan() {
+        let mut src = Circuit::new(2);
+        src.add(0, GateKind::H, &[0]);
+        src.add(1, GateKind::Cnot, &[0, 1]);
+        // A plan that instead applies X on qubit 1: structurally clean,
+        // semantically wrong.
+        let wrong = one_gate_plan(
+            FusedGate {
+                qubits: vec![1],
+                matrix: GateKind::X.matrix::<f64>().unwrap(),
+                source_gates: 2,
+                time_range: (0, 1),
+            },
+            2,
+        );
+        assert!(plan_codes(&wrong, Some(&src)).contains(&codes::PLAN_EQUIVALENCE_DIVERGED));
+        // The real fuser's plan is equivalent.
+        let fused = qsim_fusion::fuse(&src, 2);
+        assert!(!plan_codes(&fused, Some(&src)).contains(&codes::PLAN_EQUIVALENCE_DIVERGED));
+    }
+
+    #[test]
+    fn equivalence_probe_skips_large_registers() {
+        let n = EQUIVALENCE_MAX_QUBITS + 1;
+        let mut src = Circuit::new(n);
+        src.add(0, GateKind::H, &[0]);
+        let fused = qsim_fusion::fuse(&src, 2);
+        let found = plan_codes(&fused, Some(&src));
+        assert!(found.contains(&codes::PLAN_EQUIVALENCE_SKIPPED));
+        assert!(!found.contains(&codes::PLAN_EQUIVALENCE_DIVERGED));
+    }
+
+    #[test]
+    fn equivalence_probe_handles_controlled_ops() {
+        use qsim_circuit::circuit::GateOp;
+        let mut src = Circuit::new(3);
+        src.ops.push(GateOp::with_controls(0, GateKind::H, vec![0], vec![2]));
+        let fused = qsim_fusion::fuse(&src, 3);
+        assert!(!plan_codes(&fused, Some(&src)).contains(&codes::PLAN_EQUIVALENCE_DIVERGED));
+    }
+
+    #[test]
+    fn sweep_accounting_clean_and_barrier_note() {
+        // 2-qubit plan under the default block: everything local, no note.
+        let src = qsim_circuit::library::bell();
+        let fused = qsim_fusion::fuse(&src, 2);
+        let found = plan_codes(&fused, Some(&src));
+        assert!(!found.contains(&codes::PLAN_SWEEP_ACCOUNTING));
+        assert!(!found.contains(&codes::PLAN_SWEEP_BARRIER_HEAVY));
+        // Tiny blocks turn the CZ-containing fused gate into a barrier.
+        let r = Analyzer::new().analyze_plan(&fused, Some(&src), SweepConfig::with_block_amps(2));
+        let found: Vec<_> = r.diagnostics.iter().map(|d| d.code).collect();
+        assert!(!found.contains(&codes::PLAN_SWEEP_ACCOUNTING));
+        assert!(found.contains(&codes::PLAN_SWEEP_BARRIER_HEAVY));
+    }
+
+    #[test]
+    fn sweep_disabled_is_clean() {
+        let src = qsim_circuit::library::ghz(5);
+        let fused = qsim_fusion::fuse(&src, 3);
+        let r = Analyzer::new().analyze_plan(&fused, Some(&src), SweepConfig::disabled());
+        assert!(r.diagnostics.iter().all(|d| d.code != codes::PLAN_SWEEP_ACCOUNTING));
+    }
+}

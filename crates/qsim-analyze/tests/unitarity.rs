@@ -1,0 +1,116 @@
+//! Property tests for the analyzer's semantic rules: every gate the
+//! circuit library can emit is unitary under the rule's tolerances, and
+//! seeded known-bad circuits trigger exactly the advertised codes.
+
+use proptest::prelude::*;
+
+use qsim_analyze::{codes, Analyzer};
+use qsim_circuit::circuit::Circuit;
+use qsim_circuit::gates::GateKind;
+use qsim_circuit::library;
+use qsim_core::sweep::SweepConfig;
+
+/// Every parameterless gate plus parameterised kinds with the given
+/// angles; returns `(kind, qubit_count)`.
+fn gate_from(idx: usize, a: f64, b: f64) -> (GateKind, usize) {
+    match idx {
+        0 => (GateKind::Id, 1),
+        1 => (GateKind::X, 1),
+        2 => (GateKind::Y, 1),
+        3 => (GateKind::Z, 1),
+        4 => (GateKind::H, 1),
+        5 => (GateKind::S, 1),
+        6 => (GateKind::T, 1),
+        7 => (GateKind::X12, 1),
+        8 => (GateKind::Y12, 1),
+        9 => (GateKind::Hz12, 1),
+        10 => (GateKind::Rx(a), 1),
+        11 => (GateKind::Ry(a), 1),
+        12 => (GateKind::Rz(a), 1),
+        13 => (GateKind::Rxy(a, b), 1),
+        14 => (GateKind::Cz, 2),
+        15 => (GateKind::Cnot, 2),
+        16 => (GateKind::Swap, 2),
+        17 => (GateKind::ISwap, 2),
+        18 => (GateKind::CPhase(a), 2),
+        _ => (GateKind::FSim(a, b), 2),
+    }
+}
+
+fn codes_of(report: &qsim_analyze::AnalysisReport) -> Vec<&str> {
+    report.diagnostics.iter().map(|d| d.code).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// No gate constructible from the library's `GateKind` set fails the
+    /// unitarity rule — neither the f64 error nor the f32-loss warning.
+    #[test]
+    fn every_library_gate_is_unitary(
+        idx in 0usize..20,
+        a in -7.0f64..7.0,
+        b in -7.0f64..7.0,
+    ) {
+        let (kind, nq) = gate_from(idx, a, b);
+        let mut c = Circuit::new(2);
+        c.add(0, kind, if nq == 1 { &[0][..] } else { &[0, 1][..] });
+        let report = Analyzer::new().analyze_circuit(&c);
+        let cs = codes_of(&report);
+        prop_assert!(!cs.contains(&codes::NON_UNITARY_GATE), "{report:?}");
+        prop_assert!(!cs.contains(&codes::UNITARITY_F32_LOSS), "{report:?}");
+    }
+
+    /// Random dense circuits pass the full pipeline (circuit rules, plan
+    /// rules, and the small-circuit equivalence probe) with no errors at
+    /// any fusion width.
+    #[test]
+    fn random_dense_circuits_analyze_clean(
+        n in 2usize..=6,
+        gates in 1usize..=30,
+        seed in 0u64..1000,
+        f in 1usize..=4,
+    ) {
+        let c = library::random_dense(n, gates, seed);
+        let report = Analyzer::new().analyze(&c, f, SweepConfig::default());
+        prop_assert!(!report.has_errors(), "n={n} gates={gates} seed={seed} f={f}:\n{}", report.render());
+    }
+}
+
+#[test]
+fn seeded_bad_circuits_trigger_expected_codes() {
+    // Qubit out of range.
+    let mut c = Circuit::new(2);
+    c.add(0, GateKind::H, &[5]);
+    assert!(codes_of(&Analyzer::new().analyze_circuit(&c)).contains(&"QC0002"));
+
+    // Duplicate qubit within one op.
+    let mut c = Circuit::new(2);
+    c.add(0, GateKind::Cz, &[1, 1]);
+    assert!(codes_of(&Analyzer::new().analyze_circuit(&c)).contains(&"QC0003"));
+
+    // Explicit identity gate.
+    let mut c = Circuit::new(1);
+    c.add(0, GateKind::Id, &[0]);
+    assert!(codes_of(&Analyzer::new().analyze_circuit(&c)).contains(&codes::IDENTITY_GATE));
+
+    // Gate applied to an already-measured qubit.
+    let mut c = Circuit::new(2);
+    c.add(0, GateKind::Measurement, &[0]);
+    c.add(1, GateKind::H, &[0]);
+    assert!(codes_of(&Analyzer::new().analyze_circuit(&c)).contains(&codes::GATE_AFTER_MEASUREMENT));
+
+    // Empty circuit.
+    let report = Analyzer::new().analyze_circuit(&Circuit::new(3));
+    assert!(codes_of(&report).contains(&codes::EMPTY_CIRCUIT));
+}
+
+#[test]
+fn library_showpieces_are_clean() {
+    for (name, c) in
+        [("bell", library::bell()), ("ghz6", library::ghz(6)), ("qft5", library::qft(5))]
+    {
+        let report = Analyzer::new().analyze(&c, 2, SweepConfig::default());
+        assert!(report.passes(true), "{name} not clean:\n{}", report.render());
+    }
+}

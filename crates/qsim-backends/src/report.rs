@@ -65,6 +65,10 @@ pub struct RunReport {
     /// (CPU flavor) each run of consecutive block-local gates counts as
     /// one pass, so this is the memory-traffic multiplier of the run.
     pub state_passes: u64,
+    /// Warning-severity findings of the pre-run plan analysis (rendered
+    /// diagnostics). Errors abort the run before allocation and never
+    /// appear here.
+    pub analysis_warnings: Vec<String>,
 }
 
 impl RunReport {
@@ -117,6 +121,7 @@ mod tests {
             samples: vec![],
             state_bytes: 8 << 30,
             state_passes: 150,
+            analysis_warnings: vec![],
         }
     }
 

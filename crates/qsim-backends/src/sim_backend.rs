@@ -46,6 +46,9 @@ pub enum BackendError {
     Gpu(GpuError),
     /// The fused circuit is malformed for this backend.
     InvalidCircuit(String),
+    /// The pre-run static analysis found error-severity diagnostics; the
+    /// plan was rejected before any device memory was allocated.
+    AnalysisRejected(Vec<qsim_core::diag::Diagnostic>),
 }
 
 impl std::fmt::Display for BackendError {
@@ -53,6 +56,13 @@ impl std::fmt::Display for BackendError {
         match self {
             BackendError::Gpu(e) => write!(f, "device error: {e}"),
             BackendError::InvalidCircuit(m) => write!(f, "invalid circuit: {m}"),
+            BackendError::AnalysisRejected(diags) => {
+                write!(
+                    f,
+                    "plan rejected by pre-run analysis:\n{}",
+                    qsim_core::diag::render_list(diags)
+                )
+            }
         }
     }
 }
@@ -164,6 +174,19 @@ impl SimBackend {
         }
     }
 
+    /// The pre-run static-analysis gate ([`qsim_analyze::Analyzer::pre_run`]):
+    /// error-severity findings reject the plan *before* any device memory
+    /// is allocated; warning-severity findings are returned so the run
+    /// report can carry them.
+    fn analyze_pre_run(&self, fused: &FusedCircuit) -> Result<Vec<String>, BackendError> {
+        let report =
+            qsim_analyze::Analyzer::pre_run().analyze_plan(fused, None, self.effective_sweep());
+        if report.has_errors() {
+            return Err(BackendError::AnalysisRejected(report.diagnostics));
+        }
+        Ok(report.at(qsim_core::diag::Severity::Warning).map(ToString::to_string).collect())
+    }
+
     /// The underlying modeled device.
     pub fn gpu(&self) -> &Gpu {
         &self.gpu
@@ -224,6 +247,7 @@ impl SimBackend {
         if n == 0 || n > qsim_core::statevec::MAX_QUBITS {
             return Err(BackendError::InvalidCircuit(format!("unsupported qubit count {n}")));
         }
+        let analysis_warnings = self.analyze_pre_run(fused)?;
         let wall_start = Instant::now();
         let len = 1usize << n;
         let amp_bytes = precision.amplitude_bytes();
@@ -306,6 +330,7 @@ impl SimBackend {
             samples: Vec::new(),
             state_bytes,
             state_passes: tracker.stats().full_passes,
+            analysis_warnings,
         })
     }
 
@@ -320,14 +345,10 @@ impl SimBackend {
         if n == 0 || n > qsim_core::statevec::MAX_QUBITS {
             return Err(BackendError::InvalidCircuit(format!("unsupported qubit count {n}")));
         }
-        for g in fused.unitaries() {
-            if g.qubits.iter().any(|&q| q >= n) {
-                return Err(BackendError::InvalidCircuit(format!(
-                    "fused gate touches qubit {:?} outside 0..{n}",
-                    g.qubits
-                )));
-            }
-        }
+        // Static analysis replaces the old ad-hoc qubit-range loop: a
+        // malformed or non-unitary plan is rejected here, before the
+        // state vector is allocated.
+        let analysis_warnings = self.analyze_pre_run(fused)?;
         let wall_start = Instant::now();
         let len = 1usize << n;
         let amp_bytes = F::PRECISION.amplitude_bytes();
@@ -400,6 +421,7 @@ impl SimBackend {
                             apply_gate_slice_par(state_buf.as_mut_slice(), &g.qubits, &matrix);
                         })?;
                         bump(&mut kernel_stats, &desc.name, e - s);
+                        debug_assert_norm(state_buf.as_slice(), &desc.name);
                     }
                 }
                 FusedOp::Measurement { qubits, .. } => {
@@ -475,6 +497,7 @@ impl SimBackend {
             samples,
             state_bytes,
             state_passes: tracker.stats().full_passes,
+            analysis_warnings,
         };
         Ok((state, report))
     }
@@ -496,6 +519,19 @@ fn flush_run<F: Float>(
     if !pending.is_empty() {
         sweep.apply_run(amps, pending.iter().map(|(q, m)| (q.as_slice(), m)));
         pending.clear();
+        debug_assert_norm(amps, "cache-blocked sweep run");
+    }
+}
+
+/// Debug-build invariant checked after every fused-gate application: the
+/// plan's unitaries passed the pre-run analysis, so any norm drift beyond
+/// rounding means a kernel bug, not a bad circuit. Compiles to nothing in
+/// release builds.
+fn debug_assert_norm<F: Float>(amps: &[Cplx<F>], what: &str) {
+    if cfg!(debug_assertions) {
+        let norm_sqr = qsim_core::statespace::norm_sqr_slice(amps);
+        let tol = if F::PRECISION == qsim_core::types::Precision::Double { 1e-9 } else { 1e-3 };
+        assert!((norm_sqr - 1.0).abs() < tol, "state norm² drifted to {norm_sqr} after {what}");
     }
 }
 
@@ -666,6 +702,64 @@ mod tests {
             (5.0..=12.0).contains(&speedup),
             "paper: GPU 7-9× faster than CPU; model gives {speedup}"
         );
+    }
+
+    #[test]
+    fn non_unitary_plan_rejected_before_allocation() {
+        use qsim_fusion::FusedGate;
+
+        // A hand-built plan carrying a non-unitary "custom gate".
+        let mut matrix = GateMatrix::<f64>::identity(2);
+        matrix.set(0, 0, Cplx::new(2.0, 0.0));
+        let fused = FusedCircuit {
+            num_qubits: 20,
+            ops: vec![FusedOp::Unitary(FusedGate {
+                qubits: vec![0],
+                matrix,
+                source_gates: 1,
+                time_range: (0, 0),
+            })],
+            max_fused_qubits: 2,
+        };
+        let backend = SimBackend::new(Flavor::Hip);
+        match backend.run::<f64>(&fused, &RunOptions::default()) {
+            Err(BackendError::AnalysisRejected(diags)) => {
+                assert!(diags.iter().any(|d| d.code == "QP0205"), "{diags:?}");
+            }
+            other => panic!("expected analysis rejection, got {:?}", other.map(|_| ())),
+        }
+        // The gate fired before hipMalloc: the modeled device never
+        // allocated a byte.
+        let (allocated, peak, _) = backend.gpu().memory_usage();
+        assert_eq!((allocated, peak), (0, 0));
+        // estimate() runs the same gate.
+        assert!(matches!(
+            backend.estimate(&fused, Precision::Double),
+            Err(BackendError::AnalysisRejected(_))
+        ));
+    }
+
+    #[test]
+    fn analysis_warnings_flow_into_report() {
+        use qsim_circuit::gates::GateKind;
+        use qsim_circuit::Circuit;
+
+        // H·H fuses to the identity: a warning-severity finding (QP0214)
+        // that must not reject the run, only annotate the report.
+        let mut c = Circuit::new(1);
+        c.add(0, GateKind::H, &[0]);
+        c.add(1, GateKind::H, &[0]);
+        let fused = fuse(&c, 2);
+        let (state, report) =
+            SimBackend::new(Flavor::Cuda).run::<f64>(&fused, &RunOptions::default()).unwrap();
+        assert!((state.amplitude(0).re - 1.0).abs() < 1e-12);
+        assert_eq!(report.analysis_warnings.len(), 1, "{:?}", report.analysis_warnings);
+        assert!(report.analysis_warnings[0].contains("QP0214"));
+        // A clean plan reports no warnings.
+        let (_, clean) = SimBackend::new(Flavor::Cuda)
+            .run::<f64>(&fuse(&library::bell(), 2), &RunOptions::default())
+            .unwrap();
+        assert!(clean.analysis_warnings.is_empty());
     }
 
     #[test]

@@ -58,8 +58,8 @@ fn main() {
     };
     let cpu_opt = series[0].optimal_fusion();
     let hip_opt = series[1].optimal_fusion();
-    let min_speedup = speedup.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max_speedup = speedup.iter().cloned().fold(0.0, f64::max);
+    let min_speedup = speedup.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_speedup = speedup.iter().copied().fold(0.0, f64::max);
 
     let claims = vec![
         Claim {

@@ -42,8 +42,8 @@ fn main() {
     let max_diff = s64.max_abs_diff(&s32);
     println!("\nfunctional accuracy at n=20: max |amp(f32) - amp(f64)| = {max_diff:.3e}");
 
-    let min_r = ratio.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max_r = ratio.iter().cloned().fold(0.0, f64::max);
+    let min_r = ratio.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_r = ratio.iter().copied().fold(0.0, f64::max);
     let mem32 = modeled_report(Flavor::Hip, &sweep[3], Precision::Single).state_bytes;
     let mem64 = modeled_report(Flavor::Hip, &sweep[3], Precision::Double).state_bytes;
 

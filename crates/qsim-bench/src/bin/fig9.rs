@@ -41,7 +41,7 @@ fn main() {
     let cuda_opt = series[0].optimal_fusion();
     let cusv_opt = series[1].optimal_fusion();
     let hip_opt = series[2].optimal_fusion();
-    let max_cusv = cusv_adv.iter().cloned().fold(0.0, f64::max);
+    let max_cusv = cusv_adv.iter().copied().fold(0.0, f64::max);
     // Nvidia's post-optimum rise vs HIP's (deterioration comparison):
     let cuda_rise = cuda[5] / cuda[3];
     let hip_rise = hip[5] / hip[3];

@@ -32,7 +32,7 @@ fn main() {
         match flag.as_str() {
             "--functional" => {
                 functional =
-                    Some(it.next().expect("--functional N").parse().expect("--functional N"))
+                    Some(it.next().expect("--functional N").parse().expect("--functional N"));
             }
             "-o" => out = it.next().expect("-o FILE").clone(),
             other => {

@@ -5,6 +5,7 @@
 //! the same slice act on disjoint qubits and commute; the fuser and the
 //! simulators rely on ops being sorted by time.
 
+use qsim_core::diag::{Diagnostic, Span};
 use qsim_core::matrix::GateMatrix;
 use qsim_core::types::Float;
 
@@ -125,51 +126,128 @@ impl Circuit {
         (one, two, meas)
     }
 
-    /// Validate structural invariants. Returns a description of the first
-    /// violation, if any: qubits in range and distinct per op, gate arity
-    /// matching, times monotone non-decreasing, and no two gates sharing a
-    /// qubit within one time slice.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate structural invariants, reporting **every** violation as a
+    /// typed [`Diagnostic`]: qubits in range and distinct per op, gate
+    /// arity matching, times monotone non-decreasing, and no two gates
+    /// sharing a qubit within one time slice.
+    ///
+    /// Diagnostic codes emitted here (all [`qsim_core::diag::Severity::Error`]):
+    ///
+    /// | Code | Invariant |
+    /// |---|---|
+    /// | `QC0001` | gate arity matches its operand count |
+    /// | `QC0002` | every qubit index is `< num_qubits` |
+    /// | `QC0003` | no qubit is repeated within one op's operands |
+    /// | `QC0004` | control qubits do not overlap target qubits |
+    /// | `QC0005` | op times are monotone non-decreasing |
+    /// | `QC0006` | no qubit is touched twice within one time slice |
+    pub fn validate(&self) -> Result<(), Vec<Diagnostic>> {
+        let mut diags = Vec::new();
         let mut last_time = 0usize;
         let mut slice_qubits: Vec<usize> = Vec::new();
         let mut slice_time = usize::MAX;
         for (i, op) in self.ops.iter().enumerate() {
+            let span = Span::op(i, op.time);
             if !op.is_measurement() && op.qubits.len() != op.kind.num_qubits() {
-                return Err(format!(
-                    "op {i}: gate '{}' expects {} qubits, got {}",
-                    op.kind.name(),
-                    op.kind.num_qubits(),
-                    op.qubits.len()
+                diags.push(Diagnostic::error(
+                    codes::ARITY_MISMATCH,
+                    span,
+                    format!(
+                        "gate '{}' expects {} qubit(s), got {}",
+                        op.kind.name(),
+                        op.kind.num_qubits(),
+                        op.qubits.len()
+                    ),
                 ));
             }
             for &q in op.qubits.iter().chain(op.controls.iter()) {
                 if q >= self.num_qubits {
-                    return Err(format!("op {i}: qubit {q} out of range (n={})", self.num_qubits));
+                    diags.push(
+                        Diagnostic::error(
+                            codes::QUBIT_OUT_OF_RANGE,
+                            span,
+                            format!("qubit {q} out of range (n={})", self.num_qubits),
+                        )
+                        .with_help(format!("the circuit declares {} qubit(s)", self.num_qubits)),
+                    );
                 }
             }
-            let mut qs = op.qubits.clone();
-            qs.extend_from_slice(&op.controls);
-            qs.sort_unstable();
-            if qs.windows(2).any(|w| w[0] == w[1]) {
-                return Err(format!("op {i}: repeated qubit in {:?}", op.qubits));
+            let mut targets = op.qubits.clone();
+            targets.sort_unstable();
+            if targets.windows(2).any(|w| w[0] == w[1]) {
+                diags.push(Diagnostic::error(
+                    codes::DUPLICATE_QUBIT,
+                    span,
+                    format!("repeated qubit in operands {:?}", op.qubits),
+                ));
+            }
+            if let Some(&c) = op.controls.iter().find(|c| op.qubits.contains(c)) {
+                diags.push(
+                    Diagnostic::error(
+                        codes::CONTROL_TARGET_OVERLAP,
+                        span,
+                        format!("control qubit {c} is also a target"),
+                    )
+                    .with_help("a gate cannot be controlled on a qubit it acts on"),
+                );
             }
             if op.time < last_time {
-                return Err(format!("op {i}: time {} decreases (previous {})", op.time, last_time));
+                diags.push(Diagnostic::error(
+                    codes::TIME_REGRESSION,
+                    span,
+                    format!("time {} decreases (previous op at {})", op.time, last_time),
+                ));
             }
             if op.time != slice_time {
                 slice_time = op.time;
                 slice_qubits.clear();
             }
+            let mut qs = op.qubits.clone();
+            qs.extend_from_slice(&op.controls);
+            qs.sort_unstable();
+            qs.dedup();
             for &q in &qs {
                 if slice_qubits.contains(&q) {
-                    return Err(format!("op {i}: qubit {q} used twice in time slice {}", op.time));
+                    diags.push(Diagnostic::error(
+                        codes::SLICE_CONFLICT,
+                        span,
+                        format!("qubit {q} used twice in time slice {}", op.time),
+                    ));
                 }
                 slice_qubits.push(q);
             }
-            last_time = op.time;
+            last_time = last_time.max(op.time);
         }
-        Ok(())
+        if diags.is_empty() {
+            Ok(())
+        } else {
+            Err(diags)
+        }
     }
+
+    /// String-typed shim over [`Circuit::validate`] for callers that
+    /// predate typed diagnostics: joins every finding into one message.
+    #[deprecated(since = "0.1.0", note = "use validate(), which returns typed diagnostics")]
+    pub fn validate_str(&self) -> Result<(), String> {
+        self.validate().map_err(|diags| qsim_core::diag::render_list(&diags))
+    }
+}
+
+/// Stable diagnostic codes for [`Circuit::validate`] (range `QC00xx`; see
+/// [`qsim_core::diag`] for the allocation scheme).
+pub mod codes {
+    /// Gate arity does not match its operand count.
+    pub const ARITY_MISMATCH: &str = "QC0001";
+    /// Qubit index `>= num_qubits`.
+    pub const QUBIT_OUT_OF_RANGE: &str = "QC0002";
+    /// Qubit repeated within one op's target operands.
+    pub const DUPLICATE_QUBIT: &str = "QC0003";
+    /// Control qubit also appears as a target.
+    pub const CONTROL_TARGET_OVERLAP: &str = "QC0004";
+    /// Op time decreases relative to a preceding op.
+    pub const TIME_REGRESSION: &str = "QC0005";
+    /// Qubit touched by two ops in the same time slice.
+    pub const SLICE_CONFLICT: &str = "QC0006";
 }
 
 #[cfg(test)]
@@ -205,18 +283,26 @@ mod tests {
         assert!(c.validate().is_ok());
     }
 
+    /// The codes of every diagnostic `validate()` reports for `c`.
+    fn codes_of(c: &Circuit) -> Vec<&'static str> {
+        c.validate().unwrap_err().iter().map(|d| d.code).collect()
+    }
+
     #[test]
     fn validate_rejects_out_of_range() {
         let mut c = Circuit::new(2);
         c.add(0, GateKind::H, &[2]);
-        assert!(c.validate().unwrap_err().contains("out of range"));
+        assert_eq!(codes_of(&c), vec![codes::QUBIT_OUT_OF_RANGE]);
+        let d = &c.validate().unwrap_err()[0];
+        assert_eq!(d.span.op_index, Some(0));
+        assert!(d.message.contains("out of range"));
     }
 
     #[test]
     fn validate_rejects_wrong_arity() {
         let mut c = Circuit::new(2);
         c.ops.push(GateOp::new(0, GateKind::Cz, vec![0]));
-        assert!(c.validate().unwrap_err().contains("expects 2 qubits"));
+        assert_eq!(codes_of(&c), vec![codes::ARITY_MISMATCH]);
     }
 
     #[test]
@@ -224,7 +310,7 @@ mod tests {
         let mut c = Circuit::new(2);
         c.add(1, GateKind::H, &[0]);
         c.add(0, GateKind::H, &[1]);
-        assert!(c.validate().unwrap_err().contains("decreases"));
+        assert_eq!(codes_of(&c), vec![codes::TIME_REGRESSION]);
     }
 
     #[test]
@@ -232,14 +318,42 @@ mod tests {
         let mut c = Circuit::new(3);
         c.add(0, GateKind::H, &[0]);
         c.add(0, GateKind::Cz, &[0, 1]);
-        assert!(c.validate().unwrap_err().contains("used twice"));
+        assert_eq!(codes_of(&c), vec![codes::SLICE_CONFLICT]);
     }
 
     #[test]
     fn validate_rejects_repeated_qubit() {
         let mut c = Circuit::new(3);
         c.ops.push(GateOp::new(0, GateKind::Cz, vec![1, 1]));
-        assert!(c.validate().unwrap_err().contains("repeated"));
+        assert_eq!(codes_of(&c), vec![codes::DUPLICATE_QUBIT]);
+    }
+
+    #[test]
+    fn validate_rejects_control_target_overlap() {
+        let mut c = Circuit::new(3);
+        c.ops.push(GateOp::with_controls(0, GateKind::H, vec![1], vec![1]));
+        // The shared qubit is reported once as an overlap, not as a
+        // duplicate target.
+        assert_eq!(codes_of(&c), vec![codes::CONTROL_TARGET_OVERLAP]);
+    }
+
+    #[test]
+    fn validate_collects_every_violation() {
+        let mut c = Circuit::new(2);
+        c.add(1, GateKind::H, &[5]); // out of range
+        c.add(0, GateKind::H, &[0]); // time regression
+        let codes = codes_of(&c);
+        assert_eq!(codes, vec![codes::QUBIT_OUT_OF_RANGE, codes::TIME_REGRESSION]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn validate_str_shim_renders_codes() {
+        let mut c = Circuit::new(2);
+        c.add(0, GateKind::H, &[2]);
+        let msg = c.validate_str().unwrap_err();
+        assert!(msg.contains("QC0002"), "{msg}");
+        assert!(msg.contains("out of range"), "{msg}");
     }
 
     #[test]

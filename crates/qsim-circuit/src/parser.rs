@@ -38,8 +38,35 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
     Err(ParseError { line, message: message.into() })
 }
 
-/// Parse a circuit from qsim's text format.
+/// Parse a circuit from qsim's text format and validate it structurally.
 pub fn parse_circuit(text: &str) -> Result<Circuit, ParseError> {
+    let c = parse_circuit_unchecked(text)?;
+    // Structural validation reports typed diagnostics; surface the
+    // first one (with its stable code) as the parse error.
+    c.validate().map_err(|diags| {
+        let first = &diags[0];
+        ParseError {
+            line: 0,
+            message: format!(
+                "[{}] at {}: {}{}",
+                first.code,
+                first.span,
+                first.message,
+                if diags.len() > 1 {
+                    format!(" (+{} more)", diags.len() - 1)
+                } else {
+                    String::new()
+                }
+            ),
+        }
+    })?;
+    Ok(c)
+}
+
+/// Parse without the final structural validation. The `analyze`
+/// subcommand uses this so the lint engine can report *every* diagnostic
+/// of a malformed file, not just the first.
+pub fn parse_circuit_unchecked(text: &str) -> Result<Circuit, ParseError> {
     let mut circuit: Option<Circuit> = None;
     for (lineno, raw) in text.lines().enumerate() {
         let lineno = lineno + 1;
@@ -78,10 +105,7 @@ pub fn parse_circuit(text: &str) -> Result<Circuit, ParseError> {
         }
     }
     match circuit {
-        Some(c) => {
-            c.validate().map_err(|m| ParseError { line: 0, message: m })?;
-            Ok(c)
-        }
+        Some(c) => Ok(c),
         None => err(0, "empty circuit file"),
     }
 }

@@ -66,6 +66,12 @@ fn main() -> ExitCode {
         }
     }
 
+    // Validate here so a bad -q is a clean CLI error, not a library panic.
+    if !(2..=qsim_core::statevec::MAX_QUBITS).contains(&qubits) {
+        eprintln!("error: -q expects 2..={}, got {qubits}", qsim_core::statevec::MAX_QUBITS);
+        return ExitCode::FAILURE;
+    }
+
     let circuit = generate_rqc(&RqcOptions::for_qubits(qubits, cycles, seed));
     let text = write_circuit(&circuit);
     match out {

@@ -11,11 +11,14 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use qsim_analyze::Analyzer;
 use qsim_backends::{Backend, Flavor, RunOptions, RunReport, SimBackend, SweepConfig};
-use qsim_circuit::parser::parse_circuit;
+use qsim_circuit::parser::{parse_circuit, parse_circuit_unchecked};
+use qsim_core::kernels::MAX_GATE_QUBITS;
 use qsim_core::types::Precision;
 use qsim_fusion::fuse;
 use qsim_trace::{Profiler, TraceStats};
+use serde_json::json;
 
 struct Args {
     circuit_file: String,
@@ -37,6 +40,7 @@ qsim_base — state-vector circuit simulator on modeled CPU/GPU backends
 
 USAGE:
     qsim_base -c <circuit-file> [options]
+    qsim_base analyze -c <circuit-file> [options]   (see `analyze -h`)
 
 OPTIONS:
     -c FILE    circuit file in qsim text format (required)
@@ -79,7 +83,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "-c" => args.circuit_file = value("-c")?,
             "-f" => {
                 args.max_fused =
-                    value("-f")?.parse().map_err(|_| "-f expects an integer".to_string())?
+                    value("-f")?.parse().map_err(|_| "-f expects an integer".to_string())?;
+                if !(1..=MAX_GATE_QUBITS).contains(&args.max_fused) {
+                    return Err(format!(
+                        "-f expects 1..={MAX_GATE_QUBITS}, got {}",
+                        args.max_fused
+                    ));
+                }
             }
             "-b" => {
                 args.backend = match value("-b")?.as_str() {
@@ -98,16 +108,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
             }
             "-s" => {
-                args.seed = value("-s")?.parse().map_err(|_| "-s expects an integer".to_string())?
+                args.seed =
+                    value("-s")?.parse().map_err(|_| "-s expects an integer".to_string())?;
             }
             "-t" => args.trace_file = Some(value("-t")?),
             "-n" => {
                 args.num_amplitudes =
-                    value("-n")?.parse().map_err(|_| "-n expects an integer".to_string())?
+                    value("-n")?.parse().map_err(|_| "-n expects an integer".to_string())?;
             }
             "-S" => {
                 args.sample_count =
-                    value("-S")?.parse().map_err(|_| "-S expects an integer".to_string())?
+                    value("-S")?.parse().map_err(|_| "-S expects an integer".to_string())?;
             }
             "-e" => args.estimate_only = true,
             "-B" => {
@@ -149,6 +160,9 @@ fn print_report(report: &RunReport, verbose: bool, profiler: Option<&Profiler>) 
         100.0 * report.fusion_fraction()
     );
     println!("host wall time:     {:.6} s", report.wall_seconds);
+    for w in &report.analysis_warnings {
+        println!("analysis warning:   {w}");
+    }
     for (qubits, outcome) in &report.measurements {
         println!("measured {qubits:?} -> {outcome:#b}");
     }
@@ -242,8 +256,150 @@ fn run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+struct AnalyzeArgs {
+    circuit_file: String,
+    max_fused: usize,
+    json: bool,
+    deny_warnings: bool,
+    sweep_block: Option<usize>,
+    no_sweep: bool,
+}
+
+const ANALYZE_USAGE: &str = "\
+qsim_base analyze — lint a circuit file and its fusion plan without running it
+
+USAGE:
+    qsim_base analyze -c <circuit-file> [options]
+
+Checks the circuit structurally (QC00xx), semantically (QA01xx: unitarity,
+identity gates, gates after measurement) and lints the fused execution plan
+(QP02xx: shape, unitarity of fused products, sweep accounting, small-circuit
+state-vector equivalence). Exit code 0 when the circuit passes.
+
+OPTIONS:
+    -c FILE          circuit file in qsim text format (required)
+    -f N             maximum number of fused gate qubits, 1..=6 (default 2)
+    --json           print the report as JSON instead of human-readable text
+    --deny-warnings  nonzero exit code on warnings, not just errors
+    -B N             cache-blocked sweep block size in amplitudes, a power
+                     of two (affects the sweep-accounting lints)
+    --no-sweep       lint the plan with the cache-blocked sweep disabled
+    -h               this help
+";
+
+fn parse_analyze_args(argv: &[String]) -> Result<AnalyzeArgs, String> {
+    let mut args = AnalyzeArgs {
+        circuit_file: String::new(),
+        max_fused: 2,
+        json: false,
+        deny_warnings: false,
+        sweep_block: None,
+        no_sweep: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "-c" => args.circuit_file = value("-c")?,
+            "-f" => {
+                args.max_fused =
+                    value("-f")?.parse().map_err(|_| "-f expects an integer".to_string())?;
+                if !(1..=MAX_GATE_QUBITS).contains(&args.max_fused) {
+                    return Err(format!(
+                        "-f expects 1..={MAX_GATE_QUBITS}, got {}",
+                        args.max_fused
+                    ));
+                }
+            }
+            "--json" => args.json = true,
+            "--deny-warnings" => args.deny_warnings = true,
+            "-B" => {
+                let block: usize =
+                    value("-B")?.parse().map_err(|_| "-B expects an integer".to_string())?;
+                if !block.is_power_of_two() || block < 2 {
+                    return Err(format!("-B expects a power of two >= 2, got {block}"));
+                }
+                args.sweep_block = Some(block);
+            }
+            "--no-sweep" => args.no_sweep = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    if args.circuit_file.is_empty() {
+        return Err("a circuit file is required (-c FILE)".into());
+    }
+    Ok(args)
+}
+
+/// `analyze` subcommand: parse without the early structural bail-out so
+/// the lint engine reports *every* finding, run the full rule set, and
+/// report. Returns whether the circuit passed under the warning policy.
+fn run_analyze(args: &AnalyzeArgs) -> Result<bool, String> {
+    let text = std::fs::read_to_string(&args.circuit_file)
+        .map_err(|e| format!("cannot read {}: {e}", args.circuit_file))?;
+    let circuit = parse_circuit_unchecked(&text).map_err(|e| format!("parse error: {e}"))?;
+
+    let sweep = if args.no_sweep {
+        SweepConfig::disabled()
+    } else if let Some(block) = args.sweep_block {
+        SweepConfig::with_block_amps(block)
+    } else {
+        SweepConfig::default()
+    };
+    let report = Analyzer::new().analyze(&circuit, args.max_fused, sweep);
+    let passed = report.passes(args.deny_warnings);
+
+    if args.json {
+        let doc = json!({
+            "file": (args.circuit_file.as_str()),
+            "qubits": (circuit.num_qubits),
+            "gates": (circuit.num_gates()),
+            "max_fused_qubits": (args.max_fused),
+            "passed": (passed),
+            "analysis": (report.to_json()),
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("analyze JSON serializes"));
+    } else {
+        let (one, two, meas) = circuit.gate_counts();
+        println!(
+            "circuit: {} qubits, {} gates ({} single-qubit, {} two-qubit, {} measurement)",
+            circuit.num_qubits,
+            circuit.num_gates(),
+            one,
+            two,
+            meas
+        );
+        println!("{}", report.render());
+        println!("result: {}", if passed { "pass" } else { "fail" });
+    }
+    Ok(passed)
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("analyze") {
+        return match parse_analyze_args(&argv[1..]) {
+            Ok(args) => match run_analyze(&args) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(msg) => {
+                if msg.is_empty() {
+                    print!("{ANALYZE_USAGE}");
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("error: {msg}\n\n{ANALYZE_USAGE}");
+                    ExitCode::FAILURE
+                }
+            }
+        };
+    }
     match parse_args(&argv) {
         Ok(args) => match run(&args) {
             Ok(()) => ExitCode::SUCCESS,

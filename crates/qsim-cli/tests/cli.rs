@@ -171,6 +171,114 @@ fn qsim_amplitudes_queries_bitstrings() {
     assert!(text.contains("01  +0.00000000"), "{text}");
 }
 
+/// Path to a circuit file shipped in the repository's `circuits/`.
+fn repo_circuit(name: &str) -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop(); // crates/
+    p.pop(); // repo root
+    p.push("circuits");
+    p.push(name);
+    p
+}
+
+#[test]
+fn analyze_passes_bell_circuit() {
+    let circuit = write_bell();
+    let out = qsim_base().args(["analyze", "-c", circuit.to_str().unwrap()]).output().expect("run");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("no findings"), "{text}");
+    assert!(text.contains("result: pass"), "{text}");
+}
+
+#[test]
+fn analyze_passes_repo_circuits() {
+    for name in ["bell", "circuit_q24", "circuit_q30"] {
+        let path = repo_circuit(name);
+        let out = qsim_base()
+            .args(["analyze", "-c", path.to_str().unwrap(), "-f", "4"])
+            .output()
+            .expect("run");
+        assert!(out.status.success(), "{name} failed analysis: {}", stdout(&out));
+        let text = stdout(&out);
+        assert!(
+            text.contains("0 errors, 0 warnings") || text.contains("no findings"),
+            "{name}:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn analyze_json_output_parses() {
+    let circuit = write_bell();
+    let out = qsim_base()
+        .args(["analyze", "-c", circuit.to_str().unwrap(), "--json"])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let v: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+    assert_eq!(v["qubits"], serde_json::json!(2));
+    assert_eq!(v["passed"], serde_json::json!(true));
+    assert_eq!(v["analysis"]["errors"], serde_json::json!(0));
+    assert!(v["analysis"]["findings"].as_array().unwrap().is_empty());
+}
+
+#[test]
+fn analyze_flags_out_of_range_qubit() {
+    let bad = tmpfile("analyze_bad");
+    std::fs::write(&bad, "2\n0 h 5\n").expect("write");
+    let out =
+        qsim_base().args(["analyze", "-c", bad.to_str().unwrap(), "--json"]).output().expect("run");
+    assert!(!out.status.success(), "out-of-range qubit must fail analysis");
+    let v: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+    assert_eq!(v["passed"], serde_json::json!(false));
+    let findings = v["analysis"]["findings"].as_array().unwrap();
+    assert!(
+        findings.iter().any(|f| f["code"] == serde_json::json!("QC0002")),
+        "expected QC0002 in {findings:?}"
+    );
+}
+
+#[test]
+fn analyze_deny_warnings_policy() {
+    let id = tmpfile("analyze_id");
+    std::fs::write(&id, "2\n0 id 0\n1 h 0\n").expect("write");
+    // Identity gate is a warning: pass by default...
+    let out = qsim_base().args(["analyze", "-c", id.to_str().unwrap()]).output().expect("run");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("QA0103"), "{}", stdout(&out));
+    // ...fail under --deny-warnings.
+    let out = qsim_base()
+        .args(["analyze", "-c", id.to_str().unwrap(), "--deny-warnings"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("result: fail"), "{}", stdout(&out));
+}
+
+#[test]
+fn max_fused_out_of_range_is_clean_error() {
+    let circuit = write_bell();
+    for f in ["0", "9"] {
+        for prefix in [vec![], vec!["analyze"]] {
+            let mut args = prefix.clone();
+            args.extend(["-c", circuit.to_str().unwrap(), "-f", f]);
+            let out = qsim_base().args(&args).output().expect("run");
+            assert!(!out.status.success());
+            assert!(stderr(&out).contains("-f expects 1..=6"), "stderr: {}", stderr(&out));
+        }
+    }
+}
+
+#[test]
+fn rqc_gen_rejects_bad_qubit_count() {
+    for q in ["1", "99"] {
+        let out = rqc_gen().args(["-q", q]).output().expect("run");
+        assert!(!out.status.success());
+        assert!(stderr(&out).contains("-q expects 2..=36"), "stderr: {}", stderr(&out));
+    }
+}
+
 #[test]
 fn qsim_amplitudes_validates_bit_width() {
     let circuit = write_bell();

@@ -128,7 +128,7 @@ impl<F: Float> DensityMatrix<F> {
     /// Like [`Self::apply_unitary`] but without the unitarity assumption
     /// (Kraus operators are generally non-unitary; the math is identical).
     fn apply_unitary_unchecked(&mut self, qubits: &[usize], matrix: &GateMatrix<F>) {
-        self.apply_unitary(qubits, matrix)
+        self.apply_unitary(qubits, matrix);
     }
 
     /// Probability of measuring `|1⟩` on `qubit` (diagonal sum).

@@ -352,7 +352,7 @@ pub fn apply_gate_seq<F: Float>(
     qubits: &[usize],
     matrix: &GateMatrix<F>,
 ) {
-    apply_controlled_gate_slice_seq(state.amplitudes_mut(), qubits, &[], 0, matrix)
+    apply_controlled_gate_slice_seq(state.amplitudes_mut(), qubits, &[], 0, matrix);
 }
 
 /// Apply a controlled `k`-qubit gate sequentially. `control_values` bit `j`
@@ -371,7 +371,7 @@ pub fn apply_controlled_gate_seq<F: Float>(
         controls,
         control_values,
         matrix,
-    )
+    );
 }
 
 /// Slice-based variant of [`apply_gate_seq`] for callers that keep
@@ -381,7 +381,7 @@ pub fn apply_gate_slice_seq<F: Float>(
     qubits: &[usize],
     matrix: &GateMatrix<F>,
 ) {
-    apply_controlled_gate_slice_seq(amps, qubits, &[], 0, matrix)
+    apply_controlled_gate_slice_seq(amps, qubits, &[], 0, matrix);
 }
 
 /// Slice-based variant of [`apply_controlled_gate_seq`].
@@ -439,7 +439,11 @@ pub fn apply_plan_seq<F: Float>(amps: &mut [Cplx<F>], p: &GatePlan, matrix: &Gat
 /// amplitude sets, so concurrent group processing is race-free; this
 /// wrapper is the narrow unsafe bridge that lets rayon see that.
 struct AmpsPtr<F>(*mut Cplx<F>);
+// SAFETY: the pointer is only dereferenced inside the per-group closures,
+// and each group touches a disjoint set of amplitudes (see `run` below).
 unsafe impl<F> Send for AmpsPtr<F> {}
+// SAFETY: shared access is read-only bookkeeping (copying the pointer);
+// writes through it target disjoint index sets per group.
 unsafe impl<F> Sync for AmpsPtr<F> {}
 
 impl<F> AmpsPtr<F> {
@@ -458,7 +462,7 @@ pub fn apply_gate_par<F: Float>(
     qubits: &[usize],
     matrix: &GateMatrix<F>,
 ) {
-    apply_controlled_gate_slice_par(state.amplitudes_mut(), qubits, &[], 0, matrix)
+    apply_controlled_gate_slice_par(state.amplitudes_mut(), qubits, &[], 0, matrix);
 }
 
 /// Parallel controlled-gate application; see [`apply_controlled_gate_seq`]
@@ -476,7 +480,7 @@ pub fn apply_controlled_gate_par<F: Float>(
         controls,
         control_values,
         matrix,
-    )
+    );
 }
 
 /// Slice-based variant of [`apply_gate_par`].
@@ -485,7 +489,7 @@ pub fn apply_gate_slice_par<F: Float>(
     qubits: &[usize],
     matrix: &GateMatrix<F>,
 ) {
-    apply_controlled_gate_slice_par(amps, qubits, &[], 0, matrix)
+    apply_controlled_gate_slice_par(amps, qubits, &[], 0, matrix);
 }
 
 /// Slice-based variant of [`apply_controlled_gate_par`].

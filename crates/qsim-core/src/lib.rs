@@ -27,9 +27,13 @@
 //!   pass over the state — the CPU analogue of the shared-memory
 //!   `ApplyGateL_Kernel` design;
 //! * [`noise`], quantum-trajectory noise channels (a qsim feature the paper
-//!   mentions as part of the simulator but does not benchmark).
+//!   mentions as part of the simulator but does not benchmark);
+//! * [`diag`], the typed-diagnostic vocabulary ([`diag::Diagnostic`],
+//!   [`diag::Severity`], [`diag::Span`]) shared by `Circuit::validate()`
+//!   and the `qsim-analyze` lint engine.
 
 pub mod density;
+pub mod diag;
 pub mod entropy;
 pub mod kernels;
 pub mod matrix;

@@ -44,7 +44,7 @@ pub fn norm_sqr_slice<F: Float>(amps: &[Cplx<F>]) -> f64 {
 
 /// Rescale the state to unit norm. Panics on the zero vector.
 pub fn normalize<F: Float>(state: &mut StateVector<F>) {
-    normalize_slice(state.amplitudes_mut())
+    normalize_slice(state.amplitudes_mut());
 }
 
 /// Slice-based variant of [`normalize`].

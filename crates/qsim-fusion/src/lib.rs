@@ -45,6 +45,11 @@ impl FusedGate {
         self.matrix.cast()
     }
 
+    /// Number of target qubits (the fused gate's width `k`).
+    pub fn width(&self) -> usize {
+        self.qubits.len()
+    }
+
     /// Highest target qubit — what decides whether the gate fits inside a
     /// cache block of the sweep executor.
     pub fn max_qubit(&self) -> usize {
@@ -89,6 +94,23 @@ impl FusedCircuit {
             FusedOp::Unitary(g) => Some(g),
             FusedOp::Measurement { .. } => None,
         })
+    }
+
+    /// Iterator over the measurement barriers as `(sorted qubits, time)`,
+    /// in plan order — the metadata plan-level lint rules cross-check
+    /// against the source circuit.
+    pub fn measurements(&self) -> impl Iterator<Item = (&[usize], usize)> {
+        self.ops.iter().filter_map(|op| match op {
+            FusedOp::Unitary(_) => None,
+            FusedOp::Measurement { qubits, time } => Some((qubits.as_slice(), *time)),
+        })
+    }
+
+    /// Total source-circuit gates folded into this plan's unitaries
+    /// (excludes measurements). A correct plan accounts for every
+    /// non-measurement gate of its source circuit exactly once.
+    pub fn source_gate_count(&self) -> usize {
+        self.unitaries().map(|g| g.source_gates).sum()
     }
 
     /// Fusion statistics for reporting.
@@ -177,7 +199,9 @@ pub fn fuse(circuit: &Circuit, max_fused_qubits: usize) -> FusedCircuit {
         "max_fused_qubits must be in 1..={}, got {max_fused_qubits}",
         qsim_core::kernels::MAX_GATE_QUBITS
     );
-    circuit.validate().expect("fuse() requires a valid circuit");
+    if let Err(diags) = circuit.validate() {
+        panic!("fuse() requires a valid circuit:\n{}", qsim_core::diag::render_list(&diags));
+    }
 
     // Output slots: either a live Builder or a flushed op.
     enum Slot {
