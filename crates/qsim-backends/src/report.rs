@@ -1,6 +1,7 @@
 //! Run reports: what a backend measured (and modeled) while executing a
 //! fused circuit — the raw material of the paper's figures.
 
+use qsim_core::kernels::KernelClass;
 use qsim_core::types::Precision;
 
 /// Options controlling one run.
@@ -23,6 +24,23 @@ pub struct KernelStat {
     pub count: u64,
     /// Total simulated execution time, µs.
     pub time_us: f64,
+}
+
+/// Fused-unitary count for one `(GPU kernel class, CPU lane class)` pair.
+///
+/// The two classifications use the same High/Low vocabulary at different
+/// rearrangement boundaries: the GPU splits at qubit 5 (the 32-amplitude
+/// warp tile), the CPU at `log2(lanes)` of the ISA that actually ran
+/// ([`RunReport::isa`]). A gate can be GPU-Low but CPU-High — e.g. a gate
+/// on qubit 4 under AVX2 `f64` (2 lane qubits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateClassCount {
+    /// GPU class at `LOW_QUBIT_THRESHOLD` (= 5).
+    pub gpu_kernel: KernelClass,
+    /// CPU lane class at the active ISA's lane-qubit count.
+    pub cpu_lane: KernelClass,
+    /// Fused unitaries that fell into this pair.
+    pub count: u64,
 }
 
 /// Everything a backend reports about one run.
@@ -69,6 +87,35 @@ pub struct RunReport {
     /// diagnostics). Errors abort the run before allocation and never
     /// appear here.
     pub analysis_warnings: Vec<String>,
+    /// CPU SIMD instruction set the host-side kernels dispatched to
+    /// during this run (`scalar`, `avx2`, or `avx512` — see
+    /// [`qsim_core::simd::Isa::name`]).
+    pub isa: String,
+    /// Fused-unitary histogram over `(GPU kernel class, CPU lane class)`
+    /// pairs, non-zero entries only, in a stable (High,High), (High,Low),
+    /// (Low,High), (Low,Low) order.
+    pub gate_class_counts: Vec<GateClassCount>,
+}
+
+impl GateClassCount {
+    /// Flatten a `[gpu][cpu]` count grid (index 0 = High, 1 = Low) into
+    /// the report's sparse, stably ordered histogram.
+    pub fn from_grid(grid: [[u64; 2]; 2]) -> Vec<GateClassCount> {
+        const CLASSES: [KernelClass; 2] = [KernelClass::High, KernelClass::Low];
+        let mut out = Vec::new();
+        for (gi, row) in grid.iter().enumerate() {
+            for (ci, &count) in row.iter().enumerate() {
+                if count > 0 {
+                    out.push(GateClassCount {
+                        gpu_kernel: CLASSES[gi],
+                        cpu_lane: CLASSES[ci],
+                        count,
+                    });
+                }
+            }
+        }
+        out
+    }
 }
 
 impl RunReport {
@@ -96,6 +143,25 @@ impl RunReport {
     pub fn passes_saved(&self) -> u64 {
         (self.fused_gates as u64).saturating_sub(self.state_passes)
     }
+
+    /// Fused unitaries whose CPU lane class is [`KernelClass::Low`] — the
+    /// gates the SIMD lane kernels resolve with in-register permutes.
+    pub fn lane_low_gates(&self) -> u64 {
+        self.gate_class_counts
+            .iter()
+            .filter(|c| c.cpu_lane == KernelClass::Low)
+            .map(|c| c.count)
+            .sum()
+    }
+
+    /// Fused unitaries in one `(gpu, cpu)` class pair.
+    pub fn gates_in_class(&self, gpu: KernelClass, cpu: KernelClass) -> u64 {
+        self.gate_class_counts
+            .iter()
+            .filter(|c| c.gpu_kernel == gpu && c.cpu_lane == cpu)
+            .map(|c| c.count)
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +188,8 @@ mod tests {
             state_bytes: 8 << 30,
             state_passes: 150,
             analysis_warnings: vec![],
+            isa: "avx2".into(),
+            gate_class_counts: GateClassCount::from_grid([[90, 0], [30, 30]]),
         }
     }
 
@@ -136,5 +204,18 @@ mod tests {
         assert_eq!(r.launches_matching("ApplyGate"), 150);
         assert_eq!(r.launches_matching("L_Kernel"), 60);
         assert!((r.time_us_matching("ApplyGate") - 1.98e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn gate_class_histogram_queries() {
+        let r = report();
+        // Zero-count pairs are dropped from the grid flattening.
+        assert_eq!(r.gate_class_counts.len(), 3);
+        assert_eq!(r.lane_low_gates(), 30);
+        assert_eq!(r.gates_in_class(KernelClass::High, KernelClass::High), 90);
+        assert_eq!(r.gates_in_class(KernelClass::Low, KernelClass::High), 30);
+        assert_eq!(r.gates_in_class(KernelClass::High, KernelClass::Low), 0);
+        let total: u64 = r.gate_class_counts.iter().map(|c| c.count).sum();
+        assert_eq!(total as usize, r.fused_gates);
     }
 }

@@ -31,7 +31,7 @@ use qsim_core::{GateMatrix, StateVector};
 use qsim_fusion::{FusedCircuit, FusedOp};
 
 use crate::flavor::Flavor;
-use crate::report::{KernelStat, RunOptions, RunReport};
+use crate::report::{GateClassCount, KernelStat, RunOptions, RunReport};
 
 /// Modeled host-side cost of the gate-fusion transpiler, µs per source
 /// gate and per emitted fused gate. Calibrated so fusion lands where the
@@ -261,6 +261,9 @@ impl SimBackend {
             }));
         }
         let mut kernel_stats: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+        let isa = qsim_core::simd::active_isa();
+        let lane_qubits = isa.lane_qubits(precision);
+        let mut class_grid = [[0u64; 2]; 2];
 
         let t0 = self.gpu.synchronize();
         let fusion_us = Self::fusion_cost_us(fused);
@@ -287,6 +290,7 @@ impl SimBackend {
                         let ev = self.gpu.record_event(cs)?;
                         self.gpu.stream_wait_event(StreamId::DEFAULT, ev)?;
                     }
+                    count_gate_class(&mut class_grid, &g.qubits, lane_qubits);
                     let new_pass = tracker.on_gate(&g.qubits);
                     let mut desc = self.gate_desc(n, &g.qubits, amp_bytes, double_precision);
                     desc.work.passes = if new_pass { 1.0 } else { 0.0 };
@@ -331,6 +335,8 @@ impl SimBackend {
             state_bytes,
             state_passes: tracker.stats().full_passes,
             analysis_warnings,
+            isa: isa.name().into(),
+            gate_class_counts: GateClassCount::from_grid(class_grid),
         })
     }
 
@@ -357,6 +363,9 @@ impl SimBackend {
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let mut kernel_stats: BTreeMap<String, (u64, f64)> = BTreeMap::new();
         let mut measurements = Vec::new();
+        let isa = qsim_core::simd::active_isa();
+        let lane_qubits = isa.lane_qubits(F::PRECISION);
+        let mut class_grid = [[0u64; 2]; 2];
 
         // ---- timed region starts here (like the paper, it includes the
         // gate-fusion step, charged at its modeled host cost) ----
@@ -404,6 +413,7 @@ impl SimBackend {
                         self.gpu.stream_wait_event(StreamId::DEFAULT, ev)?;
                     }
 
+                    count_gate_class(&mut class_grid, &g.qubits, lane_qubits);
                     let new_pass = tracker.on_gate(&g.qubits);
                     let mut desc = self.gate_desc(n, &g.qubits, amp_bytes, double_precision);
                     desc.work.passes = if new_pass { 1.0 } else { 0.0 };
@@ -498,6 +508,8 @@ impl SimBackend {
             state_bytes,
             state_passes: tracker.stats().full_passes,
             analysis_warnings,
+            isa: isa.name().into(),
+            gate_class_counts: GateClassCount::from_grid(class_grid),
         };
         Ok((state, report))
     }
@@ -507,6 +519,15 @@ fn bump(stats: &mut BTreeMap<String, (u64, f64)>, name: &str, dur_us: f64) {
     let entry = stats.entry(name.to_string()).or_insert((0, 0.0));
     entry.0 += 1;
     entry.1 += dur_us;
+}
+
+/// Tally one fused unitary into the `[gpu][cpu]` class grid (index 0 =
+/// High, 1 = Low) that flattens into [`RunReport::gate_class_counts`].
+fn count_gate_class(grid: &mut [[u64; 2]; 2], qubits: &[usize], lane_qubits: usize) {
+    use qsim_core::kernels::{classify_gate, classify_gate_at, KernelClass};
+    let gpu = (classify_gate(qubits) == KernelClass::Low) as usize;
+    let cpu = (classify_gate_at(qubits, lane_qubits) == KernelClass::Low) as usize;
+    grid[gpu][cpu] += 1;
 }
 
 /// Apply and clear the pending run of block-local gates (no-op when the
@@ -925,6 +946,28 @@ mod tests {
         // Two runs (before and after the measurement barrier).
         assert_eq!(report.state_passes, 2);
         assert_eq!(report.measurements.len(), 1);
+    }
+
+    #[test]
+    fn report_records_isa_and_gate_class_histogram() {
+        let circuit = generate_rqc(&RqcOptions::for_qubits(12, 6, 4));
+        let fused = fuse(&circuit, 3);
+        let backend = SimBackend::new(Flavor::Hip);
+        let (_, run) = backend.run::<f32>(&fused, &RunOptions::default()).unwrap();
+        let est = backend.estimate(&fused, Precision::Single).unwrap();
+        assert_eq!(run.isa, qsim_core::simd::active_isa().name());
+        assert_eq!(run.isa, est.isa);
+        assert_eq!(run.gate_class_counts, est.gate_class_counts);
+        let total: u64 = run.gate_class_counts.iter().map(|c| c.count).sum();
+        assert_eq!(total as usize, run.fused_gates);
+        // The histogram's GPU marginal agrees with the modeled launch
+        // split, whatever ISA the host happens to have.
+        let gpu_low = run.gates_in_class(KernelClass::Low, KernelClass::Low)
+            + run.gates_in_class(KernelClass::Low, KernelClass::High);
+        assert_eq!(gpu_low, run.launches_matching("ApplyGateL_Kernel"));
+        // Lane qubits never exceed the GPU's 5-qubit warp tile, so a
+        // lane-Low gate is always GPU-Low.
+        assert_eq!(run.gates_in_class(KernelClass::High, KernelClass::Low), 0);
     }
 
     #[test]

@@ -33,6 +33,7 @@ struct Args {
     verbose: bool,
     sweep_block: Option<usize>,
     no_sweep: bool,
+    no_simd: bool,
 }
 
 const USAGE: &str = "\
@@ -56,6 +57,8 @@ OPTIONS:
     -B N       cache-blocked sweep block size in amplitudes, a power of
                two (cpu backend; default 65536)
     --no-sweep disable the cache-blocked sweep: one pass per fused gate
+    --no-simd  disable the AVX2/AVX-512 lane kernels: scalar host kernels
+               only (equivalent to QSIM_NO_SIMD=1 in the environment)
     -v         print per-kernel statistics
     -h         this help
 ";
@@ -74,6 +77,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         verbose: false,
         sweep_block: None,
         no_sweep: false,
+        no_simd: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -130,6 +134,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.sweep_block = Some(block);
             }
             "--no-sweep" => args.no_sweep = true,
+            "--no-simd" => args.no_simd = true,
             "-v" => args.verbose = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown option '{other}'")),
@@ -143,6 +148,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 
 fn print_report(report: &RunReport, verbose: bool, profiler: Option<&Profiler>) {
     println!("backend:            {} ({})", report.backend, report.device);
+    println!("host SIMD:          {} ({} lane-Low gates)", report.isa, report.lane_low_gates());
     println!("precision:          {}", report.precision);
     println!("qubits:             {}", report.num_qubits);
     println!("max fused qubits:   {}", report.max_fused_qubits);
@@ -173,6 +179,12 @@ fn print_report(report: &RunReport, verbose: bool, profiler: Option<&Profiler>) 
         }
     }
     if verbose {
+        if !report.gate_class_counts.is_empty() {
+            println!("\ngate classes (GPU kernel / CPU lane):");
+            for c in &report.gate_class_counts {
+                println!("  {:<6?} / {:<6?} {:>6} gates", c.gpu_kernel, c.cpu_lane, c.count);
+            }
+        }
         if let Some(p) = profiler {
             println!("\nper-kernel statistics (simulated):");
             print!("{}", TraceStats::from_spans(&p.spans()).table());
@@ -219,6 +231,9 @@ fn run(args: &Args) -> Result<(), String> {
         backend.set_sweep_config(SweepConfig::disabled());
     } else if let Some(block) = args.sweep_block {
         backend.set_sweep_config(SweepConfig::with_block_amps(block));
+    }
+    if args.no_simd {
+        qsim_core::simd::set_simd_enabled(false);
     }
     let opts = RunOptions { seed: args.seed, sample_count: args.sample_count };
 

@@ -29,9 +29,16 @@ use crate::LOW_QUBIT_THRESHOLD;
 /// the kernels are sized accordingly (`2^6 = 64` amplitudes).
 pub const MAX_GATE_QUBITS: usize = 6;
 
-/// Below this state size the parallel kernels fall back to the sequential
-/// path: rayon task overhead would dominate the handful of groups.
-const PAR_THRESHOLD_AMPS: usize = 1 << 12;
+/// Unified parallel granularity, in amplitudes.
+///
+/// This one constant governs every parallel-vs-sequential decision in the
+/// CPU kernels: slices shorter than this run sequentially (rayon task
+/// overhead would dominate the handful of groups), and parallel loops are
+/// chunked so each rayon task touches at least this many amplitudes
+/// (`with_min_len(PAR_GRAIN_AMPS / amps_per_item)`). 2^12 amplitudes is
+/// 32–64 KiB — about one L1 cache worth of work per task, large enough to
+/// amortize work-stealing overhead and small enough to load-balance.
+pub const PAR_GRAIN_AMPS: usize = 1 << 12;
 
 /// GPU kernel class a gate routes to, after qsim's shared-memory design.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,7 +72,16 @@ impl KernelClass {
 
 /// Classify which GPU kernel a gate on `qubits` routes to.
 pub fn classify_gate(qubits: &[usize]) -> KernelClass {
-    if qubits.iter().any(|&q| q < LOW_QUBIT_THRESHOLD) {
+    classify_gate_at(qubits, LOW_QUBIT_THRESHOLD)
+}
+
+/// Classify a gate against an arbitrary rearrangement boundary: targets
+/// below `threshold` live inside one data tile (GPU: the 32-amplitude
+/// warp tile, threshold 5; CPU: the SIMD register, threshold
+/// `log2(lanes)`) and need the Low rearrangement path. A `threshold` of 0
+/// (scalar CPU) classifies every gate as High.
+pub fn classify_gate_at(qubits: &[usize], threshold: usize) -> KernelClass {
+    if qubits.iter().any(|&q| q < threshold) {
         KernelClass::Low
     } else {
         KernelClass::High
@@ -120,18 +136,43 @@ pub fn insert_zero_bits(g: usize, positions: &[usize]) -> usize {
 }
 
 /// Precompute, for each `m in 0..2^k`, the index offset obtained by
-/// depositing the bits of `m` at the target-qubit positions.
+/// depositing the bits of `m` at the target-qubit positions (see
+/// [`crate::matrix::deposit_bits`]).
 fn group_offsets(qubits: &[usize]) -> Vec<usize> {
     let k = qubits.len();
-    (0..1usize << k)
-        .map(|m| {
-            let mut off = 0usize;
-            for (j, &q) in qubits.iter().enumerate() {
-                off |= ((m >> j) & 1) << q;
-            }
-            off
-        })
-        .collect()
+    (0..1usize << k).map(|m| crate::matrix::deposit_bits(m, qubits)).collect()
+}
+
+/// Validate gate-application arguments; panics with a diagnostic message
+/// on malformed input. Shared by the scalar plans ([`GatePlan::new`]) and
+/// the SIMD tile plans so both paths reject bad input identically.
+pub(crate) fn validate_gate_args(
+    n: usize,
+    qubits: &[usize],
+    controls: &[usize],
+    control_values: usize,
+    matrix_dim: usize,
+) {
+    let k = qubits.len();
+    assert!(
+        (1..=MAX_GATE_QUBITS).contains(&k),
+        "gate must act on 1..={MAX_GATE_QUBITS} qubits, got {k}"
+    );
+    assert_eq!(matrix_dim, 1usize << k, "matrix dimension does not match qubit count");
+    assert!(
+        qubits.windows(2).all(|w| w[0] < w[1]),
+        "target qubits must be sorted ascending and distinct: {qubits:?}"
+    );
+    assert!(qubits.iter().all(|&q| q < n), "target qubit out of range for {n}-qubit state");
+    assert!(controls.iter().all(|&q| q < n), "control qubit out of range for {n}-qubit state");
+    assert!(
+        controls.iter().all(|c| !qubits.contains(c)),
+        "control qubits must not overlap target qubits"
+    );
+    assert!(
+        control_values < (1usize << controls.len().max(1)) || controls.is_empty(),
+        "control_values has bits beyond the control count"
+    );
 }
 
 /// Validated gate-application parameters shared by all kernel variants.
@@ -154,6 +195,12 @@ pub struct GatePlan {
     control_mask: usize,
     /// Number of groups.
     num_groups: usize,
+    /// The gate arguments the plan was built from, retained so dispatch
+    /// layers (e.g. the SIMD tile planner) can re-derive their own
+    /// decomposition from a cached plan.
+    qubits: Vec<usize>,
+    controls: Vec<usize>,
+    control_values: usize,
 }
 
 impl GatePlan {
@@ -169,26 +216,8 @@ impl GatePlan {
         control_values: usize,
         matrix_dim: usize,
     ) -> GatePlan {
+        validate_gate_args(n, qubits, controls, control_values, matrix_dim);
         let k = qubits.len();
-        assert!(
-            (1..=MAX_GATE_QUBITS).contains(&k),
-            "gate must act on 1..={MAX_GATE_QUBITS} qubits, got {k}"
-        );
-        assert_eq!(matrix_dim, 1usize << k, "matrix dimension does not match qubit count");
-        assert!(
-            qubits.windows(2).all(|w| w[0] < w[1]),
-            "target qubits must be sorted ascending and distinct: {qubits:?}"
-        );
-        assert!(qubits.iter().all(|&q| q < n), "target qubit out of range for {n}-qubit state");
-        assert!(controls.iter().all(|&q| q < n), "control qubit out of range for {n}-qubit state");
-        assert!(
-            controls.iter().all(|c| !qubits.contains(c)),
-            "control qubits must not overlap target qubits"
-        );
-        assert!(
-            control_values < (1usize << controls.len().max(1)) || controls.is_empty(),
-            "control_values has bits beyond the control count"
-        );
 
         let mut strip: Vec<usize> = qubits.iter().chain(controls.iter()).copied().collect();
         strip.sort_unstable();
@@ -209,6 +238,9 @@ impl GatePlan {
             offsets: group_offsets(qubits),
             control_mask,
             num_groups,
+            qubits: qubits.to_vec(),
+            controls: controls.to_vec(),
+            control_values,
         }
     }
 
@@ -221,6 +253,21 @@ impl GatePlan {
     /// Number of disjoint amplitude groups.
     pub fn num_groups(&self) -> usize {
         self.num_groups
+    }
+
+    /// The target qubits the plan was built for (sorted ascending).
+    pub fn target_qubits(&self) -> &[usize] {
+        &self.qubits
+    }
+
+    /// The control qubits the plan was built for.
+    pub fn control_qubits(&self) -> &[usize] {
+        &self.controls
+    }
+
+    /// Required control values (bit `j` for `control_qubits()[j]`).
+    pub fn control_values(&self) -> usize {
+        self.control_values
     }
 }
 
@@ -330,7 +377,7 @@ fn apply_diagonal_par<F: Float>(amps: &mut [Cplx<F>], qubits: &[usize], matrix: 
     for (m, d) in diag.iter_mut().take(dim).enumerate() {
         *d = matrix.get(m, m);
     }
-    amps.par_iter_mut().enumerate().with_min_len(4096).for_each(|(i, a)| {
+    amps.par_iter_mut().enumerate().with_min_len(PAR_GRAIN_AMPS).for_each(|(i, a)| {
         *a *= diag[crate::matrix::extract_bits(i, qubits)];
     });
 }
@@ -397,18 +444,40 @@ pub fn apply_controlled_gate_slice_seq<F: Float>(
     if controls.is_empty() && is_diagonal(matrix) {
         return apply_diagonal_seq(amps, qubits, matrix);
     }
-    apply_plan_seq(amps, &p, matrix);
+    apply_plan_seq_scalar(amps, &p, matrix);
 }
 
-/// Apply a pre-planned gate to `amps` sequentially: every group of the
-/// plan's decomposition gets the `dim × dim` matrix-vector product, with
-/// the gate dimension monomorphized exactly as in the one-shot kernels.
+/// Apply a pre-planned gate to `amps` sequentially, dispatching to the
+/// active SIMD ISA when one is available (see [`crate::simd`]) and to the
+/// scalar kernels otherwise.
 ///
 /// `amps` must be `2^n` long for the `n` the plan was built with — either
 /// the full register, or one aligned cache block when the plan was built
-/// for the block size (the cache-blocked sweep's hot path, where this runs
-/// once per block while the block is cache-resident).
+/// for the block size (the cache-blocked sweep's hot path; the sweep
+/// executor caches the SIMD tile plan across blocks rather than paying
+/// the rebuild here per block).
 pub fn apply_plan_seq<F: Float>(amps: &mut [Cplx<F>], p: &GatePlan, matrix: &GateMatrix<F>) {
+    debug_assert_eq!(amps.len(), 1usize << p.n, "amplitude slice does not match the plan");
+    assert_eq!(matrix.dim(), p.dim, "matrix dimension does not match the plan");
+    if crate::simd::try_apply_controlled(
+        amps,
+        &p.qubits,
+        &p.controls,
+        p.control_values,
+        matrix,
+        false,
+    ) {
+        return;
+    }
+    apply_plan_seq_scalar(amps, p, matrix);
+}
+
+/// Scalar-only body of [`apply_plan_seq`]: every group of the plan's
+/// decomposition gets the `dim × dim` matrix-vector product, with the gate
+/// dimension monomorphized exactly as in the one-shot kernels. This is the
+/// reference path the SIMD kernels are validated against, so it never
+/// dispatches to SIMD.
+pub fn apply_plan_seq_scalar<F: Float>(amps: &mut [Cplx<F>], p: &GatePlan, matrix: &GateMatrix<F>) {
     debug_assert_eq!(amps.len(), 1usize << p.n, "amplitude slice does not match the plan");
     assert_eq!(matrix.dim(), p.dim, "matrix dimension does not match the plan");
     fn run<F: Float, const DIM: usize>(amps: &mut [Cplx<F>], p: &GatePlan, mat: &[Cplx<F>]) {
@@ -500,10 +569,13 @@ pub fn apply_controlled_gate_slice_par<F: Float>(
     control_values: usize,
     matrix: &GateMatrix<F>,
 ) {
-    if amps.len() < PAR_THRESHOLD_AMPS {
+    if amps.len() < PAR_GRAIN_AMPS {
         return apply_controlled_gate_slice_seq(amps, qubits, controls, control_values, matrix);
     }
     let n = slice_qubits(amps);
+    if crate::simd::try_apply_controlled(amps, qubits, controls, control_values, matrix, true) {
+        return;
+    }
     let p = plan(n, qubits, controls, control_values, matrix);
     if controls.is_empty() && is_diagonal(matrix) {
         return apply_diagonal_par(amps, qubits, matrix);
@@ -511,8 +583,9 @@ pub fn apply_controlled_gate_slice_par<F: Float>(
 
     fn run<F: Float, const DIM: usize>(amps: &mut [Cplx<F>], p: &GatePlan, mat: &[Cplx<F>]) {
         let len = amps.len();
+        let min_groups = (PAR_GRAIN_AMPS / DIM).max(1);
         let ptr = AmpsPtr(amps.as_mut_ptr());
-        (0..p.num_groups).into_par_iter().with_min_len(256).for_each(|g| {
+        (0..p.num_groups).into_par_iter().with_min_len(min_groups).for_each(|g| {
             let base = insert_zero_bits(g, &p.strip) | p.control_mask;
             // SAFETY: distinct `g` produce disjoint index sets
             // `{base | off}` (the stripped bits uniquely identify the
@@ -532,8 +605,9 @@ pub fn apply_controlled_gate_slice_par<F: Float>(
         6 => run::<F, 64>(amps, &p, mat),
         _ => {
             let len = amps.len();
+            let min_groups = (PAR_GRAIN_AMPS / p.dim).max(1);
             let ptr = AmpsPtr(amps.as_mut_ptr());
-            (0..p.num_groups).into_par_iter().with_min_len(256).for_each_init(
+            (0..p.num_groups).into_par_iter().with_min_len(min_groups).for_each_init(
                 || [Cplx::zero(); 1 << MAX_GATE_QUBITS],
                 |scratch, g| {
                     let base = insert_zero_bits(g, &p.strip) | p.control_mask;
@@ -695,7 +769,7 @@ mod tests {
 
     #[test]
     fn par_matches_seq() {
-        let n = 13; // above PAR_THRESHOLD_AMPS
+        let n = 13; // above PAR_GRAIN_AMPS
         let mut seq = SV::new(n);
         // Build a non-trivial state with a few gates.
         for q in 0..n {
@@ -749,6 +823,37 @@ mod tests {
         assert_eq!(num_low_qubits(&[0, 3, 5, 8]), 2);
         assert_eq!(KernelClass::High.kernel_name(), "ApplyGateH_Kernel");
         assert_eq!(KernelClass::Low.kernel_name(), "ApplyGateL_Kernel");
+    }
+
+    #[test]
+    fn classify_at_arbitrary_thresholds() {
+        // AVX2 f32 boundary (3 lane qubits).
+        assert_eq!(classify_gate_at(&[2, 9], 3), KernelClass::Low);
+        assert_eq!(classify_gate_at(&[3, 9], 3), KernelClass::High);
+        // Scalar CPU: no lane qubits, everything is High.
+        assert_eq!(classify_gate_at(&[0], 0), KernelClass::High);
+        // Threshold 5 must agree with the GPU classification.
+        for qs in [&[0usize, 7][..], &[4], &[5], &[6, 11]] {
+            assert_eq!(classify_gate_at(qs, 5), classify_gate(qs));
+        }
+    }
+
+    #[test]
+    fn group_offsets_agree_with_deposit_bits() {
+        // `group_offsets` is defined in terms of `matrix::deposit_bits`;
+        // pin the agreement against a hand-rolled bit deposit.
+        for qubits in [&[0usize][..], &[1, 4], &[0, 2, 5], &[1, 3, 6, 9]] {
+            let offsets = group_offsets(qubits);
+            assert_eq!(offsets.len(), 1 << qubits.len());
+            for (m, &off) in offsets.iter().enumerate() {
+                let mut expect = 0usize;
+                for (j, &q) in qubits.iter().enumerate() {
+                    expect |= ((m >> j) & 1) << q;
+                }
+                assert_eq!(off, expect, "qubits {qubits:?}, m={m}");
+                assert_eq!(off, crate::matrix::deposit_bits(m, qubits));
+            }
+        }
     }
 
     #[test]

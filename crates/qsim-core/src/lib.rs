@@ -26,6 +26,9 @@
 //!   of consecutive low-qubit fused gates to cache-sized blocks in a single
 //!   pass over the state — the CPU analogue of the shared-memory
 //!   `ApplyGateL_Kernel` design;
+//! * [`simd`], runtime-dispatched AVX2/AVX-512 gate kernels with a
+//!   lane-level Low path — the CPU mirror of the warp-tile rearrangement,
+//!   keeping the lowest `log2(lanes)` qubits inside one SIMD register;
 //! * [`noise`], quantum-trajectory noise channels (a qsim feature the paper
 //!   mentions as part of the simulator but does not benchmark);
 //! * [`diag`], the typed-diagnostic vocabulary ([`diag::Diagnostic`],
@@ -39,6 +42,7 @@ pub mod kernels;
 pub mod matrix;
 pub mod noise;
 pub mod observables;
+pub mod simd;
 pub mod statespace;
 pub mod statevec;
 pub mod sweep;

@@ -1,0 +1,205 @@
+//! The generic split-complex tile kernel: one algorithm, instantiated per
+//! lane backend (AVX2, AVX-512, portable reference lanes).
+//!
+//! A tile is [`LaneVec::LANES`] *consecutive* amplitudes: the low
+//! `log2(LANES)` qubits of the state index live in SIMD lanes, exactly as
+//! the low 5 qubits of a GPU group live inside one 32-amplitude warp tile
+//! (paper §2.2). On load a tile is split into separate re/im vectors
+//! (split-complex form), so the matrix-vector product lowers to real FMA
+//! lanes instead of scalar complex multiply-adds; gates on lane qubits are
+//! resolved with in-register permutes driven by per-lane coefficient
+//! tables — the CPU mirror of `ApplyGateL_Kernel`'s shared-memory
+//! shuffles. See [`super::plan`] for how the tables are prepared.
+
+use std::ops::Range;
+
+use crate::kernels::insert_zero_bits;
+use crate::types::{Cplx, Float};
+
+use super::plan::{DiagPlan, MatPlan};
+
+/// A vector of [`LaneVec::LANES`] scalars of type `F` — one SIMD register
+/// worth of either real or imaginary amplitude parts.
+///
+/// # Safety contract
+///
+/// Methods marked `unsafe` are implemented with ISA-specific intrinsics;
+/// callers must guarantee the backing instruction set is available on the
+/// running CPU (the dispatcher only constructs plans for detected ISAs)
+/// and that every pointer is valid for `LANES` elements of exclusive
+/// access.
+pub(crate) trait LaneVec<F: Float>: Copy + Send + Sync {
+    /// Number of scalar lanes (= complex amplitudes per tile).
+    const LANES: usize;
+
+    /// Precomputed lane-permutation selector (one per gate column).
+    type Perm: Copy + Send + Sync + 'static;
+
+    /// Build a permutation taking output lane `l` from source lane
+    /// `indices[l]`. Called at plan-build time only.
+    fn make_perm(indices: &[usize]) -> Self::Perm;
+
+    /// All-zero vector.
+    fn zero() -> Self;
+
+    /// Load `LANES` consecutive complex amplitudes and split them into
+    /// `(re, im)` vectors in lane order.
+    ///
+    /// # Safety
+    /// `ptr` must be valid for `LANES` reads and the ISA available.
+    unsafe fn load_re_im(ptr: *const Cplx<F>) -> (Self, Self);
+
+    /// Interleave `(re, im)` back into `LANES` consecutive complex
+    /// amplitudes.
+    ///
+    /// # Safety
+    /// `ptr` must be valid for `LANES` writes and the ISA available.
+    unsafe fn store_re_im(re: Self, im: Self, ptr: *mut Cplx<F>);
+
+    /// Unaligned load of `LANES` scalars (coefficient-table rows).
+    ///
+    /// # Safety
+    /// `ptr` must be valid for `LANES` reads and the ISA available.
+    unsafe fn load_coef(ptr: *const F) -> Self;
+
+    /// Lane permutation: `out[l] = self[perm[l]]`.
+    ///
+    /// # Safety
+    /// The ISA must be available.
+    unsafe fn permute(self, perm: &Self::Perm) -> Self;
+
+    /// `self + a * b` (fused when the ISA has FMA).
+    ///
+    /// # Safety
+    /// The ISA must be available.
+    unsafe fn mul_add(self, a: Self, b: Self) -> Self;
+
+    /// `self - a * b` (fused when the ISA has FMA).
+    ///
+    /// # Safety
+    /// The ISA must be available.
+    unsafe fn mul_sub(self, a: Self, b: Self) -> Self;
+
+    /// Lane-wise product `a * b`.
+    ///
+    /// # Safety
+    /// The ISA must be available.
+    unsafe fn mul(a: Self, b: Self) -> Self;
+}
+
+/// Scratch capacity: tiles per group is `2^kh ≤ 2^MAX_GATE_QUBITS`.
+const MAX_TILES: usize = 1 << crate::kernels::MAX_GATE_QUBITS;
+
+/// Apply the planned gate to the tile groups in `groups`.
+///
+/// # Safety
+///
+/// * `amps` must point to the `2^plan.n` amplitudes the plan was built
+///   for, with exclusive access to every tile addressed by `groups`
+///   (distinct groups touch disjoint tiles, so disjoint ranges may run
+///   concurrently);
+/// * the lane backend `V`'s ISA must be available on the running CPU.
+#[inline(always)]
+pub(crate) unsafe fn apply_mat_range<F: Float, V: LaneVec<F>>(
+    amps: *mut Cplx<F>,
+    plan: &MatPlan<F, V>,
+    groups: Range<usize>,
+) {
+    let lanes = V::LANES;
+    let lambda = lanes.trailing_zeros() as usize;
+    let tiles = 1usize << plan.kh;
+    let mut src_re = [V::zero(); MAX_TILES];
+    let mut src_im = [V::zero(); MAX_TILES];
+    let mut out_re = [V::zero(); MAX_TILES];
+    let mut out_im = [V::zero(); MAX_TILES];
+    for g in groups {
+        let base_t = insert_zero_bits(g, &plan.strip_t) | plan.control_mask_t;
+        for m in 0..tiles {
+            // SAFETY: `(base_t | tile_off[m]) << lambda` indexes within the
+            // `2^plan.n` amplitudes (the plan strips exactly the high
+            // target/control bits), and the caller grants access.
+            let (re, im) =
+                unsafe { V::load_re_im(amps.add((base_t | plan.tile_off[m]) << lambda)) };
+            src_re[m] = re;
+            src_im[m] = im;
+        }
+        for r in 0..tiles {
+            let mut acc_re = V::zero();
+            let mut acc_im = V::zero();
+            let row_base = r * plan.dimk * lanes;
+            for c in 0..plan.dimk {
+                let m = plan.col_tile[c];
+                let (mut sre, mut sim) = (src_re[m], src_im[m]);
+                if plan.has_low_targets {
+                    // SAFETY: ISA availability per the caller contract.
+                    sre = unsafe { sre.permute(&plan.perms[c]) };
+                    // SAFETY: as above.
+                    sim = unsafe { sim.permute(&plan.perms[c]) };
+                }
+                // SAFETY: the coefficient tables hold
+                // `2^kh * dimk * LANES` scalars; `row_base + c*lanes`
+                // stays `LANES` short of the end.
+                let cre = unsafe { V::load_coef(plan.coef_re.as_ptr().add(row_base + c * lanes)) };
+                // SAFETY: as above.
+                let cim = unsafe { V::load_coef(plan.coef_im.as_ptr().add(row_base + c * lanes)) };
+                // Complex multiply-accumulate in split form:
+                //   acc += coef * src
+                // SAFETY: ISA availability per the caller contract.
+                unsafe {
+                    acc_re = acc_re.mul_add(cre, sre);
+                    acc_re = acc_re.mul_sub(cim, sim);
+                    acc_im = acc_im.mul_add(cre, sim);
+                    acc_im = acc_im.mul_add(cim, sre);
+                }
+            }
+            out_re[r] = acc_re;
+            out_im[r] = acc_im;
+        }
+        for r in 0..tiles {
+            // SAFETY: same index bound as the loads; all sources were
+            // consumed into registers before the first store.
+            unsafe {
+                V::store_re_im(
+                    out_re[r],
+                    out_im[r],
+                    amps.add((base_t | plan.tile_off[r]) << lambda),
+                );
+            }
+        }
+    }
+}
+
+/// Apply the planned diagonal gate to the tiles in `tile_range`.
+///
+/// # Safety
+///
+/// * `amps` must be valid for the addressed tiles (`tile << lambda`,
+///   `LANES` amplitudes each) with exclusive access;
+/// * the lane backend `V`'s ISA must be available on the running CPU.
+#[inline(always)]
+pub(crate) unsafe fn apply_diag_range<F: Float, V: LaneVec<F>>(
+    amps: *mut Cplx<F>,
+    plan: &DiagPlan<F, V>,
+    tile_range: Range<usize>,
+) {
+    let lanes = V::LANES;
+    let lambda = lanes.trailing_zeros() as usize;
+    for t in tile_range {
+        let m = crate::matrix::extract_bits(t, &plan.hq_t);
+        let p = amps.wrapping_add(t << lambda);
+        // SAFETY: the caller grants access to this tile.
+        let (sre, sim) = unsafe { V::load_re_im(p) };
+        // SAFETY: the tables hold `2^kh * LANES` scalars and
+        // `m < 2^kh` by construction of `extract_bits`.
+        let cre = unsafe { V::load_coef(plan.dre.as_ptr().add(m * lanes)) };
+        // SAFETY: as above.
+        let cim = unsafe { V::load_coef(plan.dim.as_ptr().add(m * lanes)) };
+        // out = s * d, complex: (sre*dre - sim*dim, sre*dim + sim*dre).
+        // SAFETY: ISA availability per the caller contract.
+        unsafe {
+            let ore = V::mul(sre, cre).mul_sub(sim, cim);
+            let oim = V::mul(sre, cim).mul_add(sim, cre);
+            V::store_re_im(ore, oim, p);
+        }
+    }
+}

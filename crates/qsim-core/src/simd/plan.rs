@@ -1,0 +1,583 @@
+//! Plan construction for the tile kernels, plus the precision-erased
+//! [`SimdPlan`] handle the rest of the crate dispatches through.
+//!
+//! The key trick that makes the Low (lane-qubit) and High (address-qubit)
+//! paths *one* kernel is the per-lane coefficient table. With
+//! `λ = log2(LANES)` lane qubits, split a k-qubit gate's targets into low
+//! (`q < λ`) and high (`q ≥ λ`) sets. Each output tile row `r` (choice of
+//! high-target bits) is a sum over gate columns `c` of
+//! `coef[r][c][l] * permute_c(src[col_tile[c]])[l]`, where
+//! `coef[r][c][l] = M[row(l, r), c]` resolves the matrix row from lane
+//! `l`'s low-target bits and `r`'s high-target bits, and `permute_c`
+//! replaces each lane's low-target bits with column `c`'s — in-register
+//! data movement instead of strided loads, the CPU mirror of the paper's
+//! `ApplyGateL_Kernel` shared-memory rearrangement. A gate with no low
+//! targets degenerates to splat coefficients + identity permutes, i.e. the
+//! strided High path, for free. Low *controls* fold into the same tables:
+//! lanes whose control bits mismatch get identity coefficients
+//! (`coef[r][c][l] = [c == row(l, r)]`) and pass through unchanged.
+
+use std::any::TypeId;
+use std::ops::Range;
+
+use crate::kernels::{validate_gate_args, PAR_GRAIN_AMPS};
+use crate::matrix::GateMatrix;
+use crate::types::{Cplx, Float, Precision};
+
+use super::kernel::LaneVec;
+use super::portable::P4;
+use super::Isa;
+
+/// Precomputed tile-level plan for a (controlled) dense gate.
+pub(crate) struct MatPlan<F: Float, V: LaneVec<F>> {
+    /// Qubit count the plan was built for (`amps.len() == 1 << n`).
+    pub n: usize,
+    /// Gate dimension `2^k`.
+    pub dimk: usize,
+    /// Number of high (tile-address) target qubits.
+    pub kh: usize,
+    /// Tile-coordinate positions stripped from the group counter: high
+    /// targets and high controls, sorted ascending.
+    pub strip_t: Vec<usize>,
+    /// High-control value bits in tile coordinates.
+    pub control_mask_t: usize,
+    /// Tile-index offsets of the `2^kh` tiles of a group.
+    pub tile_off: Vec<usize>,
+    /// For each gate column, which of the group's tiles sources it.
+    pub col_tile: Vec<usize>,
+    /// For each gate column, the lane permutation selecting the column's
+    /// low-target bits (identity when `has_low_targets` is false).
+    pub perms: Vec<V::Perm>,
+    pub has_low_targets: bool,
+    /// Split-complex coefficient tables, laid out
+    /// `[(r * dimk + c) * LANES + l]`.
+    pub coef_re: Vec<F>,
+    pub coef_im: Vec<F>,
+    /// Number of tile groups: `1 << (n - λ - strip_t.len())`.
+    pub num_groups: usize,
+}
+
+/// Precomputed tile-level plan for an uncontrolled diagonal gate.
+pub(crate) struct DiagPlan<F: Float, V: LaneVec<F>> {
+    /// Qubit count the plan was built for (`amps.len() == 1 << n`).
+    pub n: usize,
+    /// Tile-coordinate positions of the high targets (ascending).
+    pub hq_t: Vec<usize>,
+    /// Split-complex diagonal tables, laid out `[m * LANES + l]` where `m`
+    /// enumerates high-target bit patterns.
+    pub dre: Vec<F>,
+    pub dim: Vec<F>,
+    marker: std::marker::PhantomData<V>,
+}
+
+/// Build a [`MatPlan`] or report `None` when the state is too small to
+/// tile (`n < λ + #high targets + #high controls`). Argument validation
+/// matches the scalar kernels exactly (same panics on malformed input).
+pub(crate) fn build_mat<F: Float, V: LaneVec<F>>(
+    n: usize,
+    qubits: &[usize],
+    controls: &[usize],
+    control_values: usize,
+    matrix: &GateMatrix<F>,
+) -> Option<MatPlan<F, V>> {
+    validate_gate_args(n, qubits, controls, control_values, matrix.dim());
+    let lanes = V::LANES;
+    let lambda = lanes.trailing_zeros() as usize;
+    let k = qubits.len();
+    let dimk = 1usize << k;
+
+    // Split targets and controls at the lane boundary. `j` is the bit
+    // position within gate row/column indices, `q`/`p` the state qubit.
+    let low_t: Vec<(usize, usize)> =
+        qubits.iter().enumerate().filter(|&(_, &q)| q < lambda).map(|(j, &q)| (j, q)).collect();
+    let high_t: Vec<(usize, usize)> =
+        qubits.iter().enumerate().filter(|&(_, &q)| q >= lambda).map(|(j, &q)| (j, q)).collect();
+    let kh = high_t.len();
+
+    let mut lc_mask = 0usize;
+    let mut lc_val = 0usize;
+    let mut strip_t: Vec<usize> = Vec::new();
+    let mut control_mask_t = 0usize;
+    for (j, &c) in controls.iter().enumerate() {
+        let want = (control_values >> j) & 1;
+        if c < lambda {
+            lc_mask |= 1 << c;
+            lc_val |= want << c;
+        } else {
+            strip_t.push(c - lambda);
+            control_mask_t |= want << (c - lambda);
+        }
+    }
+    if n < lambda + kh + strip_t.len() {
+        return None;
+    }
+    for &(_, q) in &high_t {
+        strip_t.push(q - lambda);
+    }
+    strip_t.sort_unstable();
+
+    let tile_off: Vec<usize> = (0..1usize << kh)
+        .map(|m| {
+            let mut off = 0usize;
+            for (i, &(_, q)) in high_t.iter().enumerate() {
+                off |= ((m >> i) & 1) << (q - lambda);
+            }
+            off
+        })
+        .collect();
+    let col_tile: Vec<usize> = (0..dimk)
+        .map(|c| {
+            let mut m = 0usize;
+            for (i, &(j, _)) in high_t.iter().enumerate() {
+                m |= ((c >> j) & 1) << i;
+            }
+            m
+        })
+        .collect();
+
+    let has_low_targets = !low_t.is_empty();
+    let lmask: usize = low_t.iter().map(|&(_, p)| 1usize << p).sum();
+    let perms: Vec<V::Perm> = (0..dimk)
+        .map(|c| {
+            let dep: usize = low_t.iter().map(|&(j, p)| ((c >> j) & 1) << p).sum();
+            let idx: Vec<usize> = (0..lanes).map(|l| (l & !lmask) | dep).collect();
+            V::make_perm(&idx)
+        })
+        .collect();
+
+    // Matrix row index for output lane `l` under high-row pattern `r`.
+    let row_of = |r: usize, l: usize| -> usize {
+        let mut row = 0usize;
+        for (i, &(j, _)) in high_t.iter().enumerate() {
+            row |= ((r >> i) & 1) << j;
+        }
+        for &(j, p) in &low_t {
+            row |= ((l >> p) & 1) << j;
+        }
+        row
+    };
+    let mut coef_re = Vec::with_capacity((1 << kh) * dimk * lanes);
+    let mut coef_im = Vec::with_capacity((1 << kh) * dimk * lanes);
+    for r in 0..1usize << kh {
+        for c in 0..dimk {
+            for l in 0..lanes {
+                let row = row_of(r, l);
+                let z = if (l & lc_mask) == lc_val {
+                    matrix.get(row, c)
+                } else if c == row {
+                    // Lane fails a low control: identity pass-through.
+                    Cplx { re: F::ONE, im: F::ZERO }
+                } else {
+                    Cplx { re: F::ZERO, im: F::ZERO }
+                };
+                coef_re.push(z.re);
+                coef_im.push(z.im);
+            }
+        }
+    }
+
+    let num_groups = 1usize << (n - lambda - strip_t.len());
+    Some(MatPlan {
+        n,
+        dimk,
+        kh,
+        strip_t,
+        control_mask_t,
+        tile_off,
+        col_tile,
+        perms,
+        has_low_targets,
+        coef_re,
+        coef_im,
+        num_groups,
+    })
+}
+
+/// Build a [`DiagPlan`] for an uncontrolled diagonal gate, or `None` when
+/// the state has fewer qubits than SIMD lanes.
+pub(crate) fn build_diag<F: Float, V: LaneVec<F>>(
+    n: usize,
+    qubits: &[usize],
+    matrix: &GateMatrix<F>,
+) -> Option<DiagPlan<F, V>> {
+    validate_gate_args(n, qubits, &[], 0, matrix.dim());
+    let lanes = V::LANES;
+    let lambda = lanes.trailing_zeros() as usize;
+    if n < lambda {
+        return None;
+    }
+    let low_t: Vec<(usize, usize)> =
+        qubits.iter().enumerate().filter(|&(_, &q)| q < lambda).map(|(j, &q)| (j, q)).collect();
+    let high_t: Vec<(usize, usize)> =
+        qubits.iter().enumerate().filter(|&(_, &q)| q >= lambda).map(|(j, &q)| (j, q)).collect();
+    let hq_t: Vec<usize> = high_t.iter().map(|&(_, q)| q - lambda).collect();
+    let kh = high_t.len();
+    let mut dre = Vec::with_capacity((1 << kh) * lanes);
+    let mut dim = Vec::with_capacity((1 << kh) * lanes);
+    for m in 0..1usize << kh {
+        for l in 0..lanes {
+            let mut row = 0usize;
+            for (i, &(j, _)) in high_t.iter().enumerate() {
+                row |= ((m >> i) & 1) << j;
+            }
+            for &(j, p) in &low_t {
+                row |= ((l >> p) & 1) << j;
+            }
+            let z = matrix.get(row, row);
+            dre.push(z.re);
+            dim.push(z.im);
+        }
+    }
+    Some(DiagPlan { n, hq_t, dre, dim, marker: std::marker::PhantomData })
+}
+
+/// Reinterpret a generic `F` gate matrix as a concrete precision.
+/// Returns `None` when `F` is not `G` (precision mismatch). A `Some`
+/// result proves `F == G`, which also licenses the amplitude-pointer
+/// casts in [`SimdPlan::apply_range_ptr`] for the variant being built.
+fn cast_matrix<F: Float, G: Float>(matrix: &GateMatrix<F>) -> Option<&GateMatrix<G>> {
+    if TypeId::of::<F>() == TypeId::of::<G>() {
+        // SAFETY: `F` and `G` are the same type (TypeId equality above),
+        // so the reference cast is the identity.
+        Some(unsafe { &*(matrix as *const GateMatrix<F> as *const GateMatrix<G>) })
+    } else {
+        None
+    }
+}
+
+/// ISA- and shape-erased plan: build once per (gate, state-size), apply to
+/// any number of amplitude slices (full states or sweep blocks).
+pub struct SimdPlan<F: Float> {
+    inner: Inner<F>,
+    isa: Isa,
+}
+
+enum Inner<F: Float> {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    A2Mat32(MatPlan<f32, super::avx2::F32x8>),
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    A2Diag32(DiagPlan<f32, super::avx2::F32x8>),
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    A2Mat64(MatPlan<f64, super::avx2::F64x4>),
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    A2Diag64(DiagPlan<f64, super::avx2::F64x4>),
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    A5Mat32(MatPlan<f32, super::avx512::F32x16>),
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    A5Diag32(DiagPlan<f32, super::avx512::F32x16>),
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    A5Mat64(MatPlan<f64, super::avx512::F64x8>),
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    A5Diag64(DiagPlan<f64, super::avx512::F64x8>),
+    /// Portable 4-lane reference backend: exercises the identical tile
+    /// machinery in safe-by-construction arithmetic. Used by the
+    /// equivalence tests and under miri; never selected by dispatch.
+    PortableMat(MatPlan<F, P4<F>>),
+    PortableDiag(DiagPlan<F, P4<F>>),
+}
+
+impl<F: Float> SimdPlan<F> {
+    /// Plan a (controlled) gate for the active ISA. `None` means the
+    /// caller should use the scalar kernels (scalar ISA active, state too
+    /// small to tile, or SIMD disabled).
+    ///
+    /// Panics on malformed arguments with the same messages as the scalar
+    /// kernels.
+    pub fn new(
+        n: usize,
+        qubits: &[usize],
+        controls: &[usize],
+        control_values: usize,
+        matrix: &GateMatrix<F>,
+    ) -> Option<Self> {
+        Self::new_with_isa(super::active_isa(), n, qubits, controls, control_values, matrix)
+    }
+
+    /// Plan for a specific ISA tier rather than the globally active one.
+    /// The cap still applies to the hardware, not the request: asking for
+    /// an ISA the CPU lacks returns `None` rather than executing illegal
+    /// instructions. Intended for A/B benchmarking and tests that must not
+    /// depend on process-global dispatch state.
+    pub fn new_with_isa(
+        isa: Isa,
+        n: usize,
+        qubits: &[usize],
+        controls: &[usize],
+        control_values: usize,
+        matrix: &GateMatrix<F>,
+    ) -> Option<Self> {
+        if isa > super::detected_isa() {
+            return None;
+        }
+        let diagonal = controls.is_empty() && crate::kernels::is_diagonal(matrix);
+        let inner = match (isa, F::PRECISION) {
+            (Isa::Scalar, _) => None,
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            (Isa::Avx2, Precision::Single) => {
+                let m = cast_matrix::<F, f32>(matrix)?;
+                if diagonal {
+                    build_diag(n, qubits, m).map(Inner::A2Diag32)
+                } else {
+                    build_mat(n, qubits, controls, control_values, m).map(Inner::A2Mat32)
+                }
+            }
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            (Isa::Avx2, Precision::Double) => {
+                let m = cast_matrix::<F, f64>(matrix)?;
+                if diagonal {
+                    build_diag(n, qubits, m).map(Inner::A2Diag64)
+                } else {
+                    build_mat(n, qubits, controls, control_values, m).map(Inner::A2Mat64)
+                }
+            }
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            (Isa::Avx512, Precision::Single) => {
+                let m = cast_matrix::<F, f32>(matrix)?;
+                if diagonal {
+                    build_diag(n, qubits, m).map(Inner::A5Diag32)
+                } else {
+                    build_mat(n, qubits, controls, control_values, m).map(Inner::A5Mat32)
+                }
+            }
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            (Isa::Avx512, Precision::Double) => {
+                let m = cast_matrix::<F, f64>(matrix)?;
+                if diagonal {
+                    build_diag(n, qubits, m).map(Inner::A5Diag64)
+                } else {
+                    build_mat(n, qubits, controls, control_values, m).map(Inner::A5Mat64)
+                }
+            }
+            #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+            (_, _) => None,
+        }?;
+        Some(SimdPlan { inner, isa })
+    }
+
+    /// Plan with the portable 4-lane reference backend regardless of the
+    /// detected ISA. Intended for tests (including miri) that need to
+    /// exercise the lane-level Low path without x86 intrinsics.
+    pub fn new_portable(
+        n: usize,
+        qubits: &[usize],
+        controls: &[usize],
+        control_values: usize,
+        matrix: &GateMatrix<F>,
+    ) -> Option<Self> {
+        let diagonal = controls.is_empty() && crate::kernels::is_diagonal(matrix);
+        let inner = if diagonal {
+            build_diag(n, qubits, matrix).map(Inner::PortableDiag)
+        } else {
+            build_mat(n, qubits, controls, control_values, matrix).map(Inner::PortableMat)
+        }?;
+        Some(SimdPlan { inner, isa: Isa::Scalar })
+    }
+
+    /// The ISA this plan's kernels were compiled for.
+    pub fn isa(&self) -> Isa {
+        self.isa
+    }
+
+    /// Apply to a full state or block slice, single-threaded.
+    ///
+    /// Panics if `amps.len()` is not the `2^n` the plan was built for.
+    pub fn apply_seq(&self, amps: &mut [Cplx<F>]) {
+        self.apply_range(amps, None);
+    }
+
+    /// Apply with rayon over disjoint tile-group ranges.
+    pub fn apply_par(&self, amps: &mut [Cplx<F>]) {
+        use rayon::prelude::*;
+
+        struct SendPtr<T>(*mut T);
+        // SAFETY: each parallel task touches the disjoint tile set of its
+        // own group range, so sharing the raw base pointer is sound.
+        unsafe impl<T> Send for SendPtr<T> {}
+        // SAFETY: as above.
+        unsafe impl<T> Sync for SendPtr<T> {}
+
+        let (num_groups, amps_per_group) = self.group_shape(amps.len());
+        let grain = (PAR_GRAIN_AMPS / amps_per_group).max(1);
+        if num_groups <= grain {
+            return self.apply_seq(amps);
+        }
+        let ptr = SendPtr(amps.as_mut_ptr());
+        let n_chunks = num_groups.div_ceil(grain);
+        (0..n_chunks).into_par_iter().for_each(|ci| {
+            let start = ci * grain;
+            let end = ((ci + 1) * grain).min(num_groups);
+            let p = &ptr;
+            self.apply_range_ptr(p.0, amps.len(), start..end);
+        });
+    }
+
+    /// `(group_count, amps_per_group)` for the given slice length.
+    fn group_shape(&self, len: usize) -> (usize, usize) {
+        match &self.inner {
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            Inner::A2Mat32(p) => (p.num_groups, (1 << p.kh) * 8),
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            Inner::A2Mat64(p) => (p.num_groups, (1 << p.kh) * 4),
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            Inner::A5Mat32(p) => (p.num_groups, (1 << p.kh) * 16),
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            Inner::A5Mat64(p) => (p.num_groups, (1 << p.kh) * 8),
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            Inner::A2Diag32(_) => (len / 8, 8),
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            Inner::A2Diag64(_) => (len / 4, 4),
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            Inner::A5Diag32(_) => (len / 16, 16),
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            Inner::A5Diag64(_) => (len / 8, 8),
+            Inner::PortableMat(p) => (p.num_groups, (1 << p.kh) * P4::<F>::LANES),
+            Inner::PortableDiag(_) => (len / P4::<F>::LANES, P4::<F>::LANES),
+        }
+    }
+
+    fn apply_range(&self, amps: &mut [Cplx<F>], groups: Option<Range<usize>>) {
+        let (num_groups, _) = self.group_shape(amps.len());
+        let groups = groups.unwrap_or(0..num_groups);
+        self.apply_range_ptr(amps.as_mut_ptr(), amps.len(), groups);
+    }
+
+    /// Shared dispatcher over the plan variants.
+    ///
+    /// The `len` argument is asserted against the plan's state size so a
+    /// plan is never applied to a mismatched slice. The pointer casts to
+    /// concrete precisions are identities: each precision-specific variant
+    /// is only ever constructed when `F` matched that precision by
+    /// `TypeId` (see [`cast_matrix`]).
+    fn apply_range_ptr(&self, amps: *mut Cplx<F>, len: usize, groups: Range<usize>) {
+        match &self.inner {
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            Inner::A2Mat32(p) => {
+                assert_eq!(len, 1 << p.n, "SimdPlan applied to mismatched state size");
+                // SAFETY: Avx2 plans exist only after runtime detection;
+                // the pointer covers `2^n` amps (assert above), groups
+                // address disjoint tiles within it, and `F == f32` for
+                // this variant.
+                unsafe { super::avx2::mat_f32(amps as *mut Cplx<f32>, p, groups) }
+            }
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            Inner::A2Mat64(p) => {
+                assert_eq!(len, 1 << p.n, "SimdPlan applied to mismatched state size");
+                // SAFETY: as above, with `F == f64`.
+                unsafe { super::avx2::mat_f64(amps as *mut Cplx<f64>, p, groups) }
+            }
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            Inner::A2Diag32(p) => {
+                assert_eq!(len, 1 << p.n, "SimdPlan applied to mismatched state size");
+                // SAFETY: as above; groups are whole tiles of the slice.
+                unsafe { super::avx2::diag_f32(amps as *mut Cplx<f32>, p, groups) }
+            }
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            Inner::A2Diag64(p) => {
+                assert_eq!(len, 1 << p.n, "SimdPlan applied to mismatched state size");
+                // SAFETY: as above, with `F == f64`.
+                unsafe { super::avx2::diag_f64(amps as *mut Cplx<f64>, p, groups) }
+            }
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            Inner::A5Mat32(p) => {
+                assert_eq!(len, 1 << p.n, "SimdPlan applied to mismatched state size");
+                // SAFETY: Avx512 plans exist only after runtime detection;
+                // bounds as above, `F == f32` for this variant.
+                unsafe { super::avx512::mat_f32(amps as *mut Cplx<f32>, p, groups) }
+            }
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            Inner::A5Mat64(p) => {
+                assert_eq!(len, 1 << p.n, "SimdPlan applied to mismatched state size");
+                // SAFETY: as above, with `F == f64`.
+                unsafe { super::avx512::mat_f64(amps as *mut Cplx<f64>, p, groups) }
+            }
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            Inner::A5Diag32(p) => {
+                assert_eq!(len, 1 << p.n, "SimdPlan applied to mismatched state size");
+                // SAFETY: as above, with `F == f32`.
+                unsafe { super::avx512::diag_f32(amps as *mut Cplx<f32>, p, groups) }
+            }
+            #[cfg(all(target_arch = "x86_64", not(miri)))]
+            Inner::A5Diag64(p) => {
+                assert_eq!(len, 1 << p.n, "SimdPlan applied to mismatched state size");
+                // SAFETY: as above, with `F == f64`.
+                unsafe { super::avx512::diag_f64(amps as *mut Cplx<f64>, p, groups) }
+            }
+            Inner::PortableMat(p) => {
+                assert_eq!(len, 1 << p.n, "SimdPlan applied to mismatched state size");
+                // SAFETY: P4 uses no ISA extensions; bounds as above.
+                unsafe { super::kernel::apply_mat_range(amps, p, groups) }
+            }
+            Inner::PortableDiag(p) => {
+                assert_eq!(len, 1 << p.n, "SimdPlan applied to mismatched state size");
+                // SAFETY: P4 uses no ISA extensions; tiles stay in bounds.
+                unsafe { super::kernel::apply_diag_range(amps, p, groups) }
+            }
+        }
+    }
+}
+
+/// Miri-tractable coverage of the portable lane backend: the generic tile
+/// kernel's raw-pointer arithmetic on small states, without intrinsics
+/// (the integration suite in `tests/simd_equivalence.rs` covers the x86
+/// tiers on real hardware at scale).
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h_matrix() -> GateMatrix<f64> {
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        GateMatrix::from_f64_pairs(2, &[(h, 0.), (h, 0.), (h, 0.), (-h, 0.)])
+    }
+
+    fn test_state(n: usize) -> Vec<Cplx<f64>> {
+        let norm = 1.0 / ((1u64 << n) as f64).sqrt();
+        (0..1usize << n)
+            .map(|i| Cplx::from_f64(norm * (0.25 * i as f64).cos(), norm * (0.25 * i as f64).sin()))
+            .collect()
+    }
+
+    fn assert_close(a: &[Cplx<f64>], b: &[Cplx<f64>]) {
+        for (x, y) in a.iter().zip(b) {
+            assert!((x.re - y.re).abs() < 1e-12 && (x.im - y.im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn portable_mat_matches_scalar_on_every_qubit() {
+        let n = 5;
+        let m = h_matrix();
+        let mut amps = test_state(n);
+        let mut reference = amps.clone();
+        for q in 0..n {
+            let plan = SimdPlan::new_portable(n, &[q], &[], 0, &m).expect("n >= lane qubits");
+            plan.apply_seq(&mut amps);
+            crate::kernels::apply_gate_slice_seq(&mut reference, &[q], &m);
+        }
+        assert_close(&amps, &reference);
+    }
+
+    #[test]
+    fn portable_controlled_and_diag_match_scalar() {
+        let n = 5;
+        let m = h_matrix();
+        let mut amps = test_state(n);
+        let mut reference = amps.clone();
+        // Controlled gate with one low and one high control.
+        let plan = SimdPlan::new_portable(n, &[2], &[0, 4], 0b01, &m).expect("plannable");
+        plan.apply_seq(&mut amps);
+        crate::kernels::apply_controlled_gate_slice_seq(&mut reference, &[2], &[0, 4], 0b01, &m);
+        // Diagonal gate spanning the lane boundary.
+        let mut cz = GateMatrix::<f64>::identity(4);
+        cz.set(3, 3, -Cplx::one());
+        let plan = SimdPlan::new_portable(n, &[1, 3], &[], 0, &cz).expect("plannable");
+        plan.apply_par(&mut amps);
+        crate::kernels::apply_gate_slice_seq(&mut reference, &[1, 3], &cz);
+        assert_close(&amps, &reference);
+    }
+
+    #[test]
+    fn portable_plan_rejects_too_small_states() {
+        // One qubit < 2 lane qubits of the portable backend.
+        assert!(SimdPlan::<f64>::new_portable(1, &[0], &[], 0, &h_matrix()).is_none());
+    }
+}

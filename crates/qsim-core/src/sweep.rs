@@ -30,17 +30,14 @@ use std::sync::{Arc, Mutex};
 
 use rayon::prelude::*;
 
-use crate::kernels::{self, GatePlan};
+use crate::kernels::{self, GatePlan, PAR_GRAIN_AMPS};
 use crate::matrix::GateMatrix;
+use crate::simd::SimdPlan;
 use crate::types::{Cplx, Float};
 
 /// Default sweep block size in amplitudes: 2^16 amplitudes = 512 KiB in
 /// single precision, 1 MiB in double — sized for a per-core L2 slice.
 pub const DEFAULT_BLOCK_AMPS: usize = 1 << 16;
-
-/// Below this state size the block loop stays sequential: the whole state
-/// fits in cache anyway and thread fan-out would dominate.
-const PAR_THRESHOLD_AMPS: usize = 1 << 12;
 
 /// Configuration of the cache-blocked sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -255,6 +252,11 @@ impl SweepExecutor {
             matrix: &'g GateMatrix<F>,
             diagonal: bool,
             plan: Option<Arc<GatePlan>>,
+            /// SIMD tile plan at block size, built once per run and shared
+            /// by every block (`SimdPlan` applies to any slice of its
+            /// planned length). `None` when SIMD is disabled or the block
+            /// is too small to tile — the scalar branches below run.
+            simd: Option<SimdPlan<F>>,
         }
         let prepared: Vec<Prepared<'g, F>> = gates
             .into_iter()
@@ -263,13 +265,18 @@ impl SweepExecutor {
                     is_block_local(qubits, block_qubits),
                     "gate on {qubits:?} is not local to 2^{block_qubits}-amplitude blocks"
                 );
+                let simd = SimdPlan::new(block_qubits, qubits, &[], 0, matrix);
                 let diagonal = kernels::is_diagonal(matrix);
+                // The scalar plan is built (and cached) even when a SIMD
+                // plan exists: the cache key ignores matrix entries and
+                // precision, so it stays warm for any later run — e.g.
+                // after `set_simd_enabled(false)` mid-process.
                 let plan = if diagonal {
                     None // diagonal fast path needs no group decomposition
                 } else {
                     Some(self.plan_for(block_qubits, qubits, matrix.dim()))
                 };
-                Prepared { qubits, matrix, diagonal, plan }
+                Prepared { qubits, matrix, diagonal, plan, simd }
             })
             .collect();
         if prepared.is_empty() {
@@ -278,14 +285,20 @@ impl SweepExecutor {
 
         let apply_block = |chunk: &mut [Cplx<F>]| {
             for g in &prepared {
-                if g.diagonal {
+                if let Some(sp) = &g.simd {
+                    sp.apply_seq(chunk);
+                } else if g.diagonal {
                     kernels::apply_diagonal_seq(chunk, g.qubits, g.matrix);
                 } else {
-                    kernels::apply_plan_seq(chunk, g.plan.as_ref().expect("planned"), g.matrix);
+                    kernels::apply_plan_seq_scalar(
+                        chunk,
+                        g.plan.as_ref().expect("planned"),
+                        g.matrix,
+                    );
                 }
             }
         };
-        if amps.len() < PAR_THRESHOLD_AMPS || amps.len() <= block {
+        if amps.len() < PAR_GRAIN_AMPS || amps.len() <= block {
             for chunk in amps.chunks_mut(block) {
                 apply_block(chunk);
             }
