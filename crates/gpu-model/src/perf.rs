@@ -42,6 +42,28 @@ pub struct LaunchProfile {
     pub double_precision: bool,
 }
 
+impl LaunchProfile {
+    /// Profile for qsim's gate-kernel grid convention: each thread owns
+    /// two amplitudes, so an `len`-amplitude pass launches
+    /// `max(len / 2 / tpb, 1)` blocks. Shared by the backend launch
+    /// planner and the fusion cost models so both price the same grid.
+    pub fn for_gate_grid(
+        len: u64,
+        threads_per_block: u32,
+        bytes: f64,
+        flops: f64,
+        double_precision: bool,
+    ) -> LaunchProfile {
+        LaunchProfile {
+            bytes,
+            flops,
+            blocks: (len / 2 / u64::from(threads_per_block)).max(1),
+            threads_per_block,
+            double_precision,
+        }
+    }
+}
+
 /// Wavefront (warp) utilization of a block: lanes filled over lanes
 /// allocated, `tpb / (ceil(tpb/W)·W)`.
 pub fn wave_utilization(threads_per_block: u32, wavefront_width: u32) -> f64 {

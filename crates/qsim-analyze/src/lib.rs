@@ -260,6 +260,24 @@ impl Analyzer {
         }
         report
     }
+
+    /// Like [`Analyzer::analyze`], but over a plan the caller already
+    /// fused — e.g. one produced by the cost-model planner
+    /// ([`qsim_fusion::plan`]) rather than the default greedy fuser.
+    /// Lints the raw circuit, then — unless the circuit itself has errors
+    /// — the given plan against it. Returns one combined report.
+    pub fn analyze_fused(
+        &self,
+        circuit: &Circuit,
+        plan: &FusedCircuit,
+        sweep: SweepConfig,
+    ) -> AnalysisReport {
+        let mut report = self.analyze_circuit(circuit);
+        if !report.has_errors() {
+            report.extend(self.analyze_plan(plan, Some(circuit), sweep));
+        }
+        report
+    }
 }
 
 impl std::fmt::Debug for Analyzer {

@@ -4,7 +4,7 @@
 //! flavor.
 
 use gpu_model::runtime::{KernelDesc, KernelWork};
-use qsim_core::kernels::{classify_gate, gate_work, num_low_qubits, KernelClass};
+use qsim_core::kernels::{classify_gate, fused_gate_work, KernelClass};
 
 use crate::flavor::Flavor;
 
@@ -45,21 +45,14 @@ pub fn gate_kernel_desc(
     low_overhead_override: Option<f64>,
 ) -> KernelDesc {
     let len = 1usize << n;
-    let k = qubits.len();
     let class = classify_gate(qubits);
-    let mut work = gate_work(n, k, 0, amp_bytes);
-    if class == KernelClass::Low {
-        let low = num_low_qubits(qubits) as f64;
-        let overhead = low_overhead_override.unwrap_or(flavor.low_qubit_byte_overhead());
-        work.flops += len as f64 * low * flavor.shuffle_flops_per_low_qubit();
-        // The rearrangement traffic grows with the amplitude-tile a block
-        // stages per group: each low qubit adds a staging round over the
-        // 2^k-amplitude tile, so the waste is normalized to the paper's
-        // optimal fused size (2^4 = 16 amplitudes) and scales with the
-        // square root of the tile size beyond it.
-        let tile_scale = ((1u64 << k) as f64 / 16.0).sqrt();
-        work.bytes *= 1.0 + low * overhead * tile_scale;
-    }
+    // Shared cost kernel (see [`qsim_core::kernels::fused_gate_work`] for
+    // the low-qubit surcharge rationale) — the fusion planner prices
+    // candidate merges through the same function, so planning and launch
+    // charging agree by construction.
+    let overhead = low_overhead_override.unwrap_or(flavor.low_qubit_byte_overhead());
+    let work =
+        fused_gate_work(n, qubits, amp_bytes, overhead, flavor.shuffle_flops_per_low_qubit());
     let tpb = flavor.threads_per_block(class);
     KernelDesc {
         name: flavor.kernel_name(class).into(),
@@ -76,6 +69,7 @@ pub fn gate_kernel_desc(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qsim_core::kernels::gate_work;
 
     #[test]
     fn init_desc_geometry() {

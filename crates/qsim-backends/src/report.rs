@@ -3,6 +3,7 @@
 
 use qsim_core::kernels::KernelClass;
 use qsim_core::types::Precision;
+use qsim_fusion::FusionStats;
 
 /// Options controlling one run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -58,6 +59,18 @@ pub struct RunReport {
     pub max_fused_qubits: usize,
     /// Fused unitary passes executed.
     pub fused_gates: usize,
+    /// How the plan was chosen (`greedy`, `cost`, or `auto`; see
+    /// [`qsim_fusion::FusionStrategy`]). Plain `run()`/`estimate()` calls
+    /// take a pre-fused circuit and report the default `greedy`; the
+    /// `run_plan`/`estimate_plan` entry points stamp the planner's actual
+    /// strategy.
+    pub fusion_strategy: String,
+    /// The backend cost model's prediction for the executed plan, seconds
+    /// (0 when the circuit was fused without a planner).
+    pub predicted_cost_seconds: f64,
+    /// Fusion quality of the executed plan: source vs fused gate counts
+    /// and the realized width histogram.
+    pub fusion_stats: FusionStats,
     /// **Modeled** end-to-end execution time on the device, seconds
     /// (includes the modeled gate-fusion cost, like the paper's metric).
     pub simulated_seconds: f64,
@@ -176,6 +189,13 @@ mod tests {
             num_qubits: 30,
             max_fused_qubits: 4,
             fused_gates: 150,
+            fusion_strategy: "greedy".into(),
+            predicted_cost_seconds: 0.0,
+            fusion_stats: FusionStats {
+                source_gates: 600,
+                fused_gates: 150,
+                fused_by_qubit_count: [0, 10, 50, 50, 40, 0, 0],
+            },
             simulated_seconds: 2.0,
             fusion_seconds: 0.02,
             wall_seconds: 1.0,
@@ -196,6 +216,13 @@ mod tests {
     #[test]
     fn fusion_fraction() {
         assert!((report().fusion_fraction() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fusion_stats_carry_compression() {
+        let r = report();
+        assert_eq!(r.fusion_stats.fused_gates, r.fused_gates);
+        assert!((r.fusion_stats.compression() - 4.0).abs() < 1e-12);
     }
 
     #[test]

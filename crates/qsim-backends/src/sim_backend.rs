@@ -28,10 +28,30 @@ use qsim_core::statespace::measure_slice;
 use qsim_core::sweep::{PassTracker, SweepConfig, SweepExecutor};
 use qsim_core::types::{Cplx, Float};
 use qsim_core::{GateMatrix, StateVector};
-use qsim_fusion::{FusedCircuit, FusedOp};
+use qsim_fusion::{
+    CpuCostModel, FusedCircuit, FusedOp, FusionCostModel, FusionPlan, FusionStats, FusionStrategy,
+    GpuCostModel, LANE_SHUFFLE_FLOPS, SWEPT_JOIN_TRAFFIC_SHARE,
+};
 
 use crate::flavor::Flavor;
 use crate::report::{GateClassCount, KernelStat, RunOptions, RunReport};
+
+/// How a source circuit is planned into a fused circuit for a backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanOptions {
+    /// Fusion strategy (see [`FusionStrategy`]).
+    pub strategy: FusionStrategy,
+    /// Fusion budget for `Greedy` and `Cost`; `Auto` sweeps its own range
+    /// and ignores it.
+    pub max_fused_qubits: usize,
+}
+
+impl Default for PlanOptions {
+    /// qsim's defaults: the greedy fuser at `-f 2`.
+    fn default() -> Self {
+        PlanOptions { strategy: FusionStrategy::Greedy, max_fused_qubits: 2 }
+    }
+}
 
 /// Modeled host-side cost of the gate-fusion transpiler, µs per source
 /// gate and per emitted fused gate. Calibrated so fusion lands where the
@@ -221,11 +241,101 @@ impl SimBackend {
         )
     }
 
+    /// Align a gate launch's charged work with the host execution model
+    /// (CPU flavor only): a lane-Low gate pays the in-register permute
+    /// arithmetic per lane-low target, and a gate that joins an open
+    /// cache-blocked run streams only the residual tile traffic. Uses the
+    /// same constants as [`CpuCostModel`], so a plan priced by the fusion
+    /// planner and a plan charged on the modeled timeline agree by
+    /// construction. GPU flavors are untouched (their sweep is disabled,
+    /// so `new_pass` is always true, and their lane split is already
+    /// inside the kernel work).
+    fn tune_host_charge(
+        &self,
+        desc: &mut KernelDesc,
+        n: usize,
+        qubits: &[usize],
+        lane_qubits: usize,
+        new_pass: bool,
+    ) {
+        if self.flavor != Flavor::CpuAvx {
+            return;
+        }
+        if qsim_core::kernels::classify_gate_at(qubits, lane_qubits)
+            == qsim_core::kernels::KernelClass::Low
+        {
+            let lane_low = qubits.iter().filter(|&&q| q < lane_qubits).count() as f64;
+            desc.work.flops += (1u64 << n) as f64 * lane_low * LANE_SHUFFLE_FLOPS;
+        }
+        if !new_pass {
+            desc.work.bytes *= SWEPT_JOIN_TRAFFIC_SHARE;
+        }
+    }
+
     /// Modeled host-side fusion cost for this circuit, µs.
-    fn fusion_cost_us(fused: &FusedCircuit) -> f64 {
-        let stats = fused.stats();
+    fn fusion_cost_us(stats: &FusionStats) -> f64 {
         stats.source_gates as f64 * FUSION_US_PER_SOURCE_GATE
             + stats.fused_gates as f64 * FUSION_US_PER_FUSED_GATE
+    }
+
+    /// The fusion cost model matching this backend's launch accounting:
+    /// the CPU flavor prices SIMD lane class + sweep-block locality, the
+    /// GPU flavors price the High/Low kernel split through the same
+    /// roofline the run loop charges (including any active
+    /// [`SimBackend::set_low_qubit_byte_overhead`] ablation).
+    pub fn cost_model(&self, precision: qsim_core::types::Precision) -> Box<dyn FusionCostModel> {
+        let spec = self.gpu.spec().clone();
+        if self.flavor == Flavor::CpuAvx {
+            let lane_qubits = qsim_core::simd::active_isa().lane_qubits(precision);
+            Box::new(CpuCostModel::new(spec, lane_qubits, self.effective_sweep(), precision))
+        } else {
+            let overhead =
+                self.low_overhead_override.unwrap_or(self.flavor.low_qubit_byte_overhead());
+            let mut model = GpuCostModel::new(spec, overhead, precision);
+            model.tpb_high = self.flavor.threads_per_block(qsim_core::kernels::KernelClass::High);
+            model.tpb_low = self.flavor.threads_per_block(qsim_core::kernels::KernelClass::Low);
+            model.shuffle_flops_per_low_qubit = self.flavor.shuffle_flops_per_low_qubit();
+            model.uploads_matrices = self.flavor.uploads_matrices();
+            Box::new(model)
+        }
+    }
+
+    /// Plan a source circuit for this backend: fuse under the requested
+    /// strategy, priced by [`SimBackend::cost_model`].
+    pub fn plan_circuit(
+        &self,
+        circuit: &qsim_circuit::Circuit,
+        opts: &PlanOptions,
+        precision: qsim_core::types::Precision,
+    ) -> FusionPlan {
+        let model = self.cost_model(precision);
+        qsim_fusion::plan(circuit, opts.strategy, opts.max_fused_qubits, model.as_ref())
+    }
+
+    /// Run a planned circuit; the report carries the plan's strategy and
+    /// predicted cost alongside the realized timings.
+    pub fn run_plan<F: Float>(
+        &self,
+        plan: &FusionPlan,
+        opts: &RunOptions,
+    ) -> Result<(StateVector<F>, RunReport), BackendError> {
+        let (state, mut report) = self.run::<F>(&plan.fused, opts)?;
+        report.fusion_strategy = plan.strategy.label().into();
+        report.predicted_cost_seconds = plan.predicted_cost_seconds;
+        Ok((state, report))
+    }
+
+    /// Dry-run a planned circuit (see [`SimBackend::estimate`]); the
+    /// report carries the plan's strategy and predicted cost.
+    pub fn estimate_plan(
+        &self,
+        plan: &FusionPlan,
+        precision: qsim_core::types::Precision,
+    ) -> Result<RunReport, BackendError> {
+        let mut report = self.estimate(&plan.fused, precision)?;
+        report.fusion_strategy = plan.strategy.label().into();
+        report.predicted_cost_seconds = plan.predicted_cost_seconds;
+        Ok(report)
     }
 
     /// **Dry-run**: drive the device model over the fused circuit without
@@ -266,7 +376,8 @@ impl SimBackend {
         let mut class_grid = [[0u64; 2]; 2];
 
         let t0 = self.gpu.synchronize();
-        let fusion_us = Self::fusion_cost_us(fused);
+        let fusion_stats = fused.stats();
+        let fusion_us = Self::fusion_cost_us(&fusion_stats);
         self.gpu.advance_host_us(fusion_us);
 
         let init = self.init_desc(len, amp_bytes, double_precision);
@@ -294,6 +405,7 @@ impl SimBackend {
                     let new_pass = tracker.on_gate(&g.qubits);
                     let mut desc = self.gate_desc(n, &g.qubits, amp_bytes, double_precision);
                     desc.work.passes = if new_pass { 1.0 } else { 0.0 };
+                    self.tune_host_charge(&mut desc, n, &g.qubits, lane_qubits, new_pass);
                     let (s, e) = self.gpu.charge_launch(&desc, StreamId::DEFAULT)?;
                     bump(&mut kernel_stats, &desc.name, e - s);
                 }
@@ -326,6 +438,9 @@ impl SimBackend {
             num_qubits: n,
             max_fused_qubits: fused.max_fused_qubits,
             fused_gates: fused.num_unitaries(),
+            fusion_strategy: FusionStrategy::Greedy.label().into(),
+            predicted_cost_seconds: 0.0,
+            fusion_stats,
             simulated_seconds: (t_end - t0) * 1e-6,
             fusion_seconds: fusion_us * 1e-6,
             wall_seconds: wall_start.elapsed().as_secs_f64(),
@@ -370,7 +485,8 @@ impl SimBackend {
         // ---- timed region starts here (like the paper, it includes the
         // gate-fusion step, charged at its modeled host cost) ----
         let t0 = self.gpu.synchronize();
-        let fusion_us = Self::fusion_cost_us(fused);
+        let fusion_stats = fused.stats();
+        let fusion_us = Self::fusion_cost_us(&fusion_stats);
         self.gpu.advance_host_us(fusion_us);
 
         // hipMalloc the state vector (this is where a 31-qubit double run
@@ -417,6 +533,7 @@ impl SimBackend {
                     let new_pass = tracker.on_gate(&g.qubits);
                     let mut desc = self.gate_desc(n, &g.qubits, amp_bytes, double_precision);
                     desc.work.passes = if new_pass { 1.0 } else { 0.0 };
+                    self.tune_host_charge(&mut desc, n, &g.qubits, lane_qubits, new_pass);
                     if tracker.in_run() {
                         // Block-local: charge the launch now, apply with
                         // the rest of the run when it flushes.
@@ -499,6 +616,9 @@ impl SimBackend {
             num_qubits: n,
             max_fused_qubits: fused.max_fused_qubits,
             fused_gates: fused.num_unitaries(),
+            fusion_strategy: FusionStrategy::Greedy.label().into(),
+            predicted_cost_seconds: 0.0,
+            fusion_stats,
             simulated_seconds: (t_end - t0) * 1e-6,
             fusion_seconds: fusion_us * 1e-6,
             wall_seconds: wall_start.elapsed().as_secs_f64(),
@@ -876,10 +996,18 @@ mod tests {
 
             let diff = ref_state.max_abs_diff(&state);
             assert!(diff < 1e-12, "f={max_f}: sweep diverges by {diff}");
-            // Same modeled launch sequence either way…
-            assert_eq!(report.kernels, ref_report.kernels, "f={max_f}");
-            assert_eq!(report.simulated_seconds, ref_report.simulated_seconds);
-            // …but fewer full passes over the state.
+            // Same kernel launches either way…
+            let launches = |r: &RunReport| {
+                r.kernels.iter().map(|k| (k.name.clone(), k.count)).collect::<Vec<_>>()
+            };
+            assert_eq!(launches(&report), launches(&ref_report), "f={max_f}");
+            // …but gates that join a blocked run stream only residual
+            // traffic, so the modeled timeline credits the sweep…
+            assert!(
+                report.simulated_seconds < ref_report.simulated_seconds,
+                "f={max_f}: sweep got no timeline credit"
+            );
+            // …and there are fewer full passes over the state.
             assert_eq!(ref_report.state_passes, ref_report.fused_gates as u64);
             assert!(
                 report.state_passes < report.fused_gates as u64,
@@ -968,6 +1096,69 @@ mod tests {
         // Lane qubits never exceed the GPU's 5-qubit warp tile, so a
         // lane-Low gate is always GPU-Low.
         assert_eq!(run.gates_in_class(KernelClass::High, KernelClass::Low), 0);
+    }
+
+    #[test]
+    fn run_plan_stamps_strategy_and_predicted_cost() {
+        let circuit = generate_rqc(&RqcOptions::for_qubits(10, 6, 7));
+        let backend = SimBackend::new(Flavor::Hip);
+        for strategy in FusionStrategy::ALL {
+            let opts = PlanOptions { strategy, max_fused_qubits: 3 };
+            let plan = backend.plan_circuit(&circuit, &opts, Precision::Single);
+            let (_, report) = backend.run_plan::<f32>(&plan, &RunOptions::default()).unwrap();
+            assert_eq!(report.fusion_strategy, strategy.label());
+            assert!(report.predicted_cost_seconds > 0.0);
+            assert_eq!(report.fusion_stats.fused_gates, report.fused_gates);
+            let (one, two, _) = circuit.gate_counts();
+            assert_eq!(report.fusion_stats.source_gates, one + two);
+            let est = backend.estimate_plan(&plan, Precision::Single).unwrap();
+            assert_eq!(est.fusion_strategy, strategy.label());
+            assert_eq!(est.predicted_cost_seconds, report.predicted_cost_seconds);
+            assert!((est.simulated_seconds - report.simulated_seconds).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn plain_run_reports_greedy_defaults() {
+        let fused = fuse(&library::bell(), 2);
+        let (_, report) = run_flavor::<f64>(Flavor::Cuda, &fused);
+        assert_eq!(report.fusion_strategy, "greedy");
+        assert_eq!(report.predicted_cost_seconds, 0.0);
+        assert_eq!(report.fusion_stats.source_gates, 2);
+    }
+
+    #[test]
+    fn every_strategy_passes_the_pre_run_gate_on_every_flavor() {
+        let circuit = generate_rqc(&RqcOptions::for_qubits(9, 5, 13));
+        for flavor in Flavor::all() {
+            let backend = SimBackend::new(flavor);
+            for strategy in FusionStrategy::ALL {
+                let opts = PlanOptions { strategy, max_fused_qubits: 4 };
+                let plan = backend.plan_circuit(&circuit, &opts, Precision::Single);
+                backend
+                    .run_plan::<f32>(&plan, &RunOptions::default())
+                    .unwrap_or_else(|e| panic!("{flavor:?}/{strategy:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn auto_width_is_backend_dependent() {
+        // The backend wiring must preserve the planner's Figure 9
+        // asymmetry: on a low-qubit-heavy circuit the HIP backend's model
+        // settles on a narrower fusion budget than the A100 backends'.
+        let dense = library::random_dense(6, 40, 3);
+        let mut circuit = qsim_circuit::Circuit::new(20);
+        circuit.ops.clone_from(&dense.ops);
+        let opts = PlanOptions { strategy: FusionStrategy::Auto, max_fused_qubits: 2 };
+        let hip = SimBackend::new(Flavor::Hip).plan_circuit(&circuit, &opts, Precision::Single);
+        let cuda = SimBackend::new(Flavor::Cuda).plan_circuit(&circuit, &opts, Precision::Single);
+        assert!(
+            hip.fused.max_fused_qubits < cuda.fused.max_fused_qubits,
+            "hip chose {}, cuda chose {}",
+            hip.fused.max_fused_qubits,
+            cuda.fused.max_fused_qubits
+        );
     }
 
     #[test]

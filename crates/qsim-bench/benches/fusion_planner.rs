@@ -1,0 +1,212 @@
+//! Fusion-strategy sweep: greedy vs cost-model planning vs autotuned
+//! fusion budgets on RQCs, across the paper's backends. For every
+//! `(circuit, backend)` pair the bench plans with `Greedy` and `Cost` at
+//! each fusion budget f ∈ 2..=6 plus one `Auto` plan, prices each plan on
+//! the backend's modeled device timeline (`estimate_plan` — a dry run, so
+//! the 24–26 qubit circuits never allocate state), and records everything
+//! in `results/fusion_planner.csv` plus a `BENCH_fusion.json` summary at
+//! the repository root.
+//!
+//! Two acceptance properties are asserted on the modeled times:
+//! - `Cost` is never more than 2 % slower than `Greedy` at the same
+//!   fusion budget (the planner may only decline harmful merges);
+//! - `Auto` matches or beats the best fixed budget on at least one
+//!   `(circuit, backend)` configuration.
+//!
+//! Full-size runs (24- and 26-qubit RQCs) happen under `cargo bench`;
+//! plain `cargo test` smoke-runs a 16-qubit circuit.
+
+use std::fmt::Write as _;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qsim_backends::{Flavor, FusionStrategy, PlanOptions, SimBackend};
+use qsim_circuit::{generate_rqc, RqcOptions};
+use qsim_core::kernels::MAX_GATE_QUBITS;
+use qsim_core::types::Precision;
+use serde_json::json;
+
+const BACKENDS: [Flavor; 3] = [Flavor::Hip, Flavor::Cuda, Flavor::CpuAvx];
+const FUSION_BUDGETS: std::ops::RangeInclusive<usize> = 2..=MAX_GATE_QUBITS;
+
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// One planned-and-priced configuration.
+struct Row {
+    qubits: usize,
+    cycles: usize,
+    backend: &'static str,
+    strategy: FusionStrategy,
+    /// The budget handed to the planner (`Auto` ignores it).
+    requested_max_fused: usize,
+    /// The budget the plan actually carries (`Auto`'s pick).
+    chosen_max_fused: usize,
+    fused_gates: usize,
+    predicted_cost_seconds: f64,
+    modeled_seconds: f64,
+}
+
+fn bench_fusion_planner(c: &mut Criterion) {
+    let sizes: &[(usize, usize)] = if bench_mode() { &[(24, 14), (26, 14)] } else { &[(16, 8)] };
+    let mut group = c.benchmark_group("fusion_planner");
+    group.sample_size(10);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &(n, cycles) in sizes {
+        let circuit = generate_rqc(&RqcOptions::for_qubits(n, cycles, 1));
+        for flavor in BACKENDS {
+            let backend = SimBackend::new(flavor);
+
+            // Planner wall time is the new host-side cost this bench
+            // guards; one criterion measurement per strategy at f=4.
+            for strategy in FusionStrategy::ALL {
+                let id = BenchmarkId::new(format!("plan/{}/{}", flavor.label(), strategy), n);
+                group.bench_with_input(id, &circuit, |b, circ| {
+                    let opts = PlanOptions { strategy, max_fused_qubits: 4 };
+                    b.iter(|| backend.plan_circuit(circ, &opts, Precision::Single));
+                });
+            }
+
+            for max_fused in FUSION_BUDGETS {
+                for strategy in [FusionStrategy::Greedy, FusionStrategy::Cost] {
+                    let opts = PlanOptions { strategy, max_fused_qubits: max_fused };
+                    let plan = backend.plan_circuit(&circuit, &opts, Precision::Single);
+                    let report =
+                        backend.estimate_plan(&plan, Precision::Single).expect("estimate plan");
+                    rows.push(Row {
+                        qubits: n,
+                        cycles,
+                        backend: flavor.label(),
+                        strategy,
+                        requested_max_fused: max_fused,
+                        chosen_max_fused: plan.fused.max_fused_qubits,
+                        fused_gates: plan.fused.stats().fused_gates,
+                        predicted_cost_seconds: plan.predicted_cost_seconds,
+                        modeled_seconds: report.simulated_seconds,
+                    });
+                }
+            }
+            let opts = PlanOptions { strategy: FusionStrategy::Auto, max_fused_qubits: 2 };
+            let plan = backend.plan_circuit(&circuit, &opts, Precision::Single);
+            let report = backend.estimate_plan(&plan, Precision::Single).expect("estimate plan");
+            rows.push(Row {
+                qubits: n,
+                cycles,
+                backend: flavor.label(),
+                strategy: FusionStrategy::Auto,
+                requested_max_fused: 2,
+                chosen_max_fused: plan.fused.max_fused_qubits,
+                fused_gates: plan.fused.stats().fused_gates,
+                predicted_cost_seconds: plan.predicted_cost_seconds,
+                modeled_seconds: report.simulated_seconds,
+            });
+        }
+    }
+    group.finish();
+
+    let auto_wins = check_acceptance(&rows);
+    write_csv(&rows).expect("cannot write results CSV");
+    write_summary(&rows, &auto_wins).expect("cannot write BENCH_fusion.json");
+}
+
+/// Assert the two acceptance properties; returns the configurations where
+/// `Auto` matched or beat every fixed budget.
+fn check_acceptance(rows: &[Row]) -> Vec<String> {
+    let find = |n: usize, backend: &str, strategy: FusionStrategy, f: usize| {
+        rows.iter()
+            .find(|r| {
+                r.qubits == n
+                    && r.backend == backend
+                    && r.strategy == strategy
+                    && r.requested_max_fused == f
+            })
+            .expect("config present")
+    };
+
+    let mut auto_wins = Vec::new();
+    for row in rows.iter().filter(|r| r.strategy == FusionStrategy::Auto) {
+        let mut best_fixed = f64::INFINITY;
+        for f in FUSION_BUDGETS {
+            let greedy = find(row.qubits, row.backend, FusionStrategy::Greedy, f);
+            let cost = find(row.qubits, row.backend, FusionStrategy::Cost, f);
+            assert!(
+                cost.modeled_seconds <= greedy.modeled_seconds * 1.02,
+                "{}/q{} f={f}: cost plan modeled {:.6e}s vs greedy {:.6e}s (> +2%)",
+                row.backend,
+                row.qubits,
+                cost.modeled_seconds,
+                greedy.modeled_seconds
+            );
+            best_fixed = best_fixed.min(greedy.modeled_seconds);
+        }
+        // Allow float-level slack: "matches" means within 0.1 %.
+        if row.modeled_seconds <= best_fixed * 1.001 {
+            auto_wins.push(format!("{}/q{}", row.backend, row.qubits));
+        }
+    }
+    assert!(
+        !auto_wins.is_empty(),
+        "auto should match or beat the best fixed fusion budget on at least one config"
+    );
+    auto_wins
+}
+
+/// Full sweep → `results/fusion_planner.csv` at the workspace root
+/// (benches run with the package directory as cwd).
+fn write_csv(rows: &[Row]) -> std::io::Result<()> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir)?;
+    let mut csv = String::from(
+        "qubits,cycles,backend,strategy,requested_max_fused,chosen_max_fused,fused_gates,predicted_cost_seconds,modeled_seconds\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{},{},{},{:.9e},{:.9e}",
+            r.qubits,
+            r.cycles,
+            r.backend,
+            r.strategy.label(),
+            r.requested_max_fused,
+            r.chosen_max_fused,
+            r.fused_gates,
+            r.predicted_cost_seconds,
+            r.modeled_seconds
+        );
+    }
+    std::fs::write(dir.join("fusion_planner.csv"), csv)
+}
+
+/// Machine-readable summary → `BENCH_fusion.json` at the repository root.
+fn write_summary(rows: &[Row], auto_wins: &[String]) -> std::io::Result<()> {
+    let configs: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|r| {
+            json!({
+                "qubits": (r.qubits),
+                "cycles": (r.cycles),
+                "backend": (r.backend),
+                "strategy": (r.strategy.label()),
+                "requested_max_fused": (r.requested_max_fused),
+                "chosen_max_fused": (r.chosen_max_fused),
+                "fused_gates": (r.fused_gates),
+                "predicted_cost_seconds": (r.predicted_cost_seconds),
+                "modeled_seconds": (r.modeled_seconds),
+            })
+        })
+        .collect();
+    let doc = json!({
+        "bench": "fusion_planner",
+        "mode": (if bench_mode() { "bench" } else { "smoke" }),
+        "cost_within_2pct_of_greedy": true,
+        "auto_matches_best_fixed_on": (auto_wins.to_vec()),
+        "configs": (configs),
+    });
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fusion.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).expect("summary serializes"))
+}
+
+criterion_group!(benches, bench_fusion_planner);
+criterion_main!(benches);

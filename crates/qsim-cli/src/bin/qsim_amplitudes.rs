@@ -11,6 +11,7 @@ use std::process::ExitCode;
 
 use qsim_backends::{Backend, Flavor, RunOptions, SimBackend};
 use qsim_circuit::parser::parse_circuit;
+use qsim_core::kernels::MAX_GATE_QUBITS;
 use qsim_fusion::fuse;
 
 const USAGE: &str = "\
@@ -23,7 +24,7 @@ OPTIONS:
     -c FILE    circuit file in qsim text format (required)
     -i FILE    bitstrings to query, one per line, '0'/'1' chars with the
                most-significant qubit first (required)
-    -f N       maximum number of fused gate qubits (default 2)
+    -f N       maximum number of fused gate qubits, 1..=6 (default 2)
     -b NAME    backend: cpu | cuda | custatevec | hip (default cpu)
     -h         this help
 ";
@@ -77,7 +78,12 @@ fn run() -> Result<(), String> {
         match flag.as_str() {
             "-c" => circuit_file = value.clone(),
             "-i" => bitstring_file = value.clone(),
-            "-f" => max_fused = value.parse().map_err(|_| "-f expects an integer")?,
+            "-f" => {
+                max_fused = value.parse().map_err(|_| "-f expects an integer")?;
+                if !(1..=MAX_GATE_QUBITS).contains(&max_fused) {
+                    return Err(format!("-f expects 1..={MAX_GATE_QUBITS}, got {max_fused}"));
+                }
+            }
             "-b" => {
                 backend = match value.as_str() {
                     "cpu" => Flavor::CpuAvx,

@@ -12,17 +12,19 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use qsim_analyze::Analyzer;
-use qsim_backends::{Backend, Flavor, RunOptions, RunReport, SimBackend, SweepConfig};
+use qsim_backends::{
+    Flavor, FusionStrategy, PlanOptions, RunOptions, RunReport, SimBackend, SweepConfig,
+};
 use qsim_circuit::parser::{parse_circuit, parse_circuit_unchecked};
 use qsim_core::kernels::MAX_GATE_QUBITS;
 use qsim_core::types::Precision;
-use qsim_fusion::fuse;
 use qsim_trace::{Profiler, TraceStats};
 use serde_json::json;
 
 struct Args {
     circuit_file: String,
     max_fused: usize,
+    strategy: FusionStrategy,
     backend: Flavor,
     precision: Precision,
     seed: u64,
@@ -31,6 +33,7 @@ struct Args {
     sample_count: usize,
     estimate_only: bool,
     verbose: bool,
+    json: bool,
     sweep_block: Option<usize>,
     no_sweep: bool,
     no_simd: bool,
@@ -46,6 +49,11 @@ USAGE:
 OPTIONS:
     -c FILE    circuit file in qsim text format (required)
     -f N       maximum number of fused gate qubits, 1..=6 (default 2)
+    --fusion NAME
+               fusion strategy: greedy merges into the latest legal slot;
+               cost scores each merge with the active backend's cost
+               model; auto additionally sweeps fusion budgets 2..=6 and
+               picks the cheapest, ignoring -f (default greedy)
     -b NAME    backend: cpu | cuda | custatevec | hip (default cpu)
     -p PREC    precision: single | double (default single)
     -s SEED    seed for measurement gates (default 0)
@@ -59,6 +67,7 @@ OPTIONS:
     --no-sweep disable the cache-blocked sweep: one pass per fused gate
     --no-simd  disable the AVX2/AVX-512 lane kernels: scalar host kernels
                only (equivalent to QSIM_NO_SIMD=1 in the environment)
+    --json     print the run report as a JSON document instead of text
     -v         print per-kernel statistics
     -h         this help
 ";
@@ -67,6 +76,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         circuit_file: String::new(),
         max_fused: 2,
+        strategy: FusionStrategy::Greedy,
         backend: Flavor::CpuAvx,
         precision: Precision::Single,
         seed: 0,
@@ -75,6 +85,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         sample_count: 0,
         estimate_only: false,
         verbose: false,
+        json: false,
         sweep_block: None,
         no_sweep: false,
         no_simd: false,
@@ -95,6 +106,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     ));
                 }
             }
+            "--fusion" => args.strategy = value("--fusion")?.parse()?,
             "-b" => {
                 args.backend = match value("-b")?.as_str() {
                     "cpu" => Flavor::CpuAvx,
@@ -135,6 +147,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--no-sweep" => args.no_sweep = true,
             "--no-simd" => args.no_simd = true,
+            "--json" => args.json = true,
             "-v" => args.verbose = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown option '{other}'")),
@@ -152,7 +165,24 @@ fn print_report(report: &RunReport, verbose: bool, profiler: Option<&Profiler>) 
     println!("precision:          {}", report.precision);
     println!("qubits:             {}", report.num_qubits);
     println!("max fused qubits:   {}", report.max_fused_qubits);
+    println!(
+        "fusion strategy:    {} (predicted {:.6} s)",
+        report.fusion_strategy, report.predicted_cost_seconds
+    );
     println!("fused gate passes:  {}", report.fused_gates);
+    let widths: Vec<String> = report
+        .fusion_stats
+        .fused_by_qubit_count
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(w, c)| format!("{w}q:{c}"))
+        .collect();
+    println!(
+        "fused widths:       {} (compression {:.2}x)",
+        widths.join(" "),
+        report.fusion_stats.compression()
+    );
     println!(
         "state passes:       {} ({} saved by cache-blocked sweep)",
         report.state_passes,
@@ -197,36 +227,81 @@ fn print_report(report: &RunReport, verbose: bool, profiler: Option<&Profiler>) 
     }
 }
 
+/// The run report as a JSON document (`--json`).
+fn report_json(report: &RunReport) -> serde_json::Value {
+    let gate_classes: Vec<serde_json::Value> = report
+        .gate_class_counts
+        .iter()
+        .map(|c| {
+            json!({
+                "gpu_kernel": (format!("{:?}", c.gpu_kernel)),
+                "cpu_lane": (format!("{:?}", c.cpu_lane)),
+                "count": (c.count),
+            })
+        })
+        .collect();
+    let kernels: Vec<serde_json::Value> = report
+        .kernels
+        .iter()
+        .map(|k| json!({ "name": (k.name), "count": (k.count), "time_us": (k.time_us) }))
+        .collect();
+    let measurements: Vec<serde_json::Value> = report
+        .measurements
+        .iter()
+        .map(|(qubits, outcome)| json!({ "qubits": (qubits), "outcome": (outcome) }))
+        .collect();
+    json!({
+        "backend": (report.backend),
+        "device": (report.device),
+        "precision": (report.precision.to_string()),
+        "qubits": (report.num_qubits),
+        "max_fused_qubits": (report.max_fused_qubits),
+        "fusion": {
+            "strategy": (report.fusion_strategy),
+            "predicted_cost_seconds": (report.predicted_cost_seconds),
+            "source_gates": (report.fusion_stats.source_gates),
+            "fused_gates": (report.fusion_stats.fused_gates),
+            "fused_by_qubit_count": (report.fusion_stats.fused_by_qubit_count.to_vec()),
+            "compression": (report.fusion_stats.compression()),
+        },
+        "simulated_seconds": (report.simulated_seconds),
+        "fusion_seconds": (report.fusion_seconds),
+        "wall_seconds": (report.wall_seconds),
+        "state_bytes": (report.state_bytes),
+        "state_passes": (report.state_passes),
+        "isa": (report.isa),
+        "gate_classes": (gate_classes),
+        "kernels": (kernels),
+        "measurements": (measurements),
+        "samples": (report.samples),
+        "analysis_warnings": (report.analysis_warnings),
+    })
+}
+
 fn run(args: &Args) -> Result<(), String> {
     let text = std::fs::read_to_string(&args.circuit_file)
         .map_err(|e| format!("cannot read {}: {e}", args.circuit_file))?;
     let circuit = parse_circuit(&text).map_err(|e| format!("parse error: {e}"))?;
     let (one, two, meas) = circuit.gate_counts();
-    println!(
-        "circuit: {} qubits, {} gates ({} single-qubit, {} two-qubit, {} measurement)",
-        circuit.num_qubits,
-        circuit.num_gates(),
-        one,
-        two,
-        meas
-    );
-
-    let fuse_start = std::time::Instant::now();
-    let fused = fuse(&circuit, args.max_fused);
-    let stats = fused.stats();
-    println!(
-        "fusion:  {} passes from {} gates (compression {:.2}x, host wall {:.3} ms)",
-        stats.fused_gates,
-        stats.source_gates,
-        stats.compression(),
-        fuse_start.elapsed().as_secs_f64() * 1e3
-    );
+    if !args.json {
+        println!(
+            "circuit: {} qubits, {} gates ({} single-qubit, {} two-qubit, {} measurement)",
+            circuit.num_qubits,
+            circuit.num_gates(),
+            one,
+            two,
+            meas
+        );
+    }
 
     let profiler = args.trace_file.as_ref().map(|_| Arc::new(Profiler::new()));
     let mut backend = match &profiler {
         Some(p) => SimBackend::with_trace(args.backend, p.clone() as Arc<dyn gpu_model::TraceSink>),
         None => SimBackend::new(args.backend),
     };
+    // Sweep and SIMD configuration come before planning: the CPU cost
+    // model prices block locality and lane classes from the same settings
+    // the run will execute under.
     if args.no_sweep {
         backend.set_sweep_config(SweepConfig::disabled());
     } else if let Some(block) = args.sweep_block {
@@ -235,30 +310,75 @@ fn run(args: &Args) -> Result<(), String> {
     if args.no_simd {
         qsim_core::simd::set_simd_enabled(false);
     }
+
+    let plan_start = std::time::Instant::now();
+    let plan_opts = PlanOptions { strategy: args.strategy, max_fused_qubits: args.max_fused };
+    let plan = backend.plan_circuit(&circuit, &plan_opts, args.precision);
+    let stats = plan.fused.stats();
+    if !args.json {
+        println!(
+            "fusion:  {} passes from {} gates via {} (compression {:.2}x, predicted {:.6} s, host wall {:.3} ms)",
+            stats.fused_gates,
+            stats.source_gates,
+            plan.strategy.label(),
+            stats.compression(),
+            plan.predicted_cost_seconds,
+            plan_start.elapsed().as_secs_f64() * 1e3
+        );
+    }
     let opts = RunOptions { seed: args.seed, sample_count: args.sample_count };
 
-    if args.estimate_only {
-        let report = backend.estimate(&fused, args.precision).map_err(|e| e.to_string())?;
-        print_report(&report, args.verbose, profiler.as_deref());
+    // (report, first-N amplitudes when computed)
+    let (report, amplitudes): (RunReport, Option<Vec<(f64, f64)>>) = if args.estimate_only {
+        (backend.estimate_plan(&plan, args.precision).map_err(|e| e.to_string())?, None)
     } else {
         match args.precision {
             Precision::Single => {
-                let (state, report) = backend.run_f32(&fused, &opts).map_err(|e| e.to_string())?;
-                print_report(&report, args.verbose, profiler.as_deref());
-                println!("\nfirst {} amplitudes:", args.num_amplitudes.min(state.len()));
-                for i in 0..args.num_amplitudes.min(state.len()) {
-                    let a = state.amplitude(i);
-                    println!("{i:>6}  {:+.8}  {:+.8}", a.re, a.im);
-                }
+                let (state, report) =
+                    backend.run_plan::<f32>(&plan, &opts).map_err(|e| e.to_string())?;
+                let amps = (0..args.num_amplitudes.min(state.len()))
+                    .map(|i| {
+                        let a = state.amplitude(i);
+                        (a.re as f64, a.im as f64)
+                    })
+                    .collect();
+                (report, Some(amps))
             }
             Precision::Double => {
-                let (state, report) = backend.run_f64(&fused, &opts).map_err(|e| e.to_string())?;
-                print_report(&report, args.verbose, profiler.as_deref());
-                println!("\nfirst {} amplitudes:", args.num_amplitudes.min(state.len()));
-                for i in 0..args.num_amplitudes.min(state.len()) {
-                    let a = state.amplitude(i);
-                    println!("{i:>6}  {:+.16}  {:+.16}", a.re, a.im);
-                }
+                let (state, report) =
+                    backend.run_plan::<f64>(&plan, &opts).map_err(|e| e.to_string())?;
+                let amps = (0..args.num_amplitudes.min(state.len()))
+                    .map(|i| {
+                        let a = state.amplitude(i);
+                        (a.re, a.im)
+                    })
+                    .collect();
+                (report, Some(amps))
+            }
+        }
+    };
+
+    if args.json {
+        let amps_json: Option<Vec<serde_json::Value>> = amplitudes
+            .as_ref()
+            .map(|amps| amps.iter().map(|&(re, im)| json!([(re), (im)])).collect());
+        let doc = json!({
+            "circuit": {
+                "file": (args.circuit_file.as_str()),
+                "qubits": (circuit.num_qubits),
+                "gates": (circuit.num_gates()),
+            },
+            "report": (report_json(&report)),
+            "amplitudes": (amps_json),
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("report JSON serializes"));
+    } else {
+        print_report(&report, args.verbose, profiler.as_deref());
+        if let Some(amps) = &amplitudes {
+            println!("\nfirst {} amplitudes:", amps.len());
+            let digits = if args.precision == Precision::Double { 16 } else { 8 };
+            for (i, (re, im)) in amps.iter().enumerate() {
+                println!("{i:>6}  {re:+.digits$}  {im:+.digits$}");
             }
         }
     }
@@ -266,7 +386,9 @@ fn run(args: &Args) -> Result<(), String> {
     if let (Some(path), Some(p)) = (&args.trace_file, &profiler) {
         let json = qsim_trace::perfetto::to_json(&p.spans());
         std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
-        println!("\ntrace written to {path} (load at https://ui.perfetto.dev)");
+        if !args.json {
+            println!("\ntrace written to {path} (load at https://ui.perfetto.dev)");
+        }
     }
     Ok(())
 }
@@ -274,6 +396,8 @@ fn run(args: &Args) -> Result<(), String> {
 struct AnalyzeArgs {
     circuit_file: String,
     max_fused: usize,
+    strategy: FusionStrategy,
+    backend: Flavor,
     json: bool,
     deny_warnings: bool,
     sweep_block: Option<usize>,
@@ -294,6 +418,11 @@ state-vector equivalence). Exit code 0 when the circuit passes.
 OPTIONS:
     -c FILE          circuit file in qsim text format (required)
     -f N             maximum number of fused gate qubits, 1..=6 (default 2)
+    --fusion NAME    fusion strategy to lint: greedy | cost | auto
+                     (default greedy; cost/auto price merges with the
+                     -b backend's cost model)
+    -b NAME          backend whose cost model prices cost/auto plans:
+                     cpu | cuda | custatevec | hip (default cpu)
     --json           print the report as JSON instead of human-readable text
     --deny-warnings  nonzero exit code on warnings, not just errors
     -B N             cache-blocked sweep block size in amplitudes, a power
@@ -306,6 +435,8 @@ fn parse_analyze_args(argv: &[String]) -> Result<AnalyzeArgs, String> {
     let mut args = AnalyzeArgs {
         circuit_file: String::new(),
         max_fused: 2,
+        strategy: FusionStrategy::Greedy,
+        backend: Flavor::CpuAvx,
         json: false,
         deny_warnings: false,
         sweep_block: None,
@@ -325,6 +456,16 @@ fn parse_analyze_args(argv: &[String]) -> Result<AnalyzeArgs, String> {
                         "-f expects 1..={MAX_GATE_QUBITS}, got {}",
                         args.max_fused
                     ));
+                }
+            }
+            "--fusion" => args.strategy = value("--fusion")?.parse()?,
+            "-b" => {
+                args.backend = match value("-b")?.as_str() {
+                    "cpu" => Flavor::CpuAvx,
+                    "cuda" => Flavor::Cuda,
+                    "custatevec" => Flavor::CuStateVec,
+                    "hip" => Flavor::Hip,
+                    other => return Err(format!("unknown backend '{other}'")),
                 }
             }
             "--json" => args.json = true,
@@ -363,7 +504,19 @@ fn run_analyze(args: &AnalyzeArgs) -> Result<bool, String> {
     } else {
         SweepConfig::default()
     };
-    let report = Analyzer::new().analyze(&circuit, args.max_fused, sweep);
+    // Plan with the requested strategy, but only once the circuit itself
+    // is clean — fusing a structurally invalid circuit is undefined, so a
+    // bad circuit reports its own findings and skips plan linting (the
+    // same short-circuit as [`Analyzer::analyze`]).
+    let mut backend = SimBackend::new(args.backend);
+    backend.set_sweep_config(sweep);
+    let analyzer = Analyzer::new();
+    let mut report = analyzer.analyze_circuit(&circuit);
+    if !report.has_errors() {
+        let plan_opts = PlanOptions { strategy: args.strategy, max_fused_qubits: args.max_fused };
+        let plan = backend.plan_circuit(&circuit, &plan_opts, Precision::Single);
+        report.extend(analyzer.analyze_plan(&plan.fused, Some(&circuit), sweep));
+    }
     let passed = report.passes(args.deny_warnings);
 
     if args.json {
@@ -372,6 +525,8 @@ fn run_analyze(args: &AnalyzeArgs) -> Result<bool, String> {
             "qubits": (circuit.num_qubits),
             "gates": (circuit.num_gates()),
             "max_fused_qubits": (args.max_fused),
+            "fusion_strategy": (args.strategy.label()),
+            "backend": (args.backend.label()),
             "passed": (passed),
             "analysis": (report.to_json()),
         });

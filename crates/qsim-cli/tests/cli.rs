@@ -271,6 +271,117 @@ fn max_fused_out_of_range_is_clean_error() {
 }
 
 #[test]
+fn qsim_amplitudes_max_fused_out_of_range_is_clean_error() {
+    let circuit = write_bell();
+    let queries = tmpfile("range_queries");
+    std::fs::write(&queries, "00\n").expect("write queries");
+    for f in ["0", "9"] {
+        let out = qsim_amplitudes()
+            .args(["-c", circuit.to_str().unwrap(), "-i", queries.to_str().unwrap(), "-f", f])
+            .output()
+            .expect("run");
+        assert!(!out.status.success());
+        assert!(stderr(&out).contains("-f expects 1..=6"), "stderr: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn fusion_strategy_flag_runs_and_reports() {
+    let circuit = tmpfile("q10_fusion");
+    let gen = rqc_gen()
+        .args(["-q", "10", "-d", "8", "-s", "7", "-o", circuit.to_str().unwrap()])
+        .output()
+        .expect("run rqc_gen");
+    assert!(gen.status.success(), "stderr: {}", stderr(&gen));
+    for strategy in ["greedy", "cost", "auto"] {
+        let out = qsim_base()
+            .args(["-c", circuit.to_str().unwrap(), "-b", "hip", "-f", "4", "--fusion", strategy])
+            .output()
+            .expect("run qsim_base");
+        assert!(out.status.success(), "{strategy}: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains(&format!("via {strategy}")), "{strategy}:\n{text}");
+        assert!(text.contains(&format!("fusion strategy:    {strategy}")), "{strategy}:\n{text}");
+    }
+}
+
+#[test]
+fn unknown_fusion_strategy_is_clean_error() {
+    let circuit = write_bell();
+    for prefix in [vec![], vec!["analyze"]] {
+        let mut args = prefix.clone();
+        args.extend(["-c", circuit.to_str().unwrap(), "--fusion", "frobnicate"]);
+        let out = qsim_base().args(&args).output().expect("run");
+        assert!(!out.status.success());
+        assert!(
+            stderr(&out).contains("unknown fusion strategy 'frobnicate'"),
+            "stderr: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn json_report_parses_and_carries_fusion_fields() {
+    let circuit = tmpfile("q9_json");
+    let gen = rqc_gen()
+        .args(["-q", "9", "-d", "6", "-s", "11", "-o", circuit.to_str().unwrap()])
+        .output()
+        .expect("run rqc_gen");
+    assert!(gen.status.success(), "stderr: {}", stderr(&gen));
+    let out = qsim_base()
+        .args(["-c", circuit.to_str().unwrap(), "-b", "hip", "--fusion", "auto", "--json"])
+        .output()
+        .expect("run qsim_base");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let v: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+    assert_eq!(v["circuit"]["qubits"], serde_json::json!(9));
+    let report = &v["report"];
+    assert_eq!(report["backend"], serde_json::json!("hip"));
+    assert_eq!(report["fusion"]["strategy"], serde_json::json!("auto"));
+    assert!(report["fusion"]["predicted_cost_seconds"].as_f64().unwrap() > 0.0);
+    assert!(report["fusion"]["compression"].as_f64().unwrap() >= 1.0);
+    let hist = report["fusion"]["fused_by_qubit_count"].as_array().unwrap();
+    assert_eq!(hist.len(), 7);
+    assert!(report["simulated_seconds"].as_f64().unwrap() > 0.0);
+    assert!(!report["gate_classes"].as_array().unwrap().is_empty());
+    // The amplitudes array is present on a real (non-estimate) run.
+    assert_eq!(v["amplitudes"].as_array().unwrap().len(), 8);
+}
+
+#[test]
+fn analyze_accepts_fusion_strategy_and_backend() {
+    let circuit = tmpfile("q8_analyze_fusion");
+    let gen = rqc_gen()
+        .args(["-q", "8", "-d", "6", "-s", "3", "-o", circuit.to_str().unwrap()])
+        .output()
+        .expect("run rqc_gen");
+    assert!(gen.status.success(), "stderr: {}", stderr(&gen));
+    for (strategy, backend) in [("cost", "hip"), ("auto", "cuda"), ("greedy", "cpu")] {
+        let out = qsim_base()
+            .args([
+                "analyze",
+                "-c",
+                circuit.to_str().unwrap(),
+                "-f",
+                "4",
+                "--fusion",
+                strategy,
+                "-b",
+                backend,
+                "--json",
+            ])
+            .output()
+            .expect("run");
+        assert!(out.status.success(), "{strategy}/{backend}: {}", stderr(&out));
+        let v: serde_json::Value = serde_json::from_str(&stdout(&out)).expect("valid JSON");
+        assert_eq!(v["fusion_strategy"], serde_json::json!(strategy));
+        assert_eq!(v["backend"], serde_json::json!(backend));
+        assert_eq!(v["passed"], serde_json::json!(true));
+    }
+}
+
+#[test]
 fn rqc_gen_rejects_bad_qubit_count() {
     for q in ["1", "99"] {
         let out = rqc_gen().args(["-q", q]).output().expect("run");

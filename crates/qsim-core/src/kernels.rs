@@ -123,6 +123,40 @@ pub fn gate_work(n: usize, k: usize, c: usize, amp_bytes: usize) -> GateWork {
     }
 }
 
+/// Work of one **fused-gate** pass including the Low-class rearrangement
+/// surcharge — the shared cost kernel behind both the backend launch
+/// planner and the fusion cost models, so a plan priced during fusion and
+/// a plan charged at launch time agree by construction.
+///
+/// On top of [`gate_work`], a gate classified [`KernelClass::Low`] (any
+/// target below [`crate::LOW_QUBIT_THRESHOLD`]) pays
+///
+/// * `shuffle_flops_per_low_qubit` extra flops per amplitude per low
+///   target (the in-register/LDS rearrangement arithmetic of the paper's
+///   §2.2(3)), and
+/// * `low_qubit_byte_overhead` extra *fractional* memory traffic per low
+///   target, scaled by `sqrt(2^k / 16)` — the staging tile grows with the
+///   fused width `k`, normalized to the paper's optimal 4-qubit fused
+///   gates (16 amplitudes).
+pub fn fused_gate_work(
+    n: usize,
+    qubits: &[usize],
+    amp_bytes: usize,
+    low_qubit_byte_overhead: f64,
+    shuffle_flops_per_low_qubit: f64,
+) -> GateWork {
+    let len = 1usize << n;
+    let k = qubits.len();
+    let mut work = gate_work(n, k, 0, amp_bytes);
+    if classify_gate(qubits) == KernelClass::Low {
+        let low = num_low_qubits(qubits) as f64;
+        work.flops += len as f64 * low * shuffle_flops_per_low_qubit;
+        let tile_scale = ((1u64 << k) as f64 / 16.0).sqrt();
+        work.bytes *= 1.0 + low * low_qubit_byte_overhead * tile_scale;
+    }
+    work
+}
+
 /// Insert zero bits into `g` at the (sorted ascending) `positions`,
 /// producing the base index of group `g`.
 #[inline]

@@ -239,6 +239,12 @@ pub fn sample_slice<F: Float, R: Rng + ?Sized>(
 /// Measure `qubits` (ascending order), collapse the state accordingly, and
 /// return the measured bits (bit `j` of the result = outcome of
 /// `qubits[j]`). This is qsim's destructive `Measure`.
+///
+/// The outcome is drawn by inverse-CDF over the **marginal** distribution
+/// of the measured qubits, so for a fixed rng draw it depends only on the
+/// measured qubits' reduced state — unitaries on the other qubits (in
+/// particular gates a fusion plan legally hoists across the measurement
+/// barrier) cannot change which outcome a given seed produces.
 pub fn measure<F: Float, R: Rng + ?Sized>(
     state: &mut StateVector<F>,
     qubits: &[usize],
@@ -261,44 +267,54 @@ pub fn measure_slice<F: Float, R: Rng + ?Sized>(
     );
     assert!(qubits.iter().all(|&q| q < n), "qubit out of range");
 
-    // Pick a basis state by inverse-CDF sampling, read off measured bits.
-    // For large states the scan is two-level: parallel per-chunk masses,
-    // sequential chunk locate, sequential scan inside the one hit chunk.
-    let r: f64 = rng.gen::<f64>() * norm_sqr_slice(amps);
-    let mut picked = amps.len() - 1;
-    if amps.len() < PAR_THRESHOLD_AMPS {
-        let mut cum = 0.0;
-        for (i, a) in amps.iter().enumerate() {
-            cum += a.norm_sqr().to_f64();
-            if r < cum {
-                picked = i;
-                break;
-            }
-        }
-    } else {
-        let chunk = SCAN_CHUNK_AMPS;
-        let sums = chunk_norm_sums(amps, chunk);
-        let mut cum = 0.0;
-        'locate: for (ci, s) in sums.iter().enumerate() {
-            if r < cum + s {
-                let lo = ci * chunk;
-                let hi = (lo + chunk).min(amps.len());
-                for (i, a) in amps[lo..hi].iter().enumerate() {
-                    cum += a.norm_sqr().to_f64();
-                    if r < cum {
-                        picked = lo + i;
-                        break 'locate;
-                    }
+    // Accumulate the per-outcome ("sector") masses of the measured qubits'
+    // marginal distribution, then inverse-CDF over the 2^k sectors. Drawing
+    // from the marginal — rather than picking a full basis state from the
+    // joint distribution — keeps the outcome for a given rng draw invariant
+    // under unitaries acting on the unmeasured qubits, so differently fused
+    // plans of one circuit reproduce identical measurement records.
+    let sectors = 1usize << qubits.len();
+    let masses: Vec<f64> = if amps.len() >= PAR_THRESHOLD_AMPS && sectors <= SCAN_CHUNK_AMPS {
+        amps.par_chunks(SCAN_CHUNK_AMPS)
+            .enumerate()
+            .map(|(ci, chunk)| {
+                let base = ci * SCAN_CHUNK_AMPS;
+                let mut m = vec![0.0f64; sectors];
+                for (i, a) in chunk.iter().enumerate() {
+                    m[extract_bits(base + i, qubits)] += a.norm_sqr().to_f64();
                 }
-                // Round-off between the chunk sum and its rescan: the
-                // pick belongs to this chunk's last amplitude.
-                picked = hi - 1;
-                break 'locate;
-            }
-            cum += s;
+                m
+            })
+            .reduce(
+                || vec![0.0f64; sectors],
+                |mut acc, m| {
+                    for (x, y) in acc.iter_mut().zip(m) {
+                        *x += y;
+                    }
+                    acc
+                },
+            )
+    } else {
+        let mut m = vec![0.0f64; sectors];
+        for (i, a) in amps.iter().enumerate() {
+            m[extract_bits(i, qubits)] += a.norm_sqr().to_f64();
+        }
+        m
+    };
+    let r: f64 = rng.gen::<f64>() * masses.iter().sum::<f64>();
+    let mut outcome = usize::MAX;
+    let mut cum = 0.0;
+    for (s, &m) in masses.iter().enumerate() {
+        cum += m;
+        if r < cum {
+            outcome = s;
+            break;
         }
     }
-    let outcome = extract_bits(picked, qubits);
+    if outcome == usize::MAX || masses[outcome] == 0.0 {
+        // Round-off overshoot: land on the last sector that carries mass.
+        outcome = masses.iter().rposition(|&m| m > 0.0).unwrap_or(0);
+    }
 
     // Collapse: zero every amplitude whose measured bits differ.
     let mask: usize = qubits.iter().map(|&q| 1usize << q).sum();

@@ -15,15 +15,28 @@
 //! parallelism (`2^{n-k}` groups) take over; qsim (and this
 //! reproduction) find the optimum at 4 fused qubits.
 //!
-//! The fuser is a greedy, order-preserving scan (the
+//! The default fuser is a greedy, order-preserving scan (the
 //! `MultiQubitGateFuser` strategy): each gate merges into the most recent
 //! fused gate that already owns its qubit frontier whenever the merged
 //! qubit set still fits in `max_fused_qubits`; measurements are fusion
-//! barriers.
+//! barriers. The [`planner`] module layers a cost-model-driven strategy
+//! on the same scan, pricing each legal merge with a per-backend
+//! [`cost::FusionCostModel`] instead of always taking it.
 
 use qsim_circuit::circuit::Circuit;
 use qsim_core::matrix::GateMatrix;
 use qsim_core::types::Float;
+
+pub mod cost;
+pub mod planner;
+
+pub use cost::{
+    CpuCostModel, FusionCostModel, GpuCostModel, LANE_SHUFFLE_FLOPS, SWEPT_JOIN_TRAFFIC_SHARE,
+};
+pub use planner::{
+    fuse_auto, fuse_with_lookahead, fuse_with_model, plan, FusionPlan, FusionStrategy,
+    DEFAULT_LOOKAHEAD,
+};
 
 /// A fused unitary acting on a sorted set of qubits.
 #[derive(Debug, Clone, PartialEq)]
