@@ -66,6 +66,12 @@ impl MemoryPool {
     pub fn num_allocs(&self) -> u64 {
         self.num_allocs
     }
+
+    /// Restart high-water-mark tracking from the current allocation level
+    /// (so a long-lived device can report a per-job peak).
+    pub fn reset_peak(&mut self) {
+        self.peak = self.allocated;
+    }
 }
 
 /// A typed device allocation (`hipMalloc` result). Freed on drop.
@@ -83,6 +89,36 @@ impl<T: Default + Clone> DeviceBuffer<T> {
         let bytes = (len * std::mem::size_of::<T>()) as u64;
         pool.lock().reserve(bytes)?;
         Ok(DeviceBuffer { data: vec![T::default(); len], bytes, pool })
+    }
+}
+
+impl<T> DeviceBuffer<T> {
+    /// Wrap an existing host allocation as a device buffer, charging the
+    /// pool for its footprint — the recycled-buffer fast path of a state
+    /// pool: no allocation, no zeroing, the **contents are whatever the
+    /// previous owner left** and the caller must reinitialise them.
+    ///
+    /// On capacity exhaustion the vector is handed back alongside the
+    /// error so the caller can return it to its pool instead of losing it.
+    pub(crate) fn adopt(
+        data: Vec<T>,
+        pool: Arc<Mutex<MemoryPool>>,
+    ) -> Result<Self, (GpuError, Vec<T>)> {
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        if let Err(e) = pool.lock().reserve(bytes) {
+            return Err((e, data));
+        }
+        Ok(DeviceBuffer { data, bytes, pool })
+    }
+
+    /// Free the device allocation but keep the host memory: releases the
+    /// pool accounting and returns the backing vector for recycling.
+    pub fn into_vec(mut self) -> Vec<T> {
+        let data = std::mem::take(&mut self.data);
+        self.pool.lock().release(self.bytes);
+        // Drop still runs; make it release nothing a second time.
+        self.bytes = 0;
+        data
     }
 }
 
@@ -125,6 +161,41 @@ mod tests {
 
     fn pool(cap: u64) -> Arc<Mutex<MemoryPool>> {
         Arc::new(Mutex::new(MemoryPool::new(cap)))
+    }
+
+    #[test]
+    fn adopt_and_into_vec_recycle_without_reallocating() {
+        let p = pool(1024);
+        let v: Vec<u64> = vec![7; 64];
+        let addr = v.as_ptr();
+        let b = DeviceBuffer::adopt(v, p.clone()).unwrap();
+        // Same backing memory, same accounting as a fresh hipMalloc…
+        assert_eq!(b.as_slice().as_ptr(), addr);
+        assert_eq!(b.bytes(), 512);
+        assert_eq!(p.lock().allocated(), 512);
+        // …contents preserved (adopt must not zero)…
+        assert_eq!(b.as_slice()[0], 7);
+        // …and into_vec releases accounting while keeping the memory.
+        let back = b.into_vec();
+        assert_eq!(back.as_ptr(), addr);
+        assert_eq!(p.lock().allocated(), 0);
+
+        // Capacity exhaustion hands the vector back.
+        let (err, recovered) = DeviceBuffer::adopt(vec![0u8; 2048], p.clone()).unwrap_err();
+        assert!(matches!(err, GpuError::OutOfMemory { .. }));
+        assert_eq!(recovered.len(), 2048);
+        assert_eq!(p.lock().allocated(), 0);
+    }
+
+    #[test]
+    fn peak_reset_restarts_high_water_mark() {
+        let p = pool(1024);
+        drop(DeviceBuffer::<u64>::new(64, p.clone()).unwrap());
+        assert_eq!(p.lock().peak(), 512);
+        p.lock().reset_peak();
+        assert_eq!(p.lock().peak(), 0);
+        drop(DeviceBuffer::<u64>::new(16, p.clone()).unwrap());
+        assert_eq!(p.lock().peak(), 128);
     }
 
     #[test]

@@ -36,6 +36,9 @@ impl Flavor {
         [Flavor::CpuAvx, Flavor::Cuda, Flavor::CuStateVec, Flavor::Hip]
     }
 
+    /// Valid [`std::str::FromStr`] inputs, for usage strings.
+    pub const NAMES: &'static str = "cpu | cuda | custatevec | hip";
+
     /// The device this flavor runs on by default.
     pub fn default_spec(&self) -> DeviceSpec {
         match self {
@@ -129,6 +132,23 @@ impl Flavor {
     }
 }
 
+/// Parse the label back to the flavor (`cpu`, `cuda`, `custatevec`,
+/// `hip`) — the single parser every CLI surface and the wire protocol
+/// share.
+impl std::str::FromStr for Flavor {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cpu" => Ok(Flavor::CpuAvx),
+            "cuda" => Ok(Flavor::Cuda),
+            "custatevec" => Ok(Flavor::CuStateVec),
+            "hip" => Ok(Flavor::Hip),
+            other => Err(format!("unknown backend '{other}' (expected {})", Flavor::NAMES)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +202,16 @@ mod tests {
         assert_eq!(Flavor::Hip.kernel_name(Low), "ApplyGateL_Kernel");
         assert!(Flavor::CuStateVec.kernel_name(Low).contains("custatevec"));
         assert_eq!(Flavor::CpuAvx.kernel_name(High), "ApplyGate_AVX_OMP");
+    }
+
+    #[test]
+    fn from_str_round_trips_every_label() {
+        for f in Flavor::all() {
+            assert_eq!(f.label().parse::<Flavor>(), Ok(f));
+        }
+        let err = "rocm".parse::<Flavor>().unwrap_err();
+        assert!(err.contains("unknown backend 'rocm'"));
+        assert!(err.contains(Flavor::NAMES));
     }
 
     #[test]

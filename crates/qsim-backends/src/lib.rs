@@ -26,10 +26,11 @@ pub mod trajectories;
 pub mod variational;
 
 pub use flavor::Flavor;
+pub use qsim_core::cancel::{CancelCause, CancelToken};
 pub use qsim_core::sweep::{SweepConfig, SweepStats};
 pub use qsim_fusion::{
     CpuCostModel, FusionCostModel, FusionPlan, FusionStats, FusionStrategy, GpuCostModel,
 };
 pub use report::{KernelStat, RunOptions, RunReport};
-pub use sim_backend::{Backend, BackendError, PlanOptions, SimBackend};
+pub use sim_backend::{Backend, BackendError, PlanOptions, RunContext, RunFailure, SimBackend};
 pub use trajectories::{NoiseSpec, TrajectoryRunner};

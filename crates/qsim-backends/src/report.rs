@@ -4,6 +4,7 @@
 use qsim_core::kernels::KernelClass;
 use qsim_core::types::Precision;
 use qsim_fusion::FusionStats;
+use serde_json::json;
 
 /// Options controlling one run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -81,6 +82,12 @@ pub struct RunReport {
     /// metric for this reproduction; *not* comparable across modeled
     /// devices).
     pub wall_seconds: f64,
+    /// Host wall-clock of the per-job setup: state-buffer acquisition
+    /// (allocation, or adoption of a recycled buffer) plus the `|0…0⟩`
+    /// initialisation, seconds. This is the cost a warm buffer pool
+    /// shrinks — compare cold vs pooled runs of the same size. 0 for
+    /// `estimate()` dry-runs.
+    pub setup_seconds: f64,
     /// Per-kernel launch statistics on the simulated timeline.
     pub kernels: Vec<KernelStat>,
     /// Outcomes of in-circuit measurement gates, in execution order:
@@ -91,6 +98,14 @@ pub struct RunReport {
     pub samples: Vec<u64>,
     /// Device memory held by the state vector, bytes.
     pub state_bytes: u64,
+    /// Peak device memory over the run, bytes: the state vector plus the
+    /// widest transient (matrix upload buffers, …). The service's
+    /// `metrics` verb aggregates this per job. For dry-runs this is the
+    /// modeled state footprint.
+    pub peak_state_bytes: u64,
+    /// Whether the state vector lived in a recycled pool buffer instead
+    /// of a fresh allocation.
+    pub buffer_reused: bool,
     /// Full passes over the state made by gate kernels. Without the
     /// cache-blocked sweep this equals [`RunReport::fused_gates`]; with it
     /// (CPU flavor) each run of consecutive block-local gates counts as
@@ -175,6 +190,62 @@ impl RunReport {
             .map(|c| c.count)
             .sum()
     }
+
+    /// The report as a JSON document — the single serialization shared by
+    /// `qsim_base --json`, the `qsim_serve` `result` verb, and the bench
+    /// harnesses.
+    pub fn to_json(&self) -> serde_json::Value {
+        let gate_classes: Vec<serde_json::Value> = self
+            .gate_class_counts
+            .iter()
+            .map(|c| {
+                json!({
+                    "gpu_kernel": (format!("{:?}", c.gpu_kernel)),
+                    "cpu_lane": (format!("{:?}", c.cpu_lane)),
+                    "count": (c.count),
+                })
+            })
+            .collect();
+        let kernels: Vec<serde_json::Value> = self
+            .kernels
+            .iter()
+            .map(|k| json!({ "name": (k.name), "count": (k.count), "time_us": (k.time_us) }))
+            .collect();
+        let measurements: Vec<serde_json::Value> = self
+            .measurements
+            .iter()
+            .map(|(qubits, outcome)| json!({ "qubits": (qubits), "outcome": (outcome) }))
+            .collect();
+        json!({
+            "backend": (self.backend),
+            "device": (self.device),
+            "precision": (self.precision.to_string()),
+            "qubits": (self.num_qubits),
+            "max_fused_qubits": (self.max_fused_qubits),
+            "fusion": {
+                "strategy": (self.fusion_strategy),
+                "predicted_cost_seconds": (self.predicted_cost_seconds),
+                "source_gates": (self.fusion_stats.source_gates),
+                "fused_gates": (self.fusion_stats.fused_gates),
+                "fused_by_qubit_count": (self.fusion_stats.fused_by_qubit_count.to_vec()),
+                "compression": (self.fusion_stats.compression()),
+            },
+            "simulated_seconds": (self.simulated_seconds),
+            "fusion_seconds": (self.fusion_seconds),
+            "wall_seconds": (self.wall_seconds),
+            "setup_seconds": (self.setup_seconds),
+            "state_bytes": (self.state_bytes),
+            "peak_state_bytes": (self.peak_state_bytes),
+            "buffer_reused": (self.buffer_reused),
+            "state_passes": (self.state_passes),
+            "isa": (self.isa),
+            "gate_classes": (gate_classes),
+            "kernels": (kernels),
+            "measurements": (measurements),
+            "samples": (self.samples),
+            "analysis_warnings": (self.analysis_warnings),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +270,7 @@ mod tests {
             simulated_seconds: 2.0,
             fusion_seconds: 0.02,
             wall_seconds: 1.0,
+            setup_seconds: 0.1,
             kernels: vec![
                 KernelStat { name: "ApplyGateH_Kernel".into(), count: 90, time_us: 1.2e6 },
                 KernelStat { name: "ApplyGateL_Kernel".into(), count: 60, time_us: 7.8e5 },
@@ -206,6 +278,8 @@ mod tests {
             measurements: vec![],
             samples: vec![],
             state_bytes: 8 << 30,
+            peak_state_bytes: 8 << 30,
+            buffer_reused: false,
             state_passes: 150,
             analysis_warnings: vec![],
             isa: "avx2".into(),

@@ -23,6 +23,7 @@ use gpu_model::runtime::{Gpu, KernelDesc, StreamId};
 use gpu_model::specs::DeviceSpec;
 use gpu_model::trace::TraceSink;
 use gpu_model::GpuError;
+use qsim_core::cancel::{CancelCause, CancelToken};
 use qsim_core::kernels::apply_gate_slice_par;
 use qsim_core::statespace::measure_slice;
 use qsim_core::sweep::{PassTracker, SweepConfig, SweepExecutor};
@@ -69,6 +70,15 @@ pub enum BackendError {
     /// The pre-run static analysis found error-severity diagnostics; the
     /// plan was rejected before any device memory was allocated.
     AnalysisRejected(Vec<qsim_core::diag::Diagnostic>),
+    /// The run's [`CancelToken`] fired (explicitly or by deadline) and the
+    /// loop unwound at a gate-application boundary. `at_op` is the index
+    /// of the first fused op that did **not** complete.
+    Cancelled {
+        /// Why the token fired.
+        cause: CancelCause,
+        /// Index into `fused.ops` of the first unexecuted operation.
+        at_op: usize,
+    },
 }
 
 impl std::fmt::Display for BackendError {
@@ -83,6 +93,13 @@ impl std::fmt::Display for BackendError {
                     qsim_core::diag::render_list(diags)
                 )
             }
+            BackendError::Cancelled { cause, at_op } => {
+                let why = match cause {
+                    CancelCause::Requested => "cancelled",
+                    CancelCause::DeadlineExceeded => "deadline exceeded",
+                };
+                write!(f, "run {why} at fused op {at_op}")
+            }
         }
     }
 }
@@ -92,6 +109,48 @@ impl std::error::Error for BackendError {}
 impl From<GpuError> for BackendError {
     fn from(e: GpuError) -> Self {
         BackendError::Gpu(e)
+    }
+}
+
+/// Per-run execution context beyond [`RunOptions`]: the service-layer
+/// knobs (recycled state buffer, cooperative cancellation) that a one-shot
+/// CLI run never needs. [`SimBackend::run`] uses the default context.
+#[derive(Debug, Default)]
+pub struct RunContext<F: Float> {
+    /// A recycled amplitude buffer of exactly `2^n` elements to use as the
+    /// state vector instead of allocating a fresh one (the buffer-pool
+    /// fast path: skips the allocate-and-fault of up to 16 GiB per
+    /// 30-qubit run). Contents are reinitialised to `|0…0⟩`; on completion
+    /// the buffer comes back through `StateVector::into_amplitudes`, on
+    /// failure through [`RunFailure::buffer`].
+    pub reuse_buffer: Option<Vec<Cplx<F>>>,
+    /// Cooperative cancellation, polled at every gate-application and
+    /// sweep-block boundary. `None` = uncancellable.
+    pub cancel: Option<CancelToken>,
+}
+
+/// A failed [`SimBackend::run_with`]: the error plus, when the state
+/// buffer had already been acquired, the recovered allocation so the
+/// caller's pool can recycle it instead of losing it — the contract that
+/// lets a cancelled or timed-out job release its buffer back to the pool.
+#[derive(Debug)]
+pub struct RunFailure<F: Float> {
+    /// What went wrong.
+    pub error: BackendError,
+    /// The state allocation, recovered when the failure happened after
+    /// buffer acquisition (contents are garbage).
+    pub buffer: Option<Vec<Cplx<F>>>,
+}
+
+impl<F: Float> RunFailure<F> {
+    fn early(error: BackendError) -> Self {
+        RunFailure { error, buffer: None }
+    }
+}
+
+impl<F: Float> From<GpuError> for RunFailure<F> {
+    fn from(e: GpuError) -> Self {
+        RunFailure::early(BackendError::Gpu(e))
     }
 }
 
@@ -444,10 +503,13 @@ impl SimBackend {
             simulated_seconds: (t_end - t0) * 1e-6,
             fusion_seconds: fusion_us * 1e-6,
             wall_seconds: wall_start.elapsed().as_secs_f64(),
+            setup_seconds: 0.0,
             kernels,
             measurements: Vec::new(),
             samples: Vec::new(),
             state_bytes,
+            peak_state_bytes: state_bytes,
+            buffer_reused: false,
             state_passes: tracker.stats().full_passes,
             analysis_warnings,
             isa: isa.name().into(),
@@ -456,20 +518,43 @@ impl SimBackend {
     }
 
     /// Run a fused circuit at precision `F` from `|0…0⟩`, returning the
-    /// final state and the run report.
+    /// final state and the run report. Equivalent to
+    /// [`SimBackend::run_with`] under the default context (fresh buffer,
+    /// no cancellation).
     pub fn run<F: Float>(
         &self,
         fused: &FusedCircuit,
         opts: &RunOptions,
     ) -> Result<(StateVector<F>, RunReport), BackendError> {
+        self.run_with(fused, opts, RunContext::default()).map_err(|f| f.error)
+    }
+
+    /// Run a fused circuit with service-layer controls: an optionally
+    /// recycled state buffer and a cooperative [`CancelToken`] polled at
+    /// every gate-application boundary (and, on the CPU flavor, at every
+    /// sweep cache block). On failure the state allocation rides back in
+    /// [`RunFailure::buffer`] whenever it was acquired, so callers can
+    /// recycle it.
+    pub fn run_with<F: Float>(
+        &self,
+        fused: &FusedCircuit,
+        opts: &RunOptions,
+        mut ctx: RunContext<F>,
+    ) -> Result<(StateVector<F>, RunReport), RunFailure<F>> {
         let n = fused.num_qubits;
         if n == 0 || n > qsim_core::statevec::MAX_QUBITS {
-            return Err(BackendError::InvalidCircuit(format!("unsupported qubit count {n}")));
+            return Err(RunFailure {
+                error: BackendError::InvalidCircuit(format!("unsupported qubit count {n}")),
+                buffer: ctx.reuse_buffer.take(),
+            });
         }
         // Static analysis replaces the old ad-hoc qubit-range loop: a
         // malformed or non-unitary plan is rejected here, before the
         // state vector is allocated.
-        let analysis_warnings = self.analyze_pre_run(fused)?;
+        let analysis_warnings = match self.analyze_pre_run(fused) {
+            Ok(w) => w,
+            Err(error) => return Err(RunFailure { error, buffer: ctx.reuse_buffer.take() }),
+        };
         let wall_start = Instant::now();
         let len = 1usize << n;
         let amp_bytes = F::PRECISION.amplitude_bytes();
@@ -481,6 +566,10 @@ impl SimBackend {
         let isa = qsim_core::simd::active_isa();
         let lane_qubits = isa.lane_qubits(F::PRECISION);
         let mut class_grid = [[0u64; 2]; 2];
+        let cancel = ctx.cancel.clone();
+
+        // Per-run peak-memory accounting (the device may be long-lived).
+        self.gpu.reset_peak_memory();
 
         // ---- timed region starts here (like the paper, it includes the
         // gate-fusion step, charged at its modeled host cost) ----
@@ -490,17 +579,43 @@ impl SimBackend {
         self.gpu.advance_host_us(fusion_us);
 
         // hipMalloc the state vector (this is where a 31-qubit double run
-        // genuinely exceeds the modeled A100's 40 GB).
-        let mut state_buf = self.gpu.malloc::<Cplx<F>>(len)?;
+        // genuinely exceeds the modeled A100's 40 GB) — or adopt the
+        // caller's recycled buffer, skipping the allocation entirely.
+        let buffer_reused = ctx.reuse_buffer.is_some();
+        let mut state_buf = match ctx.reuse_buffer.take() {
+            Some(buf) if buf.len() == len => match self.gpu.adopt_vec(buf) {
+                Ok(b) => b,
+                Err((e, buf)) => {
+                    return Err(RunFailure { error: BackendError::Gpu(e), buffer: Some(buf) })
+                }
+            },
+            Some(buf) => {
+                return Err(RunFailure {
+                    error: BackendError::InvalidCircuit(format!(
+                        "recycled buffer has {} amplitudes, want 2^{n}",
+                        buf.len()
+                    )),
+                    buffer: Some(buf),
+                })
+            }
+            None => self.gpu.malloc::<Cplx<F>>(len)?,
+        };
         let state_bytes = state_buf.bytes();
 
-        // Initialise |0…0⟩ on-device.
+        // Initialise |0…0⟩ on-device. A fresh hipMalloc is already
+        // zeroed; an adopted buffer holds the previous job's amplitudes
+        // and pays the full clearing sweep (still far cheaper than
+        // faulting in fresh pages).
         let init = self.init_desc(len, amp_bytes, double_precision);
         let (s, e, ()) = self.gpu.launch(&init, StreamId::DEFAULT, || {
             let amps = state_buf.as_mut_slice();
+            if buffer_reused {
+                amps.fill(Cplx::zero());
+            }
             amps[0] = Cplx::one();
         })?;
         bump(&mut kernel_stats, &init.name, e - s);
+        let setup_seconds = wall_start.elapsed().as_secs_f64();
 
         // Dedicated copy stream so matrix uploads overlap compute
         // (Figures 1 and 6).
@@ -516,7 +631,16 @@ impl SimBackend {
         let mut tracker = PassTracker::new(&self.effective_sweep(), n);
         let mut pending: Vec<(Vec<usize>, GateMatrix<F>)> = Vec::new();
 
-        for op in &fused.ops {
+        for (op_index, op) in fused.ops.iter().enumerate() {
+            // The cooperative-cancellation boundary: between fused gate
+            // applications (never inside a kernel). A service's timeout
+            // watchdog and its `cancel` verb both land here.
+            if let Some(cause) = cancel.as_ref().and_then(CancelToken::cause) {
+                return Err(RunFailure {
+                    error: BackendError::Cancelled { cause, at_op: op_index },
+                    buffer: Some(state_buf.into_vec()),
+                });
+            }
             match op {
                 FusedOp::Unitary(g) => {
                     let matrix = g.matrix_as::<F>();
@@ -543,7 +667,17 @@ impl SimBackend {
                     } else {
                         // Barrier gate: flush the open run, then go
                         // through the ordinary strided kernel.
-                        flush_run(&self.sweep, state_buf.as_mut_slice(), &mut pending);
+                        if let Err(cause) = flush_run(
+                            &self.sweep,
+                            state_buf.as_mut_slice(),
+                            &mut pending,
+                            cancel.as_ref(),
+                        ) {
+                            return Err(RunFailure {
+                                error: BackendError::Cancelled { cause, at_op: op_index },
+                                buffer: Some(state_buf.into_vec()),
+                            });
+                        }
                         let (s, e, ()) = self.gpu.launch(&desc, StreamId::DEFAULT, || {
                             apply_gate_slice_par(state_buf.as_mut_slice(), &g.qubits, &matrix);
                         })?;
@@ -553,7 +687,17 @@ impl SimBackend {
                 }
                 FusedOp::Measurement { qubits, .. } => {
                     tracker.on_barrier();
-                    flush_run(&self.sweep, state_buf.as_mut_slice(), &mut pending);
+                    if let Err(cause) = flush_run(
+                        &self.sweep,
+                        state_buf.as_mut_slice(),
+                        &mut pending,
+                        cancel.as_ref(),
+                    ) {
+                        return Err(RunFailure {
+                            error: BackendError::Cancelled { cause, at_op: op_index },
+                            buffer: Some(state_buf.into_vec()),
+                        });
+                    }
                     // qsim measures on-device; we model the equivalent
                     // traffic with an explicit round trip: D2H, host
                     // measurement + collapse, H2D.
@@ -568,7 +712,14 @@ impl SimBackend {
             }
         }
         tracker.on_barrier();
-        flush_run(&self.sweep, state_buf.as_mut_slice(), &mut pending);
+        if let Err(cause) =
+            flush_run(&self.sweep, state_buf.as_mut_slice(), &mut pending, cancel.as_ref())
+        {
+            return Err(RunFailure {
+                error: BackendError::Cancelled { cause, at_op: fused.ops.len() },
+                buffer: Some(state_buf.into_vec()),
+            });
+        }
 
         // Final sampling on-device (qsim's `SampleKernel`: one cumulative
         // pass over the probabilities).
@@ -599,10 +750,14 @@ impl SimBackend {
         }
 
         let t_end = self.gpu.synchronize();
-        // ---- timed region ends; the final full-state readback below is
-        // for validation only (qsim_base copies just a few amplitudes). ----
+        // ---- timed region ends. ----
 
-        let state = StateVector::from_amplitudes(state_buf.as_slice().to_vec());
+        // Move the amplitudes out instead of copying: releases the device
+        // accounting while keeping the allocation alive inside the
+        // returned state, whose buffer the caller may recycle via
+        // `StateVector::into_amplitudes`.
+        let peak_state_bytes = self.gpu.memory_usage().1;
+        let state = StateVector::from_amplitudes(state_buf.into_vec());
 
         let kernels = kernel_stats
             .into_iter()
@@ -622,10 +777,13 @@ impl SimBackend {
             simulated_seconds: (t_end - t0) * 1e-6,
             fusion_seconds: fusion_us * 1e-6,
             wall_seconds: wall_start.elapsed().as_secs_f64(),
+            setup_seconds,
             kernels,
             measurements,
             samples,
             state_bytes,
+            peak_state_bytes,
+            buffer_reused,
             state_passes: tracker.stats().full_passes,
             analysis_warnings,
             isa: isa.name().into(),
@@ -651,17 +809,25 @@ fn count_gate_class(grid: &mut [[u64; 2]; 2], qubits: &[usize], lane_qubits: usi
 }
 
 /// Apply and clear the pending run of block-local gates (no-op when the
-/// run is empty).
+/// run is empty). The cancel token, when present, is polled at every
+/// sweep cache block; a cancelled run leaves `amps` partially updated and
+/// reports the cause.
 fn flush_run<F: Float>(
     sweep: &SweepExecutor,
     amps: &mut [Cplx<F>],
     pending: &mut Vec<(Vec<usize>, GateMatrix<F>)>,
-) {
+    cancel: Option<&CancelToken>,
+) -> Result<(), CancelCause> {
     if !pending.is_empty() {
-        sweep.apply_run(amps, pending.iter().map(|(q, m)| (q.as_slice(), m)));
+        sweep.apply_run_cancellable(
+            amps,
+            pending.iter().map(|(q, m)| (q.as_slice(), m)),
+            cancel,
+        )?;
         pending.clear();
         debug_assert_norm(amps, "cache-blocked sweep run");
     }
+    Ok(())
 }
 
 /// Debug-build invariant checked after every fused-gate application: the
@@ -675,6 +841,20 @@ fn debug_assert_norm<F: Float>(amps: &[Cplx<F>], what: &str) {
         assert!((norm_sqr - 1.0).abs() < tol, "state norm² drifted to {norm_sqr} after {what}");
     }
 }
+
+/// The worker-pool contract: a `SimBackend` must be shareable across the
+/// service's worker threads. All interior state is immutable after
+/// construction or behind the device model's own synchronization, so this
+/// holds by composition — these assertions turn any future regression
+/// (e.g. an `Rc` or `Cell` slipping into a field) into a compile error.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SimBackend>();
+    assert_send_sync::<RunContext<f32>>();
+    assert_send_sync::<RunContext<f64>>();
+    assert_send_sync::<RunFailure<f32>>();
+    assert_send_sync::<RunFailure<f64>>();
+};
 
 impl Backend for SimBackend {
     fn label(&self) -> &'static str {
@@ -1159,6 +1339,86 @@ mod tests {
             hip.fused.max_fused_qubits,
             cuda.fused.max_fused_qubits
         );
+    }
+
+    #[test]
+    fn cancelled_run_reports_cause_and_returns_the_buffer() {
+        let circuit = generate_rqc(&RqcOptions::for_qubits(10, 6, 7));
+        let fused = fuse(&circuit, 2);
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = RunContext::<f64> { reuse_buffer: None, cancel: Some(token) };
+        let failure =
+            SimBackend::new(Flavor::Hip).run_with(&fused, &RunOptions::default(), ctx).unwrap_err();
+        match failure.error {
+            BackendError::Cancelled { cause: CancelCause::Requested, at_op: 0 } => {}
+            other => panic!("expected cancellation at op 0, got {other:?}"),
+        }
+        // The state allocation rides back for the caller's pool.
+        let buf = failure.buffer.expect("cancelled run must return its buffer");
+        assert_eq!(buf.len(), 1 << 10);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_mid_run() {
+        let circuit = generate_rqc(&RqcOptions::for_qubits(10, 6, 7));
+        let fused = fuse(&circuit, 2);
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        let ctx = RunContext::<f32> { reuse_buffer: None, cancel: Some(token) };
+        let failure = SimBackend::new(Flavor::Cuda)
+            .run_with(&fused, &RunOptions::default(), ctx)
+            .unwrap_err();
+        assert!(matches!(
+            failure.error,
+            BackendError::Cancelled { cause: CancelCause::DeadlineExceeded, .. }
+        ));
+        assert!(failure.buffer.is_some());
+    }
+
+    #[test]
+    fn recycled_buffer_runs_bit_identical_and_skips_allocation() {
+        let circuit = generate_rqc(&RqcOptions::for_qubits(11, 6, 3));
+        let fused = fuse(&circuit, 3);
+        let backend = SimBackend::new(Flavor::Hip);
+        let (fresh, fresh_report) = backend.run::<f64>(&fused, &RunOptions::default()).unwrap();
+        assert!(!fresh_report.buffer_reused);
+        assert!(fresh_report.setup_seconds > 0.0);
+        // Peak = state vector + the widest transient (matrix upload
+        // buffers on this flavor), so it strictly covers the state.
+        assert!(fresh_report.peak_state_bytes >= fresh_report.state_bytes);
+
+        // Recycle a dirty buffer (the previous run's amplitudes) through
+        // RunContext and check the result is bit-for-bit identical.
+        let recycled = fresh.clone().into_amplitudes();
+        let addr = recycled.as_ptr();
+        let ctx = RunContext { reuse_buffer: Some(recycled), cancel: None };
+        let (state, report) = backend.run_with(&fused, &RunOptions::default(), ctx).unwrap();
+        assert!(report.buffer_reused);
+        assert_eq!(state.amplitudes().as_ptr(), addr, "must reuse the allocation");
+        assert_eq!(state.amplitudes(), fresh.amplitudes(), "recycled run must be bit-identical");
+    }
+
+    #[test]
+    fn wrong_sized_recycled_buffer_is_rejected_with_the_buffer() {
+        let fused = fuse(&library::bell(), 2);
+        let stale = vec![Cplx::<f64>::zero(); 8]; // 3-qubit buffer for a 2-qubit run
+        let ctx = RunContext { reuse_buffer: Some(stale), cancel: None };
+        let failure = SimBackend::new(Flavor::Cuda)
+            .run_with(&fused, &RunOptions::default(), ctx)
+            .unwrap_err();
+        assert!(matches!(failure.error, BackendError::InvalidCircuit(_)));
+        assert_eq!(failure.buffer.expect("buffer must survive rejection").len(), 8);
+    }
+
+    #[test]
+    fn live_token_does_not_disturb_a_run() {
+        let fused = fuse(&library::bell(), 2);
+        let token = CancelToken::new();
+        let ctx = RunContext::<f64> { reuse_buffer: None, cancel: Some(token) };
+        let (state, _) =
+            SimBackend::new(Flavor::Hip).run_with(&fused, &RunOptions::default(), ctx).unwrap();
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((state.amplitude(0).re - h).abs() < 1e-12);
     }
 
     #[test]

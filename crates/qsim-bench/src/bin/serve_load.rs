@@ -1,0 +1,311 @@
+//! `serve_load` — load generator for the qsim-serve job service.
+//!
+//! Two modes:
+//!
+//! - `serve_load smoke --addr HOST:PORT` drives a **running** `qsim_serve`
+//!   process over TCP: 32 mixed-size jobs including one forced timeout and
+//!   one cancellation, asserts every job reaches the expected terminal
+//!   state, checks the `metrics` aggregation, and shuts the server down
+//!   gracefully. Exits non-zero on any violation — this is the CI
+//!   serve-smoke job.
+//!
+//! - `serve_load bench` measures in-process service throughput: jobs/sec
+//!   and buffer-pool hit rate versus worker count at 20 and 24 qubits,
+//!   written to `results/serve_throughput.csv`. The cold vs warm setup
+//!   columns quantify what the buffer pool saves per job.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use qsim_circuit::library;
+use qsim_serve::{JobSpec, JobState, Service, ServiceConfig};
+use serde_json::{json, Value};
+
+const USAGE: &str = "\
+usage: serve_load smoke --addr HOST:PORT
+       serve_load bench";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(String::as_str) {
+        Some("smoke") => match argv.iter().position(|a| a == "--addr") {
+            Some(i) => match argv.get(i + 1) {
+                Some(addr) => smoke(addr),
+                None => Err("--addr needs a value".into()),
+            },
+            None => Err("smoke mode needs --addr HOST:PORT".into()),
+        },
+        Some("bench") => bench(),
+        _ => Err(USAGE.into()),
+    };
+    if let Err(message) = result {
+        eprintln!("serve_load: {message}");
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------- smoke
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone stream: {e}"))?);
+        Ok(Client { writer: stream, reader })
+    }
+
+    fn request(&mut self, body: &Value) -> Result<Value, String> {
+        let mut line = serde_json::to_string(body).map_err(|e| e.to_string())?;
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).map_err(|e| format!("send: {e}"))?;
+        let mut response = String::new();
+        self.reader.read_line(&mut response).map_err(|e| format!("recv: {e}"))?;
+        if response.is_empty() {
+            return Err("server closed the connection".into());
+        }
+        serde_json::from_str(&response).map_err(|e| format!("bad response JSON: {e}"))
+    }
+}
+
+fn expect_ok(resp: &Value, what: &str) -> Result<(), String> {
+    if resp.get("ok").and_then(Value::as_bool) == Some(true) {
+        Ok(())
+    } else {
+        Err(format!("{what} failed: {resp:?}"))
+    }
+}
+
+fn smoke(addr: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr)?;
+    println!("connected to {addr}");
+
+    // 32 mixed-size jobs. Job 0 carries an already-expired deadline (the
+    // forced timeout); one mid-queue job is cancelled right after the
+    // batch is submitted.
+    let mut ids = Vec::new();
+    let mut timeout_id = 0;
+    let mut cancel_id = 0;
+    for i in 0..32u64 {
+        let qubits = 8 + (i as usize % 9); // 8..=16
+        let circuit = qsim_circuit::parser::write_circuit(&library::ghz(qubits));
+        let mut req = json!({
+            "verb": "submit",
+            "circuit": (circuit),
+            "backend": (if i % 2 == 0 { "cpu" } else { "hip" }),
+            "seed": (i),
+            "priority": (["high", "normal", "batch"][(i % 3) as usize]),
+        });
+        if i == 0 {
+            req = json!({
+                "verb": "submit",
+                "circuit": (circuit),
+                "timeout_ms": 0,
+            });
+        } else if i == 20 {
+            // The cancellation target: batch priority, so it sits at the
+            // back of the queue while the cancel lands.
+            req = json!({
+                "verb": "submit",
+                "circuit": (circuit),
+                "priority": "batch",
+            });
+        }
+        let resp = client.request(&req)?;
+        expect_ok(&resp, "submit")?;
+        let id = resp.get("id").and_then(Value::as_u64).ok_or("submit response lacks id")?;
+        if i == 0 {
+            timeout_id = id;
+        }
+        if i == 20 {
+            cancel_id = id;
+            let resp = client.request(&json!({ "verb": "cancel", "id": (id) }))?;
+            expect_ok(&resp, "cancel")?;
+        }
+        ids.push(id);
+    }
+    println!("submitted {} jobs (timeout: job {timeout_id}, cancel: job {cancel_id})", ids.len());
+
+    // Poll until every job is terminal.
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let mut states = vec![String::new(); ids.len()];
+    loop {
+        let mut pending = 0;
+        for (slot, id) in states.iter_mut().zip(&ids) {
+            let resp = client.request(&json!({ "verb": "status", "id": (id) }))?;
+            expect_ok(&resp, "status")?;
+            let state = resp.get("state").and_then(Value::as_str).ok_or("status lacks state")?;
+            *slot = state.to_string();
+            if state == "queued" || state == "running" {
+                pending += 1;
+            }
+        }
+        if pending == 0 {
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err(format!("{pending} jobs still pending at deadline: {states:?}"));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Terminal-state assertions.
+    if states[0] != "timed_out" {
+        return Err(format!("job {timeout_id} should have timed out, got '{}'", states[0]));
+    }
+    let cancel_state = &states[20];
+    if cancel_state != "cancelled" && cancel_state != "done" {
+        return Err(format!("job {cancel_id} should be cancelled (or done), got '{cancel_state}'"));
+    }
+    for (i, state) in states.iter().enumerate() {
+        if i != 0 && i != 20 && state != "done" {
+            return Err(format!("job {} should be done, got '{state}'", ids[i]));
+        }
+    }
+    println!(
+        "all {} jobs terminal ({} done, 1 timed_out, job 20 {cancel_state})",
+        ids.len(),
+        states.iter().filter(|s| *s == "done").count()
+    );
+
+    // Completed jobs must serve their reports.
+    let resp = client.request(&json!({ "verb": "result", "id": (ids[1]) }))?;
+    expect_ok(&resp, "result")?;
+    if resp.get("report").and_then(|r| r.get("wall_seconds")).is_none() {
+        return Err(format!("result lacks a report: {resp:?}"));
+    }
+
+    // Metrics must agree with what we drove.
+    let resp = client.request(&json!({ "verb": "metrics" }))?;
+    expect_ok(&resp, "metrics")?;
+    let metrics = resp.get("metrics").ok_or("metrics verb lacks payload")?;
+    let jobs = metrics.get("jobs").ok_or("metrics lacks jobs")?;
+    let completed = jobs.get("completed").and_then(Value::as_u64).unwrap_or(0);
+    let timed_out = jobs.get("timed_out").and_then(Value::as_u64).unwrap_or(0);
+    if completed + timed_out + jobs.get("cancelled").and_then(Value::as_u64).unwrap_or(0)
+        != ids.len() as u64
+    {
+        return Err(format!("metrics don't add up to {} jobs: {metrics:?}", ids.len()));
+    }
+    let pool = metrics.get("buffer_pool").ok_or("metrics lacks buffer_pool")?;
+    let hits = pool.get("hits").and_then(Value::as_u64).unwrap_or(0);
+    if hits == 0 {
+        return Err("32 same-shaped jobs produced zero pool hits".into());
+    }
+    println!("metrics: {completed} completed, {timed_out} timed out, {hits} pool hits");
+
+    // Graceful shutdown: the server acknowledges, drains and exits.
+    let resp = client.request(&json!({ "verb": "shutdown" }))?;
+    expect_ok(&resp, "shutdown")?;
+    println!("smoke OK");
+    Ok(())
+}
+
+// ---------------------------------------------------------------- bench
+
+const JOBS_PER_CELL: usize = 12;
+
+fn bench() -> Result<(), String> {
+    let mut csv = String::from(
+        "workers,qubits,jobs,total_seconds,jobs_per_sec,pool_hit_rate,\
+         cold_setup_avg_s,warm_setup_avg_s,setup_speedup\n",
+    );
+    println!(
+        "{:>7} {:>6} {:>9} {:>9} {:>8} {:>14} {:>14} {:>8}",
+        "workers",
+        "qubits",
+        "total_s",
+        "jobs/s",
+        "hit_rate",
+        "cold_setup_s",
+        "warm_setup_s",
+        "speedup"
+    );
+    for &qubits in &[20usize, 24] {
+        for &workers in &[1usize, 2, 4, 8] {
+            let row = bench_cell(workers, qubits)?;
+            println!(
+                "{:>7} {:>6} {:>9.3} {:>9.2} {:>8.2} {:>14.6} {:>14.6} {:>8.2}",
+                workers,
+                qubits,
+                row.total_seconds,
+                row.jobs_per_sec,
+                row.hit_rate,
+                row.cold_setup,
+                row.warm_setup,
+                row.speedup()
+            );
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                workers,
+                qubits,
+                JOBS_PER_CELL,
+                row.total_seconds,
+                row.jobs_per_sec,
+                row.hit_rate,
+                row.cold_setup,
+                row.warm_setup,
+                row.speedup()
+            ));
+        }
+    }
+    std::fs::create_dir_all("results").map_err(|e| format!("mkdir results: {e}"))?;
+    let path = "results/serve_throughput.csv";
+    std::fs::write(path, csv).map_err(|e| format!("write {path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
+struct Cell {
+    total_seconds: f64,
+    jobs_per_sec: f64,
+    hit_rate: f64,
+    cold_setup: f64,
+    warm_setup: f64,
+}
+
+impl Cell {
+    /// Cold over warm per-job setup time — what one warm buffer is worth.
+    fn speedup(&self) -> f64 {
+        if self.warm_setup > 0.0 {
+            self.cold_setup / self.warm_setup
+        } else {
+            0.0
+        }
+    }
+}
+
+fn bench_cell(workers: usize, qubits: usize) -> Result<Cell, String> {
+    let service = Service::start(ServiceConfig { workers, ..ServiceConfig::default() });
+    let circuit = library::ghz(qubits);
+    let start = Instant::now();
+    let ids: Vec<_> = (0..JOBS_PER_CELL)
+        .map(|i| {
+            let mut spec = JobSpec::new(circuit.clone());
+            spec.seed = i as u64;
+            service.submit(spec).map_err(|e| format!("submit: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    for id in ids {
+        let status = service
+            .wait(id, Duration::from_secs(600))
+            .ok_or_else(|| format!("job {id} vanished"))?;
+        if status.state != JobState::Done {
+            return Err(format!("job {id} ended {:?}: {:?}", status.state, status.error));
+        }
+    }
+    let total_seconds = start.elapsed().as_secs_f64();
+    let metrics = service.metrics();
+    service.shutdown();
+    Ok(Cell {
+        total_seconds,
+        jobs_per_sec: JOBS_PER_CELL as f64 / total_seconds,
+        hit_rate: metrics.pool.hit_rate(),
+        cold_setup: metrics.cold_setup_seconds_avg,
+        warm_setup: metrics.warm_setup_seconds_avg,
+    })
+}

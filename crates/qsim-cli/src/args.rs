@@ -1,0 +1,73 @@
+//! Parsers for the option values shared by every qsim binary.
+
+use qsim_backends::Flavor;
+use qsim_core::kernels::MAX_GATE_QUBITS;
+use qsim_core::types::Precision;
+
+/// Parse a `-f` value: the maximum number of fused gate qubits,
+/// validated to `1..=MAX_GATE_QUBITS`.
+pub fn parse_max_fused(value: &str) -> Result<usize, String> {
+    let max_fused: usize = value.parse().map_err(|_| "-f expects an integer".to_string())?;
+    if (1..=MAX_GATE_QUBITS).contains(&max_fused) {
+        Ok(max_fused)
+    } else {
+        Err(format!("-f expects 1..={MAX_GATE_QUBITS}, got {max_fused}"))
+    }
+}
+
+/// Parse a `-b` value: a backend flavor name (see [`Flavor::NAMES`]).
+pub fn parse_backend(value: &str) -> Result<Flavor, String> {
+    value.parse()
+}
+
+/// Parse a `-p` value: `single` or `double`.
+pub fn parse_precision(value: &str) -> Result<Precision, String> {
+    value.parse()
+}
+
+/// Parse a `-B` value: a cache-blocked sweep block size in amplitudes,
+/// which must be a power of two no smaller than 2.
+pub fn parse_sweep_block(value: &str) -> Result<usize, String> {
+    let block: usize = value.parse().map_err(|_| "-B expects an integer".to_string())?;
+    if block.is_power_of_two() && block >= 2 {
+        Ok(block)
+    } else {
+        Err(format!("-B expects a power of two >= 2, got {block}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_fused_range() {
+        assert_eq!(parse_max_fused("1"), Ok(1));
+        assert_eq!(parse_max_fused("6"), Ok(MAX_GATE_QUBITS));
+        assert!(parse_max_fused("0").unwrap_err().contains("1..="));
+        assert!(parse_max_fused("7").unwrap_err().contains("got 7"));
+        assert!(parse_max_fused("four").unwrap_err().contains("integer"));
+    }
+
+    #[test]
+    fn backend_names() {
+        assert_eq!(parse_backend("hip"), Ok(Flavor::Hip));
+        assert_eq!(parse_backend("cpu"), Ok(Flavor::CpuAvx));
+        assert!(parse_backend("opencl").unwrap_err().contains("unknown backend"));
+    }
+
+    #[test]
+    fn precision_names() {
+        assert_eq!(parse_precision("single"), Ok(Precision::Single));
+        assert_eq!(parse_precision("double"), Ok(Precision::Double));
+        assert!(parse_precision("half").unwrap_err().contains("unknown precision"));
+    }
+
+    #[test]
+    fn sweep_block_power_of_two() {
+        assert_eq!(parse_sweep_block("65536"), Ok(65536));
+        assert_eq!(parse_sweep_block("2"), Ok(2));
+        assert!(parse_sweep_block("1").unwrap_err().contains("power of two"));
+        assert!(parse_sweep_block("100").unwrap_err().contains("power of two"));
+    }
+}

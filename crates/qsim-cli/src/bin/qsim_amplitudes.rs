@@ -11,7 +11,7 @@ use std::process::ExitCode;
 
 use qsim_backends::{Backend, Flavor, RunOptions, SimBackend};
 use qsim_circuit::parser::parse_circuit;
-use qsim_core::kernels::MAX_GATE_QUBITS;
+use qsim_cli::args::{parse_backend, parse_max_fused};
 use qsim_fusion::fuse;
 
 const USAGE: &str = "\
@@ -78,21 +78,8 @@ fn run() -> Result<(), String> {
         match flag.as_str() {
             "-c" => circuit_file = value.clone(),
             "-i" => bitstring_file = value.clone(),
-            "-f" => {
-                max_fused = value.parse().map_err(|_| "-f expects an integer")?;
-                if !(1..=MAX_GATE_QUBITS).contains(&max_fused) {
-                    return Err(format!("-f expects 1..={MAX_GATE_QUBITS}, got {max_fused}"));
-                }
-            }
-            "-b" => {
-                backend = match value.as_str() {
-                    "cpu" => Flavor::CpuAvx,
-                    "cuda" => Flavor::Cuda,
-                    "custatevec" => Flavor::CuStateVec,
-                    "hip" => Flavor::Hip,
-                    other => return Err(format!("unknown backend '{other}'")),
-                }
-            }
+            "-f" => max_fused = parse_max_fused(value)?,
+            "-b" => backend = parse_backend(value)?,
             other => return Err(format!("unknown option '{other}'")),
         }
     }

@@ -1,0 +1,100 @@
+//! `qsim_serve` — the multi-tenant simulation job service.
+//!
+//! Binds a TCP listener, prints `listening on <addr>` (so scripts can
+//! capture an ephemeral port), and speaks the newline-delimited JSON
+//! protocol documented in DESIGN.md §"Service layer" until a `shutdown`
+//! verb drains the worker pool.
+
+use std::sync::Arc;
+
+use qsim_serve::{Server, Service, ServiceConfig};
+
+const USAGE: &str = "\
+usage: qsim_serve [options]
+  --host HOST       bind address (default 127.0.0.1)
+  --port PORT       bind port; 0 picks an ephemeral port (default 0)
+  --workers N       worker threads (default 4)
+  --budget-gib GIB  state-memory admission budget in GiB (default 16)
+  --pool-cap N      max pooled buffers per size bucket (default 8)
+  -h, --help        show this help";
+
+struct Args {
+    host: String,
+    port: u16,
+    config: ServiceConfig,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args { host: "127.0.0.1".into(), port: 0, config: ServiceConfig::default() };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "-h" | "--help" => return Err(USAGE.into()),
+            "--host" => args.host = take(&mut it, flag)?.clone(),
+            "--port" => {
+                args.port = take(&mut it, flag)?.parse().map_err(|e| format!("bad --port: {e}"))?;
+            }
+            "--workers" => {
+                let n: usize =
+                    take(&mut it, flag)?.parse().map_err(|e| format!("bad --workers: {e}"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                args.config.workers = n;
+            }
+            "--budget-gib" => {
+                let gib: u64 =
+                    take(&mut it, flag)?.parse().map_err(|e| format!("bad --budget-gib: {e}"))?;
+                args.config.memory_budget_bytes = gib << 30;
+            }
+            "--pool-cap" => {
+                args.config.pool_max_per_bucket =
+                    take(&mut it, flag)?.parse().map_err(|e| format!("bad --pool-cap: {e}"))?;
+            }
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn take<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+
+    let service = Arc::new(Service::start(args.config));
+    let server = match Server::bind(&format!("{}:{}", args.host, args.port), service) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("qsim_serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            // Scripts parse this line to learn the ephemeral port; keep
+            // the format stable.
+            println!("listening on {addr}");
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("qsim_serve: no local address: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Err(e) = server.serve() {
+        eprintln!("qsim_serve: {e}");
+        std::process::exit(1);
+    }
+    println!("drained, exiting");
+}

@@ -1,0 +1,9 @@
+//! Shared command-line plumbing for the qsim binaries.
+//!
+//! `qsim_base`, its `analyze` subcommand, `qsim_amplitudes` and
+//! `qsim_serve` all accept the same `-f` / `-b` / `-p` / `-B` options;
+//! this library is the single place their values are parsed and
+//! validated, so the accepted ranges and error messages cannot drift
+//! between binaries.
+
+pub mod args;

@@ -16,7 +16,7 @@ use qsim_backends::{
     Flavor, FusionStrategy, PlanOptions, RunOptions, RunReport, SimBackend, SweepConfig,
 };
 use qsim_circuit::parser::{parse_circuit, parse_circuit_unchecked};
-use qsim_core::kernels::MAX_GATE_QUBITS;
+use qsim_cli::args::{parse_backend, parse_max_fused, parse_precision, parse_sweep_block};
 use qsim_core::types::Precision;
 use qsim_trace::{Profiler, TraceStats};
 use serde_json::json;
@@ -96,33 +96,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             |name: &str| it.next().cloned().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "-c" => args.circuit_file = value("-c")?,
-            "-f" => {
-                args.max_fused =
-                    value("-f")?.parse().map_err(|_| "-f expects an integer".to_string())?;
-                if !(1..=MAX_GATE_QUBITS).contains(&args.max_fused) {
-                    return Err(format!(
-                        "-f expects 1..={MAX_GATE_QUBITS}, got {}",
-                        args.max_fused
-                    ));
-                }
-            }
+            "-f" => args.max_fused = parse_max_fused(&value("-f")?)?,
             "--fusion" => args.strategy = value("--fusion")?.parse()?,
-            "-b" => {
-                args.backend = match value("-b")?.as_str() {
-                    "cpu" => Flavor::CpuAvx,
-                    "cuda" => Flavor::Cuda,
-                    "custatevec" => Flavor::CuStateVec,
-                    "hip" => Flavor::Hip,
-                    other => return Err(format!("unknown backend '{other}'")),
-                }
-            }
-            "-p" => {
-                args.precision = match value("-p")?.as_str() {
-                    "single" => Precision::Single,
-                    "double" => Precision::Double,
-                    other => return Err(format!("unknown precision '{other}'")),
-                }
-            }
+            "-b" => args.backend = parse_backend(&value("-b")?)?,
+            "-p" => args.precision = parse_precision(&value("-p")?)?,
             "-s" => {
                 args.seed =
                     value("-s")?.parse().map_err(|_| "-s expects an integer".to_string())?;
@@ -137,14 +114,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     value("-S")?.parse().map_err(|_| "-S expects an integer".to_string())?;
             }
             "-e" => args.estimate_only = true,
-            "-B" => {
-                let block: usize =
-                    value("-B")?.parse().map_err(|_| "-B expects an integer".to_string())?;
-                if !block.is_power_of_two() || block < 2 {
-                    return Err(format!("-B expects a power of two >= 2, got {block}"));
-                }
-                args.sweep_block = Some(block);
-            }
+            "-B" => args.sweep_block = Some(parse_sweep_block(&value("-B")?)?),
             "--no-sweep" => args.no_sweep = true,
             "--no-simd" => args.no_simd = true,
             "--json" => args.json = true,
@@ -225,57 +195,6 @@ fn print_report(report: &RunReport, verbose: bool, profiler: Option<&Profiler>) 
             }
         }
     }
-}
-
-/// The run report as a JSON document (`--json`).
-fn report_json(report: &RunReport) -> serde_json::Value {
-    let gate_classes: Vec<serde_json::Value> = report
-        .gate_class_counts
-        .iter()
-        .map(|c| {
-            json!({
-                "gpu_kernel": (format!("{:?}", c.gpu_kernel)),
-                "cpu_lane": (format!("{:?}", c.cpu_lane)),
-                "count": (c.count),
-            })
-        })
-        .collect();
-    let kernels: Vec<serde_json::Value> = report
-        .kernels
-        .iter()
-        .map(|k| json!({ "name": (k.name), "count": (k.count), "time_us": (k.time_us) }))
-        .collect();
-    let measurements: Vec<serde_json::Value> = report
-        .measurements
-        .iter()
-        .map(|(qubits, outcome)| json!({ "qubits": (qubits), "outcome": (outcome) }))
-        .collect();
-    json!({
-        "backend": (report.backend),
-        "device": (report.device),
-        "precision": (report.precision.to_string()),
-        "qubits": (report.num_qubits),
-        "max_fused_qubits": (report.max_fused_qubits),
-        "fusion": {
-            "strategy": (report.fusion_strategy),
-            "predicted_cost_seconds": (report.predicted_cost_seconds),
-            "source_gates": (report.fusion_stats.source_gates),
-            "fused_gates": (report.fusion_stats.fused_gates),
-            "fused_by_qubit_count": (report.fusion_stats.fused_by_qubit_count.to_vec()),
-            "compression": (report.fusion_stats.compression()),
-        },
-        "simulated_seconds": (report.simulated_seconds),
-        "fusion_seconds": (report.fusion_seconds),
-        "wall_seconds": (report.wall_seconds),
-        "state_bytes": (report.state_bytes),
-        "state_passes": (report.state_passes),
-        "isa": (report.isa),
-        "gate_classes": (gate_classes),
-        "kernels": (kernels),
-        "measurements": (measurements),
-        "samples": (report.samples),
-        "analysis_warnings": (report.analysis_warnings),
-    })
 }
 
 fn run(args: &Args) -> Result<(), String> {
@@ -368,7 +287,7 @@ fn run(args: &Args) -> Result<(), String> {
                 "qubits": (circuit.num_qubits),
                 "gates": (circuit.num_gates()),
             },
-            "report": (report_json(&report)),
+            "report": (report.to_json()),
             "amplitudes": (amps_json),
         });
         println!("{}", serde_json::to_string_pretty(&doc).expect("report JSON serializes"));
@@ -448,36 +367,12 @@ fn parse_analyze_args(argv: &[String]) -> Result<AnalyzeArgs, String> {
             |name: &str| it.next().cloned().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "-c" => args.circuit_file = value("-c")?,
-            "-f" => {
-                args.max_fused =
-                    value("-f")?.parse().map_err(|_| "-f expects an integer".to_string())?;
-                if !(1..=MAX_GATE_QUBITS).contains(&args.max_fused) {
-                    return Err(format!(
-                        "-f expects 1..={MAX_GATE_QUBITS}, got {}",
-                        args.max_fused
-                    ));
-                }
-            }
+            "-f" => args.max_fused = parse_max_fused(&value("-f")?)?,
             "--fusion" => args.strategy = value("--fusion")?.parse()?,
-            "-b" => {
-                args.backend = match value("-b")?.as_str() {
-                    "cpu" => Flavor::CpuAvx,
-                    "cuda" => Flavor::Cuda,
-                    "custatevec" => Flavor::CuStateVec,
-                    "hip" => Flavor::Hip,
-                    other => return Err(format!("unknown backend '{other}'")),
-                }
-            }
+            "-b" => args.backend = parse_backend(&value("-b")?)?,
             "--json" => args.json = true,
             "--deny-warnings" => args.deny_warnings = true,
-            "-B" => {
-                let block: usize =
-                    value("-B")?.parse().map_err(|_| "-B expects an integer".to_string())?;
-                if !block.is_power_of_two() || block < 2 {
-                    return Err(format!("-B expects a power of two >= 2, got {block}"));
-                }
-                args.sweep_block = Some(block);
-            }
+            "-B" => args.sweep_block = Some(parse_sweep_block(&value("-B")?)?),
             "--no-sweep" => args.no_sweep = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown option '{other}'")),

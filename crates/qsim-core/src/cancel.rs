@@ -1,0 +1,139 @@
+//! Cooperative cancellation for long-running simulations.
+//!
+//! A 30-qubit fused-gate pass streams gigabytes per kernel; a service
+//! cannot afford to preempt a thread mid-kernel, but it *can* stop
+//! between gate applications. [`CancelToken`] is the hook: the owner of a
+//! run (a job service worker, a timeout watchdog, a user's `cancel` RPC)
+//! holds one clone and flips it; the execution loops poll
+//! [`CancelToken::is_cancelled`] at gate-application and sweep-block
+//! boundaries and unwind cleanly, returning the state buffer to its pool.
+//!
+//! Tokens optionally carry a **deadline**: a token constructed with
+//! [`CancelToken::with_deadline`] reports itself cancelled once the
+//! deadline passes, with no watchdog thread required — the polling loop
+//! itself enforces the timeout at the same boundaries it checks explicit
+//! cancellation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a token reports itself cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// [`CancelToken::cancel`] was called (user/service request).
+    Requested,
+    /// The token's deadline passed.
+    DeadlineExceeded,
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable, thread-safe cancellation flag with an optional deadline.
+///
+/// Cheap to poll (one relaxed atomic load plus, when a deadline is set, a
+/// monotonic-clock read), cheap to clone (one `Arc` bump).
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        CancelToken { inner: Arc::new(Inner { cancelled: AtomicBool::new(false), deadline: None }) }
+    }
+
+    /// A token that additionally cancels itself once `timeout` has
+    /// elapsed from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + timeout),
+            }),
+        }
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether the run should stop at the next boundary.
+    pub fn is_cancelled(&self) -> bool {
+        self.cause().is_some()
+    }
+
+    /// Why the run should stop, or `None` to keep going. An explicit
+    /// [`CancelToken::cancel`] wins over a deadline that has also passed
+    /// (the requester acted first as far as anyone can observe).
+    pub fn cause(&self) -> Option<CancelCause> {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return Some(CancelCause::Requested);
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => Some(CancelCause::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
+    /// The token's deadline, if it has one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.cause(), None);
+        assert_eq!(t.deadline(), None);
+    }
+
+    #[test]
+    fn cancel_is_visible_to_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert_eq!(c.cause(), Some(CancelCause::Requested));
+    }
+
+    #[test]
+    fn expired_deadline_cancels() {
+        let t = CancelToken::with_deadline(Duration::from_secs(0));
+        assert!(t.is_cancelled());
+        assert_eq!(t.cause(), Some(CancelCause::DeadlineExceeded));
+    }
+
+    #[test]
+    fn future_deadline_stays_live_until_cancelled() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert_eq!(t.cause(), Some(CancelCause::Requested));
+    }
+
+    #[test]
+    fn explicit_cancel_wins_over_expired_deadline() {
+        let t = CancelToken::with_deadline(Duration::from_secs(0));
+        t.cancel();
+        assert_eq!(t.cause(), Some(CancelCause::Requested));
+    }
+}

@@ -35,6 +35,7 @@
 //!   [`diag::Severity`], [`diag::Span`]) shared by `Circuit::validate()`
 //!   and the `qsim-analyze` lint engine.
 
+pub mod cancel;
 pub mod density;
 pub mod diag;
 pub mod entropy;
@@ -48,6 +49,7 @@ pub mod statevec;
 pub mod sweep;
 pub mod types;
 
+pub use cancel::{CancelCause, CancelToken};
 pub use matrix::GateMatrix;
 pub use statevec::StateVector;
 pub use types::{Cplx, Float, Precision};

@@ -41,6 +41,35 @@ impl<F: Float> StateVector<F> {
         StateVector { num_qubits, amps }
     }
 
+    /// Build the `n`-qubit `|0…0⟩` state inside a recycled allocation —
+    /// the state-buffer-pool constructor: a warm 2^30-amplitude buffer
+    /// skips the multi-GiB allocate-and-fault of [`StateVector::new`] and
+    /// only pays the reinitialising sweep. `amps` must have exactly
+    /// `2^num_qubits` elements (pools are size-bucketed, so a wrong-sized
+    /// buffer is a caller bug).
+    pub fn from_recycled(num_qubits: usize, amps: Vec<Cplx<F>>) -> Self {
+        assert!(
+            (1..=MAX_QUBITS).contains(&num_qubits),
+            "num_qubits must be in 1..={MAX_QUBITS}, got {num_qubits}"
+        );
+        assert!(
+            amps.len() == 1usize << num_qubits,
+            "recycled buffer has {} amplitudes, want 2^{num_qubits}",
+            amps.len()
+        );
+        let mut sv = StateVector { num_qubits, amps };
+        sv.set_zero_state();
+        sv
+    }
+
+    /// Consume the state and return its amplitude buffer — the other half
+    /// of the recycling cycle: hand this to a buffer pool so the next
+    /// same-sized job reuses the allocation via
+    /// [`StateVector::from_recycled`].
+    pub fn into_amplitudes(self) -> Vec<Cplx<F>> {
+        self.amps
+    }
+
     /// Reset to `|0…0⟩` without reallocating.
     pub fn set_zero_state(&mut self) {
         for a in self.amps.iter_mut() {
@@ -198,6 +227,25 @@ mod tests {
     #[should_panic(expected = "num_qubits must be in")]
     fn zero_qubits_rejected() {
         let _ = StateVector::<f64>::new(0);
+    }
+
+    #[test]
+    fn recycling_reuses_the_allocation_and_reinitialises() {
+        let mut sv = StateVector::<f64>::new(4);
+        sv.set_uniform_state();
+        let buf = sv.into_amplitudes();
+        let addr = buf.as_ptr();
+        let recycled = StateVector::<f64>::from_recycled(4, buf);
+        assert_eq!(recycled.amplitudes().as_ptr(), addr, "must not reallocate");
+        assert_eq!(recycled.amplitude(0), Cplx::one());
+        assert!(recycled.amplitudes()[1..].iter().all(|&a| a == Cplx::zero()));
+    }
+
+    #[test]
+    #[should_panic(expected = "recycled buffer")]
+    fn recycling_rejects_wrong_size() {
+        let buf = StateVector::<f32>::new(3).into_amplitudes();
+        let _ = StateVector::<f32>::from_recycled(4, buf);
     }
 
     #[test]

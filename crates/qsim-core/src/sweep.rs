@@ -30,6 +30,7 @@ use std::sync::{Arc, Mutex};
 
 use rayon::prelude::*;
 
+use crate::cancel::{CancelCause, CancelToken};
 use crate::kernels::{self, GatePlan, PAR_GRAIN_AMPS};
 use crate::matrix::GateMatrix;
 use crate::simd::SimdPlan;
@@ -243,6 +244,27 @@ impl SweepExecutor {
         F: Float + 'g,
         I: IntoIterator<Item = (&'g [usize], &'g GateMatrix<F>)>,
     {
+        // Without a token the run cannot be interrupted.
+        let done = self.apply_run_cancellable(amps, gates, None);
+        debug_assert!(done.is_ok());
+    }
+
+    /// [`SweepExecutor::apply_run`] with a cooperative-cancellation hook:
+    /// the token is polled once per cache block before the run is applied
+    /// to it. On cancellation the remaining blocks are skipped and the
+    /// cause is returned — the state is then partially updated and only
+    /// good for recycling, which is exactly the service-shutdown /
+    /// job-timeout path this exists for.
+    pub fn apply_run_cancellable<'g, F, I>(
+        &self,
+        amps: &mut [Cplx<F>],
+        gates: I,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), CancelCause>
+    where
+        F: Float + 'g,
+        I: IntoIterator<Item = (&'g [usize], &'g GateMatrix<F>)>,
+    {
         assert!(amps.len().is_power_of_two() && amps.len() >= 2, "state length must be 2^n");
         let block = self.config.block_amps.min(amps.len());
         let block_qubits = block.trailing_zeros() as usize;
@@ -280,10 +302,17 @@ impl SweepExecutor {
             })
             .collect();
         if prepared.is_empty() {
-            return;
+            return Ok(());
         }
 
         let apply_block = |chunk: &mut [Cplx<F>]| {
+            // Poll once per cache block: a 2^16-amplitude block is a few
+            // hundred µs of work, so cancellation latency stays far below
+            // any deadline a service would set, and the check is one
+            // atomic load against a full block of arithmetic.
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return;
+            }
             for g in &prepared {
                 if let Some(sp) = &g.simd {
                     sp.apply_seq(chunk);
@@ -304,6 +333,10 @@ impl SweepExecutor {
             }
         } else {
             amps.par_chunks_mut(block).for_each(apply_block);
+        }
+        match cancel.and_then(CancelToken::cause) {
+            Some(cause) => Err(cause),
+            None => Ok(()),
         }
     }
 
@@ -410,6 +443,38 @@ mod tests {
 
     fn norm(sv: &StateVector<f64>) -> f64 {
         statespace::norm_sqr(sv)
+    }
+
+    #[test]
+    fn cancelled_run_stops_and_reports_cause() {
+        use crate::cancel::{CancelCause, CancelToken};
+
+        let n = 10;
+        // Gates on qubits 0..4 only: block-local to the 2^4-amplitude
+        // blocks below, so the whole set forms one run over 64 blocks.
+        let gates: Vec<(Vec<usize>, GateMatrix<f64>)> =
+            (0..4).map(|q| (vec![q], h_matrix())).collect();
+        let runs: Vec<(&[usize], &GateMatrix<f64>)> =
+            gates.iter().map(|(q, m)| (q.as_slice(), m)).collect();
+        let exec = SweepExecutor::new(SweepConfig::with_block_amps(1 << 4));
+
+        // A live token does not perturb the result.
+        let token = CancelToken::new();
+        let mut sv = StateVector::<f64>::new(n);
+        exec.apply_run_cancellable(sv.amplitudes_mut(), runs.iter().copied(), Some(&token))
+            .expect("live token must not cancel");
+        let reference = reference_state(n, &gates);
+        assert!(reference.max_abs_diff(&sv) < 1e-12);
+
+        // A pre-cancelled token skips every block and reports why.
+        token.cancel();
+        let mut sv = StateVector::<f64>::new(n);
+        let err = exec
+            .apply_run_cancellable(sv.amplitudes_mut(), runs.iter().copied(), Some(&token))
+            .unwrap_err();
+        assert_eq!(err, CancelCause::Requested);
+        // No block was touched: still |0…0⟩.
+        assert!((sv.amplitude(0).re - 1.0).abs() < 1e-15);
     }
 
     #[test]

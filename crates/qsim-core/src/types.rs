@@ -40,6 +40,20 @@ impl fmt::Display for Precision {
     }
 }
 
+/// Parse [`Precision::name`] back to the precision — shared by every CLI
+/// surface and the service wire protocol.
+impl std::str::FromStr for Precision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "single" => Ok(Precision::Single),
+            "double" => Ok(Precision::Double),
+            other => Err(format!("unknown precision '{other}' (expected single | double)")),
+        }
+    }
+}
+
 /// Floating-point scalar used for amplitudes.
 ///
 /// Every simulator algorithm in this workspace is generic over `Float` so a

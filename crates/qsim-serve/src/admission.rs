@@ -1,0 +1,222 @@
+//! Admission control: a global memory budget enforced at submit time.
+//!
+//! The budget is charged from qubit count × precision **before** a job is
+//! queued, so the service's answer to an over-committed moment is a typed
+//! rejection with a retry hint — backpressure — instead of a worker
+//! OOM-aborting mid-run with a 16 GiB allocation half-faulted.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::job::JobSpec;
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The job can never fit: its state alone exceeds the whole budget.
+    /// Retrying is pointless.
+    TooLarge {
+        /// State bytes the job needs.
+        requested_bytes: u64,
+        /// The service's total budget.
+        budget_bytes: u64,
+    },
+    /// The budget is currently committed to other jobs. Retry after the
+    /// hinted delay — backpressure, not failure.
+    Rejected {
+        /// State bytes the job needs.
+        requested_bytes: u64,
+        /// Budget bytes not currently reserved.
+        available_bytes: u64,
+        /// Suggested client back-off before resubmitting.
+        retry_after: Duration,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::TooLarge { requested_bytes, budget_bytes } => write!(
+                f,
+                "job needs {requested_bytes} B of state, over the service budget of {budget_bytes} B"
+            ),
+            AdmissionError::Rejected { requested_bytes, available_bytes, retry_after } => write!(
+                f,
+                "budget exhausted: job needs {requested_bytes} B, {available_bytes} B available; retry in {} ms",
+                retry_after.as_millis()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+#[derive(Debug)]
+struct Ledger {
+    budget_bytes: u64,
+    reserved_bytes: AtomicU64,
+}
+
+/// RAII hold on a slice of the budget. Dropping it — whether the job
+/// finished, failed, was cancelled or timed out — returns the bytes.
+#[derive(Debug)]
+pub struct Reservation {
+    bytes: u64,
+    ledger: Arc<Ledger>,
+}
+
+impl Reservation {
+    /// Bytes this reservation holds.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.ledger.reserved_bytes.fetch_sub(self.bytes, Ordering::AcqRel);
+    }
+}
+
+/// The gatekeeper: tracks reserved state bytes against a fixed budget.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    ledger: Arc<Ledger>,
+    /// Retry hint handed to rejected clients.
+    retry_after: Duration,
+}
+
+/// Default client back-off hint.
+pub const DEFAULT_RETRY_AFTER: Duration = Duration::from_millis(250);
+
+impl AdmissionController {
+    /// A controller over `budget_bytes` of state memory.
+    pub fn new(budget_bytes: u64) -> Self {
+        AdmissionController {
+            ledger: Arc::new(Ledger { budget_bytes, reserved_bytes: AtomicU64::new(0) }),
+            retry_after: DEFAULT_RETRY_AFTER,
+        }
+    }
+
+    /// Try to reserve the state bytes `spec` needs. On success the
+    /// returned [`Reservation`] holds the bytes until dropped.
+    pub fn try_admit(&self, spec: &JobSpec) -> Result<Reservation, AdmissionError> {
+        self.try_reserve(spec.state_bytes())
+    }
+
+    /// Try to reserve an explicit byte count.
+    pub fn try_reserve(&self, bytes: u64) -> Result<Reservation, AdmissionError> {
+        if bytes > self.ledger.budget_bytes {
+            return Err(AdmissionError::TooLarge {
+                requested_bytes: bytes,
+                budget_bytes: self.ledger.budget_bytes,
+            });
+        }
+        // Compare-and-swap loop: concurrent submitters must not jointly
+        // overshoot the budget between the read and the add.
+        let mut reserved = self.ledger.reserved_bytes.load(Ordering::Acquire);
+        loop {
+            if reserved + bytes > self.ledger.budget_bytes {
+                return Err(AdmissionError::Rejected {
+                    requested_bytes: bytes,
+                    available_bytes: self.ledger.budget_bytes - reserved,
+                    retry_after: self.retry_after,
+                });
+            }
+            match self.ledger.reserved_bytes.compare_exchange_weak(
+                reserved,
+                reserved + bytes,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    return Ok(Reservation { bytes, ledger: self.ledger.clone() });
+                }
+                Err(actual) => reserved = actual,
+            }
+        }
+    }
+
+    /// The fixed budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.ledger.budget_bytes
+    }
+
+    /// Bytes currently reserved by admitted, unfinished jobs.
+    pub fn reserved_bytes(&self) -> u64 {
+        self.ledger.reserved_bytes.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release_round_trip() {
+        let ctl = AdmissionController::new(1000);
+        let r = ctl.try_reserve(600).unwrap();
+        assert_eq!(r.bytes(), 600);
+        assert_eq!(ctl.reserved_bytes(), 600);
+        drop(r);
+        assert_eq!(ctl.reserved_bytes(), 0);
+    }
+
+    #[test]
+    fn over_budget_is_backpressure_not_failure() {
+        let ctl = AdmissionController::new(1000);
+        let _held = ctl.try_reserve(800).unwrap();
+        match ctl.try_reserve(300) {
+            Err(AdmissionError::Rejected {
+                requested_bytes: 300,
+                available_bytes: 200,
+                retry_after,
+            }) => {
+                assert!(retry_after > Duration::ZERO);
+            }
+            other => panic!("expected backpressure, got {other:?}"),
+        }
+        // The failed attempt must not leak a partial reservation.
+        assert_eq!(ctl.reserved_bytes(), 800);
+    }
+
+    #[test]
+    fn never_fits_is_a_permanent_rejection() {
+        let ctl = AdmissionController::new(1000);
+        assert!(matches!(
+            ctl.try_reserve(2000),
+            Err(AdmissionError::TooLarge { requested_bytes: 2000, budget_bytes: 1000 })
+        ));
+    }
+
+    #[test]
+    fn spec_admission_charges_state_bytes() {
+        let ctl = AdmissionController::new(16 << 20);
+        let spec = crate::job::JobSpec::new(qsim_circuit::library::ghz(20));
+        let r = ctl.try_admit(&spec).unwrap();
+        assert_eq!(r.bytes(), 8 << 20);
+    }
+
+    #[test]
+    fn concurrent_reservations_never_overshoot() {
+        let ctl = AdmissionController::new(100);
+        let barrier = std::sync::Barrier::new(16);
+        let admitted: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| {
+                    s.spawn(|| {
+                        let r = ctl.try_reserve(10).ok();
+                        // Hold every successful reservation until all 16
+                        // attempts have resolved, so at most 10 can win.
+                        barrier.wait();
+                        r.is_some()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| matches!(h.join(), Ok(true))).filter(|&won| won).count()
+        });
+        assert!(admitted <= 10, "budget overshot: {admitted} × 10 B admitted against 100 B");
+        assert_eq!(ctl.reserved_bytes(), 0, "all reservations must have released");
+    }
+}

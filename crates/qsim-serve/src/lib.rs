@@ -1,0 +1,49 @@
+//! # qsim-serve
+//!
+//! A long-lived, multi-tenant simulation job service over the modeled
+//! backends — the deployment shape the paper's single-shot `qsim_base`
+//! binary cannot provide. One process owns a fleet of worker threads and
+//! a pool of recycled state-vector buffers; clients submit circuits over
+//! a newline-delimited JSON protocol and poll for results.
+//!
+//! The subsystem is five cooperating parts (see DESIGN.md §"Service
+//! layer" for the diagram):
+//!
+//! - [`JobQueue`] — priority classes ([`Priority::High`] /
+//!   [`Priority::Normal`] / [`Priority::Batch`]), FIFO within a class,
+//!   condvar-blocked workers.
+//! - [`WorkerPool`] — `N` threads, each owning one
+//!   [`qsim_backends::SimBackend`] per flavor it has seen, draining the
+//!   queue until shutdown.
+//! - [`StateBufferPool`] — size-bucketed recycling of the multi-GiB
+//!   amplitude allocations; a warm 30-qubit buffer turns the dominant
+//!   per-job setup cost (allocate + fault 8–16 GiB) into a memset.
+//! - [`AdmissionController`] — a global memory budget computed from qubit
+//!   count × precision; an over-budget submission is **rejected with
+//!   backpressure** ([`AdmissionError`] carrying `retry_after`), it never
+//!   OOMs a worker.
+//! - the wire protocol ([`protocol`]) and TCP server ([`server`]) —
+//!   `submit`, `status`, `result`, `cancel`, `metrics`, `shutdown` verbs;
+//!   `result` returns the run's [`qsim_backends::RunReport`] JSON.
+//!
+//! Cancellation and deadlines ride on [`qsim_core::cancel::CancelToken`]:
+//! the backend polls the token at every gate-application (and sweep-block)
+//! boundary, and a cancelled or timed-out job releases its buffer back to
+//! the pool while its worker moves on to the next job.
+
+pub mod admission;
+pub mod job;
+pub mod pool;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod service;
+pub mod worker;
+
+pub use admission::{AdmissionController, AdmissionError, Reservation};
+pub use job::{JobId, JobSpec, JobState, Priority};
+pub use pool::{PoolStats, StateBufferPool};
+pub use queue::JobQueue;
+pub use server::{Server, ShutdownHandle};
+pub use service::{FinalState, JobStatus, Metrics, Service, ServiceConfig, SubmitError};
+pub use worker::WorkerPool;

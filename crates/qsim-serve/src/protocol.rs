@@ -1,0 +1,296 @@
+//! The wire protocol: newline-delimited JSON request/response.
+//!
+//! Every request is one JSON object on one line with a `verb` field;
+//! every response is one JSON object on one line with an `ok` field.
+//! The offline `serde` stand-in has no derive support, so requests are
+//! decoded by hand off [`serde_json::Value`] and responses are built
+//! with the `json!` macro — the protocol shapes live entirely in this
+//! file.
+//!
+//! Verbs:
+//!
+//! | verb | request fields | success payload |
+//! |---|---|---|
+//! | `submit` | `circuit` (qsim text), `backend?`, `precision?`, `strategy?`, `max_fused?`, `seed?`, `sample_count?`, `priority?`, `timeout_ms?` | `id` |
+//! | `status` | `id` | `state`, `priority`, `flavor`, `num_qubits`, `error?` |
+//! | `result` | `id` | `report` (the run's [`RunReport`] JSON) |
+//! | `cancel` | `id` | `cancelled` |
+//! | `metrics` | — | `metrics` |
+//! | `shutdown` | — | `shutting_down` (server drains and exits) |
+//!
+//! A rejected `submit` carries backpressure hints: `retry_after_ms` when
+//! the budget is momentarily exhausted, `too_large: true` when the job
+//! can never fit.
+//!
+//! [`RunReport`]: qsim_backends::RunReport
+
+use std::time::Duration;
+
+use qsim_circuit::parser::parse_circuit;
+use serde_json::{json, Value};
+
+use crate::admission::AdmissionError;
+use crate::job::{JobId, JobSpec};
+use crate::service::{Service, SubmitError};
+
+/// Outcome of one request line: the response document, plus whether the
+/// server should begin shutting down after sending it.
+#[derive(Debug)]
+pub struct Handled {
+    /// The response to write back, one line.
+    pub response: Value,
+    /// `true` only for an accepted `shutdown` verb.
+    pub shutdown: bool,
+}
+
+fn ok(payload: Value) -> Handled {
+    Handled { response: payload, shutdown: false }
+}
+
+fn err(message: impl std::fmt::Display) -> Handled {
+    Handled { response: json!({ "ok": false, "error": (message.to_string()) }), shutdown: false }
+}
+
+/// Decode, dispatch and execute one request line against the service.
+pub fn handle_line(service: &Service, line: &str) -> Handled {
+    let request: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => return err(format!("bad request JSON: {e}")),
+    };
+    let Some(verb) = request.get("verb").and_then(Value::as_str) else {
+        return err("request needs a string 'verb' field");
+    };
+    match verb {
+        "submit" => handle_submit(service, &request),
+        "status" => with_id(&request, |id| match service.status(id) {
+            Some(status) => ok(json!({
+                "ok": true,
+                "id": (status.id.0),
+                "state": (status.state.label()),
+                "priority": (status.priority.label()),
+                "backend": (status.flavor.label()),
+                "num_qubits": (status.num_qubits),
+                "error": (status.error),
+            })),
+            None => err(format!("unknown job id {}", id.0)),
+        }),
+        "result" => with_id(&request, |id| match service.status(id) {
+            None => err(format!("unknown job id {}", id.0)),
+            Some(status) => match service.report(id) {
+                Some(report) => ok(json!({
+                    "ok": true,
+                    "id": (id.0),
+                    "report": (report.to_json()),
+                })),
+                None => Handled {
+                    response: json!({
+                        "ok": false,
+                        "error": (format!("job {} has no result (state: {})", id.0, status.state.label())),
+                        "state": (status.state.label()),
+                    }),
+                    shutdown: false,
+                },
+            },
+        }),
+        "cancel" => with_id(&request, |id| {
+            ok(json!({ "ok": true, "id": (id.0), "cancelled": (service.cancel(id)) }))
+        }),
+        "metrics" => ok(json!({ "ok": true, "metrics": (service.metrics().to_json()) })),
+        "shutdown" => {
+            Handled { response: json!({ "ok": true, "shutting_down": true }), shutdown: true }
+        }
+        other => err(format!("unknown verb '{other}'")),
+    }
+}
+
+fn with_id(request: &Value, f: impl FnOnce(JobId) -> Handled) -> Handled {
+    match request.get("id").and_then(Value::as_u64) {
+        Some(id) => f(JobId(id)),
+        None => err("request needs an integer 'id' field"),
+    }
+}
+
+fn handle_submit(service: &Service, request: &Value) -> Handled {
+    let spec = match decode_spec(request) {
+        Ok(spec) => spec,
+        Err(message) => return err(message),
+    };
+    match service.submit(spec) {
+        Ok(id) => ok(json!({ "ok": true, "id": (id.0) })),
+        Err(SubmitError::Rejected(AdmissionError::Rejected {
+            retry_after,
+            requested_bytes,
+            available_bytes,
+        })) => Handled {
+            response: json!({
+                "ok": false,
+                "error": (SubmitError::Rejected(AdmissionError::Rejected {
+                    retry_after,
+                    requested_bytes,
+                    available_bytes,
+                })
+                .to_string()),
+                "rejected": true,
+                "retry_after_ms": (retry_after.as_millis() as u64),
+            }),
+            shutdown: false,
+        },
+        Err(SubmitError::Rejected(e @ AdmissionError::TooLarge { .. })) => Handled {
+            response: json!({ "ok": false, "error": (e.to_string()), "too_large": true }),
+            shutdown: false,
+        },
+        Err(e) => err(e),
+    }
+}
+
+/// Decode a `submit` request body into a [`JobSpec`].
+fn decode_spec(request: &Value) -> Result<JobSpec, String> {
+    let Some(text) = request.get("circuit").and_then(Value::as_str) else {
+        return Err("submit needs a string 'circuit' field (qsim text format)".into());
+    };
+    let circuit = parse_circuit(text).map_err(|e| format!("circuit parse error: {e}"))?;
+    let mut spec = JobSpec::new(circuit);
+    if let Some(backend) = request.get("backend").and_then(Value::as_str) {
+        spec.flavor = backend.parse()?;
+    }
+    if let Some(precision) = request.get("precision").and_then(Value::as_str) {
+        spec.precision = precision.parse()?;
+    }
+    if let Some(strategy) = request.get("strategy").and_then(Value::as_str) {
+        spec.strategy = strategy.parse()?;
+    }
+    if let Some(max_fused) = request.get("max_fused").and_then(Value::as_u64) {
+        // Range-validated by Service::submit against MAX_GATE_QUBITS.
+        spec.max_fused = max_fused as usize;
+    }
+    if let Some(seed) = request.get("seed").and_then(Value::as_u64) {
+        spec.seed = seed;
+    }
+    if let Some(samples) = request.get("sample_count").and_then(Value::as_u64) {
+        spec.sample_count = samples as usize;
+    }
+    if let Some(priority) = request.get("priority").and_then(Value::as_str) {
+        spec.priority = priority.parse()?;
+    }
+    if let Some(timeout_ms) = request.get("timeout_ms").and_then(Value::as_u64) {
+        spec.timeout = Some(Duration::from_millis(timeout_ms));
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobState;
+    use crate::service::ServiceConfig;
+
+    fn bell_text() -> String {
+        qsim_circuit::parser::write_circuit(&qsim_circuit::library::bell())
+    }
+
+    fn small_service() -> Service {
+        Service::start(ServiceConfig {
+            workers: 2,
+            memory_budget_bytes: 1 << 20,
+            ..ServiceConfig::default()
+        })
+    }
+
+    fn submit_line(service: &Service, line: &str) -> Value {
+        handle_line(service, line).response
+    }
+
+    #[test]
+    fn submit_status_result_round_trip() {
+        let service = small_service();
+        let req = serde_json::to_string(&json!({
+            "verb": "submit",
+            "circuit": (bell_text()),
+            "backend": "hip",
+            "precision": "double",
+            "seed": 7,
+        }))
+        .unwrap();
+        let resp = submit_line(&service, &req);
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true), "{resp:?}");
+        let id = resp.get("id").and_then(Value::as_u64).unwrap();
+
+        service.wait(JobId(id), std::time::Duration::from_secs(10));
+        let status = submit_line(&service, &format!(r#"{{"verb":"status","id":{id}}}"#));
+        assert_eq!(status.get("state").and_then(Value::as_str), Some("done"), "{status:?}");
+        assert_eq!(status.get("backend").and_then(Value::as_str), Some("hip"));
+
+        let result = submit_line(&service, &format!(r#"{{"verb":"result","id":{id}}}"#));
+        assert_eq!(result.get("ok").and_then(Value::as_bool), Some(true));
+        let report = result.get("report").unwrap();
+        assert_eq!(report.get("qubits").and_then(Value::as_u64), Some(2));
+        assert_eq!(report.get("backend").and_then(Value::as_str), Some("hip"));
+        assert_eq!(report.get("precision").and_then(Value::as_str), Some("double"));
+    }
+
+    #[test]
+    fn malformed_requests_get_typed_errors() {
+        let service = small_service();
+        for (line, needle) in [
+            ("not json", "bad request JSON"),
+            (r#"{"id":1}"#, "verb"),
+            (r#"{"verb":"warp"}"#, "unknown verb"),
+            (r#"{"verb":"status"}"#, "'id'"),
+            (r#"{"verb":"status","id":999}"#, "unknown job id"),
+            (r#"{"verb":"submit"}"#, "'circuit'"),
+            (r#"{"verb":"submit","circuit":"2\nbroken"}"#, "parse error"),
+        ] {
+            let resp = submit_line(&service, line);
+            assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(false), "{line}");
+            let error = resp.get("error").and_then(Value::as_str).unwrap();
+            assert!(error.contains(needle), "{line}: {error}");
+        }
+    }
+
+    #[test]
+    fn oversized_submit_reports_too_large() {
+        let service = small_service(); // 1 MiB budget
+        let circuit = qsim_circuit::parser::write_circuit(&qsim_circuit::library::ghz(24));
+        let req = serde_json::to_string(&json!({
+            "verb": "submit", "circuit": (circuit),
+        }))
+        .unwrap();
+        let resp = submit_line(&service, &req);
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(resp.get("too_large").and_then(Value::as_bool), Some(true), "{resp:?}");
+    }
+
+    #[test]
+    fn cancel_and_result_of_unfinished_job() {
+        let service = small_service();
+        let req = serde_json::to_string(&json!({
+            "verb": "submit",
+            "circuit": (bell_text()),
+            // Expired before any worker can start it.
+            "timeout_ms": 0,
+            "priority": "batch",
+        }))
+        .unwrap();
+        let resp = submit_line(&service, &req);
+        let id = resp.get("id").and_then(Value::as_u64).unwrap();
+        let status = service.wait(JobId(id), std::time::Duration::from_secs(10)).unwrap();
+        assert_eq!(status.state, JobState::TimedOut);
+        let result = submit_line(&service, &format!(r#"{{"verb":"result","id":{id}}}"#));
+        assert_eq!(result.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(result.get("state").and_then(Value::as_str), Some("timed_out"));
+    }
+
+    #[test]
+    fn metrics_and_shutdown_verbs() {
+        let service = small_service();
+        let metrics = handle_line(&service, r#"{"verb":"metrics"}"#);
+        assert!(!metrics.shutdown);
+        let m = metrics.response.get("metrics").unwrap();
+        assert_eq!(m.get("accepting").and_then(Value::as_bool), Some(true));
+        assert!(m.get("buffer_pool").is_some());
+
+        let bye = handle_line(&service, r#"{"verb":"shutdown"}"#);
+        assert!(bye.shutdown);
+        assert_eq!(bye.response.get("ok").and_then(Value::as_bool), Some(true));
+    }
+}

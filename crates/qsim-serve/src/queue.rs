@@ -1,0 +1,156 @@
+//! The job queue: priority classes, FIFO within a class, blocking pop.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` (the offline `parking_lot`
+//! stand-in exposes no condvar). Workers block in [`JobQueue::pop`];
+//! [`JobQueue::close`] wakes them all, after which `pop` drains whatever
+//! is still queued and then returns `None` — that drain is what makes
+//! service shutdown graceful rather than lossy.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use qsim_core::cancel::CancelToken;
+
+use crate::job::{JobId, JobSpec};
+
+/// One queued unit of work: the spec plus the cancel token the service
+/// registry shares, so a job cancelled while still queued is observed by
+/// the worker before it runs a single gate.
+#[derive(Debug)]
+pub struct QueuedJob {
+    /// Registry handle.
+    pub id: JobId,
+    /// What to run.
+    pub spec: JobSpec,
+    /// Shared with the registry's record; may fire while queued.
+    pub cancel: CancelToken,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    classes: [VecDeque<QueuedJob>; 3],
+    closed: bool,
+}
+
+impl Inner {
+    fn len(&self) -> usize {
+        self.classes.iter().map(VecDeque::len).sum()
+    }
+
+    fn pop_next(&mut self) -> Option<QueuedJob> {
+        self.classes.iter_mut().find_map(VecDeque::pop_front)
+    }
+}
+
+/// A multi-class FIFO job queue shared between the submitting front-end
+/// and the worker pool.
+#[derive(Debug, Default)]
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    available: Condvar,
+}
+
+impl JobQueue {
+    /// An open, empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a job in its priority class. Returns the job back if the
+    /// queue has been closed (service shutting down).
+    pub fn push(&self, job: QueuedJob) -> Result<(), QueuedJob> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.closed {
+            return Err(job);
+        }
+        inner.classes[job.spec.priority.index()].push_back(job);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Block until a job is available (highest priority class first,
+    /// FIFO within a class) or the queue is closed **and** drained, in
+    /// which case `None` tells the worker to exit.
+    pub fn pop(&self) -> Option<QueuedJob> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = inner.pop_next() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Close the queue: no further [`JobQueue::push`] succeeds, every
+    /// blocked worker wakes, and already-queued jobs keep draining.
+    pub fn close(&self) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.available.notify_all();
+    }
+
+    /// Jobs currently queued across all classes.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Priority;
+    use qsim_circuit::library;
+    use std::sync::Arc;
+
+    fn job(id: u64, priority: Priority) -> QueuedJob {
+        let mut spec = JobSpec::new(library::bell());
+        spec.priority = priority;
+        QueuedJob { id: JobId(id), spec, cancel: CancelToken::new() }
+    }
+
+    #[test]
+    fn priority_beats_fifo_and_fifo_holds_within_class() {
+        let q = JobQueue::new();
+        q.push(job(1, Priority::Batch)).unwrap();
+        q.push(job(2, Priority::Normal)).unwrap();
+        q.push(job(3, Priority::High)).unwrap();
+        q.push(job(4, Priority::Normal)).unwrap();
+        let order: Vec<u64> = (0..4).map(|_| q.pop().unwrap().id.0).collect();
+        assert_eq!(order, [3, 2, 4, 1]);
+    }
+
+    #[test]
+    fn close_rejects_new_and_drains_old() {
+        let q = JobQueue::new();
+        q.push(job(1, Priority::Normal)).unwrap();
+        q.close();
+        assert!(q.push(job(2, Priority::Normal)).is_err(), "closed queue must reject");
+        assert_eq!(q.pop().unwrap().id.0, 1, "closed queue must still drain");
+        assert!(q.pop().is_none(), "drained closed queue returns None");
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push_and_on_close() {
+        let q = Arc::new(JobQueue::new());
+
+        let qp = q.clone();
+        let popper = std::thread::spawn(move || qp.pop().map(|j| j.id.0));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(job(7, Priority::High)).unwrap();
+        assert_eq!(popper.join().unwrap(), Some(7));
+
+        let qp = q.clone();
+        let popper = std::thread::spawn(move || qp.pop().map(|j| j.id.0));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(popper.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,182 @@
+//! The TCP front end: newline-delimited JSON over a listening socket.
+//!
+//! One thread per connection reads request lines, dispatches them through
+//! [`crate::protocol::handle_line`] and writes one response line each. A
+//! `shutdown` verb flips the accept loop's stop flag; the loop then stops
+//! accepting, and [`Server::serve`] drains the service — in-flight jobs
+//! finish, new submissions are rejected — before returning.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::protocol::handle_line;
+use crate::service::Service;
+
+/// A listening qsim-serve endpoint bound to a local address.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port) over `service`.
+    pub fn bind(addr: &str, service: Arc<Service>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server { listener, service, stop: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// The bound address — report this to clients when using port 0.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes the accept loop exit from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle { stop: self.stop.clone(), addr: self.listener.local_addr().ok() }
+    }
+
+    /// Accept connections until a `shutdown` verb (or
+    /// [`ShutdownHandle::shutdown`]) stops the loop, then drain the
+    /// service: workers finish queued jobs, new submissions are refused.
+    pub fn serve(self) -> std::io::Result<()> {
+        let mut connections = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                // Transient accept errors (e.g. a client vanishing inside
+                // the handshake) must not take the service down.
+                Err(_) => continue,
+            };
+            let service = self.service.clone();
+            let stop = self.stop.clone();
+            let addr = self.listener.local_addr()?;
+            let handle = std::thread::Builder::new()
+                .name("qsim-serve-conn".into())
+                .spawn(move || serve_connection(stream, &service, &stop, addr))?;
+            connections.push(handle);
+            // Reap finished connection threads so a long-lived server does
+            // not accumulate handles.
+            connections.retain(|h| !h.is_finished());
+        }
+        for handle in connections {
+            let _ = handle.join();
+        }
+        self.service.shutdown();
+        Ok(())
+    }
+}
+
+/// Remote stop control for a running [`Server::serve`] loop.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    stop: Arc<AtomicBool>,
+    addr: Option<SocketAddr>,
+}
+
+impl ShutdownHandle {
+    /// Stop the accept loop. Safe to call more than once.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        // The accept loop blocks in `incoming()`; poke it awake with a
+        // throwaway connection so it observes the flag.
+        if let Some(addr) = self.addr {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    service: &Service,
+    stop: &Arc<AtomicBool>,
+    listen_addr: SocketAddr,
+) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let handled = handle_line(service, &line);
+        // Responses are built from `json!` literals; serialization cannot
+        // fail, but the stub API still returns Result.
+        let Ok(mut response) = serde_json::to_string(&handled.response) else { return };
+        response.push('\n');
+        if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if handled.shutdown {
+            stop.store(true, Ordering::Release);
+            let _ = TcpStream::connect(listen_addr);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use serde_json::Value;
+
+    fn request(stream: &mut TcpStream, line: &str) -> Value {
+        let mut framed = line.to_string();
+        framed.push('\n');
+        stream.write_all(framed.as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        serde_json::from_str(&response).unwrap()
+    }
+
+    #[test]
+    fn tcp_round_trip_and_graceful_shutdown() {
+        let service =
+            Arc::new(Service::start(ServiceConfig { workers: 2, ..ServiceConfig::default() }));
+        let server = Server::bind("127.0.0.1:0", service.clone()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let serve_thread = std::thread::spawn(move || server.serve());
+
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let circuit = qsim_circuit::parser::write_circuit(&qsim_circuit::library::bell());
+        let submit = serde_json::to_string(&serde_json::json!({
+            "verb": "submit", "circuit": (circuit),
+        }))
+        .unwrap();
+        let resp = request(&mut conn, &submit);
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true), "{resp:?}");
+        let id = resp.get("id").and_then(Value::as_u64).unwrap();
+
+        service.wait(crate::job::JobId(id), std::time::Duration::from_secs(10));
+        let result = request(&mut conn, &format!(r#"{{"verb":"result","id":{id}}}"#));
+        assert_eq!(result.get("ok").and_then(Value::as_bool), Some(true), "{result:?}");
+        assert!(result.get("report").is_some());
+
+        let bye = request(&mut conn, r#"{"verb":"shutdown"}"#);
+        assert_eq!(bye.get("shutting_down").and_then(Value::as_bool), Some(true));
+        serve_thread.join().unwrap().unwrap();
+        assert!(!service.metrics().accepting, "drained service rejects new work");
+    }
+
+    #[test]
+    fn shutdown_handle_stops_an_idle_server() {
+        let service =
+            Arc::new(Service::start(ServiceConfig { workers: 1, ..ServiceConfig::default() }));
+        let server = Server::bind("127.0.0.1:0", service).unwrap();
+        let handle = server.shutdown_handle();
+        let serve_thread = std::thread::spawn(move || server.serve());
+        handle.shutdown();
+        serve_thread.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,486 @@
+//! The service: job registry, admission, lifecycle accounting, metrics.
+//!
+//! [`Service::start`] wires the queue, buffer pool, admission controller
+//! and worker pool together; everything else is bookkeeping around the
+//! job registry. The registry is the single source of truth for job
+//! state — the queue only carries work, the workers only execute it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use qsim_backends::{Flavor, RunReport};
+use qsim_core::cancel::{CancelCause, CancelToken};
+use qsim_core::kernels::MAX_GATE_QUBITS;
+use qsim_core::types::Cplx;
+use serde_json::json;
+
+use crate::admission::{AdmissionController, AdmissionError, Reservation};
+use crate::job::{JobId, JobSpec, JobState, Priority};
+use crate::pool::{PoolStats, StateBufferPool};
+use crate::queue::{JobQueue, QueuedJob};
+use crate::worker::WorkerPool;
+
+/// Service construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Global state-memory budget enforced by admission control, bytes.
+    pub memory_budget_bytes: u64,
+    /// Cap on parked buffers per `(precision, length)` pool bucket.
+    pub pool_max_per_bucket: usize,
+}
+
+impl Default for ServiceConfig {
+    /// 4 workers against a 16 GiB budget — enough for two 30-qubit
+    /// single-precision tenants side by side.
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            memory_budget_bytes: 16 << 30,
+            pool_max_per_bucket: crate::pool::DEFAULT_MAX_PER_BUCKET,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// Admission control said no (see [`AdmissionError`] for whether a
+    /// retry can help).
+    Rejected(AdmissionError),
+    /// The service is draining for shutdown; no new work is accepted.
+    ShuttingDown,
+    /// The spec is malformed (bad qubit count, bad fusion width, …).
+    Invalid(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Rejected(e) => write!(f, "{e}"),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+            SubmitError::Invalid(m) => write!(f, "invalid job: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A point-in-time view of one job, as the `status` verb reports it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// The job.
+    pub id: JobId,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Scheduling class it was submitted under.
+    pub priority: Priority,
+    /// Backend flavor it runs on.
+    pub flavor: Flavor,
+    /// Circuit width.
+    pub num_qubits: usize,
+    /// Error text for `Failed` jobs.
+    pub error: Option<String>,
+}
+
+/// A retained final state vector, kept only when the job was submitted
+/// with [`JobSpec::keep_state`] and fetched once via
+/// [`Service::take_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FinalState {
+    /// Single-precision amplitudes.
+    F32(Vec<Cplx<f32>>),
+    /// Double-precision amplitudes.
+    F64(Vec<Cplx<f64>>),
+}
+
+/// What a worker concluded about one job.
+#[derive(Debug)]
+pub(crate) enum JobOutcome {
+    /// Completed; report attached, plus the final state when the spec
+    /// asked for it to be kept.
+    Done(Box<RunReport>, Option<FinalState>),
+    /// The cancel token fired (explicitly or by deadline).
+    Cancelled(CancelCause),
+    /// The backend errored.
+    Failed(String),
+}
+
+#[derive(Debug)]
+struct JobRecord {
+    state: JobState,
+    priority: Priority,
+    flavor: Flavor,
+    num_qubits: usize,
+    cancel: CancelToken,
+    report: Option<Box<RunReport>>,
+    state_vector: Option<FinalState>,
+    error: Option<String>,
+    /// Budget hold, released (dropped) when the job reaches a terminal
+    /// state.
+    reservation: Option<Reservation>,
+}
+
+/// Running totals the `metrics` verb aggregates over finished jobs.
+#[derive(Debug, Default, Clone, Copy)]
+struct Aggregates {
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    timed_out: u64,
+    total_wall_seconds: f64,
+    total_setup_seconds: f64,
+    cold_setup_seconds: f64,
+    cold_runs: u64,
+    warm_setup_seconds: f64,
+    warm_runs: u64,
+    max_peak_state_bytes: u64,
+}
+
+/// Snapshot of the service's counters, the payload of the `metrics` verb.
+#[derive(Debug, Clone, Copy)]
+pub struct Metrics {
+    /// Worker threads.
+    pub workers: usize,
+    /// Whether submissions are currently accepted.
+    pub accepting: bool,
+    /// Jobs waiting in the queue.
+    pub queue_depth: usize,
+    /// Jobs accepted since start.
+    pub submitted: u64,
+    /// Submissions refused by admission control since start.
+    pub rejected: u64,
+    /// Jobs currently executing.
+    pub running: u64,
+    /// Jobs that finished successfully.
+    pub completed: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Jobs cancelled by request.
+    pub cancelled: u64,
+    /// Jobs cancelled by deadline.
+    pub timed_out: u64,
+    /// Buffer-pool counters.
+    pub pool: PoolStats,
+    /// Admission budget, bytes.
+    pub budget_bytes: u64,
+    /// Bytes reserved by admitted unfinished jobs.
+    pub reserved_bytes: u64,
+    /// Sum of finished jobs' wall-clock seconds.
+    pub total_wall_seconds: f64,
+    /// Sum of finished jobs' setup seconds (buffer acquisition + init).
+    pub total_setup_seconds: f64,
+    /// Mean setup seconds over runs that allocated fresh buffers.
+    pub cold_setup_seconds_avg: f64,
+    /// Mean setup seconds over runs that adopted a pooled buffer.
+    pub warm_setup_seconds_avg: f64,
+    /// Finished runs that adopted a pooled buffer.
+    pub buffer_reuses: u64,
+    /// Largest per-job peak device memory seen, bytes.
+    pub max_peak_state_bytes: u64,
+}
+
+impl Metrics {
+    /// The metrics as the JSON object the wire protocol returns.
+    pub fn to_json(&self) -> serde_json::Value {
+        json!({
+            "workers": (self.workers),
+            "accepting": (self.accepting),
+            "queue_depth": (self.queue_depth),
+            "jobs": {
+                "submitted": (self.submitted),
+                "rejected": (self.rejected),
+                "running": (self.running),
+                "completed": (self.completed),
+                "failed": (self.failed),
+                "cancelled": (self.cancelled),
+                "timed_out": (self.timed_out),
+            },
+            "buffer_pool": {
+                "hits": (self.pool.hits),
+                "misses": (self.pool.misses),
+                "hit_rate": (self.pool.hit_rate()),
+                "pooled_buffers": (self.pool.pooled_buffers),
+                "pooled_bytes": (self.pool.pooled_bytes),
+            },
+            "admission": {
+                "budget_bytes": (self.budget_bytes),
+                "reserved_bytes": (self.reserved_bytes),
+            },
+            "timing": {
+                "total_wall_seconds": (self.total_wall_seconds),
+                "total_setup_seconds": (self.total_setup_seconds),
+                "cold_setup_seconds_avg": (self.cold_setup_seconds_avg),
+                "warm_setup_seconds_avg": (self.warm_setup_seconds_avg),
+                "buffer_reuses": (self.buffer_reuses),
+                "max_peak_state_bytes": (self.max_peak_state_bytes),
+            },
+        })
+    }
+}
+
+/// Shared state behind the service handle; workers hold an `Arc` of it.
+#[derive(Debug)]
+pub(crate) struct ServiceInner {
+    pub(crate) queue: JobQueue,
+    pub(crate) pool: StateBufferPool,
+    admission: AdmissionController,
+    registry: Mutex<HashMap<JobId, JobRecord>>,
+    aggregates: Mutex<Aggregates>,
+    next_id: AtomicU64,
+    accepting: AtomicBool,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    running: AtomicU64,
+}
+
+impl ServiceInner {
+    /// Transition a job to `Running` unless it is already terminal
+    /// (e.g. cancelled while queued). Returns whether it may run.
+    pub(crate) fn mark_running(&self, id: JobId) -> bool {
+        let mut registry = self.registry.lock();
+        match registry.get_mut(&id) {
+            Some(record) if record.state == JobState::Queued => {
+                record.state = JobState::Running;
+                self.running.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Record a worker's verdict: set the terminal state, stash the
+    /// report or error, release the admission reservation, fold the
+    /// run's timings into the aggregates.
+    pub(crate) fn finish(&self, id: JobId, outcome: JobOutcome) {
+        let mut registry = self.registry.lock();
+        let Some(record) = registry.get_mut(&id) else { return };
+        if record.state == JobState::Running {
+            self.running.fetch_sub(1, Ordering::Relaxed);
+        }
+        let mut agg = self.aggregates.lock();
+        match outcome {
+            JobOutcome::Done(report, state_vector) => {
+                record.state = JobState::Done;
+                agg.completed += 1;
+                agg.total_wall_seconds += report.wall_seconds;
+                agg.total_setup_seconds += report.setup_seconds;
+                if report.buffer_reused {
+                    agg.warm_runs += 1;
+                    agg.warm_setup_seconds += report.setup_seconds;
+                } else {
+                    agg.cold_runs += 1;
+                    agg.cold_setup_seconds += report.setup_seconds;
+                }
+                agg.max_peak_state_bytes = agg.max_peak_state_bytes.max(report.peak_state_bytes);
+                record.report = Some(report);
+                record.state_vector = state_vector;
+            }
+            JobOutcome::Cancelled(CancelCause::Requested) => {
+                record.state = JobState::Cancelled;
+                agg.cancelled += 1;
+            }
+            JobOutcome::Cancelled(CancelCause::DeadlineExceeded) => {
+                record.state = JobState::TimedOut;
+                agg.timed_out += 1;
+            }
+            JobOutcome::Failed(message) => {
+                record.state = JobState::Failed;
+                record.error = Some(message);
+                agg.failed += 1;
+            }
+        }
+        record.reservation = None;
+    }
+}
+
+/// The job service: owns the worker pool and exposes the verb surface
+/// the wire protocol (and in-process embedders) call.
+#[derive(Debug)]
+pub struct Service {
+    inner: Arc<ServiceInner>,
+    workers: Mutex<Option<WorkerPool>>,
+    config: ServiceConfig,
+}
+
+impl Service {
+    /// Start the service: spawn the worker pool and begin accepting jobs.
+    pub fn start(config: ServiceConfig) -> Service {
+        let inner = Arc::new(ServiceInner {
+            queue: JobQueue::new(),
+            pool: StateBufferPool::with_max_per_bucket(config.pool_max_per_bucket),
+            admission: AdmissionController::new(config.memory_budget_bytes),
+            registry: Mutex::new(HashMap::new()),
+            aggregates: Mutex::new(Aggregates::default()),
+            next_id: AtomicU64::new(1),
+            accepting: AtomicBool::new(true),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            running: AtomicU64::new(0),
+        });
+        let workers = WorkerPool::spawn(config.workers.max(1), inner.clone());
+        Service { inner, workers: Mutex::new(Some(workers)), config }
+    }
+
+    /// Submit a job. On success the job is queued and its [`JobId`]
+    /// returned; poll [`Service::status`] until terminal.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        if !self.inner.accepting.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let n = spec.circuit.num_qubits;
+        if n == 0 || n > qsim_core::statevec::MAX_QUBITS {
+            return Err(SubmitError::Invalid(format!("unsupported qubit count {n}")));
+        }
+        if !(1..=MAX_GATE_QUBITS).contains(&spec.max_fused) {
+            return Err(SubmitError::Invalid(format!(
+                "max_fused must be in 1..={MAX_GATE_QUBITS}, got {}",
+                spec.max_fused
+            )));
+        }
+        let reservation = match self.inner.admission.try_admit(&spec) {
+            Ok(r) => r,
+            Err(e) => {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Rejected(e));
+            }
+        };
+
+        let id = JobId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
+        let cancel = match spec.timeout {
+            Some(timeout) => CancelToken::with_deadline(timeout),
+            None => CancelToken::new(),
+        };
+        self.inner.registry.lock().insert(
+            id,
+            JobRecord {
+                state: JobState::Queued,
+                priority: spec.priority,
+                flavor: spec.flavor,
+                num_qubits: n,
+                cancel: cancel.clone(),
+                report: None,
+                state_vector: None,
+                error: None,
+                reservation: Some(reservation),
+            },
+        );
+        if self.inner.queue.push(QueuedJob { id, spec, cancel }).is_err() {
+            // Shutdown raced the submission; undo the registration.
+            self.inner.registry.lock().remove(&id);
+            return Err(SubmitError::ShuttingDown);
+        }
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// Current state of a job, or `None` for an unknown id.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        let registry = self.inner.registry.lock();
+        registry.get(&id).map(|r| JobStatus {
+            id,
+            state: r.state,
+            priority: r.priority,
+            flavor: r.flavor,
+            num_qubits: r.num_qubits,
+            error: r.error.clone(),
+        })
+    }
+
+    /// The run report of a `Done` job, or `None` while it is still in
+    /// flight (or for an unknown id / non-`Done` terminal state).
+    pub fn report(&self, id: JobId) -> Option<RunReport> {
+        let registry = self.inner.registry.lock();
+        registry.get(&id).and_then(|r| r.report.as_deref().cloned())
+    }
+
+    /// Take the retained final state of a `Done` job that was submitted
+    /// with [`JobSpec::keep_state`]. The state is moved out: a second call
+    /// returns `None`.
+    ///
+    /// [`JobSpec::keep_state`]: crate::job::JobSpec::keep_state
+    pub fn take_state(&self, id: JobId) -> Option<FinalState> {
+        self.inner.registry.lock().get_mut(&id).and_then(|r| r.state_vector.take())
+    }
+
+    /// Request cancellation. Returns `false` for unknown ids and jobs
+    /// already in a terminal state; `true` means the token fired and the
+    /// job will unwind at its next gate boundary (or never start).
+    pub fn cancel(&self, id: JobId) -> bool {
+        let registry = self.inner.registry.lock();
+        match registry.get(&id) {
+            Some(record) if !record.state.is_terminal() => {
+                record.cancel.cancel();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Counter snapshot for the `metrics` verb.
+    pub fn metrics(&self) -> Metrics {
+        let agg = *self.inner.aggregates.lock();
+        Metrics {
+            workers: self.config.workers.max(1),
+            accepting: self.inner.accepting.load(Ordering::Acquire),
+            queue_depth: self.inner.queue.len(),
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            running: self.inner.running.load(Ordering::Relaxed),
+            completed: agg.completed,
+            failed: agg.failed,
+            cancelled: agg.cancelled,
+            timed_out: agg.timed_out,
+            pool: self.inner.pool.stats(),
+            budget_bytes: self.inner.admission.budget_bytes(),
+            reserved_bytes: self.inner.admission.reserved_bytes(),
+            total_wall_seconds: agg.total_wall_seconds,
+            total_setup_seconds: agg.total_setup_seconds,
+            cold_setup_seconds_avg: mean(agg.cold_setup_seconds, agg.cold_runs),
+            warm_setup_seconds_avg: mean(agg.warm_setup_seconds, agg.warm_runs),
+            buffer_reuses: agg.warm_runs,
+            max_peak_state_bytes: agg.max_peak_state_bytes,
+        }
+    }
+
+    /// Poll a job until it reaches a terminal state or `timeout` passes.
+    /// Returns the final (or last observed) status.
+    pub fn wait(&self, id: JobId, timeout: Duration) -> Option<JobStatus> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let status = self.status(id)?;
+            if status.state.is_terminal() || Instant::now() >= deadline {
+                return Some(status);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Graceful shutdown: refuse new submissions, let the workers drain
+    /// everything already queued or running, then join them. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.accepting.store(false, Ordering::Release);
+        self.inner.queue.close();
+        if let Some(workers) = self.workers.lock().take() {
+            workers.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn mean(sum: f64, count: u64) -> f64 {
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}

@@ -1,0 +1,146 @@
+//! The worker pool: `N` threads draining the job queue.
+//!
+//! Each worker lazily builds one [`SimBackend`] per flavor it encounters
+//! and keeps it for the thread's lifetime, so a long-lived service pays
+//! backend construction once, not per job. Buffers flow pool → run →
+//! pool on every path: success hands the final state's allocation back,
+//! and a cancelled, timed-out or failed run hands back the recovered
+//! buffer from [`qsim_backends::RunFailure`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use qsim_backends::{BackendError, Flavor, PlanOptions, RunContext, RunOptions, SimBackend};
+use qsim_core::types::Precision;
+
+use qsim_core::types::Cplx;
+
+use crate::pool::{PoolSlot, StateBufferPool};
+use crate::queue::QueuedJob;
+use crate::service::{FinalState, JobOutcome, ServiceInner};
+
+/// Wraps a precision's amplitudes into the type-erased [`FinalState`]
+/// the registry stores for `keep_state` jobs.
+trait StateSlot: PoolSlot {
+    fn wrap(amps: Vec<Cplx<Self>>) -> FinalState;
+}
+
+impl StateSlot for f32 {
+    fn wrap(amps: Vec<Cplx<f32>>) -> FinalState {
+        FinalState::F32(amps)
+    }
+}
+
+impl StateSlot for f64 {
+    fn wrap(amps: Vec<Cplx<f64>>) -> FinalState {
+        FinalState::F64(amps)
+    }
+}
+
+/// Handles of the spawned worker threads.
+#[derive(Debug)]
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `n` workers against the shared service state.
+    pub(crate) fn spawn(n: usize, inner: Arc<ServiceInner>) -> WorkerPool {
+        let handles = (0..n)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("qsim-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Number of worker threads.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Always false — a pool has at least one worker.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Wait for every worker to exit (they do once the queue is closed
+    /// and drained).
+    pub fn join(self) {
+        for handle in self.handles {
+            // A worker that panicked already poisoned nothing (registry
+            // and pool recover their locks); surface the panic here.
+            if let Err(e) = handle.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    }
+}
+
+fn worker_loop(inner: &ServiceInner) {
+    let mut backends: HashMap<Flavor, SimBackend> = HashMap::new();
+    while let Some(job) = inner.queue.pop() {
+        // A job cancelled (or deadline-expired) while still queued never
+        // touches a backend: release its reservation and move on.
+        if let Some(cause) = job.cancel.cause() {
+            inner.finish(job.id, JobOutcome::Cancelled(cause));
+            continue;
+        }
+        if !inner.mark_running(job.id) {
+            continue;
+        }
+        let backend =
+            backends.entry(job.spec.flavor).or_insert_with(|| SimBackend::new(job.spec.flavor));
+        let outcome = match job.spec.precision {
+            Precision::Single => run_job::<f32>(backend, &inner.pool, &job),
+            Precision::Double => run_job::<f64>(backend, &inner.pool, &job),
+        };
+        inner.finish(job.id, outcome);
+    }
+}
+
+/// Execute one job at precision `F`, recycling the state buffer through
+/// the pool on every exit path.
+fn run_job<F: StateSlot>(
+    backend: &SimBackend,
+    pool: &StateBufferPool,
+    job: &QueuedJob,
+) -> JobOutcome {
+    let len = 1usize << job.spec.circuit.num_qubits;
+    let plan_opts =
+        PlanOptions { strategy: job.spec.strategy, max_fused_qubits: job.spec.max_fused };
+    let plan = backend.plan_circuit(&job.spec.circuit, &plan_opts, F::PRECISION);
+    let run_opts = RunOptions { seed: job.spec.seed, sample_count: job.spec.sample_count };
+    let ctx =
+        RunContext::<F> { reuse_buffer: pool.acquire::<F>(len), cancel: Some(job.cancel.clone()) };
+    match backend.run_with::<F>(&plan.fused, &run_opts, ctx) {
+        Ok((state, mut report)) => {
+            report.fusion_strategy = plan.strategy.label().into();
+            report.predicted_cost_seconds = plan.predicted_cost_seconds;
+            // The result verb only needs the report; unless the submitter
+            // asked to keep the state, its allocation is worth more as the
+            // next job's warm buffer.
+            let kept = if job.spec.keep_state {
+                Some(F::wrap(state.into_amplitudes()))
+            } else {
+                pool.release(state.into_amplitudes());
+                None
+            };
+            JobOutcome::Done(Box::new(report), kept)
+        }
+        Err(failure) => {
+            if let Some(buffer) = failure.buffer {
+                pool.release(buffer);
+            }
+            match failure.error {
+                BackendError::Cancelled { cause, .. } => JobOutcome::Cancelled(cause),
+                error => JobOutcome::Failed(error.to_string()),
+            }
+        }
+    }
+}
