@@ -18,6 +18,7 @@
 //! the HIP flavor launches `ApplyGateL_Kernel` with 32-thread blocks on a
 //! 64-lane wavefront device.
 
+pub mod batch_run;
 pub mod flavor;
 pub mod plan;
 pub mod report;
@@ -25,11 +26,13 @@ pub mod sim_backend;
 pub mod trajectories;
 pub mod variational;
 
+pub use batch_run::{BatchJob, BatchResult};
 pub use flavor::Flavor;
 pub use qsim_core::cancel::{CancelCause, CancelToken};
 pub use qsim_core::sweep::{SweepConfig, SweepStats};
 pub use qsim_fusion::{
     CpuCostModel, FusionCostModel, FusionPlan, FusionStats, FusionStrategy, GpuCostModel,
+    TrafficEstimate,
 };
 pub use report::{KernelStat, RunOptions, RunReport};
 pub use sim_backend::{Backend, BackendError, PlanOptions, RunContext, RunFailure, SimBackend};

@@ -123,6 +123,15 @@ pub struct RunReport {
     /// pairs, non-zero entries only, in a stable (High,High), (High,Low),
     /// (Low,High), (Low,Low) order.
     pub gate_class_counts: Vec<GateClassCount>,
+    /// Identifier shared by every sub-job of one `run_batch` call (`None`
+    /// for single runs). Lets the serve layer's metrics correlate the
+    /// reports of a gang.
+    pub batch_id: Option<u64>,
+    /// Sub-jobs in the `run_batch` call that produced this report (1 for
+    /// single runs). `kernels` and the modeled-time fields of a batched
+    /// report describe the *gang's* shared launches, with the per-report
+    /// time shares divided across completed sub-jobs.
+    pub batch_size: usize,
 }
 
 impl GateClassCount {
@@ -244,6 +253,8 @@ impl RunReport {
             "measurements": (measurements),
             "samples": (self.samples),
             "analysis_warnings": (self.analysis_warnings),
+            "batch_id": (self.batch_id),
+            "batch_size": (self.batch_size),
         })
     }
 }
@@ -284,6 +295,8 @@ mod tests {
             analysis_warnings: vec![],
             isa: "avx2".into(),
             gate_class_counts: GateClassCount::from_grid([[90, 0], [30, 30]]),
+            batch_id: None,
+            batch_size: 1,
         }
     }
 

@@ -176,8 +176,8 @@ pub trait Backend: Send + Sync {
 
 /// A backend: a flavor (launch policy) bound to a modeled device.
 pub struct SimBackend {
-    flavor: Flavor,
-    gpu: Gpu,
+    pub(crate) flavor: Flavor,
+    pub(crate) gpu: Gpu,
     /// Optional override of [`Flavor::low_qubit_byte_overhead`], for the
     /// "redesigned ApplyGateL" ablation (what the paper calls the
     /// "significant algorithmic overhaul" that 64-thread L blocks would
@@ -187,7 +187,7 @@ pub struct SimBackend {
     /// consecutive low-qubit fused gates apply to cache-sized blocks in a
     /// single pass over the state (see [`qsim_core::sweep`]). GPU flavors
     /// model per-gate kernels and ignore it.
-    sweep: SweepExecutor,
+    pub(crate) sweep: SweepExecutor,
 }
 
 impl SimBackend {
@@ -245,7 +245,7 @@ impl SimBackend {
 
     /// The sweep configuration that actually governs execution on this
     /// flavor: only the CPU flavor executes blocked sweeps.
-    fn effective_sweep(&self) -> SweepConfig {
+    pub(crate) fn effective_sweep(&self) -> SweepConfig {
         if self.flavor == Flavor::CpuAvx {
             *self.sweep.config()
         } else {
@@ -257,7 +257,10 @@ impl SimBackend {
     /// error-severity findings reject the plan *before* any device memory
     /// is allocated; warning-severity findings are returned so the run
     /// report can carry them.
-    fn analyze_pre_run(&self, fused: &FusedCircuit) -> Result<Vec<String>, BackendError> {
+    pub(crate) fn analyze_pre_run(
+        &self,
+        fused: &FusedCircuit,
+    ) -> Result<Vec<String>, BackendError> {
         let report =
             qsim_analyze::Analyzer::pre_run().analyze_plan(fused, None, self.effective_sweep());
         if report.has_errors() {
@@ -277,13 +280,18 @@ impl SimBackend {
     }
 
     /// Kernel descriptor for initialising the state vector on-device.
-    fn init_desc(&self, len: usize, amp_bytes: usize, double_precision: bool) -> KernelDesc {
+    pub(crate) fn init_desc(
+        &self,
+        len: usize,
+        amp_bytes: usize,
+        double_precision: bool,
+    ) -> KernelDesc {
         crate::plan::init_kernel_desc(self.flavor, len, amp_bytes, double_precision)
     }
 
     /// Kernel descriptor for one fused-gate pass (see
     /// [`crate::plan::gate_kernel_desc`]).
-    fn gate_desc(
+    pub(crate) fn gate_desc(
         &self,
         n: usize,
         qubits: &[usize],
@@ -309,7 +317,7 @@ impl SimBackend {
     /// construction. GPU flavors are untouched (their sweep is disabled,
     /// so `new_pass` is always true, and their lane split is already
     /// inside the kernel work).
-    fn tune_host_charge(
+    pub(crate) fn tune_host_charge(
         &self,
         desc: &mut KernelDesc,
         n: usize,
@@ -332,7 +340,7 @@ impl SimBackend {
     }
 
     /// Modeled host-side fusion cost for this circuit, µs.
-    fn fusion_cost_us(stats: &FusionStats) -> f64 {
+    pub(crate) fn fusion_cost_us(stats: &FusionStats) -> f64 {
         stats.source_gates as f64 * FUSION_US_PER_SOURCE_GATE
             + stats.fused_gates as f64 * FUSION_US_PER_FUSED_GATE
     }
@@ -514,6 +522,8 @@ impl SimBackend {
             analysis_warnings,
             isa: isa.name().into(),
             gate_class_counts: GateClassCount::from_grid(class_grid),
+            batch_id: None,
+            batch_size: 1,
         })
     }
 
@@ -788,12 +798,14 @@ impl SimBackend {
             analysis_warnings,
             isa: isa.name().into(),
             gate_class_counts: GateClassCount::from_grid(class_grid),
+            batch_id: None,
+            batch_size: 1,
         };
         Ok((state, report))
     }
 }
 
-fn bump(stats: &mut BTreeMap<String, (u64, f64)>, name: &str, dur_us: f64) {
+pub(crate) fn bump(stats: &mut BTreeMap<String, (u64, f64)>, name: &str, dur_us: f64) {
     let entry = stats.entry(name.to_string()).or_insert((0, 0.0));
     entry.0 += 1;
     entry.1 += dur_us;
@@ -801,7 +813,7 @@ fn bump(stats: &mut BTreeMap<String, (u64, f64)>, name: &str, dur_us: f64) {
 
 /// Tally one fused unitary into the `[gpu][cpu]` class grid (index 0 =
 /// High, 1 = Low) that flattens into [`RunReport::gate_class_counts`].
-fn count_gate_class(grid: &mut [[u64; 2]; 2], qubits: &[usize], lane_qubits: usize) {
+pub(crate) fn count_gate_class(grid: &mut [[u64; 2]; 2], qubits: &[usize], lane_qubits: usize) {
     use qsim_core::kernels::{classify_gate, classify_gate_at, KernelClass};
     let gpu = (classify_gate(qubits) == KernelClass::Low) as usize;
     let cpu = (classify_gate_at(qubits, lane_qubits) == KernelClass::Low) as usize;

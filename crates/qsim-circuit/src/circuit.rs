@@ -126,6 +126,34 @@ impl Circuit {
         (one, two, meas)
     }
 
+    /// Order-sensitive structural hash of the circuit: qubit count and,
+    /// per op, time, gate kind (with bit-exact rotation parameters),
+    /// targets, and controls. Circuits with equal hashes describe the
+    /// same computation, so the serve layer can treat hash-equal
+    /// Batch-class submissions as one gang (the parameters are hashed via
+    /// `f64::to_bits`, so `Rz(0.1)` and `Rz(0.1 + 1e-17)` differ).
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.num_qubits.hash(&mut h);
+        for op in &self.ops {
+            op.time.hash(&mut h);
+            // The mnemonic is unique per gate kind, and parameters are
+            // hashed bit-exact, so this is injective on (discriminant,
+            // parameter bits) up to NaN payloads. Hashing the static
+            // mnemonic beats formatting the Debug form: submit-side
+            // hashing is on the serve layer's hot path.
+            op.kind.name().hash(&mut h);
+            let (params, count) = op.kind.params_fixed();
+            for p in &params[..count] {
+                p.to_bits().hash(&mut h);
+            }
+            op.qubits.hash(&mut h);
+            op.controls.hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// Validate structural invariants, reporting **every** violation as a
     /// typed [`Diagnostic`]: qubits in range and distinct per op, gate
     /// arity matching, times monotone non-decreasing, and no two gates

@@ -109,11 +109,21 @@ impl GateKind {
 
     /// Angle parameters in qsim file order.
     pub fn params(&self) -> Vec<f64> {
+        let (buf, n) = self.params_fixed();
+        buf[..n].to_vec()
+    }
+
+    /// Angle parameters in qsim file order without allocating — `(buffer,
+    /// count)` with the first `count` entries meaningful. The serve
+    /// layer's submit-side content hashing runs this per op per job.
+    pub fn params_fixed(&self) -> ([f64; 2], usize) {
         match *self {
-            GateKind::Rx(t) | GateKind::Ry(t) | GateKind::Rz(t) | GateKind::CPhase(t) => vec![t],
-            GateKind::Rxy(p, t) => vec![p, t],
-            GateKind::FSim(t, p) => vec![t, p],
-            _ => Vec::new(),
+            GateKind::Rx(t) | GateKind::Ry(t) | GateKind::Rz(t) | GateKind::CPhase(t) => {
+                ([t, 0.0], 1)
+            }
+            GateKind::Rxy(p, t) => ([p, t], 2),
+            GateKind::FSim(t, p) => ([t, p], 2),
+            _ => ([0.0; 2], 0),
         }
     }
 

@@ -15,6 +15,12 @@ usage: qsim_serve [options]
   --port PORT       bind port; 0 picks an ephemeral port (default 0)
   --workers N       worker threads (default 4)
   --budget-gib GIB  state-memory admission budget in GiB (default 16)
+  --bandwidth-gib GIB/S
+                    modeled memory-bandwidth dispatch budget in GiB/s
+                    (default 400; caps the aggregate streaming rate of
+                    concurrently running jobs)
+  --max-batch N     max Batch-class jobs gang-scheduled through one
+                    run_batch sweep; 1 disables coalescing (default 16)
   --pool-cap N      max pooled buffers per size bucket (default 8)
   -h, --help        show this help";
 
@@ -46,6 +52,23 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let gib: u64 =
                     take(&mut it, flag)?.parse().map_err(|e| format!("bad --budget-gib: {e}"))?;
                 args.config.memory_budget_bytes = gib << 30;
+            }
+            "--bandwidth-gib" => {
+                let gib: u64 = take(&mut it, flag)?
+                    .parse()
+                    .map_err(|e| format!("bad --bandwidth-gib: {e}"))?;
+                if gib == 0 {
+                    return Err("--bandwidth-gib must be at least 1".into());
+                }
+                args.config.bandwidth_budget_bps = gib << 30;
+            }
+            "--max-batch" => {
+                let n: usize =
+                    take(&mut it, flag)?.parse().map_err(|e| format!("bad --max-batch: {e}"))?;
+                if n == 0 {
+                    return Err("--max-batch must be at least 1".into());
+                }
+                args.config.max_batch = n;
             }
             "--pool-cap" => {
                 args.config.pool_max_per_bucket =

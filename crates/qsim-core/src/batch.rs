@@ -1,0 +1,292 @@
+//! Batched multi-state execution: one gate, N state vectors.
+//!
+//! The serve layer's many-small-circuits regime (thousands of ≤16-qubit
+//! jobs) is dominated by per-job fixed costs — planning, analysis, matrix
+//! conversion, SIMD plan construction — not by amplitude arithmetic. The
+//! cuQuantum SDK's batched gate application amortizes those costs by
+//! applying each gate to a *gang* of state vectors at once; this module is
+//! the host-side analogue. A [`StateBatch`] holds N same-size state
+//! vectors in a bucket-pooled arena (one recyclable allocation per slot,
+//! so a cancelled sub-job's buffer can leave the gang mid-run), and the
+//! gang entry points [`apply_run_gang`] / [`apply_gate_gang`] reuse the
+//! [`crate::sweep`] block walker and [`crate::simd`] lane kernels so a
+//! single [`crate::sweep::PreparedRun`] — one set of `SimdPlan`s and
+//! `GatePlan`s — is built once and swept across every state.
+//!
+//! Per-state arithmetic is exactly the single-state path's
+//! ([`PreparedRun::apply_to`] for runs, [`kernels::apply_gate_slice_par`]
+//! for barrier gates), and states never read each other, so a gang run is
+//! bit-for-bit identical to N sequential runs regardless of how the
+//! cross-state parallelism interleaves.
+
+use rayon::prelude::*;
+
+use crate::cancel::{CancelCause, CancelToken};
+use crate::kernels;
+use crate::matrix::GateMatrix;
+use crate::sweep::PreparedRun;
+use crate::types::{Cplx, Float};
+
+/// Minimum amplitudes of per-piece work before a gang sweep forks across
+/// threads. The offline rayon shim spawns (and joins) scoped OS threads on
+/// every parallel-iterator drive, so forking a 16-member gang of 2^12-amp
+/// states per gate costs far more than the arithmetic it distributes; such
+/// gangs run inline and rely on worker-level parallelism instead. 2^17
+/// amplitudes (~2 MiB of f64 pairs) per piece keeps the spawn cost under a
+/// percent of the sweep it covers.
+pub const PAR_GRAIN_AMPS: usize = 1 << 17;
+
+/// N same-size state vectors, each in its own recyclable allocation.
+///
+/// Slots are bucket-pooled rather than one contiguous arena so that each
+/// sub-job's buffer flows pool → gang → pool independently: a cancelled or
+/// finished sub-job's allocation is extracted with [`StateBatch::take`]
+/// while the rest of the gang keeps running.
+#[derive(Debug)]
+pub struct StateBatch<F: Float> {
+    num_qubits: usize,
+    slots: Vec<Option<Vec<Cplx<F>>>>,
+}
+
+impl<F: Float> StateBatch<F> {
+    /// An empty gang of `num_qubits`-qubit states.
+    pub fn new(num_qubits: usize) -> Self {
+        assert!(num_qubits >= 1, "a state needs at least one qubit");
+        StateBatch { num_qubits, slots: Vec::new() }
+    }
+
+    /// Amplitudes per state (`2^num_qubits`).
+    pub fn state_len(&self) -> usize {
+        1usize << self.num_qubits
+    }
+
+    /// Qubits per state.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Total slots ever pushed (active or taken).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no state was ever pushed.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Slots still holding a state.
+    pub fn active_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether slot `i` still holds a state.
+    pub fn is_active(&self, i: usize) -> bool {
+        self.slots.get(i).is_some_and(Option::is_some)
+    }
+
+    /// Add one state initialised to `|0…0⟩`, recycling `reuse` when given
+    /// (must hold exactly `state_len` amplitudes — returned unchanged in
+    /// `Err` otherwise, so the caller's pool keeps it). Returns the slot
+    /// index.
+    pub fn push_state(&mut self, reuse: Option<Vec<Cplx<F>>>) -> Result<usize, Vec<Cplx<F>>> {
+        let len = self.state_len();
+        let mut amps = match reuse {
+            Some(buf) if buf.len() == len => {
+                let mut buf = buf;
+                buf.fill(Cplx::zero());
+                buf
+            }
+            Some(buf) => return Err(buf),
+            None => vec![Cplx::zero(); len],
+        };
+        amps[0] = Cplx::one();
+        self.slots.push(Some(amps));
+        Ok(self.slots.len() - 1)
+    }
+
+    /// Slot `i`'s amplitudes, if still active.
+    pub fn state(&self, i: usize) -> Option<&[Cplx<F>]> {
+        self.slots.get(i).and_then(|s| s.as_deref())
+    }
+
+    /// Slot `i`'s amplitudes, mutable, if still active.
+    pub fn state_mut(&mut self, i: usize) -> Option<&mut [Cplx<F>]> {
+        self.slots.get_mut(i).and_then(|s| s.as_deref_mut())
+    }
+
+    /// Extract slot `i`'s allocation (for recycling or as the final
+    /// state), leaving the slot inactive. The rest of the gang is
+    /// untouched — this is the mid-batch cancellation path.
+    pub fn take(&mut self, i: usize) -> Option<Vec<Cplx<F>>> {
+        self.slots.get_mut(i).and_then(Option::take)
+    }
+
+    /// Run `op` over every active slot and collect `(slot, result)`
+    /// pairs. States are processed in parallel only when each piece
+    /// carries at least [`PAR_GRAIN_AMPS`] amplitudes of work — below
+    /// that, fork/join overhead (the offline rayon spawns scoped threads
+    /// per call) dwarfs the arithmetic of a small gang, and the gang runs
+    /// inline on the calling worker thread, whose outer-level parallelism
+    /// (many workers, many gangs) is the one that pays.
+    pub fn for_each_active<R, OP>(&mut self, op: OP) -> Vec<(usize, R)>
+    where
+        R: Send,
+        OP: Fn(usize, &mut [Cplx<F>]) -> R + Sync,
+    {
+        let grain_states = (PAR_GRAIN_AMPS >> self.num_qubits).max(1);
+        let mut results: Vec<Option<R>> = (0..self.slots.len()).map(|_| None).collect();
+        self.slots
+            .par_iter_mut()
+            .zip(results.par_iter_mut())
+            .enumerate()
+            .with_min_len(grain_states)
+            .for_each(|(i, (slot, out))| {
+                if let Some(amps) = slot.as_deref_mut() {
+                    *out = Some(op(i, amps));
+                }
+            });
+        results.into_iter().enumerate().filter_map(|(i, r)| r.map(|r| (i, r))).collect()
+    }
+}
+
+/// Apply one prepared run of block-local gates to every active state of
+/// the gang: the [`PreparedRun`] (one `SimdPlan` + `GatePlan` set) is
+/// shared by all states. Each state's cancel token — `cancels[i]`, when
+/// the slice is long enough — is polled per cache block exactly as in the
+/// single-state path; slots whose token fired are returned with the cause
+/// (their states are partially updated, good only for recycling).
+pub fn apply_run_gang<F: Float>(
+    run: &PreparedRun<'_, F>,
+    batch: &mut StateBatch<F>,
+    cancels: &[Option<CancelToken>],
+) -> Vec<(usize, CancelCause)> {
+    if run.is_empty() {
+        return Vec::new();
+    }
+    batch
+        .for_each_active(|i, amps| run.apply_to(amps, cancels.get(i).and_then(Option::as_ref)))
+        .into_iter()
+        .filter_map(|(i, r)| r.err().map(|cause| (i, cause)))
+        .collect()
+}
+
+/// Apply one barrier (non-block-local) gate to every active state through
+/// the ordinary strided parallel kernel — the same
+/// [`kernels::apply_gate_slice_par`] call the single-state run loop makes,
+/// so per-state results are bit-identical. The matrix is converted once by
+/// the caller and shared across the gang.
+pub fn apply_gate_gang<F: Float>(
+    batch: &mut StateBatch<F>,
+    qubits: &[usize],
+    matrix: &GateMatrix<F>,
+) {
+    batch.for_each_active(|_, amps| kernels::apply_gate_slice_par(amps, qubits, matrix));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{SweepConfig, SweepExecutor};
+    use crate::StateVector;
+
+    fn h_matrix() -> GateMatrix<f64> {
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        GateMatrix::from_f64_pairs(2, &[(h, 0.), (h, 0.), (h, 0.), (-h, 0.)])
+    }
+
+    #[test]
+    fn push_reuses_exact_size_buffers_and_rejects_others() {
+        let mut batch = StateBatch::<f32>::new(4);
+        let buf = vec![Cplx::<f32>::one(); 16];
+        let addr = buf.as_ptr();
+        let slot = batch.push_state(Some(buf)).unwrap();
+        assert_eq!(slot, 0);
+        let amps = batch.state(0).unwrap();
+        assert_eq!(amps.as_ptr(), addr, "must adopt the same allocation");
+        assert!((amps[0].re - 1.0).abs() < 1e-6 && amps[1].re == 0.0, "reinitialised to |0…0⟩");
+
+        let wrong = vec![Cplx::<f32>::zero(); 8];
+        let back = batch.push_state(Some(wrong)).unwrap_err();
+        assert_eq!(back.len(), 8, "mismatched buffer comes back unchanged");
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn take_deactivates_one_slot_only() {
+        let mut batch = StateBatch::<f64>::new(3);
+        for _ in 0..3 {
+            batch.push_state(None).unwrap();
+        }
+        let buf = batch.take(1).expect("slot 1 active");
+        assert_eq!(buf.len(), 8);
+        assert!(batch.take(1).is_none(), "already taken");
+        assert_eq!(batch.active_count(), 2);
+        assert!(batch.is_active(0) && !batch.is_active(1) && batch.is_active(2));
+    }
+
+    #[test]
+    fn gang_matches_sequential_single_state_path() {
+        let n = 6;
+        let gates: Vec<(Vec<usize>, GateMatrix<f64>)> =
+            (0..4).map(|q| (vec![q], h_matrix())).collect();
+        let runs: Vec<(&[usize], &GateMatrix<f64>)> =
+            gates.iter().map(|(q, m)| (q.as_slice(), m)).collect();
+        let exec = SweepExecutor::new(SweepConfig::with_block_amps(1 << 4));
+
+        // Reference: the single-state executor.
+        let mut reference = StateVector::<f64>::new(n);
+        exec.apply_run(reference.amplitudes_mut(), runs.iter().copied());
+        kernels::apply_gate_slice_par(reference.amplitudes_mut(), &[5], &h_matrix());
+
+        // Gang of 3: same run + barrier gate on every state.
+        let mut batch = StateBatch::<f64>::new(n);
+        for _ in 0..3 {
+            batch.push_state(None).unwrap();
+        }
+        let prepared = exec.prepare_run(1 << n, runs.iter().copied());
+        let cancelled = apply_run_gang(&prepared, &mut batch, &[]);
+        assert!(cancelled.is_empty());
+        apply_gate_gang(&mut batch, &[5], &h_matrix());
+
+        for i in 0..3 {
+            let amps = batch.state(i).unwrap();
+            for (a, b) in amps.iter().zip(reference.amplitudes()) {
+                assert_eq!((a.re, a.im), (b.re, b.im), "slot {i} must be bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn per_slot_cancellation_leaves_the_rest_of_the_gang_alone() {
+        let n = 8;
+        let gates: Vec<(Vec<usize>, GateMatrix<f64>)> =
+            (0..4).map(|q| (vec![q], h_matrix())).collect();
+        let runs: Vec<(&[usize], &GateMatrix<f64>)> =
+            gates.iter().map(|(q, m)| (q.as_slice(), m)).collect();
+        let exec = SweepExecutor::new(SweepConfig::with_block_amps(1 << 4));
+
+        let mut batch = StateBatch::<f64>::new(n);
+        for _ in 0..3 {
+            batch.push_state(None).unwrap();
+        }
+        let dead = CancelToken::new();
+        dead.cancel();
+        let cancels = vec![None, Some(dead), None];
+
+        let prepared = exec.prepare_run(1 << n, runs.iter().copied());
+        let cancelled = apply_run_gang(&prepared, &mut batch, &cancels);
+        assert_eq!(cancelled, vec![(1, CancelCause::Requested)]);
+
+        let mut reference = StateVector::<f64>::new(n);
+        exec.apply_run(reference.amplitudes_mut(), runs.iter().copied());
+        for i in [0usize, 2] {
+            let amps = batch.state(i).unwrap();
+            for (a, b) in amps.iter().zip(reference.amplitudes()) {
+                assert_eq!((a.re, a.im), (b.re, b.im), "slot {i} unaffected by slot 1's cancel");
+            }
+        }
+        // Slot 1 was skipped entirely (pre-cancelled token): still |0…0⟩.
+        assert!((batch.state(1).unwrap()[0].re - 1.0).abs() < 1e-15);
+    }
+}

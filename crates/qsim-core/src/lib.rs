@@ -29,12 +29,18 @@
 //! * [`simd`], runtime-dispatched AVX2/AVX-512 gate kernels with a
 //!   lane-level Low path — the CPU mirror of the warp-tile rearrangement,
 //!   keeping the lowest `log2(lanes)` qubits inside one SIMD register;
+//! * [`batch`], a gang of same-size state vectors ([`batch::StateBatch`])
+//!   plus batched kernel entry points that apply one fused gate — or one
+//!   prepared cache-blocked run — to every state of the gang, amortizing
+//!   plan construction across N states (the cuQuantum-style batched
+//!   execution path used by the serve layer);
 //! * [`noise`], quantum-trajectory noise channels (a qsim feature the paper
 //!   mentions as part of the simulator but does not benchmark);
 //! * [`diag`], the typed-diagnostic vocabulary ([`diag::Diagnostic`],
 //!   [`diag::Severity`], [`diag::Span`]) shared by `Circuit::validate()`
 //!   and the `qsim-analyze` lint engine.
 
+pub mod batch;
 pub mod cancel;
 pub mod density;
 pub mod diag;

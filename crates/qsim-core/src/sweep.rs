@@ -266,21 +266,27 @@ impl SweepExecutor {
         I: IntoIterator<Item = (&'g [usize], &'g GateMatrix<F>)>,
     {
         assert!(amps.len().is_power_of_two() && amps.len() >= 2, "state length must be 2^n");
-        let block = self.config.block_amps.min(amps.len());
+        self.prepare_run(amps.len(), gates).apply_to(amps, cancel)
+    }
+
+    /// Build the per-run execution plan for a run of block-local gates on
+    /// a `state_len`-amplitude register, without applying it: the SIMD
+    /// tile plans, diagonal classifications and scalar [`GatePlan`]s that
+    /// [`SweepExecutor::apply_run`] would construct. The returned
+    /// [`PreparedRun`] can be applied to any number of `state_len`-sized
+    /// states — the batched gang executor in [`crate::batch`] builds it
+    /// once and sweeps it across every state vector of a gang, which is
+    /// the whole point of batched multi-state execution.
+    pub fn prepare_run<'g, F, I>(&self, state_len: usize, gates: I) -> PreparedRun<'g, F>
+    where
+        F: Float + 'g,
+        I: IntoIterator<Item = (&'g [usize], &'g GateMatrix<F>)>,
+    {
+        assert!(state_len.is_power_of_two() && state_len >= 2, "state length must be 2^n");
+        let block = self.config.block_amps.min(state_len);
         let block_qubits = block.trailing_zeros() as usize;
 
-        struct Prepared<'g, F: Float> {
-            qubits: &'g [usize],
-            matrix: &'g GateMatrix<F>,
-            diagonal: bool,
-            plan: Option<Arc<GatePlan>>,
-            /// SIMD tile plan at block size, built once per run and shared
-            /// by every block (`SimdPlan` applies to any slice of its
-            /// planned length). `None` when SIMD is disabled or the block
-            /// is too small to tile — the scalar branches below run.
-            simd: Option<SimdPlan<F>>,
-        }
-        let prepared: Vec<Prepared<'g, F>> = gates
+        let gates: Vec<PreparedGate<'g, F>> = gates
             .into_iter()
             .map(|(qubits, matrix)| {
                 debug_assert!(
@@ -298,46 +304,10 @@ impl SweepExecutor {
                 } else {
                     Some(self.plan_for(block_qubits, qubits, matrix.dim()))
                 };
-                Prepared { qubits, matrix, diagonal, plan, simd }
+                PreparedGate { qubits, matrix, diagonal, plan, simd }
             })
             .collect();
-        if prepared.is_empty() {
-            return Ok(());
-        }
-
-        let apply_block = |chunk: &mut [Cplx<F>]| {
-            // Poll once per cache block: a 2^16-amplitude block is a few
-            // hundred µs of work, so cancellation latency stays far below
-            // any deadline a service would set, and the check is one
-            // atomic load against a full block of arithmetic.
-            if cancel.is_some_and(CancelToken::is_cancelled) {
-                return;
-            }
-            for g in &prepared {
-                if let Some(sp) = &g.simd {
-                    sp.apply_seq(chunk);
-                } else if g.diagonal {
-                    kernels::apply_diagonal_seq(chunk, g.qubits, g.matrix);
-                } else {
-                    kernels::apply_plan_seq_scalar(
-                        chunk,
-                        g.plan.as_ref().expect("planned"),
-                        g.matrix,
-                    );
-                }
-            }
-        };
-        if amps.len() < PAR_GRAIN_AMPS || amps.len() <= block {
-            for chunk in amps.chunks_mut(block) {
-                apply_block(chunk);
-            }
-        } else {
-            amps.par_chunks_mut(block).for_each(apply_block);
-        }
-        match cancel.and_then(CancelToken::cause) {
-            Some(cause) => Err(cause),
-            None => Ok(()),
-        }
+        PreparedRun { state_len, block, gates }
     }
 
     /// Execute a full fused-gate sequence over `amps`: block-local gates
@@ -375,6 +345,104 @@ impl SweepExecutor {
         if !pending.is_empty() {
             self.apply_run(amps, pending.iter().map(|&i| (gates[i].0.as_slice(), &gates[i].1)));
             pending.clear();
+        }
+    }
+}
+
+/// One gate of a [`PreparedRun`]: its dispatch classification and the
+/// plans the per-block kernels need.
+struct PreparedGate<'g, F: Float> {
+    qubits: &'g [usize],
+    matrix: &'g GateMatrix<F>,
+    diagonal: bool,
+    plan: Option<Arc<GatePlan>>,
+    /// SIMD tile plan at block size, built once per run and shared by
+    /// every block (`SimdPlan` applies to any slice of its planned
+    /// length). `None` when SIMD is disabled or the block is too small to
+    /// tile — the scalar branches below run.
+    simd: Option<SimdPlan<F>>,
+}
+
+/// A run of block-local gates, fully planned and ready to sweep over any
+/// state of the length it was prepared for. Built by
+/// [`SweepExecutor::prepare_run`]; reusable across states, which is what
+/// lets a gang of state vectors share one set of `SimdPlan`s and
+/// `GatePlan`s per run.
+pub struct PreparedRun<'g, F: Float> {
+    state_len: usize,
+    block: usize,
+    gates: Vec<PreparedGate<'g, F>>,
+}
+
+impl<'g, F: Float> PreparedRun<'g, F> {
+    /// Whether the run contains no gates (applying it is a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Number of gates in the run.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The state length this run was prepared for.
+    pub fn state_len(&self) -> usize {
+        self.state_len
+    }
+
+    /// Apply the whole run to one state: each aligned cache block receives
+    /// every gate while cache-hot, exactly as
+    /// [`SweepExecutor::apply_run_cancellable`] (which is implemented on
+    /// top of this). The cancel token, when present, is polled once per
+    /// cache block; on cancellation the remaining blocks are skipped,
+    /// `amps` is left partially updated, and the cause is returned.
+    pub fn apply_to(
+        &self,
+        amps: &mut [Cplx<F>],
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), CancelCause> {
+        assert_eq!(
+            amps.len(),
+            self.state_len,
+            "run prepared for {} amplitudes applied to {}",
+            self.state_len,
+            amps.len()
+        );
+        if self.gates.is_empty() {
+            return Ok(());
+        }
+        let apply_block = |chunk: &mut [Cplx<F>]| {
+            // Poll once per cache block: a 2^16-amplitude block is a few
+            // hundred µs of work, so cancellation latency stays far below
+            // any deadline a service would set, and the check is one
+            // atomic load against a full block of arithmetic.
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return;
+            }
+            for g in &self.gates {
+                if let Some(sp) = &g.simd {
+                    sp.apply_seq(chunk);
+                } else if g.diagonal {
+                    kernels::apply_diagonal_seq(chunk, g.qubits, g.matrix);
+                } else {
+                    kernels::apply_plan_seq_scalar(
+                        chunk,
+                        g.plan.as_ref().expect("planned"),
+                        g.matrix,
+                    );
+                }
+            }
+        };
+        if amps.len() < PAR_GRAIN_AMPS || amps.len() <= self.block {
+            for chunk in amps.chunks_mut(self.block) {
+                apply_block(chunk);
+            }
+        } else {
+            amps.par_chunks_mut(self.block).for_each(apply_block);
+        }
+        match cancel.and_then(CancelToken::cause) {
+            Some(cause) => Err(cause),
+            None => Ok(()),
         }
     }
 }

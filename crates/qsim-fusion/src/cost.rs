@@ -51,6 +51,49 @@ pub trait FusionCostModel: Send + Sync {
     fn plan_cost(&self, plan: &FusedCircuit) -> f64 {
         plan.unitaries().map(|g| self.gate_cost(plan.num_qubits, &g.qubits)).sum()
     }
+
+    /// Modeled main-memory traffic of one fused-gate pass, bytes. The
+    /// default is a conservative full-state read + write at double
+    /// precision; the built-in models override it with the same calibrated
+    /// work accounting their `gate_cost` prices.
+    fn gate_traffic(&self, num_qubits: usize, qubits: &[usize]) -> f64 {
+        let _ = qubits;
+        2.0 * 16.0 * (1u64 << num_qubits) as f64
+    }
+
+    /// Modeled traffic and duration for a whole plan — the pair whose
+    /// ratio is the plan's sustained bytes/s demand, which is what the
+    /// serve layer's bandwidth-aware admission ledger charges per running
+    /// job (qHiPSTER-style bandwidth-centric accounting).
+    fn plan_traffic(&self, plan: &FusedCircuit) -> TrafficEstimate {
+        TrafficEstimate {
+            bytes: plan.unitaries().map(|g| self.gate_traffic(plan.num_qubits, &g.qubits)).sum(),
+            seconds: self.plan_cost(plan),
+        }
+    }
+}
+
+/// Modeled memory traffic of a fused plan: total bytes moved and the
+/// modeled seconds they are spread over. See
+/// [`FusionCostModel::plan_traffic`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TrafficEstimate {
+    /// Modeled bytes moved through main memory over the whole plan.
+    pub bytes: f64,
+    /// Modeled execution seconds of the plan ([`FusionCostModel::plan_cost`]).
+    pub seconds: f64,
+}
+
+impl TrafficEstimate {
+    /// Sustained memory-bandwidth demand while the plan executes, bytes/s
+    /// (0 for an empty plan).
+    pub fn bytes_per_second(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.bytes / self.seconds
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Share of the full-state traffic charged to a sweep-block-local gate
@@ -151,6 +194,21 @@ impl CpuCostModel {
         kernel_time(&self.spec, &profile)
     }
 
+    /// Modeled bytes of one pass at an explicit traffic share — the byte
+    /// half of [`Self::pass_cost`]'s work accounting, kept separate so the
+    /// admission ledger charges exactly the traffic the timeline prices.
+    fn pass_traffic(&self, num_qubits: usize, qubits: &[usize], traffic_share: f64) -> f64 {
+        fused_gate_work(
+            num_qubits,
+            qubits,
+            self.amp_bytes,
+            self.low_qubit_byte_overhead,
+            self.shuffle_flops_per_low_qubit,
+        )
+        .bytes
+            * traffic_share
+    }
+
     fn block_qubits(&self, num_qubits: usize) -> usize {
         if self.sweep.enabled {
             self.sweep.block_qubits(num_qubits)
@@ -195,6 +253,35 @@ impl FusionCostModel for CpuCostModel {
             }
         }
         total
+    }
+
+    fn gate_traffic(&self, num_qubits: usize, qubits: &[usize]) -> f64 {
+        let traffic_share = if is_block_local(qubits, self.block_qubits(num_qubits)) {
+            SWEPT_TRAFFIC_SHARE
+        } else {
+            1.0
+        };
+        self.pass_traffic(num_qubits, qubits, traffic_share)
+    }
+
+    /// Run-aware traffic: the same [`PassTracker`] walk as
+    /// [`Self::plan_cost`], accumulating bytes and seconds in one pass so
+    /// the ratio reflects what the timeline will actually charge.
+    fn plan_traffic(&self, plan: &FusedCircuit) -> TrafficEstimate {
+        let mut tracker = PassTracker::new(&self.sweep, plan.num_qubits);
+        let mut est = TrafficEstimate::default();
+        for op in &plan.ops {
+            match op {
+                FusedOp::Unitary(g) => {
+                    let share =
+                        if tracker.on_gate(&g.qubits) { 1.0 } else { SWEPT_JOIN_TRAFFIC_SHARE };
+                    est.bytes += self.pass_traffic(plan.num_qubits, &g.qubits, share);
+                    est.seconds += self.pass_cost(plan.num_qubits, &g.qubits, share);
+                }
+                FusedOp::Measurement { .. } => tracker.on_barrier(),
+            }
+        }
+        est
     }
 }
 
@@ -266,6 +353,22 @@ impl FusionCostModel for GpuCostModel {
             t += memcpy_time(&self.spec, dim * dim * self.amp_bytes as u64);
         }
         t
+    }
+
+    fn gate_traffic(&self, num_qubits: usize, qubits: &[usize]) -> f64 {
+        let mut bytes = fused_gate_work(
+            num_qubits,
+            qubits,
+            self.amp_bytes,
+            self.low_qubit_byte_overhead,
+            self.shuffle_flops_per_low_qubit,
+        )
+        .bytes;
+        if self.uploads_matrices {
+            let dim = 1u64 << qubits.len();
+            bytes += (dim * dim * self.amp_bytes as u64) as f64;
+        }
+        bytes
     }
 }
 
@@ -344,6 +447,32 @@ mod tests {
         // More lane-low targets at equal width cost more.
         let fewer = m.gate_cost(24, &[0, 8, 9, 16, 17, 18]);
         assert!(low > fewer, "3 lane-low targets {low} vs 1 {fewer}");
+    }
+
+    #[test]
+    fn plan_traffic_tracks_plan_cost_and_scales_with_state() {
+        use qsim_circuit::library;
+        let fused24 = crate::fuse(&library::ghz(24), 2);
+        let fused20 = crate::fuse(&library::ghz(20), 2);
+        let m = CpuCostModel::new(
+            DeviceSpec::epyc_trento(),
+            2,
+            SweepConfig::default(),
+            Precision::Single,
+        );
+        let t24 = m.plan_traffic(&fused24);
+        let t20 = m.plan_traffic(&fused20);
+        // Seconds agree with the run-aware plan cost, bytes/s is a real rate,
+        // and a 16×-larger state moves far more bytes per pass.
+        assert_eq!(t24.seconds, m.plan_cost(&fused24));
+        assert!(t24.bytes_per_second() > 0.0);
+        assert!(t24.bytes > 8.0 * t20.bytes, "24q {} vs 20q {}", t24.bytes, t20.bytes);
+
+        // The GPU model folds matrix-upload bytes into its traffic.
+        let mut g = a100_model();
+        let with_upload = g.gate_traffic(20, &[8, 12]);
+        g.uploads_matrices = false;
+        assert!(with_upload > g.gate_traffic(20, &[8, 12]));
     }
 
     #[test]

@@ -31,7 +31,8 @@ pub mod cost;
 pub mod planner;
 
 pub use cost::{
-    CpuCostModel, FusionCostModel, GpuCostModel, LANE_SHUFFLE_FLOPS, SWEPT_JOIN_TRAFFIC_SHARE,
+    CpuCostModel, FusionCostModel, GpuCostModel, TrafficEstimate, LANE_SHUFFLE_FLOPS,
+    SWEPT_JOIN_TRAFFIC_SHARE,
 };
 pub use planner::{
     fuse_auto, fuse_with_lookahead, fuse_with_model, plan, FusionPlan, FusionStrategy,
@@ -154,6 +155,36 @@ impl FusedCircuit {
             config,
             self.num_qubits,
         )
+    }
+
+    /// Order-sensitive hash of the plan's *functional* content: qubit
+    /// count, op sequence, target sets, and bit-exact matrix entries —
+    /// ignoring provenance (`source_gates`, `time_range`). Two plans with
+    /// equal hashes execute identically, which is what lets the serve
+    /// layer's coalescing queue gang-schedule hash-equal Batch-class jobs
+    /// through one `run_batch` call.
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.num_qubits.hash(&mut h);
+        for op in &self.ops {
+            match op {
+                FusedOp::Unitary(g) => {
+                    0u8.hash(&mut h);
+                    g.qubits.hash(&mut h);
+                    for a in g.matrix.as_slice() {
+                        a.re.to_bits().hash(&mut h);
+                        a.im.to_bits().hash(&mut h);
+                    }
+                }
+                FusedOp::Measurement { qubits, time } => {
+                    1u8.hash(&mut h);
+                    qubits.hash(&mut h);
+                    time.hash(&mut h);
+                }
+            }
+        }
+        h.finish()
     }
 }
 

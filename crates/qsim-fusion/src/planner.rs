@@ -31,7 +31,7 @@
 use qsim_circuit::circuit::Circuit;
 use qsim_core::kernels::MAX_GATE_QUBITS;
 
-use crate::cost::FusionCostModel;
+use crate::cost::{FusionCostModel, TrafficEstimate};
 use crate::{fuse, Builder, Frontier, FusedCircuit, FusedGate, FusedOp};
 
 /// How a circuit is turned into a fused plan.
@@ -103,6 +103,10 @@ pub struct FusionPlan {
     pub strategy: FusionStrategy,
     /// The cost model's prediction for the whole plan, in seconds.
     pub predicted_cost_seconds: f64,
+    /// The cost model's modeled memory traffic for the whole plan — the
+    /// per-job bytes/s demand the serve layer's bandwidth-aware admission
+    /// ledger charges while the job runs.
+    pub predicted_traffic: TrafficEstimate,
 }
 
 /// Plan `circuit` under `strategy`. `max_fused_qubits` bounds `Greedy`
@@ -122,7 +126,12 @@ pub fn plan(
         FusionStrategy::Cost => fuse_with_model(circuit, max_fused_qubits, model),
         FusionStrategy::Auto => fuse_auto(circuit, model),
     };
-    FusionPlan { predicted_cost_seconds: model.plan_cost(&fused), fused, strategy }
+    FusionPlan {
+        predicted_cost_seconds: model.plan_cost(&fused),
+        predicted_traffic: model.plan_traffic(&fused),
+        fused,
+        strategy,
+    }
 }
 
 /// Fuse with the cost model at the default lookahead window.

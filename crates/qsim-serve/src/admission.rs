@@ -1,9 +1,25 @@
-//! Admission control: a global memory budget enforced at submit time.
+//! Admission control: a global memory budget enforced at submit time,
+//! plus a modeled-bandwidth ledger enforced at dispatch time.
 //!
-//! The budget is charged from qubit count × precision **before** a job is
-//! queued, so the service's answer to an over-committed moment is a typed
-//! rejection with a retry hint — backpressure — instead of a worker
-//! OOM-aborting mid-run with a 16 GiB allocation half-faulted.
+//! The memory budget is charged from qubit count × precision **before** a
+//! job is queued, so the service's answer to an over-committed moment is
+//! a typed rejection with a retry hint — backpressure — instead of a
+//! worker OOM-aborting mid-run with a 16 GiB allocation half-faulted.
+//!
+//! The bandwidth ledger is the second axis (qHiPSTER's bandwidth-centric
+//! accounting, applied to scheduling): every job carries an estimated
+//! DRAM traffic rate from the fusion cost model
+//! (`FusionPlan::predicted_traffic`), scaled down for states small enough
+//! to live in the last-level cache. Workers only start a job while the
+//! aggregate rate of *running* jobs stays under the modeled bandwidth
+//! budget — which is what stops eight workers from streaming eight
+//! 24-qubit states through one memory system at once, the measured
+//! scaling cliff in `results/serve_throughput.csv`. One job is always
+//! admissible when nothing is running, so the ledger can never deadlock
+//! the queue. Submissions are only refused (typed
+//! [`AdmissionError::Saturated`]) once the *backlog* of queued traffic
+//! exceeds a generous multiple of the budget — load shedding, not
+//! scheduling.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -32,6 +48,19 @@ pub enum AdmissionError {
         /// Suggested client back-off before resubmitting.
         retry_after: Duration,
     },
+    /// The queue already holds more modeled memory traffic than the
+    /// service can drain promptly; the submission is shed instead of
+    /// queued. Retry after the hinted delay.
+    Saturated {
+        /// The job's estimated traffic rate, bytes/s.
+        demand_bytes_per_sec: u64,
+        /// Aggregate rate of queued + running jobs, bytes/s.
+        backlog_bytes_per_sec: u64,
+        /// The backlog cap that was exceeded, bytes/s.
+        limit_bytes_per_sec: u64,
+        /// Suggested client back-off before resubmitting.
+        retry_after: Duration,
+    },
 }
 
 impl std::fmt::Display for AdmissionError {
@@ -46,11 +75,36 @@ impl std::fmt::Display for AdmissionError {
                 "budget exhausted: job needs {requested_bytes} B, {available_bytes} B available; retry in {} ms",
                 retry_after.as_millis()
             ),
+            AdmissionError::Saturated {
+                demand_bytes_per_sec,
+                backlog_bytes_per_sec,
+                limit_bytes_per_sec,
+                retry_after,
+            } => write!(
+                f,
+                "bandwidth backlog saturated: job models {demand_bytes_per_sec} B/s, \
+                 backlog already {backlog_bytes_per_sec} B/s of {limit_bytes_per_sec} B/s; retry in {} ms",
+                retry_after.as_millis()
+            ),
         }
     }
 }
 
 impl std::error::Error for AdmissionError {}
+
+/// Atomically subtract with a floor of zero — callers that dispatch work
+/// pushed outside the submit path (queue unit tests, embedders driving
+/// the queue directly) must not wrap the counters.
+fn saturating_sub(counter: &AtomicU64, amount: u64) {
+    let mut current = counter.load(Ordering::Acquire);
+    loop {
+        let next = current.saturating_sub(amount);
+        match counter.compare_exchange_weak(current, next, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
 
 #[derive(Debug)]
 struct Ledger {
@@ -79,10 +133,41 @@ impl Drop for Reservation {
     }
 }
 
-/// The gatekeeper: tracks reserved state bytes against a fixed budget.
+/// The modeled-bandwidth ledger: aggregate traffic rates of queued and
+/// running jobs against a fixed bytes/s budget.
+#[derive(Debug)]
+struct BandwidthLedger {
+    /// Aggregate rate running jobs may charge before dispatch stalls.
+    budget_bps: u64,
+    /// Queued-backlog cap; submissions above it are shed.
+    backlog_limit_bps: u64,
+    /// Sum of queued (admitted, not yet started) jobs' rates.
+    queued_bps: AtomicU64,
+    /// Sum of running jobs' rates.
+    running_bps: AtomicU64,
+    /// Number of running jobs (the `== 0` escape hatch).
+    running_jobs: AtomicU64,
+}
+
+/// A snapshot of the bandwidth ledger for the `metrics` verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BandwidthSnapshot {
+    /// The configured bytes/s budget.
+    pub budget_bps: u64,
+    /// Aggregate rate charged by running jobs.
+    pub running_bps: u64,
+    /// Aggregate rate of admitted jobs still queued.
+    pub queued_bps: u64,
+    /// Running job count.
+    pub running_jobs: u64,
+}
+
+/// The gatekeeper: tracks reserved state bytes against a fixed budget and
+/// modeled traffic rates against a bandwidth budget.
 #[derive(Debug, Clone)]
 pub struct AdmissionController {
     ledger: Arc<Ledger>,
+    bandwidth: Arc<BandwidthLedger>,
     /// Retry hint handed to rejected clients.
     retry_after: Duration,
 }
@@ -90,11 +175,36 @@ pub struct AdmissionController {
 /// Default client back-off hint.
 pub const DEFAULT_RETRY_AFTER: Duration = Duration::from_millis(250);
 
+/// Default modeled-bandwidth budget, bytes/s. Roughly twice the modeled
+/// EPYC "Trento" socket bandwidth: enough for two streaming 24-qubit
+/// jobs side by side (the measured throughput knee) while any number of
+/// cache-resident small jobs pass untouched.
+pub const DEFAULT_BANDWIDTH_BUDGET_BPS: u64 = 400 << 30;
+
+/// Backlog multiple of the bandwidth budget past which submissions are
+/// shed with [`AdmissionError::Saturated`].
+pub const BACKLOG_OVERCOMMIT: u64 = 64;
+
 impl AdmissionController {
-    /// A controller over `budget_bytes` of state memory.
+    /// A controller over `budget_bytes` of state memory with the default
+    /// bandwidth budget.
     pub fn new(budget_bytes: u64) -> Self {
+        Self::with_bandwidth(budget_bytes, DEFAULT_BANDWIDTH_BUDGET_BPS)
+    }
+
+    /// A controller over `budget_bytes` of state memory and
+    /// `bandwidth_budget_bps` of modeled traffic.
+    pub fn with_bandwidth(budget_bytes: u64, bandwidth_budget_bps: u64) -> Self {
+        let budget_bps = bandwidth_budget_bps.max(1);
         AdmissionController {
             ledger: Arc::new(Ledger { budget_bytes, reserved_bytes: AtomicU64::new(0) }),
+            bandwidth: Arc::new(BandwidthLedger {
+                budget_bps,
+                backlog_limit_bps: budget_bps.saturating_mul(BACKLOG_OVERCOMMIT),
+                queued_bps: AtomicU64::new(0),
+                running_bps: AtomicU64::new(0),
+                running_jobs: AtomicU64::new(0),
+            }),
             retry_after: DEFAULT_RETRY_AFTER,
         }
     }
@@ -138,6 +248,74 @@ impl AdmissionController {
         }
     }
 
+    /// Charge a submission's modeled traffic rate to the queued backlog,
+    /// or shed it when the backlog already exceeds
+    /// [`BACKLOG_OVERCOMMIT`] × budget. Pairs with
+    /// [`AdmissionController::start_traffic`] (on dispatch) or
+    /// [`AdmissionController::drop_queued_traffic`] (job never dispatched).
+    pub fn enqueue_traffic(&self, demand_bps: u64) -> Result<(), AdmissionError> {
+        let bw = &self.bandwidth;
+        let mut queued = bw.queued_bps.load(Ordering::Acquire);
+        loop {
+            let backlog = queued.saturating_add(bw.running_bps.load(Ordering::Acquire));
+            if backlog.saturating_add(demand_bps) > bw.backlog_limit_bps {
+                return Err(AdmissionError::Saturated {
+                    demand_bytes_per_sec: demand_bps,
+                    backlog_bytes_per_sec: backlog,
+                    limit_bytes_per_sec: bw.backlog_limit_bps,
+                    // The backlog is many run-times deep by construction;
+                    // hint a proportionally longer back-off than a plain
+                    // memory rejection.
+                    retry_after: self.retry_after * 4,
+                });
+            }
+            match bw.queued_bps.compare_exchange_weak(
+                queued,
+                queued + demand_bps,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => queued = actual,
+            }
+        }
+    }
+
+    /// Whether a job charging `demand_bps` may start **now**: always when
+    /// nothing is running (so the ledger can never starve the queue),
+    /// otherwise only while the aggregate running rate stays in budget.
+    pub fn traffic_admissible(&self, demand_bps: u64) -> bool {
+        let bw = &self.bandwidth;
+        bw.running_jobs.load(Ordering::Acquire) == 0
+            || bw.running_bps.load(Ordering::Acquire).saturating_add(demand_bps) <= bw.budget_bps
+    }
+
+    /// Move traffic from the queued backlog to the running charge: a
+    /// dispatched unit releases `queued_bps` of backlog (every gang
+    /// member's share) and charges `running_bps` (the gang runs the sweep
+    /// once, so it charges its lead's rate). Pairs with
+    /// [`AdmissionController::finish_traffic`].
+    pub fn start_traffic(&self, queued_bps: u64, running_bps: u64) {
+        let bw = &self.bandwidth;
+        saturating_sub(&bw.queued_bps, queued_bps);
+        bw.running_bps.fetch_add(running_bps, Ordering::AcqRel);
+        bw.running_jobs.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Release a finished (or failed, cancelled, timed-out) unit's
+    /// running charge.
+    pub fn finish_traffic(&self, running_bps: u64) {
+        let bw = &self.bandwidth;
+        saturating_sub(&bw.running_bps, running_bps);
+        saturating_sub(&bw.running_jobs, 1);
+    }
+
+    /// Release backlog charged by a job that will never start (submission
+    /// raced shutdown).
+    pub fn drop_queued_traffic(&self, queued_bps: u64) {
+        saturating_sub(&self.bandwidth.queued_bps, queued_bps);
+    }
+
     /// The fixed budget.
     pub fn budget_bytes(&self) -> u64 {
         self.ledger.budget_bytes
@@ -146,6 +324,17 @@ impl AdmissionController {
     /// Bytes currently reserved by admitted, unfinished jobs.
     pub fn reserved_bytes(&self) -> u64 {
         self.ledger.reserved_bytes.load(Ordering::Acquire)
+    }
+
+    /// Bandwidth-ledger snapshot for the `metrics` verb.
+    pub fn bandwidth_snapshot(&self) -> BandwidthSnapshot {
+        let bw = &self.bandwidth;
+        BandwidthSnapshot {
+            budget_bps: bw.budget_bps,
+            running_bps: bw.running_bps.load(Ordering::Acquire),
+            queued_bps: bw.queued_bps.load(Ordering::Acquire),
+            running_jobs: bw.running_jobs.load(Ordering::Acquire),
+        }
     }
 }
 
@@ -218,5 +407,61 @@ mod tests {
         });
         assert!(admitted <= 10, "budget overshot: {admitted} × 10 B admitted against 100 B");
         assert_eq!(ctl.reserved_bytes(), 0, "all reservations must have released");
+    }
+
+    #[test]
+    fn traffic_ledger_caps_concurrency_but_never_starves() {
+        let ctl = AdmissionController::with_bandwidth(1 << 30, 100);
+        // Nothing running: even an over-budget rate may start.
+        assert!(ctl.traffic_admissible(1000));
+        ctl.enqueue_traffic(70).unwrap();
+        ctl.start_traffic(70, 70);
+        // 70 of 100 charged: a 40 B/s job must wait…
+        assert!(!ctl.traffic_admissible(40));
+        // …but a 30 B/s job still fits exactly.
+        assert!(ctl.traffic_admissible(30));
+        ctl.finish_traffic(70);
+        assert!(ctl.traffic_admissible(40));
+        let snap = ctl.bandwidth_snapshot();
+        assert_eq!((snap.running_bps, snap.running_jobs, snap.queued_bps), (0, 0, 0));
+    }
+
+    #[test]
+    fn saturated_backlog_sheds_with_typed_error() {
+        let ctl = AdmissionController::with_bandwidth(1 << 30, 10);
+        // Backlog limit is 10 × BACKLOG_OVERCOMMIT = 640 B/s.
+        ctl.enqueue_traffic(600).unwrap();
+        match ctl.enqueue_traffic(100) {
+            Err(AdmissionError::Saturated {
+                demand_bytes_per_sec: 100,
+                backlog_bytes_per_sec: 600,
+                limit_bytes_per_sec,
+                retry_after,
+            }) => {
+                assert_eq!(limit_bytes_per_sec, 10 * BACKLOG_OVERCOMMIT);
+                assert!(retry_after > Duration::ZERO);
+            }
+            other => panic!("expected Saturated, got {other:?}"),
+        }
+        // Shedding must not leak backlog charge.
+        assert_eq!(ctl.bandwidth_snapshot().queued_bps, 600);
+        ctl.drop_queued_traffic(600);
+        assert_eq!(ctl.bandwidth_snapshot().queued_bps, 0);
+    }
+
+    #[test]
+    fn gang_dispatch_charges_lead_rate_only() {
+        let ctl = AdmissionController::with_bandwidth(1 << 30, 100);
+        for _ in 0..4 {
+            ctl.enqueue_traffic(20).unwrap();
+        }
+        assert_eq!(ctl.bandwidth_snapshot().queued_bps, 80);
+        // A 4-member gang releases all four backlog shares but runs the
+        // sweep once: it charges one member's rate.
+        ctl.start_traffic(80, 20);
+        let snap = ctl.bandwidth_snapshot();
+        assert_eq!((snap.queued_bps, snap.running_bps, snap.running_jobs), (0, 20, 1));
+        ctl.finish_traffic(20);
+        assert_eq!(ctl.bandwidth_snapshot().running_jobs, 0);
     }
 }

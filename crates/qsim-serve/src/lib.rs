@@ -11,17 +11,27 @@
 //!
 //! - [`JobQueue`] — priority classes ([`Priority::High`] /
 //!   [`Priority::Normal`] / [`Priority::Batch`]), FIFO within a class,
-//!   condvar-blocked workers.
+//!   condvar-blocked workers. Dispatch ([`JobQueue::pop_work`]) is
+//!   bandwidth-gated and **coalescing**: compatible Batch-class jobs
+//!   (hash-equal fused circuits, same shape) are handed out as a gang and
+//!   run through [`qsim_backends::SimBackend::run_batch`] — one gate
+//!   plan and one matrix upload per gate for the whole gang.
 //! - [`WorkerPool`] — `N` threads, each owning one
 //!   [`qsim_backends::SimBackend`] per flavor it has seen, draining the
-//!   queue until shutdown.
+//!   queue until shutdown. Each worker remembers the size bucket it last
+//!   touched and asks for matching work first (buffer affinity).
 //! - [`StateBufferPool`] — size-bucketed recycling of the multi-GiB
 //!   amplitude allocations; a warm 30-qubit buffer turns the dominant
 //!   per-job setup cost (allocate + fault 8–16 GiB) into a memset.
-//! - [`AdmissionController`] — a global memory budget computed from qubit
-//!   count × precision; an over-budget submission is **rejected with
-//!   backpressure** ([`AdmissionError`] carrying `retry_after`), it never
-//!   OOMs a worker.
+//!   Acquisition is MRU (cache-warm), over-cap eviction is LRU.
+//! - [`AdmissionController`] — two ledgers. A global memory budget
+//!   computed from qubit count × precision; an over-budget submission is
+//!   **rejected with backpressure** ([`AdmissionError`] carrying
+//!   `retry_after`), it never OOMs a worker. And a modeled-bandwidth
+//!   ledger: each job's fusion plan predicts its memory traffic
+//!   (bytes/s), dispatch caps the aggregate streaming rate of running
+//!   jobs, and a deep backlog sheds load with the typed
+//!   [`AdmissionError::Saturated`].
 //! - the wire protocol ([`protocol`]) and TCP server ([`server`]) —
 //!   `submit`, `status`, `result`, `cancel`, `metrics`, `shutdown` verbs;
 //!   `result` returns the run's [`qsim_backends::RunReport`] JSON.
@@ -40,10 +50,15 @@ pub mod server;
 pub mod service;
 pub mod worker;
 
-pub use admission::{AdmissionController, AdmissionError, Reservation};
+pub use admission::{
+    AdmissionController, AdmissionError, BandwidthSnapshot, Reservation,
+    DEFAULT_BANDWIDTH_BUDGET_BPS,
+};
 pub use job::{JobId, JobSpec, JobState, Priority};
-pub use pool::{PoolStats, StateBufferPool};
-pub use queue::JobQueue;
+pub use pool::{BucketStats, PoolStats, StateBufferPool};
+pub use queue::{JobQueue, WorkUnit, RESIDENT_BYTES};
 pub use server::{Server, ShutdownHandle};
-pub use service::{FinalState, JobStatus, Metrics, Service, ServiceConfig, SubmitError};
+pub use service::{
+    FinalState, JobStatus, Metrics, Service, ServiceConfig, SubmitError, DEFAULT_MAX_BATCH,
+};
 pub use worker::WorkerPool;

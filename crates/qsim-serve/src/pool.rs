@@ -8,12 +8,23 @@
 //! one through `RunContext::reuse_buffer` and pays only a memset. Hit and
 //! miss counts feed the service's `metrics` verb, which is how the bench
 //! harness demonstrates the warm-pool speedup.
+//!
+//! Recency discipline inside a bucket:
+//!
+//! - [`StateBufferPool::acquire`] hands back the **most recently
+//!   released** buffer (MRU) — the one whose pages are most likely still
+//!   resident in cache and the TLB.
+//! - a release into a full bucket evicts the **least recently used**
+//!   buffer (LRU) rather than dropping the incoming, still-warm one.
+//!
+//! Per-bucket hit/miss/occupancy counters back the `metrics` verb's
+//! `buffer_pool.buckets` array and the worker size-affinity heuristic.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
-use qsim_core::types::{Cplx, Float};
+use qsim_core::types::{Cplx, Float, Precision};
 
 /// Hit/miss/occupancy counters, snapshot via [`StateBufferPool::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -26,6 +37,8 @@ pub struct PoolStats {
     pub pooled_buffers: u64,
     /// Bytes currently parked in the pool.
     pub pooled_bytes: u64,
+    /// Buffers dropped by LRU eviction from full buckets.
+    pub evicted: u64,
 }
 
 impl PoolStats {
@@ -40,15 +53,70 @@ impl PoolStats {
     }
 }
 
+/// Counters for one `(precision, length)` bucket, the rows of the
+/// `metrics` verb's `buffer_pool.buckets` array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketStats {
+    /// Amplitude precision of the bucket's buffers.
+    pub precision: Precision,
+    /// Amplitude count of the bucket's buffers.
+    pub len: usize,
+    /// Buffers currently parked in this bucket.
+    pub pooled: u64,
+    /// Bytes currently parked in this bucket.
+    pub pooled_bytes: u64,
+    /// Acquisitions this bucket served warm.
+    pub hits: u64,
+    /// Acquisitions of this shape that missed.
+    pub misses: u64,
+    /// Buffers this bucket dropped by LRU eviction.
+    pub evicted: u64,
+}
+
+/// One bucket: parked buffers in release order (front = LRU, back = MRU)
+/// plus its lifetime counters. Counters survive the bucket draining to
+/// empty.
+#[derive(Debug)]
+struct Bucket<F> {
+    parked: VecDeque<Vec<Cplx<F>>>,
+    hits: u64,
+    misses: u64,
+    evicted: u64,
+}
+
+impl<F> Default for Bucket<F> {
+    fn default() -> Self {
+        Bucket { parked: VecDeque::new(), hits: 0, misses: 0, evicted: 0 }
+    }
+}
+
 /// One precision's buckets: amplitude length → parked buffers.
 #[derive(Debug)]
 pub struct TypedPool<F> {
-    buckets: Mutex<HashMap<usize, Vec<Vec<Cplx<F>>>>>,
+    buckets: Mutex<HashMap<usize, Bucket<F>>>,
 }
 
 impl<F: Float> Default for TypedPool<F> {
     fn default() -> Self {
         TypedPool { buckets: Mutex::new(HashMap::new()) }
+    }
+}
+
+impl<F: Float> TypedPool<F> {
+    fn bucket_stats(&self, out: &mut Vec<BucketStats>) {
+        let buckets = self.buckets.lock();
+        for (&len, bucket) in buckets.iter() {
+            out.push(BucketStats {
+                precision: F::PRECISION,
+                len,
+                pooled: bucket.parked.len() as u64,
+                pooled_bytes: bucket.parked.len() as u64
+                    * (len * std::mem::size_of::<Cplx<F>>()) as u64,
+                hits: bucket.hits,
+                misses: bucket.misses,
+                evicted: bucket.evicted,
+            });
+        }
     }
 }
 
@@ -82,8 +150,9 @@ pub struct StateBufferPool {
     misses: AtomicU64,
     pooled_buffers: AtomicU64,
     pooled_bytes: AtomicU64,
-    /// Cap on parked buffers per `(precision, length)` bucket; releases
-    /// beyond it drop the buffer instead (bounds idle memory).
+    evicted: AtomicU64,
+    /// Cap on parked buffers per `(precision, length)` bucket; a release
+    /// into a full bucket evicts the LRU buffer (bounds idle memory).
     max_per_bucket: usize,
 }
 
@@ -106,39 +175,59 @@ impl StateBufferPool {
             misses: AtomicU64::new(0),
             pooled_buffers: AtomicU64::new(0),
             pooled_bytes: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
             max_per_bucket,
         }
     }
 
     /// Take a recycled buffer of exactly `len` amplitudes, or `None` on a
-    /// pool miss (the caller allocates fresh). Counts the hit/miss.
+    /// pool miss (the caller allocates fresh). Counts the hit/miss. The
+    /// buffer handed back is the most recently released one — the one
+    /// most likely still cache-warm.
     pub fn acquire<F: PoolSlot>(&self, len: usize) -> Option<Vec<Cplx<F>>> {
-        let taken = F::typed(self).buckets.lock().get_mut(&len).and_then(Vec::pop);
-        match taken {
+        let mut buckets = F::typed(self).buckets.lock();
+        let bucket = buckets.entry(len).or_default();
+        match bucket.parked.pop_back() {
             Some(buf) => {
+                bucket.hits += 1;
+                drop(buckets);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 self.pooled_buffers.fetch_sub(1, Ordering::Relaxed);
                 self.pooled_bytes.fetch_sub(Self::bytes_of(&buf), Ordering::Relaxed);
                 Some(buf)
             }
             None => {
+                bucket.misses += 1;
+                drop(buckets);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Park a finished job's buffer for reuse. Buffers beyond the bucket
-    /// cap are dropped (freed) instead of parked.
+    /// Park a finished job's buffer for reuse. A release into a full
+    /// bucket evicts (frees) the least recently used buffer and keeps the
+    /// incoming, cache-warm one.
     pub fn release<F: PoolSlot>(&self, buf: Vec<Cplx<F>>) {
         let bytes = Self::bytes_of(&buf);
         let len = buf.len();
         let mut buckets = F::typed(self).buckets.lock();
         let bucket = buckets.entry(len).or_default();
-        if bucket.len() < self.max_per_bucket {
-            bucket.push(buf);
+        let evicted = if bucket.parked.len() >= self.max_per_bucket.max(1) {
+            bucket.evicted += 1;
+            bucket.parked.pop_front()
+        } else {
+            None
+        };
+        bucket.parked.push_back(buf);
+        let net_parked = evicted.is_none();
+        drop(buckets);
+        if net_parked {
             self.pooled_buffers.fetch_add(1, Ordering::Relaxed);
             self.pooled_bytes.fetch_add(bytes, Ordering::Relaxed);
+        } else {
+            // Same-shaped buffer swapped out: counts are unchanged.
+            self.evicted.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -149,7 +238,18 @@ impl StateBufferPool {
             misses: self.misses.load(Ordering::Relaxed),
             pooled_buffers: self.pooled_buffers.load(Ordering::Relaxed),
             pooled_bytes: self.pooled_bytes.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
         }
+    }
+
+    /// Per-bucket counter snapshot, sorted by (precision, length) so the
+    /// `metrics` verb's output is deterministic.
+    pub fn bucket_stats(&self) -> Vec<BucketStats> {
+        let mut out = Vec::new();
+        self.f32_pool.bucket_stats(&mut out);
+        self.f64_pool.bucket_stats(&mut out);
+        out.sort_by_key(|b| (b.precision.amplitude_bytes(), b.len));
+        out
     }
 
     fn bytes_of<F: Float>(buf: &[Cplx<F>]) -> u64 {
@@ -200,6 +300,7 @@ mod tests {
         let stats = pool.stats();
         assert_eq!(stats.pooled_buffers, 2);
         assert_eq!(stats.pooled_bytes, 2 * 8 * 16);
+        assert_eq!(stats.evicted, 3, "over-cap releases evict instead of dropping");
     }
 
     #[test]
@@ -210,5 +311,54 @@ mod tests {
         let _buf = pool.acquire::<f32>(64).unwrap();
         let stats = pool.stats();
         assert_eq!((stats.pooled_buffers, stats.pooled_bytes), (0, 0));
+    }
+
+    #[test]
+    fn acquire_is_mru_eviction_is_lru() {
+        let pool = StateBufferPool::with_max_per_bucket(2);
+        let a = vec![Cplx::<f32>::zero(); 32];
+        let b = vec![Cplx::<f32>::zero(); 32];
+        let c = vec![Cplx::<f32>::zero(); 32];
+        let (pa, pb, pc) = (a.as_ptr(), b.as_ptr(), c.as_ptr());
+        pool.release(a);
+        pool.release(b);
+        // Full bucket: releasing `c` must evict `a` (the LRU), not `c`.
+        pool.release(c);
+
+        let first = pool.acquire::<f32>(32).expect("bucket holds two buffers");
+        assert_eq!(first.as_ptr(), pc, "acquire must return the MRU buffer");
+        let second = pool.acquire::<f32>(32).expect("one buffer left");
+        assert_eq!(second.as_ptr(), pb);
+        assert_ne!(second.as_ptr(), pa, "LRU buffer must have been evicted");
+        assert!(pool.acquire::<f32>(32).is_none());
+    }
+
+    #[test]
+    fn bucket_stats_snapshot_per_shape() {
+        let pool = StateBufferPool::new();
+        pool.release(vec![Cplx::<f32>::zero(); 16]);
+        pool.release(vec![Cplx::<f32>::zero(); 16]);
+        pool.release(vec![Cplx::<f64>::zero(); 16]);
+        let _ = pool.acquire::<f32>(16);
+        let _ = pool.acquire::<f32>(64); // miss in a fresh bucket
+
+        let stats = pool.bucket_stats();
+        assert_eq!(stats.len(), 3);
+        let f32_16 = stats
+            .iter()
+            .find(|b| b.precision == Precision::Single && b.len == 16)
+            .expect("f32/16 bucket");
+        assert_eq!((f32_16.pooled, f32_16.hits, f32_16.misses), (1, 1, 0));
+        assert_eq!(f32_16.pooled_bytes, 16 * 8);
+        let f64_16 = stats
+            .iter()
+            .find(|b| b.precision == Precision::Double && b.len == 16)
+            .expect("f64/16 bucket");
+        assert_eq!((f64_16.pooled, f64_16.hits), (1, 0));
+        let f32_64 = stats
+            .iter()
+            .find(|b| b.precision == Precision::Single && b.len == 64)
+            .expect("f32/64 bucket");
+        assert_eq!((f32_64.pooled, f32_64.misses), (0, 1));
     }
 }

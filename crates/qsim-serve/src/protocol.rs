@@ -19,8 +19,9 @@
 //! | `shutdown` | — | `shutting_down` (server drains and exits) |
 //!
 //! A rejected `submit` carries backpressure hints: `retry_after_ms` when
-//! the budget is momentarily exhausted, `too_large: true` when the job
-//! can never fit.
+//! the memory budget is momentarily exhausted, `saturated: true` (plus
+//! `retry_after_ms`) when the modeled-bandwidth backlog is shedding load,
+//! and `too_large: true` when the job can never fit.
 //!
 //! [`RunReport`]: qsim_backends::RunReport
 
@@ -135,6 +136,22 @@ fn handle_submit(service: &Service, request: &Value) -> Handled {
             }),
             shutdown: false,
         },
+        Err(SubmitError::Rejected(e @ AdmissionError::Saturated { .. })) => {
+            let retry_after = match e {
+                AdmissionError::Saturated { retry_after, .. } => retry_after,
+                _ => unreachable!(),
+            };
+            Handled {
+                response: json!({
+                    "ok": false,
+                    "error": (e.to_string()),
+                    "rejected": true,
+                    "saturated": true,
+                    "retry_after_ms": (retry_after.as_millis() as u64),
+                }),
+                shutdown: false,
+            }
+        }
         Err(SubmitError::Rejected(e @ AdmissionError::TooLarge { .. })) => Handled {
             response: json!({ "ok": false, "error": (e.to_string()), "too_large": true }),
             shutdown: false,

@@ -1,29 +1,142 @@
-//! The job queue: priority classes, FIFO within a class, blocking pop.
+//! The job queue: priority classes, FIFO within a class, blocking pop —
+//! plus the bandwidth-aware, affinity-aware, gang-coalescing dispatch
+//! path ([`JobQueue::pop_work`]).
 //!
 //! Built on `std::sync::{Mutex, Condvar}` (the offline `parking_lot`
-//! stand-in exposes no condvar). Workers block in [`JobQueue::pop`];
-//! [`JobQueue::close`] wakes them all, after which `pop` drains whatever
-//! is still queued and then returns `None` — that drain is what makes
+//! stand-in exposes no condvar). Workers block in [`JobQueue::pop_work`];
+//! [`JobQueue::close`] wakes them all, after which pops drain whatever
+//! is still queued and then return `None` — that drain is what makes
 //! service shutdown graceful rather than lossy.
+//!
+//! Dispatch refinements over plain FIFO:
+//!
+//! - **Bandwidth gate** — a job only starts while the admission
+//!   controller's modeled-traffic ledger has room for its estimated
+//!   bytes/s ([`QueuedJob::demand_bps`]); with nothing running, the front
+//!   job always starts, so the gate cannot deadlock the queue.
+//! - **Size affinity** — within a bounded window at the front of a class,
+//!   a worker prefers a job whose `(precision, state length)` matches the
+//!   buffer bucket it last touched, so its released buffer is re-adopted
+//!   cache-warm instead of ping-ponging between workers.
+//! - **Gang coalescing** — when the selected job is `Batch`-class, up to
+//!   `max_batch − 1` further Batch jobs with the same fused-circuit
+//!   content hash (and flavor/precision/plan settings) are drained with
+//!   it and handed to `SimBackend::run_batch` as one gang: one gate plan,
+//!   one matrix upload, one sweep across all member states.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
+use qsim_backends::{FusionPlan, SimBackend};
 use qsim_core::cancel::CancelToken;
+use qsim_core::types::Precision;
 
-use crate::job::{JobId, JobSpec};
+use crate::admission::AdmissionController;
+use crate::job::{JobId, JobSpec, Priority};
 
-/// One queued unit of work: the spec plus the cancel token the service
-/// registry shares, so a job cancelled while still queued is observed by
-/// the worker before it runs a single gate.
+/// `(precision, amplitude count)` — the buffer-pool bucket a job's state
+/// lives in, and the key of the worker size-affinity heuristic.
+pub type BucketKey = (Precision, usize);
+
+/// State bytes below which a job is considered last-level-cache resident
+/// and charges the bandwidth ledger proportionally less (one worker's
+/// fair share of the modeled socket's L3).
+pub const RESIDENT_BYTES: u64 = 64 << 20;
+
+/// How deep into a priority class the affinity preference may look before
+/// strict FIFO wins (bounds how far a front job can be bypassed).
+const AFFINITY_WINDOW: usize = 8;
+
+/// One queued unit of work: the spec, the plan built at submission (the
+/// worker runs it as-is — planning is paid once, not per dispatch), the
+/// modeled traffic demand, and the cancel token the service registry
+/// shares so a job cancelled while still queued is observed by the worker
+/// before it runs a single gate.
 #[derive(Debug)]
 pub struct QueuedJob {
     /// Registry handle.
     pub id: JobId,
     /// What to run.
     pub spec: JobSpec,
+    /// The fusion plan, built (or fetched from the service's plan cache)
+    /// once at submission and shared by every job with the same circuit.
+    pub plan: Arc<FusionPlan>,
+    /// Modeled traffic rate charged to the bandwidth ledger, bytes/s.
+    pub demand_bps: u64,
+    /// Content hash of the fused circuit (gang-compat grouping).
+    pub fused_hash: u64,
     /// Shared with the registry's record; may fire while queued.
     pub cancel: CancelToken,
+}
+
+impl QueuedJob {
+    /// Plan `spec` and price its modeled traffic: the fusion cost model's
+    /// per-run [`qsim_backends::TrafficEstimate`] rate, scaled by how much
+    /// of the state actually streams through DRAM (a state far smaller
+    /// than the cache share re-reads silicon, not memory).
+    pub fn prepare(id: JobId, spec: JobSpec, cancel: CancelToken) -> QueuedJob {
+        let plan = Arc::new(Self::plan_spec(&spec));
+        let fused_hash = plan.fused.content_hash();
+        Self::prepare_with(id, spec, cancel, plan, fused_hash)
+    }
+
+    /// Plan a spec's circuit for its backend — the per-unique-circuit
+    /// work [`QueuedJob::prepare`] does, exposed so the service can cache
+    /// it by circuit content hash across hash-equal submissions.
+    pub fn plan_spec(spec: &JobSpec) -> FusionPlan {
+        let backend = SimBackend::new(spec.flavor);
+        let opts = qsim_backends::PlanOptions {
+            strategy: spec.strategy,
+            max_fused_qubits: spec.max_fused,
+        };
+        backend.plan_circuit(&spec.circuit, &opts, spec.precision)
+    }
+
+    /// Build a queued job around an already-available plan and its fused
+    /// content hash (both shared via the service's plan cache); only the
+    /// per-job traffic pricing remains.
+    pub fn prepare_with(
+        id: JobId,
+        spec: JobSpec,
+        cancel: CancelToken,
+        plan: Arc<FusionPlan>,
+        fused_hash: u64,
+    ) -> QueuedJob {
+        let resident = (spec.state_bytes() as f64 / RESIDENT_BYTES as f64).min(1.0);
+        let demand_bps = (plan.predicted_traffic.bytes_per_second() * resident).round() as u64;
+        QueuedJob { id, spec, plan, demand_bps, fused_hash, cancel }
+    }
+
+    /// The buffer-pool bucket this job's state occupies.
+    pub fn bucket(&self) -> BucketKey {
+        (self.spec.precision, 1usize << self.spec.circuit.num_qubits)
+    }
+
+    /// Whether `other` may ride in the same gang: identical fused circuit
+    /// (by content hash) under identical backend/precision/plan settings.
+    /// Seeds, sample counts, deadlines and `keep_state` may differ — they
+    /// are per-sub-job inputs of `run_batch`.
+    pub fn gang_compatible(&self, other: &QueuedJob) -> bool {
+        self.fused_hash == other.fused_hash
+            && self.spec.flavor == other.spec.flavor
+            && self.spec.precision == other.spec.precision
+            && self.spec.strategy == other.spec.strategy
+            && self.spec.max_fused == other.spec.max_fused
+            && self.spec.circuit.num_qubits == other.spec.circuit.num_qubits
+    }
+}
+
+/// What [`JobQueue::pop_work`] hands a worker: one or more jobs (more
+/// than one only for a Batch-class gang, lead first) plus the running
+/// traffic charge the worker must release via
+/// [`AdmissionController::finish_traffic`] when the unit completes.
+#[derive(Debug)]
+pub struct WorkUnit {
+    /// The jobs to run — a single job, or a gang for `run_batch`.
+    pub jobs: Vec<QueuedJob>,
+    /// Rate charged to the ledger for this unit (the lead's demand).
+    pub running_bps: u64,
 }
 
 #[derive(Debug, Default)]
@@ -39,6 +152,68 @@ impl Inner {
 
     fn pop_next(&mut self) -> Option<QueuedJob> {
         self.classes.iter_mut().find_map(VecDeque::pop_front)
+    }
+
+    /// Select the next dispatchable job: the first bandwidth-admissible
+    /// job in the highest non-empty class, except that an admissible
+    /// affinity match within the class's front window wins over an
+    /// earlier non-matching job.
+    fn select(
+        &mut self,
+        admission: &AdmissionController,
+        affinity: Option<BucketKey>,
+    ) -> Option<QueuedJob> {
+        for class in &mut self.classes {
+            if class.is_empty() {
+                continue;
+            }
+            let mut first_admissible = None;
+            for (i, job) in class.iter().enumerate() {
+                if i >= AFFINITY_WINDOW && first_admissible.is_some() {
+                    break;
+                }
+                // A fired token makes the job free to "run" (the worker
+                // only records the cancellation), so it always passes.
+                let admissible =
+                    job.cancel.cause().is_some() || admission.traffic_admissible(job.demand_bps);
+                if !admissible {
+                    continue;
+                }
+                if affinity == Some(job.bucket()) {
+                    return class.remove(i);
+                }
+                if first_admissible.is_none() {
+                    first_admissible = Some(i);
+                    if affinity.is_none() {
+                        break;
+                    }
+                }
+            }
+            if let Some(i) = first_admissible {
+                return class.remove(i);
+            }
+            // Nothing admissible in the top non-empty class: do NOT fall
+            // through to a lower class — that would invert priorities.
+            return None;
+        }
+        None
+    }
+
+    /// Drain up to `extra` gang-compatible Batch-class jobs for `lead`.
+    fn drain_gang(&mut self, lead: &QueuedJob, extra: usize) -> Vec<QueuedJob> {
+        let class = &mut self.classes[Priority::Batch.index()];
+        let mut gang = Vec::new();
+        let mut i = 0;
+        while i < class.len() && gang.len() < extra {
+            if lead.gang_compatible(&class[i]) {
+                if let Some(job) = class.remove(i) {
+                    gang.push(job);
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        gang
     }
 }
 
@@ -69,9 +244,28 @@ impl JobQueue {
         Ok(())
     }
 
+    /// Enqueue a batch of jobs under one lock round — the bulk-submission
+    /// path. Returns all the jobs back if the queue has been closed.
+    pub fn push_many(&self, jobs: Vec<QueuedJob>) -> Result<(), Vec<QueuedJob>> {
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.closed {
+            return Err(jobs);
+        }
+        for job in jobs {
+            inner.classes[job.spec.priority.index()].push_back(job);
+        }
+        drop(inner);
+        self.available.notify_all();
+        Ok(())
+    }
+
     /// Block until a job is available (highest priority class first,
     /// FIFO within a class) or the queue is closed **and** drained, in
-    /// which case `None` tells the worker to exit.
+    /// which case `None` tells the worker to exit. Ignores the bandwidth
+    /// gate — the dispatch path workers use is [`JobQueue::pop_work`].
     pub fn pop(&self) -> Option<QueuedJob> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         loop {
@@ -83,6 +277,58 @@ impl JobQueue {
             }
             inner = self.available.wait(inner).unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Block until a bandwidth-admissible unit of work is available (or
+    /// the queue is closed and drained → `None`). Charges the unit's
+    /// traffic to `admission` before returning: the caller owns the
+    /// release ([`AdmissionController::finish_traffic`] with
+    /// [`WorkUnit::running_bps`]).
+    ///
+    /// `affinity` is the `(precision, length)` bucket the worker last
+    /// released a buffer into; `max_batch` caps gang width (`1` disables
+    /// coalescing).
+    pub fn pop_work(
+        &self,
+        admission: &AdmissionController,
+        affinity: Option<BucketKey>,
+        max_batch: usize,
+    ) -> Option<WorkUnit> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(lead) = inner.select(admission, affinity) {
+                let mut jobs = vec![lead];
+                if max_batch > 1 && jobs[0].spec.priority == Priority::Batch {
+                    let gang = inner.drain_gang(&jobs[0], max_batch - 1);
+                    jobs.extend(gang);
+                }
+                drop(inner);
+                // The gang sweeps every member state through one pass of
+                // the gate plan, so it charges the lead's rate once; all
+                // members' backlog shares are released.
+                let queued: u64 = jobs.iter().map(|j| j.demand_bps).sum();
+                let running_bps = jobs[0].demand_bps;
+                admission.start_traffic(queued, running_bps);
+                return Some(WorkUnit { jobs, running_bps });
+            }
+            if inner.closed && inner.len() == 0 {
+                return None;
+            }
+            // Timed wait: a finish_traffic release may race this check,
+            // and the bounded sleep doubles as the lost-wakeup backstop.
+            let (guard, _) = self
+                .available
+                .wait_timeout(inner, Duration::from_millis(5))
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+    }
+
+    /// Wake blocked workers — called after a finished unit releases its
+    /// bandwidth charge, which may make a previously inadmissible job
+    /// dispatchable.
+    pub fn notify(&self) {
+        self.available.notify_all();
     }
 
     /// Close the queue: no further [`JobQueue::push`] succeeds, every
@@ -106,14 +352,24 @@ impl JobQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::Priority;
     use qsim_circuit::library;
     use std::sync::Arc;
 
     fn job(id: u64, priority: Priority) -> QueuedJob {
         let mut spec = JobSpec::new(library::bell());
         spec.priority = priority;
-        QueuedJob { id: JobId(id), spec, cancel: CancelToken::new() }
+        QueuedJob::prepare(JobId(id), spec, CancelToken::new())
+    }
+
+    fn batch_job(id: u64, qubits: usize) -> QueuedJob {
+        let mut spec = JobSpec::new(library::ghz(qubits));
+        spec.priority = Priority::Batch;
+        spec.seed = id; // seeds differ; gang compatibility must survive
+        QueuedJob::prepare(JobId(id), spec, CancelToken::new())
+    }
+
+    fn wide_open() -> AdmissionController {
+        AdmissionController::with_bandwidth(1 << 40, u64::MAX / 2)
     }
 
     #[test]
@@ -152,5 +408,97 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert_eq!(popper.join().unwrap(), None);
+    }
+
+    #[test]
+    fn pop_work_coalesces_compatible_batch_jobs() {
+        let q = JobQueue::new();
+        let ctl = wide_open();
+        // Three hash-equal 6-qubit GHZ jobs, one incompatible 7-qubit job
+        // in between, one Normal-class job that must dispatch first.
+        q.push(batch_job(1, 6)).unwrap();
+        q.push(batch_job(2, 7)).unwrap();
+        q.push(batch_job(3, 6)).unwrap();
+        q.push(batch_job(4, 6)).unwrap();
+        q.push(job(5, Priority::Normal)).unwrap();
+
+        let unit = q.pop_work(&ctl, None, 8).unwrap();
+        assert_eq!(unit.jobs.len(), 1);
+        assert_eq!(unit.jobs[0].id.0, 5, "Normal class dispatches before Batch");
+        ctl.finish_traffic(unit.running_bps);
+
+        let unit = q.pop_work(&ctl, None, 8).unwrap();
+        let ids: Vec<u64> = unit.jobs.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, [1, 3, 4], "gang takes every compatible job, FIFO order");
+        assert!(unit.jobs.windows(2).all(|w| w[0].gang_compatible(&w[1])));
+        ctl.finish_traffic(unit.running_bps);
+
+        let unit = q.pop_work(&ctl, None, 8).unwrap();
+        assert_eq!(unit.jobs.len(), 1, "the incompatible job runs alone");
+        assert_eq!(unit.jobs[0].id.0, 2);
+        ctl.finish_traffic(unit.running_bps);
+        assert_eq!(ctl.bandwidth_snapshot().running_jobs, 0);
+    }
+
+    #[test]
+    fn gang_width_respects_max_batch() {
+        let q = JobQueue::new();
+        let ctl = wide_open();
+        for id in 0..5 {
+            q.push(batch_job(id, 6)).unwrap();
+        }
+        let unit = q.pop_work(&ctl, None, 3).unwrap();
+        assert_eq!(unit.jobs.len(), 3);
+        ctl.finish_traffic(unit.running_bps);
+        let unit = q.pop_work(&ctl, None, 3).unwrap();
+        assert_eq!(unit.jobs.len(), 2, "remainder gangs up too");
+        ctl.finish_traffic(unit.running_bps);
+    }
+
+    #[test]
+    fn bandwidth_gate_defers_but_never_starves() {
+        let q = JobQueue::new();
+        // Budget 100 B/s; jobs below claim far more.
+        let ctl = AdmissionController::with_bandwidth(1 << 40, 100);
+        let mut big = job(1, Priority::Normal);
+        big.demand_bps = 1000;
+        ctl.enqueue_traffic(big.demand_bps).unwrap();
+        q.push(big).unwrap();
+
+        // Nothing running → the over-budget job dispatches anyway.
+        let unit = q.pop_work(&ctl, None, 1).unwrap();
+        assert_eq!(unit.jobs[0].id.0, 1);
+        assert_eq!(unit.running_bps, 1000);
+
+        // While it runs, a second big job is deferred…
+        let mut big2 = job(2, Priority::Normal);
+        big2.demand_bps = 1000;
+        ctl.enqueue_traffic(big2.demand_bps).unwrap();
+        q.push(big2).unwrap();
+        let q = Arc::new(q);
+        let ctl2 = ctl.clone();
+        let qp = q.clone();
+        let popper =
+            std::thread::spawn(move || qp.pop_work(&ctl2, None, 1).map(|u| u.jobs[0].id.0));
+        std::thread::sleep(Duration::from_millis(30));
+        // …until the first finishes and releases its charge.
+        ctl.finish_traffic(unit.running_bps);
+        q.notify();
+        assert_eq!(popper.join().unwrap(), Some(2));
+    }
+
+    #[test]
+    fn affinity_prefers_matching_bucket_within_window() {
+        let q = JobQueue::new();
+        let ctl = wide_open();
+        q.push(batch_job(1, 6)).unwrap();
+        q.push(batch_job(2, 9)).unwrap();
+        let bucket_9 = (Precision::Single, 1usize << 9);
+        let unit = q.pop_work(&ctl, Some(bucket_9), 1).unwrap();
+        assert_eq!(unit.jobs[0].id.0, 2, "affinity match wins within the window");
+        ctl.finish_traffic(unit.running_bps);
+        let unit = q.pop_work(&ctl, Some(bucket_9), 1).unwrap();
+        assert_eq!(unit.jobs[0].id.0, 1);
+        ctl.finish_traffic(unit.running_bps);
     }
 }

@@ -10,16 +10,16 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
-use qsim_backends::{Flavor, RunReport};
+use parking_lot::{Mutex, RwLock};
+use qsim_backends::{Flavor, FusionPlan, RunReport};
 use qsim_core::cancel::{CancelCause, CancelToken};
 use qsim_core::kernels::MAX_GATE_QUBITS;
 use qsim_core::types::Cplx;
 use serde_json::json;
 
-use crate::admission::{AdmissionController, AdmissionError, Reservation};
+use crate::admission::{AdmissionController, AdmissionError, BandwidthSnapshot, Reservation};
 use crate::job::{JobId, JobSpec, JobState, Priority};
-use crate::pool::{PoolStats, StateBufferPool};
+use crate::pool::{BucketStats, PoolStats, StateBufferPool};
 use crate::queue::{JobQueue, QueuedJob};
 use crate::worker::WorkerPool;
 
@@ -32,7 +32,17 @@ pub struct ServiceConfig {
     pub memory_budget_bytes: u64,
     /// Cap on parked buffers per `(precision, length)` pool bucket.
     pub pool_max_per_bucket: usize,
+    /// Modeled memory-traffic budget the bandwidth ledger dispatches
+    /// against, bytes/s. Jobs whose aggregate estimated rate would exceed
+    /// it wait in the queue instead of thrashing one memory system.
+    pub bandwidth_budget_bps: u64,
+    /// Maximum gang width for coalesced Batch-class jobs (`1` disables
+    /// batching).
+    pub max_batch: usize,
 }
+
+/// Default gang width for Batch-class coalescing.
+pub const DEFAULT_MAX_BATCH: usize = 16;
 
 impl Default for ServiceConfig {
     /// 4 workers against a 16 GiB budget — enough for two 30-qubit
@@ -42,6 +52,8 @@ impl Default for ServiceConfig {
             workers: 4,
             memory_budget_bytes: 16 << 30,
             pool_max_per_bucket: crate::pool::DEFAULT_MAX_PER_BUCKET,
+            bandwidth_budget_bps: crate::admission::DEFAULT_BANDWIDTH_BUDGET_BPS,
+            max_batch: DEFAULT_MAX_BATCH,
         }
     }
 }
@@ -139,10 +151,14 @@ struct Aggregates {
     warm_setup_seconds: f64,
     warm_runs: u64,
     max_peak_state_bytes: u64,
+    /// Gang dispatches of width ≥ 2.
+    batches: u64,
+    /// Jobs that executed inside those gangs.
+    batched_jobs: u64,
 }
 
 /// Snapshot of the service's counters, the payload of the `metrics` verb.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Metrics {
     /// Worker threads.
     pub workers: usize,
@@ -166,10 +182,18 @@ pub struct Metrics {
     pub timed_out: u64,
     /// Buffer-pool counters.
     pub pool: PoolStats,
+    /// Per-`(precision, length)` buffer-pool bucket counters.
+    pub pool_buckets: Vec<BucketStats>,
     /// Admission budget, bytes.
     pub budget_bytes: u64,
     /// Bytes reserved by admitted unfinished jobs.
     pub reserved_bytes: u64,
+    /// Bandwidth-ledger levels (budget, running charge, queued backlog).
+    pub bandwidth: BandwidthSnapshot,
+    /// Gang dispatches of width ≥ 2 since start.
+    pub batches: u64,
+    /// Jobs that executed inside those gangs.
+    pub batched_jobs: u64,
     /// Sum of finished jobs' wall-clock seconds.
     pub total_wall_seconds: f64,
     /// Sum of finished jobs' setup seconds (buffer acquisition + init).
@@ -185,8 +209,28 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    /// Mean gang width over gang dispatches (0 when none happened).
+    pub fn batch_occupancy_avg(&self) -> f64 {
+        mean(self.batched_jobs as f64, self.batches)
+    }
+
     /// The metrics as the JSON object the wire protocol returns.
     pub fn to_json(&self) -> serde_json::Value {
+        let buckets: Vec<serde_json::Value> = self
+            .pool_buckets
+            .iter()
+            .map(|b| {
+                json!({
+                    "precision": (b.precision.name()),
+                    "len": (b.len),
+                    "pooled": (b.pooled),
+                    "pooled_bytes": (b.pooled_bytes),
+                    "hits": (b.hits),
+                    "misses": (b.misses),
+                    "evicted": (b.evicted),
+                })
+            })
+            .collect();
         json!({
             "workers": (self.workers),
             "accepting": (self.accepting),
@@ -206,10 +250,21 @@ impl Metrics {
                 "hit_rate": (self.pool.hit_rate()),
                 "pooled_buffers": (self.pool.pooled_buffers),
                 "pooled_bytes": (self.pool.pooled_bytes),
+                "evicted": (self.pool.evicted),
+                "buckets": (serde_json::Value::Array(buckets)),
             },
             "admission": {
                 "budget_bytes": (self.budget_bytes),
                 "reserved_bytes": (self.reserved_bytes),
+                "bandwidth_budget_bps": (self.bandwidth.budget_bps),
+                "bandwidth_running_bps": (self.bandwidth.running_bps),
+                "bandwidth_queued_bps": (self.bandwidth.queued_bps),
+                "bandwidth_running_jobs": (self.bandwidth.running_jobs),
+            },
+            "batching": {
+                "batches": (self.batches),
+                "batched_jobs": (self.batched_jobs),
+                "batch_occupancy_avg": (self.batch_occupancy_avg()),
             },
             "timing": {
                 "total_wall_seconds": (self.total_wall_seconds),
@@ -228,7 +283,13 @@ impl Metrics {
 pub(crate) struct ServiceInner {
     pub(crate) queue: JobQueue,
     pub(crate) pool: StateBufferPool,
-    admission: AdmissionController,
+    pub(crate) admission: AdmissionController,
+    /// Gang-width cap workers pass to `pop_work`.
+    pub(crate) max_batch: usize,
+    /// Fusion plans keyed by circuit content and plan settings; shared
+    /// across hash-equal submissions so the Batch-class workload plans
+    /// each unique circuit once, not once per job.
+    plans: RwLock<HashMap<PlanKey, (Arc<FusionPlan>, u64)>>,
     registry: Mutex<HashMap<JobId, JobRecord>>,
     aggregates: Mutex<Aggregates>,
     next_id: AtomicU64,
@@ -238,31 +299,91 @@ pub(crate) struct ServiceInner {
     running: AtomicU64,
 }
 
+/// What must match for two submissions to share one fusion plan:
+/// circuit content, backend flavor, precision, strategy, fusion width.
+type PlanKey = (u64, Flavor, qsim_core::types::Precision, qsim_fusion::FusionStrategy, usize);
+
+/// Distinct circuits the plan cache holds before it is wholesale reset —
+/// a simple bound for a service whose steady state is a handful of
+/// hash-equal circuit shapes.
+const PLAN_CACHE_CAP: usize = 128;
+
 impl ServiceInner {
-    /// Transition a job to `Running` unless it is already terminal
-    /// (e.g. cancelled while queued). Returns whether it may run.
-    pub(crate) fn mark_running(&self, id: JobId) -> bool {
-        let mut registry = self.registry.lock();
-        match registry.get_mut(&id) {
-            Some(record) if record.state == JobState::Queued => {
-                record.state = JobState::Running;
-                self.running.fetch_add(1, Ordering::Relaxed);
-                true
-            }
-            _ => false,
+    /// Fetch (or build and cache) the fusion plan for `spec`, plus the
+    /// fused circuit's content hash (cached with the plan so hash-equal
+    /// resubmissions hash the fused op list once, not once per job).
+    fn cached_plan(&self, spec: &JobSpec) -> (Arc<FusionPlan>, u64) {
+        let key: PlanKey = (
+            spec.circuit.content_hash(),
+            spec.flavor,
+            spec.precision,
+            spec.strategy,
+            spec.max_fused,
+        );
+        if let Some(entry) = self.plans.read().get(&key) {
+            return entry.clone();
         }
+        // Plan outside the lock — the planner is pure and a racing
+        // duplicate insert is harmless. The cache is read-locked on the
+        // hit path so a storm of hash-equal submitters (the Batch-class
+        // saturation workload) looks plans up concurrently.
+        let plan = Arc::new(QueuedJob::plan_spec(spec));
+        let fused_hash = plan.fused.content_hash();
+        let mut plans = self.plans.write();
+        if plans.len() >= PLAN_CACHE_CAP {
+            plans.clear();
+        }
+        plans.insert(key, (plan.clone(), fused_hash));
+        (plan, fused_hash)
+    }
+
+    /// Transition a gang of jobs to `Running` under one registry lock
+    /// acquisition, so an N-wide gang costs a worker one contention
+    /// round, not N. Jobs already terminal (cancelled while queued) are
+    /// left untouched. Returns, per id, whether it moved to `Running`
+    /// and may run.
+    pub(crate) fn mark_running_many(&self, ids: &[JobId]) -> Vec<bool> {
+        let mut registry = self.registry.lock();
+        let mut started = 0u64;
+        let verdicts = ids
+            .iter()
+            .map(|id| match registry.get_mut(id) {
+                Some(record) if record.state == JobState::Queued => {
+                    record.state = JobState::Running;
+                    started += 1;
+                    true
+                }
+                _ => false,
+            })
+            .collect();
+        self.running.fetch_add(started, Ordering::Relaxed);
+        verdicts
     }
 
     /// Record a worker's verdict: set the terminal state, stash the
     /// report or error, release the admission reservation, fold the
     /// run's timings into the aggregates.
     pub(crate) fn finish(&self, id: JobId, outcome: JobOutcome) {
+        self.finish_many(std::iter::once((id, outcome)));
+    }
+
+    /// Gang-wide [`ServiceInner::finish`]: resolve every member's outcome
+    /// under one registry + one aggregates lock acquisition.
+    pub(crate) fn finish_many<I: IntoIterator<Item = (JobId, JobOutcome)>>(&self, outcomes: I) {
         let mut registry = self.registry.lock();
-        let Some(record) = registry.get_mut(&id) else { return };
-        if record.state == JobState::Running {
-            self.running.fetch_sub(1, Ordering::Relaxed);
-        }
         let mut agg = self.aggregates.lock();
+        for (id, outcome) in outcomes {
+            let Some(record) = registry.get_mut(&id) else { continue };
+            if record.state == JobState::Running {
+                self.running.fetch_sub(1, Ordering::Relaxed);
+            }
+            Self::resolve(record, &mut agg, outcome);
+        }
+    }
+
+    /// Apply one job's outcome to its registry record and the aggregate
+    /// counters (both locks held by the caller).
+    fn resolve(record: &mut JobRecord, agg: &mut Aggregates, outcome: JobOutcome) {
         match outcome {
             JobOutcome::Done(report, state_vector) => {
                 record.state = JobState::Done;
@@ -296,6 +417,19 @@ impl ServiceInner {
         }
         record.reservation = None;
     }
+
+    /// Gang-wide cancellation resolution for members whose token fired
+    /// while queued — one lock round for the whole set.
+    pub(crate) fn cancel_many<I: IntoIterator<Item = (JobId, CancelCause)>>(&self, causes: I) {
+        self.finish_many(causes.into_iter().map(|(id, cause)| (id, JobOutcome::Cancelled(cause))));
+    }
+
+    /// Fold one gang dispatch of `width` jobs into the batching counters.
+    pub(crate) fn record_batch(&self, width: usize) {
+        let mut agg = self.aggregates.lock();
+        agg.batches += 1;
+        agg.batched_jobs += width as u64;
+    }
 }
 
 /// The job service: owns the worker pool and exposes the verb surface
@@ -313,7 +447,12 @@ impl Service {
         let inner = Arc::new(ServiceInner {
             queue: JobQueue::new(),
             pool: StateBufferPool::with_max_per_bucket(config.pool_max_per_bucket),
-            admission: AdmissionController::new(config.memory_budget_bytes),
+            admission: AdmissionController::with_bandwidth(
+                config.memory_budget_bytes,
+                config.bandwidth_budget_bps,
+            ),
+            max_batch: config.max_batch.max(1),
+            plans: RwLock::new(HashMap::new()),
             registry: Mutex::new(HashMap::new()),
             aggregates: Mutex::new(Aggregates::default()),
             next_id: AtomicU64::new(1),
@@ -326,9 +465,9 @@ impl Service {
         Service { inner, workers: Mutex::new(Some(workers)), config }
     }
 
-    /// Submit a job. On success the job is queued and its [`JobId`]
-    /// returned; poll [`Service::status`] until terminal.
-    pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+    /// Validate, admit, plan and price one submission — everything that
+    /// happens before the job touches the registry or the queue.
+    fn prepare_submission(&self, spec: JobSpec) -> Result<(QueuedJob, Reservation), SubmitError> {
         if !self.inner.accepting.load(Ordering::Acquire) {
             return Err(SubmitError::ShuttingDown);
         }
@@ -355,27 +494,104 @@ impl Service {
             Some(timeout) => CancelToken::with_deadline(timeout),
             None => CancelToken::new(),
         };
-        self.inner.registry.lock().insert(
-            id,
-            JobRecord {
-                state: JobState::Queued,
-                priority: spec.priority,
-                flavor: spec.flavor,
-                num_qubits: n,
-                cancel: cancel.clone(),
-                report: None,
-                state_vector: None,
-                error: None,
-                reservation: Some(reservation),
-            },
-        );
-        if self.inner.queue.push(QueuedJob { id, spec, cancel }).is_err() {
+        // Plan once per unique circuit: the worker runs the plan as-is,
+        // the gang path groups jobs by the plan's content hash, and the
+        // plan's traffic estimate is what the bandwidth ledger charges.
+        // Hash-equal resubmissions (the Batch-class workload) hit the
+        // plan cache instead of re-running the fusion planner.
+        let (plan, fused_hash) = self.inner.cached_plan(&spec);
+        let job = QueuedJob::prepare_with(id, spec, cancel, plan, fused_hash);
+        if let Err(e) = self.inner.admission.enqueue_traffic(job.demand_bps) {
+            // The memory reservation drops here; only the traffic backlog
+            // was saturated.
+            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Rejected(e));
+        }
+        Ok((job, reservation))
+    }
+
+    /// The registry record a freshly prepared job enters the system with.
+    fn record_for(job: &QueuedJob, reservation: Reservation) -> JobRecord {
+        JobRecord {
+            state: JobState::Queued,
+            priority: job.spec.priority,
+            flavor: job.spec.flavor,
+            num_qubits: job.spec.circuit.num_qubits,
+            cancel: job.cancel.clone(),
+            report: None,
+            state_vector: None,
+            error: None,
+            reservation: Some(reservation),
+        }
+    }
+
+    /// Submit a job. On success the job is queued and its [`JobId`]
+    /// returned; poll [`Service::status`] until terminal.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        let (job, reservation) = self.prepare_submission(spec)?;
+        let id = job.id;
+        self.inner.registry.lock().insert(id, Self::record_for(&job, reservation));
+        let demand_bps = job.demand_bps;
+        if self.inner.queue.push(job).is_err() {
             // Shutdown raced the submission; undo the registration.
             self.inner.registry.lock().remove(&id);
+            self.inner.admission.drop_queued_traffic(demand_bps);
             return Err(SubmitError::ShuttingDown);
         }
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
         Ok(id)
+    }
+
+    /// Submit a batch of jobs, paying the registry and queue lock rounds
+    /// once for the whole slice instead of once per job — the submission
+    /// counterpart of gang dispatch, for clients that generate the
+    /// Batch-class saturation workload. Per-spec admission verdicts come
+    /// back in input order; accepted jobs are queued together, so a gang
+    /// can form from one call's jobs immediately.
+    pub fn submit_many(
+        &self,
+        specs: impl IntoIterator<Item = JobSpec>,
+    ) -> Vec<Result<JobId, SubmitError>> {
+        let mut results = Vec::new();
+        let mut accepted: Vec<(QueuedJob, Reservation)> = Vec::new();
+        for spec in specs {
+            match self.prepare_submission(spec) {
+                Ok(pair) => {
+                    results.push(Ok(pair.0.id));
+                    accepted.push(pair);
+                }
+                Err(e) => results.push(Err(e)),
+            }
+        }
+        if accepted.is_empty() {
+            return results;
+        }
+        let mut jobs = Vec::with_capacity(accepted.len());
+        {
+            let mut registry = self.inner.registry.lock();
+            for (job, reservation) in accepted {
+                registry.insert(job.id, Self::record_for(&job, reservation));
+                jobs.push(job);
+            }
+        }
+        let count = jobs.len() as u64;
+        let undo: Vec<(JobId, u64)> = jobs.iter().map(|j| (j.id, j.demand_bps)).collect();
+        if self.inner.queue.push_many(jobs).is_err() {
+            // Shutdown raced the batch; undo every registration.
+            let mut registry = self.inner.registry.lock();
+            for (id, demand_bps) in undo {
+                registry.remove(&id);
+                self.inner.admission.drop_queued_traffic(demand_bps);
+                for r in &mut results {
+                    if *r == Ok(id) {
+                        *r = Err(SubmitError::ShuttingDown);
+                    }
+                }
+            }
+            return results;
+        }
+        self.inner.submitted.fetch_add(count, Ordering::Relaxed);
+        results
     }
 
     /// Current state of a job, or `None` for an unknown id.
@@ -436,8 +652,12 @@ impl Service {
             cancelled: agg.cancelled,
             timed_out: agg.timed_out,
             pool: self.inner.pool.stats(),
+            pool_buckets: self.inner.pool.bucket_stats(),
             budget_bytes: self.inner.admission.budget_bytes(),
             reserved_bytes: self.inner.admission.reserved_bytes(),
+            bandwidth: self.inner.admission.bandwidth_snapshot(),
+            batches: agg.batches,
+            batched_jobs: agg.batched_jobs,
             total_wall_seconds: agg.total_wall_seconds,
             total_setup_seconds: agg.total_setup_seconds,
             cold_setup_seconds_avg: mean(agg.cold_setup_seconds, agg.cold_runs),

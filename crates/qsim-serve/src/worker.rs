@@ -6,18 +6,27 @@
 //! pool on every path: success hands the final state's allocation back,
 //! and a cancelled, timed-out or failed run hands back the recovered
 //! buffer from [`qsim_backends::RunFailure`].
+//!
+//! Dispatch goes through [`crate::queue::JobQueue::pop_work`], which
+//! enforces the modeled-bandwidth gate and may hand back a **gang** of
+//! hash-equal Batch-class jobs; gangs run through
+//! [`SimBackend::run_batch`] — one gate plan, one matrix upload per gate,
+//! one sweep across every member's state. Each worker remembers the
+//! `(precision, length)` bucket it last touched and asks the queue for
+//! matching work first, so its just-released buffer is re-adopted warm.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use qsim_backends::{BackendError, Flavor, PlanOptions, RunContext, RunOptions, SimBackend};
+use qsim_backends::batch_run::BatchJob;
+use qsim_backends::{BackendError, Flavor, RunContext, RunOptions, SimBackend};
 use qsim_core::types::Precision;
 
 use qsim_core::types::Cplx;
 
 use crate::pool::{PoolSlot, StateBufferPool};
-use crate::queue::QueuedJob;
+use crate::queue::{BucketKey, QueuedJob};
 use crate::service::{FinalState, JobOutcome, ServiceInner};
 
 /// Wraps a precision's amplitudes into the type-erased [`FinalState`]
@@ -84,44 +93,72 @@ impl WorkerPool {
 
 fn worker_loop(inner: &ServiceInner) {
     let mut backends: HashMap<Flavor, SimBackend> = HashMap::new();
-    while let Some(job) = inner.queue.pop() {
-        // A job cancelled (or deadline-expired) while still queued never
-        // touches a backend: release its reservation and move on.
-        if let Some(cause) = job.cancel.cause() {
-            inner.finish(job.id, JobOutcome::Cancelled(cause));
-            continue;
+    let mut affinity: Option<BucketKey> = None;
+    while let Some(unit) = inner.queue.pop_work(&inner.admission, affinity, inner.max_batch) {
+        // Members cancelled (or deadline-expired) while still queued never
+        // touch a backend: resolve them (one lock round for the whole
+        // set) and run whatever is left. mark_running_many is likewise one
+        // registry round for the entire gang — per-member lock traffic is
+        // exactly what coalescing exists to amortize.
+        let mut cancelled = Vec::new();
+        let mut runnable = Vec::with_capacity(unit.jobs.len());
+        for job in unit.jobs {
+            match job.cancel.cause() {
+                Some(cause) => cancelled.push((job.id, cause)),
+                None => runnable.push(job),
+            }
         }
-        if !inner.mark_running(job.id) {
-            continue;
+        if !cancelled.is_empty() {
+            inner.cancel_many(cancelled);
         }
-        let backend =
-            backends.entry(job.spec.flavor).or_insert_with(|| SimBackend::new(job.spec.flavor));
-        let outcome = match job.spec.precision {
-            Precision::Single => run_job::<f32>(backend, &inner.pool, &job),
-            Precision::Double => run_job::<f64>(backend, &inner.pool, &job),
-        };
-        inner.finish(job.id, outcome);
+        let ids: Vec<_> = runnable.iter().map(|job| job.id).collect();
+        let verdicts = inner.mark_running_many(&ids);
+        let mut live = runnable;
+        let mut keep = verdicts.into_iter();
+        live.retain(|_| keep.next().unwrap_or(false));
+        if !live.is_empty() {
+            let flavor = live[0].spec.flavor;
+            let backend = backends.entry(flavor).or_insert_with(|| SimBackend::new(flavor));
+            match (live.len(), live[0].spec.precision) {
+                (1, Precision::Single) => {
+                    let outcome = run_job::<f32>(backend, &inner.pool, &live[0]);
+                    inner.finish(live[0].id, outcome);
+                }
+                (1, Precision::Double) => {
+                    let outcome = run_job::<f64>(backend, &inner.pool, &live[0]);
+                    inner.finish(live[0].id, outcome);
+                }
+                (_, Precision::Single) => run_gang::<f32>(backend, inner, &live),
+                (_, Precision::Double) => run_gang::<f64>(backend, inner, &live),
+            }
+            if live.len() > 1 {
+                inner.record_batch(live.len());
+            }
+            affinity = Some(live[0].bucket());
+        }
+        // The unit's modeled traffic is free again; a deferred job may now
+        // be admissible, so wake the other workers.
+        inner.admission.finish_traffic(unit.running_bps);
+        inner.queue.notify();
     }
 }
 
 /// Execute one job at precision `F`, recycling the state buffer through
-/// the pool on every exit path.
+/// the pool on every exit path. The fusion plan rides in the job —
+/// planning happened once, at submission.
 fn run_job<F: StateSlot>(
     backend: &SimBackend,
     pool: &StateBufferPool,
     job: &QueuedJob,
 ) -> JobOutcome {
     let len = 1usize << job.spec.circuit.num_qubits;
-    let plan_opts =
-        PlanOptions { strategy: job.spec.strategy, max_fused_qubits: job.spec.max_fused };
-    let plan = backend.plan_circuit(&job.spec.circuit, &plan_opts, F::PRECISION);
     let run_opts = RunOptions { seed: job.spec.seed, sample_count: job.spec.sample_count };
     let ctx =
         RunContext::<F> { reuse_buffer: pool.acquire::<F>(len), cancel: Some(job.cancel.clone()) };
-    match backend.run_with::<F>(&plan.fused, &run_opts, ctx) {
+    match backend.run_with::<F>(&job.plan.fused, &run_opts, ctx) {
         Ok((state, mut report)) => {
-            report.fusion_strategy = plan.strategy.label().into();
-            report.predicted_cost_seconds = plan.predicted_cost_seconds;
+            report.fusion_strategy = job.plan.strategy.label().into();
+            report.predicted_cost_seconds = job.plan.predicted_cost_seconds;
             // The result verb only needs the report; unless the submitter
             // asked to keep the state, its allocation is worth more as the
             // next job's warm buffer.
@@ -143,4 +180,55 @@ fn run_job<F: StateSlot>(
             }
         }
     }
+}
+
+/// Execute a gang of gang-compatible jobs through `run_batch`: every
+/// member gets its own pooled buffer, seed, sample count and cancel
+/// token, but the gate plan, matrix conversions and sweep passes are paid
+/// once for the whole gang. Per-member outcomes are resolved exactly like
+/// a single run's.
+fn run_gang<F: StateSlot>(backend: &SimBackend, inner: &ServiceInner, jobs: &[QueuedJob]) {
+    let len = 1usize << jobs[0].spec.circuit.num_qubits;
+    let batch: Vec<BatchJob<'_, F>> = jobs
+        .iter()
+        .map(|job| BatchJob {
+            fused: Some(&job.plan.fused),
+            opts: RunOptions { seed: job.spec.seed, sample_count: job.spec.sample_count },
+            ctx: RunContext {
+                reuse_buffer: inner.pool.acquire::<F>(len),
+                cancel: Some(job.cancel.clone()),
+            },
+        })
+        .collect();
+    let results = backend.run_batch::<F>(batch);
+    let outcomes: Vec<(crate::job::JobId, JobOutcome)> = jobs
+        .iter()
+        .zip(results)
+        .map(|(job, result)| {
+            let outcome = match result {
+                Ok((state, mut report)) => {
+                    report.fusion_strategy = job.plan.strategy.label().into();
+                    report.predicted_cost_seconds = job.plan.predicted_cost_seconds;
+                    let kept = if job.spec.keep_state {
+                        Some(F::wrap(state.into_amplitudes()))
+                    } else {
+                        inner.pool.release(state.into_amplitudes());
+                        None
+                    };
+                    JobOutcome::Done(Box::new(report), kept)
+                }
+                Err(failure) => {
+                    if let Some(buffer) = failure.buffer {
+                        inner.pool.release(buffer);
+                    }
+                    match failure.error {
+                        BackendError::Cancelled { cause, .. } => JobOutcome::Cancelled(cause),
+                        error => JobOutcome::Failed(error.to_string()),
+                    }
+                }
+            };
+            (job.id, outcome)
+        })
+        .collect();
+    inner.finish_many(outcomes);
 }
