@@ -1,0 +1,320 @@
+//! A minimal Rust lexer for the concurrency lints.
+//!
+//! The workspace is fully offline (no `syn`), so the source-level
+//! analyses are built on a hand-rolled token stream. The lexer only
+//! needs to be faithful enough that *token patterns* — `.lock()`,
+//! `let mut g =`, `#[cfg(test)]`, `struct X { f: Mutex<T> }` — can be
+//! matched without being fooled by strings, char literals, lifetimes,
+//! raw strings, or comments. It is not a general-purpose Rust lexer:
+//! numeric literals are kept as opaque text and multi-character
+//! operators are emitted as single-character punctuation.
+//!
+//! Comments are *not* part of the token stream (pattern matching stays
+//! simple) but are collected per line, because the unsafe-hygiene rule
+//! needs to see `// SAFETY:` text and the model honors
+//! `// conc-lint: untracked` markers.
+
+/// Token classes the analyses distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `lock`, `JobQueue`, …).
+    Ident,
+    /// Single punctuation character (`.`, `{`, `<`, …). Multi-character
+    /// operators appear as consecutive tokens.
+    Punct,
+    /// String/char/numeric literal, kept as opaque text (string literals
+    /// retain their quotes so annotation strings can be recovered).
+    Lit,
+    /// Lifetime marker (`'a`), kept so it is never confused with a char
+    /// literal.
+    Lifetime,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Lexer output: the comment-free token stream plus per-line comment
+/// text (a line holding several comments gets them concatenated).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    /// `(line, text)` of every comment, in source order. Block comments
+    /// are recorded on their starting line with their full text.
+    pub comments: Vec<(u32, String)>,
+}
+
+/// Lex `src`. Invalid input never panics — unterminated literals simply
+/// run to end of file, matching how much structure the analyses need.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push((line, src[start..i].to_string()));
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let (start, start_line) = (i, line);
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push((start_line, src[start..i].to_string()));
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                let start = i;
+                // Skip the r/b/br prefix, count the #s, find the quote.
+                while i < b.len() && (b[i] == b'r' || b[i] == b'b') {
+                    i += 1;
+                }
+                let mut hashes = 0usize;
+                while i < b.len() && b[i] == b'#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                debug_assert!(i < b.len() && b[i] == b'"');
+                i += 1; // opening quote
+                let closer: Vec<u8> =
+                    std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+                let tok_line = line;
+                while i < b.len() {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'"' && b[i..].starts_with(&closer) {
+                        i += closer.len();
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: src[start..i].to_string(),
+                    line: tok_line,
+                });
+            }
+            b'"' => {
+                let (start, tok_line) = (i, line);
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text: src[start..i].to_string(),
+                    line: tok_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let start = i;
+                i += 1;
+                if i < b.len() && b[i] == b'\\' {
+                    // Escaped char literal.
+                    i += 2;
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i = (i + 1).min(b.len());
+                    out.toks.push(Tok {
+                        kind: TokKind::Lit,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                } else {
+                    let ident_end = ident_run(b, i);
+                    if ident_end < b.len() && b[ident_end] == b'\'' && ident_end == i + 1 {
+                        // 'x' — single char then closing quote.
+                        i = ident_end + 1;
+                        out.toks.push(Tok {
+                            kind: TokKind::Lit,
+                            text: src[start..i].to_string(),
+                            line,
+                        });
+                    } else if ident_end > i {
+                        // 'name not followed by a quote: lifetime.
+                        i = ident_end;
+                        out.toks.push(Tok {
+                            kind: TokKind::Lifetime,
+                            text: src[start..i].to_string(),
+                            line,
+                        });
+                    } else {
+                        // Punctuation char literal like '(' or ' '.
+                        i += 1;
+                        while i < b.len() && b[i] != b'\'' && b[i] != b'\n' {
+                            i += 1;
+                        }
+                        i = (i + 1).min(b.len());
+                        out.toks.push(Tok {
+                            kind: TokKind::Lit,
+                            text: src[start..i].to_string(),
+                            line,
+                        });
+                    }
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                i = ident_run(b, i);
+                out.toks.push(Tok { kind: TokKind::Ident, text: src[start..i].to_string(), line });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    if d == b'_' || d.is_ascii_alphanumeric() {
+                        i += 1;
+                    } else if d == b'.'
+                        && i + 1 < b.len()
+                        && b[i + 1].is_ascii_digit()
+                        && !src[start..i].contains('.')
+                    {
+                        // Decimal point, but never eat the `..` of a range.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok { kind: TokKind::Lit, text: src[start..i].to_string(), line });
+            }
+            _ => {
+                out.toks.push(Tok { kind: TokKind::Punct, text: (c as char).to_string(), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Does `r`/`b` at `i` begin a raw or byte string (`r"`, `r#`, `br"`,
+/// `b"`, …) rather than an identifier?
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') && j - i < 2 {
+        j += 1;
+    }
+    let mut k = j;
+    while k < b.len() && b[k] == b'#' {
+        k += 1;
+    }
+    k < b.len() && b[k] == b'"' && (k > j || j > i)
+}
+
+/// End of the identifier run starting at `i`.
+fn ident_run(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let src = r#"
+            // a .lock() in a comment
+            /* and .lock() in a block /* nested */ comment */
+            let s = "not a .lock() call";
+            let c = '{';
+            let l: &'static str = s;
+        "#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"lock".to_string()));
+        assert!(ids.contains(&"static".to_string()) || !ids.is_empty());
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].1.contains("a .lock() in a comment"));
+        // The '{' char literal must not unbalance brace matching.
+        let braces = lexed.toks.iter().filter(|t| t.is_punct('{') || t.is_punct('}')).count();
+        assert_eq!(braces, 0);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let src = r##"let r = r#"raw "quoted" body"#; fn f<'a>(x: &'a str) {}"##;
+        let lexed = lex(src);
+        assert!(lexed.toks.iter().any(|t| t.kind == TokKind::Lit && t.text.starts_with("r#")));
+        assert!(lexed.toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(lexed.toks.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let src = "fn a() {}\nfn b() {}\n";
+        let lexed = lex(src);
+        let b_tok = lexed.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b_tok.line, 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let src = "for i in 0..10 { x[i] = 1.5e3; }";
+        let lexed = lex(src);
+        let dots = lexed.toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "the `..` must remain two punct tokens");
+        assert!(lexed.toks.iter().any(|t| t.kind == TokKind::Lit && t.text == "1.5e3"));
+    }
+}

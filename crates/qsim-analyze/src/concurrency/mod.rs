@@ -1,0 +1,368 @@
+//! Workspace concurrency lints (`QL03xx`).
+//!
+//! This module is a source-level analyzer for the workspace's own
+//! concurrency conventions, built for the serve/batch layer where locks,
+//! condition variables, pooled buffers, and admission ledgers interact:
+//!
+//! * a **lock-acquisition graph** over declared lock sites, with
+//!   inversions and deadlock-shaped cycles reported as [`codes::LOCK_CYCLE`];
+//! * **guards held across blocking boundaries** (backend runs, condvar
+//!   waits on other locks, thread joins, TCP I/O, rayon entry) as
+//!   [`codes::HELD_ACROSS_BLOCKING`], propagated through a call-graph
+//!   fixpoint;
+//! * **RAII discipline** for admission/pool accounting values as
+//!   [`codes::RAII_ESCAPE`];
+//! * mechanical **unsafe hygiene**: `// SAFETY:` comments
+//!   ([`codes::UNDOCUMENTED_UNSAFE`]) and ISA-gated intrinsics files
+//!   ([`codes::UNGATED_INTRINSICS`]).
+//!
+//! The pipeline is `lexer` (hand-rolled token stream — the workspace is
+//! offline, so no `syn`) → `model` (crates, files, lock sites,
+//! functions) → `analysis` (the lints). Everything is lexical: see the
+//! module docs of [`analysis`] for the precision contract.
+//!
+//! Suppression goes through a checked-in allowlist
+//! (`CONC_ALLOWLIST.txt`), and stale allowlist entries are themselves
+//! errors ([`codes::STALE_ALLOWLIST`]) so the list can only shrink when
+//! code improves.
+
+use std::collections::HashSet;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use qsim_core::diag::{Severity, SourceDiagnostic, SrcSpan};
+use serde_json::{json, Value};
+
+pub mod analysis;
+pub mod lexer;
+pub mod model;
+
+pub use analysis::codes;
+
+/// One allowlist entry: `CODE | file-substring | message-substring |
+/// justification`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub code: String,
+    pub file_part: String,
+    pub msg_part: String,
+    pub justification: String,
+    /// 1-based line in the allowlist file, for stale-entry reporting.
+    pub line: u32,
+}
+
+impl AllowEntry {
+    fn matches(&self, d: &SourceDiagnostic) -> bool {
+        d.code == self.code
+            && d.span.file.contains(&self.file_part)
+            && d.message.contains(&self.msg_part)
+    }
+}
+
+/// The parsed allowlist. Lines starting with `#` and blank lines are
+/// comments; every other line must have exactly four ` | `-separated
+/// fields.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+    /// Malformed lines, reported as errors instead of being ignored.
+    pub malformed: Vec<(u32, String)>,
+}
+
+impl Allowlist {
+    pub fn parse(text: &str) -> Allowlist {
+        let mut out = Allowlist::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = (idx + 1) as u32;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.split('|').map(str::trim).collect();
+            if parts.len() != 4 || parts[0].is_empty() || parts[3].is_empty() {
+                out.malformed.push((lineno, raw.to_string()));
+                continue;
+            }
+            out.entries.push(AllowEntry {
+                code: parts[0].to_string(),
+                file_part: parts[1].to_string(),
+                msg_part: parts[2].to_string(),
+                justification: parts[3].to_string(),
+                line: lineno,
+            });
+        }
+        out
+    }
+}
+
+/// The full concurrency-lint result: post-allowlist diagnostics plus the
+/// model the graph checks were run on (sites and ordering edges, for
+/// `--graph` output and the runtime-tracker subset test).
+#[derive(Debug, Default)]
+pub struct ConcReport {
+    pub diagnostics: Vec<SourceDiagnostic>,
+    /// `(identity, kind label, file, line)` of every modeled lock site.
+    pub sites: Vec<(String, String, String, u32)>,
+    /// Deduplicated ordering edges `(from, to, file, line)` by identity.
+    pub edges: Vec<(String, String, String, u32)>,
+    /// Diagnostics suppressed by the allowlist (kept for `--json`
+    /// transparency).
+    pub suppressed: Vec<SourceDiagnostic>,
+}
+
+impl ConcReport {
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == severity).count()
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Same exit-code policy as [`crate::AnalysisReport::passes`].
+    pub fn passes(&self, deny_warnings: bool) -> bool {
+        if self.has_errors() {
+            return false;
+        }
+        !deny_warnings || self.count(Severity::Warning) == 0
+    }
+
+    /// One line per finding, worst severity first, then a summary.
+    pub fn render(&self) -> String {
+        let mut lines: Vec<String> = Vec::with_capacity(self.diagnostics.len() + 1);
+        for severity in [Severity::Error, Severity::Warning, Severity::Note] {
+            lines.extend(
+                self.diagnostics.iter().filter(|d| d.severity == severity).map(ToString::to_string),
+            );
+        }
+        lines.push(self.summary());
+        lines.join("\n")
+    }
+
+    pub fn summary(&self) -> String {
+        let plural = |n: usize, word: &str| format!("{n} {word}{}", if n == 1 { "" } else { "s" });
+        let base = if self.diagnostics.is_empty() {
+            "no findings".to_string()
+        } else {
+            format!(
+                "{}, {}",
+                plural(self.count(Severity::Error), "error"),
+                plural(self.count(Severity::Warning), "warning")
+            )
+        };
+        if self.suppressed.is_empty() {
+            base
+        } else {
+            format!("{base} ({} allowlisted)", self.suppressed.len())
+        }
+    }
+
+    /// The lock model as text: sites, then ordering edges.
+    pub fn render_graph(&self) -> String {
+        let mut lines = Vec::new();
+        lines.push(format!("lock sites ({}):", self.sites.len()));
+        for (site, kind, file, line) in &self.sites {
+            lines.push(format!("  {site} [{kind}] at {file}:{line}"));
+        }
+        lines.push(format!("ordering edges ({}):", self.edges.len()));
+        for (from, to, file, line) in &self.edges {
+            lines.push(format!("  {from} -> {to} at {file}:{line}"));
+        }
+        lines.join("\n")
+    }
+
+    /// JSON for `qsim_lint --json`: stable field names.
+    pub fn to_json(&self) -> Value {
+        let diag = |d: &SourceDiagnostic| {
+            json!({
+                "code": (d.code),
+                "severity": (d.severity.label()),
+                "file": (d.span.file.as_str()),
+                "line": (d.span.line),
+                "message": (d.message.as_str()),
+                "help": (d.help.as_deref()),
+            })
+        };
+        let findings: Vec<Value> = self.diagnostics.iter().map(diag).collect();
+        let suppressed: Vec<Value> = self.suppressed.iter().map(diag).collect();
+        let sites: Vec<Value> = self
+            .sites
+            .iter()
+            .map(|(site, kind, file, line)| {
+                json!({"site": (site.as_str()), "kind": (kind.as_str()),
+                       "file": (file.as_str()), "line": (*line)})
+            })
+            .collect();
+        let edges: Vec<Value> = self
+            .edges
+            .iter()
+            .map(|(from, to, file, line)| {
+                json!({"from": (from.as_str()), "to": (to.as_str()),
+                       "file": (file.as_str()), "line": (*line)})
+            })
+            .collect();
+        json!({
+            "errors": (self.count(Severity::Error)),
+            "warnings": (self.count(Severity::Warning)),
+            "findings": (Value::Array(findings)),
+            "suppressed": (Value::Array(suppressed)),
+            "sites": (Value::Array(sites)),
+            "edges": (Value::Array(edges)),
+        })
+    }
+
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(&self.to_json()).expect("report JSON serializes")
+    }
+}
+
+/// Run the full concurrency-lint pipeline over the workspace at `root`,
+/// filtered through `allowlist` (pass [`Allowlist::default`] for none).
+pub fn analyze_workspace(root: &Path, allowlist: &Allowlist) -> io::Result<ConcReport> {
+    let ws = model::load(root)?;
+    let result = analysis::analyze(&ws);
+    let mut report = ConcReport::default();
+
+    for s in &ws.sites {
+        report.sites.push((s.site.clone(), s.kind.label().to_string(), s.file.clone(), s.line));
+    }
+    report.sites.sort();
+
+    let mut seen_edges: HashSet<(String, String)> = HashSet::new();
+    for (a, b, file, line) in &result.edges {
+        let from = ws.sites[*a].site.clone();
+        let to = ws.sites[*b].site.clone();
+        if seen_edges.insert((from.clone(), to.clone())) {
+            report.edges.push((from, to, file.clone(), *line));
+        }
+    }
+    report.edges.sort();
+
+    // Dedupe findings (the same nested acquisition can be rediscovered
+    // from several enclosing guards), keep deterministic order.
+    let mut diags = result.diags;
+    diags.sort_by(|x, y| {
+        (x.span.file.as_str(), x.span.line, x.code, x.message.as_str()).cmp(&(
+            y.span.file.as_str(),
+            y.span.line,
+            y.code,
+            y.message.as_str(),
+        ))
+    });
+    diags.dedup_by(|x, y| x.code == y.code && x.span == y.span && x.message == y.message);
+
+    // Allowlist filtering with per-entry use tracking: an entry that
+    // matches nothing is itself an error.
+    let mut used = vec![false; allowlist.entries.len()];
+    for d in diags {
+        match allowlist.entries.iter().position(|e| e.matches(&d)) {
+            Some(i) => {
+                used[i] = true;
+                report.suppressed.push(d);
+            }
+            None => report.diagnostics.push(d),
+        }
+    }
+    for (i, entry) in allowlist.entries.iter().enumerate() {
+        if !used[i] {
+            report.diagnostics.push(
+                SourceDiagnostic::error(
+                    codes::STALE_ALLOWLIST,
+                    SrcSpan::new("CONC_ALLOWLIST.txt".to_string(), entry.line),
+                    format!(
+                        "allowlist entry `{} | {} | {}` matched no diagnostic",
+                        entry.code, entry.file_part, entry.msg_part
+                    ),
+                )
+                .with_help("remove the stale entry so the allowlist cannot mask regressions"),
+            );
+        }
+    }
+    for (line, text) in &allowlist.malformed {
+        report.diagnostics.push(
+            SourceDiagnostic::error(
+                codes::STALE_ALLOWLIST,
+                SrcSpan::new("CONC_ALLOWLIST.txt".to_string(), *line),
+                format!("malformed allowlist line: `{}`", text.trim()),
+            )
+            .with_help("format: CODE | file-substring | message-substring | justification"),
+        );
+    }
+    Ok(report)
+}
+
+/// Convenience wrapper: load the allowlist file when it exists, then
+/// analyze. A missing allowlist is an empty allowlist, not an error.
+pub fn analyze_workspace_with_allowlist_file(
+    root: &Path,
+    allowlist_path: &Path,
+) -> io::Result<ConcReport> {
+    let allowlist = match fs::read_to_string(allowlist_path) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Allowlist::default(),
+        Err(e) => return Err(e),
+    };
+    analyze_workspace(root, &allowlist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlist_parses_and_matches() {
+        let text = "\
+# comment line
+
+QL0304 | serve/src/worker.rs | unsafe block | SIMD dispatch audited 2026-08
+QL0302 | queue.rs | held across | condvar handshake, reviewed
+bad line without pipes
+";
+        let list = Allowlist::parse(text);
+        assert_eq!(list.entries.len(), 2);
+        assert_eq!(list.malformed.len(), 1);
+        assert_eq!(list.entries[0].line, 3);
+        let d = SourceDiagnostic::warning(
+            "QL0304",
+            SrcSpan::new("crates/qsim-serve/src/worker.rs", 10),
+            "unsafe block in `f` has no `// SAFETY:` comment",
+        );
+        assert!(list.entries[0].matches(&d));
+        assert!(!list.entries[1].matches(&d));
+    }
+
+    #[test]
+    fn stale_entries_become_errors() {
+        let list = Allowlist::parse("QL0399 | nowhere.rs | never | stale on purpose\n");
+        // Empty workspace shape: drive the filter path directly through
+        // analyze_workspace would need a real tree; the stale logic is
+        // exercised end-to-end by the fixture integration test. Here:
+        // the entry must not match an unrelated diagnostic.
+        let d = SourceDiagnostic::error("QL0301", SrcSpan::new("a.rs", 1), "lock-order cycle");
+        assert!(!list.entries[0].matches(&d));
+    }
+
+    #[test]
+    fn report_policy_and_render() {
+        let mut r = ConcReport::default();
+        assert!(r.passes(true));
+        r.diagnostics.push(SourceDiagnostic::warning(
+            "QL0304",
+            SrcSpan::new("x.rs", 3),
+            "unsafe block",
+        ));
+        assert!(r.passes(false));
+        assert!(!r.passes(true));
+        r.diagnostics.push(SourceDiagnostic::error("QL0301", SrcSpan::new("y.rs", 9), "cycle"));
+        assert!(!r.passes(false));
+        let text = r.render();
+        let err = text.find("error[QL0301]").unwrap();
+        let warn = text.find("warning[QL0304]").unwrap();
+        assert!(err < warn);
+        assert!(text.ends_with("1 error, 1 warning"));
+        let json = r.to_json_string();
+        assert!(json.contains("\"QL0301\""));
+        assert!(json.contains("\"edges\""));
+    }
+}

@@ -1,0 +1,956 @@
+//! Structural model of the workspace source: crates, files, lock-site
+//! declarations, functions, and the token-level scaffolding (attribute
+//! attachment, brace matching, `#[cfg(test)]` exclusion) the analyses
+//! walk.
+//!
+//! Lock-site identities are strings of the form
+//! `crate-name::module::Struct.field` (or `crate-name::module::STATIC`
+//! for statics) — the same identity format `qsim_core::lockorder::track`
+//! annotations use, which is what lets the serve test suite check
+//! observed runtime orderings against this static model.
+//!
+//! A declaration can opt out of lock tracking with a
+//! `// conc-lint: untracked` comment on its own line or the line above
+//! (used by the lock-order tracker's internal table, which would
+//! otherwise recurse into itself).
+
+use std::collections::{HashMap, HashSet};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use super::lexer::{lex, Tok, TokKind};
+
+/// Which synchronization primitive a lock site declares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    Mutex,
+    RwLock,
+    Condvar,
+}
+
+impl LockKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            LockKind::Mutex => "Mutex",
+            LockKind::RwLock => "RwLock",
+            LockKind::Condvar => "Condvar",
+        }
+    }
+}
+
+/// One declared lock site (a struct field or static of lock type).
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Stable identity: `crate::module::Struct.field` or
+    /// `crate::module::STATIC`.
+    pub site: String,
+    /// Field (or static) name, the key acquisitions resolve on.
+    pub field: String,
+    pub kind: LockKind,
+    /// Path relative to the analyzed root.
+    pub file: String,
+    pub line: u32,
+}
+
+/// One function (or method) with a body.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Base name (`pop_work`).
+    pub name: String,
+    /// Qualified display name (`qsim-serve::queue::JobQueue::pop_work`).
+    pub qual: String,
+    /// Index into [`Workspace::files`].
+    pub file_idx: usize,
+    /// Token index of the `fn` keyword (the signature spans
+    /// `kw..body.0`).
+    pub kw: usize,
+    /// Token indices of the body's `{` and `}` in the file's stream.
+    pub body: (usize, usize),
+    pub line: u32,
+    /// Attribute texts attached to the item (space-joined tokens, e.g.
+    /// `cfg ( all ( target_arch = "x86_64" ) )`).
+    pub attrs: Vec<String>,
+}
+
+/// One parsed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the analyzed root.
+    pub rel_path: String,
+    pub crate_name: String,
+    /// Module path within the crate (`""` for the crate root, `simd` for
+    /// `src/simd/mod.rs`, `simd::avx2` for `src/simd/avx2.rs`).
+    pub module: String,
+    /// Attribute-stripped token stream.
+    pub toks: Vec<Tok>,
+    /// Token index → attribute texts that immediately preceded it.
+    pub attrs_at: HashMap<usize, Vec<String>>,
+    /// Line → concatenated comment text on that line.
+    pub comments: HashMap<u32, String>,
+    /// Open `{` index ↔ close `}` index, both directions.
+    pub braces: HashMap<usize, usize>,
+    /// Token ranges `[open, close]` of `#[cfg(test)]` / `#[test]` items,
+    /// which every analysis skips.
+    pub excluded: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Is token index `i` inside an excluded (test-only) range?
+    pub fn is_excluded(&self, i: usize) -> bool {
+        self.excluded.iter().any(|&(a, b)| i >= a && i <= b)
+    }
+
+    /// Comment text at `line`, if any.
+    pub fn comment_at(&self, line: u32) -> Option<&str> {
+        self.comments.get(&line).map(String::as_str)
+    }
+}
+
+/// `mod name;` declarations and their attributes, per crate — the table
+/// the ISA-gating rule consults to see whether a file's inclusion is
+/// `cfg(target_arch = …)`-guarded.
+pub type ModCfgs = HashMap<(String, String), Vec<String>>;
+
+/// The whole analyzed tree.
+#[derive(Debug)]
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    pub sites: Vec<LockSite>,
+    pub fns: Vec<FnDef>,
+    pub mod_cfgs: ModCfgs,
+    pub crates: Vec<String>,
+    /// Transitive workspace-internal dependency closure per crate
+    /// (including dev-dependencies; a crate is in its own closure). Call
+    /// resolution uses this to reject edges against the dependency
+    /// direction — `gpu-model` can never call into `qsim-serve`.
+    pub deps: HashMap<String, HashSet<String>>,
+}
+
+impl Workspace {
+    /// May code in `caller` (a crate name) call into `callee`?
+    pub fn may_call(&self, caller: &str, callee: &str) -> bool {
+        caller == callee || self.deps.get(caller).is_some_and(|d| d.contains(callee))
+    }
+}
+
+/// Load and model every workspace crate under `root` (a directory whose
+/// `Cargo.toml` is either a `[workspace]` manifest — members are scanned
+/// from `crates/*` plus the root package — or a single `[package]`).
+/// Vendored stand-ins under `third_party/` are deliberately out of
+/// scope: the lints encode *this* project's concurrency conventions.
+pub fn load(root: &Path) -> io::Result<Workspace> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    if manifest.contains("[workspace]") {
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.join("Cargo.toml").is_file())
+                .collect();
+            entries.sort();
+            crate_dirs.extend(entries);
+        }
+        if manifest.contains("[package]") {
+            crate_dirs.push(root.to_path_buf());
+        }
+    } else {
+        crate_dirs.push(root.to_path_buf());
+    }
+
+    let mut ws = Workspace {
+        files: Vec::new(),
+        sites: Vec::new(),
+        fns: Vec::new(),
+        mod_cfgs: HashMap::new(),
+        crates: Vec::new(),
+        deps: HashMap::new(),
+    };
+    let mut manifests: Vec<(PathBuf, String, String)> = Vec::new();
+    for dir in crate_dirs {
+        let manifest = fs::read_to_string(dir.join("Cargo.toml"))?;
+        let crate_name = package_name(&manifest).unwrap_or_else(|| {
+            dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
+        });
+        ws.crates.push(crate_name.clone());
+        manifests.push((dir, crate_name, manifest));
+    }
+    // Direct workspace-internal deps, then the transitive closure.
+    for (_, name, manifest) in &manifests {
+        ws.deps.insert(name.clone(), direct_deps(manifest, &ws.crates));
+    }
+    loop {
+        let mut changed = false;
+        for name in ws.crates.clone() {
+            let current = ws.deps.get(&name).cloned().unwrap_or_default();
+            let mut grown = current.clone();
+            for d in &current {
+                if let Some(trans) = ws.deps.get(d) {
+                    grown.extend(trans.iter().cloned());
+                }
+            }
+            if grown.len() != current.len() {
+                ws.deps.insert(name, grown);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (dir, crate_name, _) in manifests {
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut rs_files = Vec::new();
+        collect_rs(&src, &mut rs_files)?;
+        rs_files.sort();
+        for path in rs_files {
+            let text = fs::read_to_string(&path)?;
+            let rel_path =
+                path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            let module = module_path(&src, &path);
+            let file = parse_file(rel_path, crate_name.clone(), module, &text);
+            ws.files.push(file);
+        }
+    }
+    for idx in 0..ws.files.len() {
+        extract_items(&mut ws, idx);
+    }
+    Ok(ws)
+}
+
+/// First `name = "…"` after `[package]` in a manifest.
+fn package_name(manifest: &str) -> Option<String> {
+    let pkg = manifest.split("[package]").nth(1)?;
+    for line in pkg.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                return Some(rest.trim().trim_matches('"').to_string());
+            }
+        }
+        if line.starts_with('[') {
+            break;
+        }
+    }
+    None
+}
+
+/// Workspace-internal crates named in any `[dependencies]`-family
+/// section of `manifest` (dev- and build-deps included: tests call
+/// across those edges too).
+fn direct_deps(manifest: &str, crates: &[String]) -> HashSet<String> {
+    let mut out = HashSet::new();
+    let mut in_deps = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line.contains("dependencies");
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let key = line.split(['=', '.', ' ']).next().unwrap_or("").trim().trim_matches('"');
+        if crates.iter().any(|c| c == key) {
+            out.insert(key.to_string());
+        }
+    }
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn module_path(src_root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(src_root).unwrap_or(file);
+    let mut parts: Vec<String> =
+        rel.components().map(|c| c.as_os_str().to_string_lossy().into_owned()).collect();
+    if let Some(last) = parts.last_mut() {
+        *last = last.trim_end_matches(".rs").to_string();
+    }
+    match parts.last().map(String::as_str) {
+        Some("lib") | Some("main") | Some("mod") => {
+            parts.pop();
+        }
+        _ => {}
+    }
+    parts.join("::")
+}
+
+/// Lex, strip attributes into a side table, compute brace matching and
+/// test-exclusion ranges.
+fn parse_file(rel_path: String, crate_name: String, module: String, text: &str) -> SourceFile {
+    let lexed = lex(text);
+    let mut toks: Vec<Tok> = Vec::with_capacity(lexed.toks.len());
+    let mut attrs_at: HashMap<usize, Vec<String>> = HashMap::new();
+    let mut pending: Vec<String> = Vec::new();
+    let raw = lexed.toks;
+    let mut i = 0usize;
+    while i < raw.len() {
+        if raw[i].is_punct('#') {
+            // `#[…]` or `#![…]` — capture the bracket group as text.
+            let mut j = i + 1;
+            if j < raw.len() && raw[j].is_punct('!') {
+                j += 1;
+            }
+            if j < raw.len() && raw[j].is_punct('[') {
+                let mut depth = 0usize;
+                let mut body = Vec::new();
+                let mut k = j;
+                while k < raw.len() {
+                    if raw[k].is_punct('[') {
+                        depth += 1;
+                    } else if raw[k].is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if depth >= 1 {
+                        body.push(raw[k].text.clone());
+                    }
+                    k += 1;
+                }
+                // Inner attrs (`#![…]`) describe the file; item attrs the
+                // next item. Both land in the pending buffer — inner
+                // attrs simply never match an item check.
+                pending.push(body.join(" "));
+                i = k + 1;
+                continue;
+            }
+        }
+        if !pending.is_empty() {
+            attrs_at.entry(toks.len()).or_default().append(&mut pending);
+        }
+        toks.push(raw[i].clone());
+        i += 1;
+    }
+
+    let mut comments: HashMap<u32, String> = HashMap::new();
+    for (line, text) in lexed.comments {
+        let slot = comments.entry(line).or_default();
+        if !slot.is_empty() {
+            slot.push(' ');
+        }
+        slot.push_str(&text);
+    }
+
+    let mut braces = HashMap::new();
+    let mut stack = Vec::new();
+    for (idx, t) in toks.iter().enumerate() {
+        if t.is_punct('{') {
+            stack.push(idx);
+        } else if t.is_punct('}') {
+            if let Some(open) = stack.pop() {
+                braces.insert(open, idx);
+                braces.insert(idx, open);
+            }
+        }
+    }
+
+    let mut file = SourceFile {
+        rel_path,
+        crate_name,
+        module,
+        toks,
+        attrs_at,
+        comments,
+        braces,
+        excluded: Vec::new(),
+    };
+    file.excluded = excluded_ranges(&file);
+    file
+}
+
+fn is_test_attr(attr: &str) -> bool {
+    if attr == "test" {
+        return true;
+    }
+    // `cfg(test)` and `cfg(all(test, …))` gate test-only code;
+    // `cfg(not(test))` gates *production* code and must not exclude it.
+    attr.starts_with("cfg") && attr.contains(" test ") && !attr.contains("not ( test")
+}
+
+/// Token ranges of `#[cfg(test)]`/`#[test]` items: from the attributed
+/// token to the matching `}` of the item's body (or its terminating
+/// `;`).
+fn excluded_ranges(file: &SourceFile) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (&idx, attrs) in &file.attrs_at {
+        if !attrs.iter().any(|a| is_test_attr(a)) {
+            continue;
+        }
+        // Find the item's extent: the first `{` at paren depth 0 opens
+        // the body; a `;` at depth 0 before any `{` ends a bodyless item.
+        let mut paren = 0i32;
+        let mut j = idx;
+        let end = loop {
+            if j >= file.toks.len() {
+                break file.toks.len().saturating_sub(1);
+            }
+            let t = &file.toks[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                paren += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                paren -= 1;
+            } else if paren == 0 && t.is_punct('{') {
+                break *file.braces.get(&j).unwrap_or(&j);
+            } else if paren == 0 && t.is_punct(';') {
+                break j;
+            }
+            j += 1;
+        };
+        out.push((idx, end));
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Walk one file's tokens and register lock sites, functions, and
+/// `mod … ;` declarations on the workspace.
+fn extract_items(ws: &mut Workspace, file_idx: usize) {
+    let file = &ws.files[file_idx];
+    let toks = &file.toks;
+    let mut sites = Vec::new();
+    let mut fns = Vec::new();
+    let mut mods = Vec::new();
+
+    // Innermost-wins impl context: (type name, open, close).
+    let impls = impl_ranges(file);
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        if file.is_excluded(i) {
+            i += 1;
+            continue;
+        }
+        let t = &toks[i];
+        if t.is_ident("struct") && i + 1 < toks.len() && toks[i + 1].kind == TokKind::Ident {
+            let name = toks[i + 1].text.clone();
+            if let Some((open, close)) = struct_body(file, i + 2) {
+                extract_struct_fields(file, &name, open, close, &mut sites);
+                i = open + 1;
+                continue;
+            }
+        } else if t.is_ident("static") {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].is_ident("mut") {
+                j += 1;
+            }
+            if j + 1 < toks.len() && toks[j].kind == TokKind::Ident && toks[j + 1].is_punct(':') {
+                let name = toks[j].text.clone();
+                let line = toks[j].line;
+                let ty_end = scan_type(toks, j + 2, &['=', ';']);
+                if let Some(kind) = lock_kind_of(&toks[j + 2..ty_end]) {
+                    if !untracked_marker(file, line) {
+                        sites.push(LockSite {
+                            site: item_identity(file, &name, None),
+                            field: name,
+                            kind,
+                            file: file.rel_path.clone(),
+                            line,
+                        });
+                    }
+                }
+                i = ty_end;
+                continue;
+            }
+        } else if t.is_ident("mod")
+            && i + 1 < toks.len()
+            && toks[i + 1].kind == TokKind::Ident
+            && i + 2 < toks.len()
+            && toks[i + 2].is_punct(';')
+        {
+            mods.push((toks[i + 1].text.clone(), item_attrs(file, i)));
+            i += 3;
+            continue;
+        } else if t.is_ident("fn")
+            && i + 1 < toks.len()
+            && toks[i + 1].kind == TokKind::Ident
+            && !prev_is_punct(toks, i, '(')
+        {
+            if let Some((open, close)) = fn_body(file, i) {
+                let name = toks[i + 1].text.clone();
+                let owner = impls
+                    .iter()
+                    .filter(|(_, a, b)| i > *a && i < *b)
+                    .min_by_key(|(_, a, b)| b - a)
+                    .map(|(n, _, _)| n.clone());
+                let qual = match &owner {
+                    Some(ty) => item_identity(file, &format!("{ty}::{name}"), None),
+                    None => item_identity(file, &name, None),
+                };
+                fns.push(FnDef {
+                    name,
+                    qual,
+                    file_idx,
+                    kw: i,
+                    body: (open, close),
+                    line: toks[i].line,
+                    attrs: item_attrs(file, i),
+                });
+                // Keep walking *inside* the body too: nested fns and
+                // closures are rare but struct defs inside fns are not.
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    let crate_name = file.crate_name.clone();
+    for (m, attrs) in mods {
+        ws.mod_cfgs.insert((crate_name.clone(), m), attrs);
+    }
+    ws.sites.extend(sites);
+    ws.fns.extend(fns);
+}
+
+/// `crate::module::name` (field appended by the caller when `Some`).
+fn item_identity(file: &SourceFile, name: &str, field: Option<&str>) -> String {
+    let base = if file.module.is_empty() {
+        format!("{}::{}", file.crate_name, name)
+    } else {
+        format!("{}::{}::{}", file.crate_name, file.module, name)
+    };
+    match field {
+        Some(f) => format!("{base}.{f}"),
+        None => base,
+    }
+}
+
+fn prev_is_punct(toks: &[Tok], i: usize, c: char) -> bool {
+    i > 0 && toks[i - 1].is_punct(c)
+}
+
+/// Attributes attached to the item whose `fn`/`struct` keyword sits at
+/// `i`, looking back across `pub`, `pub(crate)`, `unsafe`, `const`,
+/// `async`, `extern "C"` modifier runs.
+fn item_attrs(file: &SourceFile, i: usize) -> Vec<String> {
+    let toks = &file.toks;
+    let mut m = i;
+    loop {
+        if m == 0 {
+            break;
+        }
+        let p = &toks[m - 1];
+        if p.kind == TokKind::Ident
+            && matches!(
+                p.text.as_str(),
+                "pub" | "unsafe" | "const" | "async" | "extern" | "default"
+            )
+        {
+            m -= 1;
+        } else if p.is_punct(')') {
+            // `pub(crate)` — scan back to the `(` and the `pub` before it.
+            let mut k = m - 1;
+            let mut depth = 0i32;
+            loop {
+                if toks[k].is_punct(')') {
+                    depth += 1;
+                } else if toks[k].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+            }
+            if k > 0 && toks[k - 1].is_ident("pub") {
+                m = k - 1;
+            } else {
+                break;
+            }
+        } else if p.kind == TokKind::Lit && p.text.starts_with('"') {
+            // The ABI string of `extern "C"`.
+            m -= 1;
+        } else {
+            break;
+        }
+    }
+    file.attrs_at.get(&m).cloned().unwrap_or_default()
+}
+
+/// Body braces of a `struct` whose name ends just before `i` (skipping
+/// generics and where clauses); `None` for tuple/unit structs.
+fn struct_body(file: &SourceFile, mut i: usize) -> Option<(usize, usize)> {
+    let toks = &file.toks;
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') && !prev_is_punct(toks, i, '-') {
+            angle -= 1;
+        } else if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if angle == 0 && paren == 0 {
+            if t.is_punct('{') {
+                return file.braces.get(&i).map(|&c| (i, c));
+            }
+            if t.is_punct(';') {
+                return None;
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Body braces of the `fn` whose keyword sits at `i`; `None` for
+/// bodyless trait-method declarations.
+fn fn_body(file: &SourceFile, i: usize) -> Option<(usize, usize)> {
+    let toks = &file.toks;
+    let mut j = i + 2;
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') && !prev_is_punct(toks, j, '-') {
+            angle -= 1;
+        } else if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+        } else if angle <= 0 && paren == 0 {
+            if t.is_punct('{') {
+                return file.braces.get(&j).map(|&c| (j, c));
+            }
+            if t.is_punct(';') {
+                return None;
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// `impl` blocks as (self-type name, body open, body close).
+fn impl_ranges(file: &SourceFile) -> Vec<(String, usize, usize)> {
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("impl") {
+            let mut j = i + 1;
+            let mut angle = 0i32;
+            let mut header: Vec<&Tok> = Vec::new();
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('<') {
+                    angle += 1;
+                } else if t.is_punct('>') && !prev_is_punct(toks, j, '-') {
+                    angle -= 1;
+                } else if angle == 0 && t.is_punct('{') {
+                    break;
+                } else if angle == 0 && t.is_punct(';') {
+                    // `impl Trait for Type;` (never valid, but bail).
+                    break;
+                }
+                if angle == 0 {
+                    header.push(t);
+                }
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('{') {
+                let close = *file.braces.get(&j).unwrap_or(&j);
+                let name = impl_self_type(&header);
+                if let Some(name) = name {
+                    out.push((name, j, close));
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The self type of an impl header: the last segment of the type path
+/// after `for` when present (trait impl), else of the leading path
+/// (inherent impl) — `impl fmt::Display for queue::QueuedJob` yields
+/// `QueuedJob`.
+fn impl_self_type(header: &[&Tok]) -> Option<String> {
+    let for_pos = header.iter().position(|t| t.is_ident("for"));
+    let tail: &[&Tok] = match for_pos {
+        Some(p) => &header[p + 1..],
+        None => header,
+    };
+    let mut last: Option<String> = None;
+    for t in tail {
+        if t.kind == TokKind::Ident {
+            if matches!(t.text.as_str(), "dyn" | "mut" | "const") {
+                continue;
+            }
+            last = Some(t.text.clone());
+        } else if t.is_punct(':') || t.is_punct('&') || t.kind == TokKind::Lifetime {
+            continue;
+        } else {
+            break;
+        }
+    }
+    last
+}
+
+/// Named fields of a struct body: records any whose type mentions a lock
+/// primitive.
+fn extract_struct_fields(
+    file: &SourceFile,
+    struct_name: &str,
+    open: usize,
+    close: usize,
+    out: &mut Vec<LockSite>,
+) {
+    let toks = &file.toks;
+    let mut i = open + 1;
+    while i < close {
+        // Skip visibility modifiers.
+        if toks[i].is_ident("pub") {
+            i += 1;
+            if i < close && toks[i].is_punct('(') {
+                let mut depth = 0i32;
+                while i < close {
+                    if toks[i].is_punct('(') {
+                        depth += 1;
+                    } else if toks[i].is_punct(')') {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        if toks[i].kind == TokKind::Ident && i + 1 < close && toks[i + 1].is_punct(':') {
+            let field = toks[i].text.clone();
+            let line = toks[i].line;
+            let ty_end = scan_type(toks, i + 2, &[',']).min(close);
+            if let Some(kind) = lock_kind_of(&toks[i + 2..ty_end]) {
+                if !untracked_marker(file, line) {
+                    out.push(LockSite {
+                        site: item_identity(file, struct_name, Some(&field)),
+                        field,
+                        kind,
+                        file: file.rel_path.clone(),
+                        line,
+                    });
+                }
+            }
+            i = ty_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// End index of a type starting at `i`: first terminator at zero
+/// paren/bracket/angle nesting.
+fn scan_type(toks: &[Tok], mut i: usize, terminators: &[char]) -> usize {
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') && !prev_is_punct(toks, i, '-') {
+            angle -= 1;
+        } else if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+        } else if angle == 0 && paren == 0 {
+            if terminators.iter().any(|&c| t.is_punct(c)) {
+                return i;
+            }
+            if t.is_punct('}') {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn lock_kind_of(ty: &[Tok]) -> Option<LockKind> {
+    for t in ty {
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "Condvar" => return Some(LockKind::Condvar),
+                "Mutex" => return Some(LockKind::Mutex),
+                "RwLock" => return Some(LockKind::RwLock),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// `// conc-lint: untracked` on the declaration line or the line above.
+fn untracked_marker(file: &SourceFile, line: u32) -> bool {
+    (line.saturating_sub(1)..=line)
+        .any(|l| file.comment_at(l).is_some_and(|c| c.contains("conc-lint: untracked")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file_of(src: &str) -> SourceFile {
+        parse_file("test.rs".into(), "test-crate".into(), "m".into(), src)
+    }
+
+    fn sites_of(src: &str) -> Vec<LockSite> {
+        let file = file_of(src);
+        let mut ws = Workspace {
+            files: vec![file],
+            sites: Vec::new(),
+            fns: Vec::new(),
+            mod_cfgs: HashMap::new(),
+            crates: vec!["test-crate".into()],
+            deps: HashMap::new(),
+        };
+        extract_items(&mut ws, 0);
+        ws.sites
+    }
+
+    #[test]
+    fn lock_fields_get_identities() {
+        let src = r#"
+            pub struct Q {
+                pub inner: Mutex<Inner>,
+                available: Condvar,
+                plans: RwLock<HashMap<K, (Arc<P>, u64)>>,
+                depth: usize,
+            }
+        "#;
+        let sites = sites_of(src);
+        assert_eq!(sites.len(), 3);
+        assert_eq!(sites[0].site, "test-crate::m::Q.inner");
+        assert_eq!(sites[0].kind, LockKind::Mutex);
+        assert_eq!(sites[1].kind, LockKind::Condvar);
+        assert_eq!(sites[2].site, "test-crate::m::Q.plans");
+        assert_eq!(sites[2].kind, LockKind::RwLock);
+    }
+
+    #[test]
+    fn untracked_marker_excludes_a_site() {
+        let src = "
+            struct T {
+                // conc-lint: untracked — internal
+                table: Mutex<u32>,
+                real: Mutex<u32>,
+            }
+        ";
+        let sites = sites_of(src);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].field, "real");
+    }
+
+    #[test]
+    fn statics_are_sites_too() {
+        let src = "static GLOBAL: OnceLock<Mutex<Vec<u8>>> = OnceLock::new();";
+        let sites = sites_of(src);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].site, "test-crate::m::GLOBAL");
+    }
+
+    #[test]
+    fn cfg_test_mods_are_excluded() {
+        let src = r#"
+            struct Real { m: Mutex<u32> }
+            #[cfg(test)]
+            mod tests {
+                struct Fake { m: Mutex<u32> }
+                fn helper() {}
+            }
+        "#;
+        let file = file_of(src);
+        let mut ws = Workspace {
+            files: vec![file],
+            sites: Vec::new(),
+            fns: Vec::new(),
+            mod_cfgs: HashMap::new(),
+            crates: vec!["test-crate".into()],
+            deps: HashMap::new(),
+        };
+        extract_items(&mut ws, 0);
+        assert_eq!(ws.sites.len(), 1);
+        assert!(ws.fns.is_empty(), "test-mod fns must be skipped: {:?}", ws.fns);
+    }
+
+    #[test]
+    fn fns_get_impl_context_and_attrs() {
+        let src = r#"
+            impl JobQueue {
+                #[inline]
+                pub fn pop(&self) -> Option<Job> { None }
+            }
+            fn free_standing() {}
+            trait T { fn decl_only(&self); }
+        "#;
+        let file = file_of(src);
+        let mut ws = Workspace {
+            files: vec![file],
+            sites: Vec::new(),
+            fns: Vec::new(),
+            mod_cfgs: HashMap::new(),
+            crates: vec!["test-crate".into()],
+            deps: HashMap::new(),
+        };
+        extract_items(&mut ws, 0);
+        let names: Vec<&str> = ws.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert!(names.contains(&"test-crate::m::JobQueue::pop"), "{names:?}");
+        assert!(names.contains(&"test-crate::m::free_standing"), "{names:?}");
+        assert!(!names.iter().any(|n| n.contains("decl_only")), "{names:?}");
+        let pop = ws.fns.iter().find(|f| f.name == "pop").unwrap();
+        assert_eq!(pop.attrs, vec!["inline".to_string()]);
+    }
+
+    #[test]
+    fn mod_decl_cfgs_are_recorded() {
+        let src = r#"
+            #[cfg ( all ( target_arch = "x86_64" , not ( miri ) ) )]
+            mod avx2;
+            mod portable;
+        "#;
+        let file = file_of(src);
+        let mut ws = Workspace {
+            files: vec![file],
+            sites: Vec::new(),
+            fns: Vec::new(),
+            mod_cfgs: HashMap::new(),
+            crates: vec!["test-crate".into()],
+            deps: HashMap::new(),
+        };
+        extract_items(&mut ws, 0);
+        let avx = ws.mod_cfgs.get(&("test-crate".into(), "avx2".into())).unwrap();
+        assert!(avx.iter().any(|a| a.contains("target_arch")));
+        let portable = ws.mod_cfgs.get(&("test-crate".into(), "portable".into())).unwrap();
+        assert!(portable.is_empty());
+    }
+}

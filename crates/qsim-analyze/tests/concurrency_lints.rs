@@ -1,0 +1,117 @@
+//! Integration tests for the concurrency lints, pinned against the
+//! committed fixture trees under `tests/fixtures/`. The seeded-defect
+//! fixture must produce *exactly* its three findings with stable codes —
+//! this is the analyzer's noise/recall regression gate.
+
+use std::path::PathBuf;
+
+use qsim_analyze::concurrency::{analyze_workspace, codes, Allowlist};
+use qsim_core::diag::Severity;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+#[test]
+fn seeded_defects_yield_exactly_three_findings() {
+    let report = analyze_workspace(&fixture("conc_fixture"), &Allowlist::default()).unwrap();
+    let mut found: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+    found.sort_unstable();
+    assert_eq!(
+        found,
+        vec![codes::LOCK_CYCLE, codes::HELD_ACROSS_BLOCKING, codes::RAII_ESCAPE],
+        "full report:\n{}",
+        report.render()
+    );
+    // All three are errors: the cycle and the hold are deadlock-shaped,
+    // and the forgotten value is provably a tracked reservation.
+    assert!(report.diagnostics.iter().all(|d| d.severity == Severity::Error));
+
+    let cycle = report.diagnostics.iter().find(|d| d.code == codes::LOCK_CYCLE).unwrap();
+    assert!(cycle.message.contains("Pair.alpha") && cycle.message.contains("Pair.beta"));
+    let hold = report.diagnostics.iter().find(|d| d.code == codes::HELD_ACROSS_BLOCKING).unwrap();
+    assert!(hold.message.contains("Station.stats"), "{}", hold.message);
+    let leak = report.diagnostics.iter().find(|d| d.code == codes::RAII_ESCAPE).unwrap();
+    assert!(leak.message.contains("mem::forget"), "{}", leak.message);
+
+    // The ordering graph saw both directions of the inversion.
+    let has = |from: &str, to: &str| {
+        report.edges.iter().any(|(f, t, _, _)| f.contains(from) && t.contains(to))
+    };
+    assert!(has("Pair.alpha", "Pair.beta"));
+    assert!(has("Pair.beta", "Pair.alpha"));
+}
+
+#[test]
+fn hygiene_defects_each_have_a_code() {
+    let report = analyze_workspace(&fixture("conc_hygiene"), &Allowlist::default()).unwrap();
+    let mut found: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+    found.sort_unstable();
+    assert_eq!(
+        found,
+        vec![
+            codes::UNDOCUMENTED_UNSAFE,
+            codes::UNGATED_INTRINSICS,
+            codes::UNRESOLVED_LOCK_SITE,
+            codes::NAKED_CONDVAR_WAIT,
+        ],
+        "full report:\n{}",
+        report.render()
+    );
+    let gating = report.diagnostics.iter().find(|d| d.code == codes::UNGATED_INTRINSICS).unwrap();
+    assert_eq!(gating.severity, Severity::Error);
+    assert!(gating.span.file.ends_with("src/simd.rs"));
+}
+
+#[test]
+fn allowlist_suppresses_and_staleness_is_an_error() {
+    // A matching entry suppresses exactly its finding.
+    let allow =
+        Allowlist::parse("QL0302 | src/lib.rs | Station.stats | fixture: documented handshake\n");
+    let report = analyze_workspace(&fixture("conc_fixture"), &allow).unwrap();
+    let codes_left: Vec<&str> = report.diagnostics.iter().map(|d| d.code).collect();
+    assert!(!codes_left.contains(&codes::HELD_ACROSS_BLOCKING));
+    assert!(codes_left.contains(&codes::LOCK_CYCLE));
+    assert_eq!(report.suppressed.len(), 1);
+
+    // A stale entry turns into QL0307 instead of silently rotting.
+    let stale = Allowlist::parse("QL0302 | no/such/file.rs | never matches | stale\n");
+    let report = analyze_workspace(&fixture("conc_fixture"), &stale).unwrap();
+    assert!(report.diagnostics.iter().any(|d| d.code == codes::STALE_ALLOWLIST));
+    // The original three findings are all still present.
+    assert_eq!(report.diagnostics.len(), 4, "{}", report.render());
+
+    // Malformed lines are also QL0307 errors.
+    let malformed = Allowlist::parse("QL0301 only two fields\n");
+    let report = analyze_workspace(&fixture("conc_fixture"), &malformed).unwrap();
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == codes::STALE_ALLOWLIST && d.message.contains("malformed")));
+}
+
+#[test]
+fn real_workspace_is_clean_under_the_checked_in_allowlist() {
+    // The repo root is two levels up from this crate. This is the same
+    // gate CI runs via `qsim_lint --deny-warnings`; keeping it in-tree
+    // means `cargo test` alone catches concurrency-lint regressions.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let allow = match std::fs::read_to_string(root.join("CONC_ALLOWLIST.txt")) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(_) => Allowlist::default(),
+    };
+    let report = analyze_workspace(&root, &allow).unwrap();
+    assert!(
+        report.passes(true),
+        "workspace concurrency lints must stay clean:\n{}",
+        report.render()
+    );
+    // The one blessed ordering edge: job completion publishes results
+    // under `registry` and then folds counters under `aggregates`.
+    assert!(
+        report.edges.iter().any(|(f, t, _, _)| f.ends_with("ServiceInner.registry")
+            && t.ends_with("ServiceInner.aggregates")),
+        "expected the registry -> aggregates edge; got:\n{}",
+        report.render_graph()
+    );
+}

@@ -1,0 +1,83 @@
+//! Seeded concurrency defects, one per lint family. The integration
+//! test asserts that analyzing this tree yields *exactly* one QL0301,
+//! one QL0302, and one QL0303 — nothing more, nothing less — so any
+//! analyzer change that adds noise or loses a true positive fails CI.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Two locks acquired in both orders on different paths: a classic
+/// deadlock-shaped inversion (QL0301).
+pub struct Pair {
+    pub alpha: Mutex<u32>,
+    pub beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = self.beta.lock().unwrap();
+        let a = self.alpha.lock().unwrap();
+        *b - *a
+    }
+}
+
+/// A guard held across a condvar wait that parks on a *different* lock
+/// (QL0302): the waiter sleeps holding `stats`, so any notifier that
+/// needs `stats` deadlocks.
+pub struct Station {
+    pub stats: Mutex<u64>,
+    pub gate: Mutex<bool>,
+    pub ready: Condvar,
+}
+
+impl Station {
+    pub fn drain(&self) -> u64 {
+        let stats = self.stats.lock().unwrap();
+        let mut open = self.gate.lock().unwrap();
+        while !*open {
+            open = self.ready.wait(open).unwrap();
+        }
+        *stats
+    }
+}
+
+/// An RAII accounting value whose Drop gives budget back.
+pub struct Reservation<'a> {
+    ledger: &'a Ledger,
+    bytes: u64,
+}
+
+impl Drop for Reservation<'_> {
+    fn drop(&mut self) {
+        self.ledger.reserved.fetch_sub(self.bytes, Ordering::AcqRel);
+    }
+}
+
+pub struct Ledger {
+    reserved: AtomicU64,
+    budget: u64,
+}
+
+impl Ledger {
+    pub fn try_reserve(&self, bytes: u64) -> Option<Reservation<'_>> {
+        let prior = self.reserved.fetch_add(bytes, Ordering::AcqRel);
+        if prior + bytes > self.budget {
+            self.reserved.fetch_sub(bytes, Ordering::AcqRel);
+            return None;
+        }
+        Some(Reservation { ledger: self, bytes })
+    }
+
+    /// Leaks the reservation (QL0303): the ledger never gets the bytes
+    /// back, so admission slowly starves.
+    pub fn leak_one(&self) {
+        let r = self.try_reserve(64);
+        std::mem::forget(r);
+    }
+}

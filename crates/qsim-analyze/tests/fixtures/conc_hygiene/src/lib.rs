@@ -1,0 +1,33 @@
+//! Seeded hygiene defects: an undocumented unsafe block (QL0304), an
+//! intrinsics module without a `target_arch` gate (QL0305), a lock call
+//! on an undeclared site (QL0306), and a condvar wait outside a loop
+//! (QL0308).
+
+use std::sync::{Condvar, Mutex};
+
+mod simd;
+
+pub struct Holder {
+    pub cell: Mutex<u32>,
+    pub cv: Condvar,
+}
+
+impl Holder {
+    pub fn peek(&self) -> u32 {
+        let v = self.cell.lock().unwrap();
+        // Deliberately undocumented block: QL0304.
+        let raw = unsafe { *(&*v as *const u32) };
+        raw
+    }
+
+    /// `mystery` is not a declared lock site: QL0306.
+    pub fn touch(&self) {
+        self.mystery.lock();
+    }
+
+    /// A wait with no surrounding loop misses spurious wakeups: QL0308.
+    pub fn wait_once(&self) {
+        let g = self.cell.lock().unwrap();
+        let _g = self.cv.wait(g).unwrap();
+    }
+}

@@ -1,0 +1,10 @@
+//! Intrinsics with no `cfg(target_arch = …)` gate on the `mod`
+//! declaration: QL0305. The unsafe block itself is documented so this
+//! file adds no QL0304.
+
+pub fn zero() -> i32 {
+    // SAFETY: fixture-only; never compiled, let alone executed.
+    let v = unsafe { core::arch::x86_64::_mm256_setzero_si256() };
+    let _ = v;
+    0
+}

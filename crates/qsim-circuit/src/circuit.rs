@@ -132,24 +132,44 @@ impl Circuit {
     /// same computation, so the serve layer can treat hash-equal
     /// Batch-class submissions as one gang (the parameters are hashed via
     /// `f64::to_bits`, so `Rz(0.1)` and `Rz(0.1 + 1e-17)` differ).
+    ///
+    /// Every variable-length field is hashed with an explicit length
+    /// prefix (`write_u64` of the count before the elements) so adjacent
+    /// fields cannot alias: without the prefixes, `qubits=[1,2],
+    /// controls=[3]` and `qubits=[1], controls=[2,3]` would feed the
+    /// hasher identical byte streams, as would a gate whose mnemonic is a
+    /// prefix of another's concatenated with its first operand bytes.
+    /// Injectivity of the encoding must not lean on `Hash` impl details
+    /// of `str`/`Vec` (str's 0xFF terminator, slice length prefixes) —
+    /// those are std implementation details, not contracts.
     pub fn content_hash(&self) -> u64 {
-        use std::hash::{Hash, Hasher};
+        use std::hash::Hasher;
         let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.num_qubits.hash(&mut h);
+        h.write_u64(self.num_qubits as u64);
+        h.write_u64(self.ops.len() as u64);
         for op in &self.ops {
-            op.time.hash(&mut h);
+            h.write_u64(op.time as u64);
             // The mnemonic is unique per gate kind, and parameters are
             // hashed bit-exact, so this is injective on (discriminant,
             // parameter bits) up to NaN payloads. Hashing the static
             // mnemonic beats formatting the Debug form: submit-side
             // hashing is on the serve layer's hot path.
-            op.kind.name().hash(&mut h);
+            let name = op.kind.name();
+            h.write_u64(name.len() as u64);
+            h.write(name.as_bytes());
             let (params, count) = op.kind.params_fixed();
+            h.write_u64(count as u64);
             for p in &params[..count] {
-                p.to_bits().hash(&mut h);
+                h.write_u64(p.to_bits());
             }
-            op.qubits.hash(&mut h);
-            op.controls.hash(&mut h);
+            h.write_u64(op.qubits.len() as u64);
+            for &q in &op.qubits {
+                h.write_u64(q as u64);
+            }
+            h.write_u64(op.controls.len() as u64);
+            for &c in &op.controls {
+                h.write_u64(c as u64);
+            }
         }
         h.finish()
     }
@@ -300,6 +320,45 @@ mod tests {
         c.add(1, GateKind::Cz, &[0, 1]);
         c.add(2, GateKind::Measurement, &[2]);
         assert_eq!(c.gate_counts(), (2, 1, 1));
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_param_sensitive() {
+        let mut a = Circuit::new(3);
+        a.add(0, GateKind::H, &[0]);
+        a.add(1, GateKind::Rz(0.25), &[1]);
+        let mut b = Circuit::new(3);
+        b.add(0, GateKind::H, &[0]);
+        b.add(1, GateKind::Rz(0.25), &[1]);
+        assert_eq!(a.content_hash(), b.content_hash());
+        let mut c = Circuit::new(3);
+        c.add(0, GateKind::H, &[0]);
+        c.add(1, GateKind::Rz(0.25 + 1e-15), &[1]);
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn content_hash_does_not_alias_qubits_into_controls() {
+        // Same gate kind, same concatenated operand list [1, 2, 3] — only
+        // the qubits/controls boundary differs. Without explicit length
+        // prefixes the two ops would feed the hasher the same stream.
+        let mut a = Circuit::new(4);
+        a.ops.push(GateOp::with_controls(0, GateKind::H, vec![1, 2], vec![3]));
+        let mut b = Circuit::new(4);
+        b.ops.push(GateOp::with_controls(0, GateKind::H, vec![1], vec![2, 3]));
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn content_hash_does_not_alias_across_mnemonic_boundaries() {
+        // "s" and "sw" share a prefix; with naive concatenation the gate
+        // name's end and the operand list's start could trade bytes. The
+        // explicit name-length prefix keeps the encodings disjoint.
+        let mut a = Circuit::new(2);
+        a.add(0, GateKind::S, &[0]);
+        let mut b = Circuit::new(2);
+        b.add(0, GateKind::Swap, &[0, 1]);
+        assert_ne!(a.content_hash(), b.content_hash());
     }
 
     #[test]

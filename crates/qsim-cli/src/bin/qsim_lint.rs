@@ -1,0 +1,110 @@
+//! `qsim_lint` — the workspace concurrency-lint driver.
+//!
+//! Runs the `qsim_analyze::concurrency` analyses (lock-order graph,
+//! guards held across blocking boundaries, RAII-escape detection,
+//! unsafe/ISA hygiene) over a workspace tree and reports `QL03xx`
+//! diagnostics. CI runs it with `--deny-warnings` and uploads the
+//! `--json` report as an artifact.
+//!
+//! Exit codes: 0 clean (under the active policy), 1 findings, 2 usage
+//! or I/O error.
+
+use std::path::PathBuf;
+
+use qsim_analyze::concurrency::{self, Allowlist};
+
+const USAGE: &str = "\
+usage: qsim_lint [options]
+  --root DIR        workspace root to analyze (default .)
+  --allowlist FILE  allowlist path (default <root>/CONC_ALLOWLIST.txt;
+                    a missing file is an empty allowlist)
+  --json            print the report as JSON instead of text
+  --graph           also print the lock-site/ordering-edge model
+  --deny-warnings   exit non-zero on warnings, not just errors
+  --emit-diagnostics
+                    print the generated DIAGNOSTICS.md (from the rule
+                    registry) and exit; CI diffs it against the file
+  -h, --help        show this help";
+
+struct Args {
+    root: PathBuf,
+    allowlist: Option<PathBuf>,
+    json: bool,
+    graph: bool,
+    deny_warnings: bool,
+    emit_diagnostics: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        allowlist: None,
+        json: false,
+        graph: false,
+        deny_warnings: false,
+        emit_diagnostics: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "-h" | "--help" => return Err(USAGE.into()),
+            "--root" => args.root = PathBuf::from(take(&mut it, flag)?),
+            "--allowlist" => args.allowlist = Some(PathBuf::from(take(&mut it, flag)?)),
+            "--json" => args.json = true,
+            "--graph" => args.graph = true,
+            "--deny-warnings" => args.deny_warnings = true,
+            "--emit-diagnostics" => args.emit_diagnostics = true,
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn take<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+
+    if args.emit_diagnostics {
+        print!("{}", qsim_analyze::registry::diagnostics_markdown());
+        return;
+    }
+
+    let allowlist_path =
+        args.allowlist.clone().unwrap_or_else(|| args.root.join("CONC_ALLOWLIST.txt"));
+    let allowlist = match std::fs::read_to_string(&allowlist_path) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Allowlist::default(),
+        Err(e) => {
+            eprintln!("qsim_lint: cannot read {}: {e}", allowlist_path.display());
+            std::process::exit(2);
+        }
+    };
+
+    let report = match concurrency::analyze_workspace(&args.root, &allowlist) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("qsim_lint: cannot analyze {}: {e}", args.root.display());
+            std::process::exit(2);
+        }
+    };
+
+    if args.json {
+        println!("{}", report.to_json_string());
+    } else {
+        println!("{}", report.render());
+    }
+    if args.graph {
+        println!("{}", report.render_graph());
+    }
+    std::process::exit(if report.passes(args.deny_warnings) { 0 } else { 1 });
+}

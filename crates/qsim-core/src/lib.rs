@@ -38,7 +38,10 @@
 //!   mentions as part of the simulator but does not benchmark);
 //! * [`diag`], the typed-diagnostic vocabulary ([`diag::Diagnostic`],
 //!   [`diag::Severity`], [`diag::Span`]) shared by `Circuit::validate()`
-//!   and the `qsim-analyze` lint engine.
+//!   and the `qsim-analyze` lint engine;
+//! * [`lockorder`], the debug-build runtime lock-order tracker that
+//!   validates the static lock graph built by
+//!   `qsim-analyze::concurrency` against orderings actually observed.
 
 pub mod batch;
 pub mod cancel;
@@ -46,6 +49,7 @@ pub mod density;
 pub mod diag;
 pub mod entropy;
 pub mod kernels;
+pub mod lockorder;
 pub mod matrix;
 pub mod noise;
 pub mod observables;

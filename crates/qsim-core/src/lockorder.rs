@@ -1,0 +1,195 @@
+//! Runtime lock-order tracker — the dynamic validator of the static lock
+//! graph `qsim-analyze::concurrency` builds from source.
+//!
+//! Lock acquisition sites (fields of type `Mutex`/`RwLock`/`Condvar`)
+//! carry a stable string identity of the form
+//! `crate::module::Struct.field` — the same identity the static analyzer
+//! derives from the declaration. Code that holds locks calls
+//! [`track`] immediately after each acquisition and keeps the returned
+//! [`Held`] guard alive exactly as long as the lock guard; the tracker
+//! maintains a per-thread stack of held sites and a global set of
+//! observed `(outer, inner)` ordering edges.
+//!
+//! Two consumers:
+//!
+//! 1. **Inversion detection** (debug builds): if the edge `(B, A)` is
+//!    recorded while `(A, B)` has already been observed, two lock sites
+//!    have been taken in both orders — a potential deadlock — and the
+//!    tracker panics immediately with both locations. This is the
+//!    runtime analogue of the static `QL0301` lint.
+//! 2. **Static-graph validation**: tests drain [`observed_edges`] after a
+//!    workload and assert every observed edge is present in the static
+//!    graph, proving the analyzer's model did not miss an ordering that
+//!    actually happens.
+//!
+//! Everything compiles to a no-op in release builds (`debug_assertions`
+//! off): [`track`] returns an inert guard and records nothing, so the
+//! serve hot path pays only a branch that the optimizer removes.
+//!
+//! Self-edges (re-tracking a site already on the thread's stack, e.g. two
+//! instances of the same pool type) are recorded but never treated as
+//! inversions — site identities name declarations, not instances, so an
+//! `(A, A)` edge is not evidence of a cycle by itself. The static
+//! analyzer reports same-site nesting separately.
+
+#[cfg(debug_assertions)]
+mod imp {
+    use std::cell::RefCell;
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+
+    thread_local! {
+        static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    // The tracker's own table is never held while acquiring a tracked
+    // lock, and tracking it would recurse. conc-lint: untracked
+    static EDGES: OnceLock<Mutex<HashSet<(&'static str, &'static str)>>> = OnceLock::new();
+
+    fn edges() -> &'static Mutex<HashSet<(&'static str, &'static str)>> {
+        EDGES.get_or_init(|| Mutex::new(HashSet::new()))
+    }
+
+    /// RAII token pairing one lock guard; popping order does not need to
+    /// match lock-release order exactly (the stack is per-thread and the
+    /// token removes its own entry), but in practice guards drop LIFO.
+    #[derive(Debug)]
+    pub struct Held {
+        site: &'static str,
+    }
+
+    impl Drop for Held {
+        fn drop(&mut self) {
+            HELD.with(|h| {
+                let mut held = h.borrow_mut();
+                if let Some(pos) = held.iter().rposition(|s| *s == self.site) {
+                    held.remove(pos);
+                }
+            });
+        }
+    }
+
+    pub fn track(site: &'static str) -> Held {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            let mut table = edges().lock().unwrap_or_else(|e| e.into_inner());
+            for outer in held.iter() {
+                if *outer == site {
+                    // Same-site nesting: record, never invert.
+                    table.insert((site, site));
+                    continue;
+                }
+                if table.contains(&(site, *outer)) {
+                    panic!(
+                        "lock-order inversion: site `{site}` acquired while holding \
+                         `{outer}`, but the opposite order `{site}` -> `{outer}` was \
+                         observed earlier in this process"
+                    );
+                }
+                table.insert((*outer, site));
+            }
+            drop(table);
+            held.push(site);
+        });
+        Held { site }
+    }
+
+    pub fn observed_edges() -> Vec<(&'static str, &'static str)> {
+        let table = edges().lock().unwrap_or_else(|e| e.into_inner());
+        let mut v: Vec<_> = table.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    pub fn reset_observed_edges() {
+        edges().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod imp {
+    /// Inert release-build token.
+    #[derive(Debug)]
+    pub struct Held;
+
+    #[inline(always)]
+    pub fn track(_site: &'static str) -> Held {
+        Held
+    }
+
+    pub fn observed_edges() -> Vec<(&'static str, &'static str)> {
+        Vec::new()
+    }
+
+    pub fn reset_observed_edges() {}
+}
+
+pub use imp::Held;
+
+/// Record that the lock site `site` has just been acquired on this
+/// thread. Keep the returned token alive exactly as long as the lock
+/// guard. No-op (inert token) in release builds.
+pub fn track(site: &'static str) -> Held {
+    imp::track(site)
+}
+
+/// All `(outer, inner)` ordering edges observed so far in this process,
+/// sorted. Empty in release builds.
+pub fn observed_edges() -> Vec<(&'static str, &'static str)> {
+    imp::observed_edges()
+}
+
+/// Clear the observed-edge set (test isolation within one process).
+pub fn reset_observed_edges() {
+    imp::reset_observed_edges();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The edge table is process-global, so the tests here use site names
+    // no production code uses and avoid asserting global emptiness.
+
+    #[test]
+    fn nested_tracking_records_an_edge() {
+        let a = track("test::lockorder::A.outer");
+        let b = track("test::lockorder::B.inner");
+        drop(b);
+        drop(a);
+        if cfg!(debug_assertions) {
+            assert!(observed_edges()
+                .contains(&("test::lockorder::A.outer", "test::lockorder::B.inner")));
+        } else {
+            assert!(observed_edges().is_empty());
+        }
+    }
+
+    #[test]
+    fn same_site_nesting_is_not_an_inversion() {
+        let a = track("test::lockorder::Pool.bucket");
+        let b = track("test::lockorder::Pool.bucket");
+        drop(b);
+        drop(a);
+        // Reaching here without panicking is the assertion.
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "tracker is inert in release builds")]
+    fn inversion_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let x = track("test::lockorder::Inv.x");
+            let y = track("test::lockorder::Inv.y");
+            drop(y);
+            drop(x);
+            // Opposite order: must panic when y -> x is recorded.
+            let y = track("test::lockorder::Inv.y");
+            let x = track("test::lockorder::Inv.x");
+            drop(x);
+            drop(y);
+        });
+        let err = result.expect_err("opposite acquisition order must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("lock-order inversion"), "unexpected panic payload: {msg}");
+    }
+}

@@ -220,13 +220,16 @@ impl SweepExecutor {
 
     /// Number of distinct `(register size, targets)` plans cached so far.
     pub fn cached_plans(&self) -> usize {
-        self.plans.lock().expect("plan cache poisoned").len()
+        let cache = self.plans.lock().expect("plan cache poisoned");
+        let _held = crate::lockorder::track("qsim-core::sweep::SweepExecutor.plans");
+        cache.len()
     }
 
     /// Fetch (or build and cache) the plan for a gate on `qubits` over a
     /// `2^n_plan`-amplitude slice.
     fn plan_for(&self, n_plan: usize, qubits: &[usize], dim: usize) -> Arc<GatePlan> {
         let mut cache = self.plans.lock().expect("plan cache poisoned");
+        let _held = crate::lockorder::track("qsim-core::sweep::SweepExecutor.plans");
         cache
             .entry((n_plan, qubits.to_vec()))
             .or_insert_with(|| Arc::new(GatePlan::new(n_plan, qubits, &[], 0, dim)))

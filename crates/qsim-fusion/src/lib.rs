@@ -163,24 +163,37 @@ impl FusedCircuit {
     /// equal hashes execute identically, which is what lets the serve
     /// layer's coalescing queue gang-schedule hash-equal Batch-class jobs
     /// through one `run_batch` call.
+    /// Variable-length fields (op list, qubit sets, matrix entries) are
+    /// hashed with explicit `write_u64` length prefixes, mirroring
+    /// `Circuit::content_hash`: adjacent fields must not be able to alias
+    /// even if std's `Hash` encodings for `str`/`Vec` change.
     pub fn content_hash(&self) -> u64 {
-        use std::hash::{Hash, Hasher};
+        use std::hash::Hasher;
         let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.num_qubits.hash(&mut h);
+        h.write_u64(self.num_qubits as u64);
+        h.write_u64(self.ops.len() as u64);
         for op in &self.ops {
             match op {
                 FusedOp::Unitary(g) => {
-                    0u8.hash(&mut h);
-                    g.qubits.hash(&mut h);
-                    for a in g.matrix.as_slice() {
-                        a.re.to_bits().hash(&mut h);
-                        a.im.to_bits().hash(&mut h);
+                    h.write_u8(0);
+                    h.write_u64(g.qubits.len() as u64);
+                    for &q in &g.qubits {
+                        h.write_u64(q as u64);
+                    }
+                    let entries = g.matrix.as_slice();
+                    h.write_u64(entries.len() as u64);
+                    for a in entries {
+                        h.write_u64(a.re.to_bits());
+                        h.write_u64(a.im.to_bits());
                     }
                 }
                 FusedOp::Measurement { qubits, time } => {
-                    1u8.hash(&mut h);
-                    qubits.hash(&mut h);
-                    time.hash(&mut h);
+                    h.write_u8(1);
+                    h.write_u64(qubits.len() as u64);
+                    for &q in qubits {
+                        h.write_u64(q as u64);
+                    }
+                    h.write_u64(*time as u64);
                 }
             }
         }

@@ -30,6 +30,7 @@ use std::time::Duration;
 
 use qsim_backends::{FusionPlan, SimBackend};
 use qsim_core::cancel::CancelToken;
+use qsim_core::lockorder;
 use qsim_core::types::Precision;
 
 use crate::admission::AdmissionController;
@@ -235,6 +236,7 @@ impl JobQueue {
     /// queue has been closed (service shutting down).
     pub fn push(&self, job: QueuedJob) -> Result<(), QueuedJob> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let _held = lockorder::track("qsim-serve::queue::JobQueue.inner");
         if inner.closed {
             return Err(job);
         }
@@ -251,6 +253,7 @@ impl JobQueue {
             return Ok(());
         }
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let _held = lockorder::track("qsim-serve::queue::JobQueue.inner");
         if inner.closed {
             return Err(jobs);
         }
@@ -268,6 +271,10 @@ impl JobQueue {
     /// gate — the dispatch path workers use is [`JobQueue::pop_work`].
     pub fn pop(&self) -> Option<QueuedJob> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        // The wait below atomically releases and re-acquires `inner`;
+        // while parked this thread runs nothing, so keeping the token
+        // across the wait records no false ordering.
+        let _held = lockorder::track("qsim-serve::queue::JobQueue.inner");
         loop {
             if let Some(job) = inner.pop_next() {
                 return Some(job);
@@ -295,6 +302,7 @@ impl JobQueue {
         max_batch: usize,
     ) -> Option<WorkUnit> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let _held = lockorder::track("qsim-serve::queue::JobQueue.inner");
         loop {
             if let Some(lead) = inner.select(admission, affinity) {
                 let mut jobs = vec![lead];
@@ -334,13 +342,19 @@ impl JobQueue {
     /// Close the queue: no further [`JobQueue::push`] succeeds, every
     /// blocked worker wakes, and already-queued jobs keep draining.
     pub fn close(&self) {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let _held = lockorder::track("qsim-serve::queue::JobQueue.inner");
+            inner.closed = true;
+        }
         self.available.notify_all();
     }
 
     /// Jobs currently queued across all classes.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let _held = lockorder::track("qsim-serve::queue::JobQueue.inner");
+        inner.len()
     }
 
     /// Whether no jobs are queued.

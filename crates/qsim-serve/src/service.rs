@@ -14,6 +14,7 @@ use parking_lot::{Mutex, RwLock};
 use qsim_backends::{Flavor, FusionPlan, RunReport};
 use qsim_core::cancel::{CancelCause, CancelToken};
 use qsim_core::kernels::MAX_GATE_QUBITS;
+use qsim_core::lockorder;
 use qsim_core::types::Cplx;
 use serde_json::json;
 
@@ -320,8 +321,12 @@ impl ServiceInner {
             spec.strategy,
             spec.max_fused,
         );
-        if let Some(entry) = self.plans.read().get(&key) {
-            return entry.clone();
+        {
+            let plans = self.plans.read();
+            let _held = lockorder::track("qsim-serve::service::ServiceInner.plans");
+            if let Some(entry) = plans.get(&key) {
+                return entry.clone();
+            }
         }
         // Plan outside the lock — the planner is pure and a racing
         // duplicate insert is harmless. The cache is read-locked on the
@@ -330,6 +335,7 @@ impl ServiceInner {
         let plan = Arc::new(QueuedJob::plan_spec(spec));
         let fused_hash = plan.fused.content_hash();
         let mut plans = self.plans.write();
+        let _held = lockorder::track("qsim-serve::service::ServiceInner.plans");
         if plans.len() >= PLAN_CACHE_CAP {
             plans.clear();
         }
@@ -344,6 +350,7 @@ impl ServiceInner {
     /// and may run.
     pub(crate) fn mark_running_many(&self, ids: &[JobId]) -> Vec<bool> {
         let mut registry = self.registry.lock();
+        let _held = lockorder::track("qsim-serve::service::ServiceInner.registry");
         let mut started = 0u64;
         let verdicts = ids
             .iter()
@@ -371,7 +378,9 @@ impl ServiceInner {
     /// under one registry + one aggregates lock acquisition.
     pub(crate) fn finish_many<I: IntoIterator<Item = (JobId, JobOutcome)>>(&self, outcomes: I) {
         let mut registry = self.registry.lock();
+        let _held_registry = lockorder::track("qsim-serve::service::ServiceInner.registry");
         let mut agg = self.aggregates.lock();
+        let _held_agg = lockorder::track("qsim-serve::service::ServiceInner.aggregates");
         for (id, outcome) in outcomes {
             let Some(record) = registry.get_mut(&id) else { continue };
             if record.state == JobState::Running {
@@ -427,6 +436,7 @@ impl ServiceInner {
     /// Fold one gang dispatch of `width` jobs into the batching counters.
     pub(crate) fn record_batch(&self, width: usize) {
         let mut agg = self.aggregates.lock();
+        let _held = lockorder::track("qsim-serve::service::ServiceInner.aggregates");
         agg.batches += 1;
         agg.batched_jobs += width as u64;
     }
@@ -530,11 +540,17 @@ impl Service {
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
         let (job, reservation) = self.prepare_submission(spec)?;
         let id = job.id;
-        self.inner.registry.lock().insert(id, Self::record_for(&job, reservation));
+        {
+            let mut registry = self.inner.registry.lock();
+            let _held = lockorder::track("qsim-serve::service::ServiceInner.registry");
+            registry.insert(id, Self::record_for(&job, reservation));
+        }
         let demand_bps = job.demand_bps;
         if self.inner.queue.push(job).is_err() {
             // Shutdown raced the submission; undo the registration.
-            self.inner.registry.lock().remove(&id);
+            let mut registry = self.inner.registry.lock();
+            let _held = lockorder::track("qsim-serve::service::ServiceInner.registry");
+            registry.remove(&id);
             self.inner.admission.drop_queued_traffic(demand_bps);
             return Err(SubmitError::ShuttingDown);
         }
@@ -569,6 +585,7 @@ impl Service {
         let mut jobs = Vec::with_capacity(accepted.len());
         {
             let mut registry = self.inner.registry.lock();
+            let _held = lockorder::track("qsim-serve::service::ServiceInner.registry");
             for (job, reservation) in accepted {
                 registry.insert(job.id, Self::record_for(&job, reservation));
                 jobs.push(job);
@@ -579,6 +596,7 @@ impl Service {
         if self.inner.queue.push_many(jobs).is_err() {
             // Shutdown raced the batch; undo every registration.
             let mut registry = self.inner.registry.lock();
+            let _held = lockorder::track("qsim-serve::service::ServiceInner.registry");
             for (id, demand_bps) in undo {
                 registry.remove(&id);
                 self.inner.admission.drop_queued_traffic(demand_bps);
@@ -597,6 +615,7 @@ impl Service {
     /// Current state of a job, or `None` for an unknown id.
     pub fn status(&self, id: JobId) -> Option<JobStatus> {
         let registry = self.inner.registry.lock();
+        let _held = lockorder::track("qsim-serve::service::ServiceInner.registry");
         registry.get(&id).map(|r| JobStatus {
             id,
             state: r.state,
@@ -611,6 +630,7 @@ impl Service {
     /// flight (or for an unknown id / non-`Done` terminal state).
     pub fn report(&self, id: JobId) -> Option<RunReport> {
         let registry = self.inner.registry.lock();
+        let _held = lockorder::track("qsim-serve::service::ServiceInner.registry");
         registry.get(&id).and_then(|r| r.report.as_deref().cloned())
     }
 
@@ -620,7 +640,9 @@ impl Service {
     ///
     /// [`JobSpec::keep_state`]: crate::job::JobSpec::keep_state
     pub fn take_state(&self, id: JobId) -> Option<FinalState> {
-        self.inner.registry.lock().get_mut(&id).and_then(|r| r.state_vector.take())
+        let mut registry = self.inner.registry.lock();
+        let _held = lockorder::track("qsim-serve::service::ServiceInner.registry");
+        registry.get_mut(&id).and_then(|r| r.state_vector.take())
     }
 
     /// Request cancellation. Returns `false` for unknown ids and jobs
@@ -628,6 +650,7 @@ impl Service {
     /// job will unwind at its next gate boundary (or never start).
     pub fn cancel(&self, id: JobId) -> bool {
         let registry = self.inner.registry.lock();
+        let _held = lockorder::track("qsim-serve::service::ServiceInner.registry");
         match registry.get(&id) {
             Some(record) if !record.state.is_terminal() => {
                 record.cancel.cancel();
@@ -639,7 +662,11 @@ impl Service {
 
     /// Counter snapshot for the `metrics` verb.
     pub fn metrics(&self) -> Metrics {
-        let agg = *self.inner.aggregates.lock();
+        let agg = {
+            let agg = self.inner.aggregates.lock();
+            let _held = lockorder::track("qsim-serve::service::ServiceInner.aggregates");
+            *agg
+        };
         Metrics {
             workers: self.config.workers.max(1),
             accepting: self.inner.accepting.load(Ordering::Acquire),
@@ -685,7 +712,16 @@ impl Service {
     pub fn shutdown(&self) {
         self.inner.accepting.store(false, Ordering::Release);
         self.inner.queue.close();
-        if let Some(workers) = self.workers.lock().take() {
+        // Take the pool out under the lock but join *outside* it: a
+        // worker unwinding through a panic hook (or a second caller
+        // racing this one) must never find `workers` held by a thread
+        // that is itself parked in `join`.
+        let workers = {
+            let mut workers = self.workers.lock();
+            let _held = lockorder::track("qsim-serve::service::Service.workers");
+            workers.take()
+        };
+        if let Some(workers) = workers {
             workers.join();
         }
     }

