@@ -3,6 +3,8 @@
 use qsim_backends::Flavor;
 use qsim_core::kernels::MAX_GATE_QUBITS;
 use qsim_core::types::Precision;
+use qsim_distributed::interconnect::Topology;
+use qsim_distributed::LinkSpec;
 
 /// Parse a `-f` value: the maximum number of fused gate qubits,
 /// validated to `1..=MAX_GATE_QUBITS`.
@@ -36,6 +38,38 @@ pub fn parse_sweep_block(value: &str) -> Result<usize, String> {
     }
 }
 
+/// Parse a `--devices` value: the number of modeled devices to shard the
+/// state across, which must be a power of two in `1..=64` (1 means the
+/// ordinary single-device path).
+pub fn parse_devices(value: &str) -> Result<usize, String> {
+    let devices: usize = value.parse().map_err(|_| "--devices expects an integer".to_string())?;
+    if devices.is_power_of_two() && devices <= 64 {
+        Ok(devices)
+    } else {
+        Err(format!("--devices expects a power of two in 1..=64, got {devices}"))
+    }
+}
+
+/// Parse a `--topology` value: the modeled interconnect joining the
+/// devices of a `--devices` run.
+///
+/// * `in-package` — uniform Infinity Fabric between GCDs of one package
+/// * `node` — uniform cross-package Infinity Fabric
+/// * `nvlink` — uniform NVLink 3 (the CUDA flavors' fabric)
+/// * `frontier` — the two-level in-package/cross-package hierarchy of a
+///   Frontier-style node (default for sharded runs)
+pub fn parse_topology(value: &str) -> Result<Topology, String> {
+    match value {
+        "in-package" => Ok(Topology::Uniform(LinkSpec::infinity_fabric_in_package())),
+        "node" => Ok(Topology::Uniform(LinkSpec::infinity_fabric_node())),
+        "nvlink" => Ok(Topology::Uniform(LinkSpec::nvlink3())),
+        "frontier" => Ok(Topology::frontier_node()),
+        other => Err(format!(
+            "unknown topology '{other}' (expected in-package | node | nvlink | frontier)"
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,6 +95,26 @@ mod tests {
         assert_eq!(parse_precision("single"), Ok(Precision::Single));
         assert_eq!(parse_precision("double"), Ok(Precision::Double));
         assert!(parse_precision("half").unwrap_err().contains("unknown precision"));
+    }
+
+    #[test]
+    fn devices_power_of_two_capped() {
+        assert_eq!(parse_devices("1"), Ok(1));
+        assert_eq!(parse_devices("8"), Ok(8));
+        assert_eq!(parse_devices("64"), Ok(64));
+        assert!(parse_devices("0").unwrap_err().contains("power of two"));
+        assert!(parse_devices("3").unwrap_err().contains("got 3"));
+        assert!(parse_devices("128").unwrap_err().contains("1..=64"));
+        assert!(parse_devices("two").unwrap_err().contains("integer"));
+    }
+
+    #[test]
+    fn topology_names() {
+        assert!(matches!(parse_topology("frontier"), Ok(Topology::TwoLevel { .. })));
+        assert!(matches!(parse_topology("in-package"), Ok(Topology::Uniform(_))));
+        assert!(matches!(parse_topology("node"), Ok(Topology::Uniform(_))));
+        assert!(matches!(parse_topology("nvlink"), Ok(Topology::Uniform(_))));
+        assert!(parse_topology("mesh").unwrap_err().contains("unknown topology"));
     }
 
     #[test]

@@ -16,8 +16,13 @@ use qsim_backends::{
     Flavor, FusionStrategy, PlanOptions, RunOptions, RunReport, SimBackend, SweepConfig,
 };
 use qsim_circuit::parser::{parse_circuit, parse_circuit_unchecked};
-use qsim_cli::args::{parse_backend, parse_max_fused, parse_precision, parse_sweep_block};
+use qsim_cli::args::{
+    parse_backend, parse_devices, parse_max_fused, parse_precision, parse_sweep_block,
+    parse_topology,
+};
 use qsim_core::types::Precision;
+use qsim_distributed::interconnect::Topology;
+use qsim_distributed::MultiGcdBackend;
 use qsim_trace::{Profiler, TraceStats};
 use serde_json::json;
 
@@ -37,6 +42,8 @@ struct Args {
     sweep_block: Option<usize>,
     no_sweep: bool,
     no_simd: bool,
+    devices: usize,
+    topology: Option<Topology>,
 }
 
 const USAGE: &str = "\
@@ -67,6 +74,15 @@ OPTIONS:
     --no-sweep disable the cache-blocked sweep: one pass per fused gate
     --no-simd  disable the AVX2/AVX-512 lane kernels: scalar host kernels
                only (equivalent to QSIM_NO_SIMD=1 in the environment)
+    --devices N
+               shard the state across N modeled devices (a power of two,
+               1..=64; default 1 = single device). Gates on global qubits
+               run via scheduled pairwise shard exchanges over the fabric,
+               overlapped with the local kernel sweep
+    --topology NAME
+               fabric joining a --devices run: in-package | node |
+               nvlink | frontier (default: the backend's native uniform
+               link — NVLink for cuda/custatevec, Infinity Fabric else)
     --json     print the run report as a JSON document instead of text
     -v         print per-kernel statistics
     -h         this help
@@ -89,6 +105,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         sweep_block: None,
         no_sweep: false,
         no_simd: false,
+        devices: 1,
+        topology: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -117,6 +135,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "-B" => args.sweep_block = Some(parse_sweep_block(&value("-B")?)?),
             "--no-sweep" => args.no_sweep = true,
             "--no-simd" => args.no_simd = true,
+            "--devices" => args.devices = parse_devices(&value("--devices")?)?,
+            "--topology" => args.topology = Some(parse_topology(&value("--topology")?)?),
             "--json" => args.json = true,
             "-v" => args.verbose = true,
             "-h" | "--help" => return Err(String::new()),
@@ -125,6 +145,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.circuit_file.is_empty() {
         return Err("a circuit file is required (-c FILE)".into());
+    }
+    if args.devices > 1 && args.trace_file.is_some() {
+        return Err("-t tracing is not supported with --devices > 1".into());
     }
     Ok(args)
 }
@@ -229,10 +252,20 @@ fn run(args: &Args) -> Result<(), String> {
     if args.no_simd {
         qsim_core::simd::set_simd_enabled(false);
     }
+    // A --devices run plans and executes through the sharded multi-GCD
+    // backend: its cost model prices the fabric exchanges, so the fusion
+    // planner (notably --fusion auto) sees the distributed config space.
+    let dist = (args.devices > 1).then(|| match args.topology {
+        Some(topology) => MultiGcdBackend::with_topology(args.backend, args.devices, topology),
+        None => MultiGcdBackend::new(args.backend, args.devices),
+    });
 
     let plan_start = std::time::Instant::now();
     let plan_opts = PlanOptions { strategy: args.strategy, max_fused_qubits: args.max_fused };
-    let plan = backend.plan_circuit(&circuit, &plan_opts, args.precision);
+    let plan = match &dist {
+        Some(d) => d.plan_circuit(&circuit, &plan_opts, args.precision),
+        None => backend.plan_circuit(&circuit, &plan_opts, args.precision),
+    };
     let stats = plan.fused.stats();
     if !args.json {
         println!(
@@ -249,12 +282,18 @@ fn run(args: &Args) -> Result<(), String> {
 
     // (report, first-N amplitudes when computed)
     let (report, amplitudes): (RunReport, Option<Vec<(f64, f64)>>) = if args.estimate_only {
-        (backend.estimate_plan(&plan, args.precision).map_err(|e| e.to_string())?, None)
+        let report = match &dist {
+            Some(d) => d.estimate_plan(&plan, args.precision).map_err(|e| e.to_string())?,
+            None => backend.estimate_plan(&plan, args.precision).map_err(|e| e.to_string())?,
+        };
+        (report, None)
     } else {
         match args.precision {
             Precision::Single => {
-                let (state, report) =
-                    backend.run_plan::<f32>(&plan, &opts).map_err(|e| e.to_string())?;
+                let (state, report) = match &dist {
+                    Some(d) => d.run_plan::<f32>(&plan, &opts).map_err(|e| e.to_string())?,
+                    None => backend.run_plan::<f32>(&plan, &opts).map_err(|e| e.to_string())?,
+                };
                 let amps = (0..args.num_amplitudes.min(state.len()))
                     .map(|i| {
                         let a = state.amplitude(i);
@@ -264,8 +303,10 @@ fn run(args: &Args) -> Result<(), String> {
                 (report, Some(amps))
             }
             Precision::Double => {
-                let (state, report) =
-                    backend.run_plan::<f64>(&plan, &opts).map_err(|e| e.to_string())?;
+                let (state, report) = match &dist {
+                    Some(d) => d.run_plan::<f64>(&plan, &opts).map_err(|e| e.to_string())?,
+                    None => backend.run_plan::<f64>(&plan, &opts).map_err(|e| e.to_string())?,
+                };
                 let amps = (0..args.num_amplitudes.min(state.len()))
                     .map(|i| {
                         let a = state.amplitude(i);

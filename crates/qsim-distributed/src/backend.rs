@@ -2,31 +2,54 @@
 //!
 //! Bulk-synchronous over `D = 2^d` modeled devices: every fused gate runs
 //! on all shards concurrently; gates touching a *global* qubit slot are
-//! preceded by a slot swap (pairwise half-shard exchange over the
-//! interconnect). The functional amplitudes are exact — the shard
-//! exchange really moves the data — while each device's virtual timeline
+//! preceded by exchange epochs planned up-front by the
+//! [`crate::schedule`] swap scheduler (batched all-to-alls with
+//! reuse-aware eviction, never worse than the eager one-swap-at-a-time
+//! baseline). The functional amplitudes are exact — the shard exchange
+//! really moves the data — while each device's virtual timeline
 //! accumulates the modeled kernel and link costs.
+//!
+//! With [`DistOptions::overlap`] on, each exchange is split into
+//! per-block chunks charged to a dedicated comm stream and pipelined
+//! against the dependent gate kernel's matching chunks on the compute
+//! stream (double-buffering on the device timeline, the same trick the
+//! single-device flavors play with `hipMemcpyAsync` matrix uploads), so
+//! link time hides behind compute instead of serializing.
+//!
+//! `run` and `estimate` drive the **identical** charging helper over the
+//! identical schedule, so a dry-run prices exactly what a functional run
+//! pays — the invariant the timing tests pin down.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
 
 use qsim_backends::plan::{gate_kernel_desc, init_kernel_desc};
-use qsim_backends::{BackendError, Flavor, RunOptions};
+use qsim_backends::{
+    Backend, BackendError, Flavor, KernelStat, PlanOptions, RunOptions, RunReport,
+};
 use qsim_circuit::gates::permute_matrix_bits;
 use qsim_core::kernels::apply_gate_slice_par;
 use qsim_core::matrix::GateMatrix;
 use qsim_core::statespace::measure_slice;
 use qsim_core::types::{Cplx, Float, Precision};
 use qsim_core::StateVector;
-use qsim_fusion::{FusedCircuit, FusedOp};
+use qsim_fusion::{FusedCircuit, FusedOp, FusionCostModel, FusionPlan, FusionStrategy};
 
 use gpu_model::memory::DeviceBuffer;
-use gpu_model::runtime::{Gpu, StreamId};
+use gpu_model::runtime::{Gpu, KernelDesc, StreamId};
 use gpu_model::trace::SpanKind;
 use gpu_model::GpuError;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::cost::DistCostModel;
 use crate::interconnect::{LinkSpec, Topology};
 use crate::layout::QubitLayout;
+use crate::schedule::{DistOptions, SwapSchedule};
+
+/// Kernel-stat name of the modeled shard exchange.
+pub const EXCHANGE_KERNEL: &str = "GlobalSwapExchange";
 
 /// Report of one distributed run.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,14 +68,26 @@ pub struct DistReport {
     pub fused_gates: usize,
     /// Global-qubit slot swaps performed.
     pub swaps: usize,
+    /// Exchange epochs the swaps were batched into (≤ `swaps`; each epoch
+    /// is one all-to-all on the device timeline).
+    pub swap_epochs: usize,
     /// Bytes each device pushed over the interconnect.
     pub exchanged_bytes_per_device: u64,
+    /// Modeled link-occupancy seconds of the exchanges (before any
+    /// comm/compute overlap; the makespan reflects the overlap).
+    pub exchange_seconds: f64,
     /// Modeled end-to-end time, seconds (max over device timelines).
     pub simulated_seconds: f64,
     /// Total state memory across devices, bytes.
     pub state_bytes_total: u64,
     /// Outcomes of in-circuit measurements, in order.
     pub measurements: Vec<(Vec<usize>, usize)>,
+    /// Bitstrings sampled from the final state when
+    /// [`RunOptions::sample_count`] > 0 (empty for estimates).
+    pub samples: Vec<u64>,
+    /// Per-kernel launch statistics on one device's timeline (the shards
+    /// run in lockstep, so one timeline is representative).
+    pub kernels: Vec<KernelStat>,
 }
 
 /// A state vector sharded across several modeled devices of one flavor.
@@ -60,6 +95,9 @@ pub struct MultiGcdBackend {
     flavor: Flavor,
     topology: Topology,
     devices: Vec<Gpu>,
+    /// One comm stream per device, for overlapped exchange charging.
+    comm_streams: Vec<StreamId>,
+    options: DistOptions,
 }
 
 impl MultiGcdBackend {
@@ -87,13 +125,47 @@ impl MultiGcdBackend {
             num_devices.is_power_of_two() && num_devices >= 1,
             "device count must be a power of two, got {num_devices}"
         );
-        let devices = (0..num_devices).map(|_| Gpu::new(flavor.default_spec())).collect();
-        MultiGcdBackend { flavor, topology, devices }
+        let devices: Vec<Gpu> = (0..num_devices).map(|_| Gpu::new(flavor.default_spec())).collect();
+        let comm_streams = devices.iter().map(Gpu::create_stream).collect();
+        MultiGcdBackend { flavor, topology, devices, comm_streams, options: DistOptions::default() }
+    }
+
+    /// Builder-style override of the scheduling/overlap options.
+    pub fn with_options(mut self, options: DistOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Replace the scheduling/overlap options in place.
+    pub fn set_options(&mut self, options: DistOptions) {
+        self.options = options;
+    }
+
+    /// The active scheduling/overlap options.
+    pub fn options(&self) -> DistOptions {
+        self.options
     }
 
     /// Number of devices.
     pub fn num_devices(&self) -> usize {
         self.devices.len()
+    }
+
+    /// This backend's flavor.
+    pub fn flavor(&self) -> Flavor {
+        self.flavor
+    }
+
+    /// The interconnect topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Bytes of state each device holds for an `n`-qubit circuit.
+    pub fn shard_bytes(&self, num_qubits: usize, precision: Precision) -> u64 {
+        let d = self.devices.len().trailing_zeros() as usize;
+        let m = num_qubits.saturating_sub(d);
+        ((1u64) << m) * precision.amplitude_bytes() as u64
     }
 
     fn validate(&self, fused: &FusedCircuit) -> Result<(usize, usize), BackendError> {
@@ -110,13 +182,6 @@ impl MultiGcdBackend {
         }
         let m = n - d;
         for g in fused.unitaries() {
-            if g.qubits.len() > m {
-                return Err(BackendError::InvalidCircuit(format!(
-                    "a {}-qubit fused gate cannot be made local with only {m} local qubits \
-                     per device (re-fuse with a smaller max_fused_qubits)",
-                    g.qubits.len()
-                )));
-            }
             if g.qubits.iter().any(|&q| q >= n) {
                 return Err(BackendError::InvalidCircuit("gate qubit out of range".into()));
             }
@@ -124,21 +189,10 @@ impl MultiGcdBackend {
         Ok((d, m))
     }
 
-    /// Charge one global↔local slot swap (of global id bit `t`) to every
-    /// device's timeline and return the per-device bytes pushed.
-    fn charge_swap(
-        &self,
-        shard_len: usize,
-        amp_bytes: usize,
-        t: usize,
-    ) -> Result<u64, BackendError> {
-        let bytes_each_way = (shard_len / 2 * amp_bytes) as u64;
-        let dur_us = self.topology.link_for_bit(t).exchange_seconds(bytes_each_way) * 1e6;
-        for gpu in &self.devices {
-            gpu.charge_custom("GlobalSwapExchange", SpanKind::MemcpyD2D, StreamId::DEFAULT, dur_us)
-                .map_err(BackendError::Gpu)?;
-        }
-        Ok(bytes_each_way)
+    /// Plan the swap schedule for `fused` under the active policy.
+    fn plan_swaps(&self, fused: &FusedCircuit, m: usize) -> Result<SwapSchedule, BackendError> {
+        SwapSchedule::plan(fused, m, self.options.policy)
+            .map_err(|e| BackendError::InvalidCircuit(e.to_string()))
     }
 
     /// Move physical slot `global_slot` (≥ m) into local slot
@@ -169,36 +223,6 @@ impl MultiGcdBackend {
         }
     }
 
-    /// Make every target of `qubits` local, updating `layout`, moving
-    /// data when `buffers` is provided, and charging the interconnect.
-    /// Returns `(swaps, bytes_per_device)`.
-    fn localize<F: Float>(
-        &self,
-        layout: &mut QubitLayout,
-        qubits: &[usize],
-        m: usize,
-        amp_bytes: usize,
-        mut buffers: Option<&mut [DeviceBuffer<Cplx<F>>]>,
-    ) -> Result<(usize, u64), BackendError> {
-        let mut swaps = 0;
-        let mut bytes = 0u64;
-        let shard_len = 1usize << m;
-        for &q in qubits {
-            if layout.is_local(q) {
-                continue;
-            }
-            let global_slot = layout.slot_of(q);
-            let local_slot = layout.pick_victim(qubits);
-            if let Some(bufs) = buffers.as_deref_mut() {
-                Self::exchange_data(bufs, m, local_slot, global_slot);
-            }
-            layout.swap_slots(local_slot, global_slot);
-            bytes += self.charge_swap(shard_len, amp_bytes, global_slot - m)?;
-            swaps += 1;
-        }
-        Ok((swaps, bytes))
-    }
-
     /// The gate's matrix re-expressed over its (sorted) physical slots.
     fn physical_matrix<F: Float>(
         layout: &QubitLayout,
@@ -220,12 +244,135 @@ impl MultiGcdBackend {
         (sorted, m64.cast())
     }
 
-    fn t0(&self) -> f64 {
+    fn makespan(&self) -> f64 {
         self.devices.iter().map(|g| g.synchronize()).fold(0.0, f64::max)
     }
 
-    fn makespan(&self) -> f64 {
-        self.devices.iter().map(|g| g.synchronize()).fold(0.0, f64::max)
+    /// The `i`-th of `chunks` slices of a gate kernel, blocks and work
+    /// divided proportionally (remainder blocks land on early chunks).
+    fn chunk_desc(desc: &KernelDesc, i: usize, chunks: usize) -> KernelDesc {
+        let total = desc.blocks.max(1);
+        let base = total / chunks as u64;
+        let rem = total % chunks as u64;
+        let blocks = base + u64::from((i as u64) < rem);
+        let share = blocks as f64 / total as f64;
+        KernelDesc {
+            name: desc.name.clone(),
+            blocks,
+            threads_per_block: desc.threads_per_block,
+            shared_mem_bytes: desc.shared_mem_bytes,
+            work: gpu_model::runtime::KernelWork {
+                bytes: desc.work.bytes * share,
+                flops: desc.work.flops * share,
+                passes: desc.work.passes * share,
+            },
+            double_precision: desc.double_precision,
+        }
+    }
+
+    /// Charge one fused-gate pass — optionally preceded by `exchange_us`
+    /// of link traffic — to every device's timeline. This is the single
+    /// charging path shared verbatim by [`MultiGcdBackend::run`] and
+    /// [`MultiGcdBackend::estimate`], so dry-run and functional timing
+    /// agree by construction.
+    ///
+    /// Serialized mode queues the exchange ahead of the kernel on the
+    /// compute stream. Overlapped mode splits both into
+    /// [`DistOptions::chunks`] pieces: exchange chunk `i` runs on the
+    /// comm stream, the matching kernel chunk waits on its event — so
+    /// chunk `i+1`'s link time hides behind chunk `i`'s compute.
+    fn charge_gate_timeline(
+        &self,
+        desc: &KernelDesc,
+        exchange_us: f64,
+        stats: &mut BTreeMap<String, (u64, f64)>,
+    ) -> Result<(), BackendError> {
+        if exchange_us <= 0.0 {
+            for gpu in &self.devices {
+                let (s, e) = gpu.charge_launch(desc, StreamId::DEFAULT)?;
+                if std::ptr::eq(gpu, &self.devices[0]) {
+                    bump(stats, &desc.name, e - s);
+                }
+            }
+            return Ok(());
+        }
+        if !self.options.overlap {
+            for gpu in &self.devices {
+                let (xs, xe) = gpu.charge_custom(
+                    EXCHANGE_KERNEL,
+                    SpanKind::MemcpyD2D,
+                    StreamId::DEFAULT,
+                    exchange_us,
+                )?;
+                let (s, e) = gpu.charge_launch(desc, StreamId::DEFAULT)?;
+                if std::ptr::eq(gpu, &self.devices[0]) {
+                    bump(stats, EXCHANGE_KERNEL, xe - xs);
+                    bump(stats, &desc.name, e - s);
+                }
+            }
+            return Ok(());
+        }
+        let chunks = self.options.chunks.clamp(1, desc.blocks.max(1) as usize);
+        for (r, gpu) in self.devices.iter().enumerate() {
+            let comm = self.comm_streams[r];
+            // The exchange reads amplitudes the previous kernel wrote:
+            // the comm stream first syncs with compute.
+            let prior = gpu.record_event(StreamId::DEFAULT)?;
+            gpu.stream_wait_event(comm, prior)?;
+            let mut xt = 0.0;
+            let mut kt = 0.0;
+            for i in 0..chunks {
+                let (xs, xe) = gpu.charge_custom(
+                    EXCHANGE_KERNEL,
+                    SpanKind::MemcpyD2D,
+                    comm,
+                    exchange_us / chunks as f64,
+                )?;
+                let ready = gpu.record_event(comm)?;
+                gpu.stream_wait_event(StreamId::DEFAULT, ready)?;
+                let cd = Self::chunk_desc(desc, i, chunks);
+                let (s, e) = gpu.charge_launch(&cd, StreamId::DEFAULT)?;
+                xt += xe - xs;
+                kt += e - s;
+            }
+            if r == 0 {
+                bump(stats, EXCHANGE_KERNEL, xt);
+                bump(stats, &desc.name, kt);
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-op exchange accounting shared by run and estimate: replays the
+    /// op's epochs against `layout` (optionally moving shard data),
+    /// returning the modeled link microseconds to charge.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_epochs<F: Float>(
+        &self,
+        schedule: &SwapSchedule,
+        op_index: usize,
+        layout: &mut QubitLayout,
+        m: usize,
+        amp_bytes: usize,
+        mut buffers: Option<&mut [DeviceBuffer<Cplx<F>>]>,
+        tally: &mut ExchangeTally,
+    ) -> f64 {
+        let shard_len = 1usize << m;
+        let mut exchange_us = 0.0;
+        for epoch in &schedule.epochs[op_index] {
+            for &(local_slot, global_slot) in &epoch.pairs {
+                if let Some(bufs) = buffers.as_deref_mut() {
+                    Self::exchange_data(bufs, m, local_slot, global_slot);
+                }
+                layout.swap_slots(local_slot, global_slot);
+            }
+            tally.swaps += epoch.pairs.len();
+            tally.epochs += 1;
+            tally.bytes += epoch.bytes_per_device(shard_len, amp_bytes);
+            exchange_us += epoch.seconds(&self.topology, m, shard_len, amp_bytes) * 1e6;
+        }
+        tally.us += exchange_us;
+        exchange_us
     }
 
     /// Functional + modeled execution from `|0…0⟩`.
@@ -234,90 +381,225 @@ impl MultiGcdBackend {
         fused: &FusedCircuit,
         opts: &RunOptions,
     ) -> Result<(StateVector<F>, DistReport), BackendError> {
-        let (d, m) = self.validate(fused)?;
+        let (_, m) = self.validate(fused)?;
+        let schedule = self.plan_swaps(fused, m)?;
         let shard_len = 1usize << m;
         let amp_bytes = F::PRECISION.amplitude_bytes();
         let dp = F::PRECISION == Precision::Double;
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let mut layout = QubitLayout::new(fused.num_qubits, m);
         let mut measurements = Vec::new();
+        let mut stats: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+        let mut tally = ExchangeTally::default();
 
-        let t0 = self.t0();
+        let t0 = self.makespan();
         let mut buffers: Vec<DeviceBuffer<Cplx<F>>> = self
             .devices
             .iter()
             .map(|g| g.malloc::<Cplx<F>>(shard_len))
             .collect::<Result<_, GpuError>>()?;
+        buffers[0].as_mut_slice()[0] = Cplx::one();
         let init = init_kernel_desc(self.flavor, shard_len, amp_bytes, dp);
-        for (r, gpu) in self.devices.iter().enumerate() {
-            let buf = &mut buffers[r];
-            gpu.launch(&init, StreamId::DEFAULT, || {
-                if r == 0 {
-                    buf.as_mut_slice()[0] = Cplx::one();
-                }
-            })?;
+        for gpu in &self.devices {
+            let (s, e) = gpu.charge_launch(&init, StreamId::DEFAULT)?;
+            if std::ptr::eq(gpu, &self.devices[0]) {
+                bump(&mut stats, &init.name, e - s);
+            }
         }
 
-        let mut swaps = 0usize;
-        let mut exchanged = 0u64;
-        for op in &fused.ops {
+        for (i, op) in fused.ops.iter().enumerate() {
             match op {
                 FusedOp::Unitary(g) => {
-                    let (s, b) =
-                        self.localize(&mut layout, &g.qubits, m, amp_bytes, Some(&mut buffers))?;
-                    swaps += s;
-                    exchanged += b;
+                    let exchange_us = self.apply_epochs(
+                        &schedule,
+                        i,
+                        &mut layout,
+                        m,
+                        amp_bytes,
+                        Some(&mut buffers),
+                        &mut tally,
+                    );
                     let (slots, matrix) = Self::physical_matrix::<F>(&layout, &g.qubits, &g.matrix);
                     let desc = gate_kernel_desc(self.flavor, m, &slots, amp_bytes, dp, None);
-                    for (r, gpu) in self.devices.iter().enumerate() {
-                        let buf = &mut buffers[r];
-                        gpu.launch(&desc, StreamId::DEFAULT, || {
-                            apply_gate_slice_par(buf.as_mut_slice(), &slots, &matrix);
-                        })?;
+                    self.charge_gate_timeline(&desc, exchange_us, &mut stats)?;
+                    for buf in &mut buffers {
+                        apply_gate_slice_par(buf.as_mut_slice(), &slots, &matrix);
                     }
                 }
                 FusedOp::Measurement { qubits, .. } => {
                     // Gather to host in logical order, measure, scatter
                     // back; charged as one full D2H + H2D round trip.
                     let mut logical = self.gather_logical(&buffers, &layout, m);
-                    for gpu in &self.devices {
-                        gpu.charge_memcpy(
-                            SpanKind::MemcpyD2H,
-                            (shard_len * amp_bytes) as u64,
-                            StreamId::DEFAULT,
-                        )?;
-                    }
+                    self.charge_measurement(shard_len, amp_bytes, &mut stats)?;
                     let outcome = measure_slice(&mut logical, qubits, &mut rng);
                     measurements.push((qubits.clone(), outcome));
                     self.scatter_logical(&mut buffers, &layout, m, &logical);
-                    for gpu in &self.devices {
-                        gpu.charge_memcpy(
-                            SpanKind::MemcpyH2D,
-                            (shard_len * amp_bytes) as u64,
-                            StreamId::DEFAULT,
-                        )?;
-                    }
+                }
+            }
+        }
+
+        let state = StateVector::from_amplitudes(self.gather_logical(&buffers, &layout, m));
+        let mut samples = Vec::new();
+        if opts.sample_count > 0 {
+            self.charge_sample(shard_len, amp_bytes, dp, &mut stats)?;
+            samples = qsim_core::statespace::sample(&state, opts.sample_count, &mut rng);
+        }
+        let simulated = (self.makespan() - t0) * 1e-6;
+
+        let report =
+            self.dist_report::<F>(fused, m, &tally, simulated, measurements, samples, stats);
+        Ok((state, report))
+    }
+
+    /// Dry run: modeled timing without allocating or computing. Traverses
+    /// the identical schedule and charging path as [`MultiGcdBackend::run`].
+    pub fn estimate(
+        &self,
+        fused: &FusedCircuit,
+        precision: Precision,
+    ) -> Result<DistReport, BackendError> {
+        let (_, m) = self.validate(fused)?;
+        let schedule = self.plan_swaps(fused, m)?;
+        let shard_len = 1usize << m;
+        let amp_bytes = precision.amplitude_bytes();
+        let dp = precision == Precision::Double;
+        let shard_bytes = (shard_len * amp_bytes) as u64;
+        let spec_mem = self.devices[0].spec().memory_bytes;
+        if shard_bytes > spec_mem {
+            return Err(BackendError::Gpu(GpuError::OutOfMemory {
+                requested_bytes: shard_bytes,
+                free_bytes: spec_mem,
+            }));
+        }
+        let mut layout = QubitLayout::new(fused.num_qubits, m);
+        let mut stats: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+        let mut tally = ExchangeTally::default();
+
+        let t0 = self.makespan();
+        let init = init_kernel_desc(self.flavor, shard_len, amp_bytes, dp);
+        for gpu in &self.devices {
+            let (s, e) = gpu.charge_launch(&init, StreamId::DEFAULT)?;
+            if std::ptr::eq(gpu, &self.devices[0]) {
+                bump(&mut stats, &init.name, e - s);
+            }
+        }
+        for (i, op) in fused.ops.iter().enumerate() {
+            match op {
+                FusedOp::Unitary(g) => {
+                    let exchange_us = self.apply_epochs::<f32>(
+                        &schedule,
+                        i,
+                        &mut layout,
+                        m,
+                        amp_bytes,
+                        None,
+                        &mut tally,
+                    );
+                    let mut slots: Vec<usize> =
+                        g.qubits.iter().map(|&q| layout.slot_of(q)).collect();
+                    slots.sort_unstable();
+                    let desc = gate_kernel_desc(self.flavor, m, &slots, amp_bytes, dp, None);
+                    self.charge_gate_timeline(&desc, exchange_us, &mut stats)?;
+                }
+                FusedOp::Measurement { .. } => {
+                    self.charge_measurement(shard_len, amp_bytes, &mut stats)?;
                 }
             }
         }
         let simulated = (self.makespan() - t0) * 1e-6;
+        let mut report =
+            self.dist_report::<f32>(fused, m, &tally, simulated, Vec::new(), Vec::new(), stats);
+        report.precision = precision;
+        report.state_bytes_total = shard_bytes * self.devices.len() as u64;
+        Ok(report)
+    }
 
-        let state = StateVector::from_amplitudes(self.gather_logical(&buffers, &layout, m));
-        let report = DistReport {
+    fn charge_measurement(
+        &self,
+        shard_len: usize,
+        amp_bytes: usize,
+        stats: &mut BTreeMap<String, (u64, f64)>,
+    ) -> Result<(), BackendError> {
+        for gpu in &self.devices {
+            gpu.charge_memcpy(
+                SpanKind::MemcpyD2H,
+                (shard_len * amp_bytes) as u64,
+                StreamId::DEFAULT,
+            )?;
+            gpu.charge_memcpy(
+                SpanKind::MemcpyH2D,
+                (shard_len * amp_bytes) as u64,
+                StreamId::DEFAULT,
+            )?;
+        }
+        bump(stats, "Measure(D2H+H2D)", 0.0);
+        Ok(())
+    }
+
+    /// Model the final-state sampling pass: every device makes one
+    /// cumulative sweep over its shard (qsim's `SampleKernel`).
+    fn charge_sample(
+        &self,
+        shard_len: usize,
+        amp_bytes: usize,
+        dp: bool,
+        stats: &mut BTreeMap<String, (u64, f64)>,
+    ) -> Result<(), BackendError> {
+        let tpb = self.flavor.threads_per_block(qsim_core::kernels::KernelClass::High);
+        let desc = KernelDesc {
+            name: "SampleKernel".into(),
+            blocks: ((shard_len as u64) / 2 / u64::from(tpb)).max(1),
+            threads_per_block: tpb,
+            shared_mem_bytes: 0,
+            work: gpu_model::runtime::KernelWork {
+                bytes: (shard_len * amp_bytes) as f64,
+                flops: shard_len as f64 * 4.0,
+                passes: 1.0,
+            },
+            double_precision: dp,
+        };
+        for gpu in &self.devices {
+            let (s, e) = gpu.charge_launch(&desc, StreamId::DEFAULT)?;
+            if std::ptr::eq(gpu, &self.devices[0]) {
+                bump(stats, &desc.name, e - s);
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dist_report<F: Float>(
+        &self,
+        fused: &FusedCircuit,
+        m: usize,
+        tally: &ExchangeTally,
+        simulated: f64,
+        measurements: Vec<(Vec<usize>, usize)>,
+        samples: Vec<u64>,
+        stats: BTreeMap<String, (u64, f64)>,
+    ) -> DistReport {
+        let kernels = stats
+            .into_iter()
+            .map(|(name, (count, time_us))| KernelStat { name, count, time_us })
+            .collect();
+        DistReport {
             backend: self.flavor.label().into(),
             devices: self.devices.len(),
             local_qubits: m,
             num_qubits: fused.num_qubits,
             precision: F::PRECISION,
             fused_gates: fused.num_unitaries(),
-            swaps,
-            exchanged_bytes_per_device: exchanged,
+            swaps: tally.swaps,
+            swap_epochs: tally.epochs,
+            exchanged_bytes_per_device: tally.bytes,
+            exchange_seconds: tally.us * 1e-6,
             simulated_seconds: simulated,
-            state_bytes_total: (shard_len * amp_bytes * self.devices.len()) as u64,
+            state_bytes_total: ((1u64 << m) * F::PRECISION.amplitude_bytes() as u64)
+                * self.devices.len() as u64,
             measurements,
-        };
-        let _ = d;
-        Ok((state, report))
+            samples,
+            kernels,
+        }
     }
 
     /// Collect shards into a logically-ordered amplitude vector.
@@ -352,76 +634,169 @@ impl MultiGcdBackend {
         }
     }
 
-    /// Dry run: modeled timing without allocating or computing.
-    pub fn estimate(
+    // ---- SimBackend-shaped planning surface -----------------------------
+
+    /// The distributed fusion cost model: the flavor's single-device model
+    /// over the *shard* width, plus modeled exchange traffic for gates the
+    /// swap scheduler must localize — so `--fusion auto` prices the
+    /// distributed config space (wide fused gates that force exchanges
+    /// lose to narrower ones that stay local).
+    pub fn cost_model(&self, precision: Precision) -> Box<dyn FusionCostModel> {
+        Box::new(DistCostModel::new(
+            self.flavor,
+            self.devices.len(),
+            self.topology,
+            precision,
+            self.options.policy,
+        ))
+    }
+
+    /// Plan a source circuit for this sharded backend, priced by
+    /// [`MultiGcdBackend::cost_model`].
+    pub fn plan_circuit(
+        &self,
+        circuit: &qsim_circuit::Circuit,
+        opts: &PlanOptions,
+        precision: Precision,
+    ) -> FusionPlan {
+        let model = self.cost_model(precision);
+        qsim_fusion::plan(circuit, opts.strategy, opts.max_fused_qubits, model.as_ref())
+    }
+
+    /// Run a planned circuit, reporting through the single-device
+    /// [`RunReport`] shape (so the CLI and serve layers treat sharded and
+    /// single-device runs uniformly).
+    pub fn run_plan<F: Float>(
+        &self,
+        plan: &FusionPlan,
+        opts: &RunOptions,
+    ) -> Result<(StateVector<F>, RunReport), BackendError> {
+        let wall = Instant::now();
+        let (state, dist) = self.run::<F>(&plan.fused, opts)?;
+        let mut report = self.run_report(&dist, &plan.fused, wall.elapsed().as_secs_f64());
+        report.fusion_strategy = plan.strategy.label().into();
+        report.predicted_cost_seconds = plan.predicted_cost_seconds;
+        Ok((state, report))
+    }
+
+    /// Dry-run a planned circuit (see [`MultiGcdBackend::estimate`]).
+    pub fn estimate_plan(
+        &self,
+        plan: &FusionPlan,
+        precision: Precision,
+    ) -> Result<RunReport, BackendError> {
+        let wall = Instant::now();
+        let dist = self.estimate(&plan.fused, precision)?;
+        let mut report = self.run_report(&dist, &plan.fused, wall.elapsed().as_secs_f64());
+        report.fusion_strategy = plan.strategy.label().into();
+        report.predicted_cost_seconds = plan.predicted_cost_seconds;
+        Ok(report)
+    }
+
+    /// A [`DistReport`] reshaped into the workspace-wide [`RunReport`].
+    pub fn run_report(
+        &self,
+        dist: &DistReport,
+        fused: &FusedCircuit,
+        wall_seconds: f64,
+    ) -> RunReport {
+        let isa = qsim_core::simd::active_isa();
+        let lane_qubits = isa.lane_qubits(dist.precision);
+        let mut grid = [[0u64; 2]; 2];
+        for g in fused.unitaries() {
+            use qsim_core::kernels::{classify_gate, classify_gate_at, KernelClass};
+            let gpu = usize::from(classify_gate(&g.qubits) == KernelClass::Low);
+            let cpu = usize::from(classify_gate_at(&g.qubits, lane_qubits) == KernelClass::Low);
+            grid[gpu][cpu] += 1;
+        }
+        RunReport {
+            backend: dist.backend.clone(),
+            device: format!("{}x {}", dist.devices, self.devices[0].spec().name),
+            precision: dist.precision,
+            num_qubits: dist.num_qubits,
+            max_fused_qubits: fused.max_fused_qubits,
+            fused_gates: dist.fused_gates,
+            fusion_strategy: FusionStrategy::Greedy.label().into(),
+            predicted_cost_seconds: 0.0,
+            fusion_stats: fused.stats(),
+            simulated_seconds: dist.simulated_seconds,
+            fusion_seconds: 0.0,
+            wall_seconds,
+            setup_seconds: 0.0,
+            kernels: dist.kernels.clone(),
+            measurements: dist.measurements.clone(),
+            samples: dist.samples.clone(),
+            state_bytes: dist.state_bytes_total,
+            peak_state_bytes: dist.state_bytes_total,
+            buffer_reused: false,
+            state_passes: dist.fused_gates as u64,
+            analysis_warnings: Vec::new(),
+            isa: isa.name().into(),
+            gate_class_counts: qsim_backends::report::GateClassCount::from_grid(grid),
+            batch_id: None,
+            batch_size: 1,
+        }
+    }
+}
+
+/// Exchange accounting accumulated over one run/estimate.
+#[derive(Debug, Default)]
+struct ExchangeTally {
+    swaps: usize,
+    epochs: usize,
+    bytes: u64,
+    us: f64,
+}
+
+fn bump(stats: &mut BTreeMap<String, (u64, f64)>, name: &str, dur_us: f64) {
+    let entry = stats.entry(name.to_string()).or_insert((0, 0.0));
+    entry.0 += 1;
+    entry.1 += dur_us;
+}
+
+/// The sharded backend is shareable across service worker threads: all
+/// mutable state lives behind the device model's own synchronization.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MultiGcdBackend>();
+};
+
+impl Backend for MultiGcdBackend {
+    fn label(&self) -> &'static str {
+        self.flavor.label()
+    }
+
+    fn device_name(&self) -> String {
+        format!("{}x {}", self.devices.len(), self.devices[0].spec().name)
+    }
+
+    fn run_f32(
         &self,
         fused: &FusedCircuit,
-        precision: Precision,
-    ) -> Result<DistReport, BackendError> {
-        let (_, m) = self.validate(fused)?;
-        let shard_len = 1usize << m;
-        let amp_bytes = precision.amplitude_bytes();
-        let dp = precision == Precision::Double;
-        let shard_bytes = (shard_len * amp_bytes) as u64;
-        let spec_mem = self.devices[0].spec().memory_bytes;
-        if shard_bytes > spec_mem {
-            return Err(BackendError::Gpu(GpuError::OutOfMemory {
-                requested_bytes: shard_bytes,
-                free_bytes: spec_mem,
-            }));
-        }
-        let mut layout = QubitLayout::new(fused.num_qubits, m);
+        opts: &RunOptions,
+    ) -> Result<(StateVector<f32>, RunReport), BackendError> {
+        let wall = Instant::now();
+        let (state, dist) = self.run::<f32>(fused, opts)?;
+        let report = self.run_report(&dist, fused, wall.elapsed().as_secs_f64());
+        Ok((state, report))
+    }
 
-        let t0 = self.t0();
-        let init = init_kernel_desc(self.flavor, shard_len, amp_bytes, dp);
-        for gpu in &self.devices {
-            gpu.charge_launch(&init, StreamId::DEFAULT)?;
-        }
-        let mut swaps = 0usize;
-        let mut exchanged = 0u64;
-        for op in &fused.ops {
-            match op {
-                FusedOp::Unitary(g) => {
-                    let (s, b) =
-                        self.localize::<f32>(&mut layout, &g.qubits, m, amp_bytes, None)?;
-                    swaps += s;
-                    exchanged += b;
-                    let mut slots: Vec<usize> =
-                        g.qubits.iter().map(|&q| layout.slot_of(q)).collect();
-                    slots.sort_unstable();
-                    let desc = gate_kernel_desc(self.flavor, m, &slots, amp_bytes, dp, None);
-                    for gpu in &self.devices {
-                        gpu.charge_launch(&desc, StreamId::DEFAULT)?;
-                    }
-                }
-                FusedOp::Measurement { .. } => {
-                    for gpu in &self.devices {
-                        gpu.charge_memcpy(SpanKind::MemcpyD2H, shard_bytes, StreamId::DEFAULT)?;
-                        gpu.charge_memcpy(SpanKind::MemcpyH2D, shard_bytes, StreamId::DEFAULT)?;
-                    }
-                }
-            }
-        }
-        let simulated = (self.makespan() - t0) * 1e-6;
-        Ok(DistReport {
-            backend: self.flavor.label().into(),
-            devices: self.devices.len(),
-            local_qubits: m,
-            num_qubits: fused.num_qubits,
-            precision,
-            fused_gates: fused.num_unitaries(),
-            swaps,
-            exchanged_bytes_per_device: exchanged,
-            simulated_seconds: simulated,
-            state_bytes_total: shard_bytes * self.devices.len() as u64,
-            measurements: Vec::new(),
-        })
+    fn run_f64(
+        &self,
+        fused: &FusedCircuit,
+        opts: &RunOptions,
+    ) -> Result<(StateVector<f64>, RunReport), BackendError> {
+        let wall = Instant::now();
+        let (state, dist) = self.run::<f64>(fused, opts)?;
+        let report = self.run_report(&dist, fused, wall.elapsed().as_secs_f64());
+        Ok((state, report))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schedule::SwapPolicy;
     use qsim_backends::SimBackend;
     use qsim_circuit::{generate_rqc, library, RqcOptions};
     use qsim_fusion::fuse;
@@ -457,6 +832,7 @@ mod tests {
                 if devices > 1 {
                     assert!(report.swaps > 0, "D={devices} f={f}");
                     assert!(report.exchanged_bytes_per_device > 0);
+                    assert!(report.swap_epochs <= report.swaps);
                 }
             }
         }
@@ -481,10 +857,31 @@ mod tests {
             let b = MultiGcdBackend::new(Flavor::Hip, devices);
             let est = b.estimate(&fused, Precision::Single).expect("estimate");
             assert_eq!(run_report.swaps, est.swaps, "D={devices}");
+            assert_eq!(run_report.swap_epochs, est.swap_epochs, "D={devices}");
             assert!(
                 (run_report.simulated_seconds - est.simulated_seconds).abs() < 1e-9,
                 "D={devices}"
             );
+        }
+    }
+
+    #[test]
+    fn estimate_matches_run_timing_under_every_option_mix() {
+        let circuit = generate_rqc(&RqcOptions::for_qubits(9, 6, 5));
+        let fused = fuse(&circuit, 3);
+        for policy in [SwapPolicy::Eager, SwapPolicy::Lookahead] {
+            for overlap in [false, true] {
+                let options = DistOptions { policy, overlap, chunks: 4 };
+                let a = MultiGcdBackend::new(Flavor::Hip, 4).with_options(options);
+                let run_report = a.run::<f32>(&fused, &RunOptions::default()).expect("run").1;
+                let b = MultiGcdBackend::new(Flavor::Hip, 4).with_options(options);
+                let est = b.estimate(&fused, Precision::Single).expect("estimate");
+                assert_eq!(run_report.swaps, est.swaps, "{policy:?} overlap={overlap}");
+                assert!(
+                    (run_report.simulated_seconds - est.simulated_seconds).abs() < 1e-9,
+                    "{policy:?} overlap={overlap}"
+                );
+            }
         }
     }
 
@@ -575,5 +972,88 @@ mod tests {
         // ...but far from perfectly (swap traffic): parallel efficiency
         // below 100 %.
         assert!(t2 > t1 / 2.0, "scaling cannot be super-linear: {t2} vs {t1}");
+    }
+
+    #[test]
+    fn lookahead_moves_fewer_bytes_than_eager() {
+        let circuit = generate_rqc(&RqcOptions::for_qubits(12, 16, 11));
+        let fused = fuse(&circuit, 3);
+        let eager = MultiGcdBackend::new(Flavor::Hip, 8)
+            .with_options(DistOptions::naive())
+            .estimate(&fused, Precision::Single)
+            .expect("eager");
+        let ahead = MultiGcdBackend::new(Flavor::Hip, 8)
+            .with_options(DistOptions { policy: SwapPolicy::Lookahead, ..DistOptions::naive() })
+            .estimate(&fused, Precision::Single)
+            .expect("lookahead");
+        assert!(
+            ahead.exchanged_bytes_per_device <= eager.exchanged_bytes_per_device,
+            "lookahead {} vs eager {}",
+            ahead.exchanged_bytes_per_device,
+            eager.exchanged_bytes_per_device
+        );
+        assert!(ahead.swaps <= eager.swaps);
+        // Functional equivalence under both policies.
+        let small = fuse(&generate_rqc(&RqcOptions::for_qubits(9, 6, 4)), 2);
+        let reference = single_device_state(&small);
+        for policy in [SwapPolicy::Eager, SwapPolicy::Lookahead] {
+            let dist = MultiGcdBackend::new(Flavor::Hip, 4)
+                .with_options(DistOptions { policy, ..DistOptions::default() });
+            let (state, _) = dist.run::<f64>(&small, &RunOptions::default()).expect("run");
+            assert!(reference.max_abs_diff(&state) < 1e-12, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn overlap_hides_link_time() {
+        let circuit = generate_rqc(&RqcOptions::paper_q30());
+        let fused = fuse(&circuit, 4);
+        let serialized = MultiGcdBackend::new(Flavor::Hip, 4)
+            .with_options(DistOptions { overlap: false, ..DistOptions::default() })
+            .estimate(&fused, Precision::Single)
+            .expect("serialized");
+        let overlapped = MultiGcdBackend::new(Flavor::Hip, 4)
+            .with_options(DistOptions { overlap: true, ..DistOptions::default() })
+            .estimate(&fused, Precision::Single)
+            .expect("overlapped");
+        // Same schedule, same bytes — only the timeline interleaving
+        // differs, and pipelining must win.
+        assert_eq!(serialized.swaps, overlapped.swaps);
+        assert_eq!(serialized.exchanged_bytes_per_device, overlapped.exchanged_bytes_per_device);
+        assert!(
+            overlapped.simulated_seconds < serialized.simulated_seconds,
+            "overlap {} vs serialized {}",
+            overlapped.simulated_seconds,
+            serialized.simulated_seconds
+        );
+    }
+
+    #[test]
+    fn run_plan_reports_through_run_report() {
+        let circuit = generate_rqc(&RqcOptions::for_qubits(9, 6, 2));
+        let dist = MultiGcdBackend::new(Flavor::Hip, 4);
+        let plan = dist.plan_circuit(&circuit, &PlanOptions::default(), Precision::Single);
+        let (state, report) =
+            dist.run_plan::<f32>(&plan, &RunOptions { seed: 1, sample_count: 64 }).expect("run");
+        assert_eq!(state.num_qubits(), 9);
+        assert_eq!(report.samples.len(), 64);
+        assert!(report.device.starts_with("4x "));
+        assert!(report.simulated_seconds > 0.0);
+        assert!(report.launches_matching(EXCHANGE_KERNEL) > 0);
+        let est = dist.estimate_plan(&plan, Precision::Single).expect("estimate");
+        assert_eq!(est.fused_gates, report.fused_gates);
+        assert_eq!(est.fusion_strategy, report.fusion_strategy);
+    }
+
+    #[test]
+    fn sampling_matches_single_device_distribution() {
+        let circuit = generate_rqc(&RqcOptions::for_qubits(10, 8, 6));
+        let fused = fuse(&circuit, 4);
+        let dist = MultiGcdBackend::new(Flavor::Hip, 4);
+        let opts = RunOptions { seed: 5, sample_count: 20_000 };
+        let (state, report) = dist.run::<f32>(&fused, &opts).expect("run");
+        assert_eq!(report.samples.len(), 20_000);
+        let xeb = qsim_core::statespace::linear_xeb(&state, &report.samples);
+        assert!((0.8..=1.2).contains(&xeb), "sharded sample XEB {xeb}");
     }
 }

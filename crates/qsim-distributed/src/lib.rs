@@ -17,9 +17,13 @@
 //! history so amplitudes are unscrambled only once, at readback.
 
 pub mod backend;
+pub mod cost;
 pub mod interconnect;
 pub mod layout;
+pub mod schedule;
 
-pub use backend::{DistReport, MultiGcdBackend};
+pub use backend::{DistReport, MultiGcdBackend, EXCHANGE_KERNEL};
+pub use cost::DistCostModel;
 pub use interconnect::LinkSpec;
 pub use layout::QubitLayout;
+pub use schedule::{DistOptions, Epoch, ScheduleError, SwapPolicy, SwapSchedule};

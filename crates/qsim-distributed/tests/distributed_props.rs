@@ -1,0 +1,166 @@
+//! Property tests for the sharded backend: a distributed run over 2, 4,
+//! or 8 modeled devices must be **bit-for-bit** equal to the
+//! single-device `SimBackend` — same amplitude bits, same mid-circuit
+//! measurement outcomes, same samples — across flavors and precisions;
+//! and the lookahead swap scheduler must never exceed the naive eager
+//! swap count (or its exchanged bytes) on any circuit.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qsim_backends::{Flavor, RunOptions, SimBackend};
+use qsim_circuit::circuit::Circuit;
+use qsim_circuit::gates::GateKind;
+use qsim_core::types::Float;
+use qsim_distributed::{MultiGcdBackend, SwapPolicy, SwapSchedule};
+use qsim_fusion::fuse;
+
+/// A random circuit mixing one-qubit gates, two-qubit gates, and
+/// mid-circuit measurements (measurements force the sharded backend's
+/// gather/measure/scatter path and consume the same RNG stream as the
+/// single-device run).
+fn random_circuit(n: usize, ops: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for t in 0..ops {
+        let a: f64 = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+        let b: f64 = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+        let kind = match rng.gen_range(0..12) {
+            0 => GateKind::H,
+            1 => GateKind::T,
+            2 => GateKind::X12,
+            3 => GateKind::Y12,
+            4 => GateKind::Rx(a),
+            5 => GateKind::Ry(a),
+            6 => GateKind::Rz(a),
+            7 => GateKind::Cz,
+            8 => GateKind::Cnot,
+            9 => GateKind::ISwap,
+            10 => GateKind::FSim(a, b),
+            _ => GateKind::Measurement,
+        };
+        match kind.num_qubits() {
+            1 => {
+                c.add(t, kind, &[rng.gen_range(0..n)]);
+            }
+            _ => {
+                let q0 = rng.gen_range(0..n);
+                let mut q1 = rng.gen_range(0..n);
+                while q1 == q0 {
+                    q1 = rng.gen_range(0..n);
+                }
+                c.add(t, kind, &[q0, q1]);
+            }
+        }
+    }
+    c
+}
+
+/// Run `fused` on the single-device backend and on `devices` shards, and
+/// assert the final states match to within `tol`, with measurement
+/// records and samples identical.
+fn assert_matches_single<F: Float>(
+    flavor: Flavor,
+    fused: &qsim_fusion::FusedCircuit,
+    devices: usize,
+    opts: &RunOptions,
+    tol: f64,
+) -> Result<(), TestCaseError> {
+    let (ref_state, ref_report) = SimBackend::new(flavor)
+        .run::<F>(fused, opts)
+        .map_err(|e| TestCaseError::fail(format!("single-device run failed: {e}")))?;
+    let dist = MultiGcdBackend::new(flavor, devices);
+    let (state, report) = dist
+        .run::<F>(fused, opts)
+        .map_err(|e| TestCaseError::fail(format!("D={devices} run failed: {e}")))?;
+
+    // Measurement outcomes and samples are discrete: both paths measure
+    // the logically-ordered state with the same seeded RNG stream, so
+    // they must be *exactly* equal, regardless of amplitude rounding.
+    prop_assert_eq!(&report.measurements, &ref_report.measurements);
+    prop_assert_eq!(&report.samples, &ref_report.samples);
+
+    // Amplitudes: the sharded sweep applies each fused matrix over
+    // *physical* slots, whose sorted order can permute the matvec's
+    // summation order relative to the single-device sweep — so equality
+    // is exact up to that reassociation. `tol` is a few ulps of the
+    // working precision; a layout/exchange bug shows up orders of
+    // magnitude above it.
+    let diff = ref_state.max_abs_diff(&state);
+    prop_assert!(
+        diff <= tol,
+        "D={} {:?}: max |amp| diff {} exceeds {}",
+        devices,
+        flavor,
+        diff,
+        tol
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Distributed ≡ single-device over device counts 2/4/8, the HIP and
+    /// CUDA flavors, both precisions, and random circuits with
+    /// mid-circuit measurements.
+    #[test]
+    fn sharded_run_matches_single_device(
+        n in 6usize..=9,
+        ops in 8usize..=24,
+        circuit_seed in 0u64..400,
+        max_fused in 2usize..=3,
+        seed in 0u64..50,
+        sample_count in prop::sample::select(vec![0usize, 32]),
+    ) {
+        let fused = fuse(&random_circuit(n, ops, circuit_seed), max_fused);
+        let opts = RunOptions { seed, sample_count };
+        for flavor in [Flavor::Hip, Flavor::Cuda] {
+            for devices in [2usize, 4, 8] {
+                // d id bits must leave room for the widest fused gate.
+                if n - (devices.trailing_zeros() as usize) < max_fused {
+                    continue;
+                }
+                assert_matches_single::<f64>(flavor, &fused, devices, &opts, 1e-12)?;
+                assert_matches_single::<f32>(flavor, &fused, devices, &opts, 1e-4)?;
+            }
+        }
+    }
+
+    /// The lookahead scheduler never exceeds the eager baseline's swap
+    /// count or exchanged bytes, on any circuit and shard geometry.
+    #[test]
+    fn scheduler_never_exceeds_naive_swaps(
+        n in 6usize..=10,
+        ops in 6usize..=30,
+        circuit_seed in 400u64..800,
+        max_fused in 1usize..=3,
+        d in 1usize..=3,
+    ) {
+        let fused = fuse(&random_circuit(n, ops, circuit_seed), max_fused);
+        let m = n - d;
+        if m < max_fused {
+            return Ok(()); // geometry cannot hold the widest fused gate
+        }
+        let eager = SwapSchedule::plan(&fused, m, SwapPolicy::Eager)
+            .map_err(|e| TestCaseError::fail(format!("eager plan: {e}")))?;
+        let ahead = SwapSchedule::plan(&fused, m, SwapPolicy::Lookahead)
+            .map_err(|e| TestCaseError::fail(format!("lookahead plan: {e}")))?;
+        prop_assert!(
+            ahead.swaps <= eager.swaps,
+            "lookahead {} swaps vs eager {}",
+            ahead.swaps,
+            eager.swaps
+        );
+        let shard_len = 1usize << m;
+        for amp_bytes in [8usize, 16] {
+            prop_assert!(
+                ahead.bytes_per_device(shard_len, amp_bytes)
+                    <= eager.bytes_per_device(shard_len, amp_bytes),
+                "lookahead moves more bytes than eager at amp_bytes={}",
+                amp_bytes
+            );
+        }
+    }
+}

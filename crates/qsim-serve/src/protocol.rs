@@ -71,6 +71,7 @@ pub fn handle_line(service: &Service, line: &str) -> Handled {
                 "priority": (status.priority.label()),
                 "backend": (status.flavor.label()),
                 "num_qubits": (status.num_qubits),
+                "devices": (status.devices),
                 "error": (status.error),
             })),
             None => err(format!("unknown job id {}", id.0)),
@@ -275,6 +276,42 @@ mod tests {
         let resp = submit_line(&service, &req);
         assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(false));
         assert_eq!(resp.get("too_large").and_then(Value::as_bool), Some(true), "{resp:?}");
+    }
+
+    #[test]
+    fn previously_too_large_job_routes_to_sharded_backend() {
+        // 8 MiB of state against a 1 MiB budget: formerly a `too_large`
+        // rejection, now routed across 8 modeled devices (1 MiB shards).
+        let service = small_service();
+        let circuit = qsim_circuit::parser::write_circuit(&qsim_circuit::library::ghz(20));
+        let req = serde_json::to_string(&json!({
+            "verb": "submit", "circuit": (circuit), "backend": "hip",
+        }))
+        .unwrap();
+        let resp = submit_line(&service, &req);
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true), "{resp:?}");
+        let id = resp.get("id").and_then(Value::as_u64).unwrap();
+
+        service.wait(JobId(id), std::time::Duration::from_secs(60));
+        let status = submit_line(&service, &format!(r#"{{"verb":"status","id":{id}}}"#));
+        assert_eq!(status.get("state").and_then(Value::as_str), Some("done"), "{status:?}");
+        assert_eq!(status.get("devices").and_then(Value::as_u64), Some(8), "{status:?}");
+
+        let metrics = submit_line(&service, r#"{"verb":"metrics"}"#);
+        let sharded = metrics.get("metrics").and_then(|m| m.get("sharded")).unwrap();
+        assert_eq!(sharded.get("routed").and_then(Value::as_u64), Some(1), "{sharded:?}");
+        assert_eq!(sharded.get("completed").and_then(Value::as_u64), Some(1), "{sharded:?}");
+        assert!(sharded.get("exchanged_bytes").and_then(Value::as_u64).unwrap() > 0, "{sharded:?}");
+        assert!(
+            sharded.get("exchange_seconds").and_then(Value::as_f64).unwrap() > 0.0,
+            "{sharded:?}"
+        );
+
+        let result = submit_line(&service, &format!(r#"{{"verb":"result","id":{id}}}"#));
+        let report = result.get("report").unwrap();
+        assert_eq!(report.get("qubits").and_then(Value::as_u64), Some(20));
+        let device = report.get("device").and_then(Value::as_str).unwrap();
+        assert!(device.starts_with("8x "), "sharded device string: {device}");
     }
 
     #[test]

@@ -67,6 +67,10 @@ pub struct QueuedJob {
     pub demand_bps: u64,
     /// Content hash of the fused circuit (gang-compat grouping).
     pub fused_hash: u64,
+    /// Modeled devices the job runs across: `1` for the ordinary
+    /// single-device path, a power of two > 1 when admission routed a
+    /// `TooLarge` state through the sharded multi-GCD backend.
+    pub devices: usize,
     /// Shared with the registry's record; may fire while queued.
     pub cancel: CancelToken,
 }
@@ -106,7 +110,7 @@ impl QueuedJob {
     ) -> QueuedJob {
         let resident = (spec.state_bytes() as f64 / RESIDENT_BYTES as f64).min(1.0);
         let demand_bps = (plan.predicted_traffic.bytes_per_second() * resident).round() as u64;
-        QueuedJob { id, spec, plan, demand_bps, fused_hash, cancel }
+        QueuedJob { id, spec, plan, demand_bps, fused_hash, devices: 1, cancel }
     }
 
     /// The buffer-pool bucket this job's state occupies.
@@ -119,7 +123,10 @@ impl QueuedJob {
     /// Seeds, sample counts, deadlines and `keep_state` may differ — they
     /// are per-sub-job inputs of `run_batch`.
     pub fn gang_compatible(&self, other: &QueuedJob) -> bool {
-        self.fused_hash == other.fused_hash
+        // Sharded jobs run alone: the gang sweep is a single-device pass.
+        self.devices == 1
+            && other.devices == 1
+            && self.fused_hash == other.fused_hash
             && self.spec.flavor == other.spec.flavor
             && self.spec.precision == other.spec.precision
             && self.spec.strategy == other.spec.strategy
@@ -234,6 +241,9 @@ impl JobQueue {
 
     /// Enqueue a job in its priority class. Returns the job back if the
     /// queue has been closed (service shutting down).
+    // The Err variant hands the whole job back so the caller can settle
+    // its reservation — worth the width on this cold rejection path.
+    #[allow(clippy::result_large_err)]
     pub fn push(&self, job: QueuedJob) -> Result<(), QueuedJob> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let _held = lockorder::track("qsim-serve::queue::JobQueue.inner");

@@ -16,6 +16,7 @@ use qsim_core::cancel::{CancelCause, CancelToken};
 use qsim_core::kernels::MAX_GATE_QUBITS;
 use qsim_core::lockorder;
 use qsim_core::types::Cplx;
+use qsim_distributed::{MultiGcdBackend, SwapPolicy, SwapSchedule, EXCHANGE_KERNEL};
 use serde_json::json;
 
 use crate::admission::{AdmissionController, AdmissionError, BandwidthSnapshot, Reservation};
@@ -44,6 +45,25 @@ pub struct ServiceConfig {
 
 /// Default gang width for Batch-class coalescing.
 pub const DEFAULT_MAX_BATCH: usize = 16;
+
+/// Cap on modeled devices a `TooLarge` job may be sharded across — the
+/// largest multi-GCD node the interconnect model describes. A state that
+/// would still not fit per-device at this count is genuinely too large.
+pub const MAX_SHARD_DEVICES: usize = 64;
+
+/// Devices needed to shard `requested_bytes` down to per-device slices
+/// within `budget_bytes`, or `None` when the job cannot shard: a zero
+/// budget, more devices than [`MAX_SHARD_DEVICES`], or a circuit too
+/// narrow to donate that many global qubits.
+fn shard_devices(requested_bytes: u64, budget_bytes: u64, num_qubits: usize) -> Option<usize> {
+    if budget_bytes == 0 || requested_bytes == 0 {
+        return None;
+    }
+    let devices = usize::try_from(requested_bytes.div_ceil(budget_bytes)).ok()?;
+    let devices = devices.checked_next_power_of_two()?;
+    let d = devices.trailing_zeros() as usize;
+    (devices > 1 && devices <= MAX_SHARD_DEVICES && d < num_qubits).then_some(devices)
+}
 
 impl Default for ServiceConfig {
     /// 4 workers against a 16 GiB budget — enough for two 30-qubit
@@ -96,6 +116,9 @@ pub struct JobStatus {
     pub flavor: Flavor,
     /// Circuit width.
     pub num_qubits: usize,
+    /// Modeled devices the job runs across (`> 1` when admission routed
+    /// it to the sharded multi-GCD backend).
+    pub devices: usize,
     /// Error text for `Failed` jobs.
     pub error: Option<String>,
 }
@@ -129,6 +152,7 @@ struct JobRecord {
     priority: Priority,
     flavor: Flavor,
     num_qubits: usize,
+    devices: usize,
     cancel: CancelToken,
     report: Option<Box<RunReport>>,
     state_vector: Option<FinalState>,
@@ -156,6 +180,10 @@ struct Aggregates {
     batches: u64,
     /// Jobs that executed inside those gangs.
     batched_jobs: u64,
+    /// Sharded (multi-device) jobs that finished successfully.
+    sharded_completed: u64,
+    /// Modeled fabric-exchange seconds those jobs' runs charged.
+    sharded_exchange_seconds: f64,
 }
 
 /// Snapshot of the service's counters, the payload of the `metrics` verb.
@@ -195,6 +223,14 @@ pub struct Metrics {
     pub batches: u64,
     /// Jobs that executed inside those gangs.
     pub batched_jobs: u64,
+    /// `TooLarge` submissions admission routed to the sharded backend.
+    pub routed_sharded: u64,
+    /// Sharded jobs that finished successfully.
+    pub sharded_completed: u64,
+    /// Planned fabric-exchange bytes (across all devices) of routed jobs.
+    pub sharded_exchanged_bytes: u64,
+    /// Modeled fabric-exchange seconds completed sharded runs charged.
+    pub sharded_exchange_seconds: f64,
     /// Sum of finished jobs' wall-clock seconds.
     pub total_wall_seconds: f64,
     /// Sum of finished jobs' setup seconds (buffer acquisition + init).
@@ -267,6 +303,12 @@ impl Metrics {
                 "batched_jobs": (self.batched_jobs),
                 "batch_occupancy_avg": (self.batch_occupancy_avg()),
             },
+            "sharded": {
+                "routed": (self.routed_sharded),
+                "completed": (self.sharded_completed),
+                "exchanged_bytes": (self.sharded_exchanged_bytes),
+                "exchange_seconds": (self.sharded_exchange_seconds),
+            },
             "timing": {
                 "total_wall_seconds": (self.total_wall_seconds),
                 "total_setup_seconds": (self.total_setup_seconds),
@@ -298,6 +340,10 @@ pub(crate) struct ServiceInner {
     submitted: AtomicU64,
     rejected: AtomicU64,
     running: AtomicU64,
+    /// `TooLarge` submissions routed to the sharded backend.
+    routed_sharded: AtomicU64,
+    /// Planned fabric-exchange bytes (all devices) of routed jobs.
+    sharded_exchanged_bytes: AtomicU64,
 }
 
 /// What must match for two submissions to share one fusion plan:
@@ -397,6 +443,10 @@ impl ServiceInner {
             JobOutcome::Done(report, state_vector) => {
                 record.state = JobState::Done;
                 agg.completed += 1;
+                if record.devices > 1 {
+                    agg.sharded_completed += 1;
+                    agg.sharded_exchange_seconds += report.time_us_matching(EXCHANGE_KERNEL) * 1e-6;
+                }
                 agg.total_wall_seconds += report.wall_seconds;
                 agg.total_setup_seconds += report.setup_seconds;
                 if report.buffer_reused {
@@ -470,6 +520,8 @@ impl Service {
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             running: AtomicU64::new(0),
+            routed_sharded: AtomicU64::new(0),
+            sharded_exchanged_bytes: AtomicU64::new(0),
         });
         let workers = WorkerPool::spawn(config.workers.max(1), inner.clone());
         Service { inner, workers: Mutex::new(Some(workers)), config }
@@ -491,8 +543,30 @@ impl Service {
                 spec.max_fused
             )));
         }
-        let reservation = match self.inner.admission.try_admit(&spec) {
-            Ok(r) => r,
+        // A state over the whole budget is not refused outright: it is
+        // routed to the sharded multi-GCD backend over enough modeled
+        // devices that each per-device shard fits, and the host-side
+        // reservation drops to one shard's bytes. Transient pressure
+        // (`Rejected`/`Saturated`) still bounces — sharding cures size,
+        // not load.
+        let (devices, reservation) = match self.inner.admission.try_admit(&spec) {
+            Ok(r) => (1usize, r),
+            Err(AdmissionError::TooLarge { requested_bytes, budget_bytes }) => {
+                let Some(devices) = shard_devices(requested_bytes, budget_bytes, n) else {
+                    self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::Rejected(AdmissionError::TooLarge {
+                        requested_bytes,
+                        budget_bytes,
+                    }));
+                };
+                match self.inner.admission.try_reserve(requested_bytes / devices as u64) {
+                    Ok(r) => (devices, r),
+                    Err(e) => {
+                        self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                        return Err(SubmitError::Rejected(e));
+                    }
+                }
+            }
             Err(e) => {
                 self.inner.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(SubmitError::Rejected(e));
@@ -509,8 +583,43 @@ impl Service {
         // plan's traffic estimate is what the bandwidth ledger charges.
         // Hash-equal resubmissions (the Batch-class workload) hit the
         // plan cache instead of re-running the fusion planner.
-        let (plan, fused_hash) = self.inner.cached_plan(&spec);
-        let job = QueuedJob::prepare_with(id, spec, cancel, plan, fused_hash);
+        let (plan, fused_hash) = if devices == 1 {
+            self.inner.cached_plan(&spec)
+        } else {
+            // Sharded plans bypass the cache: the distributed cost model
+            // prices per device count, which the cache key does not carry,
+            // and routed jobs are rare enough to plan individually. The
+            // plan's traffic estimate now includes the fabric-exchange
+            // bytes, so the bandwidth ledger charges the job for the
+            // links it occupies, not just its DRAM streams.
+            let backend = MultiGcdBackend::new(spec.flavor, devices);
+            let opts = qsim_backends::PlanOptions {
+                strategy: spec.strategy,
+                max_fused_qubits: spec.max_fused,
+            };
+            let plan = Arc::new(backend.plan_circuit(&spec.circuit, &opts, spec.precision));
+            if !plan.predicted_cost_seconds.is_finite() {
+                return Err(SubmitError::Invalid(format!(
+                    "circuit cannot shard across {devices} devices: a fused gate \
+                     exceeds the shard width (resubmit with a smaller max_fused)"
+                )));
+            }
+            let hash = plan.fused.content_hash();
+            (plan, hash)
+        };
+        let mut job = QueuedJob::prepare_with(id, spec, cancel, plan, fused_hash);
+        job.devices = devices;
+        if devices > 1 {
+            self.inner.routed_sharded.fetch_add(1, Ordering::Relaxed);
+            let m = job.spec.circuit.num_qubits - devices.trailing_zeros() as usize;
+            if let Ok(schedule) = SwapSchedule::plan(&job.plan.fused, m, SwapPolicy::Lookahead) {
+                let per_device =
+                    schedule.bytes_per_device(1usize << m, job.spec.precision.amplitude_bytes());
+                self.inner
+                    .sharded_exchanged_bytes
+                    .fetch_add(per_device.saturating_mul(devices as u64), Ordering::Relaxed);
+            }
+        }
         if let Err(e) = self.inner.admission.enqueue_traffic(job.demand_bps) {
             // The memory reservation drops here; only the traffic backlog
             // was saturated.
@@ -527,6 +636,7 @@ impl Service {
             priority: job.spec.priority,
             flavor: job.spec.flavor,
             num_qubits: job.spec.circuit.num_qubits,
+            devices: job.devices,
             cancel: job.cancel.clone(),
             report: None,
             state_vector: None,
@@ -622,6 +732,7 @@ impl Service {
             priority: r.priority,
             flavor: r.flavor,
             num_qubits: r.num_qubits,
+            devices: r.devices,
             error: r.error.clone(),
         })
     }
@@ -685,6 +796,10 @@ impl Service {
             bandwidth: self.inner.admission.bandwidth_snapshot(),
             batches: agg.batches,
             batched_jobs: agg.batched_jobs,
+            routed_sharded: self.inner.routed_sharded.load(Ordering::Relaxed),
+            sharded_completed: agg.sharded_completed,
+            sharded_exchanged_bytes: self.inner.sharded_exchanged_bytes.load(Ordering::Relaxed),
+            sharded_exchange_seconds: agg.sharded_exchange_seconds,
             total_wall_seconds: agg.total_wall_seconds,
             total_setup_seconds: agg.total_setup_seconds,
             cold_setup_seconds_avg: mean(agg.cold_setup_seconds, agg.cold_runs),

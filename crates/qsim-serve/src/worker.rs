@@ -22,8 +22,9 @@ use std::thread::JoinHandle;
 use qsim_backends::batch_run::BatchJob;
 use qsim_backends::{BackendError, Flavor, RunContext, RunOptions, SimBackend};
 use qsim_core::types::Precision;
+use qsim_distributed::MultiGcdBackend;
 
-use qsim_core::types::Cplx;
+use qsim_core::types::{Cplx, Float};
 
 use crate::pool::{PoolSlot, StateBufferPool};
 use crate::queue::{BucketKey, QueuedJob};
@@ -93,6 +94,9 @@ impl WorkerPool {
 
 fn worker_loop(inner: &ServiceInner) {
     let mut backends: HashMap<Flavor, SimBackend> = HashMap::new();
+    // Sharded (multi-GCD) backends, keyed by flavor *and* device count:
+    // the device timeline array and comm streams are per-geometry state.
+    let mut dist_backends: HashMap<(Flavor, usize), MultiGcdBackend> = HashMap::new();
     let mut affinity: Option<BucketKey> = None;
     while let Some(unit) = inner.queue.pop_work(&inner.admission, affinity, inner.max_batch) {
         // Members cancelled (or deadline-expired) while still queued never
@@ -118,21 +122,36 @@ fn worker_loop(inner: &ServiceInner) {
         live.retain(|_| keep.next().unwrap_or(false));
         if !live.is_empty() {
             let flavor = live[0].spec.flavor;
-            let backend = backends.entry(flavor).or_insert_with(|| SimBackend::new(flavor));
-            match (live.len(), live[0].spec.precision) {
-                (1, Precision::Single) => {
-                    let outcome = run_job::<f32>(backend, &inner.pool, &live[0]);
-                    inner.finish(live[0].id, outcome);
+            if live[0].devices > 1 {
+                // A routed (sharded) job always dispatches alone —
+                // gang_compatible excludes multi-device jobs.
+                debug_assert_eq!(live.len(), 1);
+                let job = &live[0];
+                let backend = dist_backends
+                    .entry((flavor, job.devices))
+                    .or_insert_with(|| MultiGcdBackend::new(flavor, job.devices));
+                let outcome = match job.spec.precision {
+                    Precision::Single => run_sharded::<f32>(backend, inner, job),
+                    Precision::Double => run_sharded::<f64>(backend, inner, job),
+                };
+                inner.finish(job.id, outcome);
+            } else {
+                let backend = backends.entry(flavor).or_insert_with(|| SimBackend::new(flavor));
+                match (live.len(), live[0].spec.precision) {
+                    (1, Precision::Single) => {
+                        let outcome = run_job::<f32>(backend, &inner.pool, &live[0]);
+                        inner.finish(live[0].id, outcome);
+                    }
+                    (1, Precision::Double) => {
+                        let outcome = run_job::<f64>(backend, &inner.pool, &live[0]);
+                        inner.finish(live[0].id, outcome);
+                    }
+                    (_, Precision::Single) => run_gang::<f32>(backend, inner, &live),
+                    (_, Precision::Double) => run_gang::<f64>(backend, inner, &live),
                 }
-                (1, Precision::Double) => {
-                    let outcome = run_job::<f64>(backend, &inner.pool, &live[0]);
-                    inner.finish(live[0].id, outcome);
+                if live.len() > 1 {
+                    inner.record_batch(live.len());
                 }
-                (_, Precision::Single) => run_gang::<f32>(backend, inner, &live),
-                (_, Precision::Double) => run_gang::<f64>(backend, inner, &live),
-            }
-            if live.len() > 1 {
-                inner.record_batch(live.len());
             }
             affinity = Some(live[0].bucket());
         }
@@ -179,6 +198,38 @@ fn run_job<F: StateSlot>(
                 error => JobOutcome::Failed(error.to_string()),
             }
         }
+    }
+}
+
+/// Execute one admission-routed sharded job on the multi-GCD backend.
+///
+/// The state never fits a pooled buffer as one allocation path — the
+/// backend holds it as per-device shards — so the pool is only touched
+/// on the way out: the gathered final state is released into the pool
+/// (or kept for the submitter). The cancel token is honored up to
+/// launch; the distributed sweep itself has no per-gate cancel points
+/// (its shards advance in lockstep, and a routed job already paid
+/// planning + reservation — let it finish).
+fn run_sharded<F: StateSlot + Float>(
+    backend: &MultiGcdBackend,
+    inner: &ServiceInner,
+    job: &QueuedJob,
+) -> JobOutcome {
+    if let Some(cause) = job.cancel.cause() {
+        return JobOutcome::Cancelled(cause);
+    }
+    let run_opts = RunOptions { seed: job.spec.seed, sample_count: job.spec.sample_count };
+    match backend.run_plan::<F>(&job.plan, &run_opts) {
+        Ok((state, report)) => {
+            let kept = if job.spec.keep_state {
+                Some(F::wrap(state.into_amplitudes()))
+            } else {
+                inner.pool.release(state.into_amplitudes());
+                None
+            };
+            JobOutcome::Done(Box::new(report), kept)
+        }
+        Err(error) => JobOutcome::Failed(error.to_string()),
     }
 }
 

@@ -69,6 +69,23 @@ fn observed_lock_orderings_are_a_subset_of_the_static_graph() {
     let _ = service.metrics();
     service.shutdown();
 
+    // A sharded-job workload against a small budget: the TooLarge routing
+    // path (devices sizing, sharded planning, multi-GCD run, sharded
+    // metrics fold) takes whatever locks it takes under the tracker too.
+    let small = Service::start(ServiceConfig {
+        workers: 2,
+        memory_budget_bytes: 1 << 20,
+        ..ServiceConfig::default()
+    });
+    let sharded_id = small.submit(JobSpec::new(library::ghz(18))).expect("route sharded");
+    let status = small.wait(sharded_id, WAIT).expect("known id");
+    assert!(status.state.is_terminal(), "sharded job stuck in {:?}", status.state);
+    assert_eq!(status.devices, 2, "2 MiB state over a 1 MiB budget shards across 2 devices");
+    let metrics = small.metrics();
+    assert_eq!(metrics.routed_sharded, 1);
+    assert_eq!(metrics.sharded_completed, 1);
+    small.shutdown();
+
     let observed = lockorder::observed_edges();
     assert!(!observed.is_empty(), "tracker saw no acquisitions — annotations missing?");
 
