@@ -22,6 +22,15 @@
 //!   throughputs written to `results/serve_batched.csv`. Each cell is
 //!   the best of three runs to shave scheduler noise.
 //!
+//! - `serve_load mux [ci]` is the connection-scaling benchmark for the
+//!   multiplexed front end: a repeat-heavy workload (8 distinct circuits
+//!   resubmitted verbatim) driven at 64 and 1000 concurrent sockets from
+//!   a single-threaded nonblocking client loop, against both front ends
+//!   and with the result cache on and off, written to
+//!   `results/serve_mux.csv`. With `ci` it is a gate: mux@64 must hold
+//!   ≥ 0.8× the threaded baseline, the 1000-client hit rate must be
+//!   ≥ 0.9, and the cached p50 must sit ≥ 5× below the uncached p50.
+//!
 //! - `serve_load ci` is the CI gate: a quick batched-vs-unbatched run
 //!   (writing `results/serve_batched.csv`, batched must win) plus a
 //!   scaling check at 20 qubits on the batched path — jobs/sec must
@@ -44,6 +53,7 @@ usage: serve_load smoke --addr HOST:PORT
        serve_load bench
        serve_load batched [--jobs N]
        serve_load ci
+       serve_load mux [ci]
        serve_load profile";
 
 fn main() {
@@ -68,6 +78,7 @@ fn main() {
             batched(jobs).map(|_| ())
         }
         Some("ci") => ci(),
+        Some("mux") => mux_bench(argv.get(1).map(String::as_str) == Some("ci")),
         Some("profile") => profile(),
         _ => Err(USAGE.into()),
     };
@@ -563,6 +574,412 @@ fn batched_cell(workers: usize, jobs: usize, max_batch: usize) -> Result<BatchCe
         occupancy: metrics.batch_occupancy_avg(),
         hit_rate: metrics.pool.hit_rate(),
     })
+}
+
+// ------------------------------------------------------------------ mux
+
+/// Distinct circuits in the repeat-heavy workload; every client request
+/// resubmits one of these verbatim (same seed, same shot count), which
+/// is exactly the result cache's hit case.
+const MUX_CIRCUITS: usize = 8;
+/// Shots per job — enough that the report carries a real sample payload
+/// through the cache.
+const MUX_SAMPLES: usize = 32;
+/// I/O threads for the multiplexed cells.
+const MUX_IO_THREADS: usize = 4;
+/// Requests per client at the 64-client comparison scale.
+const MUX_REQUESTS_SMALL: usize = 4;
+/// Requests per client at the 1000-client scale.
+const MUX_REQUESTS_LARGE: usize = 2;
+/// Client-side status-poll backoff (the cached path answers on the first
+/// poll; this only throttles the uncached cells).
+const MUX_POLL_BACKOFF: Duration = Duration::from_millis(10);
+
+/// The repeat-heavy circuit set: ghz(11)..=ghz(18).
+fn mux_circuits() -> Vec<String> {
+    (0..MUX_CIRCUITS).map(|i| qsim_circuit::parser::write_circuit(&library::ghz(11 + i))).collect()
+}
+
+#[derive(Debug)]
+struct MuxCell {
+    mode: &'static str,
+    clients: usize,
+    io_threads: usize,
+    cached: bool,
+    requests: usize,
+    hit_rate: f64,
+    jobs_per_sec: f64,
+    p50_s: f64,
+    p99_s: f64,
+}
+
+/// Connection-scaling benchmark for the multiplexed front end, and the
+/// `mux ci` gate. Four cells, all on the same repeat-heavy workload:
+///
+/// - `threaded` @ 64 clients, cache on — the thread-per-connection
+///   baseline at the scale it can reasonably serve.
+/// - `mux` @ 64 clients, cache on — must hold ≥ 0.8× the threaded
+///   throughput (the multiplexer may not tax the small case).
+/// - `mux` @ 1000 clients, cache on — the headline cell: one process,
+///   four I/O threads, a thousand live sockets; hit rate must be ≥ 0.9.
+/// - `mux` @ 1000 clients, cache off — the same workload recomputed
+///   every time; its p50 must be ≥ 5× the cached p50.
+///
+/// Writes `results/serve_mux.csv`; in ci mode any violated bound exits
+/// non-zero.
+fn mux_bench(ci: bool) -> Result<(), String> {
+    println!(
+        "mux: repeat-heavy workload, {MUX_CIRCUITS} distinct ghz circuits × {MUX_SAMPLES} shots"
+    );
+    let threaded64 = mux_cell("threaded", 64, true, MUX_REQUESTS_SMALL)?;
+    let mux64 = mux_cell("mux", 64, true, MUX_REQUESTS_SMALL)?;
+    let mux1k = mux_cell("mux", 1000, true, MUX_REQUESTS_LARGE)?;
+    let mux1k_cold = mux_cell("mux", 1000, false, MUX_REQUESTS_LARGE)?;
+
+    let mut csv =
+        String::from("mode,clients,io_threads,cache,requests,hit_rate,jobs_per_sec,p50_s,p99_s\n");
+    println!(
+        "{:>9} {:>8} {:>11} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "mode",
+        "clients",
+        "io_threads",
+        "cache",
+        "requests",
+        "hit_rate",
+        "jobs/s",
+        "p50_s",
+        "p99_s"
+    );
+    for cell in [&threaded64, &mux64, &mux1k, &mux1k_cold] {
+        println!(
+            "{:>9} {:>8} {:>11} {:>6} {:>9} {:>9.3} {:>9.1} {:>9.4} {:>9.4}",
+            cell.mode,
+            cell.clients,
+            cell.io_threads,
+            if cell.cached { "on" } else { "off" },
+            cell.requests,
+            cell.hit_rate,
+            cell.jobs_per_sec,
+            cell.p50_s,
+            cell.p99_s
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{}\n",
+            cell.mode,
+            cell.clients,
+            cell.io_threads,
+            if cell.cached { "on" } else { "off" },
+            cell.requests,
+            cell.hit_rate,
+            cell.jobs_per_sec,
+            cell.p50_s,
+            cell.p99_s
+        ));
+    }
+    std::fs::create_dir_all("results").map_err(|e| format!("mkdir results: {e}"))?;
+    let path = "results/serve_mux.csv";
+    std::fs::write(path, csv).map_err(|e| format!("write {path}: {e}"))?;
+    println!("wrote {path}");
+
+    if ci {
+        if mux64.jobs_per_sec < 0.8 * threaded64.jobs_per_sec {
+            return Err(format!(
+                "mux@64 degrades vs threaded@64: {:.1} vs {:.1} jobs/s",
+                mux64.jobs_per_sec, threaded64.jobs_per_sec
+            ));
+        }
+        if mux1k.hit_rate < 0.9 {
+            return Err(format!(
+                "repeat-heavy hit rate at 1000 clients is {:.3}, want >= 0.9",
+                mux1k.hit_rate
+            ));
+        }
+        if mux1k.p50_s * 5.0 > mux1k_cold.p50_s {
+            return Err(format!(
+                "cached p50 {:.4}s is not >= 5x below uncached p50 {:.4}s at 1000 clients",
+                mux1k.p50_s, mux1k_cold.p50_s
+            ));
+        }
+        println!(
+            "mux ci OK: mux@64 {:.2}x threaded, hit_rate {:.3}, cached p50 {:.1}x below uncached",
+            mux64.jobs_per_sec / threaded64.jobs_per_sec,
+            mux1k.hit_rate,
+            mux1k_cold.p50_s / mux1k.p50_s
+        );
+    }
+    Ok(())
+}
+
+/// One cell: start a service (+ front end), warm the plan cache — and
+/// the result cache when it is on — with one in-process run of each
+/// circuit, then drive `clients` concurrent sockets from a
+/// single-threaded nonblocking event loop, each submitting
+/// `requests_per_client` repeat jobs and polling each to `done`.
+fn mux_cell(
+    mode: &'static str,
+    clients: usize,
+    cached: bool,
+    requests_per_client: usize,
+) -> Result<MuxCell, String> {
+    let service = Arc::new(Service::start(ServiceConfig {
+        workers: 2,
+        result_cache_budget_bytes: if cached { qsim_serve::DEFAULT_RESULT_CACHE_BUDGET } else { 0 },
+        ..ServiceConfig::default()
+    }));
+    let circuits = mux_circuits();
+    // Warm: one real run per circuit, so the cached cells measure pure
+    // hit-path latency and the uncached cells still reuse fusion plans.
+    let warm_ids: Vec<JobId> = circuits
+        .iter()
+        .enumerate()
+        .map(|(i, text)| {
+            let circuit = qsim_circuit::parser::parse_circuit(text)
+                .map_err(|e| format!("parse warm circuit: {e:?}"))?;
+            let mut spec = JobSpec::new(circuit);
+            spec.seed = i as u64;
+            spec.sample_count = MUX_SAMPLES;
+            service.submit(spec).map_err(|e| format!("warm submit: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    for id in &warm_ids {
+        let status = service
+            .wait(*id, Duration::from_secs(600))
+            .ok_or_else(|| format!("warm job {id} vanished"))?;
+        if status.state != JobState::Done {
+            return Err(format!("warm job {id} ended {:?}", status.state));
+        }
+    }
+    let warm_metrics = service.metrics();
+
+    let (addr, handle, server_thread) = if mode == "mux" {
+        let server = qsim_serve::MuxServer::bind("127.0.0.1:0", service.clone(), MUX_IO_THREADS)
+            .map_err(|e| format!("bind: {e}"))?;
+        let addr = server.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+        let handle = server.shutdown_handle();
+        (addr, handle, std::thread::spawn(move || server.serve()))
+    } else {
+        let server = qsim_serve::Server::bind("127.0.0.1:0", service.clone())
+            .map_err(|e| format!("bind: {e}"))?;
+        let addr = server.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+        let handle = server.shutdown_handle();
+        (addr, handle, std::thread::spawn(move || server.serve()))
+    };
+
+    let start = Instant::now();
+    let latencies = drive_mux_clients(addr, &circuits, clients, requests_per_client)?;
+    let total_seconds = start.elapsed().as_secs_f64();
+
+    // Hit-rate over the driven requests only: subtract the warm-up's
+    // misses/insertions from the totals.
+    let metrics = service.metrics();
+    let hits = metrics.result_cache.hits - warm_metrics.result_cache.hits;
+    let misses = metrics.result_cache.misses - warm_metrics.result_cache.misses;
+    let hit_rate = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
+
+    handle.shutdown();
+    server_thread
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| format!("serve: {e}"))?;
+
+    let mut sorted = latencies;
+    sorted.sort_by(f64::total_cmp);
+    let requests = clients * requests_per_client;
+    Ok(MuxCell {
+        mode,
+        clients,
+        io_threads: if mode == "mux" { MUX_IO_THREADS } else { 0 },
+        cached,
+        requests,
+        hit_rate,
+        jobs_per_sec: requests as f64 / total_seconds,
+        p50_s: percentile(&sorted, 0.50),
+        p99_s: percentile(&sorted, 0.99),
+    })
+}
+
+enum MuxPhase {
+    AwaitSubmit,
+    AwaitStatus,
+    Finished,
+}
+
+struct MuxClient {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    phase: MuxPhase,
+    id: u64,
+    remaining: usize,
+    submit_line: Vec<u8>,
+    submitted_at: Instant,
+    send_after: Instant,
+    latencies: Vec<f64>,
+}
+
+impl MuxClient {
+    fn enqueue(&mut self, line: String, after: Instant) {
+        self.wbuf.extend_from_slice(line.as_bytes());
+        self.wbuf.push(b'\n');
+        self.send_after = after;
+    }
+
+    fn enqueue_submit(&mut self) {
+        let line = self.submit_line.clone();
+        self.wbuf.extend_from_slice(&line);
+        self.send_after = Instant::now();
+        self.submitted_at = Instant::now();
+        self.phase = MuxPhase::AwaitSubmit;
+    }
+
+    /// Handle one complete response line; returns false on protocol error.
+    fn on_response(&mut self, line: &str) -> Result<(), String> {
+        let resp: Value =
+            serde_json::from_str(line).map_err(|e| format!("bad response JSON: {e}"))?;
+        if resp.get("ok").and_then(Value::as_bool) != Some(true) {
+            return Err(format!("request failed: {resp:?}"));
+        }
+        match self.phase {
+            MuxPhase::AwaitSubmit => {
+                self.id = resp
+                    .get("id")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("submit response lacks id: {resp:?}"))?;
+                self.phase = MuxPhase::AwaitStatus;
+                let id = self.id;
+                self.enqueue(format!(r#"{{"verb":"status","id":{id}}}"#), Instant::now());
+            }
+            MuxPhase::AwaitStatus => {
+                let state = resp
+                    .get("state")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("status lacks state: {resp:?}"))?;
+                match state {
+                    "done" => {
+                        self.latencies.push(self.submitted_at.elapsed().as_secs_f64());
+                        self.remaining -= 1;
+                        if self.remaining > 0 {
+                            self.enqueue_submit();
+                        } else {
+                            self.phase = MuxPhase::Finished;
+                        }
+                    }
+                    "queued" | "running" => {
+                        let id = self.id;
+                        self.enqueue(
+                            format!(r#"{{"verb":"status","id":{id}}}"#),
+                            Instant::now() + MUX_POLL_BACKOFF,
+                        );
+                    }
+                    other => return Err(format!("job {} ended {other}", self.id)),
+                }
+            }
+            MuxPhase::Finished => return Err("response after final request".into()),
+        }
+        Ok(())
+    }
+}
+
+/// The client side of the scaling cells: `clients` sockets held open
+/// concurrently and multiplexed from ONE thread (mirroring the server's
+/// own model), each walking submit → status… → done,
+/// `requests_per_client` times.
+fn drive_mux_clients(
+    addr: std::net::SocketAddr,
+    circuits: &[String],
+    clients: usize,
+    requests_per_client: usize,
+) -> Result<Vec<f64>, String> {
+    use std::io::Read;
+
+    let mut conns = Vec::with_capacity(clients);
+    for i in 0..clients {
+        // Sequential blocking connects; every socket stays open until the
+        // whole cell finishes, so all `clients` connections are live at
+        // once.
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect client {i}: {e}"))?;
+        stream.set_nonblocking(true).map_err(|e| format!("nonblocking: {e}"))?;
+        stream.set_nodelay(true).ok();
+        let submit = serde_json::to_string(&json!({
+            "verb": "submit",
+            "circuit": (circuits[i % circuits.len()].clone()),
+            "seed": ((i % circuits.len()) as u64),
+            "sample_count": (MUX_SAMPLES),
+        }))
+        .map_err(|e| e.to_string())?;
+        let mut submit_line = submit.into_bytes();
+        submit_line.push(b'\n');
+        let mut client = MuxClient {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            phase: MuxPhase::AwaitSubmit,
+            id: 0,
+            remaining: requests_per_client,
+            submit_line,
+            submitted_at: Instant::now(),
+            send_after: Instant::now(),
+            latencies: Vec::with_capacity(requests_per_client),
+        };
+        client.enqueue_submit();
+        conns.push(client);
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(600);
+    let mut chunk = [0u8; 4096];
+    loop {
+        let now = Instant::now();
+        let mut pending = 0usize;
+        let mut progressed = false;
+        for client in &mut conns {
+            if matches!(client.phase, MuxPhase::Finished) {
+                continue;
+            }
+            pending += 1;
+            // Flush what this client owes the server.
+            if !client.wbuf.is_empty() && now >= client.send_after {
+                match client.stream.write(&client.wbuf) {
+                    Ok(0) => return Err("server closed a client socket".into()),
+                    Ok(n) => {
+                        client.wbuf.drain(..n);
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(e) => return Err(format!("client write: {e}")),
+                }
+            }
+            // Drain whatever the server sent back.
+            loop {
+                match client.stream.read(&mut chunk) {
+                    Ok(0) => return Err("server closed a client socket".into()),
+                    Ok(n) => {
+                        client.rbuf.extend_from_slice(&chunk[..n]);
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) => return Err(format!("client read: {e}")),
+                }
+            }
+            while let Some(pos) = client.rbuf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = client.rbuf.drain(..=pos).collect();
+                let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+                if !line.trim().is_empty() {
+                    client.on_response(&line)?;
+                    progressed = true;
+                }
+            }
+        }
+        if pending == 0 {
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err(format!("{pending} clients still pending at deadline"));
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    Ok(conns.into_iter().flat_map(|c| c.latencies).collect())
 }
 
 // -------------------------------------------------------------- profile

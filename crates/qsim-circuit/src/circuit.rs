@@ -142,9 +142,15 @@ impl Circuit {
     /// Injectivity of the encoding must not lean on `Hash` impl details
     /// of `str`/`Vec` (str's 0xFF terminator, slice length prefixes) —
     /// those are std implementation details, not contracts.
+    ///
+    /// The hasher is [`qsim_core::stablehash::StableHasher`], not
+    /// `DefaultHasher`: these hashes are cache keys in the serve
+    /// layer's plan and result caches, so they must be identical across
+    /// platforms, toolchains and process restarts — SipHash is only
+    /// "deterministic until std changes it".
     pub fn content_hash(&self) -> u64 {
         use std::hash::Hasher;
-        let mut h = std::collections::hash_map::DefaultHasher::new();
+        let mut h = qsim_core::stablehash::StableHasher::new();
         h.write_u64(self.num_qubits as u64);
         h.write_u64(self.ops.len() as u64);
         for op in &self.ops {

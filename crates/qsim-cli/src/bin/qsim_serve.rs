@@ -7,14 +7,25 @@
 
 use std::sync::Arc;
 
-use qsim_serve::{Server, Service, ServiceConfig};
+use qsim_serve::{MuxServer, Server, Service, ServiceConfig};
 
 const USAGE: &str = "\
 usage: qsim_serve [options]
   --host HOST       bind address (default 127.0.0.1)
   --port PORT       bind port; 0 picks an ephemeral port (default 0)
   --workers N       worker threads (default 4)
+  --io-threads N    serve connections from a fixed pool of N multiplexed
+                    I/O threads (many nonblocking connections per thread,
+                    streamed sample frames); 0 keeps the legacy
+                    thread-per-connection front end (default 0)
   --budget-gib GIB  state-memory admission budget in GiB (default 16)
+  --cache-budget MIB
+                    result-cache budget in MiB, charged against the
+                    admission ledger; repeat submissions of an identical
+                    job return Done from cache. 0 disables (default 2048)
+  --plan-cache-budget MIB
+                    fusion-plan cache budget in MiB; 0 disables
+                    (default 32)
   --bandwidth-gib GIB/S
                     modeled memory-bandwidth dispatch budget in GiB/s
                     (default 400; caps the aggregate streaming rate of
@@ -27,11 +38,13 @@ usage: qsim_serve [options]
 struct Args {
     host: String,
     port: u16,
+    io_threads: usize,
     config: ServiceConfig,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
-    let mut args = Args { host: "127.0.0.1".into(), port: 0, config: ServiceConfig::default() };
+    let mut args =
+        Args { host: "127.0.0.1".into(), port: 0, io_threads: 0, config: ServiceConfig::default() };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -47,6 +60,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     return Err("--workers must be at least 1".into());
                 }
                 args.config.workers = n;
+            }
+            "--io-threads" => {
+                args.io_threads =
+                    take(&mut it, flag)?.parse().map_err(|e| format!("bad --io-threads: {e}"))?;
+            }
+            "--cache-budget" => {
+                let mib: u64 =
+                    take(&mut it, flag)?.parse().map_err(|e| format!("bad --cache-budget: {e}"))?;
+                args.config.result_cache_budget_bytes = mib << 20;
+            }
+            "--plan-cache-budget" => {
+                let mib: u64 = take(&mut it, flag)?
+                    .parse()
+                    .map_err(|e| format!("bad --plan-cache-budget: {e}"))?;
+                args.config.plan_cache_budget_bytes = mib << 20;
             }
             "--budget-gib" => {
                 let gib: u64 =
@@ -95,14 +123,37 @@ fn main() {
     };
 
     let service = Arc::new(Service::start(args.config));
-    let server = match Server::bind(&format!("{}:{}", args.host, args.port), service) {
-        Ok(server) => server,
-        Err(e) => {
-            eprintln!("qsim_serve: bind failed: {e}");
-            std::process::exit(1);
-        }
+    let bind_addr = format!("{}:{}", args.host, args.port);
+    let serve_result = if args.io_threads > 0 {
+        let server = match MuxServer::bind(&bind_addr, service, args.io_threads) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("qsim_serve: bind failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        announce(server.local_addr());
+        server.serve()
+    } else {
+        let server = match Server::bind(&bind_addr, service) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("qsim_serve: bind failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        announce(server.local_addr());
+        server.serve()
     };
-    match server.local_addr() {
+    if let Err(e) = serve_result {
+        eprintln!("qsim_serve: {e}");
+        std::process::exit(1);
+    }
+    println!("drained, exiting");
+}
+
+fn announce(addr: std::io::Result<std::net::SocketAddr>) {
+    match addr {
         Ok(addr) => {
             // Scripts parse this line to learn the ephemeral port; keep
             // the format stable.
@@ -115,9 +166,4 @@ fn main() {
             std::process::exit(1);
         }
     }
-    if let Err(e) = server.serve() {
-        eprintln!("qsim_serve: {e}");
-        std::process::exit(1);
-    }
-    println!("drained, exiting");
 }

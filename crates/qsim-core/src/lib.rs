@@ -54,6 +54,7 @@ pub mod matrix;
 pub mod noise;
 pub mod observables;
 pub mod simd;
+pub mod stablehash;
 pub mod statespace;
 pub mod statevec;
 pub mod sweep;

@@ -316,6 +316,37 @@ impl AdmissionController {
         saturating_sub(&self.bandwidth.queued_bps, queued_bps);
     }
 
+    /// Charge `bytes` against the memory ledger without creating a
+    /// [`Reservation`] — the non-RAII entry point the result cache uses
+    /// for long-lived holds that outlive any one job. All-or-nothing:
+    /// `false` means the budget could not fund it and nothing was
+    /// charged. Pair every successful charge with
+    /// [`AdmissionController::release`].
+    pub fn try_charge(&self, bytes: u64) -> bool {
+        let mut reserved = self.ledger.reserved_bytes.load(Ordering::Acquire);
+        loop {
+            if reserved.saturating_add(bytes) > self.ledger.budget_bytes {
+                return false;
+            }
+            match self.ledger.reserved_bytes.compare_exchange_weak(
+                reserved,
+                reserved + bytes,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => reserved = actual,
+            }
+        }
+    }
+
+    /// Return bytes charged via [`AdmissionController::try_charge`].
+    /// Saturates at zero so a cache returning its whole occupancy on
+    /// drop cannot wrap the ledger.
+    pub fn release(&self, bytes: u64) {
+        saturating_sub(&self.ledger.reserved_bytes, bytes);
+    }
+
     /// The fixed budget.
     pub fn budget_bytes(&self) -> u64 {
         self.ledger.budget_bytes
@@ -385,6 +416,22 @@ mod tests {
         let spec = crate::job::JobSpec::new(qsim_circuit::library::ghz(20));
         let r = ctl.try_admit(&spec).unwrap();
         assert_eq!(r.bytes(), 8 << 20);
+    }
+
+    #[test]
+    fn cache_charges_share_the_reservation_ledger() {
+        let ctl = AdmissionController::new(1000);
+        assert!(ctl.try_charge(700));
+        // Cached bytes and job reservations compete for the same budget.
+        assert!(ctl.try_reserve(400).is_err());
+        let r = ctl.try_reserve(300).unwrap();
+        assert!(!ctl.try_charge(1));
+        ctl.release(700);
+        assert_eq!(ctl.reserved_bytes(), 300);
+        drop(r);
+        // Over-release saturates instead of wrapping.
+        ctl.release(10_000);
+        assert_eq!(ctl.reserved_bytes(), 0);
     }
 
     #[test]

@@ -32,9 +32,18 @@
 //!   (bytes/s), dispatch caps the aggregate streaming rate of running
 //!   jobs, and a deep backlog sheds load with the typed
 //!   [`AdmissionError::Saturated`].
-//! - the wire protocol ([`protocol`]) and TCP server ([`server`]) —
-//!   `submit`, `status`, `result`, `cancel`, `metrics`, `shutdown` verbs;
-//!   `result` returns the run's [`qsim_backends::RunReport`] JSON.
+//! - the wire protocol ([`protocol`]) and two TCP front ends — the
+//!   thread-per-connection [`server`] and the multiplexed [`mux`]
+//!   server (a fixed pool of I/O threads, each owning many nonblocking
+//!   connections, with streamed sample frames and per-connection write
+//!   backpressure). Verbs: `submit`, `status`, `result`, `cancel`,
+//!   `metrics`, `shutdown`; `result` returns the run's
+//!   [`qsim_backends::RunReport`] JSON.
+//! - content-addressed caching ([`qsim_cache`]) — a byte-budgeted plan
+//!   cache keyed by `Circuit::content_hash` × plan settings, and a
+//!   result cache additionally keyed by seed and shot count whose
+//!   occupancy is charged through the admission ledger, so repeat
+//!   submissions return `Done` without touching a worker.
 //!
 //! Cancellation and deadlines ride on [`qsim_core::cancel::CancelToken`]:
 //! the backend polls the token at every gate-application (and sweep-block)
@@ -43,6 +52,7 @@
 
 pub mod admission;
 pub mod job;
+pub mod mux;
 pub mod pool;
 pub mod protocol;
 pub mod queue;
@@ -55,10 +65,12 @@ pub use admission::{
     DEFAULT_BANDWIDTH_BUDGET_BPS,
 };
 pub use job::{JobId, JobSpec, JobState, Priority};
+pub use mux::{MuxServer, DEFAULT_IO_THREADS};
 pub use pool::{BucketStats, PoolStats, StateBufferPool};
 pub use queue::{JobQueue, WorkUnit, RESIDENT_BYTES};
 pub use server::{Server, ShutdownHandle};
 pub use service::{
     FinalState, JobStatus, Metrics, Service, ServiceConfig, SubmitError, DEFAULT_MAX_BATCH,
+    DEFAULT_PLAN_CACHE_BUDGET, DEFAULT_RESULT_CACHE_BUDGET,
 };
 pub use worker::WorkerPool;

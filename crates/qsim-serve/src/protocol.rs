@@ -11,7 +11,7 @@
 //!
 //! | verb | request fields | success payload |
 //! |---|---|---|
-//! | `submit` | `circuit` (qsim text), `backend?`, `precision?`, `strategy?`, `max_fused?`, `seed?`, `sample_count?`, `priority?`, `timeout_ms?` | `id` |
+//! | `submit` | `circuit` (qsim text), `backend?`, `precision?`, `strategy?`, `max_fused?`, `seed?`, `sample_count?`, `priority?`, `timeout_ms?`, `stream?` | `id` |
 //! | `status` | `id` | `state`, `priority`, `flavor`, `num_qubits`, `error?` |
 //! | `result` | `id` | `report` (the run's [`RunReport`] JSON) |
 //! | `cancel` | `id` | `cancelled` |
@@ -22,6 +22,12 @@
 //! the memory budget is momentarily exhausted, `saturated: true` (plus
 //! `retry_after_ms`) when the modeled-bandwidth backlog is shedding load,
 //! and `too_large: true` when the job can never fit.
+//!
+//! A `submit` with `"stream": true` and a nonzero `sample_count` asks
+//! the multiplexed server ([`crate::mux`]) to push the job's sampled
+//! bitstrings as `{"event":"samples","id":…,"seq":…,"samples":[…],
+//! "last":…}` frames once the job completes, instead of the client
+//! polling `result`. The thread-per-connection server ignores the flag.
 //!
 //! [`RunReport`]: qsim_backends::RunReport
 
@@ -42,14 +48,22 @@ pub struct Handled {
     pub response: Value,
     /// `true` only for an accepted `shutdown` verb.
     pub shutdown: bool,
+    /// `Some(id)` for an accepted `submit` with `"stream": true` and a
+    /// nonzero sample count: the mux server follows the acknowledgement
+    /// with `samples` event frames when the job finishes.
+    pub stream: Option<JobId>,
 }
 
 fn ok(payload: Value) -> Handled {
-    Handled { response: payload, shutdown: false }
+    Handled { response: payload, shutdown: false, stream: None }
 }
 
 fn err(message: impl std::fmt::Display) -> Handled {
-    Handled { response: json!({ "ok": false, "error": (message.to_string()) }), shutdown: false }
+    Handled {
+        response: json!({ "ok": false, "error": (message.to_string()) }),
+        shutdown: false,
+        stream: None,
+    }
 }
 
 /// Decode, dispatch and execute one request line against the service.
@@ -91,6 +105,7 @@ pub fn handle_line(service: &Service, line: &str) -> Handled {
                         "state": (status.state.label()),
                     }),
                     shutdown: false,
+                    stream: None,
                 },
             },
         }),
@@ -98,9 +113,11 @@ pub fn handle_line(service: &Service, line: &str) -> Handled {
             ok(json!({ "ok": true, "id": (id.0), "cancelled": (service.cancel(id)) }))
         }),
         "metrics" => ok(json!({ "ok": true, "metrics": (service.metrics().to_json()) })),
-        "shutdown" => {
-            Handled { response: json!({ "ok": true, "shutting_down": true }), shutdown: true }
-        }
+        "shutdown" => Handled {
+            response: json!({ "ok": true, "shutting_down": true }),
+            shutdown: true,
+            stream: None,
+        },
         other => err(format!("unknown verb '{other}'")),
     }
 }
@@ -117,8 +134,16 @@ fn handle_submit(service: &Service, request: &Value) -> Handled {
         Ok(spec) => spec,
         Err(message) => return err(message),
     };
+    let wants_stream =
+        request.get("stream").and_then(Value::as_bool).unwrap_or(false) && spec.sample_count > 0;
     match service.submit(spec) {
-        Ok(id) => ok(json!({ "ok": true, "id": (id.0) })),
+        Ok(id) => {
+            let mut handled = ok(json!({ "ok": true, "id": (id.0) }));
+            if wants_stream {
+                handled.stream = Some(id);
+            }
+            handled
+        }
         Err(SubmitError::Rejected(AdmissionError::Rejected {
             retry_after,
             requested_bytes,
@@ -136,6 +161,7 @@ fn handle_submit(service: &Service, request: &Value) -> Handled {
                 "retry_after_ms": (retry_after.as_millis() as u64),
             }),
             shutdown: false,
+            stream: None,
         },
         Err(SubmitError::Rejected(e @ AdmissionError::Saturated { .. })) => {
             let retry_after = match e {
@@ -151,11 +177,13 @@ fn handle_submit(service: &Service, request: &Value) -> Handled {
                     "retry_after_ms": (retry_after.as_millis() as u64),
                 }),
                 shutdown: false,
+                stream: None,
             }
         }
         Err(SubmitError::Rejected(e @ AdmissionError::TooLarge { .. })) => Handled {
             response: json!({ "ok": false, "error": (e.to_string()), "too_large": true }),
             shutdown: false,
+            stream: None,
         },
         Err(e) => err(e),
     }

@@ -81,6 +81,13 @@ pub struct ShutdownHandle {
 }
 
 impl ShutdownHandle {
+    /// Build a handle over a foreign accept loop's stop flag (the mux
+    /// server reuses this type so embedders stop either server the same
+    /// way).
+    pub(crate) fn new(stop: Arc<AtomicBool>, addr: Option<SocketAddr>) -> ShutdownHandle {
+        ShutdownHandle { stop, addr }
+    }
+
     /// Stop the accept loop. Safe to call more than once.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::Release);

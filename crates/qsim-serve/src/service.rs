@@ -10,8 +10,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use qsim_backends::{Flavor, FusionPlan, RunReport};
+use qsim_cache::{BudgetLedger, Cache, CacheStats};
 use qsim_core::cancel::{CancelCause, CancelToken};
 use qsim_core::kernels::MAX_GATE_QUBITS;
 use qsim_core::lockorder;
@@ -41,10 +42,28 @@ pub struct ServiceConfig {
     /// Maximum gang width for coalesced Batch-class jobs (`1` disables
     /// batching).
     pub max_batch: usize,
+    /// Byte budget of the fusion-plan cache (self-accounted; plans are
+    /// metadata, not state memory). `0` disables plan caching.
+    pub plan_cache_budget_bytes: u64,
+    /// Byte budget of the result cache. Every resident byte is charged
+    /// through the admission ledger, so cached reports and live state
+    /// buffers compete for the same `memory_budget_bytes`; under
+    /// pressure the cache sheds entries back to admission. `0` disables
+    /// result caching.
+    pub result_cache_budget_bytes: u64,
 }
 
 /// Default gang width for Batch-class coalescing.
 pub const DEFAULT_MAX_BATCH: usize = 16;
+
+/// Default fusion-plan cache budget: plans are a few KiB each, so this
+/// holds thousands of distinct circuit shapes.
+pub const DEFAULT_PLAN_CACHE_BUDGET: u64 = 32 << 20;
+
+/// Default result cache budget — an eighth of the default memory
+/// budget. The admission-ledger charge (not this cap) is what actually
+/// bounds residency on smaller deployments.
+pub const DEFAULT_RESULT_CACHE_BUDGET: u64 = 2 << 30;
 
 /// Cap on modeled devices a `TooLarge` job may be sharded across — the
 /// largest multi-GCD node the interconnect model describes. A state that
@@ -75,6 +94,8 @@ impl Default for ServiceConfig {
             pool_max_per_bucket: crate::pool::DEFAULT_MAX_PER_BUCKET,
             bandwidth_budget_bps: crate::admission::DEFAULT_BANDWIDTH_BUDGET_BPS,
             max_batch: DEFAULT_MAX_BATCH,
+            plan_cache_budget_bytes: DEFAULT_PLAN_CACHE_BUDGET,
+            result_cache_budget_bytes: DEFAULT_RESULT_CACHE_BUDGET,
         }
     }
 }
@@ -160,6 +181,10 @@ struct JobRecord {
     /// Budget hold, released (dropped) when the job reaches a terminal
     /// state.
     reservation: Option<Reservation>,
+    /// Result-cache key the job's report is inserted under when it
+    /// completes. `None` when the result is not cacheable (`keep_state`
+    /// jobs, sharded jobs whose reports are device-count specific).
+    result_key: Option<ResultKey>,
 }
 
 /// Running totals the `metrics` verb aggregates over finished jobs.
@@ -243,6 +268,10 @@ pub struct Metrics {
     pub buffer_reuses: u64,
     /// Largest per-job peak device memory seen, bytes.
     pub max_peak_state_bytes: u64,
+    /// Fusion-plan cache counters.
+    pub plan_cache: CacheStats,
+    /// Result cache counters.
+    pub result_cache: CacheStats,
 }
 
 impl Metrics {
@@ -309,6 +338,8 @@ impl Metrics {
                 "exchanged_bytes": (self.sharded_exchanged_bytes),
                 "exchange_seconds": (self.sharded_exchange_seconds),
             },
+            "plan_cache": (cache_json(&self.plan_cache)),
+            "result_cache": (cache_json(&self.result_cache)),
             "timing": {
                 "total_wall_seconds": (self.total_wall_seconds),
                 "total_setup_seconds": (self.total_setup_seconds),
@@ -321,6 +352,23 @@ impl Metrics {
     }
 }
 
+/// One cache's counters as the JSON object the `metrics` verb nests
+/// under `plan_cache` / `result_cache`.
+fn cache_json(s: &CacheStats) -> serde_json::Value {
+    json!({
+        "hits": (s.hits),
+        "misses": (s.misses),
+        "hit_rate": (s.hit_rate()),
+        "insertions": (s.insertions),
+        "evictions": (s.evictions),
+        "shed_inserts": (s.shed_inserts),
+        "shed_bytes": (s.shed_bytes),
+        "entries": (s.entries),
+        "occupancy_bytes": (s.occupancy_bytes),
+        "budget_bytes": (s.budget_bytes),
+    })
+}
+
 /// Shared state behind the service handle; workers hold an `Arc` of it.
 #[derive(Debug)]
 pub(crate) struct ServiceInner {
@@ -331,8 +379,18 @@ pub(crate) struct ServiceInner {
     pub(crate) max_batch: usize,
     /// Fusion plans keyed by circuit content and plan settings; shared
     /// across hash-equal submissions so the Batch-class workload plans
-    /// each unique circuit once, not once per job.
-    plans: RwLock<HashMap<PlanKey, (Arc<FusionPlan>, u64)>>,
+    /// each unique circuit once, not once per job. Byte-budgeted with
+    /// per-entry CLOCK eviction: a hot circuit's plan survives a parade
+    /// of cold one-shot circuits (the old fixed-cap map wholesale-reset
+    /// at capacity, dropping every hot plan with the cold ones).
+    plans: Cache<PlanKey, (Arc<FusionPlan>, u64)>,
+    /// Completed run reports keyed by everything that determines the
+    /// output (circuit content, flavor, precision, plan settings, seed,
+    /// shot count). Simulation is deterministic, so a key-equal
+    /// resubmission returns the cached report without touching a worker.
+    /// Every resident byte is charged through the admission ledger via
+    /// [`AdmissionLedger`]; under admission pressure the cache sheds.
+    results: Cache<ResultKey, Arc<RunReport>>,
     registry: Mutex<HashMap<JobId, JobRecord>>,
     aggregates: Mutex<Aggregates>,
     next_id: AtomicU64,
@@ -350,10 +408,61 @@ pub(crate) struct ServiceInner {
 /// circuit content, backend flavor, precision, strategy, fusion width.
 type PlanKey = (u64, Flavor, qsim_core::types::Precision, qsim_fusion::FusionStrategy, usize);
 
-/// Distinct circuits the plan cache holds before it is wholesale reset —
-/// a simple bound for a service whose steady state is a handful of
-/// hash-equal circuit shapes.
-const PLAN_CACHE_CAP: usize = 128;
+/// What must match for two submissions to share one run *result*: the
+/// plan key axes plus the PRNG seed and the sample count — everything
+/// the deterministic simulator's output is a pure function of.
+type ResultKey =
+    (u64, Flavor, qsim_core::types::Precision, qsim_fusion::FusionStrategy, usize, u64, usize);
+
+/// The result-cache key for `spec`, or `None` when the result must not
+/// be cached: `keep_state` jobs exist for their state vector, which is
+/// taken once and never cached.
+fn result_cache_key(spec: &JobSpec) -> Option<ResultKey> {
+    if spec.keep_state {
+        return None;
+    }
+    Some((
+        spec.circuit.content_hash(),
+        spec.flavor,
+        spec.precision,
+        spec.strategy,
+        spec.max_fused,
+        spec.seed,
+        spec.sample_count,
+    ))
+}
+
+/// Modeled resident weight of one plan-cache entry: fixed overhead plus
+/// the fused circuit's op list (matrices dominate each fused op).
+fn plan_entry_bytes(plan: &FusionPlan) -> u64 {
+    256 + plan.fused.ops.len() as u64 * 128
+}
+
+/// Modeled resident weight of one result-cache entry: fixed report
+/// overhead plus the variable-length vectors a sampling or
+/// measurement-heavy run carries.
+fn report_bytes(report: &RunReport) -> u64 {
+    1024 + report.samples.len() as u64 * 8
+        + report.kernels.len() as u64 * 64
+        + report.measurements.iter().map(|(q, _)| 64 + q.len() as u64 * 8).sum::<u64>()
+        + report.analysis_warnings.iter().map(|w| 32 + w.len() as u64).sum::<u64>()
+}
+
+/// Adapter charging the result cache's occupancy to the admission
+/// controller's reservation ledger, so cached reports and live state
+/// buffers compete for the same modeled memory budget.
+#[derive(Debug)]
+struct AdmissionLedger(AdmissionController);
+
+impl BudgetLedger for AdmissionLedger {
+    fn try_charge(&self, bytes: u64) -> bool {
+        self.0.try_charge(bytes)
+    }
+
+    fn release(&self, bytes: u64) {
+        self.0.release(bytes);
+    }
+}
 
 impl ServiceInner {
     /// Fetch (or build and cache) the fusion plan for `spec`, plus the
@@ -367,26 +476,18 @@ impl ServiceInner {
             spec.strategy,
             spec.max_fused,
         );
-        {
-            let plans = self.plans.read();
-            let _held = lockorder::track("qsim-serve::service::ServiceInner.plans");
-            if let Some(entry) = plans.get(&key) {
-                return entry.clone();
-            }
+        if let Some(entry) = self.plans.get(&key) {
+            return entry;
         }
-        // Plan outside the lock — the planner is pure and a racing
-        // duplicate insert is harmless. The cache is read-locked on the
-        // hit path so a storm of hash-equal submitters (the Batch-class
-        // saturation workload) looks plans up concurrently.
+        // Plan outside the cache lock — the planner is pure and a racing
+        // duplicate insert is harmless (both plans are identical; last
+        // writer wins, the loser's `Arc` lives on in its own job).
         let plan = Arc::new(QueuedJob::plan_spec(spec));
         let fused_hash = plan.fused.content_hash();
-        let mut plans = self.plans.write();
-        let _held = lockorder::track("qsim-serve::service::ServiceInner.plans");
-        if plans.len() >= PLAN_CACHE_CAP {
-            plans.clear();
-        }
-        plans.insert(key, (plan.clone(), fused_hash));
-        (plan, fused_hash)
+        let bytes = plan_entry_bytes(&plan);
+        let entry = (plan, fused_hash);
+        self.plans.insert(key, entry.clone(), bytes);
+        entry
     }
 
     /// Transition a gang of jobs to `Running` under one registry lock
@@ -413,32 +514,48 @@ impl ServiceInner {
         verdicts
     }
 
-    /// Record a worker's verdict: set the terminal state, stash the
-    /// report or error, release the admission reservation, fold the
-    /// run's timings into the aggregates.
-    pub(crate) fn finish(&self, id: JobId, outcome: JobOutcome) {
-        self.finish_many(std::iter::once((id, outcome)));
-    }
-
-    /// Gang-wide [`ServiceInner::finish`]: resolve every member's outcome
-    /// under one registry + one aggregates lock acquisition.
+    /// Record the workers' verdicts: set each terminal state, stash the
+    /// report or error, release the admission reservations, fold the
+    /// runs' timings into the aggregates — one registry + one aggregates
+    /// lock acquisition for the whole set.
     pub(crate) fn finish_many<I: IntoIterator<Item = (JobId, JobOutcome)>>(&self, outcomes: I) {
-        let mut registry = self.registry.lock();
-        let _held_registry = lockorder::track("qsim-serve::service::ServiceInner.registry");
-        let mut agg = self.aggregates.lock();
-        let _held_agg = lockorder::track("qsim-serve::service::ServiceInner.aggregates");
-        for (id, outcome) in outcomes {
-            let Some(record) = registry.get_mut(&id) else { continue };
-            if record.state == JobState::Running {
-                self.running.fetch_sub(1, Ordering::Relaxed);
+        let mut cacheable: Vec<(ResultKey, Arc<RunReport>)> = Vec::new();
+        {
+            let mut registry = self.registry.lock();
+            let _held_registry = lockorder::track("qsim-serve::service::ServiceInner.registry");
+            let mut agg = self.aggregates.lock();
+            let _held_agg = lockorder::track("qsim-serve::service::ServiceInner.aggregates");
+            for (id, outcome) in outcomes {
+                let Some(record) = registry.get_mut(&id) else { continue };
+                if record.state == JobState::Running {
+                    self.running.fetch_sub(1, Ordering::Relaxed);
+                }
+                if let Some(entry) = Self::resolve(record, &mut agg, outcome) {
+                    cacheable.push(entry);
+                }
             }
-            Self::resolve(record, &mut agg, outcome);
+        }
+        // Result-cache inserts happen outside the registry/aggregates
+        // locks: an insert may evict and charge the admission ledger,
+        // none of which should lengthen the critical section every
+        // status poll contends on.
+        for (key, report) in cacheable {
+            let bytes = report_bytes(&report);
+            self.results.insert(key, report, bytes);
         }
     }
 
     /// Apply one job's outcome to its registry record and the aggregate
-    /// counters (both locks held by the caller).
-    fn resolve(record: &mut JobRecord, agg: &mut Aggregates, outcome: JobOutcome) {
+    /// counters (both locks held by the caller). For a cacheable `Done`
+    /// job, returns the result-cache entry for the caller to insert
+    /// *after* dropping the locks.
+    fn resolve(
+        record: &mut JobRecord,
+        agg: &mut Aggregates,
+        outcome: JobOutcome,
+    ) -> Option<(ResultKey, Arc<RunReport>)> {
+        let result_key = record.result_key.take();
+        let mut cache_entry = None;
         match outcome {
             JobOutcome::Done(report, state_vector) => {
                 record.state = JobState::Done;
@@ -457,6 +574,7 @@ impl ServiceInner {
                     agg.cold_setup_seconds += report.setup_seconds;
                 }
                 agg.max_peak_state_bytes = agg.max_peak_state_bytes.max(report.peak_state_bytes);
+                cache_entry = result_key.map(|key| (key, Arc::new(report.as_ref().clone())));
                 record.report = Some(report);
                 record.state_vector = state_vector;
             }
@@ -475,6 +593,7 @@ impl ServiceInner {
             }
         }
         record.reservation = None;
+        cache_entry
     }
 
     /// Gang-wide cancellation resolution for members whose token fired
@@ -492,6 +611,21 @@ impl ServiceInner {
     }
 }
 
+/// What [`Service::prepare_submission`] concluded about one spec.
+enum Prepared {
+    /// Admitted: a planned job ready for the registry and the queue.
+    Queued {
+        job: Box<QueuedJob>,
+        reservation: Reservation,
+        /// Key the finished report will be cached under (`None` when
+        /// the result is not cacheable).
+        result_key: Option<ResultKey>,
+    },
+    /// The result cache already holds this exact run's report; no job
+    /// needs to execute.
+    CacheHit { priority: Priority, flavor: Flavor, num_qubits: usize, report: Arc<RunReport> },
+}
+
 /// The job service: owns the worker pool and exposes the verb surface
 /// the wire protocol (and in-process embedders) call.
 #[derive(Debug)]
@@ -504,15 +638,24 @@ pub struct Service {
 impl Service {
     /// Start the service: spawn the worker pool and begin accepting jobs.
     pub fn start(config: ServiceConfig) -> Service {
+        let admission = AdmissionController::with_bandwidth(
+            config.memory_budget_bytes,
+            config.bandwidth_budget_bps,
+        );
+        // The result cache charges the same reservation ledger jobs
+        // reserve state memory from: a cached report occupies modeled
+        // budget like a live state does, and sheds under pressure.
+        let results = Cache::with_ledger(
+            config.result_cache_budget_bytes,
+            Arc::new(AdmissionLedger(admission.clone())) as Arc<dyn BudgetLedger>,
+        );
         let inner = Arc::new(ServiceInner {
             queue: JobQueue::new(),
             pool: StateBufferPool::with_max_per_bucket(config.pool_max_per_bucket),
-            admission: AdmissionController::with_bandwidth(
-                config.memory_budget_bytes,
-                config.bandwidth_budget_bps,
-            ),
+            admission,
             max_batch: config.max_batch.max(1),
-            plans: RwLock::new(HashMap::new()),
+            plans: Cache::new(config.plan_cache_budget_bytes),
+            results,
             registry: Mutex::new(HashMap::new()),
             aggregates: Mutex::new(Aggregates::default()),
             next_id: AtomicU64::new(1),
@@ -528,8 +671,9 @@ impl Service {
     }
 
     /// Validate, admit, plan and price one submission — everything that
-    /// happens before the job touches the registry or the queue.
-    fn prepare_submission(&self, spec: JobSpec) -> Result<(QueuedJob, Reservation), SubmitError> {
+    /// happens before the job touches the registry or the queue. A
+    /// result-cache hit short-circuits all of it.
+    fn prepare_submission(&self, spec: JobSpec) -> Result<Prepared, SubmitError> {
         if !self.inner.accepting.load(Ordering::Acquire) {
             return Err(SubmitError::ShuttingDown);
         }
@@ -543,13 +687,33 @@ impl Service {
                 spec.max_fused
             )));
         }
+        // Result-cache fast path: simulation is deterministic, so a job
+        // whose exact (circuit, flavor, precision, plan settings, seed,
+        // shots) already completed returns the cached report without
+        // touching admission, the queue, or a worker. A zero budget
+        // turns the whole path off — no lookups, no report clones at
+        // completion.
+        let result_key =
+            if self.inner.results.budget_bytes() == 0 { None } else { result_cache_key(&spec) };
+        if let Some(key) = &result_key {
+            if let Some(report) = self.inner.results.get(key) {
+                return Ok(Prepared::CacheHit {
+                    priority: spec.priority,
+                    flavor: spec.flavor,
+                    num_qubits: n,
+                    report,
+                });
+            }
+        }
         // A state over the whole budget is not refused outright: it is
         // routed to the sharded multi-GCD backend over enough modeled
         // devices that each per-device shard fits, and the host-side
         // reservation drops to one shard's bytes. Transient pressure
         // (`Rejected`/`Saturated`) still bounces — sharding cures size,
-        // not load.
-        let (devices, reservation) = match self.inner.admission.try_admit(&spec) {
+        // not load — but a `Rejected` first sheds the result cache,
+        // which must never starve live work while sitting on
+        // reclaimable ledger bytes.
+        let (devices, reservation) = match self.admit_shedding(&spec) {
             Ok(r) => (1usize, r),
             Err(AdmissionError::TooLarge { requested_bytes, budget_bytes }) => {
                 let Some(devices) = shard_devices(requested_bytes, budget_bytes, n) else {
@@ -559,7 +723,7 @@ impl Service {
                         budget_bytes,
                     }));
                 };
-                match self.inner.admission.try_reserve(requested_bytes / devices as u64) {
+                match self.reserve_shedding(requested_bytes / devices as u64) {
                     Ok(r) => (devices, r),
                     Err(e) => {
                         self.inner.rejected.fetch_add(1, Ordering::Relaxed);
@@ -626,11 +790,48 @@ impl Service {
             self.inner.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::Rejected(e));
         }
-        Ok((job, reservation))
+        // Sharded reports are device-count specific (their device string
+        // and exchange accounting differ), so only single-device jobs
+        // feed the result cache.
+        let result_key = result_key.filter(|_| devices == 1);
+        Ok(Prepared::Queued { job: Box::new(job), reservation, result_key })
+    }
+
+    /// `try_admit` with one retry after shedding the result cache: when
+    /// the ledger is full, cached results give their bytes back before
+    /// live work is bounced.
+    fn admit_shedding(&self, spec: &JobSpec) -> Result<Reservation, AdmissionError> {
+        match self.inner.admission.try_admit(spec) {
+            Err(e @ AdmissionError::Rejected { requested_bytes, .. }) => {
+                if self.inner.results.shed(requested_bytes) == 0 {
+                    return Err(e);
+                }
+                self.inner.admission.try_admit(spec)
+            }
+            other => other,
+        }
+    }
+
+    /// [`Service::admit_shedding`], for the sharded per-device
+    /// reservation path.
+    fn reserve_shedding(&self, bytes: u64) -> Result<Reservation, AdmissionError> {
+        match self.inner.admission.try_reserve(bytes) {
+            Err(e @ AdmissionError::Rejected { requested_bytes, .. }) => {
+                if self.inner.results.shed(requested_bytes) == 0 {
+                    return Err(e);
+                }
+                self.inner.admission.try_reserve(bytes)
+            }
+            other => other,
+        }
     }
 
     /// The registry record a freshly prepared job enters the system with.
-    fn record_for(job: &QueuedJob, reservation: Reservation) -> JobRecord {
+    fn record_for(
+        job: &QueuedJob,
+        reservation: Reservation,
+        result_key: Option<ResultKey>,
+    ) -> JobRecord {
         JobRecord {
             state: JobState::Queued,
             priority: job.spec.priority,
@@ -642,21 +843,67 @@ impl Service {
             state_vector: None,
             error: None,
             reservation: Some(reservation),
+            result_key,
         }
+    }
+
+    /// Register a result-cache hit as an already-`Done` job: the caller
+    /// gets a real id whose `status` and `report` behave exactly like a
+    /// run that went through a worker.
+    fn admit_cache_hit(
+        &self,
+        priority: Priority,
+        flavor: Flavor,
+        num_qubits: usize,
+        report: Arc<RunReport>,
+    ) -> JobId {
+        let id = JobId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
+        let record = JobRecord {
+            state: JobState::Done,
+            priority,
+            flavor,
+            num_qubits,
+            devices: 1,
+            cancel: CancelToken::new(),
+            report: Some(Box::new(report.as_ref().clone())),
+            state_vector: None,
+            error: None,
+            reservation: None,
+            result_key: None,
+        };
+        {
+            let mut registry = self.inner.registry.lock();
+            let _held = lockorder::track("qsim-serve::service::ServiceInner.registry");
+            registry.insert(id, record);
+        }
+        {
+            let mut agg = self.inner.aggregates.lock();
+            let _held = lockorder::track("qsim-serve::service::ServiceInner.aggregates");
+            // A hit completes a job; it contributes no wall/setup time
+            // (nothing ran), so the timing aggregates are untouched.
+            agg.completed += 1;
+        }
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        id
     }
 
     /// Submit a job. On success the job is queued and its [`JobId`]
     /// returned; poll [`Service::status`] until terminal.
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
-        let (job, reservation) = self.prepare_submission(spec)?;
+        let (job, reservation, result_key) = match self.prepare_submission(spec)? {
+            Prepared::Queued { job, reservation, result_key } => (job, reservation, result_key),
+            Prepared::CacheHit { priority, flavor, num_qubits, report } => {
+                return Ok(self.admit_cache_hit(priority, flavor, num_qubits, report));
+            }
+        };
         let id = job.id;
         {
             let mut registry = self.inner.registry.lock();
             let _held = lockorder::track("qsim-serve::service::ServiceInner.registry");
-            registry.insert(id, Self::record_for(&job, reservation));
+            registry.insert(id, Self::record_for(&job, reservation, result_key));
         }
         let demand_bps = job.demand_bps;
-        if self.inner.queue.push(job).is_err() {
+        if self.inner.queue.push(*job).is_err() {
             // Shutdown raced the submission; undo the registration.
             let mut registry = self.inner.registry.lock();
             let _held = lockorder::track("qsim-serve::service::ServiceInner.registry");
@@ -679,12 +926,15 @@ impl Service {
         specs: impl IntoIterator<Item = JobSpec>,
     ) -> Vec<Result<JobId, SubmitError>> {
         let mut results = Vec::new();
-        let mut accepted: Vec<(QueuedJob, Reservation)> = Vec::new();
+        let mut accepted: Vec<(Box<QueuedJob>, Reservation, Option<ResultKey>)> = Vec::new();
         for spec in specs {
             match self.prepare_submission(spec) {
-                Ok(pair) => {
-                    results.push(Ok(pair.0.id));
-                    accepted.push(pair);
+                Ok(Prepared::Queued { job, reservation, result_key }) => {
+                    results.push(Ok(job.id));
+                    accepted.push((job, reservation, result_key));
+                }
+                Ok(Prepared::CacheHit { priority, flavor, num_qubits, report }) => {
+                    results.push(Ok(self.admit_cache_hit(priority, flavor, num_qubits, report)));
                 }
                 Err(e) => results.push(Err(e)),
             }
@@ -696,9 +946,9 @@ impl Service {
         {
             let mut registry = self.inner.registry.lock();
             let _held = lockorder::track("qsim-serve::service::ServiceInner.registry");
-            for (job, reservation) in accepted {
-                registry.insert(job.id, Self::record_for(&job, reservation));
-                jobs.push(job);
+            for (job, reservation, result_key) in accepted {
+                registry.insert(job.id, Self::record_for(&job, reservation, result_key));
+                jobs.push(*job);
             }
         }
         let count = jobs.len() as u64;
@@ -806,6 +1056,8 @@ impl Service {
             warm_setup_seconds_avg: mean(agg.warm_setup_seconds, agg.warm_runs),
             buffer_reuses: agg.warm_runs,
             max_peak_state_bytes: agg.max_peak_state_bytes,
+            plan_cache: self.inner.plans.stats(),
+            result_cache: self.inner.results.stats(),
         }
     }
 

@@ -112,52 +112,65 @@ fn worker_loop(inner: &ServiceInner) {
                 None => runnable.push(job),
             }
         }
-        if !cancelled.is_empty() {
-            inner.cancel_many(cancelled);
-        }
         let ids: Vec<_> = runnable.iter().map(|job| job.id).collect();
         let verdicts = inner.mark_running_many(&ids);
         let mut live = runnable;
         let mut keep = verdicts.into_iter();
         live.retain(|_| keep.next().unwrap_or(false));
-        if !live.is_empty() {
-            let flavor = live[0].spec.flavor;
-            if live[0].devices > 1 {
-                // A routed (sharded) job always dispatches alone —
-                // gang_compatible excludes multi-device jobs.
-                debug_assert_eq!(live.len(), 1);
-                let job = &live[0];
-                let backend = dist_backends
-                    .entry((flavor, job.devices))
-                    .or_insert_with(|| MultiGcdBackend::new(flavor, job.devices));
-                let outcome = match job.spec.precision {
-                    Precision::Single => run_sharded::<f32>(backend, inner, job),
-                    Precision::Double => run_sharded::<f64>(backend, inner, job),
-                };
-                inner.finish(job.id, outcome);
-            } else {
-                let backend = backends.entry(flavor).or_insert_with(|| SimBackend::new(flavor));
-                match (live.len(), live[0].spec.precision) {
-                    (1, Precision::Single) => {
-                        let outcome = run_job::<f32>(backend, &inner.pool, &live[0]);
-                        inner.finish(live[0].id, outcome);
-                    }
-                    (1, Precision::Double) => {
-                        let outcome = run_job::<f64>(backend, &inner.pool, &live[0]);
-                        inner.finish(live[0].id, outcome);
-                    }
-                    (_, Precision::Single) => run_gang::<f32>(backend, inner, &live),
-                    (_, Precision::Double) => run_gang::<f64>(backend, inner, &live),
-                }
-                if live.len() > 1 {
-                    inner.record_batch(live.len());
-                }
+        if live.is_empty() {
+            // Nothing runs: settle the unit's modeled traffic *before*
+            // the cancellations become observable, so "every job is
+            // terminal" always implies the bandwidth charge was
+            // returned.
+            inner.admission.finish_traffic(unit.running_bps);
+            if !cancelled.is_empty() {
+                inner.cancel_many(cancelled);
             }
-            affinity = Some(live[0].bucket());
+            inner.queue.notify();
+            continue;
         }
-        // The unit's modeled traffic is free again; a deferred job may now
-        // be admissible, so wake the other workers.
+        if !cancelled.is_empty() {
+            inner.cancel_many(cancelled);
+        }
+        let flavor = live[0].spec.flavor;
+        let outcomes: Vec<(crate::job::JobId, JobOutcome)> = if live[0].devices > 1 {
+            // A routed (sharded) job always dispatches alone —
+            // gang_compatible excludes multi-device jobs.
+            debug_assert_eq!(live.len(), 1);
+            let job = &live[0];
+            let backend = dist_backends
+                .entry((flavor, job.devices))
+                .or_insert_with(|| MultiGcdBackend::new(flavor, job.devices));
+            let outcome = match job.spec.precision {
+                Precision::Single => run_sharded::<f32>(backend, inner, job),
+                Precision::Double => run_sharded::<f64>(backend, inner, job),
+            };
+            vec![(job.id, outcome)]
+        } else {
+            let backend = backends.entry(flavor).or_insert_with(|| SimBackend::new(flavor));
+            let outcomes = match (live.len(), live[0].spec.precision) {
+                (1, Precision::Single) => {
+                    vec![(live[0].id, run_job::<f32>(backend, &inner.pool, &live[0]))]
+                }
+                (1, Precision::Double) => {
+                    vec![(live[0].id, run_job::<f64>(backend, &inner.pool, &live[0]))]
+                }
+                (_, Precision::Single) => run_gang::<f32>(backend, inner, &live),
+                (_, Precision::Double) => run_gang::<f64>(backend, inner, &live),
+            };
+            if live.len() > 1 {
+                inner.record_batch(live.len());
+            }
+            outcomes
+        };
+        affinity = Some(live[0].bucket());
+        // The run is over, so the unit's modeled traffic is free again.
+        // Settle the ledger BEFORE publishing terminal states — a client
+        // that has observed every job terminal may rely on the charge
+        // having been returned — then wake the other workers (a deferred
+        // job may now be admissible).
         inner.admission.finish_traffic(unit.running_bps);
+        inner.finish_many(outcomes);
         inner.queue.notify();
     }
 }
@@ -236,9 +249,13 @@ fn run_sharded<F: StateSlot + Float>(
 /// Execute a gang of gang-compatible jobs through `run_batch`: every
 /// member gets its own pooled buffer, seed, sample count and cancel
 /// token, but the gate plan, matrix conversions and sweep passes are paid
-/// once for the whole gang. Per-member outcomes are resolved exactly like
-/// a single run's.
-fn run_gang<F: StateSlot>(backend: &SimBackend, inner: &ServiceInner, jobs: &[QueuedJob]) {
+/// once for the whole gang. Per-member outcomes are returned (not
+/// published) so the caller can settle the traffic ledger first.
+fn run_gang<F: StateSlot>(
+    backend: &SimBackend,
+    inner: &ServiceInner,
+    jobs: &[QueuedJob],
+) -> Vec<(crate::job::JobId, JobOutcome)> {
     let len = 1usize << jobs[0].spec.circuit.num_qubits;
     let batch: Vec<BatchJob<'_, F>> = jobs
         .iter()
@@ -252,8 +269,7 @@ fn run_gang<F: StateSlot>(backend: &SimBackend, inner: &ServiceInner, jobs: &[Qu
         })
         .collect();
     let results = backend.run_batch::<F>(batch);
-    let outcomes: Vec<(crate::job::JobId, JobOutcome)> = jobs
-        .iter()
+    jobs.iter()
         .zip(results)
         .map(|(job, result)| {
             let outcome = match result {
@@ -280,6 +296,5 @@ fn run_gang<F: StateSlot>(backend: &SimBackend, inner: &ServiceInner, jobs: &[Qu
             };
             (job.id, outcome)
         })
-        .collect();
-    inner.finish_many(outcomes);
+        .collect()
 }

@@ -209,10 +209,16 @@ fn queued_timeout_releases_reservation() {
 }
 
 /// Warm pool: repeated same-shaped jobs reuse one allocation, and the
-/// metrics aggregation splits cold from warm setup.
+/// metrics aggregation splits cold from warm setup. The result cache is
+/// disabled so the repeats actually execute (a cache hit never touches
+/// the buffer pool — that fast path has its own tests).
 #[test]
 fn warm_pool_reuses_buffers_across_sequential_jobs() {
-    let service = Service::start(ServiceConfig { workers: 1, ..ServiceConfig::default() });
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        result_cache_budget_bytes: 0,
+        ..ServiceConfig::default()
+    });
     let spec = JobSpec::new(qsim_circuit::library::ghz(16));
     let mut reused = Vec::new();
     for _ in 0..4 {

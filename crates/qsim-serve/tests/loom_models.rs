@@ -182,8 +182,15 @@ fn cancelled_gang_member_returns_buffer_and_ledger_charge() {
     let proven = Arc::new(AtomicU64::new(0));
     let proven_in_model = proven.clone();
     loom::model(move || {
-        let service =
-            Service::start(ServiceConfig { workers: 1, max_batch: 4, ..ServiceConfig::default() });
+        // Result caching off: completed reports would otherwise hold a
+        // legitimate ledger charge, and this model asserts the ledger
+        // settles to zero once every *job* hold is returned.
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            max_batch: 4,
+            result_cache_budget_bytes: 0,
+            ..ServiceConfig::default()
+        });
 
         // Occupy the lone worker so the gang queues behind it.
         let mut heavy = JobSpec::new(library::random_dense(12, 120, 5));
